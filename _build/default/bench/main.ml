@@ -1,0 +1,880 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+   paper-vs-measured record).
+
+   Usage: dune exec bench/main.exe [-- SECTION ...]
+   Sections: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+             fig14 speed storage bechamel (default: all). *)
+
+module W = Mosaic_workloads
+module Soc = Mosaic.Soc
+module Presets = Mosaic.Presets
+module TC = Mosaic_tile.Tile_config
+module X86 = Mosaic_baseline.X86_model
+module Trace = Mosaic_trace.Trace
+module Table = Mosaic_util.Table
+module Stats = Mosaic_util.Stats
+module Dse = Mosaic_accel.Dse
+
+let fcell = Table.fcell
+let icell = Table.icell
+
+(* ------------------------------------------------------------------ *)
+(* Shared Parboil runs (Figs 5, 6 and the speed/storage tables)        *)
+(* ------------------------------------------------------------------ *)
+
+type parboil_result = {
+  pname : string;
+  mosaic_cycles : int;
+  x86_cycles : int;
+  ipc : float;
+  dyn : int;
+  mem_accesses : int;
+  control_bytes : int;
+  memory_bytes : int;
+  comp_control : int;
+  comp_memory : int;
+  mips : float;
+}
+
+let run_parboil name =
+  let inst = W.Registry.instance name in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let comp_control, comp_memory = Mosaic_trace.Encode.compressed_bytes trace in
+  let r =
+    Soc.run_homogeneous Presets.xeon_soc ~program:inst.W.Runner.program ~trace
+      ~tile_config:TC.out_of_order
+  in
+  let x =
+    X86.run ~program:inst.W.Runner.program ~trace
+      ~hierarchy:Presets.xeon_hierarchy ()
+  in
+  let control_bytes, memory_bytes = Trace.storage_bytes trace in
+  {
+    pname = name;
+    mosaic_cycles = r.Soc.cycles;
+    x86_cycles = x.X86.cycles;
+    ipc = r.Soc.ipc;
+    dyn = Trace.total_dyn_instrs trace;
+    mem_accesses = Trace.total_mem_accesses trace;
+    control_bytes;
+    memory_bytes;
+    comp_control;
+    comp_memory;
+    mips = r.Soc.mips;
+  }
+
+let parboil_results = lazy (List.map run_parboil W.Registry.parboil_names)
+
+(* ------------------------------------------------------------------ *)
+(* Tables I and II                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Table.print ~title:"Table I: evaluation system (Intel Xeon E5-2667 v3)"
+    ~columns:
+      [ Table.column ~align:Table.Left "parameter"; Table.column ~align:Table.Left "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) Presets.table1_rows)
+
+let table2 () =
+  Table.print ~title:"Table II: DAE case-study parameters"
+    ~columns:
+      [ Table.column ~align:Table.Left "parameter"; Table.column ~align:Table.Left "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) Presets.table2_rows)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 5: runtime accuracy; Fig 6: IPC characterization                *)
+(* ------------------------------------------------------------------ *)
+
+let paper_fig5 =
+  [
+    ("bfs", 0.97); ("cutcp", 0.72); ("histo", 2.21); ("lbm", 0.88);
+    ("mri-gridding", 1.53); ("mri-q", 0.16); ("sad", 1.11); ("sgemm", 1.65);
+    ("spmv", 1.37); ("stencil", 1.03); ("tpacf", 3.29);
+  ]
+
+let paper_fig6 =
+  [
+    ("bfs", 0.84); ("tpacf", 1.36); ("histo", 1.4); ("stencil", 1.65);
+    ("lbm", 1.95); ("spmv", 2.06); ("mri-gridding", 2.35); ("mri-q", 2.42);
+    ("cutcp", 2.48); ("sgemm", 3.05); ("sad", 3.7);
+  ]
+
+let fig5 () =
+  let rs = Lazy.force parboil_results in
+  Table.print
+    ~title:"Fig 5: runtime accuracy factor (MosaicSim cycles / x86 cycles)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "benchmark";
+        Table.column "mosaic cyc";
+        Table.column "x86 cyc";
+        Table.column "factor";
+        Table.column "paper";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.pname;
+           icell r.mosaic_cycles;
+           icell r.x86_cycles;
+           fcell (float_of_int r.mosaic_cycles /. float_of_int r.x86_cycles);
+           fcell (List.assoc r.pname paper_fig5);
+         ])
+       rs);
+  let factors =
+    List.map
+      (fun r -> float_of_int r.mosaic_cycles /. float_of_int r.x86_cycles)
+      rs
+  in
+  Printf.printf "geomean accuracy factor: %.3f (paper: 1.099)\n\n"
+    (Stats.geomean factors)
+
+let fig6 () =
+  let rs = Lazy.force parboil_results in
+  let sorted = List.sort (fun a b -> compare a.ipc b.ipc) rs in
+  Table.print
+    ~title:"Fig 6: IPC characterization (low = memory-bound, high = compute-bound)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "benchmark";
+        Table.column "IPC";
+        Table.column "paper IPC";
+      ]
+    (List.map
+       (fun r -> [ r.pname; fcell r.ipc; fcell (List.assoc r.pname paper_fig6) ])
+       sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Figs 7-9: scaling trends                                            *)
+(* ------------------------------------------------------------------ *)
+
+let scaling_fig ~title make =
+  let cfg = Soc.with_hierarchy Presets.xeon_soc Presets.xeon_scaled_hierarchy in
+  let runs =
+    List.map
+      (fun nt ->
+        let inst = make () in
+        let trace = W.Runner.trace inst ~ntiles:nt in
+        let r =
+          Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
+            ~tile_config:TC.out_of_order
+        in
+        let x =
+          X86.run ~program:inst.W.Runner.program ~trace
+            ~hierarchy:Presets.xeon_scaled_hierarchy ()
+        in
+        (nt, r.Soc.cycles, x.X86.cycles))
+      [ 1; 2; 4; 8 ]
+  in
+  let _, m1, x1 = List.hd runs in
+  Table.print ~title
+    ~columns:
+      [
+        Table.column "threads";
+        Table.column "mosaic speedup";
+        Table.column "x86 speedup";
+      ]
+    (List.map
+       (fun (nt, m, x) ->
+         [
+           icell nt;
+           fcell (float_of_int m1 /. float_of_int m);
+           fcell (float_of_int x1 /. float_of_int x);
+         ])
+       runs)
+
+let fig7 () =
+  scaling_fig
+    ~title:"Fig 7: BFS scaling (latency-bound; atomics diverge the models)"
+    (fun () -> W.Bfs.instance ~n:8192 ~degree:8 ())
+
+let fig8 () =
+  scaling_fig ~title:"Fig 8: SGEMM scaling (compute-bound; both near-linear)"
+    (fun () -> W.Sgemm.instance ~m:48 ~n:48 ~k:48 ())
+
+let fig9 () =
+  scaling_fig ~title:"Fig 9: SPMV scaling (bandwidth-bound; sublinear)"
+    (fun () -> W.Spmv.instance ~rows:8192 ~cols:8192 ~per_row:16 ())
+
+(* ------------------------------------------------------------------ *)
+(* Fig 10: accelerator design-space exploration                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  let sys = Mosaic_accel.Accel_model.default_sys in
+  List.iter
+    (fun kind ->
+      let pts =
+        Dse.sweep ~kind ~plm_sizes:Dse.paper_plm_sizes
+          ~workload_bytes:Dse.paper_workload_bytes sys
+      in
+      Table.print
+        ~title:(Printf.sprintf "Fig 10: DSE for the %s accelerator" kind)
+        ~columns:
+          [
+            Table.column "PLM";
+            Table.column "workload";
+            Table.column "model cyc";
+            Table.column "rtl cyc";
+            Table.column "fpga cyc";
+            Table.column "area um2";
+          ]
+        (List.map
+           (fun (p : Dse.point) ->
+             [
+               Printf.sprintf "%dKB" (p.Dse.plm_bytes / 1024);
+               Printf.sprintf "%dKB" (p.Dse.workload_bytes / 1024);
+               icell p.Dse.model_cycles;
+               icell p.Dse.rtl_cycles;
+               icell p.Dse.fpga_cycles;
+               fcell ~decimals:0 p.Dse.area_um2;
+             ])
+           pts))
+    [ "gemm"; "histo"; "elementwise" ];
+  Table.print
+    ~title:
+      "Fig 10d: model accuracy vs goldens (paper: 97-100% vs RTL, 89-93% vs FPGA)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "accelerator";
+        Table.column "vs RTL sim";
+        Table.column "vs FPGA";
+      ]
+    (List.map
+       (fun kind ->
+         let pts =
+           Dse.sweep ~kind ~plm_sizes:Dse.paper_plm_sizes
+             ~workload_bytes:Dse.paper_workload_bytes sys
+         in
+         let rtl, fpga = Dse.mean_accuracy pts in
+         [
+           kind;
+           Printf.sprintf "%.0f%%" (100.0 *. rtl);
+           Printf.sprintf "%.0f%%" (100.0 *. fpga);
+         ])
+       [ "gemm"; "histo"; "elementwise" ])
+
+(* ------------------------------------------------------------------ *)
+(* Fig 11: DAE case study on graph projection                          *)
+(* ------------------------------------------------------------------ *)
+
+let proj_params = (512, 1024, 8)
+
+let run_projection_homog core nt =
+  let n_left, n_right, degree = proj_params in
+  let inst = W.Projection.instance ~n_left ~n_right ~degree () in
+  let trace = W.Runner.trace inst ~ntiles:nt in
+  (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
+     ~tile_config:core)
+    .Soc.cycles
+
+let run_dae inst ~access ~execute ~pairs ~core =
+  let spec =
+    Array.init (2 * pairs) (fun i ->
+        ((if i < pairs then access else execute), inst.W.Runner.args))
+  in
+  let trace = W.Runner.trace_hetero inst ~tiles:spec in
+  let tiles =
+    Array.init (2 * pairs) (fun i ->
+        {
+          Soc.kernel = (if i < pairs then access else execute);
+          tile_config = core;
+        })
+  in
+  (Soc.run Presets.dae_soc ~program:inst.W.Runner.program ~trace ~tiles)
+    .Soc.cycles
+
+let run_projection_dae pairs =
+  let n_left, n_right, degree = proj_params in
+  let inst, _ = W.Projection.dae_instance ~n_left ~n_right ~degree () in
+  run_dae inst ~access:"projection_access" ~execute:"projection_execute" ~pairs
+    ~core:TC.in_order
+
+let fig11 () =
+  let ino1 = run_projection_homog TC.in_order 1 in
+  let rows =
+    [
+      ("1 InO (baseline)", ino1);
+      ("1 OoO", run_projection_homog TC.out_of_order 1);
+      ("2 InO (homogeneous)", run_projection_homog TC.in_order 2);
+      ("1 DAE pair (2 InO tiles)", run_projection_dae 1);
+      ("8 InO (homogeneous)", run_projection_homog TC.in_order 8);
+      ("4 DAE pairs (8 InO tiles)", run_projection_dae 4);
+    ]
+  in
+  Table.print
+    ~title:
+      "Fig 11: graph-projection speedups (DAE heterogeneity wins the \
+       area-equivalent comparison)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "system";
+        Table.column "cycles";
+        Table.column "speedup";
+      ]
+    (List.map
+       (fun (name, c) ->
+         [ name; icell c; fcell (float_of_int ino1 /. float_of_int c) ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12: EWSD and SGEMM optimized independently; Fig 13: combined    *)
+(* ------------------------------------------------------------------ *)
+
+let ewsd_params = (2048, 2048, 16)
+let gemm_dim = 48
+
+let run_ewsd_homog core nt =
+  let rows, cols, per_row = ewsd_params in
+  let inst = W.Ewsd.instance ~rows ~cols ~per_row () in
+  let trace = W.Runner.trace inst ~ntiles:nt in
+  (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
+     ~tile_config:core)
+    .Soc.cycles
+
+let run_ewsd_dae pairs =
+  let rows, cols, per_row = ewsd_params in
+  let inst, _ = W.Ewsd.dae_instance ~rows ~cols ~per_row () in
+  run_dae inst ~access:"ewsd_access" ~execute:"ewsd_execute" ~pairs
+    ~core:TC.in_order
+
+let run_gemm_homog core nt =
+  let inst = W.Sgemm.instance ~m:gemm_dim ~n:gemm_dim ~k:gemm_dim () in
+  let trace = W.Runner.trace inst ~ntiles:nt in
+  (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
+     ~tile_config:core)
+    .Soc.cycles
+
+let run_gemm_dae pairs =
+  let inst, _ = W.Sgemm.dae_instance ~m:gemm_dim ~n:gemm_dim ~k:gemm_dim () in
+  run_dae inst ~access:"sgemm_access" ~execute:"sgemm_execute" ~pairs
+    ~core:TC.in_order
+
+let run_gemm_accel () =
+  let inst = W.Sgemm.instance ~accel:true ~m:gemm_dim ~n:gemm_dim ~k:gemm_dim () in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
+     ~tile_config:TC.out_of_order)
+    .Soc.cycles
+
+let phase_results : (string * (int * int)) list ref = ref []
+
+let compute_phases () =
+  if !phase_results = [] then begin
+    let systems =
+      [
+        ( "1 InO",
+          (fun () -> run_gemm_homog TC.in_order 1),
+          fun () -> run_ewsd_homog TC.in_order 1 );
+        ( "4 InO",
+          (fun () -> run_gemm_homog TC.in_order 4),
+          fun () -> run_ewsd_homog TC.in_order 4 );
+        ( "8 InO",
+          (fun () -> run_gemm_homog TC.in_order 8),
+          fun () -> run_ewsd_homog TC.in_order 8 );
+        ( "1 OoO",
+          (fun () -> run_gemm_homog TC.out_of_order 1),
+          fun () -> run_ewsd_homog TC.out_of_order 1 );
+        ("4+4 InO DAE", (fun () -> run_gemm_dae 4), fun () -> run_ewsd_dae 4);
+        ("DAE w/ accel", run_gemm_accel, fun () -> run_ewsd_dae 4);
+      ]
+    in
+    phase_results := List.map (fun (name, g, e) -> (name, (g (), e ()))) systems
+  end;
+  !phase_results
+
+let fig12 () =
+  let phases = compute_phases () in
+  let _, (g_base, e_base) = List.hd phases in
+  Table.print
+    ~title:
+      "Fig 12: EWSD and SGEMM optimized independently (speedups over 1 InO; \
+       'DAE w/ accel' = gemm accelerator + DAE pairs for EWSD)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "system";
+        Table.column "sgemm cyc";
+        Table.column "sgemm speedup";
+        Table.column "ewsd cyc";
+        Table.column "ewsd speedup";
+      ]
+    (List.map
+       (fun (name, (g, e)) ->
+         [
+           name;
+           icell g;
+           fcell (float_of_int g_base /. float_of_int g);
+           icell e;
+           fcell (float_of_int e_base /. float_of_int e);
+         ])
+       phases)
+
+(* The combined kernel runs SGEMM then EWSD serially; a mix where the
+   baseline spends fraction p of its time in the dense phase is realized by
+   repeating each phase (cycles are linear in repetitions), the counterpart
+   of the paper's dataset-size variation. *)
+let fig13 () =
+  let phases = compute_phases () in
+  let _, (g_base, e_base) = List.hd phases in
+  let mixes =
+    [
+      ("dense-heavy", 0.75);
+      ("equal", 0.5);
+      ("sparse-heavy", 0.25);
+    ]
+  in
+  let columns =
+    Table.column ~align:Table.Left "system"
+    :: List.map (fun (m, _) -> Table.column m) mixes
+  in
+  let rows =
+    List.map
+      (fun (name, (g, e)) ->
+        name
+        :: List.map
+             (fun (_, p) ->
+               let total_base = float_of_int (g_base + e_base) in
+               let kg = p *. total_base /. float_of_int g_base in
+               let ke = (1.0 -. p) *. total_base /. float_of_int e_base in
+               let total_sys = (kg *. float_of_int g) +. (ke *. float_of_int e) in
+               fcell (total_base /. total_sys))
+             mixes)
+      phases
+  in
+  Table.print
+    ~title:
+      "Fig 13: combined sparse+dense kernel, speedup over 1 InO per workload \
+       mix (dense-heavy = 75% sgemm baseline time)"
+    ~columns rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig 14: Keras TensorFlow energy-delay improvements                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig14 () =
+  let paper = [ ("convnet", 7.22); ("graphsage", 38.0); ("recsys", 282.24) ] in
+  let rows =
+    List.map
+      (fun model ->
+        let run ~accel =
+          let inst = W.Dnn.instance model ~accel in
+          let trace = W.Runner.trace inst ~ntiles:1 in
+          Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program
+            ~trace ~tile_config:TC.out_of_order
+        in
+        let cpu = run ~accel:false and soc = run ~accel:true in
+        [
+          W.Dnn.name model;
+          icell cpu.Soc.cycles;
+          icell soc.Soc.cycles;
+          fcell (cpu.Soc.edp /. soc.Soc.edp);
+          fcell (List.assoc (W.Dnn.name model) paper);
+        ])
+      W.Dnn.all
+  in
+  Table.print
+    ~title:"Fig 14: energy-delay improvement of the accelerator SoC over OoO"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "model";
+        Table.column "OoO cycles";
+        Table.column "SoC cycles";
+        Table.column "EDP improvement";
+        Table.column "paper";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Motivation: 1-IPC and interval models vs MosaicSim (Section I)      *)
+(* ------------------------------------------------------------------ *)
+
+let motivation () =
+  let rows =
+    List.map
+      (fun name ->
+        let inst = W.Registry.instance name in
+        let trace = W.Runner.trace inst ~ntiles:1 in
+        let reference =
+          (X86.run ~program:inst.W.Runner.program ~trace
+             ~hierarchy:Presets.xeon_hierarchy ())
+            .X86.cycles
+        in
+        let mosaic =
+          (Soc.run_homogeneous Presets.xeon_soc ~program:inst.W.Runner.program
+             ~trace ~tile_config:TC.out_of_order)
+            .Soc.cycles
+        in
+        let ipc1 = (Mosaic_baseline.Simple_models.one_ipc ~trace).Mosaic_baseline.Simple_models.cycles in
+        let interval =
+          (Mosaic_baseline.Simple_models.interval
+             ~program:inst.W.Runner.program ~trace
+             ~hierarchy:Presets.xeon_hierarchy ())
+            .Mosaic_baseline.Simple_models.cycles
+        in
+        let err est =
+          let a = float_of_int est and b = float_of_int reference in
+          Float.max a b /. Float.min a b
+        in
+        [
+          name;
+          icell reference;
+          Printf.sprintf "%d (%.1fx)" ipc1 (err ipc1);
+          Printf.sprintf "%d (%.1fx)" interval (err interval);
+          Printf.sprintf "%d (%.2fx)" mosaic (err mosaic);
+        ])
+      [ "bfs"; "spmv"; "stencil"; "sgemm"; "mri-gridding" ]
+  in
+  Table.print
+    ~title:
+      "Motivation (Section I): high-level models vs MosaicSim, cycles and        error factor vs the x86 reference"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "benchmark";
+        Table.column "x86 reference";
+        Table.column "1-IPC";
+        Table.column "interval";
+        Table.column "MosaicSim";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Section VI-B: simulation speed and trace storage                    *)
+(* ------------------------------------------------------------------ *)
+
+let speed () =
+  let rs = Lazy.force parboil_results in
+  Table.print ~title:"Section VI-B: simulation speed (paper: up to 0.47 MIPS)"
+    ~columns:[ Table.column ~align:Table.Left "benchmark"; Table.column "MIPS" ]
+    (List.map (fun r -> [ r.pname; fcell r.mips ]) rs);
+  Printf.printf "mean simulation speed: %.2f MIPS\n\n"
+    (Stats.mean (List.map (fun r -> r.mips) rs))
+
+let storage () =
+  let rs = Lazy.force parboil_results in
+  Table.print
+    ~title:
+      "Section VI-B: trace storage (control + memory traces, paper-style \
+       encoding)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "benchmark";
+        Table.column "dyn instrs";
+        Table.column "mem accesses";
+        Table.column "control KB";
+        Table.column "memory KB";
+        Table.column "packed ctl KB";
+        Table.column "packed mem KB";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.pname;
+           icell r.dyn;
+           icell r.mem_accesses;
+           icell (r.control_bytes / 1024);
+           icell (r.memory_bytes / 1024);
+           icell (r.comp_control / 1024);
+           icell (r.comp_memory / 1024);
+         ])
+       rs)
+
+(* ------------------------------------------------------------------ *)
+(* Trace-based locality characterization (extends Fig 6's story)       *)
+(* ------------------------------------------------------------------ *)
+
+let characterize () =
+  let rows =
+    List.map
+      (fun name ->
+        let inst = W.Registry.instance name in
+        let trace = W.Runner.trace inst ~ntiles:1 in
+        let a = Mosaic_trace.Analysis.whole inst.W.Runner.program trace in
+        let hit kb =
+          Printf.sprintf "%.0f%%"
+            (100.0
+            *. Mosaic_trace.Analysis.capacity_hit_rate a ~lines:(kb * 1024 / 64))
+        in
+        [
+          name;
+          fcell ~decimals:3 a.Mosaic_trace.Analysis.mem_ratio;
+          icell (a.Mosaic_trace.Analysis.footprint_lines * 64 / 1024);
+          Printf.sprintf "%.0f%%" (100.0 *. a.Mosaic_trace.Analysis.stride_regular);
+          hit 32;
+          hit 2048;
+        ])
+      W.Registry.parboil_names
+  in
+  Table.print
+    ~title:
+      "Characterization: memory intensity, footprint, stride regularity and        LRU capacity hit rates (from traces alone)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "benchmark";
+        Table.column "mem ratio";
+        Table.column "footprint KB";
+        Table.column "regular strides";
+        Table.column "hit@32KB";
+        Table.column "hit@2MB";
+      ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_section () =
+  let open Bechamel in
+  let mk_soc_bench () =
+    let inst = W.Sgemm.instance ~m:12 ~n:12 ~k:12 () in
+    let trace = W.Runner.trace inst ~ntiles:1 in
+    fun () ->
+      ignore
+        (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program
+           ~trace ~tile_config:TC.out_of_order)
+  in
+  let mk_interp_bench () =
+    let inst = W.Sgemm.instance ~m:12 ~n:12 ~k:12 () in
+    fun () -> ignore (W.Runner.trace inst ~ntiles:1)
+  in
+  let mk_hierarchy_bench () =
+    let h = Mosaic_memory.Hierarchy.create ~ntiles:1 Presets.dae_hierarchy in
+    let cycle = ref 0 in
+    fun () ->
+      for i = 0 to 99 do
+        cycle :=
+          Mosaic_memory.Hierarchy.access h ~tile:0 ~cycle:!cycle
+            ~addr:(i * 64 mod 65536) ~is_write:false
+      done
+  in
+  let mk_pqueue_bench () =
+    let q = Mosaic_util.Pqueue.create () in
+    fun () ->
+      for i = 0 to 99 do
+        Mosaic_util.Pqueue.add q ~prio:(i * 37 mod 100) i
+      done;
+      while Mosaic_util.Pqueue.pop q <> None do
+        ()
+      done
+  in
+  let tests =
+    [
+      Test.make ~name:"soc.run sgemm-12" (Staged.stage (mk_soc_bench ()));
+      Test.make ~name:"interp.trace sgemm-12" (Staged.stage (mk_interp_bench ()));
+      Test.make ~name:"hierarchy.access x100" (Staged.stage (mk_hierarchy_bench ()));
+      Test.make ~name:"pqueue add/pop x100" (Staged.stage (mk_pqueue_bench ()));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> acc)
+      results []
+  in
+  let rows =
+    List.concat_map
+      (fun t ->
+        List.map (fun (name, ns) -> [ name; fcell (ns /. 1e6) ]) (benchmark t))
+      tests
+  in
+  Table.print ~title:"Bechamel microbenchmarks (host time per run)"
+    ~columns:[ Table.column ~align:Table.Left "benchmark"; Table.column "ms/run" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices DESIGN.md calls out                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_with ?(bench = "spmv") ?hier core =
+  let inst = W.Registry.instance bench in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let cfg =
+    match hier with
+    | Some h -> Soc.with_hierarchy Presets.dae_soc h
+    | None -> Presets.dae_soc
+  in
+  (Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
+     ~tile_config:core)
+    .Soc.cycles
+
+let ablation () =
+  (* Branch policies on a loop+branch heavy kernel. *)
+  let policies =
+    [
+      ("no speculation", Mosaic_tile.Branch.No_speculation);
+      ("static", Mosaic_tile.Branch.Static { penalty = 12 });
+      ( "gshare",
+        Mosaic_tile.Branch.Dynamic
+          { kind = Mosaic_tile.Predictor.Gshare { history_bits = 8 }; penalty = 12 } );
+      ("perfect", Mosaic_tile.Branch.Perfect);
+    ]
+  in
+  Table.print ~title:"Ablation: branch speculation policy (cutcp, 1 OoO)"
+    ~columns:[ Table.column ~align:Table.Left "policy"; Table.column "cycles" ]
+    (List.map
+       (fun (name, policy) ->
+         [
+           name;
+           icell
+             (run_with ~bench:"cutcp"
+                { TC.out_of_order with TC.branch = policy; name });
+         ])
+       policies);
+  (* Instruction window. *)
+  Table.print ~title:"Ablation: instruction window (spmv, 1 OoO)"
+    ~columns:[ Table.column "window"; Table.column "cycles" ]
+    (List.map
+       (fun w ->
+         [
+           icell w;
+           icell
+             (run_with
+                { TC.out_of_order with TC.window_size = w; name = "w" });
+         ])
+       [ 16; 32; 64; 128; 256 ]);
+  (* MSHR size. *)
+  let with_mshr m =
+    let h = Presets.dae_hierarchy in
+    {
+      h with
+      Mosaic_memory.Hierarchy.l1 =
+        { h.Mosaic_memory.Hierarchy.l1 with Mosaic_memory.Cache.mshr_size = m };
+    }
+  in
+  Table.print ~title:"Ablation: L1 MSHR entries (spmv, 1 OoO)"
+    ~columns:[ Table.column "mshr"; Table.column "cycles" ]
+    (List.map
+       (fun m -> [ icell m; icell (run_with ~hier:(with_mshr m) TC.out_of_order) ])
+       [ 2; 4; 8; 16; 32 ]);
+  (* Prefetcher. *)
+  let with_pf pf =
+    let h = Presets.dae_hierarchy in
+    {
+      h with
+      Mosaic_memory.Hierarchy.l1 =
+        { h.Mosaic_memory.Hierarchy.l1 with Mosaic_memory.Cache.prefetch = pf };
+    }
+  in
+  Table.print ~title:"Ablation: L1 stream prefetcher (stencil, 1 OoO)"
+    ~columns:[ Table.column ~align:Table.Left "prefetcher"; Table.column "cycles" ]
+    [
+      [ "off"; icell (run_with ~bench:"stencil" ~hier:(with_pf None) TC.out_of_order) ];
+      [
+        "on";
+        icell
+          (run_with ~bench:"stencil"
+             ~hier:(with_pf (Some Mosaic_memory.Prefetcher.default_config))
+             TC.out_of_order);
+      ];
+    ];
+  (* Perfect memory-alias speculation. *)
+  Table.print ~title:"Ablation: perfect alias speculation (projection, 1 OoO)"
+    ~columns:[ Table.column ~align:Table.Left "alias model"; Table.column "cycles" ]
+    [
+      [ "MAO (no speculation)"; icell (run_with ~bench:"projection" TC.out_of_order) ];
+      [
+        "perfect alias";
+        icell
+          (run_with ~bench:"projection"
+             { TC.out_of_order with TC.perfect_alias = true; name = "pa" });
+      ];
+    ];
+  (* Directory coherence (extension; off in the paper). *)
+  let run_bfs4 coherence =
+    let inst = W.Bfs.instance ~n:4096 ~degree:8 () in
+    let trace = W.Runner.trace inst ~ntiles:4 in
+    let hier = { Presets.dae_hierarchy with Mosaic_memory.Hierarchy.coherence } in
+    (Soc.run_homogeneous
+       (Soc.with_hierarchy Presets.dae_soc hier)
+       ~program:inst.W.Runner.program ~trace ~tile_config:TC.out_of_order)
+      .Soc.cycles
+  in
+  Table.print
+    ~title:"Ablation: directory coherence extension (bfs, 4 OoO tiles)"
+    ~columns:[ Table.column ~align:Table.Left "coherence"; Table.column "cycles" ]
+    [
+      [ "off (paper default)"; icell (run_bfs4 None) ];
+      [
+        "directory, 20-cycle latency";
+        icell
+          (run_bfs4 (Some { Mosaic_memory.Hierarchy.directory_latency = 20 }));
+      ];
+    ];
+  (* DRAM models. *)
+  let with_dram d =
+    { Presets.dae_hierarchy with Mosaic_memory.Hierarchy.dram = d }
+  in
+  Table.print ~title:"Ablation: DRAM model (spmv, 1 OoO)"
+    ~columns:[ Table.column ~align:Table.Left "model"; Table.column "cycles" ]
+    [
+      [
+        "SimpleDRAM";
+        icell
+          (run_with
+             ~hier:(with_dram (Mosaic_memory.Hierarchy.Simple Mosaic_memory.Dram.default_simple))
+             TC.out_of_order);
+      ];
+      [
+        "detailed (banks/rows)";
+        icell
+          (run_with
+             ~hier:
+               (with_dram
+                  (Mosaic_memory.Hierarchy.Detailed Mosaic_memory.Dram.default_detailed))
+             TC.out_of_order);
+      ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("motivation", motivation);
+    ("characterize", characterize);
+    ("speed", speed);
+    ("storage", storage);
+    ("ablation", ablation);
+    ("bechamel", bechamel_section);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+          Printf.printf ">> %s\n%!" name;
+          let t0 = Sys.time () in
+          f ();
+          Printf.printf "[%s took %.1fs host time]\n\n%!" name (Sys.time () -. t0)
+      | None ->
+          Printf.eprintf "unknown section %s; available: %s\n" name
+            (String.concat " " (List.map fst sections)))
+    requested

@@ -1,0 +1,305 @@
+(* MosaicSim command-line driver: run benchmarks on configurable systems,
+   inspect IR and traces, and sweep accelerator design spaces. *)
+
+open Cmdliner
+module W = Mosaic_workloads
+module Soc = Mosaic.Soc
+module Presets = Mosaic.Presets
+module Tile_config = Mosaic_tile.Tile_config
+module Table = Mosaic_util.Table
+
+let benchmark_arg =
+  let doc = "Benchmark name (see the list command)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let tiles_arg =
+  let doc = "Number of SPMD tiles." in
+  Arg.(value & opt int 1 & info [ "tiles"; "t" ] ~docv:"N" ~doc)
+
+let core_arg =
+  let doc = "Core model: ooo or ino." in
+  Arg.(value & opt string "ooo" & info [ "core"; "c" ] ~docv:"CORE" ~doc)
+
+let system_arg =
+  let doc = "System preset: xeon (Table I) or dae (Table II)." in
+  Arg.(value & opt string "xeon" & info [ "system"; "s" ] ~docv:"SYS" ~doc)
+
+let core_of_string = function
+  | "ooo" -> Tile_config.out_of_order
+  | "ino" -> Tile_config.in_order
+  | s -> failwith (Printf.sprintf "unknown core model %s (ooo|ino)" s)
+
+let system_of_string = function
+  | "xeon" -> Presets.xeon_soc
+  | "dae" -> Presets.dae_soc
+  | s -> failwith (Printf.sprintf "unknown system preset %s (xeon|dae)" s)
+
+let list_cmd =
+  let run () =
+    print_endline "Benchmarks:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) W.Registry.all_names;
+    print_endline "DNN case studies (use dnn command):";
+    List.iter (fun m -> Printf.printf "  %s\n" (W.Dnn.name m)) W.Dnn.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available benchmarks")
+    Term.(const run $ const ())
+
+let print_result name (r : Soc.result) =
+  Printf.printf "results: %s\n%s\n" name (Mosaic.Report.full r)
+
+let run_cmd =
+  let run bench tiles core system =
+    let inst = W.Registry.instance bench in
+    let trace = W.Runner.trace inst ~ntiles:tiles in
+    let cfg = system_of_string system in
+    let r =
+      Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
+        ~tile_config:(core_of_string core)
+    in
+    print_result bench r
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a benchmark on a simulated system")
+    Term.(const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg)
+
+let dump_cmd =
+  let run bench =
+    let inst = W.Registry.instance bench in
+    Format.printf "%a@." Mosaic_ir.Pretty.pp_program inst.W.Runner.program
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Dump a benchmark's IR")
+    Term.(const run $ benchmark_arg)
+
+let trace_stats_cmd =
+  let run bench tiles =
+    let inst = W.Registry.instance bench in
+    let trace = W.Runner.trace inst ~ntiles:tiles in
+    let control, memory = Mosaic_trace.Trace.storage_bytes trace in
+    Table.print ~title:(Printf.sprintf "trace: %s" bench)
+      ~columns:[ Table.column ~align:Table.Left "metric"; Table.column "value" ]
+      [
+        [ "dynamic instructions"; Table.icell (Mosaic_trace.Trace.total_dyn_instrs trace) ];
+        [ "memory accesses"; Table.icell (Mosaic_trace.Trace.total_mem_accesses trace) ];
+        [ "control trace (bytes)"; Table.icell control ];
+        [ "memory trace (bytes)"; Table.icell memory ];
+      ]
+  in
+  Cmd.v
+    (Cmd.info "trace-stats" ~doc:"Generate and measure a benchmark's traces")
+    Term.(const run $ benchmark_arg $ tiles_arg)
+
+let dse_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"KIND" ~doc:"Accelerator kind: gemm, histo, elementwise")
+  in
+  let run kind =
+    let points =
+      Mosaic_accel.Dse.sweep ~kind
+        ~plm_sizes:Mosaic_accel.Dse.paper_plm_sizes
+        ~workload_bytes:Mosaic_accel.Dse.paper_workload_bytes
+        Mosaic_accel.Accel_model.default_sys
+    in
+    let rows =
+      List.map
+        (fun (p : Mosaic_accel.Dse.point) ->
+          [
+            Printf.sprintf "%dKB" (p.Mosaic_accel.Dse.plm_bytes / 1024);
+            Printf.sprintf "%dKB" (p.Mosaic_accel.Dse.workload_bytes / 1024);
+            Table.icell p.Mosaic_accel.Dse.model_cycles;
+            Table.icell p.Mosaic_accel.Dse.rtl_cycles;
+            Table.icell p.Mosaic_accel.Dse.fpga_cycles;
+            Printf.sprintf "%.0f" p.Mosaic_accel.Dse.area_um2;
+          ])
+        points
+    in
+    Table.print ~title:(Printf.sprintf "DSE: %s" kind)
+      ~columns:
+        [
+          Table.column "PLM";
+          Table.column "workload";
+          Table.column "model cyc";
+          Table.column "rtl cyc";
+          Table.column "fpga cyc";
+          Table.column "area um2";
+        ]
+      rows
+  in
+  Cmd.v
+    (Cmd.info "dse" ~doc:"Accelerator design-space exploration sweep")
+    Term.(const run $ kind_arg)
+
+let dnn_cmd =
+  let model_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"MODEL" ~doc:"DNN model: convnet, graphsage, recsys")
+  in
+  let accel_arg =
+    Arg.(value & flag & info [ "accel" ] ~doc:"Use the accelerator SoC")
+  in
+  let run model accel =
+    let m =
+      match model with
+      | "convnet" -> W.Dnn.Convnet
+      | "graphsage" -> W.Dnn.Graphsage
+      | "recsys" -> W.Dnn.Recsys
+      | s -> failwith (Printf.sprintf "unknown model %s" s)
+    in
+    let inst = W.Dnn.instance m ~accel in
+    let trace = W.Runner.trace inst ~ntiles:1 in
+    let r =
+      Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
+        ~tile_config:Tile_config.out_of_order
+    in
+    print_result inst.W.Runner.name r
+  in
+  Cmd.v
+    (Cmd.info "dnn" ~doc:"Run a Keras TensorFlow case-study model")
+    Term.(const run $ model_arg $ accel_arg)
+
+let characterize_cmd =
+  let run bench tiles =
+    let inst = W.Registry.instance bench in
+    let trace = W.Runner.trace inst ~ntiles:tiles in
+    let a = Mosaic_trace.Analysis.whole inst.W.Runner.program trace in
+    Format.printf "characterization: %s@.%a@." bench Mosaic_trace.Analysis.pp a;
+    List.iter
+      (fun kb ->
+        Printf.printf "LRU hit rate at %4d KB: %.1f%%\n" kb
+          (100.0
+          *. Mosaic_trace.Analysis.capacity_hit_rate a ~lines:(kb * 1024 / 64)))
+      [ 16; 32; 256; 2048; 20480 ]
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Locality and instruction-mix characterization from traces")
+    Term.(const run $ benchmark_arg $ tiles_arg)
+
+let asm_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Textual IR file (see the dump command)")
+  in
+  let run file tiles core system =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let prog = Mosaic_ir.Parse.program text in
+    let kernel =
+      match Mosaic_ir.Program.funcs prog with
+      | f :: _ -> f.Mosaic_ir.Func.name
+      | [] -> failwith "no kernel in file"
+    in
+    let nparams = (Mosaic_ir.Program.func_exn prog kernel).Mosaic_ir.Func.nparams in
+    if nparams > 0 then
+      failwith "asm run supports parameterless kernels; bake sizes into the IR";
+    let it = Mosaic_trace.Interp.create prog ~kernel ~ntiles:tiles ~args:[] in
+    let trace = Mosaic_trace.Interp.run it in
+    let r =
+      Soc.run_homogeneous (system_of_string system) ~program:prog ~trace
+        ~tile_config:(core_of_string core)
+    in
+    print_result (Filename.basename file) r
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Assemble and simulate a textual IR file")
+    Term.(const run $ file_arg $ tiles_arg $ core_arg $ system_arg)
+
+let cc_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"MiniC source file (see lib/frontend)")
+  in
+  let kernel_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel"; "k" ] ~docv:"NAME" ~doc:"Kernel to run (default: first)")
+  in
+  let args_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "args" ] ~docv:"N,N,..." ~doc:"Integer kernel arguments")
+  in
+  let run file kernel kargs tiles core system =
+    let prog = Mosaic_frontend.Minic.compile_file file in
+    let kernel =
+      match kernel with
+      | Some k -> k
+      | None -> (
+          match Mosaic_ir.Program.funcs prog with
+          | f :: _ -> f.Mosaic_ir.Func.name
+          | [] -> failwith "no kernel in file")
+    in
+    let args = List.map Mosaic_ir.Value.of_int kargs in
+    let it = Mosaic_trace.Interp.create prog ~kernel ~ntiles:tiles ~args in
+    let trace = Mosaic_trace.Interp.run it in
+    let r =
+      Soc.run_homogeneous (system_of_string system) ~program:prog ~trace
+        ~tile_config:(core_of_string core)
+    in
+    print_result (Filename.basename file) r
+  in
+  Cmd.v
+    (Cmd.info "cc"
+       ~doc:"Compile a MiniC source file and simulate its kernel")
+    Term.(
+      const run $ file_arg $ kernel_arg $ args_arg $ tiles_arg $ core_arg
+      $ system_arg)
+
+let dae_cmd =
+  let run bench pairs =
+    let inst, info =
+      match bench with
+      | "ewsd" -> W.Ewsd.dae_instance ~rows:2048 ~cols:2048 ~per_row:16 ()
+      | "projection" ->
+          W.Projection.dae_instance ~n_left:512 ~n_right:1024 ~degree:8 ()
+      | "sgemm" -> W.Sgemm.dae_instance ~m:48 ~n:48 ~k:48 ()
+      | s -> failwith (Printf.sprintf "no DAE variant for %s" s)
+    in
+    Printf.printf
+      "slicing: %d terminal loads, %d routed stores, %d duplicated\n"
+      info.Mosaic_compiler.Dae.sent_loads info.Mosaic_compiler.Dae.routed_stores
+      info.Mosaic_compiler.Dae.duplicated;
+    let access = inst.W.Runner.kernel ^ "_access"
+    and execute = inst.W.Runner.kernel ^ "_execute" in
+    let spec =
+      Array.init (2 * pairs) (fun i ->
+          ((if i < pairs then access else execute), inst.W.Runner.args))
+    in
+    let trace = W.Runner.trace_hetero inst ~tiles:spec in
+    let tiles =
+      Array.init (2 * pairs) (fun i ->
+          {
+            Soc.kernel = (if i < pairs then access else execute);
+            tile_config = Tile_config.in_order;
+          })
+    in
+    let r =
+      Soc.run Presets.dae_soc ~program:inst.W.Runner.program ~trace ~tiles
+    in
+    print_result (bench ^ "-dae") r
+  in
+  let pairs_arg =
+    Arg.(value & opt int 1 & info [ "pairs"; "p" ] ~docv:"N" ~doc:"DAE pairs")
+  in
+  Cmd.v
+    (Cmd.info "dae" ~doc:"Slice a kernel into DAE halves and simulate pairs")
+    Term.(const run $ benchmark_arg $ pairs_arg)
+
+let main =
+  let doc = "MosaicSim: lightweight modular simulation of heterogeneous systems" in
+  Cmd.group (Cmd.info "mosaicsim" ~version:"0.1.0" ~doc)
+    [
+      list_cmd; run_cmd; dump_cmd; trace_stats_cmd; dse_cmd; dnn_cmd; asm_cmd;
+      cc_cmd; dae_cmd; characterize_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

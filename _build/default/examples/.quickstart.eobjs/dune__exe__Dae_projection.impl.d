@@ -1,0 +1,1 @@
+examples/dae_projection.ml: Mosaic Mosaic_compiler Mosaic_tile Mosaic_workloads Printf

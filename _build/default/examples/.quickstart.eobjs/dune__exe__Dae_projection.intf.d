@@ -1,0 +1,1 @@
+examples/dae_projection.mli:

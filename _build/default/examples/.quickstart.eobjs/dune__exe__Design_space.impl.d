@@ -1,0 +1,1 @@
+examples/design_space.ml: List Mosaic_accel Printf

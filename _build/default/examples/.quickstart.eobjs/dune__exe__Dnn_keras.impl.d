@@ -1,0 +1,1 @@
+examples/dnn_keras.ml: List Mosaic Mosaic_tile Mosaic_workloads Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Format Mosaic Mosaic_ir Mosaic_tile Mosaic_trace Op Pretty Printf Program Validate Value

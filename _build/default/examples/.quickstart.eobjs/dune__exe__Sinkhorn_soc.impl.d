@@ -1,0 +1,1 @@
+examples/sinkhorn_soc.ml: Array List Mosaic Mosaic_tile Mosaic_workloads Printf

@@ -1,0 +1,1 @@
+examples/sinkhorn_soc.mli:

@@ -1,0 +1,60 @@
+(* Decoupled Access/Execute on the bipartite graph-projection kernel —
+   the heterogeneous-parallelism case study of the paper's §VII-A.
+
+   The DAE compiler pass slices the kernel into an access slice (addresses,
+   loads/stores, control) and an execute slice (value computation); pairs of
+   in-order cores run the slices concurrently, the access core acting as a
+   non-speculative "perfect prefetcher" for its partner.
+
+   Run with: dune exec examples/dae_projection.exe *)
+
+module W = Mosaic_workloads
+module Dae = Mosaic_compiler.Dae
+module Soc = Mosaic.Soc
+module Tile_config = Mosaic_tile.Tile_config
+
+let n_left = 384
+let n_right = 1024
+let degree = 8
+
+let () =
+  (* Slice the kernel and look at what the compiler did. *)
+  let inst, info = W.Projection.dae_instance ~n_left ~n_right ~degree () in
+  Printf.printf
+    "DAE slicing: %d loads forwarded to execute, %d stored values routed \
+     back, %d pure instructions duplicated into both slices\n"
+    info.Dae.sent_loads info.Dae.routed_stores info.Dae.duplicated;
+
+  (* Baseline: one in-order core runs the original kernel. *)
+  let trace1 = W.Runner.trace inst ~ntiles:1 in
+  let base =
+    Soc.run_homogeneous Mosaic.Presets.dae_soc ~program:inst.W.Runner.program
+      ~trace:trace1 ~tile_config:Tile_config.in_order
+  in
+  Printf.printf "1 in-order core:      %9d cycles\n" base.Soc.cycles;
+
+  (* One DAE pair: tile 0 = access slice, tile 1 = execute slice. *)
+  let tiles_spec =
+    [|
+      ("projection_access", inst.W.Runner.args);
+      ("projection_execute", inst.W.Runner.args);
+    |]
+  in
+  let trace2 = W.Runner.trace_hetero inst ~tiles:tiles_spec in
+  let r =
+    Soc.run Mosaic.Presets.dae_soc ~program:inst.W.Runner.program ~trace:trace2
+      ~tiles:
+        [|
+          { Soc.kernel = "projection_access"; tile_config = Tile_config.in_order };
+          { Soc.kernel = "projection_execute"; tile_config = Tile_config.in_order };
+        |]
+  in
+  Printf.printf "1 DAE pair (2 cores): %9d cycles  -> %.2fx speedup\n"
+    r.Soc.cycles
+    (float_of_int base.Soc.cycles /. float_of_int r.Soc.cycles);
+  Printf.printf
+    "messages through the Interleaver: %d sends, %d receives, %d stalls on \
+     full buffers\n"
+    r.Soc.interleaver.Mosaic.Interleaver.sends
+    r.Soc.interleaver.Mosaic.Interleaver.recvs
+    r.Soc.interleaver.Mosaic.Interleaver.send_stalls

@@ -1,0 +1,30 @@
+(* Accelerator design-space exploration (§IV, Fig 10): sweep PLM sizes
+   against workload sizes for the three fixed-function accelerators and
+   validate the analytic model against the RTL-simulation and FPGA goldens.
+
+   Run with: dune exec examples/design_space.exe *)
+
+module Dse = Mosaic_accel.Dse
+module Model = Mosaic_accel.Accel_model
+
+let () =
+  List.iter
+    (fun kind ->
+      Printf.printf "== %s ==\n" kind;
+      Printf.printf "%8s %10s %12s %12s %10s\n" "PLM" "workload" "model cyc"
+        "area um2" "power W";
+      let points =
+        Dse.sweep ~kind ~plm_sizes:Dse.paper_plm_sizes
+          ~workload_bytes:Dse.paper_workload_bytes Model.default_sys
+      in
+      List.iter
+        (fun (p : Dse.point) ->
+          Printf.printf "%6dKB %8dKB %12d %12.0f %10.3f\n"
+            (p.Dse.plm_bytes / 1024)
+            (p.Dse.workload_bytes / 1024)
+            p.Dse.model_cycles p.Dse.area_um2 p.Dse.avg_power_w)
+        points;
+      let vs_rtl, vs_fpga = Dse.mean_accuracy points in
+      Printf.printf "model accuracy: %.1f%% vs RTL sim, %.1f%% vs FPGA\n\n"
+        (100.0 *. vs_rtl) (100.0 *. vs_fpga))
+    [ "gemm"; "histo"; "elementwise" ]

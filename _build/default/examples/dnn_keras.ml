@@ -1,0 +1,33 @@
+(* Keras TensorFlow performance modeling (§VII-C): lower three DNN training
+   workloads through the Keras-layer mapping and compare an out-of-order
+   server core against an accelerator-rich SoC in energy-delay product.
+
+   Run with: dune exec examples/dnn_keras.exe *)
+
+module W = Mosaic_workloads
+module Soc = Mosaic.Soc
+module Tile_config = Mosaic_tile.Tile_config
+
+let edp model ~accel =
+  let inst = W.Dnn.instance model ~accel in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let r =
+    Soc.run_homogeneous Mosaic.Presets.dae_soc ~program:inst.W.Runner.program
+      ~trace ~tile_config:Tile_config.out_of_order
+  in
+  (r.Soc.edp, r.Soc.cycles)
+
+let () =
+  Printf.printf "%-10s %14s %14s %18s\n" "model" "OoO cycles" "SoC cycles"
+    "EDP improvement";
+  List.iter
+    (fun model ->
+      let edp_cpu, cyc_cpu = edp model ~accel:false in
+      let edp_soc, cyc_soc = edp model ~accel:true in
+      Printf.printf "%-10s %14d %14d %17.1fx\n" (W.Dnn.name model) cyc_cpu
+        cyc_soc (edp_cpu /. edp_soc))
+    W.Dnn.all;
+  print_endline
+    "\nConvNet improves least (convolution backprop has no accelerator), \
+     GraphSage is limited by its random-walk + embedding stages, RecSys is \
+     fully accelerated."

@@ -1,0 +1,1 @@
+lib/accel/accel_kinds.ml: Accel_model Array Mosaic_ir Mosaic_trace Printf Stdlib Value

@@ -1,0 +1,1 @@
+lib/accel/accel_kinds.mli: Accel_model Mosaic_ir Mosaic_trace

@@ -1,0 +1,1 @@
+lib/accel/accel_rtl.ml: Accel_model Array Float Stdlib

@@ -1,0 +1,1 @@
+lib/accel/accel_rtl.mli: Accel_model

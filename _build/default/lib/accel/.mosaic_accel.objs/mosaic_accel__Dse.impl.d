@@ -1,0 +1,1 @@
+lib/accel/dse.ml: Accel_model Accel_rtl Float List Mosaic_util Printf Stdlib

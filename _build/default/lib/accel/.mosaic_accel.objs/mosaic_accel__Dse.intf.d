@@ -1,0 +1,1 @@
+lib/accel/dse.mli: Accel_model

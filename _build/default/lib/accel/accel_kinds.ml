@@ -1,0 +1,107 @@
+open Mosaic_ir
+module Interp = Mosaic_trace.Interp
+
+let elem = 4 (* f32 data *)
+
+let p params i =
+  if i >= Array.length params then
+    invalid_arg "Accel_kinds: missing parameter";
+  Value.to_int params.(i)
+
+let workload kind params =
+  let open Accel_model in
+  match kind with
+  | "gemm" ->
+      let m = p params 0 and n = p params 1 and k = p params 2 in
+      {
+        ops = m * n * k;
+        bytes_in = elem * ((m * k) + (k * n));
+        bytes_out = elem * m * n;
+      }
+  | "histo" ->
+      let n = p params 0 and bins = p params 1 in
+      { ops = n; bytes_in = elem * n; bytes_out = elem * bins }
+  | "elementwise" ->
+      let n = p params 0 in
+      { ops = n; bytes_in = 2 * elem * n; bytes_out = elem * n }
+  | "conv" ->
+      let cin = p params 0
+      and cout = p params 1
+      and h = p params 2
+      and w = p params 3
+      and k = p params 4 in
+      {
+        ops = h * w * cout * cin * k * k;
+        bytes_in = elem * ((h * w * cin) + (cout * cin * k * k));
+        bytes_out = elem * h * w * cout;
+      }
+  | "dense" ->
+      let nin = p params 0 and nout = p params 1 in
+      {
+        ops = nin * nout;
+        bytes_in = elem * (nin + (nin * nout));
+        bytes_out = elem * nout;
+      }
+  | "relu" ->
+      let n = p params 0 in
+      { ops = n; bytes_in = elem * n; bytes_out = elem * n }
+  | "batchnorm" ->
+      let n = p params 0 in
+      { ops = 4 * n; bytes_in = elem * n; bytes_out = elem * n }
+  | "pool" ->
+      let c = p params 0 and h = p params 1 and w = p params 2 in
+      let pwin = p params 3 in
+      {
+        ops = c * h * w;
+        bytes_in = elem * c * h * w;
+        bytes_out = elem * c * h * w / Stdlib.max 1 (pwin * pwin);
+      }
+  | _ -> invalid_arg (Printf.sprintf "Accel_kinds.workload: unknown %s" kind)
+
+let known_kinds =
+  [ "gemm"; "histo"; "elementwise"; "conv"; "dense"; "relu"; "batchnorm"; "pool" ]
+
+let fget it addr = Value.to_float (Interp.peek it addr)
+
+(* Functional behaviour only runs when the invocation carries the array
+   base addresses; size-only invocations (timing studies) are no-ops. *)
+let register_functional it =
+  Interp.register_accel it "gemm" (fun it params ->
+      if Array.length params >= 6 then begin
+      let m = p params 0 and n = p params 1 and k = p params 2 in
+      let a = p params 3 and b = p params 4 and c = p params 5 in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref (fget it (c + (elem * ((i * n) + j)))) in
+          for kk = 0 to k - 1 do
+            acc :=
+              !acc
+              +. fget it (a + (elem * ((i * k) + kk)))
+                 *. fget it (b + (elem * ((kk * n) + j)))
+          done;
+          Interp.poke it (c + (elem * ((i * n) + j))) (Value.of_float !acc)
+        done
+      done
+      end);
+  Interp.register_accel it "histo" (fun it params ->
+      if Array.length params >= 4 then begin
+      let n = p params 0 and bins = p params 1 in
+      let src = p params 2 and hist = p params 3 in
+      for i = 0 to n - 1 do
+        let v = Value.to_int (Interp.peek it (src + (elem * i))) in
+        let bin = Stdlib.max 0 (Stdlib.min (bins - 1) v) in
+        let addr = hist + (elem * bin) in
+        let count = Value.to_int (Interp.peek it addr) in
+        (* Saturating histogram, as in the paper's accelerator. *)
+        if count < 255 then Interp.poke it addr (Value.of_int (count + 1))
+      done
+      end);
+  Interp.register_accel it "elementwise" (fun it params ->
+      if Array.length params >= 4 then begin
+      let n = p params 0 in
+      let a = p params 1 and b = p params 2 and c = p params 3 in
+      for i = 0 to n - 1 do
+        let x = fget it (a + (elem * i)) and y = fget it (b + (elem * i)) in
+        Interp.poke it (c + (elem * i)) (Value.of_float (x +. y))
+      done
+      end)

@@ -1,0 +1,27 @@
+(** Registry of fixed-function accelerator kinds.
+
+    Each kind maps the parameters of an [Accel] IR instruction to the
+    resource demands of the generic model, and (for the kinds used by
+    numerically-checked examples) provides the functional behaviour the
+    interpreter executes so programs stay correct when work is off-loaded.
+
+    Parameter conventions (sizes first, then array base addresses where the
+    functional behaviour needs them):
+    - ["gemm"]: m, n, k, \[a, b, c\] — C(mxn) += A(mxk) * B(kxn), f32
+    - ["histo"]: n, bins, \[src, hist\] — saturating histogram
+    - ["elementwise"]: n, \[a, b, c\] — c\[i\] = a\[i\] + b\[i\]
+    - ["conv"]: cin, cout, h, w, k — 2D convolution (timing only)
+    - ["dense"]: nin, nout — fully connected layer (timing only)
+    - ["relu"], ["batchnorm"]: n — element-wise activations (timing only)
+    - ["pool"]: c, h, w, p — pooling (timing only) *)
+
+(** [workload kind params] is the generic-model demand of one invocation.
+    Raises [Invalid_argument] for unknown kinds or missing parameters. *)
+val workload :
+  string -> Mosaic_ir.Value.t array -> Accel_model.workload
+
+val known_kinds : string list
+
+(** Register functional behaviour for ["gemm"], ["histo"] and
+    ["elementwise"] on an interpreter instance. *)
+val register_functional : Mosaic_trace.Interp.t -> unit

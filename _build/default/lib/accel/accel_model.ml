@@ -1,0 +1,76 @@
+type sys_params = {
+  freq_ghz : float;
+  mem_bw_bytes_per_cycle : float;
+  noc_hops : int;
+  noc_hop_latency : int;
+  invocation_overhead : int;
+}
+
+let default_sys =
+  {
+    freq_ghz = 2.0;
+    mem_bw_bytes_per_cycle = 12.0;
+    noc_hops = 2;
+    noc_hop_latency = 4;
+    invocation_overhead = 2000;
+  }
+
+type design_point = { plm_bytes : int; par_lanes : int }
+
+type workload = { ops : int; bytes_in : int; bytes_out : int }
+
+type estimate = {
+  cycles : int;
+  bytes : int;
+  avg_power_w : float;
+  energy_j : float;
+}
+
+let chunks dp w =
+  if dp.plm_bytes <= 0 then invalid_arg "Accel_model: plm_bytes";
+  let chunk = Stdlib.max 1 (dp.plm_bytes / 2) in
+  Stdlib.max 1 ((w.bytes_in + chunk - 1) / chunk)
+
+let power_w dp =
+  (* Control plus datapath plus SRAM leakage+dynamic; ballpark 22nm ASIC
+     (a few pJ per MAC). *)
+  0.003
+  +. (0.0008 *. float_of_int dp.par_lanes)
+  +. (0.06e-6 *. float_of_int dp.plm_bytes)
+
+let area_um2 dp =
+  (* ~0.9 um^2 per PLM byte (6T SRAM + periphery), ~3500 um^2 per lane. *)
+  60_000.0
+  +. (0.9 *. float_of_int dp.plm_bytes)
+  +. (3_500.0 *. float_of_int dp.par_lanes)
+
+let estimate sys dp w =
+  if w.bytes_in <= 0 && w.ops <= 0 then
+    invalid_arg "Accel_model.estimate: empty workload";
+  if dp.par_lanes <= 0 then invalid_arg "Accel_model.estimate: par_lanes";
+  if sys.mem_bw_bytes_per_cycle <= 0.0 then
+    invalid_arg "Accel_model.estimate: bandwidth";
+  let n = chunks dp w in
+  let fn = float_of_int n in
+  let noc = float_of_int (sys.noc_hops * sys.noc_hop_latency) in
+  let t_load = (float_of_int w.bytes_in /. fn /. sys.mem_bw_bytes_per_cycle) +. noc in
+  let t_store =
+    if w.bytes_out = 0 then 0.0
+    else (float_of_int w.bytes_out /. fn /. sys.mem_bw_bytes_per_cycle) +. noc
+  in
+  let t_compute = float_of_int w.ops /. fn /. float_of_int dp.par_lanes in
+  let stage = Stdlib.max t_load (Stdlib.max t_compute t_store) in
+  let total =
+    t_load +. t_compute +. t_store
+    +. ((fn -. 1.0) *. stage)
+    +. float_of_int sys.invocation_overhead
+  in
+  let cycles = int_of_float (Float.ceil total) in
+  let avg_power_w = power_w dp in
+  let seconds = float_of_int cycles /. (sys.freq_ghz *. 1e9) in
+  {
+    cycles;
+    bytes = w.bytes_in + w.bytes_out;
+    avg_power_w;
+    energy_j = avg_power_w *. seconds;
+  }

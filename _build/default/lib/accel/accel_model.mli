@@ -1,0 +1,55 @@
+(** Generic analytic performance model for loosely-coupled, fixed-function
+    accelerators (§IV-B).
+
+    An accelerator is abstracted as concurrent load / compute / store
+    processes pipelined over a double-buffered private local memory (PLM):
+    input is consumed in PLM-sized chunks, computation overlaps DMA, and a
+    maximum memory bandwidth scales execution when instances run in
+    parallel. The model is closed-form — invoking it costs nearly no
+    simulation time (the paper's "several orders of magnitude faster than
+    RTL simulation"). *)
+
+type sys_params = {
+  freq_ghz : float;
+  mem_bw_bytes_per_cycle : float;
+      (** memory bandwidth available to this invocation *)
+  noc_hops : int;  (** average hops between accelerator and memory *)
+  noc_hop_latency : int;
+  invocation_overhead : int;  (** device-driver cost in cycles *)
+}
+
+val default_sys : sys_params
+
+type design_point = {
+  plm_bytes : int;  (** private local memory (total, double-buffered) *)
+  par_lanes : int;  (** compute parallelism from HLS knobs *)
+}
+
+(** The workload of one invocation, already reduced to its resource
+    demands by {!Accel_kinds}. *)
+type workload = {
+  ops : int;  (** total compute operations *)
+  bytes_in : int;
+  bytes_out : int;
+}
+
+type estimate = {
+  cycles : int;
+  bytes : int;  (** total memory traffic *)
+  avg_power_w : float;
+  energy_j : float;
+}
+
+(** Closed-form pipelined estimate. Raises [Invalid_argument] on empty
+    workloads or non-positive design parameters. *)
+val estimate : sys_params -> design_point -> workload -> estimate
+
+(** Area of a design point (µm²): PLM SRAM plus datapath lanes plus fixed
+    control. *)
+val area_um2 : design_point -> float
+
+(** Average power (W) of a design point while active. *)
+val power_w : design_point -> float
+
+(** Number of PLM-sized chunks the input is streamed in. *)
+val chunks : design_point -> workload -> int

@@ -1,0 +1,64 @@
+open Accel_model
+
+(* Distribute [total] across [n] chunks proportionally to chunk byte sizes,
+   assigning the remainder to the final chunk. *)
+let split_proportional total sizes total_bytes =
+  let n = Array.length sizes in
+  let out = Array.make n 0 in
+  let assigned = ref 0 in
+  for i = 0 to n - 2 do
+    out.(i) <- total * sizes.(i) / Stdlib.max 1 total_bytes;
+    assigned := !assigned + out.(i)
+  done;
+  out.(n - 1) <- total - !assigned;
+  out
+
+let pipeline_cycles sys dp w ~bw ~noc_hop_latency =
+  let chunk = Stdlib.max 1 (dp.plm_bytes / 2) in
+  let n = Stdlib.max 1 ((w.bytes_in + chunk - 1) / chunk) in
+  let sizes =
+    Array.init n (fun i ->
+        if i < n - 1 then chunk
+        else Stdlib.max 1 (w.bytes_in - (chunk * (n - 1))))
+  in
+  let ops = split_proportional w.ops sizes w.bytes_in in
+  let outs = split_proportional w.bytes_out sizes w.bytes_in in
+  let noc = sys.noc_hops * noc_hop_latency in
+  let burst bytes =
+    if bytes <= 0 then 0
+    else int_of_float (Float.ceil (float_of_int bytes /. bw)) + noc
+  in
+  let lf = Array.make n 0 and cf = Array.make n 0 and sf = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let load_start =
+      (* Double buffering: the slot for chunk i frees when chunk i-2 has
+         been consumed by compute. *)
+      Stdlib.max
+        (if i > 0 then lf.(i - 1) else 0)
+        (if i > 1 then cf.(i - 2) else 0)
+    in
+    lf.(i) <- load_start + burst sizes.(i);
+    let comp_start = Stdlib.max lf.(i) (if i > 0 then cf.(i - 1) else 0) in
+    cf.(i) <-
+      comp_start
+      + int_of_float
+          (Float.ceil (float_of_int ops.(i) /. float_of_int dp.par_lanes));
+    let store_start = Stdlib.max cf.(i) (if i > 0 then sf.(i - 1) else 0) in
+    sf.(i) <- store_start + burst outs.(i)
+  done;
+  (* Configuration/flush of the accelerator datapath. *)
+  64 + sf.(n - 1)
+
+let rtl_cycles sys dp w =
+  pipeline_cycles sys dp w ~bw:sys.mem_bw_bytes_per_cycle
+    ~noc_hop_latency:sys.noc_hop_latency
+
+let fpga_cycles sys dp w =
+  (* Full-system effects: shared-interconnect contention trims effective
+     DMA bandwidth, NoC traversals are longer, and the Linux driver
+     invocation costs a fixed overhead (measured below 1% for the paper's
+     workloads, which this reproduces for realistic sizes). *)
+  let contended_bw = sys.mem_bw_bytes_per_cycle *. 0.90 in
+  pipeline_cycles sys dp w ~bw:contended_bw
+    ~noc_hop_latency:(sys.noc_hop_latency * 2)
+  + (2 * sys.invocation_overhead)

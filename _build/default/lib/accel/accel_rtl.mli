@@ -1,0 +1,22 @@
+(** Cycle-level golden references for accelerator validation (§VI-A,
+    Fig 10d).
+
+    [rtl_cycles] simulates the load → compute → store pipeline chunk by
+    chunk over the double-buffered PLM, with integer burst timing, pipeline
+    fill/drain and remainder chunks — the stand-in for SystemC/RTL
+    simulation of the HLS-generated design. [fpga_cycles] adds the effects
+    full-system FPGA emulation sees on top: Linux driver invocation overhead
+    and shared-interconnect contention on DMA. The analytic model is
+    validated against both. *)
+
+val rtl_cycles :
+  Accel_model.sys_params ->
+  Accel_model.design_point ->
+  Accel_model.workload ->
+  int
+
+val fpga_cycles :
+  Accel_model.sys_params ->
+  Accel_model.design_point ->
+  Accel_model.workload ->
+  int

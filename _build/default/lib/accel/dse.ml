@@ -1,0 +1,87 @@
+type point = {
+  kind : string;
+  plm_bytes : int;
+  workload_bytes : int;
+  model_cycles : int;
+  rtl_cycles : int;
+  fpga_cycles : int;
+  area_um2 : float;
+  avg_power_w : float;
+}
+
+let accuracy ~model ~golden =
+  if model <= 0 || golden <= 0 then invalid_arg "Dse.accuracy";
+  let a = float_of_int model and b = float_of_int golden in
+  Stdlib.min a b /. Stdlib.max a b
+
+let lanes_of_kind = function
+  | "gemm" -> 64
+  | "histo" -> 4
+  | "elementwise" -> 8
+  | _ -> 8
+
+(* Derive a workload whose input footprint is [footprint] bytes. For GEMM
+   the memory traffic depends on the blocking the PLM allows: tiles of
+   dimension T (two T x T f32 operands per half-PLM) mean each input matrix
+   is streamed n/T times. *)
+let workload_for ~kind ~plm ~footprint =
+  let open Accel_model in
+  match kind with
+  | "gemm" ->
+      let n =
+        int_of_float (Float.sqrt (float_of_int footprint /. 8.0))
+      in
+      let n = Stdlib.max 8 n in
+      let tile =
+        Stdlib.max 4 (int_of_float (Float.sqrt (float_of_int plm /. 16.0)))
+      in
+      let passes = Stdlib.max 1 ((n + tile - 1) / tile) in
+      {
+        ops = n * n * n;
+        bytes_in = 8 * n * n * passes;
+        bytes_out = 4 * n * n;
+      }
+  | "histo" ->
+      let n = Stdlib.max 64 (footprint / 4) in
+      { ops = n; bytes_in = 4 * n; bytes_out = 4 * 256 }
+  | "elementwise" ->
+      let n = Stdlib.max 64 (footprint / 8) in
+      { ops = n; bytes_in = 8 * n; bytes_out = 4 * n }
+  | _ -> invalid_arg (Printf.sprintf "Dse.workload_for: unknown %s" kind)
+
+let sweep ~kind ~plm_sizes ~workload_bytes sys =
+  List.concat_map
+    (fun plm ->
+      List.map
+        (fun footprint ->
+          let dp =
+            { Accel_model.plm_bytes = plm; par_lanes = lanes_of_kind kind }
+          in
+          let w = workload_for ~kind ~plm ~footprint in
+          let est = Accel_model.estimate sys dp w in
+          {
+            kind;
+            plm_bytes = plm;
+            workload_bytes = footprint;
+            model_cycles = est.Accel_model.cycles;
+            rtl_cycles = Accel_rtl.rtl_cycles sys dp w;
+            fpga_cycles = Accel_rtl.fpga_cycles sys dp w;
+            area_um2 = Accel_model.area_um2 dp;
+            avg_power_w = est.Accel_model.avg_power_w;
+          })
+        workload_bytes)
+    plm_sizes
+
+let mean_accuracy points =
+  let accs golden_of =
+    Mosaic_util.Stats.mean
+      (List.map
+         (fun pt -> accuracy ~model:pt.model_cycles ~golden:(golden_of pt))
+         points)
+  in
+  (accs (fun pt -> pt.rtl_cycles), accs (fun pt -> pt.fpga_cycles))
+
+let paper_plm_sizes = [ 4 * 1024; 16 * 1024; 64 * 1024; 256 * 1024 ]
+
+let paper_workload_bytes =
+  [ 256 * 1024; 1024 * 1024; 4 * 1024 * 1024; 16 * 1024 * 1024 ]

@@ -1,0 +1,40 @@
+(** Design-space exploration driver (§IV-B, Fig 10).
+
+    HLS lets one SystemC specification yield many RTL design points; this
+    sweeps PLM sizes against workload sizes for an accelerator kind and
+    reports execution time, area, and the analytic model's accuracy against
+    the RTL-simulation and FPGA-emulation goldens. *)
+
+type point = {
+  kind : string;
+  plm_bytes : int;
+  workload_bytes : int;  (** total input footprint of the swept workload *)
+  model_cycles : int;
+  rtl_cycles : int;
+  fpga_cycles : int;
+  area_um2 : float;
+  avg_power_w : float;
+}
+
+(** Accuracy as the paper reports it: how close the model is to a golden,
+    in (0, 1]. *)
+val accuracy : model:int -> golden:int -> float
+
+(** [sweep ~kind ~plm_sizes ~workload_bytes sys] crosses design points with
+    workload sizes. Workload parameters are derived per kind so that the
+    input footprint matches [workload_bytes]. *)
+val sweep :
+  kind:string ->
+  plm_sizes:int list ->
+  workload_bytes:int list ->
+  Accel_model.sys_params ->
+  point list
+
+(** Mean model accuracy over a sweep, versus (rtl, fpga). *)
+val mean_accuracy : point list -> float * float
+
+(** The paper's sweep: PLM {4, 16, 64, 256} KB x workloads
+    {256 KB, 1 MB, 4 MB, 16 MB}. *)
+val paper_plm_sizes : int list
+
+val paper_workload_bytes : int list

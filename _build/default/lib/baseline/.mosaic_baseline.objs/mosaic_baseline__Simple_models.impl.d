@@ -1,0 +1,1 @@
+lib/baseline/simple_models.ml: Array Float Func Instr Mosaic_ir Mosaic_memory Mosaic_trace Op Program Stdlib

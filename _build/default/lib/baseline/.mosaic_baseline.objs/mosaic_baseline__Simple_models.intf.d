@@ -1,0 +1,1 @@
+lib/baseline/simple_models.mli: Mosaic_ir Mosaic_memory Mosaic_trace

@@ -1,0 +1,1 @@
+lib/baseline/x86_model.ml: Array Float Func Instr List Mosaic_ir Mosaic_memory Mosaic_trace Op Program Stdlib Value

@@ -1,0 +1,1 @@
+lib/baseline/x86_model.mli: Mosaic_ir Mosaic_memory Mosaic_trace

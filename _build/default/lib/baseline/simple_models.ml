@@ -1,0 +1,61 @@
+open Mosaic_ir
+module Trace = Mosaic_trace.Trace
+module Hierarchy = Mosaic_memory.Hierarchy
+
+type result = { cycles : int }
+
+let one_ipc ~trace =
+  (* Parallel tiles at one instruction per cycle: the slowest tile wins. *)
+  let cycles =
+    Array.fold_left
+      (fun acc (tt : Trace.tile_trace) -> Stdlib.max acc tt.Trace.dyn_instrs)
+      0 trace.Trace.tiles
+  in
+  { cycles }
+
+let interval ~program ~trace ~hierarchy ?(issue_width = 4.0) () =
+  let hier = Hierarchy.create ~ntiles:trace.Trace.ntiles hierarchy in
+  let l1_latency = hierarchy.Hierarchy.l1.Mosaic_memory.Cache.latency in
+  let finish =
+    Array.mapi
+      (fun tile (tt : Trace.tile_trace) ->
+        let func = Program.func_exn program tt.Trace.kernel in
+        let cursor = Trace.Cursor.create tt in
+        let time = ref 0.0 in
+        let rec run () =
+          match Trace.Cursor.next_block cursor with
+          | None -> ()
+          | Some bid ->
+              let blk = Func.block func bid in
+              Array.iter
+                (fun (i : Instr.t) ->
+                  (* steady-state dispatch *)
+                  time := !time +. (1.0 /. issue_width);
+                  match Op.mem_size i.Instr.op with
+                  | Some _ ->
+                      let addr =
+                        Trace.Cursor.next_addr cursor ~instr_id:i.Instr.id
+                      in
+                      let now = int_of_float !time in
+                      let is_write =
+                        match i.Instr.op with
+                        | Op.Load _ | Op.Load_send _ -> false
+                        | _ -> true
+                      in
+                      let completion =
+                        Hierarchy.access hier ~tile ~cycle:now ~addr ~is_write
+                      in
+                      (* interval simulation: a miss opens an interval that
+                         stalls dispatch for its full latency *)
+                      let latency = completion - now in
+                      if latency > l1_latency then
+                        time := !time +. float_of_int (latency - l1_latency)
+                  | None -> ())
+                blk.Func.instrs;
+              run ()
+        in
+        run ();
+        !time)
+      trace.Trace.tiles
+  in
+  { cycles = int_of_float (Array.fold_left Float.max 0.0 finish) }

@@ -1,0 +1,26 @@
+(** The high-level simulation strawmen the paper's introduction argues
+    against: "1-IPC models or interval simulation ... do not accurately
+    capture critical memory bottlenecks of many modern data-intensive
+    applications".
+
+    Both replay MosaicSim traces:
+    - [one_ipc] charges one cycle per dynamic instruction, ignoring memory
+      entirely;
+    - [interval] is a Sniper-flavoured interval model: instructions stream
+      at the issue width, punctuated by miss intervals from a cache model
+      but with no dependence tracking inside an interval.
+
+    The motivation benchmark compares their runtime estimates with
+    MosaicSim's against the x86 reference. *)
+
+type result = { cycles : int }
+
+val one_ipc : trace:Mosaic_trace.Trace.t -> result
+
+val interval :
+  program:Mosaic_ir.Program.t ->
+  trace:Mosaic_trace.Trace.t ->
+  hierarchy:Mosaic_memory.Hierarchy.config ->
+  ?issue_width:float ->
+  unit ->
+  result

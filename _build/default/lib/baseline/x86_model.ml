@@ -1,0 +1,194 @@
+open Mosaic_ir
+module Trace = Mosaic_trace.Trace
+module Hierarchy = Mosaic_memory.Hierarchy
+
+type config = {
+  issue_width : float;
+  throughput : (Op.op_class * float) list;
+  math_cycles : float;
+  atomic_cycles : float;
+  mispredict_penalty : float;
+  mispredict_rate : float;
+  mlp : float;
+  l1_latency : int;
+}
+
+let default_config =
+  {
+    issue_width = 4.0;
+    throughput =
+      [
+        (Op.C_ialu, 0.17);
+        (Op.C_imul, 1.0);
+        (Op.C_idiv, 6.0);
+        (* Packed SSE/AVX + FMA: far below one cycle per scalar IR flop. *)
+        (Op.C_falu, 0.15);
+        (Op.C_fmul, 0.15);
+        (Op.C_fdiv, 6.0);
+        (Op.C_load, 0.30);
+        (Op.C_store, 0.42);
+        (Op.C_branch, 0.25);
+      ];
+    math_cycles = 32.0;
+    atomic_cycles = 8.0;
+    mispredict_penalty = 14.0;
+    mispredict_rate = 0.4;
+    mlp = 8.0;
+    l1_latency = 4;
+  }
+
+type result = { cycles : int; x86_instrs : int }
+
+(* Whether the instruction survives x86 instruction selection as its own
+   instruction. GEPs fold into addressing modes; compares fuse with the
+   following branch; select-moves (our phi stand-ins) die in renaming. *)
+let counted (i : Instr.t) =
+  match i.Instr.op with
+  | Op.Gep _ -> false
+  | Op.Icmp _ | Op.Fcmp _ -> false
+  | Op.Select -> (
+      (* A move [select true v v] disappears; a real select is a cmov. *)
+      match i.Instr.args.(0) with
+      | Instr.Imm c -> not (Value.to_bool c)
+      | _ -> true)
+  | _ -> true
+
+(* Static taken-branch heuristic shared with the simulated predictor; the
+   dynamic predictor is modeled as catching most of its misses. *)
+let static_predict ~bid (term : Instr.t) =
+  match term.Instr.op with
+  | Op.Br target -> Some target
+  | Op.Cond_br (taken, not_taken) ->
+      if not_taken <= bid && taken > bid then Some not_taken else Some taken
+  | _ -> None
+
+type tile_walk = {
+  func : Func.t;
+  cursor : Trace.Cursor.cursor;
+  mutable time : float;
+  mutable instrs : int;
+  mutable heuristic_misses : int;
+  mutable done_ : bool;
+}
+
+let run ?(config = default_config) ~program ~trace ~hierarchy () =
+  let ntiles = trace.Trace.ntiles in
+  let hier = Hierarchy.create ~ntiles hierarchy in
+  let tiles =
+    Array.map
+      (fun (tt : Trace.tile_trace) ->
+        {
+          func = Program.func_exn program tt.Trace.kernel;
+          cursor = Trace.Cursor.create tt;
+          time = 0.0;
+          instrs = 0;
+          heuristic_misses = 0;
+          done_ = false;
+        })
+      trace.Trace.tiles
+  in
+  let throughput cls =
+    match List.assoc_opt cls config.throughput with
+    | Some v -> v
+    | None -> 1.0
+  in
+  (* Lock-prefixed operations serialize across cores. *)
+  let atomic_free_at = ref 0.0 in
+  let step_block tile_id w =
+    match Trace.Cursor.next_block w.cursor with
+    | None -> w.done_ <- true
+    | Some bid ->
+        let blk = Func.block w.func bid in
+        Array.iter
+          (fun (i : Instr.t) ->
+            if counted i then begin
+              w.instrs <- w.instrs + 1;
+              let cls = Op.classify i.Instr.op in
+              (match i.Instr.op with
+              | Op.Load _ | Op.Store _ | Op.Load_send _ ->
+                  let addr =
+                    Trace.Cursor.next_addr w.cursor ~instr_id:i.Instr.id
+                  in
+                  let now = int_of_float w.time in
+                  let is_write =
+                    match i.Instr.op with Op.Store _ -> true | _ -> false
+                  in
+                  let completion =
+                    Hierarchy.access hier ~tile:tile_id ~cycle:now ~addr
+                      ~is_write
+                  in
+                  let latency = completion - now in
+                  w.time <- w.time +. throughput cls;
+                  if latency > config.l1_latency then
+                    w.time <-
+                      w.time
+                      +. (float_of_int (latency - config.l1_latency)
+                          /. config.mlp)
+              | Op.Atomic_rmw _ ->
+                  let addr =
+                    Trace.Cursor.next_addr w.cursor ~instr_id:i.Instr.id
+                  in
+                  let now = int_of_float w.time in
+                  let completion =
+                    Hierarchy.access hier ~tile:tile_id ~cycle:now ~addr
+                      ~is_write:true
+                  in
+                  let latency = float_of_int (completion - now) in
+                  let start = Float.max w.time !atomic_free_at in
+                  (* The locked bus/line is held for part of the cost; the
+                     rest overlaps locally. *)
+                  atomic_free_at := start +. (config.atomic_cycles /. 2.0);
+                  w.time <-
+                    start +. config.atomic_cycles +. (latency /. config.mlp)
+              | Op.Math _ -> w.time <- w.time +. config.math_cycles
+              | Op.Br _ | Op.Cond_br _ | Op.Ret ->
+                  w.time <- w.time +. throughput Op.C_branch;
+                  (match
+                     ( static_predict ~bid i,
+                       Trace.Cursor.peek_block w.cursor 0 )
+                   with
+                  | Some predicted, Some actual when predicted <> actual ->
+                      w.heuristic_misses <- w.heuristic_misses + 1;
+                      (* Deterministic thinning: the dynamic predictor
+                         catches (1 - rate) of the heuristic's misses. *)
+                      let period =
+                        Stdlib.max 1
+                          (int_of_float (1.0 /. config.mispredict_rate))
+                      in
+                      if w.heuristic_misses mod period = 0 then
+                        w.time <- w.time +. config.mispredict_penalty
+                  | _ -> ())
+              | _ -> w.time <- w.time +. throughput cls)
+            end
+            else begin
+              (* Fused instructions still pop their trace streams. *)
+              match i.Instr.op with
+              | Op.Load _ | Op.Store _ | Op.Atomic_rmw _ ->
+                  ignore (Trace.Cursor.next_addr w.cursor ~instr_id:i.Instr.id)
+              | _ -> ()
+            end)
+          blk.Func.instrs
+  in
+  (* Interleave tiles by advancing whichever is earliest in time, one basic
+     block at a time, so shared-hierarchy contention is seen in order. *)
+  let rec loop () =
+    let earliest = ref None in
+    Array.iteri
+      (fun idx w ->
+        if not w.done_ then
+          match !earliest with
+          | None -> earliest := Some idx
+          | Some e -> if w.time < tiles.(e).time then earliest := Some idx)
+      tiles;
+    match !earliest with
+    | None -> ()
+    | Some idx ->
+        step_block idx tiles.(idx);
+        loop ()
+  in
+  loop ();
+  let cycles =
+    Array.fold_left (fun acc w -> Float.max acc w.time) 0.0 tiles
+  in
+  let instrs = Array.fold_left (fun acc w -> acc + w.instrs) 0 tiles in
+  { cycles = int_of_float cycles; x86_instrs = instrs }

@@ -1,0 +1,49 @@
+(** Reference x86 timing model — the "real machine" of the accuracy and
+    scaling experiments (Figs 5-9).
+
+    Substitution note (see DESIGN.md): the paper compares MosaicSim's
+    LLVM-IR-grain timing against VTune measurements on a Xeon. Offline we
+    substitute an independent model that replays the same traces with the
+    ISA-mapping differences the paper blames for its accuracy gaps:
+    - address computations fuse into memory operands (GEPs are free),
+    - compares fuse with branches, register moves vanish under renaming,
+    - SIMD + FMA give packed FP arithmetic much higher throughput than
+      one-IR-instruction-per-cycle accounting,
+    - transcendental math becomes expensive serial libm calls,
+    - atomics carry lock-prefix cost and serialize across cores,
+    - aggressive dynamic prediction and deep OoO overlap memory latency
+      (an MLP divisor on miss stalls).
+
+    Threads interleave over a shared memory hierarchy, so bandwidth
+    contention shapes multi-threaded scaling. *)
+
+type config = {
+  issue_width : float;
+  throughput : (Mosaic_ir.Op.op_class * float) list;
+      (** amortized cycles per counted instruction, by class *)
+  math_cycles : float;  (** serial libm call *)
+  atomic_cycles : float;  (** lock-prefixed RMW, serializing across cores *)
+  mispredict_penalty : float;
+  mispredict_rate : float;
+      (** fraction of static-heuristic misses the dynamic predictor also
+          misses *)
+  mlp : float;  (** memory-level-parallelism divisor on miss stalls *)
+  l1_latency : int;
+}
+
+val default_config : config
+
+type result = {
+  cycles : int;
+  x86_instrs : int;  (** instructions after fusion (GEPs, cmps, moves gone) *)
+}
+
+(** Replay [trace] under the x86 cost model over a fresh hierarchy built
+    from [hierarchy]. *)
+val run :
+  ?config:config ->
+  program:Mosaic_ir.Program.t ->
+  trace:Mosaic_trace.Trace.t ->
+  hierarchy:Mosaic_memory.Hierarchy.config ->
+  unit ->
+  result

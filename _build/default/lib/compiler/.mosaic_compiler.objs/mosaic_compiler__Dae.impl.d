@@ -1,0 +1,1 @@
+lib/compiler/dae.ml: Array Func Instr Int List Mosaic_ir Op Printf Queue Rewrite Set Stdlib Value

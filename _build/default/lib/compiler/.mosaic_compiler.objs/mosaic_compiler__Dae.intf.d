@@ -1,0 +1,1 @@
+lib/compiler/dae.mli: Mosaic_ir

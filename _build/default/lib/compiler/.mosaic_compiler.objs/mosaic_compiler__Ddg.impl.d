@@ -1,0 +1,1 @@
+lib/compiler/ddg.ml: Array Func Hashtbl Instr List Mosaic_ir Op Option

@@ -1,0 +1,1 @@
+lib/compiler/ddg.mli: Mosaic_ir

@@ -1,0 +1,1 @@
+lib/compiler/passes.ml: Array Eval Func Hashtbl Instr List Mosaic_ir Op Option Rewrite Stdlib Value

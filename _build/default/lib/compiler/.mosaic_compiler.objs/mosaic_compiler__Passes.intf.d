@@ -1,0 +1,1 @@
+lib/compiler/passes.mli: Mosaic_ir

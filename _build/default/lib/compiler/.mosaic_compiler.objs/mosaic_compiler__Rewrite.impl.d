@@ -1,0 +1,1 @@
+lib/compiler/rewrite.ml: Array Func Instr List Mosaic_ir Stdlib

@@ -1,0 +1,1 @@
+lib/compiler/rewrite.mli: Mosaic_ir

@@ -1,0 +1,301 @@
+open Mosaic_ir
+
+type info = {
+  access : Func.t;
+  execute : Func.t;
+  sent_loads : int;
+  routed_stores : int;
+  duplicated : int;
+}
+
+module Int_set = Set.Make (Int)
+
+let producers_of (f : Func.t) =
+  (* register -> static instruction ids that define it *)
+  let map = Array.make (Stdlib.max f.Func.nregs 1) [] in
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.dst with
+          | Some d -> map.(d) <- i.Instr.id :: map.(d)
+          | None -> ())
+        b.Func.instrs)
+    f.Func.blocks;
+  map
+
+(* Backward closure over register def-use from operand seeds.
+   [stop_at_mem]: when a load/atomic joins the closure, do not pull in its
+   operands (the execute slice receives its value over a channel instead of
+   recomputing the address). *)
+let closure (f : Func.t) producers ~seeds ~stop_at_mem =
+  let set = ref Int_set.empty in
+  let work = Queue.create () in
+  let push_producers_of_reg r =
+    List.iter (fun id -> Queue.add id work) producers.(r)
+  in
+  let push_operand operand =
+    match operand with
+    | Instr.Reg r -> push_producers_of_reg r
+    | Instr.Imm _ | Instr.Glob _ | Instr.Tid | Instr.Ntiles -> ()
+  in
+  List.iter push_operand seeds;
+  while not (Queue.is_empty work) do
+    let id = Queue.take work in
+    if not (Int_set.mem id !set) then begin
+      set := Int_set.add id !set;
+      let i = Func.instr f ~id in
+      let stop = stop_at_mem && Op.is_mem i.Instr.op in
+      if not stop then Array.iter push_operand i.Instr.args
+    end
+  done;
+  !set
+
+let check_sliceable (f : Func.t) =
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Op.Send _ | Op.Recv _ | Op.Accel _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Dae.slice: %s already uses communication/accelerators"
+                   f.Func.name)
+          | _ -> ())
+        b.Func.instrs)
+    f.Func.blocks
+
+let dummy_id = -1
+
+let mk op args dst = Instr.make ~id:dummy_id ~op ~args ~dst
+
+let slice ?(load_chan = 0) ?(store_chan = 1) (f : Func.t) =
+  check_sliceable f;
+  let producers = producers_of f in
+  (* Execute-side closure: value computation. Seeds: store values, branch
+     conditions, return values. Loads inside it become receives. *)
+  let exec_seeds = ref [] in
+  (* Access-side closure: addresses and control. *)
+  let access_seeds = ref [] in
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Op.Store _ | Op.Atomic_rmw _ ->
+              exec_seeds := i.Instr.args.(1) :: !exec_seeds;
+              access_seeds := i.Instr.args.(0) :: !access_seeds
+          | Op.Load _ -> access_seeds := i.Instr.args.(0) :: !access_seeds
+          | Op.Cond_br _ | Op.Ret ->
+              Array.iter
+                (fun a ->
+                  exec_seeds := a :: !exec_seeds;
+                  access_seeds := a :: !access_seeds)
+                i.Instr.args
+          | _ -> ())
+        b.Func.instrs)
+    f.Func.blocks;
+  let exec_set =
+    closure f producers ~seeds:!exec_seeds ~stop_at_mem:true
+  in
+  let access_set =
+    closure f producers ~seeds:!access_seeds ~stop_at_mem:false
+  in
+  let in_exec (i : Instr.t) = Int_set.mem i.Instr.id exec_set in
+  let in_access (i : Instr.t) = Int_set.mem i.Instr.id access_set in
+  (* A load whose value only the execute slice consumes becomes a terminal
+     load (DeSC): load-and-push, never blocking the access core. *)
+  let is_terminal_load (i : Instr.t) =
+    match i.Instr.op with
+    | Op.Load _ -> in_exec i && not (in_access i)
+    | _ -> false
+  in
+  (* Stores and atomics whose value operand is computed (a register) get
+     that value from the execute slice over the store channel. *)
+  let is_routed_store (i : Instr.t) =
+    match i.Instr.op with
+    | Op.Store _ | Op.Atomic_rmw _ -> (
+        match i.Instr.args.(1) with Instr.Reg _ -> true | _ -> false)
+    | _ -> false
+  in
+  (* --- Access slice --- *)
+  let a_nregs = ref f.Func.nregs in
+  let fresh_a () =
+    let r = !a_nregs in
+    incr a_nregs;
+    r
+  in
+  let a_w = fresh_a () in
+  let a_partner = fresh_a () in
+  let a_rewrite =
+    Rewrite.map_operands (fun operand ->
+        match operand with
+        | Instr.Ntiles -> Instr.Reg a_w
+        | _ -> operand)
+  in
+  let sent_loads = ref 0 and routed_stores = ref 0 in
+  let access_blocks =
+    Array.map
+      (fun (b : Func.block) ->
+        let out = ref [] in
+        let emit i = out := i :: !out in
+        if b.Func.bid = 0 then begin
+          emit
+            (mk (Op.Binop Op.Sdiv)
+               [| Instr.Ntiles; Instr.Imm (Value.of_int 2) |]
+               (Some a_w));
+          emit
+            (mk (Op.Binop Op.Add) [| Instr.Tid; Instr.Reg a_w |]
+               (Some a_partner))
+        end;
+        Array.iter
+          (fun (i : Instr.t) ->
+            let term = Op.is_terminator i.Instr.op in
+            if term || in_access i || Op.is_mem i.Instr.op then begin
+              let i' = a_rewrite i in
+              let send_result () =
+                (* Forward this op's result when the execute slice needs it. *)
+                match i.Instr.op with
+                | (Op.Load _ | Op.Atomic_rmw _) when in_exec i ->
+                    incr sent_loads;
+                    let v =
+                      match i.Instr.dst with
+                      | Some d -> Instr.Reg d
+                      | None -> assert false
+                    in
+                    emit
+                      (mk (Op.Send load_chan) [| Instr.Reg a_partner; v |] None)
+                | _ -> ()
+              in
+              if is_terminal_load i then begin
+                incr sent_loads;
+                let size =
+                  match Op.mem_size i.Instr.op with Some s -> s | None -> 8
+                in
+                emit
+                  (mk
+                     (Op.Load_send (load_chan, size))
+                     [| Instr.Reg a_partner; i'.Instr.args.(0) |]
+                     None)
+              end
+              else if is_routed_store i' && not (in_exec i) then begin
+                (* Value comes from execute and nothing downstream needs the
+                   old value: fire-and-forget via the store value buffer. *)
+                incr routed_stores;
+                let size =
+                  match Op.mem_size i.Instr.op with Some sz -> sz | None -> 8
+                in
+                let rmw =
+                  match i.Instr.op with
+                  | Op.Atomic_rmw (r, _) -> Some r
+                  | _ -> None
+                in
+                emit
+                  (mk
+                     (Op.Store_recv (store_chan, size, rmw))
+                     [| i'.Instr.args.(0) |]
+                     None)
+              end
+              else if is_routed_store i' then begin
+                incr routed_stores;
+                let r = fresh_a () in
+                emit (mk (Op.Recv store_chan) [||] (Some r));
+                emit
+                  {
+                    i' with
+                    Instr.args = [| i'.Instr.args.(0); Instr.Reg r |];
+                  };
+                send_result ()
+              end
+              else begin
+                emit i';
+                send_result ()
+              end
+            end)
+          b.Func.instrs;
+        List.rev !out)
+      f.Func.blocks
+  in
+  let access =
+    Rewrite.renumber
+      ~name:(f.Func.name ^ "_access")
+      ~nparams:f.Func.nparams ~nregs:!a_nregs access_blocks
+  in
+  (* --- Execute slice --- *)
+  let e_nregs = ref f.Func.nregs in
+  let fresh_e () =
+    let r = !e_nregs in
+    incr e_nregs;
+    r
+  in
+  let e_w = fresh_e () in
+  let e_wid = fresh_e () in
+  let e_rewrite =
+    Rewrite.map_operands (fun operand ->
+        match operand with
+        | Instr.Ntiles -> Instr.Reg e_w
+        | Instr.Tid -> Instr.Reg e_wid
+        | _ -> operand)
+  in
+  let duplicated = ref 0 in
+  let execute_blocks =
+    Array.map
+      (fun (b : Func.block) ->
+        let out = ref [] in
+        let emit i = out := i :: !out in
+        if b.Func.bid = 0 then begin
+          emit
+            (mk (Op.Binop Op.Sdiv)
+               [| Instr.Ntiles; Instr.Imm (Value.of_int 2) |]
+               (Some e_w));
+          emit
+            (mk (Op.Binop Op.Sub) [| Instr.Tid; Instr.Reg e_w |] (Some e_wid))
+        end;
+        Array.iter
+          (fun (i : Instr.t) ->
+            let term = Op.is_terminator i.Instr.op in
+            if term then emit (e_rewrite i)
+            else
+              match i.Instr.op with
+              | Op.Load _ ->
+                  if in_exec i then
+                    emit (mk (Op.Recv load_chan) [||] i.Instr.dst)
+              | Op.Atomic_rmw _ ->
+                  if is_routed_store i then begin
+                    let i' = e_rewrite i in
+                    emit
+                      (mk (Op.Send store_chan)
+                         [| Instr.Reg e_wid; i'.Instr.args.(1) |]
+                         None)
+                  end;
+                  if in_exec i then
+                    emit (mk (Op.Recv load_chan) [||] i.Instr.dst)
+              | Op.Store _ ->
+                  if is_routed_store i then
+                    let i' = e_rewrite i in
+                    emit
+                      (mk (Op.Send store_chan)
+                         [| Instr.Reg e_wid; i'.Instr.args.(1) |]
+                         None)
+              | _ ->
+                  if in_exec i then begin
+                    if in_access i then incr duplicated;
+                    emit (e_rewrite i)
+                  end)
+          b.Func.instrs;
+        List.rev !out)
+      f.Func.blocks
+  in
+  let execute =
+    Rewrite.renumber
+      ~name:(f.Func.name ^ "_execute")
+      ~nparams:f.Func.nparams ~nregs:!e_nregs execute_blocks
+  in
+  {
+    access;
+    execute;
+    sent_loads = !sent_loads;
+    routed_stores = !routed_stores;
+    duplicated = !duplicated;
+  }

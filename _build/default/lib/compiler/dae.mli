@@ -1,0 +1,28 @@
+(** Decoupled Access/Execute program slicing (the DeSC compiler pass of
+    §VII-A).
+
+    [slice] splits a kernel into an access slice (all memory accesses,
+    address computation and control flow) and an execute slice (value
+    computation plus duplicated control flow). Loads whose values the
+    execute slice needs are forwarded over the load channel ([send] right
+    after the load / the load becomes [recv] on the execute side); stores of
+    computed values travel the other way over the store channel.
+
+    Both slices are SPMD kernels meant to run as pairs on a [2T]-tile
+    system: tiles [0..T-1] run the access slice, tiles [T..2T-1] the execute
+    slice; each slice rebinds [tid]/[ntiles] to its worker id in [0..T-1] so
+    work division matches the original kernel. *)
+
+type info = {
+  access : Mosaic_ir.Func.t;  (** named [<kernel>_access] *)
+  execute : Mosaic_ir.Func.t;  (** named [<kernel>_execute] *)
+  sent_loads : int;  (** static loads forwarded to the execute slice *)
+  routed_stores : int;  (** static stores whose value comes from execute *)
+  duplicated : int;  (** static pure instructions present in both slices *)
+}
+
+(** Raises [Invalid_argument] if the kernel already contains send/recv or
+    accelerator instructions. The slices are registered in no program;
+    callers add them where needed. *)
+val slice :
+  ?load_chan:int -> ?store_chan:int -> Mosaic_ir.Func.t -> info

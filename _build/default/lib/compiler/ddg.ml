@@ -1,0 +1,59 @@
+open Mosaic_ir
+
+type node_deps = { intra : int array; extern_regs : int array }
+
+type t = { func : Func.t; deps : node_deps array }
+
+let build (f : Func.t) =
+  let deps =
+    Array.make f.Func.ninstrs { intra = [||]; extern_regs = [||] }
+  in
+  Array.iter
+    (fun (b : Func.block) ->
+      (* Last writer of each register within this block, as we scan. *)
+      let last_def = Hashtbl.create 16 in
+      Array.iter
+        (fun (i : Instr.t) ->
+          let intra = ref [] and extern = ref [] in
+          List.iter
+            (fun r ->
+              match Hashtbl.find_opt last_def r with
+              | Some producer ->
+                  if not (List.mem producer !intra) then
+                    intra := producer :: !intra
+              | None ->
+                  if (not (List.mem r !extern)) && r >= f.Func.nparams then
+                    extern := r :: !extern)
+            (Instr.uses i);
+          deps.(i.Instr.id) <-
+            {
+              intra = Array.of_list (List.rev !intra);
+              extern_regs = Array.of_list (List.rev !extern);
+            };
+          (match i.Instr.dst with
+          | Some d -> Hashtbl.replace last_def d i.Instr.id
+          | None -> ()))
+        b.Func.instrs)
+    f.Func.blocks;
+  { func = f; deps }
+
+let class_histogram t =
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          let c = Op.classify i.Instr.op in
+          let n = Option.value ~default:0 (Hashtbl.find_opt counts c) in
+          Hashtbl.replace counts c (n + 1))
+        b.Func.instrs)
+    t.func.Func.blocks;
+  List.filter_map
+    (fun c ->
+      match Hashtbl.find_opt counts c with
+      | Some n -> Some (c, n)
+      | None -> None)
+    Op.all_classes
+
+let edge_count t =
+  Array.fold_left (fun acc d -> acc + Array.length d.intra) 0 t.deps

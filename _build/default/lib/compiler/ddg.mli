@@ -1,0 +1,28 @@
+(** Static Data-Dependence Graph generator.
+
+    The paper's DDG Generator runs LLVM passes to capture static
+    inter-instruction dependencies. Here we compute, for every static
+    instruction, its same-block register producers (intra-DBB edges) and the
+    registers whose reaching definition lies outside the block (cross-DBB
+    edges, which tile models resolve dynamically with a last-writer map, the
+    analogue of renaming phi inputs at DBB launch). *)
+
+type node_deps = {
+  intra : int array;
+      (** function-wide ids of same-block instructions this one depends on *)
+  extern_regs : int array;
+      (** registers read whose defining instruction is outside the block *)
+}
+
+type t = {
+  func : Mosaic_ir.Func.t;
+  deps : node_deps array;  (** indexed by static instruction id *)
+}
+
+val build : Mosaic_ir.Func.t -> t
+
+(** Per-class static instruction histogram (for reports). *)
+val class_histogram : t -> (Mosaic_ir.Op.op_class * int) list
+
+(** Total static dependence edges (intra-block). *)
+val edge_count : t -> int

@@ -1,0 +1,255 @@
+open Mosaic_ir
+
+let size (f : Func.t) = f.Func.ninstrs
+
+let is_pure (op : Op.t) =
+  match op with
+  | Op.Binop _ | Op.Fbinop _ | Op.Icmp _ | Op.Fcmp _ | Op.Select | Op.Cast _
+  | Op.Math _ | Op.Gep _ ->
+      true
+  | Op.Load _ | Op.Store _ | Op.Atomic_rmw _ | Op.Load_send _
+  | Op.Store_recv _ | Op.Send _ | Op.Recv _ | Op.Accel _ | Op.Br _
+  | Op.Cond_br _ | Op.Ret ->
+      false
+
+let imm_args (i : Instr.t) =
+  let vals =
+    Array.map
+      (fun operand ->
+        match operand with Instr.Imm v -> Some v | _ -> None)
+      i.Instr.args
+  in
+  if Array.for_all Option.is_some vals then Some (Array.map Option.get vals)
+  else None
+
+let fold_value (op : Op.t) (vs : Value.t array) =
+  match op with
+  | Op.Binop b ->
+      Some (Value.Int (Eval.ibinop b (Value.to_int64 vs.(0)) (Value.to_int64 vs.(1))))
+  | Op.Fbinop b ->
+      Some (Value.Float (Eval.fbinop b (Value.to_float vs.(0)) (Value.to_float vs.(1))))
+  | Op.Icmp p ->
+      Some (Value.of_bool (Eval.pred_int p (Value.to_int64 vs.(0)) (Value.to_int64 vs.(1))))
+  | Op.Fcmp p ->
+      Some
+        (Value.of_bool
+           (Eval.pred_float p (Value.to_float vs.(0)) (Value.to_float vs.(1))))
+  | Op.Select -> Some (if Value.to_bool vs.(0) then vs.(1) else vs.(2))
+  | Op.Cast c -> Some (Eval.cast c vs.(0))
+  | Op.Math m -> Some (Value.Float (Eval.math m (Array.map Value.to_float vs)))
+  | Op.Gep scale ->
+      Some (Value.of_int (Value.to_int vs.(0) + (Value.to_int vs.(1) * scale)))
+  | _ -> None
+
+let substitute subst (i : Instr.t) =
+  Rewrite.map_operands
+    (fun operand ->
+      match operand with
+      | Instr.Reg r -> (
+          match Hashtbl.find_opt subst r with
+          | Some replacement -> replacement
+          | None -> operand)
+      | _ -> operand)
+    i
+
+let rebuild_like (f : Func.t) per_block =
+  let blocks =
+    Array.map
+      (fun (b : Func.block) -> per_block (Array.to_list b.Func.instrs))
+      f.Func.blocks
+  in
+  Rewrite.renumber ~name:f.Func.name ~nparams:f.Func.nparams
+    ~nregs:f.Func.nregs blocks
+
+let constant_fold (f : Func.t) =
+  let defs = Rewrite.def_counts f in
+  (* register -> constant it always holds *)
+  let subst = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          match (i.Instr.dst, imm_args i) with
+          | Some d, Some vs when defs.(d) = 1 && is_pure i.Instr.op -> (
+              match fold_value i.Instr.op vs with
+              | Some v -> Hashtbl.replace subst d (Instr.Imm v)
+              | None -> ())
+          | _ -> ())
+        b.Func.instrs)
+    f.Func.blocks;
+  if Hashtbl.length subst = 0 then f
+  else
+    rebuild_like f (fun instrs ->
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match i.Instr.dst with
+            | Some d when Hashtbl.mem subst d -> None
+            | _ -> Some (substitute subst i))
+          instrs)
+
+(* A move is [select true v v]. Forward it when the source needs no
+   register (Imm/Glob/Tid/Ntiles): always safe, no liveness reasoning.
+   Register sources are left alone — in a non-SSA IR forwarding them is
+   only sound under dominance conditions we do not track. *)
+let copy_propagate (f : Func.t) =
+  let defs = Rewrite.def_counts f in
+  let subst = Hashtbl.create 16 in
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          match (i.Instr.op, i.Instr.dst, i.Instr.args) with
+          | Op.Select, Some d, [| Instr.Imm c; v; v' |]
+            when Value.to_bool c && Instr.equal_operand v v' && defs.(d) = 1
+            -> (
+              match v with
+              | Instr.Imm _ | Instr.Glob _ | Instr.Tid | Instr.Ntiles ->
+                  Hashtbl.replace subst d v
+              | Instr.Reg _ -> ())
+          | _ -> ())
+        b.Func.instrs)
+    f.Func.blocks;
+  if Hashtbl.length subst = 0 then f
+  else
+    rebuild_like f (fun instrs ->
+        List.filter_map
+          (fun (i : Instr.t) ->
+            match i.Instr.dst with
+            | Some d when Hashtbl.mem subst d -> None
+            | _ -> Some (substitute subst i))
+          instrs)
+
+let dead_code_elim (f : Func.t) =
+  let uses = Rewrite.use_counts f in
+  let dead (i : Instr.t) =
+    is_pure i.Instr.op
+    &&
+    match i.Instr.dst with Some d -> uses.(d) = 0 | None -> false
+  in
+  let any_dead =
+    Array.exists
+      (fun (b : Func.block) -> Array.exists dead b.Func.instrs)
+      f.Func.blocks
+  in
+  if not any_dead then f
+  else
+    rebuild_like f (fun instrs ->
+        List.filter (fun i -> not (dead i)) instrs)
+
+(* Where is each register used? Track, per register, whether any read
+   happens in a different block than [bid] (conservatively forbids
+   cross-block reuse in a non-SSA IR). *)
+let used_outside_block (f : Func.t) =
+  let outside = Array.make (Stdlib.max f.Func.nregs 1) false in
+  let seen_in = Array.make (Stdlib.max f.Func.nregs 1) (-1) in
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun r ->
+              if seen_in.(r) = -1 then seen_in.(r) <- b.Func.bid
+              else if seen_in.(r) <> b.Func.bid then outside.(r) <- true)
+            (Instr.uses i))
+        b.Func.instrs)
+    f.Func.blocks;
+  (* a register first READ in block A and later in block B *)
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun r -> if seen_in.(r) <> b.Func.bid then outside.(r) <- true)
+            (Instr.uses i))
+        b.Func.instrs)
+    f.Func.blocks;
+  outside
+
+let common_subexpr_elim (f : Func.t) =
+  let defs = Rewrite.def_counts f in
+  let outside = used_outside_block f in
+  let changed = ref false in
+  let blocks =
+    Array.map
+      (fun (b : Func.block) ->
+        (* register -> version, bumped on each redefinition in the block *)
+        let version = Hashtbl.create 16 in
+        let version_of r =
+          Option.value ~default:0 (Hashtbl.find_opt version r)
+        in
+        (* (op, versioned operands) -> register holding the value *)
+        let available = Hashtbl.create 16 in
+        (* block-local substitution for eliminated destinations *)
+        let subst = Hashtbl.create 16 in
+        let rewrite_operand operand =
+          match operand with
+          | Instr.Reg r -> (
+              match Hashtbl.find_opt subst r with
+              | Some r' -> Instr.Reg r'
+              | None -> operand)
+          | _ -> operand
+        in
+        let out = ref [] in
+        Array.iter
+          (fun (i : Instr.t) ->
+            let i = Rewrite.map_operands rewrite_operand i in
+            let keyable =
+              is_pure i.Instr.op
+              &&
+              match i.Instr.dst with
+              | Some d -> defs.(d) = 1 && not outside.(d)
+              | None -> false
+            in
+            let key =
+              ( i.Instr.op,
+                Array.to_list
+                  (Array.map
+                     (fun operand ->
+                       match operand with
+                       | Instr.Reg r -> (operand, version_of r)
+                       | _ -> (operand, 0))
+                     i.Instr.args) )
+            in
+            let eliminated =
+              keyable
+              &&
+              match Hashtbl.find_opt available key with
+              | Some prior ->
+                  (match i.Instr.dst with
+                  | Some d ->
+                      Hashtbl.replace subst d prior;
+                      changed := true;
+                      true
+                  | None -> false)
+              | None ->
+                  (match i.Instr.dst with
+                  | Some d when defs.(d) = 1 ->
+                      Hashtbl.replace available key d
+                  | _ -> ());
+                  false
+            in
+            if not eliminated then begin
+              out := i :: !out;
+              match i.Instr.dst with
+              | Some d -> Hashtbl.replace version d (version_of d + 1)
+              | None -> ()
+            end)
+          b.Func.instrs;
+        List.rev !out)
+      f.Func.blocks
+  in
+  if not !changed then f
+  else
+    Rewrite.renumber ~name:f.Func.name ~nparams:f.Func.nparams
+      ~nregs:f.Func.nregs blocks
+
+let optimize f =
+  let rec loop f n =
+    if n = 0 then f
+    else
+      let f' =
+        dead_code_elim (common_subexpr_elim (copy_propagate (constant_fold f)))
+      in
+      if size f' = size f then f' else loop f' (n - 1)
+  in
+  loop f 8

@@ -1,0 +1,33 @@
+(** Scalar optimization passes.
+
+    The paper leans on LLVM's optimizer ("-O3 ... produces a more accurate
+    comparison"); these passes keep our IR comparably lean so instruction
+    counts are not inflated by builder artifacts. All passes preserve
+    semantics and return a fresh, renumbered function. *)
+
+(** Fold pure instructions whose operands are all immediates and whose
+    destination register has a single static definition, propagating the
+    constant into every use. *)
+val constant_fold : Mosaic_ir.Func.t -> Mosaic_ir.Func.t
+
+(** Remove pure instructions whose result register is never read. Memory,
+    communication, accelerator and terminator instructions are never
+    removed. *)
+val dead_code_elim : Mosaic_ir.Func.t -> Mosaic_ir.Func.t
+
+(** Remove register-move instructions ([select true v v]) whose destination
+    has a single static definition, forwarding the source operand. Loop
+    phis (multi-def registers) are kept. *)
+val copy_propagate : Mosaic_ir.Func.t -> Mosaic_ir.Func.t
+
+(** Block-local common-subexpression elimination: a pure instruction whose
+    (operator, operand-versions) was already computed in the block by a
+    single-definition register reuses that result, when its own result is
+    single-definition and only consumed later in the same block. *)
+val common_subexpr_elim : Mosaic_ir.Func.t -> Mosaic_ir.Func.t
+
+(** Run all passes to a (bounded) fixpoint. *)
+val optimize : Mosaic_ir.Func.t -> Mosaic_ir.Func.t
+
+(** Static instruction count, for pass-effect reporting. *)
+val size : Mosaic_ir.Func.t -> int

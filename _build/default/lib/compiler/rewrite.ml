@@ -1,0 +1,44 @@
+open Mosaic_ir
+
+let renumber ~name ~nparams ~nregs blocks =
+  let next = ref 0 in
+  let rebuilt =
+    Array.mapi
+      (fun bid instrs ->
+        let instrs =
+          List.map
+            (fun (i : Instr.t) ->
+              let id = !next in
+              incr next;
+              { i with Instr.id })
+            instrs
+        in
+        { Func.bid; instrs = Array.of_list instrs })
+      blocks
+  in
+  Func.make ~name ~nparams ~nregs ~blocks:rebuilt
+
+let map_operands f (i : Instr.t) =
+  { i with Instr.args = Array.map f i.Instr.args }
+
+let count_over f ~per_instr =
+  let counts = Array.make (Stdlib.max f.Func.nregs 1) 0 in
+  Array.iter
+    (fun (b : Func.block) -> Array.iter (per_instr counts) b.Func.instrs)
+    f.Func.blocks;
+  counts
+
+let def_counts f =
+  count_over f ~per_instr:(fun counts (i : Instr.t) ->
+      match i.Instr.dst with
+      | Some d -> counts.(d) <- counts.(d) + 1
+      | None -> ())
+
+let use_counts f =
+  count_over f ~per_instr:(fun counts (i : Instr.t) ->
+      Array.iter
+        (fun operand ->
+          match operand with
+          | Instr.Reg r -> counts.(r) <- counts.(r) + 1
+          | Instr.Imm _ | Instr.Glob _ | Instr.Tid | Instr.Ntiles -> ())
+        i.Instr.args)

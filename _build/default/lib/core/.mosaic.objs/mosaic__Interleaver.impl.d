@@ -1,0 +1,1 @@
+lib/core/interleaver.ml: Hashtbl Mosaic_util Noc Option Stdlib

@@ -1,0 +1,1 @@
+lib/core/noc.ml: Float Hashtbl List Option Printf Stdlib

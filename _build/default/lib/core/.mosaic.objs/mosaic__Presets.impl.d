@@ -1,0 +1,1 @@
+lib/core/presets.ml: Mosaic_memory Mosaic_tile Soc

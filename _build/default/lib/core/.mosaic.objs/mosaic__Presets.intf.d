@@ -1,0 +1,1 @@
+lib/core/presets.mli: Mosaic_memory Mosaic_tile Soc

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Interleaver List Mosaic_ir Mosaic_memory Mosaic_tile Mosaic_util Printf Soc Stdlib String

@@ -1,0 +1,1 @@
+lib/core/soc.ml: Array Float Hashtbl Interleaver List Mosaic_accel Mosaic_compiler Mosaic_ir Mosaic_memory Mosaic_tile Mosaic_trace Noc Option Printf Program Stdlib String Sys

@@ -1,0 +1,1 @@
+lib/core/soc.mli: Interleaver Mosaic_accel Mosaic_ir Mosaic_memory Mosaic_tile Mosaic_trace Noc

@@ -1,0 +1,100 @@
+module Bounded_queue = Mosaic_util.Bounded_queue
+
+type message = { arrival : int }
+
+type stats = {
+  mutable sends : int;
+  mutable recvs : int;
+  mutable send_stalls : int;
+  mutable max_occupancy : int;
+}
+
+type t = {
+  capacity : int;
+  wire_latency : int;
+  noc : Noc.t option;
+  buffers : (int * int, message Bounded_queue.t) Hashtbl.t;
+  owed : (int * int, int) Hashtbl.t;
+      (** per (dst, chan): consumptions committed before the message *)
+  stats : stats;
+}
+
+let create ?(buffer_capacity = 512) ?(wire_latency = 1) ?noc () =
+  if buffer_capacity <= 0 then
+    invalid_arg "Interleaver.create: buffer_capacity must be positive";
+  {
+    capacity = buffer_capacity;
+    wire_latency;
+    noc;
+    buffers = Hashtbl.create 16;
+    owed = Hashtbl.create 16;
+    stats = { sends = 0; recvs = 0; send_stalls = 0; max_occupancy = 0 };
+  }
+
+let buffer t ~dst ~chan =
+  let key = (dst, chan) in
+  match Hashtbl.find_opt t.buffers key with
+  | Some q -> q
+  | None ->
+      let q = Bounded_queue.create ~capacity:t.capacity () in
+      Hashtbl.replace t.buffers key q;
+      q
+
+let occupancy t =
+  Hashtbl.fold (fun _ q acc -> acc + Bounded_queue.length q) t.buffers 0
+
+let owed_count t key =
+  Option.value ~default:0 (Hashtbl.find_opt t.owed key)
+
+let send t ~src ~dst ~chan ~cycle:_ ~available =
+  ignore src;
+  let key = (dst, chan) in
+  if owed_count t key > 0 then begin
+    (* The consumer already committed this slot; the message is absorbed. *)
+    Hashtbl.replace t.owed key (owed_count t key - 1);
+    t.stats.sends <- t.stats.sends + 1;
+    true
+  end
+  else
+  let q = buffer t ~dst ~chan in
+  let arrival =
+    match t.noc with
+    | Some noc -> Noc.delay noc ~src ~dst ~cycle:available
+    | None -> available + t.wire_latency
+  in
+  if Bounded_queue.push q { arrival } then begin
+    t.stats.sends <- t.stats.sends + 1;
+    let occ = occupancy t in
+    if occ > t.stats.max_occupancy then t.stats.max_occupancy <- occ;
+    true
+  end
+  else begin
+    t.stats.send_stalls <- t.stats.send_stalls + 1;
+    false
+  end
+
+let take_or_owe t ~tile ~chan =
+  let q = buffer t ~dst:tile ~chan in
+  match Bounded_queue.pop q with
+  | Some _ ->
+      t.stats.recvs <- t.stats.recvs + 1;
+      true
+  | None ->
+      let key = (tile, chan) in
+      let owed = owed_count t key in
+      if owed >= t.capacity then false
+      else begin
+        Hashtbl.replace t.owed key (owed + 1);
+        t.stats.recvs <- t.stats.recvs + 1;
+        true
+      end
+
+let try_recv t ~tile ~chan ~cycle =
+  let q = buffer t ~dst:tile ~chan in
+  match Bounded_queue.pop q with
+  | Some msg ->
+      t.stats.recvs <- t.stats.recvs + 1;
+      Some (Stdlib.max (cycle + 1) msg.arrival)
+  | None -> None
+
+let stats t = t.stats

@@ -1,0 +1,47 @@
+(** The Interleaver (§II): coordinates tile timing and inter-tile messages.
+
+    Tiles create inter-tile events and enqueue them here; the Interleaver is
+    responsible for delivering each message to its destination tile at the
+    right time. Buffers are bounded — a full destination buffer back-pressures
+    the sender (its [send] node cannot issue), which is what makes DAE
+    pairs throttle correctly. *)
+
+type stats = {
+  mutable sends : int;
+  mutable recvs : int;
+  mutable send_stalls : int;  (** sends rejected because a buffer was full *)
+  mutable max_occupancy : int;
+}
+
+type t
+
+(** [create ~buffer_capacity ~wire_latency ?noc ()]. Capacity is per
+    (destination, channel) buffer; Table II uses 512 entries. When a
+    {!Noc} is supplied, message arrival times come from mesh routing and
+    link contention instead of the flat [wire_latency]. *)
+val create :
+  ?buffer_capacity:int -> ?wire_latency:int -> ?noc:Noc.t -> unit -> t
+
+(** [send t ~src ~dst ~chan ~cycle ~available] reserves a buffer slot now
+    and delivers the message at [available + wire_latency] ([available =
+    cycle] for plain sends; the memory-completion cycle for terminal
+    loads); [false] when the buffer is full. *)
+val send :
+  t -> src:int -> dst:int -> chan:int -> cycle:int -> available:int -> bool
+
+(** [try_recv t ~tile ~chan ~cycle] consumes the oldest message for
+    [(tile, chan)] and returns the receive completion cycle, or [None] when
+    no message has been sent yet. *)
+val try_recv : t -> tile:int -> chan:int -> cycle:int -> int option
+
+(** [take_or_owe t ~tile ~chan] consumes a message if one is buffered, or
+    records a debt that cancels the next send to [(tile, chan)] — the
+    store-value-buffer behaviour where the consumer has already committed
+    the slot. Returns [false] when the debt ceiling (buffer capacity) is
+    reached and the caller must stall. *)
+val take_or_owe : t -> tile:int -> chan:int -> bool
+
+val stats : t -> stats
+
+(** Messages currently buffered across all channels. *)
+val occupancy : t -> int

@@ -1,0 +1,38 @@
+(** Mesh network-on-chip model.
+
+    The paper leaves NoC modeling as future work and sketches the path:
+    "ports can be added to the abstract tile model to create a message
+    module in order to model NoCs". This module is that message substrate: a
+    2D mesh with XY routing, per-hop latency, and per-link bandwidth
+    accounted in epochs (the SimpleDRAM scheme applied to links). The
+    Interleaver consults it, when configured, to time inter-tile messages
+    instead of using a flat wire latency. *)
+
+type config = {
+  width : int;  (** mesh columns; rows = ceil(ntiles / width) *)
+  hop_latency : int;  (** router + link traversal per hop *)
+  link_capacity : int;  (** messages per link per epoch *)
+  epoch_cycles : int;
+}
+
+val default_config : ntiles:int -> config
+
+type stats = {
+  mutable messages : int;
+  mutable total_hops : int;
+  mutable contended : int;  (** messages delayed by link bandwidth *)
+}
+
+type t
+
+val create : ntiles:int -> config -> t
+
+(** Manhattan hop count between two tiles under XY routing. *)
+val hops : t -> src:int -> dst:int -> int
+
+(** [delay t ~src ~dst ~cycle] is the arrival cycle of a message injected
+    at [cycle], walking the XY path and consuming per-link bandwidth.
+    Raises [Invalid_argument] on bad tile ids. *)
+val delay : t -> src:int -> dst:int -> cycle:int -> int
+
+val stats : t -> stats

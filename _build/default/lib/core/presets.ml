@@ -1,0 +1,97 @@
+module Hierarchy = Mosaic_memory.Hierarchy
+module Cache = Mosaic_memory.Cache
+module Dram = Mosaic_memory.Dram
+module Tile_config = Mosaic_tile.Tile_config
+
+let cache ~size_kb ~assoc ~latency ~mshr ?prefetch () =
+  {
+    Cache.size_bytes = size_kb * 1024;
+    line_size = 64;
+    assoc;
+    latency;
+    mshr_size = mshr;
+    prefetch;
+  }
+
+(* Table I: Xeon E5-2667 v3. 68 GB/s at 3.2 GHz is ~21 B/cycle: about 21
+   64B lines per 64-cycle epoch. *)
+let xeon_freq_ghz = 3.2
+
+let xeon_hierarchy =
+  {
+    Hierarchy.l1 =
+      cache ~size_kb:32 ~assoc:8 ~latency:4 ~mshr:16
+        ~prefetch:Mosaic_memory.Prefetcher.default_config ();
+    l2 = Some (cache ~size_kb:2048 ~assoc:8 ~latency:12 ~mshr:32 ());
+    llc = Some (cache ~size_kb:20480 ~assoc:20 ~latency:30 ~mshr:64 ());
+    dram =
+      Hierarchy.Simple
+        { Dram.min_latency = 220; lines_per_epoch = 21; epoch_cycles = 64 };
+    coherence = None;
+  }
+
+(* The scaling experiments (Figs 7-9) run datasets scaled down ~16x from
+   Parboil's to keep traces tractable, so the memory system is scaled with
+   them: cache capacities and DRAM bandwidth shrink by the same factor,
+   preserving which level each working set spills out of. *)
+let xeon_scaled_hierarchy =
+  {
+    Hierarchy.l1 =
+      cache ~size_kb:8 ~assoc:8 ~latency:4 ~mshr:16
+        ~prefetch:Mosaic_memory.Prefetcher.default_config ();
+    l2 = Some (cache ~size_kb:128 ~assoc:8 ~latency:12 ~mshr:32 ());
+    llc = Some (cache ~size_kb:1024 ~assoc:16 ~latency:30 ~mshr:64 ());
+    dram =
+      Hierarchy.Simple
+        { Dram.min_latency = 220; lines_per_epoch = 3; epoch_cycles = 64 };
+    coherence = None;
+  }
+
+(* Table II: DDR3L, 24 GB/s at 2 GHz = 12 B/cycle: 12 lines per 64-cycle
+   epoch; 200-cycle latency; L1 1 cycle, shared L2 6 cycles. *)
+let dae_hierarchy =
+  {
+    Hierarchy.l1 = cache ~size_kb:32 ~assoc:8 ~latency:1 ~mshr:16 ();
+    l2 = None;
+    llc = Some (cache ~size_kb:2048 ~assoc:8 ~latency:6 ~mshr:32 ());
+    dram =
+      Hierarchy.Simple
+        { Dram.min_latency = 200; lines_per_epoch = 12; epoch_cycles = 64 };
+    coherence = None;
+  }
+
+let xeon_soc =
+  {
+    Soc.default_config with
+    Soc.hierarchy = xeon_hierarchy;
+    freq_ghz = xeon_freq_ghz;
+  }
+
+let dae_soc =
+  { Soc.default_config with Soc.hierarchy = dae_hierarchy; freq_ghz = 2.0 }
+
+let dae_out_of_order = Tile_config.out_of_order
+
+let dae_in_order = Tile_config.in_order
+
+let table1_rows =
+  [
+    ("Sockets, Cores", "2 sockets, 8 cores each");
+    ("Node Technology and Frequency", "22nm, 3200 MHz");
+    ("L1-I and L1-D", "32KB private / 8-way");
+    ("L2", "2MB private / 8-way");
+    ("LLC", "20MB shared / 20-way");
+    ("DRAM", "128GB DDR4 @ 68GB/s");
+  ]
+
+let table2_rows =
+  [
+    ("Issue Width (OoO / InO)", "4 / 1");
+    ("Instruction Window/RoB/LSQ (OoO / InO)", "128/128/128 / 1");
+    ("Frequency/Tech", "2GHz / 22nm");
+    ("Area mm2 (OoO / InO)", "8.44 / 1.01");
+    ("L1", "32KB / 8-way / 1-cycle latency");
+    ("L2", "2MB / 8-way / 6-cycle latency");
+    ("DRAM", "DDR3L / 24GB/s BW / 200-cycle latency");
+    ("Comm. Buffer Sizes", "512 entries / 1-cycle latency");
+  ]

@@ -1,0 +1,37 @@
+(** Named system configurations from the paper's evaluation.
+
+    Table I: the Intel Xeon E5-2667 v3 machine used to validate accuracy and
+    scaling (§VI-A). Table II: the parameters of the DAE case study
+    (§VII-A). *)
+
+(** Table I hierarchy: 32 KB private L1, 2 MB private L2, 20 MB shared LLC,
+    DDR4 @ 68 GB/s. *)
+val xeon_hierarchy : Mosaic_memory.Hierarchy.config
+
+(** Xeon core frequency (GHz). *)
+val xeon_freq_ghz : float
+
+(** Table I hierarchy scaled down ~16x (capacities and bandwidth) to match
+    the scaled datasets of the Fig 7-9 scaling experiments; keeps each
+    working set spilling from the same level it would on the real machine
+    with full Parboil inputs. *)
+val xeon_scaled_hierarchy : Mosaic_memory.Hierarchy.config
+
+(** Table II hierarchy: 32 KB L1, shared 2 MB L2, DDR3L 24 GB/s with
+    200-cycle latency. *)
+val dae_hierarchy : Mosaic_memory.Hierarchy.config
+
+(** Soc configs wired with the above. *)
+val xeon_soc : Soc.config
+
+val dae_soc : Soc.config
+
+(** Table II cores. *)
+val dae_out_of_order : Mosaic_tile.Tile_config.t
+
+val dae_in_order : Mosaic_tile.Tile_config.t
+
+(** Rows of Table I / Table II for the benchmark harness to print. *)
+val table1_rows : (string * string) list
+
+val table2_rows : (string * string) list

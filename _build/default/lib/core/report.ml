@@ -1,0 +1,127 @@
+module Table = Mosaic_util.Table
+module Core_tile = Mosaic_tile.Core_tile
+module Tile_config = Mosaic_tile.Tile_config
+module Branch = Mosaic_tile.Branch
+module Hierarchy = Mosaic_memory.Hierarchy
+module Dram = Mosaic_memory.Dram
+module Op = Mosaic_ir.Op
+
+let kv = [ Table.column ~align:Table.Left "metric"; Table.column "value" ]
+
+let summary (r : Soc.result) =
+  Table.render ~columns:kv
+    [
+      [ "cycles"; Table.icell r.Soc.cycles ];
+      [ "instructions"; Table.icell r.Soc.instrs ];
+      [ "IPC"; Table.fcell ~decimals:3 r.Soc.ipc ];
+      [ "simulated time (ms)"; Table.fcell ~decimals:3 (r.Soc.seconds *. 1e3) ];
+      [ "energy (J)"; Printf.sprintf "%.3e" r.Soc.energy_j ];
+      [ "EDP (J*s)"; Printf.sprintf "%.3e" r.Soc.edp ];
+      [ "simulation speed (MIPS)"; Table.fcell r.Soc.mips ];
+      [ "accelerator invocations"; Table.icell r.Soc.accel_invocations ];
+    ]
+
+let per_tile (r : Soc.result) =
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (s : Core_tile.stats) ->
+           let b = s.Core_tile.branch in
+           [
+             Table.icell i;
+             Table.icell s.Core_tile.completed_instrs;
+             Table.icell s.Core_tile.finish_cycle;
+             Table.fcell
+               (if s.Core_tile.finish_cycle > 0 then
+                  float_of_int s.Core_tile.completed_instrs
+                  /. float_of_int s.Core_tile.finish_cycle
+                else 0.0);
+             Table.icell s.Core_tile.dbbs_launched;
+             Table.icell s.Core_tile.mem_accesses;
+             (if b.Branch.predictions = 0 then "-"
+              else
+                Printf.sprintf "%.1f%%"
+                  (100.0
+                  *. (1.0
+                     -. float_of_int b.Branch.mispredictions
+                        /. float_of_int b.Branch.predictions)));
+             Printf.sprintf "%.2e" (s.Core_tile.energy_pj *. 1e-12);
+           ])
+         r.Soc.tile_stats)
+  in
+  Table.render
+    ~columns:
+      [
+        Table.column "tile";
+        Table.column "instrs";
+        Table.column "finish cyc";
+        Table.column "IPC";
+        Table.column "DBBs";
+        Table.column "mem ops";
+        Table.column "branch acc";
+        Table.column "energy J";
+      ]
+    rows
+
+let instruction_mix (r : Soc.result) =
+  let totals = Array.make Tile_config.nclasses 0 in
+  Array.iter
+    (fun (s : Core_tile.stats) ->
+      Array.iteri
+        (fun i n -> totals.(i) <- totals.(i) + n)
+        s.Core_tile.issued_by_class)
+    r.Soc.tile_stats;
+  let all = Array.fold_left ( + ) 0 totals in
+  let rows =
+    List.filter_map
+      (fun cls ->
+        let n = totals.(Tile_config.class_index cls) in
+        if n = 0 then None
+        else
+          Some
+            [
+              Op.class_to_string cls;
+              Table.icell n;
+              Printf.sprintf "%.1f%%"
+                (100.0 *. float_of_int n /. float_of_int (Stdlib.max all 1));
+            ])
+      Op.all_classes
+  in
+  Table.render
+    ~columns:
+      [
+        Table.column ~align:Table.Left "class";
+        Table.column "issued";
+        Table.column "share";
+      ]
+    rows
+
+let memory (r : Soc.result) =
+  let t = r.Soc.mem_totals in
+  let d = r.Soc.dram in
+  Table.render ~columns:kv
+    [
+      [ "L1 accesses"; Table.icell t.Hierarchy.l1_accesses ];
+      [ "L2 accesses"; Table.icell t.Hierarchy.l2_accesses ];
+      [ "LLC accesses"; Table.icell t.Hierarchy.llc_accesses ];
+      [ "DRAM line reads"; Table.icell d.Dram.reads ];
+      [ "DRAM line writes"; Table.icell d.Dram.writes ];
+      [ "DRAM busy returns"; Table.icell d.Dram.busy_returns ];
+      [ "DRAM row hits"; Table.icell d.Dram.row_hits ];
+      [ "MAO issue rejections"; Table.icell r.Soc.mao_stalls ];
+      [ "interleaver sends"; Table.icell r.Soc.interleaver.Interleaver.sends ];
+      [ "interleaver stalls"; Table.icell r.Soc.interleaver.Interleaver.send_stalls ];
+    ]
+
+let full r =
+  String.concat "\n"
+    [
+      "== summary ==";
+      summary r;
+      "== per tile ==";
+      per_tile r;
+      "== instruction mix ==";
+      instruction_mix r;
+      "== memory system ==";
+      memory r;
+    ]

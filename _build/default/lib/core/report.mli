@@ -1,0 +1,18 @@
+(** Human-readable reports over simulation results: the per-tile, per-class
+    and memory-system breakdowns behind the headline numbers (the
+    McPAT-flavoured reporting the CLI's [run] command prints). *)
+
+(** Headline metrics table. *)
+val summary : Soc.result -> string
+
+(** Per-tile cycles/instructions/IPC/energy and branch accuracy. *)
+val per_tile : Soc.result -> string
+
+(** Instruction mix by functional-unit class, aggregated over tiles. *)
+val instruction_mix : Soc.result -> string
+
+(** Memory-system counters (per-level totals and DRAM behaviour). *)
+val memory : Soc.result -> string
+
+(** All of the above concatenated. *)
+val full : Soc.result -> string

@@ -1,0 +1,283 @@
+open Mosaic_ir
+module Hierarchy = Mosaic_memory.Hierarchy
+module Cache = Mosaic_memory.Cache
+module Dram = Mosaic_memory.Dram
+module Tile_config = Mosaic_tile.Tile_config
+module Core_tile = Mosaic_tile.Core_tile
+module Ddg = Mosaic_compiler.Ddg
+module Trace = Mosaic_trace.Trace
+module Accel_model = Mosaic_accel.Accel_model
+module Accel_kinds = Mosaic_accel.Accel_kinds
+
+type tile_spec = { kernel : string; tile_config : Tile_config.t }
+
+type mem_energy = {
+  l1_pj : float;
+  l2_pj : float;
+  llc_pj : float;
+  dram_line_pj : float;
+}
+
+type config = {
+  hierarchy : Hierarchy.config;
+  buffer_capacity : int;
+  wire_latency : int;
+  noc : Noc.config option;
+  accel_sys : Accel_model.sys_params;
+  accel_designs : (string * Accel_model.design_point) list;
+  freq_ghz : float;
+  mem_energy : mem_energy;
+  max_cycles : int;
+}
+
+let default_mem_energy =
+  { l1_pj = 10.0; l2_pj = 30.0; llc_pj = 100.0; dram_line_pj = 2000.0 }
+
+let default_hierarchy : Hierarchy.config =
+  {
+    Hierarchy.l1 =
+      {
+        Cache.size_bytes = 32 * 1024;
+        line_size = 64;
+        assoc = 8;
+        latency = 1;
+        mshr_size = 16;
+        prefetch = None;
+      };
+    l2 = None;
+    llc =
+      Some
+        {
+          Cache.size_bytes = 2 * 1024 * 1024;
+          line_size = 64;
+          assoc = 8;
+          latency = 6;
+          mshr_size = 32;
+          prefetch = None;
+        };
+    dram = Hierarchy.Simple Dram.default_simple;
+    coherence = None;
+  }
+
+let default_config =
+  {
+    hierarchy = default_hierarchy;
+    buffer_capacity = 512;
+    wire_latency = 1;
+    noc = None;
+    accel_sys = Accel_model.default_sys;
+    accel_designs =
+      (* Modest design points for the SoC-integrated instances; wider
+         configurations are explored in the DSE harness. *)
+      List.map
+        (fun kind ->
+          let par_lanes = if kind = "gemm" then 4 else 8 in
+          (kind, { Accel_model.plm_bytes = 64 * 1024; par_lanes }))
+        Accel_kinds.known_kinds;
+    freq_ghz = 2.0;
+    mem_energy = default_mem_energy;
+    max_cycles = 2_000_000_000;
+  }
+
+let with_hierarchy cfg hierarchy = { cfg with hierarchy }
+
+type result = {
+  cycles : int;
+  seconds : float;
+  instrs : int;
+  ipc : float;
+  energy_j : float;
+  edp : float;
+  host_seconds : float;
+  mips : float;
+  tile_stats : Core_tile.stats array;
+  interleaver : Interleaver.stats;
+  mem_totals : Hierarchy.totals;
+  dram : Dram.stats;
+  mao_stalls : int;
+  accel_invocations : int;
+}
+
+(* Tracks concurrent accelerator invocations so memory bandwidth is divided
+   among active instances (§IV-B's parallel-invocation scaling). *)
+type accel_manager = {
+  mutable active : int list;  (** finish cycles of in-flight invocations *)
+  mutable invocations : int;
+  mutable energy_pj_total : float;
+  busy_by_tile : int array;
+      (** cycles each tile spent waiting on its accelerator invocations
+          (treated as clock-gated for static power) *)
+}
+
+let accel_invoke mgr cfg hier ~tile ~kind ~params ~cycle =
+  mgr.active <- List.filter (fun f -> f > cycle) mgr.active;
+  let concurrent = 1 + List.length mgr.active in
+  let sys = cfg.accel_sys in
+  let sys =
+    {
+      sys with
+      Accel_model.mem_bw_bytes_per_cycle =
+        sys.Accel_model.mem_bw_bytes_per_cycle /. float_of_int concurrent;
+    }
+  in
+  let design =
+    match List.assoc_opt kind cfg.accel_designs with
+    | Some d -> d
+    | None -> { Accel_model.plm_bytes = 64 * 1024; par_lanes = 16 }
+  in
+  let w = Accel_kinds.workload kind params in
+  let est = Accel_model.estimate sys design w in
+  (* Non-coherent DMA: traffic goes straight to DRAM, contending with the
+     cores' misses. Charged at invocation time. *)
+  ignore
+    (Hierarchy.dram_burst hier ~cycle ~addr:0 ~bytes:est.Accel_model.bytes
+       ~is_write:false);
+  let finish = cycle + est.Accel_model.cycles in
+  mgr.active <- finish :: mgr.active;
+  mgr.invocations <- mgr.invocations + 1;
+  mgr.busy_by_tile.(tile) <- mgr.busy_by_tile.(tile) + est.Accel_model.cycles;
+  let energy_pj = est.Accel_model.energy_j *. 1e12 in
+  mgr.energy_pj_total <- mgr.energy_pj_total +. energy_pj;
+  { Core_tile.finish_cycle = finish; energy_pj }
+
+let run cfg ~program ~trace ~tiles =
+  let ntiles = Array.length tiles in
+  if ntiles = 0 then invalid_arg "Soc.run: no tiles";
+  if ntiles <> trace.Trace.ntiles then
+    invalid_arg
+      (Printf.sprintf "Soc.run: %d tiles but trace has %d" ntiles
+         trace.Trace.ntiles);
+  Array.iteri
+    (fun i spec ->
+      let traced = trace.Trace.tiles.(i).Trace.kernel in
+      if not (String.equal spec.kernel traced) then
+        invalid_arg
+          (Printf.sprintf "Soc.run: tile %d runs %s but trace has %s" i
+             spec.kernel traced))
+    tiles;
+  let hier = Hierarchy.create ~ntiles cfg.hierarchy in
+  let inter =
+    Interleaver.create ~buffer_capacity:cfg.buffer_capacity
+      ~wire_latency:cfg.wire_latency
+      ?noc:(Option.map (fun c -> Noc.create ~ntiles c) cfg.noc)
+      ()
+  in
+  let mgr =
+    {
+      active = [];
+      invocations = 0;
+      energy_pj_total = 0.0;
+      busy_by_tile = Array.make ntiles 0;
+    }
+  in
+  let ddg_cache = Hashtbl.create 4 in
+  let ddg_of name =
+    match Hashtbl.find_opt ddg_cache name with
+    | Some d -> d
+    | None ->
+        let d = Ddg.build (Program.func_exn program name) in
+        Hashtbl.replace ddg_cache name d;
+        d
+  in
+  let comm =
+    {
+      Core_tile.send =
+        (fun ~src ~dst ~chan ~cycle ~available ->
+          Interleaver.send inter ~src ~dst ~chan ~cycle ~available);
+      try_recv =
+        (fun ~tile ~chan ~cycle -> Interleaver.try_recv inter ~tile ~chan ~cycle);
+      take_or_owe =
+        (fun ~tile ~chan -> Interleaver.take_or_owe inter ~tile ~chan);
+      accel =
+        (fun ~tile ~kind ~params ~cycle ->
+          accel_invoke mgr cfg hier ~tile ~kind ~params ~cycle);
+    }
+  in
+  let cores =
+    Array.mapi
+      (fun i spec ->
+        Core_tile.create ~id:i ~config:spec.tile_config
+          ~func:(Program.func_exn program spec.kernel)
+          ~ddg:(ddg_of spec.kernel) ~tile_trace:trace.Trace.tiles.(i)
+          ~hierarchy:hier ~comm)
+      tiles
+  in
+  let host_start = Sys.time () in
+  let cycle = ref 0 in
+  let all_done () = Array.for_all Core_tile.finished cores in
+  while not (all_done ()) do
+    if !cycle >= cfg.max_cycles then
+      failwith
+        (Printf.sprintf "Soc.run: exceeded max_cycles=%d (deadlock?)"
+           cfg.max_cycles);
+    Array.iter (fun c -> Core_tile.step c ~cycle:!cycle) cores;
+    incr cycle
+  done;
+  let host_seconds = Sys.time () -. host_start in
+  let cycles = !cycle in
+  let tile_stats = Array.map Core_tile.stats cores in
+  let instrs =
+    Array.fold_left
+      (fun acc s -> acc + s.Core_tile.completed_instrs)
+      0 tile_stats
+  in
+  let core_energy_pj =
+    Array.fold_left (fun acc s -> acc +. s.Core_tile.energy_pj) 0.0 tile_stats
+  in
+  let totals = Hierarchy.totals hier in
+  let me = cfg.mem_energy in
+  let mem_energy_pj =
+    (float_of_int totals.Hierarchy.l1_accesses *. me.l1_pj)
+    +. (float_of_int totals.Hierarchy.l2_accesses *. me.l2_pj)
+    +. (float_of_int totals.Hierarchy.llc_accesses *. me.llc_pj)
+    +. (float_of_int totals.Hierarchy.dram_lines *. me.dram_line_pj)
+  in
+  (* Static (leakage + clock) energy per tile. While a tile waits on an
+     accelerator it invoked, clock gating saves ~75% of its power (leakage
+     and uncore remain). *)
+  let static_j =
+    Array.to_list
+      (Array.mapi
+         (fun i spec ->
+           let finish =
+             let f = tile_stats.(i).Core_tile.finish_cycle in
+             if f >= 0 then f else cycles
+           in
+           let gated = Stdlib.min finish mgr.busy_by_tile.(i) in
+           let powered =
+             float_of_int (finish - gated) +. (0.25 *. float_of_int gated)
+           in
+           spec.tile_config.Tile_config.static_power_w
+           *. (powered /. (cfg.freq_ghz *. 1e9)))
+         tiles)
+    |> List.fold_left ( +. ) 0.0
+  in
+  let energy_j = ((core_energy_pj +. mem_energy_pj) *. 1e-12) +. static_j in
+  let seconds = float_of_int cycles /. (cfg.freq_ghz *. 1e9) in
+  {
+    cycles;
+    seconds;
+    instrs;
+    ipc = (if cycles = 0 then 0.0 else float_of_int instrs /. float_of_int cycles);
+    energy_j;
+    edp = energy_j *. seconds;
+    host_seconds;
+    mips =
+      (if host_seconds <= 0.0 then Float.infinity
+       else float_of_int instrs /. host_seconds /. 1e6);
+    tile_stats;
+    interleaver = Interleaver.stats inter;
+    mem_totals = totals;
+    dram = Hierarchy.dram_stats hier;
+    mao_stalls =
+      Array.fold_left (fun acc c -> acc + Core_tile.mao_stalls c) 0 cores;
+    accel_invocations = mgr.invocations;
+  }
+
+let run_homogeneous cfg ~program ~trace ~tile_config =
+  let tiles =
+    Array.map
+      (fun (tt : Trace.tile_trace) -> { kernel = tt.Trace.kernel; tile_config })
+      trace.Trace.tiles
+  in
+  run cfg ~program ~trace ~tiles

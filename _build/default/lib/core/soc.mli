@@ -1,0 +1,76 @@
+(** SoC composition and simulation driver — "plug-and-play" heterogeneous
+    systems (§II, §VII).
+
+    A run takes a program, its dynamic traces, and one {!tile_spec} per
+    tile; it instantiates the shared memory hierarchy, the Interleaver, and
+    a graph-based tile model per tile, then steps everything cycle by cycle
+    until all tiles drain. Accelerator instructions are served by the
+    analytic models of [Mosaic_accel], with memory bandwidth shared among
+    concurrent invocations and DMA traffic charged to DRAM. *)
+
+type tile_spec = {
+  kernel : string;  (** function this tile executes *)
+  tile_config : Mosaic_tile.Tile_config.t;
+}
+
+type mem_energy = {
+  l1_pj : float;
+  l2_pj : float;
+  llc_pj : float;
+  dram_line_pj : float;
+}
+
+type config = {
+  hierarchy : Mosaic_memory.Hierarchy.config;
+  buffer_capacity : int;  (** inter-tile communication buffers *)
+  wire_latency : int;
+  noc : Noc.config option;
+      (** when set, inter-tile messages ride the mesh NoC model *)
+  accel_sys : Mosaic_accel.Accel_model.sys_params;
+  accel_designs : (string * Mosaic_accel.Accel_model.design_point) list;
+      (** design point instantiated per accelerator kind *)
+  freq_ghz : float;
+  mem_energy : mem_energy;
+  max_cycles : int;
+}
+
+val default_config : config
+
+(** Replace the hierarchy of a config (builders often share the rest). *)
+val with_hierarchy : config -> Mosaic_memory.Hierarchy.config -> config
+
+type result = {
+  cycles : int;
+  seconds : float;  (** simulated time at [freq_ghz] *)
+  instrs : int;  (** dynamic instructions completed across tiles *)
+  ipc : float;
+  energy_j : float;  (** cores + memory + accelerators *)
+  edp : float;  (** energy-delay product, J*s *)
+  host_seconds : float;  (** simulator wall-clock *)
+  mips : float;  (** simulation speed in simulated MIPS *)
+  tile_stats : Mosaic_tile.Core_tile.stats array;
+  interleaver : Interleaver.stats;
+  mem_totals : Mosaic_memory.Hierarchy.totals;
+  dram : Mosaic_memory.Dram.stats;
+  mao_stalls : int;
+  accel_invocations : int;
+}
+
+(** Raises [Invalid_argument] when tiles and trace disagree (count or
+    kernels), and [Failure] if [max_cycles] elapses before all tiles
+    finish. *)
+val run :
+  config ->
+  program:Mosaic_ir.Program.t ->
+  trace:Mosaic_trace.Trace.t ->
+  tiles:tile_spec array ->
+  result
+
+(** Convenience: homogeneous system of [n] identical tiles running the
+    trace's kernel. *)
+val run_homogeneous :
+  config ->
+  program:Mosaic_ir.Program.t ->
+  trace:Mosaic_trace.Trace.t ->
+  tile_config:Mosaic_tile.Tile_config.t ->
+  result

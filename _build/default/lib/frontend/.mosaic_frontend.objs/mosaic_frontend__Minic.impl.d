@@ -1,0 +1,1 @@
+lib/frontend/minic.ml: Builder Format Hashtbl In_channel Instr Int64 List Mosaic_ir Op Program String Validate Value

@@ -1,0 +1,1 @@
+lib/frontend/minic.mli: Mosaic_ir

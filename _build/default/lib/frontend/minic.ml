@@ -1,0 +1,621 @@
+open Mosaic_ir
+module B = Builder
+
+exception Error of { line : int; message : string }
+
+let fail ~line fmt =
+  Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | PUNCT of string
+
+type lexed = { tok : token; line : int }
+
+let punctuation2 = [ "=="; "!="; "<="; ">="; "&&"; "||"; "+=" ]
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit c || c = '_'
+
+let lex src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push tok = out := { tok; line = !line } :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '.') do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      if String.contains text '.' then
+        match float_of_string_opt text with
+        | Some f -> push (FLOAT f)
+        | None -> fail ~line:!line "bad float literal %s" text
+      else
+        match Int64.of_string_opt text with
+        | Some v -> push (INT v)
+        | None -> fail ~line:!line "bad integer literal %s" text
+    end
+    else if is_ident_char c && not (is_digit c) then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      push (IDENT (String.sub src start (!i - start)))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      if List.mem two punctuation2 then begin
+        push (PUNCT two);
+        i := !i + 2
+      end
+      else begin
+        push (PUNCT (String.make 1 c));
+        incr i
+      end
+    end
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* AST                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type ty = I | F
+
+type expr =
+  | E_int of int64
+  | E_float of float
+  | E_var of string
+  | E_tid
+  | E_ntiles
+  | E_bin of string * expr * expr
+  | E_neg of expr
+  | E_not of expr
+  | E_load of string * expr
+  | E_call of string * expr list
+  | E_cast of ty * expr
+  | E_recv of int
+
+type stmt = int * stmt_kind  (* source line, kind *)
+
+and stmt_kind =
+  | S_decl of string * expr
+  | S_assign of string * expr
+  | S_store of string * expr * expr
+  | S_atomic of Op.rmw * string * expr * expr
+  | S_if of expr * stmt list * stmt list
+  | S_while of expr * stmt list
+  | S_for of string * expr * expr * (string * expr) * stmt list
+  | S_send of int * expr * expr
+
+type gdecl = { gname : string; gelems : int; gty : ty; gsize : int }
+
+type kernel = { kname : string; kparams : string list; kbody : stmt list }
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type parser_state = { mutable toks : lexed list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+
+let advance st =
+  match st.toks with
+  | [] -> fail ~line:0 "unexpected end of input"
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect_punct st p =
+  let t = advance st in
+  match t.tok with
+  | PUNCT q when q = p -> ()
+  | _ -> fail ~line:t.line "expected '%s'" p
+
+let expect_ident st =
+  let t = advance st in
+  match t.tok with
+  | IDENT s -> s
+  | _ -> fail ~line:t.line "expected identifier"
+
+let expect_int st =
+  let t = advance st in
+  match t.tok with
+  | INT v -> Int64.to_int v
+  | _ -> fail ~line:t.line "expected integer literal"
+
+let accept_punct st p =
+  match peek st with
+  | Some { tok = PUNCT q; _ } when q = p ->
+      ignore (advance st);
+      true
+  | _ -> false
+
+let math_calls =
+  [ "sqrt"; "sin"; "cos"; "exp"; "log"; "fabs"; "floor"; "pow"; "atan2" ]
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while accept_punct st "||" do
+    lhs := E_bin ("||", !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_cmp st) in
+  while accept_punct st "&&" do
+    lhs := E_bin ("&&", !lhs, parse_cmp st)
+  done;
+  !lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    List.find_opt (accept_punct st) [ "=="; "!="; "<="; ">="; "<"; ">" ]
+  in
+  match op with
+  | Some op -> E_bin (op, lhs, parse_add st)
+  | None -> lhs
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let rec loop () =
+    if accept_punct st "+" then begin
+      lhs := E_bin ("+", !lhs, parse_mul st);
+      loop ()
+    end
+    else if accept_punct st "-" then begin
+      lhs := E_bin ("-", !lhs, parse_mul st);
+      loop ()
+    end
+  in
+  loop ();
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    if accept_punct st "*" then begin
+      lhs := E_bin ("*", !lhs, parse_unary st);
+      loop ()
+    end
+    else if accept_punct st "/" then begin
+      lhs := E_bin ("/", !lhs, parse_unary st);
+      loop ()
+    end
+    else if accept_punct st "%" then begin
+      lhs := E_bin ("%", !lhs, parse_unary st);
+      loop ()
+    end
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  if accept_punct st "-" then E_neg (parse_unary st)
+  else if accept_punct st "!" then E_not (parse_unary st)
+  else parse_primary st
+
+and parse_primary st =
+  let t = advance st in
+  match t.tok with
+  | INT v -> E_int v
+  | FLOAT f -> E_float f
+  | PUNCT "(" ->
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | IDENT "tid" -> E_tid
+  | IDENT "ntiles" -> E_ntiles
+  | IDENT "float" ->
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      E_cast (F, e)
+  | IDENT "int" ->
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      E_cast (I, e)
+  | IDENT "recv" ->
+      expect_punct st "(";
+      let chan = expect_int st in
+      expect_punct st ")";
+      E_recv chan
+  | IDENT name when List.mem name math_calls ->
+      expect_punct st "(";
+      let args = ref [ parse_expr st ] in
+      while accept_punct st "," do
+        args := parse_expr st :: !args
+      done;
+      expect_punct st ")";
+      E_call (name, List.rev !args)
+  | IDENT name ->
+      if accept_punct st "[" then begin
+        let idx = parse_expr st in
+        expect_punct st "]";
+        E_load (name, idx)
+      end
+      else E_var name
+  | _ -> fail ~line:t.line "unexpected token in expression"
+
+let rec parse_stmt st =
+  let t = advance st in
+  let at kind = (t.line, kind) in
+  match t.tok with
+  | IDENT "var" ->
+      let name = expect_ident st in
+      expect_punct st "=";
+      let e = parse_expr st in
+      expect_punct st ";";
+      at (S_decl (name, e))
+  | IDENT "if" ->
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      let then_b = parse_block st in
+      let else_b =
+        match peek st with
+        | Some { tok = IDENT "else"; _ } ->
+            ignore (advance st);
+            parse_block st
+        | _ -> []
+      in
+      at (S_if (cond, then_b, else_b))
+  | IDENT "while" ->
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      at (S_while (cond, parse_block st))
+  | IDENT "for" ->
+      expect_punct st "(";
+      let iv = expect_ident st in
+      expect_punct st "=";
+      let init = parse_expr st in
+      expect_punct st ";";
+      let cond = parse_expr st in
+      expect_punct st ";";
+      let uv = expect_ident st in
+      expect_punct st "=";
+      let update = parse_expr st in
+      expect_punct st ")";
+      at (S_for (iv, init, cond, (uv, update), parse_block st))
+  | IDENT "send" ->
+      expect_punct st "(";
+      let chan = expect_int st in
+      expect_punct st ",";
+      let dst = parse_expr st in
+      expect_punct st ",";
+      let v = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      at (S_send (chan, dst, v))
+  | IDENT "atomic" -> (
+      let name = expect_ident st in
+      expect_punct st "[";
+      let idx = parse_expr st in
+      expect_punct st "]";
+      let t2 = advance st in
+      let rmw =
+        match t2.tok with
+        | PUNCT "+=" -> Op.Rmw_add
+        | IDENT "min" ->
+            expect_punct st "=";
+            Op.Rmw_min
+        | IDENT "max" ->
+            expect_punct st "=";
+            Op.Rmw_max
+        | _ -> fail ~line:t2.line "expected +=, min= or max= after atomic"
+      in
+      let v = parse_expr st in
+      expect_punct st ";";
+      match rmw with
+      | _ -> at (S_atomic (rmw, name, idx, v)))
+  | IDENT name ->
+      if accept_punct st "[" then begin
+        let idx = parse_expr st in
+        expect_punct st "]";
+        expect_punct st "=";
+        let v = parse_expr st in
+        expect_punct st ";";
+        at (S_store (name, idx, v))
+      end
+      else begin
+        expect_punct st "=";
+        let e = parse_expr st in
+        expect_punct st ";";
+        at (S_assign (name, e))
+      end
+  | _ -> fail ~line:t.line "unexpected token at statement start"
+
+and parse_block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (accept_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+let parse_ty st =
+  let t = advance st in
+  match t.tok with
+  | IDENT "f32" -> (F, 4)
+  | IDENT "f64" -> (F, 8)
+  | IDENT "i32" -> (I, 4)
+  | IDENT "i64" -> (I, 8)
+  | _ -> fail ~line:t.line "expected a type (f32|f64|i32|i64)"
+
+let parse_program src =
+  let st = { toks = lex src } in
+  let globals = ref [] and kernels = ref [] in
+  while peek st <> None do
+    let t = advance st in
+    match t.tok with
+    | IDENT "global" ->
+        let gname = expect_ident st in
+        expect_punct st "[";
+        let gelems = expect_int st in
+        expect_punct st "]";
+        expect_punct st ":";
+        let gty, gsize = parse_ty st in
+        expect_punct st ";";
+        globals := { gname; gelems; gty; gsize } :: !globals
+    | IDENT "kernel" ->
+        let kname = expect_ident st in
+        expect_punct st "(";
+        let params = ref [] in
+        (match peek st with
+        | Some { tok = PUNCT ")"; _ } -> ()
+        | _ ->
+            params := [ expect_ident st ];
+            while accept_punct st "," do
+              params := expect_ident st :: !params
+            done);
+        expect_punct st ")";
+        let body = parse_block st in
+        kernels :=
+          { kname; kparams = List.rev !params; kbody = body } :: !kernels
+    | _ -> fail ~line:t.line "expected 'global' or 'kernel'"
+  done;
+  (List.rev !globals, List.rev !kernels)
+
+(* ------------------------------------------------------------------ *)
+(* Typed code generation                                               *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  prog : Program.t;
+  gtypes : (string, ty * Program.global) Hashtbl.t;
+  mutable vars : (string * (Instr.operand * ty)) list;
+}
+
+let lookup_var env ~line name =
+  match List.assoc_opt name env.vars with
+  | Some v -> v
+  | None -> fail ~line "unknown variable %s" name
+
+let lookup_global env ~line name =
+  match Hashtbl.find_opt env.gtypes name with
+  | Some g -> g
+  | None -> fail ~line "unknown array %s" name
+
+(* promote an integer operand to float *)
+let to_float b (operand, ty) =
+  match ty with
+  | F -> operand
+  | I -> (
+      match operand with
+      | Instr.Imm (Value.Int v) -> B.fimm (Int64.to_float v)
+      | _ -> B.sitofp b operand)
+
+let math_of_name = function
+  | "sqrt" -> Op.Sqrt
+  | "sin" -> Op.Sin
+  | "cos" -> Op.Cos
+  | "exp" -> Op.Exp
+  | "log" -> Op.Log
+  | "fabs" -> Op.Fabs
+  | "floor" -> Op.Floor
+  | "pow" -> Op.Pow
+  | "atan2" -> Op.Atan2
+  | s -> invalid_arg s
+
+let rec gen_expr env b ~line e : Instr.operand * ty =
+  match e with
+  | E_int v -> (Instr.Imm (Value.Int v), I)
+  | E_float f -> (B.fimm f, F)
+  | E_tid -> (B.tid, I)
+  | E_ntiles -> (B.ntiles, I)
+  | E_var name -> lookup_var env ~line name
+  | E_cast (F, e) -> (to_float b (gen_expr env b ~line e), F)
+  | E_cast (I, e) -> (
+      let v, ty = gen_expr env b ~line e in
+      match ty with I -> (v, I) | F -> (B.fptosi b v, I))
+  | E_neg e -> (
+      let v, ty = gen_expr env b ~line e in
+      match ty with
+      | I -> (B.sub b (B.imm 0) v, I)
+      | F -> (B.fsub b (B.fimm 0.0) v, F))
+  | E_not e ->
+      let v, ty = gen_expr env b ~line e in
+      if ty = F then fail ~line "'!' needs an integer";
+      (B.icmp b Op.Eq v (B.imm 0), I)
+  | E_load (name, idx) ->
+      let ty, g = lookup_global env ~line name in
+      let iv, ity = gen_expr env b ~line idx in
+      if ity = F then fail ~line "array index must be an integer";
+      (B.load b ~size:g.Program.elem_size (B.elem b g iv), ty)
+  | E_recv chan -> (B.recv b ~chan, F)
+  | E_call (name, args) ->
+      let vals =
+        List.map (fun a -> to_float b (gen_expr env b ~line a)) args
+      in
+      let m = math_of_name name in
+      (match (m, vals) with
+      | (Op.Pow | Op.Atan2), [ x; y ] -> (B.math2 b m x y, F)
+      | (Op.Pow | Op.Atan2), _ -> fail ~line "%s expects two arguments" name
+      | _, [ x ] -> (B.math1 b m x, F)
+      | _, _ -> fail ~line "%s expects one argument" name)
+  | E_bin (op, l, r) -> gen_bin env b ~line op l r
+
+and gen_bin env b ~line op l r =
+  let lv, lt = gen_expr env b ~line l in
+  let rv, rt = gen_expr env b ~line r in
+  let arith iop fop =
+    if lt = F || rt = F then
+      (fop (to_float b (lv, lt)) (to_float b (rv, rt)), F)
+    else (iop lv rv, I)
+  in
+  match op with
+  | "+" -> arith (B.add b) (B.fadd b)
+  | "-" -> arith (B.sub b) (B.fsub b)
+  | "*" -> arith (B.mul b) (B.fmul b)
+  | "/" -> arith (B.sdiv b) (B.fdiv b)
+  | "%" ->
+      if lt = F || rt = F then fail ~line "'%%' needs integers";
+      (B.srem b lv rv, I)
+  | "&&" | "||" ->
+      if lt = F || rt = F then fail ~line "'%s' needs integers" op;
+      let lb = B.icmp b Op.Ne lv (B.imm 0) in
+      let rb = B.icmp b Op.Ne rv (B.imm 0) in
+      ((if op = "&&" then B.and_ b lb rb else B.or_ b lb rb), I)
+  | "==" | "!=" | "<" | "<=" | ">" | ">=" ->
+      let pred =
+        match op with
+        | "==" -> Op.Eq
+        | "!=" -> Op.Ne
+        | "<" -> Op.Lt
+        | "<=" -> Op.Le
+        | ">" -> Op.Gt
+        | _ -> Op.Ge
+      in
+      if lt = F || rt = F then
+        (B.fcmp b pred (to_float b (lv, lt)) (to_float b (rv, rt)), I)
+      else (B.icmp b pred lv rv, I)
+  | _ -> fail ~line "unknown operator %s" op
+
+(* Coerce a value to the target type; integers promote to float, floats do
+   not silently narrow. *)
+let coerce env b ~line ~target (v, ty) =
+  ignore env;
+  match (target, ty) with
+  | F, I -> to_float b (v, ty)
+  | I, F -> fail ~line "cannot store a float where an integer is expected"
+  | _ -> v
+
+let rec gen_stmt env b ((line, kind) : stmt) =
+  match kind with
+  | S_decl (name, e) ->
+      let v, ty = gen_expr env b ~line e in
+      let var = B.var b v in
+      env.vars <- (name, (var, ty)) :: env.vars
+  | S_assign (name, e) ->
+      let var, vty = lookup_var env ~line name in
+      let v = coerce env b ~line ~target:vty (gen_expr env b ~line e) in
+      B.assign b ~var v
+  | S_store (name, idx, e) ->
+      let ty, g = lookup_global env ~line name in
+      let iv, ity = gen_expr env b ~line idx in
+      if ity = F then fail ~line "array index must be an integer";
+      let v = coerce env b ~line ~target:ty (gen_expr env b ~line e) in
+      B.store b ~size:g.Program.elem_size ~addr:(B.elem b g iv) v
+  | S_atomic (rmw, name, idx, e) ->
+      let ty, g = lookup_global env ~line name in
+      let iv, ity = gen_expr env b ~line idx in
+      if ity = F then fail ~line "array index must be an integer";
+      let v = coerce env b ~line ~target:ty (gen_expr env b ~line e) in
+      ignore (B.atomic b rmw ~size:g.Program.elem_size ~addr:(B.elem b g iv) v)
+  | S_send (chan, dst, e) ->
+      let dv, dty = gen_expr env b ~line dst in
+      if dty = F then fail ~line "send destination must be an integer";
+      let v, _ = gen_expr env b ~line e in
+      B.send b ~chan ~dst:dv v
+  | S_if (cond, then_b, else_b) ->
+      let cv, _ = gen_expr env b ~line cond in
+      let saved = env.vars in
+      B.if_else b cv
+        (fun () ->
+          List.iter (gen_stmt env b) then_b;
+          env.vars <- saved)
+        (fun () ->
+          List.iter (gen_stmt env b) else_b;
+          env.vars <- saved)
+  | S_while (cond, body) ->
+      let saved = env.vars in
+      B.while_ b
+        ~cond:(fun () -> fst (gen_expr env b ~line cond))
+        (fun () ->
+          List.iter (gen_stmt env b) body;
+          env.vars <- saved)
+  | S_for (iv_name, init, cond, (uv_name, update), body) ->
+      let v, ty = gen_expr env b ~line init in
+      let iv = B.var b v in
+      let saved = env.vars in
+      env.vars <- (iv_name, (iv, ty)) :: env.vars;
+      B.while_ b
+        ~cond:(fun () -> fst (gen_expr env b ~line cond))
+        (fun () ->
+          let inner = env.vars in
+          List.iter (gen_stmt env b) body;
+          env.vars <- inner;
+          let uvar, uty = lookup_var env ~line uv_name in
+          let u = coerce env b ~line ~target:uty (gen_expr env b ~line update) in
+          B.assign b ~var:uvar u);
+      env.vars <- saved
+
+let compile src =
+  let globals, kernels = parse_program src in
+  if kernels = [] then fail ~line:0 "no kernels in source";
+  let prog = Program.create () in
+  let gtypes = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      let pg = Program.alloc prog g.gname ~elems:g.gelems ~elem_size:g.gsize in
+      Hashtbl.replace gtypes g.gname (g.gty, pg))
+    globals;
+  List.iter
+    (fun k ->
+      let nparams = List.length k.kparams in
+      ignore
+        (B.define prog k.kname ~nparams (fun b ->
+             let env = { prog; gtypes; vars = [] } in
+             List.iteri
+               (fun i p -> env.vars <- (p, (B.param b i, I)) :: env.vars)
+               k.kparams;
+             List.iter (gen_stmt env b) k.kbody;
+             B.ret b ())))
+    kernels;
+  Validate.check_exn prog;
+  prog
+
+let compile_file path =
+  compile (In_channel.with_open_text path In_channel.input_all)

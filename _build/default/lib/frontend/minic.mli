@@ -1,0 +1,44 @@
+(** MiniC: a small C-flavoured kernel language compiled to the MosaicSim IR.
+
+    The paper's front-end story is that LLVM lets many languages feed the
+    simulator (C/C++ via Clang, Python via Numba, Keras). This module is the
+    reproduction's human-writable front-end on top of the builder DSL:
+
+    {v
+    global data[1024] : f32;
+
+    kernel scale(n) {
+      var lo = tid * (n / ntiles);
+      var hi = lo + (n / ntiles);
+      for (i = lo; i < hi; i = i + 1) {
+        data[i] = data[i] * 1.5 + 1.0;
+      }
+    }
+    v}
+
+    Language summary:
+    - globals: [global name[elems] : f32|i32|f64|i64;]
+    - kernels: [kernel name(p1, p2, ...) { ... }] — parameters are integers
+    - statements: [var x = e;], [x = e;], [arr[e] = e;],
+      [atomic arr[e] += e;] (also [min=], [max=]),
+      [if (e) {..} else {..}], [while (e) {..}],
+      [for (i = e; e; i = e) {..}], [send(chan, dst, e);],
+      [x = recv(chan);], [barrier;] is not built in (use atomics)
+    - expressions: integer and float arithmetic [+ - * / %], comparisons,
+      [&&]/[||] (strict), unary [-] and [!], array loads [arr[e]],
+      [tid], [ntiles], calls [sqrt sin cos exp log fabs floor pow atan2],
+      [float(e)] and [int(e)] casts, parentheses
+    - typing: [i32]/[i64] arrays and integer literals are integers; [f32]/
+      [f64] arrays and literals with a point are floats; integers promote
+      to float implicitly where a float is expected; comparisons yield
+      integers.
+
+    Errors are reported with line numbers. *)
+
+exception Error of { line : int; message : string }
+
+(** Compile a MiniC source into a fresh validated program. *)
+val compile : string -> Mosaic_ir.Program.t
+
+(** Compile from a file path. *)
+val compile_file : string -> Mosaic_ir.Program.t

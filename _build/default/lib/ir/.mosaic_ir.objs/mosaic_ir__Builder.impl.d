@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Func Instr List Op Printf Program Value

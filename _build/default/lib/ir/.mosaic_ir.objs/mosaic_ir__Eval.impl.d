@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Float Int64 Op Value

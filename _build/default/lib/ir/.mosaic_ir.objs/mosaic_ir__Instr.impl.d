@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Array Format List Op String Value

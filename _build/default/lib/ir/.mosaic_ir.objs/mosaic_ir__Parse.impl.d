@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Buffer Format Func Instr Int64 List Op Printf Program String Validate Value

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Format Func Hashtbl Instr List Op Printf Program Stdlib String

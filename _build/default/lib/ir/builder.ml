@@ -1,0 +1,230 @@
+type block_state = { mutable rev_instrs : Instr.t list; mutable closed : bool }
+
+type t = {
+  fname : string;
+  nparams : int;
+  mutable nregs : int;
+  mutable next_id : int;
+  mutable blocks : block_state array;
+  mutable nblocks : int;
+  mutable cur : int;
+}
+
+let fresh_block_state () = { rev_instrs = []; closed = false }
+
+let create fname ~nparams =
+  let b =
+    {
+      fname;
+      nparams;
+      nregs = nparams;
+      next_id = 0;
+      blocks = Array.init 8 (fun _ -> fresh_block_state ());
+      nblocks = 1;
+      cur = 0;
+    }
+  in
+  b.blocks.(0) <- fresh_block_state ();
+  b
+
+let fresh_reg b =
+  let r = b.nregs in
+  b.nregs <- r + 1;
+  r
+
+let new_block b =
+  if b.nblocks = Array.length b.blocks then begin
+    let fresh = Array.init (2 * b.nblocks) (fun _ -> fresh_block_state ()) in
+    Array.blit b.blocks 0 fresh 0 b.nblocks;
+    b.blocks <- fresh
+  end;
+  let bid = b.nblocks in
+  b.blocks.(bid) <- fresh_block_state ();
+  b.nblocks <- bid + 1;
+  bid
+
+let switch_to b bid =
+  if bid < 0 || bid >= b.nblocks then
+    invalid_arg (Printf.sprintf "Builder.switch_to: bad block %d" bid);
+  b.cur <- bid
+
+let current_block b = b.cur
+
+let emit b op args =
+  let blk = b.blocks.(b.cur) in
+  if blk.closed then
+    invalid_arg
+      (Printf.sprintf "Builder(%s): emit into terminated block %d" b.fname
+         b.cur);
+  let dst = if Op.has_result op then Some (fresh_reg b) else None in
+  let i = Instr.make ~id:b.next_id ~op ~args ~dst in
+  b.next_id <- b.next_id + 1;
+  blk.rev_instrs <- i :: blk.rev_instrs;
+  if Op.is_terminator op then blk.closed <- true;
+  match dst with Some d -> Instr.Reg d | None -> Instr.Imm Value.zero
+
+(* Operands *)
+
+let param b n =
+  if n < 0 || n >= b.nparams then
+    invalid_arg (Printf.sprintf "Builder.param: %s has %d params" b.fname
+                   b.nparams);
+  Instr.Reg n
+
+let imm n = Instr.Imm (Value.of_int n)
+let fimm f = Instr.Imm (Value.of_float f)
+let tru = Instr.Imm (Value.of_bool true)
+let fls = Instr.Imm (Value.of_bool false)
+let glob (g : Program.global) = Instr.Glob g.Program.gname
+let tid = Instr.Tid
+let ntiles = Instr.Ntiles
+
+(* Arithmetic *)
+
+let binop op b x y = emit b (Op.Binop op) [| x; y |]
+let add b = binop Op.Add b
+let sub b = binop Op.Sub b
+let mul b = binop Op.Mul b
+let sdiv b = binop Op.Sdiv b
+let srem b = binop Op.Srem b
+let and_ b = binop Op.And b
+let or_ b = binop Op.Or b
+let xor b = binop Op.Xor b
+let shl b = binop Op.Shl b
+let lshr b = binop Op.Lshr b
+let ashr b = binop Op.Ashr b
+
+let fbinop op b x y = emit b (Op.Fbinop op) [| x; y |]
+let fadd b = fbinop Op.Fadd b
+let fsub b = fbinop Op.Fsub b
+let fmul b = fbinop Op.Fmul b
+let fdiv b = fbinop Op.Fdiv b
+
+let icmp b pred x y = emit b (Op.Icmp pred) [| x; y |]
+let fcmp b pred x y = emit b (Op.Fcmp pred) [| x; y |]
+let select b c x y = emit b Op.Select [| c; x; y |]
+let sitofp b x = emit b (Op.Cast Op.Sitofp) [| x |]
+let fptosi b x = emit b (Op.Cast Op.Fptosi) [| x |]
+let math1 b m x = emit b (Op.Math m) [| x |]
+let math2 b m x y = emit b (Op.Math m) [| x; y |]
+
+(* Memory *)
+
+let gep b ~scale base index = emit b (Op.Gep scale) [| base; index |]
+
+let elem b (g : Program.global) index =
+  gep b ~scale:g.Program.elem_size (glob g) index
+
+let load b ?(size = 8) addr = emit b (Op.Load size) [| addr |]
+
+let store b ?(size = 8) ~addr v = ignore (emit b (Op.Store size) [| addr; v |])
+
+let atomic b rmw ?(size = 8) ~addr v =
+  emit b (Op.Atomic_rmw (rmw, size)) [| addr; v |]
+
+(* Communication and accelerators *)
+
+let send b ~chan ~dst v = ignore (emit b (Op.Send chan) [| dst; v |])
+
+let load_send b ~chan ?(size = 8) ~dst addr =
+  ignore (emit b (Op.Load_send (chan, size)) [| dst; addr |])
+
+let recv b ~chan = emit b (Op.Recv chan) [||]
+
+let store_recv b ~chan ?(size = 8) ?rmw ~addr () =
+  ignore (emit b (Op.Store_recv (chan, size, rmw)) [| addr |])
+
+let accel b kind args = ignore (emit b (Op.Accel kind) (Array.of_list args))
+
+(* Mutable variables. A move is [select true v v]: type-preserving, one
+   ALU-class instruction — the counterpart of the phi LLVM would insert. *)
+
+let mov_into b r v =
+  let blk = b.blocks.(b.cur) in
+  if blk.closed then
+    invalid_arg
+      (Printf.sprintf "Builder(%s): emit into terminated block %d" b.fname
+         b.cur);
+  let i =
+    Instr.make ~id:b.next_id ~op:Op.Select ~args:[| tru; v; v |] ~dst:(Some r)
+  in
+  b.next_id <- b.next_id + 1;
+  blk.rev_instrs <- i :: blk.rev_instrs
+
+let var b init =
+  let r = fresh_reg b in
+  mov_into b r init;
+  Instr.Reg r
+
+let assign b ~var v =
+  match var with
+  | Instr.Reg r -> mov_into b r v
+  | Instr.Imm _ | Instr.Glob _ | Instr.Tid | Instr.Ntiles ->
+      invalid_arg "Builder.assign: target is not a variable"
+
+(* Control flow *)
+
+let br b target = ignore (emit b (Op.Br target) [||])
+
+let cond_br b cond taken not_taken =
+  ignore (emit b (Op.Cond_br (taken, not_taken)) [| cond |])
+
+let if_else b cond then_f else_f =
+  let then_bb = new_block b in
+  let else_bb = new_block b in
+  let join_bb = new_block b in
+  cond_br b cond then_bb else_bb;
+  switch_to b then_bb;
+  then_f ();
+  if not b.blocks.(b.cur).closed then br b join_bb;
+  switch_to b else_bb;
+  else_f ();
+  if not b.blocks.(b.cur).closed then br b join_bb;
+  switch_to b join_bb
+
+let if_ b cond then_f = if_else b cond then_f (fun () -> ())
+
+let while_ b ~cond body =
+  let header = new_block b in
+  br b header;
+  switch_to b header;
+  let c = cond () in
+  let body_bb = new_block b in
+  let exit_bb = new_block b in
+  cond_br b c body_bb exit_bb;
+  switch_to b body_bb;
+  body ();
+  if not b.blocks.(b.cur).closed then br b header;
+  switch_to b exit_bb
+
+let for_ b ~from ~to_ ?(step = 1) body =
+  let iv = var b from in
+  while_ b
+    ~cond:(fun () -> icmp b Op.Lt iv to_)
+    (fun () ->
+      body iv;
+      assign b ~var:iv (add b iv (imm step)))
+
+let ret b ?value () =
+  let args = match value with Some v -> [| v |] | None -> [||] in
+  ignore (emit b Op.Ret args)
+
+(* Finalization *)
+
+let finalize b =
+  let blocks =
+    Array.init b.nblocks (fun bid ->
+        let st = b.blocks.(bid) in
+        if not st.closed then
+          invalid_arg
+            (Printf.sprintf "Builder(%s): block %d not terminated" b.fname bid);
+        { Func.bid; instrs = Array.of_list (List.rev st.rev_instrs) })
+  in
+  Func.make ~name:b.fname ~nparams:b.nparams ~nregs:b.nregs ~blocks
+
+let define prog name ~nparams body =
+  let b = create name ~nparams in
+  body b;
+  let f = finalize b in
+  Program.add_func prog f;
+  f

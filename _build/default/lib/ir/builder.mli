@@ -1,0 +1,119 @@
+(** Imperative kernel builder — the reproduction's front-end.
+
+    Plays the role of Clang in the paper's toolchain: workloads are written
+    against this DSL and lowered to IR basic blocks. Emitters append
+    instructions to the current block and return the result operand;
+    structured helpers ([if_], [while_], [for_]) create the block graph, so
+    kernels read like the C they replace.
+
+    Loop-carried values use [var]/[assign], which compile to
+    register-move instructions — the moral equivalent of the phi nodes LLVM
+    would place (MosaicSim executes phis as instructions too). *)
+
+type t
+
+(** [define prog name ~nparams body] builds kernel [name], runs [body] to
+    emit its code (starting in entry block 0), finalizes, registers the
+    function in [prog] and returns it. Raises [Invalid_argument] if a block
+    is left unterminated or code is emitted after a terminator. *)
+val define : Program.t -> string -> nparams:int -> (t -> unit) -> Func.t
+
+(** {1 Operands} *)
+
+val param : t -> int -> Instr.operand
+val imm : int -> Instr.operand
+val fimm : float -> Instr.operand
+val tru : Instr.operand
+val fls : Instr.operand
+val glob : Program.global -> Instr.operand
+val tid : Instr.operand
+val ntiles : Instr.operand
+
+(** {1 Arithmetic} *)
+
+val add : t -> Instr.operand -> Instr.operand -> Instr.operand
+val sub : t -> Instr.operand -> Instr.operand -> Instr.operand
+val mul : t -> Instr.operand -> Instr.operand -> Instr.operand
+val sdiv : t -> Instr.operand -> Instr.operand -> Instr.operand
+val srem : t -> Instr.operand -> Instr.operand -> Instr.operand
+val and_ : t -> Instr.operand -> Instr.operand -> Instr.operand
+val or_ : t -> Instr.operand -> Instr.operand -> Instr.operand
+val xor : t -> Instr.operand -> Instr.operand -> Instr.operand
+val shl : t -> Instr.operand -> Instr.operand -> Instr.operand
+val lshr : t -> Instr.operand -> Instr.operand -> Instr.operand
+val ashr : t -> Instr.operand -> Instr.operand -> Instr.operand
+val fadd : t -> Instr.operand -> Instr.operand -> Instr.operand
+val fsub : t -> Instr.operand -> Instr.operand -> Instr.operand
+val fmul : t -> Instr.operand -> Instr.operand -> Instr.operand
+val fdiv : t -> Instr.operand -> Instr.operand -> Instr.operand
+val icmp : t -> Op.pred -> Instr.operand -> Instr.operand -> Instr.operand
+val fcmp : t -> Op.pred -> Instr.operand -> Instr.operand -> Instr.operand
+val select :
+  t -> Instr.operand -> Instr.operand -> Instr.operand -> Instr.operand
+val sitofp : t -> Instr.operand -> Instr.operand
+val fptosi : t -> Instr.operand -> Instr.operand
+val math1 : t -> Op.math -> Instr.operand -> Instr.operand
+val math2 : t -> Op.math -> Instr.operand -> Instr.operand -> Instr.operand
+
+(** {1 Memory} *)
+
+(** [gep b ~scale base index] is [base + index * scale] (bytes). *)
+val gep : t -> scale:int -> Instr.operand -> Instr.operand -> Instr.operand
+
+(** [elem b g index] is the address of [g]'s [index]-th element. *)
+val elem : t -> Program.global -> Instr.operand -> Instr.operand
+
+val load : t -> ?size:int -> Instr.operand -> Instr.operand
+val store : t -> ?size:int -> addr:Instr.operand -> Instr.operand -> unit
+
+(** Atomic read-modify-write; returns the old value. *)
+val atomic :
+  t -> Op.rmw -> ?size:int -> addr:Instr.operand -> Instr.operand ->
+  Instr.operand
+
+(** {1 Communication and accelerators} *)
+
+val send : t -> chan:int -> dst:Instr.operand -> Instr.operand -> unit
+
+(** Terminal load: load from [addr] and push the value into [dst]'s
+    channel (DeSC decoupling). *)
+val load_send :
+  t -> chan:int -> ?size:int -> dst:Instr.operand -> Instr.operand -> unit
+val recv : t -> chan:int -> Instr.operand
+
+(** Store-from-channel: the stored value arrives over [chan] and drains in
+    the background (DeSC store value buffer). *)
+val store_recv :
+  t -> chan:int -> ?size:int -> ?rmw:Op.rmw -> addr:Instr.operand -> unit ->
+  unit
+val accel : t -> string -> Instr.operand list -> unit
+
+(** {1 Mutable variables (loop-carried values)} *)
+
+(** [var b init] allocates a register and moves [init] into it. *)
+val var : t -> Instr.operand -> Instr.operand
+
+(** [assign b ~var v] moves [v] into [var]'s register. Raises
+    [Invalid_argument] if [var] is not a [var]/register operand. *)
+val assign : t -> var:Instr.operand -> Instr.operand -> unit
+
+(** {1 Control flow} *)
+
+val if_ : t -> Instr.operand -> (unit -> unit) -> unit
+val if_else : t -> Instr.operand -> (unit -> unit) -> (unit -> unit) -> unit
+val while_ : t -> cond:(unit -> Instr.operand) -> (unit -> unit) -> unit
+
+(** [for_ b ~from ~to_ body] is a counted loop over [\[from, to_)]. *)
+val for_ :
+  t -> from:Instr.operand -> to_:Instr.operand -> ?step:int ->
+  (Instr.operand -> unit) -> unit
+
+val ret : t -> ?value:Instr.operand -> unit -> unit
+
+(** {1 Raw block plumbing (for compiler passes and unusual shapes)} *)
+
+val new_block : t -> int
+val switch_to : t -> int -> unit
+val br : t -> int -> unit
+val cond_br : t -> Instr.operand -> int -> int -> unit
+val current_block : t -> int

@@ -1,0 +1,73 @@
+let ibinop op x y =
+  let open Int64 in
+  match op with
+  | Op.Add -> add x y
+  | Op.Sub -> sub x y
+  | Op.Mul -> mul x y
+  | Op.Sdiv -> if y = 0L then 0L else div x y
+  | Op.Srem -> if y = 0L then 0L else rem x y
+  | Op.And -> logand x y
+  | Op.Or -> logor x y
+  | Op.Xor -> logxor x y
+  | Op.Shl -> shift_left x (to_int y land 63)
+  | Op.Lshr -> shift_right_logical x (to_int y land 63)
+  | Op.Ashr -> shift_right x (to_int y land 63)
+
+let fbinop op x y =
+  match op with
+  | Op.Fadd -> x +. y
+  | Op.Fsub -> x -. y
+  | Op.Fmul -> x *. y
+  | Op.Fdiv -> x /. y
+
+let pred_int pred x y =
+  match pred with
+  | Op.Eq -> Int64.equal x y
+  | Op.Ne -> not (Int64.equal x y)
+  | Op.Lt -> Int64.compare x y < 0
+  | Op.Le -> Int64.compare x y <= 0
+  | Op.Gt -> Int64.compare x y > 0
+  | Op.Ge -> Int64.compare x y >= 0
+
+let pred_float pred x y =
+  match pred with
+  | Op.Eq -> x = y
+  | Op.Ne -> x <> y
+  | Op.Lt -> x < y
+  | Op.Le -> x <= y
+  | Op.Gt -> x > y
+  | Op.Ge -> x >= y
+
+let math m args =
+  match (m, args) with
+  | Op.Sqrt, [| x |] -> sqrt x
+  | Op.Sin, [| x |] -> sin x
+  | Op.Cos, [| x |] -> cos x
+  | Op.Exp, [| x |] -> exp x
+  | Op.Log, [| x |] -> log x
+  | Op.Fabs, [| x |] -> Float.abs x
+  | Op.Floor, [| x |] -> Float.floor x
+  | Op.Pow, [| x; y |] -> Float.pow x y
+  | Op.Atan2, [| x; y |] -> Float.atan2 x y
+  | _ -> invalid_arg "Eval.math: arity mismatch"
+
+let rmw r old v =
+  match (old, r) with
+  | Value.Float a, Op.Rmw_add -> Value.Float (a +. Value.to_float v)
+  | Value.Float a, Op.Rmw_min -> Value.Float (Float.min a (Value.to_float v))
+  | Value.Float a, Op.Rmw_max -> Value.Float (Float.max a (Value.to_float v))
+  | _, Op.Rmw_add -> Value.Int (Int64.add (Value.to_int64 old) (Value.to_int64 v))
+  | _, Op.Rmw_min ->
+      let a = Value.to_int64 old and b = Value.to_int64 v in
+      Value.Int (if Int64.compare a b <= 0 then a else b)
+  | _, Op.Rmw_max ->
+      let a = Value.to_int64 old and b = Value.to_int64 v in
+      Value.Int (if Int64.compare a b >= 0 then a else b)
+  | _, Op.Rmw_xchg -> v
+
+let cast c v =
+  match c with
+  | Op.Sitofp -> Value.Float (Value.to_float v)
+  | Op.Fptosi -> Value.Int (Int64.of_float (Value.to_float v))
+  | Op.Zext -> Value.Int (Value.to_int64 v)
+  | Op.Trunc -> Value.Int (Int64.of_int32 (Int64.to_int32 (Value.to_int64 v)))

@@ -1,0 +1,16 @@
+(** Pure evaluation of IR operators, shared by the trace interpreter and the
+    compiler's constant folder. *)
+
+val ibinop : Op.ibinop -> int64 -> int64 -> int64
+val fbinop : Op.fbinop -> float -> float -> float
+val pred_int : Op.pred -> int64 -> int64 -> bool
+val pred_float : Op.pred -> float -> float -> bool
+
+(** [math m args]; raises [Invalid_argument] on arity mismatch. *)
+val math : Op.math -> float array -> float
+
+(** [rmw r old v] is the new memory value of an atomic read-modify-write;
+    float-typed locations get float semantics. *)
+val rmw : Op.rmw -> Value.t -> Value.t -> Value.t
+
+val cast : Op.cast -> Value.t -> Value.t

@@ -1,0 +1,49 @@
+type block = { bid : int; instrs : Instr.t array }
+
+type t = {
+  name : string;
+  nparams : int;
+  nregs : int;
+  blocks : block array;
+  ninstrs : int;
+  index : (Instr.t * int) array;
+}
+
+let block f bid =
+  if bid < 0 || bid >= Array.length f.blocks then
+    invalid_arg (Printf.sprintf "Func.block: bad block id %d in %s" bid f.name);
+  f.blocks.(bid)
+
+let terminator b =
+  let n = Array.length b.instrs in
+  if n = 0 then invalid_arg "Func.terminator: empty block";
+  b.instrs.(n - 1)
+
+let lookup f id =
+  if id < 0 || id >= Array.length f.index then
+    invalid_arg (Printf.sprintf "Func.instr: bad id %d in %s" id f.name);
+  f.index.(id)
+
+let instr f ~id = fst (lookup f id)
+
+let block_of_instr f ~id = snd (lookup f id)
+
+let successors b =
+  match (terminator b).Instr.op with
+  | Op.Br t -> [ t ]
+  | Op.Cond_br (t, e) -> [ t; e ]
+  | Op.Ret -> []
+  | _ -> invalid_arg "Func.successors: block not terminated"
+
+let make ~name ~nparams ~nregs ~blocks =
+  let ninstrs =
+    Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 blocks
+  in
+  let index =
+    Array.make (Stdlib.max ninstrs 1)
+      (Instr.make ~id:0 ~op:Op.Ret ~args:[||] ~dst:None, 0)
+  in
+  Array.iter
+    (fun b -> Array.iter (fun i -> index.(i.Instr.id) <- (i, b.bid)) b.instrs)
+    blocks;
+  { name; nparams; nregs; blocks; ninstrs; index }

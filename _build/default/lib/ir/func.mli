@@ -1,0 +1,36 @@
+(** Kernels: functions made of basic blocks.
+
+    A kernel is the unit MosaicSim simulates — "a specially named LLVM
+    function" in the paper. Basic blocks are single-entry single-exit
+    instruction sequences whose last instruction is the terminator. *)
+
+type block = {
+  bid : int;  (** block id; the control-flow trace is a sequence of these *)
+  instrs : Instr.t array;  (** non-empty; last element is the terminator *)
+}
+
+type t = private {
+  name : string;
+  nparams : int;  (** parameters live in registers [0 .. nparams-1] *)
+  nregs : int;  (** total virtual registers *)
+  blocks : block array;  (** indexed by [bid]; entry is block 0 *)
+  ninstrs : int;  (** total static instructions across all blocks *)
+  index : (Instr.t * int) array;  (** instruction id -> (instr, block id) *)
+}
+
+val make :
+  name:string -> nparams:int -> nregs:int -> blocks:block array -> t
+
+val block : t -> int -> block
+
+(** The terminator of a block (its last instruction). *)
+val terminator : block -> Instr.t
+
+(** [instr f ~id] is the static instruction with the given function-wide id. *)
+val instr : t -> id:int -> Instr.t
+
+(** Block id containing instruction [id]. *)
+val block_of_instr : t -> id:int -> int
+
+(** Successor block ids of a block, from its terminator. *)
+val successors : block -> int list

@@ -1,0 +1,41 @@
+type operand =
+  | Reg of int
+  | Imm of Value.t
+  | Glob of string
+  | Tid
+  | Ntiles
+
+type t = { id : int; op : Op.t; args : operand array; dst : int option }
+
+let make ~id ~op ~args ~dst = { id; op; args; dst }
+
+let pp_operand ppf = function
+  | Reg r -> Format.fprintf ppf "%%r%d" r
+  | Imm v -> Value.pp ppf v
+  | Glob g -> Format.fprintf ppf "@%s" g
+  | Tid -> Format.pp_print_string ppf "%tid"
+  | Ntiles -> Format.pp_print_string ppf "%ntiles"
+
+let pp ppf i =
+  (match i.dst with
+  | Some d -> Format.fprintf ppf "%%r%d = " d
+  | None -> ());
+  Op.pp ppf i.op;
+  Array.iter (fun a -> Format.fprintf ppf " %a" pp_operand a) i.args
+
+let uses i =
+  Array.fold_left
+    (fun acc operand ->
+      match operand with
+      | Reg r -> if List.mem r acc then acc else r :: acc
+      | Imm _ | Glob _ | Tid | Ntiles -> acc)
+    [] i.args
+  |> List.rev
+
+let equal_operand a b =
+  match (a, b) with
+  | Reg x, Reg y -> x = y
+  | Imm x, Imm y -> Value.equal x y
+  | Glob x, Glob y -> String.equal x y
+  | Tid, Tid | Ntiles, Ntiles -> true
+  | (Reg _ | Imm _ | Glob _ | Tid | Ntiles), _ -> false

@@ -1,0 +1,31 @@
+(** Instructions and operands.
+
+    Registers are function-local virtual registers (LLVM IR after [mem2reg],
+    with phi nodes replaced by register re-assignment; dependence analysis
+    recovers the same def-use edges dynamically via last-writer tracking).
+    [Tid]/[Ntiles] are the execution-environment queries of the paper's SPMD
+    model. *)
+
+type operand =
+  | Reg of int  (** virtual register *)
+  | Imm of Value.t  (** immediate constant *)
+  | Glob of string  (** address of a named global, resolved at run time *)
+  | Tid  (** this tile's id, 0 .. ntiles-1 *)
+  | Ntiles  (** number of tiles executing the kernel *)
+
+type t = {
+  id : int;  (** index of this instruction within its function *)
+  op : Op.t;
+  args : operand array;
+  dst : int option;  (** destination register, when [Op.has_result op] *)
+}
+
+val make : id:int -> op:Op.t -> args:operand array -> dst:int option -> t
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Registers read by this instruction (no duplicates). *)
+val uses : t -> int list
+
+val equal_operand : operand -> operand -> bool

@@ -1,0 +1,215 @@
+type ibinop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Srem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type pred = Eq | Ne | Lt | Le | Gt | Ge
+
+type cast = Sitofp | Fptosi | Zext | Trunc
+
+type math = Sqrt | Sin | Cos | Exp | Log | Fabs | Floor | Pow | Atan2
+
+type rmw = Rmw_add | Rmw_min | Rmw_max | Rmw_xchg
+
+type t =
+  | Binop of ibinop
+  | Fbinop of fbinop
+  | Icmp of pred
+  | Fcmp of pred
+  | Select
+  | Cast of cast
+  | Math of math
+  | Gep of int
+  | Load of int
+  | Store of int
+  | Atomic_rmw of rmw * int
+  | Send of int
+  | Load_send of int * int
+  | Recv of int
+  | Store_recv of int * int * rmw option
+  | Accel of string
+  | Br of int
+  | Cond_br of int * int
+  | Ret
+
+type op_class =
+  | C_ialu
+  | C_imul
+  | C_idiv
+  | C_falu
+  | C_fmul
+  | C_fdiv
+  | C_fmath
+  | C_agu
+  | C_load
+  | C_store
+  | C_atomic
+  | C_branch
+  | C_send
+  | C_recv
+  | C_accel
+
+let classify = function
+  | Binop (Add | Sub | And | Or | Xor | Shl | Lshr | Ashr) -> C_ialu
+  | Binop Mul -> C_imul
+  | Binop (Sdiv | Srem) -> C_idiv
+  | Fbinop (Fadd | Fsub) -> C_falu
+  | Fbinop Fmul -> C_fmul
+  | Fbinop Fdiv -> C_fdiv
+  | Icmp _ | Fcmp _ | Select | Cast _ -> C_ialu
+  | Math _ -> C_fmath
+  | Gep _ -> C_agu
+  | Load _ | Load_send _ -> C_load
+  | Store _ | Store_recv (_, _, None) -> C_store
+  | Atomic_rmw _ | Store_recv (_, _, Some _) -> C_atomic
+  | Send _ -> C_send
+  | Recv _ -> C_recv
+  | Accel _ -> C_accel
+  | Br _ | Cond_br _ | Ret -> C_branch
+
+let is_terminator = function Br _ | Cond_br _ | Ret -> true | _ -> false
+
+let is_mem = function
+  | Load _ | Store _ | Atomic_rmw _ | Load_send _ | Store_recv _ -> true
+  | _ -> false
+
+let is_dynamic_cost = function
+  | Load _ | Store _ | Atomic_rmw _ | Load_send _ | Store_recv _ | Send _
+  | Recv _ | Accel _ ->
+      true
+  | _ -> false
+
+let mem_size = function
+  | Load s | Store s | Atomic_rmw (_, s) | Load_send (_, s)
+  | Store_recv (_, s, _) ->
+      Some s
+  | _ -> None
+
+let has_result = function
+  | Store _ | Send _ | Load_send _ | Store_recv _ | Br _ | Cond_br _ | Ret ->
+      false
+  | Binop _ | Fbinop _ | Icmp _ | Fcmp _ | Select | Cast _ | Math _ | Gep _
+  | Load _ | Atomic_rmw _ | Recv _ ->
+      true
+  | Accel _ -> false
+
+let ibinop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let fbinop_name = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let pred_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let math_name = function
+  | Sqrt -> "sqrt"
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Fabs -> "fabs"
+  | Floor -> "floor"
+  | Pow -> "pow"
+  | Atan2 -> "atan2"
+
+let rmw_name = function
+  | Rmw_add -> "add"
+  | Rmw_min -> "min"
+  | Rmw_max -> "max"
+  | Rmw_xchg -> "xchg"
+
+let cast_name = function
+  | Sitofp -> "sitofp"
+  | Fptosi -> "fptosi"
+  | Zext -> "zext"
+  | Trunc -> "trunc"
+
+let pp ppf = function
+  | Binop b -> Format.pp_print_string ppf (ibinop_name b)
+  | Fbinop b -> Format.pp_print_string ppf (fbinop_name b)
+  | Icmp p -> Format.fprintf ppf "icmp.%s" (pred_name p)
+  | Fcmp p -> Format.fprintf ppf "fcmp.%s" (pred_name p)
+  | Select -> Format.pp_print_string ppf "select"
+  | Cast c -> Format.pp_print_string ppf (cast_name c)
+  | Math m -> Format.fprintf ppf "call.%s" (math_name m)
+  | Gep scale -> Format.fprintf ppf "gep.%d" scale
+  | Load s -> Format.fprintf ppf "load.%d" s
+  | Store s -> Format.fprintf ppf "store.%d" s
+  | Atomic_rmw (r, s) -> Format.fprintf ppf "atomicrmw.%s.%d" (rmw_name r) s
+  | Send c -> Format.fprintf ppf "send.%d" c
+  | Load_send (c, s) -> Format.fprintf ppf "loadsend.%d.%d" c s
+  | Recv c -> Format.fprintf ppf "recv.%d" c
+  | Store_recv (c, s, None) -> Format.fprintf ppf "storerecv.%d.%d" c s
+  | Store_recv (c, s, Some r) ->
+      Format.fprintf ppf "storerecv.%s.%d.%d" (rmw_name r) c s
+  | Accel k -> Format.fprintf ppf "accel.%s" k
+  | Br b -> Format.fprintf ppf "br bb%d" b
+  | Cond_br (t, f) -> Format.fprintf ppf "condbr bb%d bb%d" t f
+  | Ret -> Format.pp_print_string ppf "ret"
+
+let class_to_string = function
+  | C_ialu -> "ialu"
+  | C_imul -> "imul"
+  | C_idiv -> "idiv"
+  | C_falu -> "falu"
+  | C_fmul -> "fmul"
+  | C_fdiv -> "fdiv"
+  | C_fmath -> "fmath"
+  | C_agu -> "agu"
+  | C_load -> "load"
+  | C_store -> "store"
+  | C_atomic -> "atomic"
+  | C_branch -> "branch"
+  | C_send -> "send"
+  | C_recv -> "recv"
+  | C_accel -> "accel"
+
+let pp_class ppf c = Format.pp_print_string ppf (class_to_string c)
+
+let all_classes =
+  [
+    C_ialu;
+    C_imul;
+    C_idiv;
+    C_falu;
+    C_fmul;
+    C_fdiv;
+    C_fmath;
+    C_agu;
+    C_load;
+    C_store;
+    C_atomic;
+    C_branch;
+    C_send;
+    C_recv;
+    C_accel;
+  ]

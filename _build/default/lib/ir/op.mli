@@ -1,0 +1,111 @@
+(** Opcodes of the MosaicSim IR.
+
+    The instruction set mirrors LLVM IR after [mem2reg]: arithmetic on
+    registers, explicit address computation ([Gep]), typed loads/stores,
+    atomic read-modify-writes, terminators — plus the MosaicSim extensions
+    the paper adds through LLVM passes: inter-tile [Send]/[Recv] message
+    primitives and [Accel] accelerator-invocation instructions. *)
+
+type ibinop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Srem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type pred = Eq | Ne | Lt | Le | Gt | Ge
+
+type cast = Sitofp | Fptosi | Zext | Trunc
+
+type math = Sqrt | Sin | Cos | Exp | Log | Fabs | Floor | Pow | Atan2
+
+type rmw = Rmw_add | Rmw_min | Rmw_max | Rmw_xchg
+
+type t =
+  | Binop of ibinop
+  | Fbinop of fbinop
+  | Icmp of pred
+  | Fcmp of pred
+  | Select  (** args: cond, if-true, if-false *)
+  | Cast of cast
+  | Math of math
+  | Gep of int
+      (** [Gep scale]: args base, index; result is [base + index * scale]
+          (bytes), LLVM's getelementptr for arrays of [scale]-byte elements *)
+  | Load of int  (** [Load size] reads [size] bytes; args: address *)
+  | Store of int  (** [Store size]; args: address, value *)
+  | Atomic_rmw of rmw * int
+      (** atomic read-modify-write of a [size]-byte location; args: address,
+          operand; result is the old value *)
+  | Send of int
+      (** [Send chan]; args: destination tile id, value. Inter-tile message
+          enqueued through the Interleaver *)
+  | Load_send of int * int
+      (** [Load_send (chan, size)]; args: destination tile id, address.
+          DeSC-style terminal load: reads memory and pushes the value
+          straight into the destination tile's channel without occupying a
+          register — the issuing core never waits for the data *)
+  | Recv of int  (** [Recv chan]; blocks until a matching message arrives *)
+  | Store_recv of int * int * rmw option
+      (** [Store_recv (chan, size, rmw)]; args: address. DeSC-style store
+          value buffer: the store's data comes from the channel and drains
+          to memory in the background; the issuing core retires it
+          immediately. [rmw] makes it an atomic update instead of a plain
+          store *)
+  | Accel of string
+      (** [Accel kind]: invoke the accelerator model registered under
+          [kind]; args are its configuration parameters *)
+  | Br of int  (** unconditional branch to block id *)
+  | Cond_br of int * int  (** args: condition; targets (taken, not-taken) *)
+  | Ret  (** optional single arg: return value *)
+
+(** Functional-unit class used by tile models to assign latency, energy and
+    functional-unit limits to an opcode. *)
+type op_class =
+  | C_ialu  (** integer add/sub/logic/shift, compares, casts, select *)
+  | C_imul  (** integer multiply *)
+  | C_idiv  (** integer divide/remainder *)
+  | C_falu  (** FP add/sub *)
+  | C_fmul  (** FP multiply *)
+  | C_fdiv  (** FP divide *)
+  | C_fmath  (** transcendental math calls *)
+  | C_agu  (** address generation (GEP) *)
+  | C_load
+  | C_store
+  | C_atomic
+  | C_branch
+  | C_send
+  | C_recv
+  | C_accel
+
+val classify : t -> op_class
+
+val is_terminator : t -> bool
+
+(** Loads, stores and atomics: instructions that occupy an MAO/LSQ entry and
+    access the memory hierarchy. *)
+val is_mem : t -> bool
+
+(** Instructions whose latency is dynamic (memory hierarchy or message
+    matching) rather than a fixed functional-unit latency. *)
+val is_dynamic_cost : t -> bool
+
+(** Access size in bytes for memory operations. *)
+val mem_size : t -> int option
+
+(** True for instructions that produce a result register. *)
+val has_result : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_class : Format.formatter -> op_class -> unit
+val class_to_string : op_class -> string
+
+val all_classes : op_class list

@@ -1,0 +1,327 @@
+exception Parse_error of { line : int; message : string }
+
+let fail ~line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+(* Tokenize one line: words separated by spaces; '(' ')' ',' ':' are
+   separators too so headers split cleanly. *)
+let tokens line =
+  let n = String.length line in
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  for i = 0 to n - 1 do
+    let c = line.[i] in
+    if is_space c || c = '(' || c = ')' || c = ',' then flush ()
+    else Buffer.add_char buf c
+  done;
+  flush ();
+  List.rev !out
+
+let strip_brackets toks =
+  (* Drop the "[  12]" id prefix the printer emits: one token "[12]" or two
+     tokens "[" "12]" depending on padding. *)
+  match toks with
+  | t :: rest when String.length t > 0 && t.[0] = '[' ->
+      if String.length t > 1 && t.[String.length t - 1] = ']' then rest
+      else begin
+        match rest with
+        | t2 :: rest2
+          when String.length t2 > 0 && t2.[String.length t2 - 1] = ']' ->
+            rest2
+        | _ -> toks
+      end
+  | _ -> toks
+
+let split_on_char_nonempty c s =
+  List.filter (fun x -> x <> "") (String.split_on_char c s)
+
+let parse_operand ~line tok =
+  if tok = "%tid" then Instr.Tid
+  else if tok = "%ntiles" then Instr.Ntiles
+  else if tok = "true" then Instr.Imm (Value.of_bool true)
+  else if tok = "false" then Instr.Imm (Value.of_bool false)
+  else if String.length tok > 2 && tok.[0] = '%' && tok.[1] = 'r' then
+    match int_of_string_opt (String.sub tok 2 (String.length tok - 2)) with
+    | Some r -> Instr.Reg r
+    | None -> fail ~line "bad register %s" tok
+  else if String.length tok > 1 && tok.[0] = '@' then
+    Instr.Glob (String.sub tok 1 (String.length tok - 1))
+  else if String.contains tok '.' || String.contains tok 'e' then
+    match float_of_string_opt tok with
+    | Some f -> Instr.Imm (Value.of_float f)
+    | None -> fail ~line "bad operand %s" tok
+  else
+    match Int64.of_string_opt tok with
+    | Some i -> Instr.Imm (Value.Int i)
+    | None -> (
+        match float_of_string_opt tok with
+        | Some f -> Instr.Imm (Value.of_float f)
+        | None -> fail ~line "bad operand %s" tok)
+
+let pred_of ~line = function
+  | "eq" -> Op.Eq
+  | "ne" -> Op.Ne
+  | "lt" -> Op.Lt
+  | "le" -> Op.Le
+  | "gt" -> Op.Gt
+  | "ge" -> Op.Ge
+  | p -> fail ~line "bad predicate %s" p
+
+let math_of = function
+  | "sqrt" -> Some Op.Sqrt
+  | "sin" -> Some Op.Sin
+  | "cos" -> Some Op.Cos
+  | "exp" -> Some Op.Exp
+  | "log" -> Some Op.Log
+  | "fabs" -> Some Op.Fabs
+  | "floor" -> Some Op.Floor
+  | "pow" -> Some Op.Pow
+  | "atan2" -> Some Op.Atan2
+  | _ -> None
+
+let rmw_of ~line = function
+  | "add" -> Op.Rmw_add
+  | "min" -> Op.Rmw_min
+  | "max" -> Op.Rmw_max
+  | "xchg" -> Op.Rmw_xchg
+  | r -> fail ~line "bad rmw %s" r
+
+let int_of ~line s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail ~line "expected integer, got %s" s
+
+let bb_of ~line tok =
+  if String.length tok > 2 && String.sub tok 0 2 = "bb" then
+    int_of ~line (String.sub tok 2 (String.length tok - 2))
+  else fail ~line "expected block label, got %s" tok
+
+let parse_op ~line mnemonic rest_tokens =
+  let parts = split_on_char_nonempty '.' mnemonic in
+  match parts with
+  | [ "add" ] -> Op.Binop Op.Add
+  | [ "sub" ] -> Op.Binop Op.Sub
+  | [ "mul" ] -> Op.Binop Op.Mul
+  | [ "sdiv" ] -> Op.Binop Op.Sdiv
+  | [ "srem" ] -> Op.Binop Op.Srem
+  | [ "and" ] -> Op.Binop Op.And
+  | [ "or" ] -> Op.Binop Op.Or
+  | [ "xor" ] -> Op.Binop Op.Xor
+  | [ "shl" ] -> Op.Binop Op.Shl
+  | [ "lshr" ] -> Op.Binop Op.Lshr
+  | [ "ashr" ] -> Op.Binop Op.Ashr
+  | [ "fadd" ] -> Op.Fbinop Op.Fadd
+  | [ "fsub" ] -> Op.Fbinop Op.Fsub
+  | [ "fmul" ] -> Op.Fbinop Op.Fmul
+  | [ "fdiv" ] -> Op.Fbinop Op.Fdiv
+  | [ "icmp"; p ] -> Op.Icmp (pred_of ~line p)
+  | [ "fcmp"; p ] -> Op.Fcmp (pred_of ~line p)
+  | [ "select" ] -> Op.Select
+  | [ "sitofp" ] -> Op.Cast Op.Sitofp
+  | [ "fptosi" ] -> Op.Cast Op.Fptosi
+  | [ "zext" ] -> Op.Cast Op.Zext
+  | [ "trunc" ] -> Op.Cast Op.Trunc
+  | [ "call"; m ] -> (
+      match math_of m with
+      | Some m -> Op.Math m
+      | None -> fail ~line "unknown math call %s" m)
+  | [ "gep"; scale ] -> Op.Gep (int_of ~line scale)
+  | [ "load"; size ] -> Op.Load (int_of ~line size)
+  | [ "store"; size ] -> Op.Store (int_of ~line size)
+  | [ "atomicrmw"; r; size ] ->
+      Op.Atomic_rmw (rmw_of ~line r, int_of ~line size)
+  | [ "send"; chan ] -> Op.Send (int_of ~line chan)
+  | [ "recv"; chan ] -> Op.Recv (int_of ~line chan)
+  | [ "loadsend"; chan; size ] ->
+      Op.Load_send (int_of ~line chan, int_of ~line size)
+  | [ "storerecv"; chan; size ] ->
+      Op.Store_recv (int_of ~line chan, int_of ~line size, None)
+  | [ "storerecv"; r; chan; size ] ->
+      Op.Store_recv (int_of ~line chan, int_of ~line size, Some (rmw_of ~line r))
+  | [ "accel"; kind ] -> Op.Accel kind
+  | [ "br" ] -> (
+      match rest_tokens with
+      | [ target ] -> Op.Br (bb_of ~line target)
+      | _ -> fail ~line "br expects one target")
+  | [ "condbr" ] -> (
+      (* printer order: condbr <taken> <not-taken> <cond> *)
+      match rest_tokens with
+      | [ t; e; _cond ] -> Op.Cond_br (bb_of ~line t, bb_of ~line e)
+      | _ -> fail ~line "condbr expects two targets and a condition")
+  | [ "ret" ] -> Op.Ret
+  | _ -> (
+      match math_of mnemonic with
+      | Some m -> Op.Math m
+      | None -> fail ~line "unknown instruction %s" mnemonic)
+
+type raw_instr = {
+  r_op : Op.t;
+  r_args : Instr.operand list;
+  r_dst : int option;
+  r_line : int;
+}
+
+let parse_instr ~line toks =
+  let dst, toks =
+    match toks with
+    | d :: "=" :: rest
+      when String.length d > 2 && d.[0] = '%' && d.[1] = 'r' -> (
+        match int_of_string_opt (String.sub d 2 (String.length d - 2)) with
+        | Some r -> (Some r, rest)
+        | None -> fail ~line "bad destination %s" d)
+    | _ -> (None, toks)
+  in
+  match toks with
+  | [] -> fail ~line "empty instruction"
+  | mnemonic :: args ->
+      let op = parse_op ~line mnemonic args in
+      let operands =
+        match op with
+        | Op.Br _ -> []
+        | Op.Cond_br _ -> (
+            match List.rev args with
+            | cond :: _ -> [ parse_operand ~line cond ]
+            | [] -> fail ~line "condbr expects a condition")
+        | _ -> List.map (parse_operand ~line) args
+      in
+      { r_op = op; r_args = operands; r_dst = dst; r_line = line }
+
+let build_func ~name ~nparams body_blocks =
+  (* body_blocks: (bid, raw_instr list) in order. *)
+  let next_id = ref 0 in
+  let nregs = ref nparams in
+  let note_reg r = if r + 1 > !nregs then nregs := r + 1 in
+  let blocks =
+    List.map
+      (fun (bid, raws) ->
+        let instrs =
+          List.map
+            (fun r ->
+              (match r.r_dst with Some d -> note_reg d | None -> ());
+              List.iter
+                (function Instr.Reg x -> note_reg x | _ -> ())
+                r.r_args;
+              (match (Op.has_result r.r_op, r.r_dst) with
+              | true, None ->
+                  fail ~line:r.r_line "instruction needs a destination"
+              | false, Some _ ->
+                  fail ~line:r.r_line "instruction takes no destination"
+              | _ -> ());
+              let id = !next_id in
+              incr next_id;
+              Instr.make ~id ~op:r.r_op ~args:(Array.of_list r.r_args)
+                ~dst:r.r_dst)
+            raws
+        in
+        { Func.bid; instrs = Array.of_list instrs })
+      body_blocks
+  in
+  Func.make ~name ~nparams ~nregs:!nregs ~blocks:(Array.of_list blocks)
+
+type line_kind =
+  | L_global of string * int * int
+  | L_kernel of string * int
+  | L_label of int
+  | L_close
+  | L_instr of raw_instr
+  | L_blank
+
+let classify_line ~line s =
+  let toks = strip_brackets (tokens s) in
+  match toks with
+  | [] -> L_blank
+  | "global" :: g :: ":" :: elems :: "x" :: size :: _
+    when String.length g > 1 && g.[0] = '@' ->
+      let size =
+        (* "4B" *)
+        if String.length size > 1 && size.[String.length size - 1] = 'B' then
+          int_of ~line (String.sub size 0 (String.length size - 1))
+        else int_of ~line size
+      in
+      L_global (String.sub g 1 (String.length g - 1), int_of ~line elems, size)
+  | "kernel" :: k :: rest when String.length k > 1 && k.[0] = '@' -> (
+      let nparams =
+        List.find_map
+          (fun t ->
+            match String.split_on_char '=' t with
+            | [ "params"; v ] -> int_of_string_opt v
+            | _ -> None)
+          rest
+      in
+      match nparams with
+      | Some n -> L_kernel (String.sub k 1 (String.length k - 1), n)
+      | None -> fail ~line "kernel header missing params=N")
+  | [ "}" ] -> L_close
+  | [ label ]
+    when String.length label > 3
+         && String.sub label 0 2 = "bb"
+         && label.[String.length label - 1] = ':' ->
+      L_label (int_of ~line (String.sub label 2 (String.length label - 3)))
+  | _ -> L_instr (parse_instr ~line toks)
+
+let program text =
+  let prog = Program.create () in
+  let lines = String.split_on_char '\n' text in
+  let state = ref `Top in
+  List.iteri
+    (fun idx raw_line ->
+      let line = idx + 1 in
+      match classify_line ~line raw_line with
+      | L_blank -> ()
+      | L_global (name, elems, elem_size) ->
+          if !state <> `Top then fail ~line "global inside kernel";
+          ignore (Program.alloc prog name ~elems ~elem_size)
+      | L_kernel (name, nparams) ->
+          if !state <> `Top then fail ~line "nested kernel";
+          state := `In_kernel (name, nparams, ref [])
+      | L_label bid -> (
+          match !state with
+          | `In_kernel (_, _, blocks) -> blocks := (bid, ref []) :: !blocks
+          | `Top -> fail ~line "label outside kernel")
+      | L_instr raw -> (
+          match !state with
+          | `In_kernel (_, _, blocks) -> (
+              match !blocks with
+              | (_, instrs) :: _ -> instrs := raw :: !instrs
+              | [] -> fail ~line "instruction before first block label")
+          | `Top -> fail ~line "instruction outside kernel")
+      | L_close -> (
+          match !state with
+          | `In_kernel (name, nparams, blocks) ->
+              let body =
+                List.rev_map (fun (bid, is) -> (bid, List.rev !is)) !blocks
+              in
+              Program.add_func prog (build_func ~name ~nparams body);
+              state := `Top
+          | `Top -> fail ~line "unmatched }"))
+    lines;
+  (match !state with
+  | `In_kernel (name, _, _) ->
+      fail ~line:(List.length lines) "kernel %s not closed" name
+  | `Top -> ());
+  (match Validate.check_program prog with
+  | [] -> ()
+  | errs ->
+      invalid_arg
+        (String.concat "\n"
+           (List.map (fun e -> Format.asprintf "%a" Validate.pp_error e) errs)));
+  prog
+
+let kernel prog text =
+  let sub = program text in
+  match Program.funcs sub with
+  | [ f ] ->
+      Program.add_func prog f;
+      f
+  | fs ->
+      invalid_arg
+        (Printf.sprintf "Parse.kernel: expected exactly one kernel, got %d"
+           (List.length fs))

@@ -1,0 +1,31 @@
+(** Textual IR parser — the assembler counterpart of {!Pretty}.
+
+    Accepts exactly the surface syntax the pretty-printer emits (instruction
+    id brackets are ignored), so programs round-trip:
+
+    {v
+    global @data : 16 x 4B at 0x1000
+    kernel @saxpy(params=1, regs=6) {
+    bb0:
+      [  0] %r1 = gep.4 @data %r0
+      [  1] %r2 = load.4 %r1
+      [  2] %r3 = fmul %r2 2
+      [  3] store.4 %r1 %r3
+      [  4] ret
+    }
+    v}
+
+    Useful for writing kernels as text, for golden tests, and for shipping
+    reproducible kernels without OCaml code. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** Parse a whole program (globals and kernels). Global base addresses in
+    the input are ignored; globals are re-allocated in order of
+    appearance. The result is validated; [Parse_error] is raised on
+    syntactic problems, [Invalid_argument] on validation failures. *)
+val program : string -> Program.t
+
+(** Parse a single kernel body given an existing program (for resolving
+    globals). The function is registered in [prog]. *)
+val kernel : Program.t -> string -> Func.t

@@ -1,0 +1,21 @@
+let pp_block ppf (b : Func.block) =
+  Format.fprintf ppf "bb%d:@." b.Func.bid;
+  Array.iter
+    (fun i -> Format.fprintf ppf "  [%3d] %a@." i.Instr.id Instr.pp i)
+    b.Func.instrs
+
+let pp_func ppf (f : Func.t) =
+  Format.fprintf ppf "kernel @%s(params=%d, regs=%d) {@." f.Func.name
+    f.Func.nparams f.Func.nregs;
+  Array.iter (pp_block ppf) f.Func.blocks;
+  Format.fprintf ppf "}@."
+
+let pp_program ppf p =
+  List.iter
+    (fun (g : Program.global) ->
+      Format.fprintf ppf "global @%s : %d x %dB at 0x%x@." g.Program.gname
+        g.Program.elems g.Program.elem_size g.Program.base)
+    (Program.globals p);
+  List.iter (pp_func ppf) (Program.funcs p)
+
+let func_to_string f = Format.asprintf "%a" pp_func f

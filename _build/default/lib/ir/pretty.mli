@@ -1,0 +1,7 @@
+(** Textual dump of IR functions and programs, LLVM-assembly flavoured.
+    Used by the CLI's [dump] command and by tests to pin lowering. *)
+
+val pp_block : Format.formatter -> Func.block -> unit
+val pp_func : Format.formatter -> Func.t -> unit
+val pp_program : Format.formatter -> Program.t -> unit
+val func_to_string : Func.t -> string

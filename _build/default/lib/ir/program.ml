@@ -1,0 +1,65 @@
+type global = { gname : string; base : int; elems : int; elem_size : int }
+
+type t = {
+  funcs : (string, Func.t) Hashtbl.t;
+  globals : (string, global) Hashtbl.t;
+  mutable order : string list;  (** global names, allocation order *)
+  mutable func_order : string list;
+  mutable next_addr : int;
+}
+
+let line_size = 64
+
+let base_addr = 0x1000
+
+let create () =
+  {
+    funcs = Hashtbl.create 8;
+    globals = Hashtbl.create 8;
+    order = [];
+    func_order = [];
+    next_addr = base_addr;
+  }
+
+let add_func p (f : Func.t) =
+  if Hashtbl.mem p.funcs f.Func.name then
+    invalid_arg (Printf.sprintf "Program.add_func: duplicate %s" f.Func.name);
+  Hashtbl.replace p.funcs f.Func.name f;
+  p.func_order <- p.func_order @ [ f.Func.name ]
+
+let find_func p name = Hashtbl.find_opt p.funcs name
+
+let func_exn p name =
+  match find_func p name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Program.func_exn: no kernel %s" name)
+
+let funcs p = List.map (Hashtbl.find p.funcs) p.func_order
+
+let align_up x a = (x + a - 1) / a * a
+
+let alloc p gname ~elems ~elem_size =
+  if Hashtbl.mem p.globals gname then
+    invalid_arg (Printf.sprintf "Program.alloc: duplicate global %s" gname);
+  if elems <= 0 || elem_size <= 0 then
+    invalid_arg "Program.alloc: sizes must be positive";
+  let base = align_up p.next_addr line_size in
+  let g = { gname; base; elems; elem_size } in
+  p.next_addr <- base + (elems * elem_size);
+  Hashtbl.replace p.globals gname g;
+  p.order <- p.order @ [ gname ];
+  g
+
+let find_global p name = Hashtbl.find_opt p.globals name
+
+let global_exn p name =
+  match find_global p name with
+  | Some g -> g
+  | None -> invalid_arg (Printf.sprintf "Program.global_exn: no global %s" name)
+
+let globals p = List.map (Hashtbl.find p.globals) p.order
+
+let data_bytes p =
+  Hashtbl.fold (fun _ g acc -> acc + (g.elems * g.elem_size)) p.globals 0
+
+let heap_end p = p.next_addr

@@ -1,0 +1,43 @@
+(** A program: kernels plus a global data segment.
+
+    Globals model the arrays a kernel operates on. Addresses are bytes; the
+    allocator packs globals sequentially with cache-line alignment so that
+    distinct arrays never share a line (matching separate allocations on a
+    real machine). *)
+
+type global = {
+  gname : string;
+  base : int;  (** base byte address *)
+  elems : int;  (** number of elements *)
+  elem_size : int;  (** bytes per element (4 or 8) *)
+}
+
+type t
+
+val create : unit -> t
+
+(** [add_func p f] registers a kernel; raises [Invalid_argument] on a
+    duplicate name. *)
+val add_func : t -> Func.t -> unit
+
+val find_func : t -> string -> Func.t option
+
+val func_exn : t -> string -> Func.t
+
+val funcs : t -> Func.t list
+
+(** [alloc p name ~elems ~elem_size] reserves a global array and returns it.
+    Raises [Invalid_argument] on duplicate name or non-positive size. *)
+val alloc : t -> string -> elems:int -> elem_size:int -> global
+
+val find_global : t -> string -> global option
+
+val global_exn : t -> string -> global
+
+val globals : t -> global list
+
+(** Total bytes of global data (for footprint reporting). *)
+val data_bytes : t -> int
+
+(** Address one past the last allocated byte. *)
+val heap_end : t -> int

@@ -1,0 +1,144 @@
+type error = { where : string; what : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s: %s" e.where e.what
+
+let math_arity = function
+  | Op.Pow | Op.Atan2 -> 2
+  | Op.Sqrt | Op.Sin | Op.Cos | Op.Exp | Op.Log | Op.Fabs | Op.Floor -> 1
+
+(* Expected operand count; None means any arity is accepted. *)
+let arity = function
+  | Op.Binop _ | Op.Fbinop _ | Op.Icmp _ | Op.Fcmp _ -> Some 2
+  | Op.Select -> Some 3
+  | Op.Cast _ -> Some 1
+  | Op.Math m -> Some (math_arity m)
+  | Op.Gep _ -> Some 2
+  | Op.Load _ -> Some 1
+  | Op.Store _ -> Some 2
+  | Op.Atomic_rmw _ -> Some 2
+  | Op.Send _ -> Some 2
+  | Op.Load_send _ -> Some 2
+  | Op.Recv _ -> Some 0
+  | Op.Store_recv _ -> Some 1
+  | Op.Accel _ -> None
+  | Op.Br _ -> Some 0
+  | Op.Cond_br _ -> Some 1
+  | Op.Ret -> None
+
+let check_func (f : Func.t) =
+  let errors = ref [] in
+  let err where fmt =
+    Format.kasprintf (fun what -> errors := { where; what } :: !errors) fmt
+  in
+  let nblocks = Array.length f.Func.blocks in
+  if nblocks = 0 then err f.Func.name "function has no blocks";
+  (* Which registers are written anywhere (params count as written). *)
+  let written = Array.make (Stdlib.max f.Func.nregs 1) false in
+  for i = 0 to f.Func.nparams - 1 do
+    if i < f.Func.nregs then written.(i) <- true
+  done;
+  Array.iter
+    (fun (b : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.dst with
+          | Some d when d >= 0 && d < f.Func.nregs -> written.(d) <- true
+          | Some _ | None -> ())
+        b.Func.instrs)
+    f.Func.blocks;
+  let seen_ids = Hashtbl.create 64 in
+  Array.iteri
+    (fun bi (b : Func.block) ->
+      let where = Printf.sprintf "%s/bb%d" f.Func.name bi in
+      if b.Func.bid <> bi then
+        err where "block id %d does not match its index %d" b.Func.bid bi;
+      let n = Array.length b.Func.instrs in
+      if n = 0 then err where "empty block"
+      else begin
+        Array.iteri
+          (fun k (i : Instr.t) ->
+            let iw = Printf.sprintf "%s[%d]" where k in
+            if Hashtbl.mem seen_ids i.Instr.id then
+              err iw "duplicate instruction id %d" i.Instr.id
+            else Hashtbl.replace seen_ids i.Instr.id ();
+            if i.Instr.id < 0 || i.Instr.id >= f.Func.ninstrs then
+              err iw "instruction id %d out of range" i.Instr.id;
+            (match arity i.Instr.op with
+            | Some a when Array.length i.Instr.args <> a ->
+                err iw "%a expects %d operands, got %d" (fun ppf -> Op.pp ppf)
+                  i.Instr.op a (Array.length i.Instr.args)
+            | Some _ | None -> ());
+            (match (Op.has_result i.Instr.op, i.Instr.dst) with
+            | true, None -> err iw "missing destination register"
+            | false, Some _ -> err iw "unexpected destination register"
+            | true, Some d when d < 0 || d >= f.Func.nregs ->
+                err iw "destination register %d out of range" d
+            | _ -> ());
+            (match Op.mem_size i.Instr.op with
+            | Some (1 | 2 | 4 | 8) | None -> ()
+            | Some s -> err iw "unsupported access size %d" s);
+            (match i.Instr.op with
+            | Op.Ret when Array.length i.Instr.args > 1 ->
+                err iw "ret takes at most one operand"
+            | Op.Br t ->
+                if t < 0 || t >= nblocks then err iw "branch target bb%d" t
+            | Op.Cond_br (t, e) ->
+                if t < 0 || t >= nblocks then err iw "branch target bb%d" t;
+                if e < 0 || e >= nblocks then err iw "branch target bb%d" e
+            | _ -> ());
+            Array.iter
+              (fun operand ->
+                match operand with
+                | Instr.Reg r ->
+                    if r < 0 || r >= f.Func.nregs then
+                      err iw "register %%r%d out of range" r
+                    else if not written.(r) then
+                      err iw "register %%r%d is never written" r
+                | Instr.Imm _ | Instr.Glob _ | Instr.Tid | Instr.Ntiles -> ())
+              i.Instr.args;
+            let is_last = k = n - 1 in
+            let is_term = Op.is_terminator i.Instr.op in
+            if is_last && not is_term then err iw "block not terminated";
+            if (not is_last) && is_term then err iw "terminator mid-block")
+          b.Func.instrs
+      end)
+    f.Func.blocks;
+  List.rev !errors
+
+let check_program p =
+  let func_errors = List.concat_map check_func (Program.funcs p) in
+  let glob_errors =
+    List.concat_map
+      (fun (f : Func.t) ->
+        Array.to_list f.Func.blocks
+        |> List.concat_map (fun (b : Func.block) ->
+               Array.to_list b.Func.instrs
+               |> List.concat_map (fun (i : Instr.t) ->
+                      Array.to_list i.Instr.args
+                      |> List.filter_map (fun operand ->
+                             match operand with
+                             | Instr.Glob g
+                               when Program.find_global p g = None ->
+                                 Some
+                                   {
+                                     where =
+                                       Printf.sprintf "%s[%d]" f.Func.name
+                                         i.Instr.id;
+                                     what =
+                                       Printf.sprintf
+                                         "unresolved global @%s" g;
+                                   }
+                             | _ -> None))))
+      (Program.funcs p)
+  in
+  func_errors @ glob_errors
+
+let check_exn p =
+  match check_program p with
+  | [] -> ()
+  | errs ->
+      let msg =
+        String.concat "\n"
+          (List.map (fun e -> Format.asprintf "%a" pp_error e) errs)
+      in
+      invalid_arg ("Validate.check_exn:\n" ^ msg)

@@ -1,0 +1,19 @@
+(** IR well-formedness checker (the module verifier).
+
+    Catches builder and compiler-pass mistakes before they surface as
+    confusing simulator behaviour: unterminated or terminator-in-the-middle
+    blocks, out-of-range registers and branch targets, reads of registers no
+    path can have written, arity errors. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** All problems found in a function; empty means well-formed. *)
+val check_func : Func.t -> error list
+
+(** Check every kernel of a program, and that every [Glob] operand resolves. *)
+val check_program : Program.t -> error list
+
+(** Raises [Invalid_argument] with a rendered report when a check fails. *)
+val check_exn : Program.t -> unit

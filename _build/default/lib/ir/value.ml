@@ -1,0 +1,29 @@
+type t = Int of int64 | Float of float
+
+let zero = Int 0L
+
+let of_int i = Int (Int64.of_int i)
+
+let of_float f = Float f
+
+let of_bool b = Int (if b then 1L else 0L)
+
+let to_int64 = function Int i -> i | Float f -> Int64.of_float f
+
+let to_int v = Int64.to_int (to_int64 v)
+
+let to_float = function Int i -> Int64.to_float i | Float f -> f
+
+let to_bool = function Int i -> i <> 0L | Float f -> f <> 0.0
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> Int64.equal x y
+  | Float x, Float y -> Float.equal x y
+  | Int _, Float _ | Float _, Int _ -> false
+
+let pp ppf = function
+  | Int i -> Format.fprintf ppf "%Ld" i
+  | Float f -> Format.fprintf ppf "%g" f
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,25 @@
+(** Runtime values of the MosaicSim IR.
+
+    The IR is timing-oriented: values exist so the trace-generating
+    interpreter can execute kernels for real (resolving control flow and
+    memory addresses), not for a full type system. Integers, booleans and
+    pointers share [Int]; floating point uses [Float]. *)
+
+type t = Int of int64 | Float of float
+
+val zero : t
+val of_int : int -> t
+val of_float : float -> t
+val of_bool : bool -> t
+
+(** Coercions used by the interpreter. [to_int64]/[to_float] convert across
+    representations ([Float 3.5] → [3L]); [to_bool] is C-style truthiness. *)
+val to_int64 : t -> int64
+
+val to_int : t -> int
+val to_float : t -> float
+val to_bool : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/memory/hierarchy.ml: Array Cache Dram Hashtbl List Option Prefetcher Printf Stdlib

@@ -1,0 +1,1 @@
+lib/memory/hierarchy.mli: Cache Dram

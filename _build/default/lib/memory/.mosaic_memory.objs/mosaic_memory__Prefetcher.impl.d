@@ -1,0 +1,1 @@
+lib/memory/prefetcher.ml: Array List Seq Stdlib

@@ -1,0 +1,200 @@
+type config = {
+  size_bytes : int;
+  line_size : int;
+  assoc : int;
+  latency : int;
+  mshr_size : int;
+  prefetch : Prefetcher.config option;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate_config cfg =
+  if not (is_pow2 cfg.line_size) then
+    invalid_arg "Cache: line_size must be a power of two";
+  if cfg.assoc <= 0 then invalid_arg "Cache: assoc must be positive";
+  if cfg.size_bytes mod (cfg.line_size * cfg.assoc) <> 0 then
+    invalid_arg "Cache: size must divide into line_size * assoc sets";
+  if cfg.latency < 0 then invalid_arg "Cache: negative latency";
+  if cfg.mshr_size <= 0 then invalid_arg "Cache: mshr_size must be positive";
+  cfg
+
+type stats = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+  mutable prefetches_issued : int;
+  mutable mshr_merges : int;
+  mutable mshr_stalls : int;
+  mutable invalidations : int;
+}
+
+let fresh_stats () =
+  {
+    accesses = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+    prefetches_issued = 0;
+    mshr_merges = 0;
+    mshr_stalls = 0;
+    invalidations = 0;
+  }
+
+type t = {
+  cname : string;
+  cfg : config;
+  nsets : int;
+  tags : int array;  (** [set * assoc + way]; -1 = invalid *)
+  dirty : bool array;
+  lru : int array;  (** higher = more recent *)
+  mutable clock : int;
+  mshr : (int, int) Hashtbl.t;  (** line address -> ready cycle *)
+  stats : stats;
+  pf : Prefetcher.t option;
+}
+
+let create ~name cfg =
+  let cfg = validate_config cfg in
+  let nsets = cfg.size_bytes / (cfg.line_size * cfg.assoc) in
+  {
+    cname = name;
+    cfg;
+    nsets;
+    tags = Array.make (nsets * cfg.assoc) (-1);
+    dirty = Array.make (nsets * cfg.assoc) false;
+    lru = Array.make (nsets * cfg.assoc) 0;
+    clock = 0;
+    mshr = Hashtbl.create 64;
+    stats = fresh_stats ();
+    pf = Option.map Prefetcher.create cfg.prefetch;
+  }
+
+let name t = t.cname
+let config t = t.cfg
+let stats t = t.stats
+let nsets t = t.nsets
+let prefetcher t = t.pf
+
+let line_of t addr = addr / t.cfg.line_size
+
+let set_of t line = line mod t.nsets
+
+let find_way t line =
+  let set = set_of t line in
+  let base = set * t.cfg.assoc in
+  let rec scan way =
+    if way >= t.cfg.assoc then None
+    else if t.tags.(base + way) = line then Some (base + way)
+    else scan (way + 1)
+  in
+  scan 0
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  t.lru.(slot) <- t.clock
+
+let lookup t ~addr ~is_write =
+  t.stats.accesses <- t.stats.accesses + 1;
+  let line = line_of t addr in
+  match find_way t line with
+  | Some slot ->
+      t.stats.hits <- t.stats.hits + 1;
+      touch t slot;
+      if is_write then t.dirty.(slot) <- true;
+      `Hit
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      `Miss
+
+let probe t ~addr = find_way t (line_of t addr) <> None
+
+let fill t ~addr ~dirty =
+  let line = line_of t addr in
+  match find_way t line with
+  | Some slot ->
+      (* Already present (e.g. filled by a coalesced miss): refresh. *)
+      touch t slot;
+      if dirty then t.dirty.(slot) <- true;
+      `None
+  | None ->
+      let set = set_of t line in
+      let base = set * t.cfg.assoc in
+      (* Choose an invalid way, else the LRU way. *)
+      let victim = ref base in
+      let found_invalid = ref false in
+      for way = 0 to t.cfg.assoc - 1 do
+        let slot = base + way in
+        if (not !found_invalid) && t.tags.(slot) = -1 then begin
+          victim := slot;
+          found_invalid := true
+        end
+        else if (not !found_invalid) && t.lru.(slot) < t.lru.(!victim) then
+          victim := slot
+      done;
+      let slot = !victim in
+      let result =
+        if t.tags.(slot) = -1 then `None
+        else begin
+          t.stats.evictions <- t.stats.evictions + 1;
+          let evicted_addr = t.tags.(slot) * t.cfg.line_size in
+          if t.dirty.(slot) then begin
+            t.stats.writebacks <- t.stats.writebacks + 1;
+            `Dirty evicted_addr
+          end
+          else `Clean evicted_addr
+        end
+      in
+      t.tags.(slot) <- line;
+      t.dirty.(slot) <- dirty;
+      touch t slot;
+      result
+
+let invalidate t ~addr =
+  match find_way t (line_of t addr) with
+  | None -> `Absent
+  | Some slot ->
+      t.stats.invalidations <- t.stats.invalidations + 1;
+      t.tags.(slot) <- -1;
+      let was_dirty = t.dirty.(slot) in
+      t.dirty.(slot) <- false;
+      if was_dirty then `Dirty else `Clean
+
+(* MSHR entries are cleaned lazily: an entry whose ready cycle has passed no
+   longer occupies a slot. *)
+let mshr_sweep t ~cycle =
+  let stale =
+    Hashtbl.fold
+      (fun line ready acc -> if ready <= cycle then line :: acc else acc)
+      t.mshr []
+  in
+  List.iter (Hashtbl.remove t.mshr) stale
+
+let mshr_pending t ~addr ~cycle =
+  let line = line_of t addr in
+  match Hashtbl.find_opt t.mshr line with
+  | Some ready when ready > cycle -> Some ready
+  | Some _ ->
+      Hashtbl.remove t.mshr line;
+      None
+  | None -> None
+
+let mshr_insert t ~addr ~ready =
+  Hashtbl.replace t.mshr (line_of t addr) ready
+
+let mshr_full t ~cycle =
+  mshr_sweep t ~cycle;
+  Hashtbl.length t.mshr >= t.cfg.mshr_size
+
+let mshr_earliest t ~cycle =
+  Hashtbl.fold
+    (fun _ ready acc ->
+      if ready > cycle then
+        match acc with
+        | None -> Some ready
+        | Some best -> Some (Stdlib.min best ready)
+      else acc)
+    t.mshr None

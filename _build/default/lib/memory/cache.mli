@@ -1,0 +1,75 @@
+(** Set-associative cache model (§V-A).
+
+    Timing-only: tags, valid/dirty bits and LRU state, no data (the paper:
+    "MosaicSim is a timing simulator and therefore need not hold actual data
+    in the caches; the address tags suffice"). Write-back, write-allocate.
+    The miss path and MSHR bookkeeping are orchestrated by
+    {!Hierarchy}, which owns the level-to-level recursion. *)
+
+type config = {
+  size_bytes : int;
+  line_size : int;
+  assoc : int;
+  latency : int;  (** access latency in cycles *)
+  mshr_size : int;  (** outstanding distinct-line misses *)
+  prefetch : Prefetcher.config option;
+}
+
+(** [config] with sanity checks applied; raises [Invalid_argument] when
+    geometry is inconsistent (sizes not divisible, non-power-of-two line). *)
+val validate_config : config -> config
+
+type stats = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;  (** dirty evictions *)
+  mutable prefetches_issued : int;
+  mutable mshr_merges : int;  (** misses coalesced onto an in-flight line *)
+  mutable mshr_stalls : int;  (** misses delayed by a full MSHR *)
+  mutable invalidations : int;  (** directory-initiated line drops *)
+}
+
+type t
+
+val create : name:string -> config -> t
+
+val name : t -> string
+val config : t -> config
+val stats : t -> stats
+
+(** Number of sets (for tests). *)
+val nsets : t -> int
+
+(** [lookup t ~addr] probes the cache; on a hit the line's LRU state is
+    refreshed and, when [is_write], the line is marked dirty. *)
+val lookup : t -> addr:int -> is_write:bool -> [ `Hit | `Miss ]
+
+(** Probe without updating any state (for tests and inclusive checks). *)
+val probe : t -> addr:int -> bool
+
+(** [fill t ~addr ~dirty] installs the line containing [addr], evicting the
+    LRU way if the set is full. Returns what was evicted. *)
+val fill :
+  t -> addr:int -> dirty:bool -> [ `None | `Clean of int | `Dirty of int ]
+
+(** [invalidate t ~addr] drops the line containing [addr] if present
+    (directory-initiated invalidation); returns whether it was dirty. *)
+val invalidate : t -> addr:int -> [ `Absent | `Clean | `Dirty ]
+
+(** {1 MSHR} *)
+
+(** Completion cycle of an in-flight miss on this line, if any. *)
+val mshr_pending : t -> addr:int -> cycle:int -> int option
+
+val mshr_insert : t -> addr:int -> ready:int -> unit
+
+(** True when no new distinct-line miss can be accepted at [cycle]. *)
+val mshr_full : t -> cycle:int -> bool
+
+(** Earliest completion among outstanding entries (to model stalling until
+    an MSHR frees up). *)
+val mshr_earliest : t -> cycle:int -> int option
+
+val prefetcher : t -> Prefetcher.t option

@@ -1,0 +1,246 @@
+type dram_config =
+  | Simple of Dram.simple_config
+  | Detailed of Dram.detailed_config
+
+type coherence_config = { directory_latency : int }
+
+type config = {
+  l1 : Cache.config;
+  l2 : Cache.config option;
+  llc : Cache.config option;
+  dram : dram_config;
+  coherence : coherence_config option;
+}
+
+type t = {
+  cfg : config;
+  ntiles : int;
+  l1s : Cache.t array;
+  l2s : Cache.t array;  (** empty when no private L2 *)
+  llc : Cache.t option;
+  dram : Dram.t;
+  (* directory state: per line, a sharer bitmask and the modifying tile *)
+  sharers : (int, int) Hashtbl.t;
+  modified : (int, int) Hashtbl.t;
+  mutable inval_msgs : int;
+}
+
+let create ~ntiles cfg =
+  if ntiles <= 0 then invalid_arg "Hierarchy.create: ntiles must be positive";
+  let mk name c = Cache.create ~name c in
+  {
+    cfg;
+    ntiles;
+    l1s = Array.init ntiles (fun i -> mk (Printf.sprintf "l1.%d" i) cfg.l1);
+    l2s =
+      (match cfg.l2 with
+      | Some c ->
+          Array.init ntiles (fun i -> mk (Printf.sprintf "l2.%d" i) c)
+      | None -> [||]);
+    llc = Option.map (mk "llc") cfg.llc;
+    dram =
+      (match cfg.dram with
+      | Simple c -> Dram.simple c
+      | Detailed c -> Dram.detailed c);
+    sharers = Hashtbl.create 1024;
+    modified = Hashtbl.create 256;
+    inval_msgs = 0;
+  }
+
+let line_size t = t.cfg.l1.Cache.line_size
+
+let ntiles t = t.ntiles
+
+let chain t tile =
+  let privates =
+    if Array.length t.l2s > 0 then [ t.l1s.(tile); t.l2s.(tile) ]
+    else [ t.l1s.(tile) ]
+  in
+  match t.llc with Some llc -> privates @ [ llc ] | None -> privates
+
+(* Push a dirty line toward DRAM: it lands in the next level (inclusive
+   hierarchy), which may itself evict. *)
+let rec writeback t caches ~cycle ~addr =
+  match caches with
+  | [] -> ignore (Dram.access t.dram ~cycle ~addr Dram.Dram_write)
+  | c :: rest -> (
+      match Cache.lookup c ~addr ~is_write:true with
+      | `Hit -> ()
+      | `Miss -> (
+          match Cache.fill c ~addr ~dirty:true with
+          | `Dirty evicted -> writeback t rest ~cycle ~addr:evicted
+          | `Clean _ | `None -> ()))
+
+(* Demand access walking the cache chain; [dirty_first] marks/installs the
+   line dirty at the first level only (write-back). Returns the completion
+   cycle. *)
+let rec demand t caches ~cycle ~addr ~dirty_first =
+  match caches with
+  | [] -> Dram.access t.dram ~cycle ~addr Dram.Dram_read
+  | c :: rest -> (
+      let lat = (Cache.config c).Cache.latency in
+      let completion =
+        match Cache.lookup c ~addr ~is_write:dirty_first with
+        | `Hit -> (
+            let base = cycle + lat in
+            (* A hit on a line whose fill is still in flight completes when
+               the outstanding miss returns (MSHR coalescing). *)
+            match Cache.mshr_pending c ~addr ~cycle with
+            | Some ready ->
+                (Cache.stats c).Cache.mshr_merges <-
+                  (Cache.stats c).Cache.mshr_merges + 1;
+                Stdlib.max base ready
+            | None -> base)
+        | `Miss ->
+            let start =
+              if Cache.mshr_full c ~cycle then begin
+                (Cache.stats c).Cache.mshr_stalls <-
+                  (Cache.stats c).Cache.mshr_stalls + 1;
+                match Cache.mshr_earliest c ~cycle with
+                | Some ready -> ready
+                | None -> cycle
+              end
+              else cycle
+            in
+            let below =
+              demand t rest ~cycle:(start + lat) ~addr ~dirty_first:false
+            in
+            (match Cache.fill c ~addr ~dirty:dirty_first with
+            | `Dirty evicted -> writeback t rest ~cycle:below ~addr:evicted
+            | `Clean _ | `None -> ());
+            Cache.mshr_insert c ~addr ~ready:below;
+            below
+      in
+      maybe_prefetch t c rest ~cycle ~addr;
+      completion)
+
+and maybe_prefetch t c rest ~cycle ~addr =
+  match Cache.prefetcher c with
+  | None -> ()
+  | Some pf ->
+      let lat = (Cache.config c).Cache.latency in
+      let lines =
+        Prefetcher.observe pf ~addr ~line_size:(Cache.config c).Cache.line_size
+      in
+      List.iter
+        (fun pa ->
+          if
+            (not (Cache.probe c ~addr:pa))
+            && (not (Cache.mshr_full c ~cycle))
+            && Cache.mshr_pending c ~addr:pa ~cycle = None
+          then begin
+            (Cache.stats c).Cache.prefetches_issued <-
+              (Cache.stats c).Cache.prefetches_issued + 1;
+            let below =
+              demand t rest ~cycle:(cycle + lat) ~addr:pa ~dirty_first:false
+            in
+            (match Cache.fill c ~addr:pa ~dirty:false with
+            | `Dirty evicted -> writeback t rest ~cycle:below ~addr:evicted
+            | `Clean _ | `None -> ());
+            Cache.mshr_insert c ~addr:pa ~ready:below
+          end)
+        lines
+
+(* Drop a line from another tile's private caches; its dirty data merges at
+   the shared level (or DRAM), which the writeback path accounts. *)
+let invalidate_private t other ~addr ~cycle =
+  t.inval_msgs <- t.inval_msgs + 1;
+  let dirty1 = Cache.invalidate t.l1s.(other) ~addr in
+  let dirty2 =
+    if Array.length t.l2s > 0 then Cache.invalidate t.l2s.(other) ~addr
+    else `Absent
+  in
+  if dirty1 = `Dirty || dirty2 = `Dirty then
+    let rest = match t.llc with Some llc -> [ llc ] | None -> [] in
+    writeback t rest ~cycle ~addr
+
+let directory_penalty t ~tile ~cycle ~addr ~is_write =
+  match t.cfg.coherence with
+  | None -> 0
+  | Some { directory_latency } when t.ntiles > 1 ->
+      let line = addr / line_size t in
+      let bit = 1 lsl tile in
+      let sharer_mask =
+        Option.value ~default:0 (Hashtbl.find_opt t.sharers line)
+      in
+      let penalty = ref 0 in
+      if is_write then begin
+        let others = sharer_mask land lnot bit in
+        if others <> 0 then begin
+          penalty := directory_latency;
+          for other = 0 to t.ntiles - 1 do
+            if others land (1 lsl other) <> 0 then
+              invalidate_private t other ~addr ~cycle
+          done
+        end;
+        Hashtbl.replace t.sharers line bit;
+        Hashtbl.replace t.modified line tile
+      end
+      else begin
+        (match Hashtbl.find_opt t.modified line with
+        | Some owner when owner <> tile ->
+            penalty := directory_latency;
+            invalidate_private t owner ~addr ~cycle;
+            Hashtbl.remove t.modified line
+        | _ -> ());
+        Hashtbl.replace t.sharers line (sharer_mask lor bit)
+      end;
+      !penalty
+  | Some _ -> 0
+
+let access t ~tile ~cycle ~addr ~is_write =
+  if tile < 0 || tile >= t.ntiles then
+    invalid_arg (Printf.sprintf "Hierarchy.access: bad tile %d" tile);
+  let penalty = directory_penalty t ~tile ~cycle ~addr ~is_write in
+  demand t (chain t tile) ~cycle:(cycle + penalty) ~addr ~dirty_first:is_write
+
+let can_accept t ~tile ~cycle =
+  if tile < 0 || tile >= t.ntiles then
+    invalid_arg (Printf.sprintf "Hierarchy.can_accept: bad tile %d" tile);
+  not (Cache.mshr_full t.l1s.(tile) ~cycle)
+
+let dram_burst t ~cycle ~addr ~bytes ~is_write =
+  if bytes <= 0 then cycle
+  else begin
+    let line = line_size t in
+    let nlines = (bytes + line - 1) / line in
+    let kind = if is_write then Dram.Dram_write else Dram.Dram_read in
+    let completion = ref cycle in
+    for i = 0 to nlines - 1 do
+      completion :=
+        Stdlib.max !completion
+          (Dram.access t.dram ~cycle ~addr:(addr + (i * line)) kind)
+    done;
+    !completion
+  end
+
+let cache_stats t =
+  let l1 = Array.to_list (Array.map (fun c -> (Cache.name c, Cache.stats c)) t.l1s) in
+  let l2 = Array.to_list (Array.map (fun c -> (Cache.name c, Cache.stats c)) t.l2s) in
+  let llc =
+    match t.llc with Some c -> [ (Cache.name c, Cache.stats c) ] | None -> []
+  in
+  l1 @ l2 @ llc
+
+let dram_stats t = Dram.stats t.dram
+
+let coherence_invalidations t = t.inval_msgs
+
+type totals = {
+  l1_accesses : int;
+  l2_accesses : int;
+  llc_accesses : int;
+  dram_lines : int;
+}
+
+let totals t =
+  let sum arr = Array.fold_left (fun acc c -> acc + (Cache.stats c).Cache.accesses) 0 arr in
+  {
+    l1_accesses = sum t.l1s;
+    l2_accesses = sum t.l2s;
+    llc_accesses =
+      (match t.llc with Some c -> (Cache.stats c).Cache.accesses | None -> 0);
+    dram_lines =
+      (let s = Dram.stats t.dram in
+       s.Dram.reads + s.Dram.writes);
+  }

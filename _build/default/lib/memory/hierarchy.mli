@@ -1,0 +1,72 @@
+(** The composed memory hierarchy (§V): per-tile private L1 (and optional
+    private L2), an optional shared LLC, and a DRAM model.
+
+    The hierarchy is conventionally write-back, write-allocate and
+    fully-inclusive. Requests enter at the front of a tile's cache queue and
+    are forwarded level to level on misses; the LLC forwards to DRAM.
+    Coalescing uses each cache's MSHR; dirty evictions generate writeback
+    traffic toward DRAM. Timing is resolved synchronously: [access] returns
+    the cycle at which the data reaches the requesting tile, after updating
+    all contention state. *)
+
+type dram_config =
+  | Simple of Dram.simple_config
+  | Detailed of Dram.detailed_config
+
+(** Directory coherence (the paper's sketched extension: "a directory
+    protocol can easily be implemented by treating the Interleaver as the
+    directory"). When enabled, the directory tracks sharers per line: a
+    write invalidates other tiles' private copies and a read of a line
+    another tile holds modified forces a flush — both charging
+    [directory_latency]. Off by default, as in the paper. *)
+type coherence_config = { directory_latency : int }
+
+type config = {
+  l1 : Cache.config;
+  l2 : Cache.config option;  (** private per tile *)
+  llc : Cache.config option;  (** shared *)
+  dram : dram_config;
+  coherence : coherence_config option;
+}
+
+type t
+
+val create : ntiles:int -> config -> t
+
+val line_size : t -> int
+val ntiles : t -> int
+
+(** [access t ~tile ~cycle ~addr ~is_write] returns the completion cycle of
+    a demand access. Raises [Invalid_argument] on a bad tile id. *)
+val access : t -> tile:int -> cycle:int -> addr:int -> is_write:bool -> int
+
+(** Whether tile's L1 can accept a new miss right now (MSHR not full).
+    Fire-and-forget operations (terminal loads, store-value-buffer drains)
+    gate their issue on this, which is what throttles a decoupled access
+    core to the memory system's actual miss bandwidth. *)
+val can_accept : t -> tile:int -> cycle:int -> bool
+
+(** Direct DRAM transfer for non-coherent accelerators (§IV-B): [bytes]
+    are moved as line-sized bursts, bypassing the caches. Returns the cycle
+    at which the last line completes. *)
+val dram_burst :
+  t -> cycle:int -> addr:int -> bytes:int -> is_write:bool -> int
+
+(** Per-cache statistics, front to back ("l1.0", "l2.0", ..., "llc"). *)
+val cache_stats : t -> (string * Cache.stats) list
+
+val dram_stats : t -> Dram.stats
+
+(** Directory-initiated invalidation messages sent (0 when coherence is
+    disabled). *)
+val coherence_invalidations : t -> int
+
+(** Aggregate counters used by the energy model. *)
+type totals = {
+  l1_accesses : int;
+  l2_accesses : int;
+  llc_accesses : int;
+  dram_lines : int;
+}
+
+val totals : t -> totals

@@ -1,0 +1,80 @@
+type config = {
+  table_size : int;
+  degree : int;
+  distance : int;
+  min_confidence : int;
+}
+
+let default_config =
+  { table_size = 16; degree = 4; distance = 4; min_confidence = 2 }
+
+type stream = {
+  mutable last : int;
+  mutable stride : int;
+  mutable confidence : int;
+  mutable lru : int;
+}
+
+type t = { cfg : config; streams : stream array; mutable tick : int }
+
+let create cfg =
+  {
+    cfg;
+    streams =
+      Array.init (Stdlib.max cfg.table_size 1) (fun _ ->
+          { last = -1; stride = 0; confidence = 0; lru = 0 });
+    tick = 0;
+  }
+
+let active_streams t =
+  Array.fold_left
+    (fun acc s -> if s.confidence >= t.cfg.min_confidence then acc + 1 else acc)
+    0 t.streams
+
+(* A stream matches when the new access continues its stride, or is a
+   plausible restart near its last address. *)
+let observe t ~addr ~line_size =
+  t.tick <- t.tick + 1;
+  let cfg = t.cfg in
+  let matching =
+    Array.to_seq t.streams
+    |> Seq.filter (fun s ->
+           s.last >= 0 && s.stride <> 0 && addr = s.last + s.stride)
+    |> Seq.uncons
+  in
+  match matching with
+  | Some (s, _) ->
+      s.last <- addr;
+      s.confidence <- s.confidence + 1;
+      s.lru <- t.tick;
+      if s.confidence >= cfg.min_confidence then
+        List.init cfg.degree (fun i ->
+            let target = addr + (s.stride * (cfg.distance + i)) in
+            target land lnot (line_size - 1))
+      else []
+  | None ->
+      (* Try to pair with a stream whose last access is close: learn the
+         stride. Otherwise steal the LRU entry. *)
+      let near =
+        Array.to_seq t.streams
+        |> Seq.filter (fun s ->
+               s.last >= 0 && addr <> s.last && abs (addr - s.last) <= 8 * line_size)
+        |> Seq.uncons
+      in
+      (match near with
+      | Some (s, _) ->
+          s.stride <- addr - s.last;
+          s.last <- addr;
+          s.confidence <- 1;
+          s.lru <- t.tick
+      | None ->
+          let victim =
+            Array.fold_left
+              (fun acc s -> if s.lru < acc.lru then s else acc)
+              t.streams.(0) t.streams
+          in
+          victim.last <- addr;
+          victim.stride <- 0;
+          victim.confidence <- 0;
+          victim.lru <- t.tick);
+      []

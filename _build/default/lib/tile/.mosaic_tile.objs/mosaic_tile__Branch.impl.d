@@ -1,0 +1,1 @@
+lib/tile/branch.ml: Mosaic_ir Predictor

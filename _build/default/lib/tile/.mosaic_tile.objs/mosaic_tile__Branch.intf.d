@@ -1,0 +1,1 @@
+lib/tile/branch.mli: Mosaic_ir Predictor

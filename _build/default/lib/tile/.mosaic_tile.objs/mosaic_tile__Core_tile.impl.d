@@ -1,0 +1,1 @@
+lib/tile/core_tile.ml: Array Branch Func Instr List Mao Mosaic_compiler Mosaic_ir Mosaic_memory Mosaic_trace Mosaic_util Op Predictor Queue Stdlib Tile_config Value

@@ -1,0 +1,1 @@
+lib/tile/core_tile.mli: Branch Mosaic_compiler Mosaic_ir Mosaic_memory Mosaic_trace Tile_config

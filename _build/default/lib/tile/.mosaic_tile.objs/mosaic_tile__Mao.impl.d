@@ -1,0 +1,1 @@
+lib/tile/mao.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/tile/predictor.ml: Array Instr Mosaic_ir Op Stdlib

@@ -1,0 +1,1 @@
+lib/tile/predictor.mli: Mosaic_ir

@@ -1,0 +1,1 @@
+lib/tile/tile_config.ml: Branch List Mosaic_ir Op

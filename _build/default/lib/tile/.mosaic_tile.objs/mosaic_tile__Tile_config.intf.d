@@ -1,0 +1,1 @@
+lib/tile/tile_config.mli: Branch Mosaic_ir

@@ -1,0 +1,25 @@
+type policy =
+  | No_speculation
+  | Static of { penalty : int }
+  | Dynamic of { kind : Predictor.kind; penalty : int }
+  | Perfect
+
+let predict ~policy ~bid (term : Mosaic_ir.Instr.t) =
+  match policy with
+  | No_speculation -> None
+  | Perfect -> None (* perfect prediction never needs a concrete guess *)
+  | Dynamic _ -> None (* handled by the tile's stateful predictor *)
+  | Static _ -> (
+      match term.Mosaic_ir.Instr.op with
+      | Mosaic_ir.Op.Br target -> Some target
+      | Mosaic_ir.Op.Cond_br (taken, not_taken) ->
+          (* Back edges are loops: predict them. Otherwise predict the
+             taken target — the front-end places loop bodies and likely
+             paths there (Ball–Larus-style heuristic). *)
+          if not_taken <= bid && taken > bid then Some not_taken
+          else Some taken
+      | _ -> None)
+
+type stats = { mutable predictions : int; mutable mispredictions : int }
+
+let fresh_stats () = { predictions = 0; mispredictions = 0 }

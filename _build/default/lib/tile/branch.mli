@@ -1,0 +1,26 @@
+(** Control-flow speculation policies (§III-C).
+
+    Without speculation a new DBB launches only once the previous DBB's
+    terminator completes. With speculation the launch happens immediately
+    when the modeled predictor agrees with the trace; a misprediction
+    charges the penalty after the terminator resolves. MosaicSim supports
+    static and perfect prediction (dynamic predictors are the paper's future
+    work). *)
+
+type policy =
+  | No_speculation
+  | Static of { penalty : int }
+      (** backward-taken / forward-not-taken heuristic *)
+  | Dynamic of { kind : Predictor.kind; penalty : int }
+      (** trace-trained dynamic predictor (see {!Predictor}) *)
+  | Perfect
+
+(** [predict ~policy ~bid term] is the block id a static predictor picks for
+    the terminator [term] of block [bid]; [None] when the policy never
+    predicts (no speculation) or the terminator is a return. *)
+val predict :
+  policy:policy -> bid:int -> Mosaic_ir.Instr.t -> int option
+
+type stats = { mutable predictions : int; mutable mispredictions : int }
+
+val fresh_stats : unit -> stats

@@ -1,0 +1,530 @@
+open Mosaic_ir
+module Pqueue = Mosaic_util.Pqueue
+module Trace = Mosaic_trace.Trace
+module Ddg = Mosaic_compiler.Ddg
+module Hierarchy = Mosaic_memory.Hierarchy
+
+type accel_result = { finish_cycle : int; energy_pj : float }
+
+type comm = {
+  send :
+    src:int -> dst:int -> chan:int -> cycle:int -> available:int -> bool;
+  try_recv : tile:int -> chan:int -> cycle:int -> int option;
+  take_or_owe : tile:int -> chan:int -> bool;
+  accel :
+    tile:int -> kind:string -> params:Value.t array -> cycle:int ->
+    accel_result;
+}
+
+type stats = {
+  mutable completed_instrs : int;
+  mutable finish_cycle : int;
+  mutable energy_pj : float;
+  mutable dbbs_launched : int;
+  mutable mem_accesses : int;
+  issued_by_class : int array;
+  branch : Branch.stats;
+}
+
+type node_state = Waiting | Ready | Issued | Completed
+
+type node = {
+  seq : int;
+  instr : Instr.t;
+  dbb : dbb;
+  mutable parents_left : int;
+  mutable state : node_state;
+  mutable dependents : node list;
+  mutable addr : int;  (** -1 when not a memory op *)
+  mutable accel_params : Value.t array;
+  mutable send_dst : int;  (** destination tile of a send, from the trace *)
+  mutable complete_cycle : int;
+}
+
+and dbb = { dbb_seq : int; dbb_bid : int; mutable incomplete : int }
+
+type t = {
+  id : int;
+  cfg : Tile_config.t;
+  func : Func.t;
+  ddg : Ddg.t;
+  cursor : Trace.Cursor.cursor;
+  hier : Hierarchy.t;
+  comm : comm;
+  ready : node Pqueue.t;  (** priority = seq *)
+  events : node Pqueue.t;  (** priority = completion cycle *)
+  inflight : node Queue.t;  (** creation order; completed prefix popped *)
+  order : node Queue.t;  (** unissued nodes in program order (in-order) *)
+  mao : Mao.t;
+  mao_release : int Pqueue.t;
+      (** deferred LSQ frees for fire-and-forget memory ops: the core
+          retires them immediately but the entry pins the LSQ until the
+          access completes in memory *)
+  last_writer : node option array;
+  fu_busy : int array;
+  mutable next_seq : int;
+  mutable live_dbbs : int;
+  live_per_bb : int array;
+  mutable last_term : node option;
+  predictor : Predictor.t option;
+  mutable pending_mispredict : bool;
+  mutable trace_done : bool;
+  mutable done_ : bool;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    completed_instrs = 0;
+    finish_cycle = -1;
+    energy_pj = 0.0;
+    dbbs_launched = 0;
+    mem_accesses = 0;
+    issued_by_class = Array.make Tile_config.nclasses 0;
+    branch = Branch.fresh_stats ();
+  }
+
+let create ~id ~config ~func ~ddg ~tile_trace ~hierarchy ~comm =
+  if ddg.Ddg.func != func then
+    invalid_arg "Core_tile.create: DDG built for a different function";
+  {
+    id;
+    cfg = config;
+    func;
+    ddg;
+    cursor = Trace.Cursor.create tile_trace;
+    hier = hierarchy;
+    comm;
+    ready = Pqueue.create ();
+    events = Pqueue.create ();
+    inflight = Queue.create ();
+    order = Queue.create ();
+    mao =
+      Mao.create ~capacity:config.Tile_config.lsq_size
+        ~perfect_alias:config.Tile_config.perfect_alias;
+    mao_release = Pqueue.create ();
+    last_writer = Array.make (Stdlib.max func.Func.nregs 1) None;
+    fu_busy = Array.make Tile_config.nclasses 0;
+    next_seq = 0;
+    live_dbbs = 0;
+    live_per_bb = Array.make (Array.length func.Func.blocks) 0;
+    last_term = None;
+    predictor =
+      (match config.Tile_config.branch with
+      | Branch.Dynamic { kind; _ } -> Some (Predictor.create kind)
+      | _ -> None);
+    pending_mispredict = false;
+    trace_done = false;
+    done_ = false;
+    stats = fresh_stats ();
+  }
+
+let id t = t.id
+let config t = t.cfg
+let stats t = t.stats
+let finished t = t.done_
+let mao_stalls t = Mao.stalls t.mao
+
+let ipc t =
+  if t.stats.finish_cycle <= 0 then 0.0
+  else float_of_int t.stats.completed_instrs /. float_of_int t.stats.finish_cycle
+
+let window_start t =
+  match Queue.peek_opt t.inflight with
+  | Some n -> n.seq
+  | None -> t.next_seq
+
+let is_mem_node n = Op.is_mem n.instr.Instr.op
+
+let mark_ready t n =
+  n.state <- Ready;
+  if is_mem_node n then Mao.resolve t.mao ~seq:n.seq;
+  if not t.cfg.Tile_config.in_order then Pqueue.add t.ready ~prio:n.seq n
+
+(* --- Completion --- *)
+
+let complete_node t n ~cycle =
+  n.state <- Completed;
+  n.complete_cycle <- cycle;
+  let cls = Op.classify n.instr.Instr.op in
+  t.stats.completed_instrs <- t.stats.completed_instrs + 1;
+  t.stats.energy_pj <- t.stats.energy_pj +. Tile_config.energy_pj t.cfg cls;
+  (* Fire-and-forget ops free their MAO entry when memory completes, not
+     when the core retires them. *)
+  (match n.instr.Instr.op with
+  | Op.Load_send _ | Op.Store_recv _ -> ()
+  | _ -> if is_mem_node n then Mao.complete t.mao ~seq:n.seq);
+  n.dbb.incomplete <- n.dbb.incomplete - 1;
+  if n.dbb.incomplete = 0 then begin
+    t.live_dbbs <- t.live_dbbs - 1;
+    t.live_per_bb.(n.dbb.dbb_bid) <- t.live_per_bb.(n.dbb.dbb_bid) - 1
+  end;
+  List.iter
+    (fun dep ->
+      dep.parents_left <- dep.parents_left - 1;
+      if dep.parents_left = 0 && dep.state = Waiting then mark_ready t dep)
+    n.dependents;
+  n.dependents <- [];
+  (* Retire: advance the window past the completed prefix. *)
+  let rec pop () =
+    match Queue.peek_opt t.inflight with
+    | Some front when front.state = Completed ->
+        ignore (Queue.pop t.inflight);
+        pop ()
+    | _ -> ()
+  in
+  pop ()
+
+let process_events t ~cycle =
+  let rec release () =
+    match Pqueue.peek t.mao_release with
+    | Some (c, _) when c <= cycle -> (
+        match Pqueue.pop t.mao_release with
+        | Some (_, seq) ->
+            Mao.complete t.mao ~seq;
+            release ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  release ();
+  let rec loop () =
+    match Pqueue.peek t.events with
+    | Some (c, _) when c <= cycle -> (
+        match Pqueue.pop t.events with
+        | Some (c, n) ->
+            complete_node t n ~cycle:c;
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ()
+
+(* --- DBB launching --- *)
+
+let position_in_block (blk : Func.block) iid =
+  (* Blocks are small; a linear scan is fine and avoids an extra index. *)
+  let rec find k =
+    if k >= Array.length blk.Func.instrs then
+      invalid_arg "Core_tile: instruction not in block"
+    else if blk.Func.instrs.(k).Instr.id = iid then k
+    else find (k + 1)
+  in
+  find 0
+
+let launch_dbb t bid =
+  let blk = Func.block t.func bid in
+  let n_instrs = Array.length blk.Func.instrs in
+  let dbb = { dbb_seq = t.stats.dbbs_launched; dbb_bid = bid; incomplete = n_instrs } in
+  t.stats.dbbs_launched <- t.stats.dbbs_launched + 1;
+  t.live_dbbs <- t.live_dbbs + 1;
+  t.live_per_bb.(bid) <- t.live_per_bb.(bid) + 1;
+  let nodes = Array.make n_instrs None in
+  Array.iteri
+    (fun k (instr : Instr.t) ->
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      let n =
+        {
+          seq;
+          instr;
+          dbb;
+          parents_left = 0;
+          state = Waiting;
+          dependents = [];
+          addr = -1;
+          accel_params = [||];
+          send_dst = -1;
+          complete_cycle = -1;
+        }
+      in
+      nodes.(k) <- Some n;
+      let deps = t.ddg.Ddg.deps.(instr.Instr.id) in
+      let add_parent (p : node) =
+        if p.state <> Completed then begin
+          n.parents_left <- n.parents_left + 1;
+          p.dependents <- n :: p.dependents
+        end
+      in
+      Array.iter
+        (fun pid ->
+          match nodes.(position_in_block blk pid) with
+          | Some p -> add_parent p
+          | None -> invalid_arg "Core_tile: forward intra-block dependence")
+        deps.Ddg.intra;
+      Array.iter
+        (fun r ->
+          match t.last_writer.(r) with
+          | Some p -> add_parent p
+          | None -> ())
+        deps.Ddg.extern_regs;
+      (* Memory nodes take their address from the trace and enter the MAO
+         in program order. *)
+      (match Op.mem_size instr.Instr.op with
+      | Some size ->
+          let addr = Trace.Cursor.next_addr t.cursor ~instr_id:instr.Instr.id in
+          n.addr <- addr;
+          let kind =
+            match instr.Instr.op with
+            | Op.Load _ | Op.Load_send _ -> Mao.K_load
+            | Op.Store _ | Op.Atomic_rmw _ | Op.Store_recv _ | _ ->
+                Mao.K_store
+          in
+          Mao.insert t.mao ~seq ~kind ~addr ~size
+      | None -> ());
+      (match instr.Instr.op with
+      | Op.Accel _ ->
+          n.accel_params <-
+            Trace.Cursor.next_accel_params t.cursor ~instr_id:instr.Instr.id
+      | Op.Send _ | Op.Load_send _ ->
+          n.send_dst <-
+            Trace.Cursor.next_send_dst t.cursor ~instr_id:instr.Instr.id
+      | _ -> ());
+      (match instr.Instr.dst with
+      | Some d -> t.last_writer.(d) <- Some n
+      | None -> ());
+      Queue.add n t.inflight;
+      if t.cfg.Tile_config.in_order then Queue.add n t.order;
+      if n.parents_left = 0 then mark_ready t n)
+    blk.Func.instrs;
+  (match nodes.(n_instrs - 1) with
+  | Some term when Op.is_terminator term.instr.Instr.op ->
+      t.last_term <- Some term;
+      (* A dynamic predictor guesses (and trains on) the next block at
+         fetch; the verdict is stable until that block launches. *)
+      (match (t.predictor, Trace.Cursor.peek_block t.cursor 0) with
+      | Some pred, Some actual ->
+          let predicted =
+            Predictor.predict pred ~branch_id:term.instr.Instr.id term.instr
+          in
+          Predictor.train pred ~branch_id:term.instr.Instr.id term.instr
+            ~actual;
+          t.pending_mispredict <- predicted <> Some actual
+      | _ -> t.pending_mispredict <- false)
+  | _ -> t.last_term <- None)
+
+(* Whether the next DBB may launch now: [`Launch gated] with [gated = true]
+   when a prior terminator gated this launch (counts as a prediction) and
+   [`Mispredict] when that prediction was wrong. *)
+let control_gate t ~cycle ~next_bid =
+  match t.last_term with
+  | None -> `Launch `First
+  | Some term -> (
+      match t.cfg.Tile_config.branch with
+      | Branch.Perfect -> `Launch `Predicted
+      | Branch.No_speculation ->
+          if term.state = Completed then `Launch `Predicted else `Wait
+      | Branch.Dynamic { penalty; _ } ->
+          if not t.pending_mispredict then `Launch `Predicted
+          else if term.state = Completed && cycle >= term.complete_cycle + penalty
+          then `Launch `Mispredicted
+          else `Wait
+      | Branch.Static { penalty } -> (
+          let bid = term.dbb.dbb_bid in
+          match
+            Branch.predict ~policy:t.cfg.Tile_config.branch ~bid term.instr
+          with
+          | Some predicted when predicted = next_bid -> `Launch `Predicted
+          | Some _ | None ->
+              (* Mispredicted (or unpredictable): wait for resolution plus
+                 the misprediction penalty. *)
+              if term.state = Completed && cycle >= term.complete_cycle + penalty
+              then `Launch `Mispredicted
+              else `Wait))
+
+let try_launches t ~cycle =
+  let launched = ref 0 in
+  let continue = ref true in
+  while !continue && !launched < t.cfg.Tile_config.fetch_per_cycle do
+    match Trace.Cursor.peek_block t.cursor 0 with
+    | None ->
+        t.trace_done <- true;
+        continue := false
+    | Some next_bid ->
+        let live_ok =
+          (match t.cfg.Tile_config.live_dbb_limit with
+          | Some limit -> t.live_per_bb.(next_bid) < limit
+          | None -> true)
+          && t.live_dbbs < t.cfg.Tile_config.max_live_dbbs
+          && t.next_seq - window_start t < t.cfg.Tile_config.window_size
+        in
+        if not live_ok then continue := false
+        else begin
+          match control_gate t ~cycle ~next_bid with
+          | `Wait -> continue := false
+          | `Launch how ->
+              (match how with
+              | `First -> ()
+              | `Predicted ->
+                  t.stats.branch.Branch.predictions <-
+                    t.stats.branch.Branch.predictions + 1
+              | `Mispredicted ->
+                  t.stats.branch.Branch.predictions <-
+                    t.stats.branch.Branch.predictions + 1;
+                  t.stats.branch.Branch.mispredictions <-
+                    t.stats.branch.Branch.mispredictions + 1);
+              ignore (Trace.Cursor.next_block t.cursor);
+              launch_dbb t next_bid;
+              incr launched
+        end
+  done
+
+(* --- Issue --- *)
+
+(* Attempt to issue [n] at [cycle]; true on success. *)
+(* Functional units are pipelined: the limit is per-cycle issue
+   throughput, tracked in [fu_busy] which resets every cycle. *)
+let try_issue t n ~cycle =
+  let cls = Op.classify n.instr.Instr.op in
+  let ci = Tile_config.class_index cls in
+  if t.fu_busy.(ci) >= Tile_config.fu_limit t.cfg cls then false
+  else begin
+    let div = t.cfg.Tile_config.clock_divider in
+    let fixed lat = Some (cycle + Stdlib.max 1 (lat * div)) in
+    let completion =
+      match n.instr.Instr.op with
+      | Op.Load _ ->
+          if Mao.can_issue t.mao ~seq:n.seq then begin
+            t.stats.mem_accesses <- t.stats.mem_accesses + 1;
+            Some
+              (Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                 ~is_write:false)
+          end
+          else None
+      | Op.Store _ ->
+          if Mao.can_issue t.mao ~seq:n.seq then begin
+            t.stats.mem_accesses <- t.stats.mem_accesses + 1;
+            Some
+              (Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                 ~is_write:true)
+          end
+          else None
+      | Op.Atomic_rmw _ ->
+          if Mao.can_issue t.mao ~seq:n.seq then begin
+            t.stats.mem_accesses <- t.stats.mem_accesses + 1;
+            let base =
+              Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                ~is_write:true
+            in
+            Some (base + t.cfg.Tile_config.atomic_extra_latency)
+          end
+          else None
+      | Op.Send chan ->
+          if t.comm.send ~src:t.id ~dst:n.send_dst ~chan ~cycle ~available:cycle
+          then fixed t.cfg.Tile_config.comm_latency
+          else None
+      | Op.Load_send (chan, _) ->
+          (* Terminal load: needs an MAO slot, a buffer slot and a free
+             miss slot; the core moves on while memory fills the message
+             in. *)
+          if
+            Mao.can_issue t.mao ~seq:n.seq
+            && Hierarchy.can_accept t.hier ~tile:t.id ~cycle
+          then begin
+            let completion =
+              Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                ~is_write:false
+            in
+            if
+              t.comm.send ~src:t.id ~dst:n.send_dst ~chan ~cycle
+                ~available:completion
+            then begin
+              t.stats.mem_accesses <- t.stats.mem_accesses + 1;
+              (* The core retires the push at once; the LSQ entry drains
+                 when memory answers. *)
+              Pqueue.add t.mao_release ~prio:completion n.seq;
+              fixed 1
+            end
+            else None
+          end
+          else None
+      | Op.Recv chan -> t.comm.try_recv ~tile:t.id ~chan ~cycle
+      | Op.Store_recv (chan, _, rmw) ->
+          (* Retire into the store value buffer: commit the channel slot,
+             charge the memory write, and move on. Gated on a free miss
+             slot so drains respect memory bandwidth. *)
+          if
+            Mao.can_issue t.mao ~seq:n.seq
+            && Hierarchy.can_accept t.hier ~tile:t.id ~cycle
+          then
+            if t.comm.take_or_owe ~tile:t.id ~chan then begin
+              t.stats.mem_accesses <- t.stats.mem_accesses + 1;
+              let completion =
+                Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                  ~is_write:true
+              in
+              Pqueue.add t.mao_release ~prio:completion n.seq;
+              fixed (match rmw with Some _ -> 2 | None -> 1)
+            end
+            else None
+          else None
+      | Op.Accel kind ->
+          let r = t.comm.accel ~tile:t.id ~kind ~params:n.accel_params ~cycle in
+          t.stats.energy_pj <- t.stats.energy_pj +. r.energy_pj;
+          Some (Stdlib.max (cycle + 1) r.finish_cycle)
+      | _ -> fixed (Tile_config.latency t.cfg cls)
+    in
+    match completion with
+    | None -> false
+    | Some c ->
+        n.state <- Issued;
+        t.fu_busy.(ci) <- t.fu_busy.(ci) + 1;
+        t.stats.issued_by_class.(ci) <- t.stats.issued_by_class.(ci) + 1;
+        Pqueue.add t.events ~prio:(Stdlib.max (cycle + 1) c) n;
+        true
+  end
+
+let issue_out_of_order t ~cycle =
+  let budget = ref t.cfg.Tile_config.issue_width in
+  let window_end = window_start t + t.cfg.Tile_config.window_size in
+  let stash = ref [] in
+  let scans = ref 0 in
+  (* Scan the whole window's worth of ready nodes: blocked older entries
+     must not starve issuable younger ones. *)
+  let scan_budget = Stdlib.min 256 t.cfg.Tile_config.window_size in
+  let continue = ref true in
+  while !continue && !budget > 0 && !scans < scan_budget do
+    match Pqueue.pop t.ready with
+    | None -> continue := false
+    | Some (_, n) ->
+        incr scans;
+        if n.seq >= window_end then begin
+          (* Ordered by seq: nothing further fits the window either. *)
+          stash := n :: !stash;
+          continue := false
+        end
+        else if try_issue t n ~cycle then decr budget
+        else stash := n :: !stash
+  done;
+  List.iter (fun n -> Pqueue.add t.ready ~prio:n.seq n) !stash
+
+let issue_in_order t ~cycle =
+  let budget = ref t.cfg.Tile_config.issue_width in
+  let window_end = window_start t + t.cfg.Tile_config.window_size in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Queue.peek_opt t.order with
+    | None -> continue := false
+    | Some n ->
+        if n.state = Ready && n.seq < window_end && try_issue t n ~cycle then begin
+          ignore (Queue.pop t.order);
+          decr budget
+        end
+        else continue := false
+  done
+
+let step t ~cycle =
+  if not t.done_ then begin
+    if cycle mod t.cfg.Tile_config.clock_divider = 0 then begin
+      process_events t ~cycle;
+      Array.fill t.fu_busy 0 (Array.length t.fu_busy) 0;
+      try_launches t ~cycle;
+      if t.cfg.Tile_config.in_order then issue_in_order t ~cycle
+      else issue_out_of_order t ~cycle;
+      if t.trace_done && Queue.is_empty t.inflight && Pqueue.is_empty t.events
+      then begin
+        t.done_ <- true;
+        t.stats.finish_cycle <- cycle
+      end
+    end
+    else process_events t ~cycle
+  end

@@ -1,0 +1,69 @@
+(** Graph-based tile model (§II-A, §III).
+
+    Simulates one tile executing its kernel's dynamic instruction graph:
+    DBBs are launched along the control-flow trace, nodes issue when their
+    data dependencies resolve subject to microarchitectural limits (issue
+    width, instruction window, MAO/LSQ, functional units, live-DBB caps),
+    memory operations query the shared hierarchy, and sends/receives go
+    through the Interleaver callbacks. Covers in-order cores, out-of-order
+    cores and pre-RTL accelerator tiles purely through {!Tile_config}. *)
+
+(** Result handed back by an accelerator model invocation (§IV-A). *)
+type accel_result = { finish_cycle : int; energy_pj : float }
+
+(** Callbacks provided by the Interleaver / SoC. [send] returns [false]
+    when the destination buffer is full (the send retries); [try_recv]
+    returns the completion cycle once a matching message is available. *)
+type comm = {
+  send :
+    src:int -> dst:int -> chan:int -> cycle:int -> available:int -> bool;
+      (** [available] is when the payload exists ([cycle] for plain sends;
+          memory completion for terminal loads) *)
+  try_recv : tile:int -> chan:int -> cycle:int -> int option;
+  take_or_owe : tile:int -> chan:int -> bool;
+      (** consume-or-commit for store-value-buffer drains *)
+  accel :
+    tile:int ->
+    kind:string ->
+    params:Mosaic_ir.Value.t array ->
+    cycle:int ->
+    accel_result;
+}
+
+type stats = {
+  mutable completed_instrs : int;
+  mutable finish_cycle : int;  (** -1 while running *)
+  mutable energy_pj : float;
+  mutable dbbs_launched : int;
+  mutable mem_accesses : int;
+  issued_by_class : int array;  (** indexed by [Tile_config.class_index] *)
+  branch : Branch.stats;
+}
+
+type t
+
+val create :
+  id:int ->
+  config:Tile_config.t ->
+  func:Mosaic_ir.Func.t ->
+  ddg:Mosaic_compiler.Ddg.t ->
+  tile_trace:Mosaic_trace.Trace.tile_trace ->
+  hierarchy:Mosaic_memory.Hierarchy.t ->
+  comm:comm ->
+  t
+
+val id : t -> int
+val config : t -> Tile_config.t
+
+(** Advance the tile through global cycle [cycle]. Honors the tile's clock
+    divider internally. *)
+val step : t -> cycle:int -> unit
+
+val finished : t -> bool
+val stats : t -> stats
+
+(** MAO issue-rejection count (ordering or capacity), for reports. *)
+val mao_stalls : t -> int
+
+(** Instructions per cycle; meaningful once finished. *)
+val ipc : t -> float

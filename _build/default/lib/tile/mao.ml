@@ -1,0 +1,96 @@
+type kind = K_load | K_store
+
+type entry = {
+  seq : int;
+  kind : kind;
+  addr : int;
+  size : int;
+  mutable resolved : bool;
+  mutable completed : bool;
+}
+
+type t = {
+  capacity : int;
+  perfect_alias : bool;
+  mutable entries : entry list;  (** oldest first; completed prefix pruned *)
+  index : (int, entry) Hashtbl.t;
+  mutable stall_count : int;
+}
+
+let create ~capacity ~perfect_alias =
+  if capacity <= 0 then invalid_arg "Mao.create: capacity must be positive";
+  {
+    capacity;
+    perfect_alias;
+    entries = [];
+    index = Hashtbl.create 64;
+    stall_count = 0;
+  }
+
+let prune t =
+  let rec drop = function
+    | e :: rest when e.completed ->
+        Hashtbl.remove t.index e.seq;
+        drop rest
+    | rest -> rest
+  in
+  t.entries <- drop t.entries
+
+let insert t ~seq ~kind ~addr ~size =
+  if Hashtbl.mem t.index seq then
+    invalid_arg (Printf.sprintf "Mao.insert: duplicate seq %d" seq);
+  let e =
+    { seq; kind; addr; size; resolved = t.perfect_alias; completed = false }
+  in
+  Hashtbl.replace t.index seq e;
+  t.entries <- t.entries @ [ e ]
+
+let find t seq =
+  match Hashtbl.find_opt t.index seq with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Mao: unknown seq %d" seq)
+
+let resolve t ~seq = (find t seq).resolved <- true
+
+let overlaps a b =
+  a.addr < b.addr + b.size && b.addr < a.addr + a.size
+
+let conflicts ~me older =
+  if older.completed then false
+  else if not older.resolved then true
+  else if not me.resolved then true
+  else overlaps me older
+
+let can_issue t ~seq =
+  prune t;
+  let me = find t seq in
+  let rec scan entries rank =
+    match entries with
+    | [] -> invalid_arg "Mao.can_issue: entry vanished"
+    | e :: rest ->
+        if e.seq = seq then
+          (* Inside the capacity window of oldest in-flight entries? *)
+          rank < t.capacity
+        else
+          let rank = if e.completed then rank else rank + 1 in
+          let blocking =
+            match (me.kind, e.kind) with
+            | K_load, K_load -> false
+            | K_load, K_store -> conflicts ~me e
+            | K_store, _ -> conflicts ~me e
+          in
+          if blocking then false else scan rest rank
+  in
+  let ok = scan t.entries 0 in
+  if not ok then t.stall_count <- t.stall_count + 1;
+  ok
+
+let complete t ~seq =
+  (find t seq).completed <- true;
+  prune t
+
+let occupancy t =
+  prune t;
+  List.fold_left (fun acc e -> if e.completed then acc else acc + 1) 0 t.entries
+
+let stalls t = t.stall_count

@@ -1,0 +1,176 @@
+open Mosaic_ir
+
+type t = {
+  name : string;
+  issue_width : int;
+  window_size : int;
+  lsq_size : int;
+  in_order : bool;
+  fu_limits : (Op.op_class * int) list;
+  latencies : (Op.op_class * int) list;
+  energies_pj : (Op.op_class * float) list;
+  live_dbb_limit : int option;
+  max_live_dbbs : int;
+  branch : Branch.policy;
+  perfect_alias : bool;
+  clock_divider : int;
+  atomic_extra_latency : int;
+  comm_latency : int;
+  fetch_per_cycle : int;
+  area_mm2 : float;
+  static_power_w : float;
+}
+
+let default_latencies =
+  [
+    (Op.C_ialu, 1);
+    (Op.C_imul, 3);
+    (Op.C_idiv, 18);
+    (Op.C_falu, 3);
+    (Op.C_fmul, 4);
+    (Op.C_fdiv, 12);
+    (Op.C_fmath, 12);
+    (Op.C_agu, 1);
+    (Op.C_branch, 1);
+    (Op.C_send, 1);
+    (Op.C_recv, 1);
+    (* load/store/atomic latencies come from the memory hierarchy; the
+       values here are only used if a model bypasses it. *)
+    (Op.C_load, 1);
+    (Op.C_store, 1);
+    (Op.C_atomic, 4);
+    (Op.C_accel, 1);
+  ]
+
+let default_energies_pj =
+  [
+    (Op.C_ialu, 0.5);
+    (Op.C_imul, 2.0);
+    (Op.C_idiv, 10.0);
+    (Op.C_falu, 1.5);
+    (Op.C_fmul, 2.5);
+    (Op.C_fdiv, 12.0);
+    (Op.C_fmath, 15.0);
+    (Op.C_agu, 0.5);
+    (Op.C_branch, 0.3);
+    (Op.C_send, 1.0);
+    (Op.C_recv, 1.0);
+    (Op.C_load, 2.0);
+    (Op.C_store, 2.0);
+    (Op.C_atomic, 4.0);
+    (Op.C_accel, 0.0);
+  ]
+
+let lookup table ~default cls =
+  match List.assoc_opt cls table with Some v -> v | None -> default
+
+let latency cfg cls =
+  match List.assoc_opt cls cfg.latencies with
+  | Some v -> v
+  | None -> lookup default_latencies ~default:1 cls
+
+let energy_pj cfg cls =
+  match List.assoc_opt cls cfg.energies_pj with
+  | Some v -> v
+  | None -> lookup default_energies_pj ~default:1.0 cls
+
+let fu_limit cfg cls =
+  match List.assoc_opt cls cfg.fu_limits with
+  | Some v -> v
+  | None -> max_int
+
+let class_index cls =
+  let rec find i = function
+    | [] -> invalid_arg "Tile_config.class_index"
+    | c :: rest -> if c = cls then i else find (i + 1) rest
+  in
+  find 0 Op.all_classes
+
+let nclasses = List.length Op.all_classes
+
+let out_of_order =
+  {
+    name = "ooo";
+    issue_width = 4;
+    window_size = 128;
+    lsq_size = 128;
+    in_order = false;
+    fu_limits =
+      [
+        (Op.C_ialu, 4);
+        (Op.C_imul, 2);
+        (Op.C_idiv, 1);
+        (Op.C_falu, 2);
+        (Op.C_fmul, 2);
+        (Op.C_fdiv, 1);
+        (Op.C_fmath, 2);
+        (Op.C_agu, 2);
+        (Op.C_load, 2);
+        (Op.C_store, 1);
+        (Op.C_atomic, 1);
+      ];
+    latencies = [];
+    energies_pj = [];
+    live_dbb_limit = None;
+    max_live_dbbs = 64;
+    branch = Branch.Static { penalty = 12 };
+    perfect_alias = false;
+    clock_divider = 1;
+    atomic_extra_latency = 10;
+    comm_latency = 1;
+    fetch_per_cycle = 4;
+    area_mm2 = 8.44;
+    static_power_w = 4.0;
+  }
+
+(* In-order issue with a small scoreboard: issue strictly in program order
+   at width 1, but let issued operations complete out of order (decoupled
+   stores/pushes drain in the background). Table II's "window 1" means the
+   issue window; a literal one-entry completion window would serialize
+   every L1 hit and no in-order core behaves that way. *)
+let in_order =
+  {
+    name = "ino";
+    issue_width = 1;
+    window_size = 16;
+    lsq_size = 4;
+    in_order = true;
+    fu_limits = [];
+    latencies = [];
+    energies_pj = [];
+    live_dbb_limit = None;
+    max_live_dbbs = 4;
+    branch = Branch.No_speculation;
+    perfect_alias = false;
+    clock_divider = 1;
+    atomic_extra_latency = 8;
+    comm_latency = 1;
+    fetch_per_cycle = 1;
+    area_mm2 = 1.01;
+    static_power_w = 0.5;
+  }
+
+let pre_rtl_accelerator ?(live_dbb_limit = 8) ?(fus = 16) () =
+  {
+    name = "pre-rtl-accel";
+    issue_width = 16;
+    window_size = 1024;
+    lsq_size = 256;
+    in_order = false;
+    fu_limits =
+      List.map (fun c -> (c, fus)) [ Op.C_falu; Op.C_fmul; Op.C_ialu; Op.C_agu ];
+    latencies = [];
+    energies_pj =
+      (* Specialized datapaths spend less per operation than a core. *)
+      List.map (fun (c, e) -> (c, e *. 0.2)) default_energies_pj;
+    live_dbb_limit = Some live_dbb_limit;
+    max_live_dbbs = 4 * live_dbb_limit;
+    branch = Branch.Perfect;
+    perfect_alias = true;
+    clock_divider = 1;
+    atomic_extra_latency = 4;
+    comm_latency = 1;
+    fetch_per_cycle = 8;
+    area_mm2 = 2.0;
+    static_power_w = 0.2;
+  }

@@ -1,0 +1,62 @@
+(** Microarchitectural resource parameters of a tile (§III-A) and
+    per-instruction costs (§III-B).
+
+    The same graph-based model covers in-order cores, out-of-order cores and
+    pre-RTL accelerator tiles; only these knobs change. *)
+
+type t = {
+  name : string;
+  issue_width : int;  (** superscalar width W *)
+  window_size : int;  (** instruction window / ROB slots *)
+  lsq_size : int;  (** MAO capacity *)
+  in_order : bool;  (** issue strictly in program order *)
+  fu_limits : (Mosaic_ir.Op.op_class * int) list;
+      (** functional units per class; unlisted classes are unlimited *)
+  latencies : (Mosaic_ir.Op.op_class * int) list;
+      (** fixed latencies; unlisted classes use defaults *)
+  energies_pj : (Mosaic_ir.Op.op_class * float) list;
+      (** per-instruction energy; unlisted classes use defaults *)
+  live_dbb_limit : int option;
+      (** max concurrent DBBs per static basic block (accelerator loop
+          replication knob); [None] = unlimited *)
+  max_live_dbbs : int;  (** global fetch run-ahead bound *)
+  branch : Branch.policy;
+  perfect_alias : bool;  (** perfect memory-alias speculation *)
+  clock_divider : int;  (** 1 = full speed; 2 = half the global clock *)
+  atomic_extra_latency : int;
+  comm_latency : int;  (** send/recv local pipeline latency *)
+  fetch_per_cycle : int;  (** DBB launches allowed per cycle *)
+  area_mm2 : float;  (** for area-equivalent comparisons (McPAT, Table II) *)
+  static_power_w : float;
+      (** leakage + clock power while the tile is active; tiles are treated
+          as clock-gated while an accelerator they invoked runs *)
+}
+
+(** Fixed latency of an opcode class under this configuration. *)
+val latency : t -> Mosaic_ir.Op.op_class -> int
+
+(** Energy (pJ) charged when an instruction of this class completes. *)
+val energy_pj : t -> Mosaic_ir.Op.op_class -> float
+
+(** FU count for a class; [max_int] when unlimited. *)
+val fu_limit : t -> Mosaic_ir.Op.op_class -> int
+
+(** Stable dense index of an opcode class (for stats arrays). *)
+val class_index : Mosaic_ir.Op.op_class -> int
+
+val nclasses : int
+
+(** Default latency/energy tables (22 nm-flavoured). *)
+val default_latencies : (Mosaic_ir.Op.op_class * int) list
+
+val default_energies_pj : (Mosaic_ir.Op.op_class * float) list
+
+(** A 4-wide out-of-order core (Table II). *)
+val out_of_order : t
+
+(** A single-issue in-order core (Table II). *)
+val in_order : t
+
+(** A pre-RTL accelerator tile (§IV): relaxed window, configurable loop
+    replication. *)
+val pre_rtl_accelerator : ?live_dbb_limit:int -> ?fus:int -> unit -> t

@@ -1,0 +1,1 @@
+lib/trace/analysis.ml: Array Format Func Hashtbl Instr List Mosaic_ir Mosaic_util Op Program Stdlib Trace

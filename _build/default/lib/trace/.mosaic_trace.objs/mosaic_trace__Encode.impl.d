@@ -1,0 +1,1 @@
+lib/trace/encode.ml: Array Buffer Bytes Char Printf Stdlib Trace

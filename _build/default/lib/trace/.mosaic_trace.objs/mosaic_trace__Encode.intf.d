@@ -1,0 +1,1 @@
+lib/trace/encode.mli: Bytes Trace

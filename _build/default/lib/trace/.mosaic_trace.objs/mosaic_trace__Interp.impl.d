@@ -1,0 +1,1 @@
+lib/trace/interp.ml: Array Eval Func Hashtbl Instr Int64 List Mosaic_ir Mosaic_util Op Printf Program Queue Stdlib Trace Value

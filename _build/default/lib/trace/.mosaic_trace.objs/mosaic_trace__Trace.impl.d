@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Fun Marshal Mosaic_ir Printf

@@ -1,0 +1,165 @@
+open Mosaic_ir
+module Fenwick = Mosaic_util.Fenwick
+
+type t = {
+  dyn_instrs : int;
+  mem_accesses : int;
+  mem_ratio : float;
+  footprint_lines : int;
+  reuse_hist : (int * int) list;
+  stride_regular : float;
+}
+
+let line_size = 64
+
+let bucket_bounds =
+  (* powers of two up to 2^24 lines (1 GB of 64B lines), then cold *)
+  List.init 25 (fun i -> 1 lsl i) @ [ max_int ]
+
+(* Replay the control path popping each memory instruction's address
+   stream, yielding the true dynamic access order. *)
+let dynamic_addresses (func : Func.t) (tt : Trace.tile_trace) =
+  let cursor = Trace.Cursor.create tt in
+  let out = Mosaic_util.Int_vec.create ~initial_capacity:1024 () in
+  let rec walk () =
+    match Trace.Cursor.next_block cursor with
+    | None -> ()
+    | Some bid ->
+        let blk = Func.block func bid in
+        Array.iter
+          (fun (i : Instr.t) ->
+            if Op.is_mem i.Instr.op then
+              Mosaic_util.Int_vec.push out
+                (Trace.Cursor.next_addr cursor ~instr_id:i.Instr.id))
+          blk.Func.instrs;
+        walk ()
+  in
+  walk ();
+  Mosaic_util.Int_vec.to_array out
+
+(* LRU stack distances via the classic Fenwick-tree algorithm: for access i
+   to a line last touched at j, the stack distance is the number of
+   distinct lines touched in (j, i). *)
+let reuse_histogram addrs =
+  let n = Array.length addrs in
+  let bit = Fenwick.create (Stdlib.max n 1) in
+  let last = Hashtbl.create 4096 in
+  let buckets = Array.make (List.length bucket_bounds) 0 in
+  let bucket_of d =
+    let rec find k = function
+      | [] -> k - 1
+      | bound :: rest -> if d < bound then k else find (k + 1) rest
+    in
+    find 0 bucket_bounds
+  in
+  Array.iteri
+    (fun i addr ->
+      let line = addr / line_size in
+      (match Hashtbl.find_opt last line with
+      | Some j ->
+          let distance = Fenwick.range_sum bit ~lo:(j + 1) ~hi:(i - 1) in
+          buckets.(bucket_of distance) <- buckets.(bucket_of distance) + 1;
+          Fenwick.add bit j (-1)
+      | None ->
+          (* cold miss: infinite distance *)
+          let cold = Array.length buckets - 1 in
+          buckets.(cold) <- buckets.(cold) + 1);
+      Hashtbl.replace last line i;
+      Fenwick.add bit i 1)
+    addrs;
+  (List.map2 (fun bound count -> (bound, count)) bucket_bounds
+     (Array.to_list buckets),
+   Hashtbl.length last)
+
+(* Per static instruction: does the stride repeat? *)
+let stride_regularity (tt : Trace.tile_trace) =
+  let regular = ref 0 and total = ref 0 in
+  Array.iter
+    (fun addrs ->
+      let n = Array.length addrs in
+      for i = 2 to n - 1 do
+        incr total;
+        if addrs.(i) - addrs.(i - 1) = addrs.(i - 1) - addrs.(i - 2) then
+          incr regular
+      done)
+    tt.Trace.mem_addrs;
+  if !total = 0 then 0.0 else float_of_int !regular /. float_of_int !total
+
+let tile func (tt : Trace.tile_trace) =
+  let addrs = dynamic_addresses func tt in
+  let reuse_hist, footprint_lines = reuse_histogram addrs in
+  let mem_accesses = Array.length addrs in
+  {
+    dyn_instrs = tt.Trace.dyn_instrs;
+    mem_accesses;
+    mem_ratio =
+      (if tt.Trace.dyn_instrs = 0 then 0.0
+       else float_of_int mem_accesses /. float_of_int tt.Trace.dyn_instrs);
+    footprint_lines;
+    reuse_hist;
+    stride_regular = stride_regularity tt;
+  }
+
+let whole prog (trace : Trace.t) =
+  let parts =
+    Array.to_list
+      (Array.map
+         (fun (tt : Trace.tile_trace) ->
+           tile (Program.func_exn prog tt.Trace.kernel) tt)
+         trace.Trace.tiles)
+  in
+  let sum f = List.fold_left (fun acc p -> acc + f p) 0 parts in
+  let dyn_instrs = sum (fun p -> p.dyn_instrs) in
+  let mem_accesses = sum (fun p -> p.mem_accesses) in
+  let reuse_hist =
+    List.map
+      (fun bound ->
+        ( bound,
+          List.fold_left
+            (fun acc p -> acc + List.assoc bound p.reuse_hist)
+            0 parts ))
+      bucket_bounds
+  in
+  let weighted_stride =
+    let total = float_of_int (Stdlib.max mem_accesses 1) in
+    List.fold_left
+      (fun acc p ->
+        acc +. (p.stride_regular *. float_of_int p.mem_accesses /. total))
+      0.0 parts
+  in
+  {
+    dyn_instrs;
+    mem_accesses;
+    mem_ratio =
+      (if dyn_instrs = 0 then 0.0
+       else float_of_int mem_accesses /. float_of_int dyn_instrs);
+    footprint_lines = sum (fun p -> p.footprint_lines);
+    reuse_hist;
+    stride_regular = weighted_stride;
+  }
+
+let capacity_hit_rate t ~lines =
+  if t.mem_accesses = 0 then 0.0
+  else
+    let hits =
+      List.fold_left
+        (fun acc (bound, count) -> if bound <= lines then acc + count else acc)
+        0 t.reuse_hist
+    in
+    float_of_int hits /. float_of_int t.mem_accesses
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>dyn instrs: %d@ mem accesses: %d (ratio %.3f)@ footprint: %d lines \
+     (%d KB)@ stride regularity: %.1f%%@ reuse hist (lines <= bound: \
+     accesses):@ "
+    t.dyn_instrs t.mem_accesses t.mem_ratio t.footprint_lines
+    (t.footprint_lines * line_size / 1024)
+    (100.0 *. t.stride_regular);
+  List.iter
+    (fun (bound, count) ->
+      if count > 0 then
+        if bound = max_int then Format.fprintf ppf "  cold: %d@ " count
+        else Format.fprintf ppf "  <=%d: %d@ " bound count)
+    t.reuse_hist;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,35 @@
+(** Trace-based workload characterization.
+
+    Beyond the IPC characterization of Fig 6, the traces support the
+    deeper locality analyses an early-stage designer wants when sizing
+    caches and choosing accelerators: LRU reuse distances (what capacity
+    would each level need), footprints, and stride profiles (would a
+    stream prefetcher help). Used by the CLI's [characterize] command and
+    the bench harness. *)
+
+type t = {
+  dyn_instrs : int;
+  mem_accesses : int;
+  mem_ratio : float;  (** memory accesses / dynamic instructions *)
+  footprint_lines : int;  (** distinct 64B lines touched *)
+  reuse_hist : (int * int) list;
+      (** (log2 bucket upper bound in lines, accesses) — LRU stack
+          distances; the final bucket with bound [max_int] is cold misses *)
+  stride_regular : float;
+      (** fraction of accesses whose per-instruction stride repeats the
+          previous one (prefetcher-friendliness) *)
+}
+
+(** Analyze one tile's access stream in true dynamic order (reconstructed
+    by replaying the control path of its kernel). *)
+val tile : Mosaic_ir.Func.t -> Trace.tile_trace -> t
+
+(** Aggregate over all tiles of a trace. *)
+val whole : Mosaic_ir.Program.t -> Trace.t -> t
+
+(** [capacity_hit_rate t ~lines] estimates the hit rate of a fully
+    associative LRU cache with [lines] lines from the reuse histogram
+    (upper bound on set-associative behaviour). *)
+val capacity_hit_rate : t -> lines:int -> float
+
+val pp : Format.formatter -> t -> unit

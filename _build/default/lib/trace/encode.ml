@@ -1,0 +1,138 @@
+(* Varint plumbing (LEB128) with zig-zag for signed deltas. *)
+
+let put_varint buf v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let get_varint bytes pos =
+  let v = ref 0 and shift = ref 0 and p = ref pos in
+  let continue = ref true in
+  while !continue do
+    let byte = Char.code (Bytes.get bytes !p) in
+    incr p;
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then continue := false
+  done;
+  (!v, !p)
+
+let zigzag v = if v >= 0 then 2 * v else (-2 * v) - 1
+
+let unzigzag v = if v land 1 = 0 then v / 2 else -((v + 1) / 2)
+
+(* --- control-flow paths ---
+
+   Format: varint count, then tokens. Token kinds:
+   - 0, varint bid              : literal block id
+   - 1, varint period, varint n : repeat the previous [period] symbols
+                                  [n] more times *)
+
+let max_period = 8
+
+let encode_control path =
+  let buf = Buffer.create 256 in
+  let n = Array.length path in
+  put_varint buf n;
+  let i = ref 0 in
+  while !i < n do
+    (* Longest immediate repetition of a short period ending here. *)
+    let best = ref None in
+    for period = 1 to Stdlib.min max_period !i do
+      (* count how many symbols from !i onward repeat the last [period] *)
+      let reps = ref 0 in
+      let j = ref !i in
+      while !j < n && path.(!j) = path.(!j - period) do
+        incr j;
+        incr reps
+      done;
+      let full = !reps / period in
+      if full >= 1 then
+        match !best with
+        | Some (_, best_cover) when full * period <= best_cover -> ()
+        | _ -> best := Some (period, full * period)
+    done;
+    match !best with
+    | Some (period, cover) when cover >= 2 ->
+        Buffer.add_char buf '\001';
+        put_varint buf period;
+        put_varint buf (cover / period);
+        i := !i + cover
+    | _ ->
+        Buffer.add_char buf '\000';
+        put_varint buf path.(!i);
+        incr i
+  done;
+  Buffer.to_bytes buf
+
+let decode_control bytes =
+  let total, pos = get_varint bytes 0 in
+  let out = Array.make total 0 in
+  let filled = ref 0 and pos = ref pos in
+  while !filled < total do
+    let tag = Bytes.get bytes !pos in
+    incr pos;
+    match tag with
+    | '\000' ->
+        let v, p = get_varint bytes !pos in
+        pos := p;
+        out.(!filled) <- v;
+        incr filled
+    | '\001' ->
+        let period, p = get_varint bytes !pos in
+        let reps, p = get_varint bytes p in
+        pos := p;
+        for _ = 1 to reps * period do
+          out.(!filled) <- out.(!filled - period);
+          incr filled
+        done
+    | c -> invalid_arg (Printf.sprintf "Encode.decode_control: bad tag %C" c)
+  done;
+  out
+
+(* --- address streams: zig-zag deltas --- *)
+
+let encode_addrs addrs =
+  let buf = Buffer.create 256 in
+  put_varint buf (Array.length addrs);
+  let prev = ref 0 in
+  Array.iter
+    (fun a ->
+      put_varint buf (zigzag (a - !prev));
+      prev := a)
+    addrs;
+  Buffer.to_bytes buf
+
+let decode_addrs bytes =
+  let total, pos = get_varint bytes 0 in
+  let out = Array.make total 0 in
+  let prev = ref 0 and pos = ref pos in
+  for i = 0 to total - 1 do
+    let d, p = get_varint bytes !pos in
+    pos := p;
+    prev := !prev + unzigzag d;
+    out.(i) <- !prev
+  done;
+  out
+
+let compressed_bytes (t : Trace.t) =
+  Array.fold_left
+    (fun (control, memory) (tt : Trace.tile_trace) ->
+      let control = control + Bytes.length (encode_control tt.Trace.bb_path) in
+      let memory =
+        Array.fold_left
+          (fun acc addrs ->
+            if Array.length addrs = 0 then acc
+            else acc + Bytes.length (encode_addrs addrs))
+          memory tt.Trace.mem_addrs
+      in
+      (control, memory))
+    (0, 0) t.Trace.tiles

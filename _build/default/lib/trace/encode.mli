@@ -1,0 +1,26 @@
+(** Compact on-disk encodings for traces (§VI-B).
+
+    The paper reports multi-GB memory traces and ~1 GB control traces as the
+    cost of accurate dynamic modeling. Two domain-specific encoders recover
+    most of that space:
+
+    - control-flow paths are dominated by loop repetition: a period-aware
+      run-length code stores [(period, repetitions)] instead of every block
+      id;
+    - address streams are dominated by strides: zig-zag delta varints store
+      a few bytes per access instead of eight.
+
+    Both are exact (lossless) and covered by round-trip tests. *)
+
+(** Encode a control-flow path (block ids). *)
+val encode_control : int array -> Bytes.t
+
+val decode_control : Bytes.t -> int array
+
+(** Encode one instruction's address stream. *)
+val encode_addrs : int array -> Bytes.t
+
+val decode_addrs : Bytes.t -> int array
+
+(** Whole-trace compressed footprint: (control bytes, memory bytes). *)
+val compressed_bytes : Trace.t -> int * int

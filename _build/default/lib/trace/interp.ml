@@ -1,0 +1,329 @@
+open Mosaic_ir
+module Int_vec = Mosaic_util.Int_vec
+
+type status = Running | Blocked | Finished
+
+type tile_state = {
+  tile : int;
+  kernel : Func.t;
+  regs : Value.t array;
+  mutable bid : int;
+  mutable ip : int;
+  mutable status : status;
+  bb_path : Int_vec.t;
+  mem_accs : Int_vec.t array;
+  accel_accs : Value.t array list ref array;
+  send_accs : Int_vec.t array;
+  mutable dyn : int;
+}
+
+type t = {
+  prog : Program.t;
+  label : string;
+  ntiles : int;
+  mem : (int, Value.t) Hashtbl.t;
+  channels : (int * int, Value.t Queue.t) Hashtbl.t;
+  tiles : tile_state array;
+  accel_fns : (string, t -> Value.t array -> unit) Hashtbl.t;
+  mutable total_steps : int;
+  mutable ran : bool;
+}
+
+exception Deadlock of string
+exception Step_limit of int
+
+let make_tile prog tile (kernel_name, args) =
+  let f = Program.func_exn prog kernel_name in
+  if List.length args <> f.Func.nparams then
+    invalid_arg
+      (Printf.sprintf "Interp: %s expects %d args, got %d" kernel_name
+         f.Func.nparams (List.length args));
+  let regs = Array.make (Stdlib.max f.Func.nregs 1) Value.zero in
+  List.iteri (fun i v -> regs.(i) <- v) args;
+  {
+    tile;
+    kernel = f;
+    regs;
+    bid = 0;
+    ip = 0;
+    status = Running;
+    bb_path = Int_vec.create ();
+    mem_accs = Array.init f.Func.ninstrs (fun _ -> Int_vec.create ());
+    accel_accs = Array.init f.Func.ninstrs (fun _ -> ref []);
+    send_accs = Array.init f.Func.ninstrs (fun _ -> Int_vec.create ());
+    dyn = 0;
+  }
+
+let create_hetero prog ~label ~tiles =
+  let ntiles = Array.length tiles in
+  if ntiles <= 0 then invalid_arg "Interp.create_hetero: no tiles";
+  let tiles = Array.mapi (fun i spec -> make_tile prog i spec) tiles in
+  Array.iter (fun ts -> Int_vec.push ts.bb_path 0) tiles;
+  {
+    prog;
+    label;
+    ntiles;
+    mem = Hashtbl.create 4096;
+    channels = Hashtbl.create 16;
+    tiles;
+    accel_fns = Hashtbl.create 4;
+    total_steps = 0;
+    ran = false;
+  }
+
+let create prog ~kernel ~ntiles ~args =
+  if ntiles <= 0 then invalid_arg "Interp.create: ntiles must be positive";
+  create_hetero prog ~label:kernel
+    ~tiles:(Array.make ntiles (kernel, args))
+
+let register_accel t name fn = Hashtbl.replace t.accel_fns name fn
+
+let poke t addr v = Hashtbl.replace t.mem addr v
+
+let peek t addr =
+  match Hashtbl.find_opt t.mem addr with Some v -> v | None -> Value.zero
+
+let global_addr (g : Program.global) i =
+  if i < 0 || i >= g.Program.elems then
+    invalid_arg
+      (Printf.sprintf "Interp: index %d out of bounds for @%s" i
+         g.Program.gname);
+  g.Program.base + (i * g.Program.elem_size)
+
+let poke_global t g i v = poke t (global_addr g i) v
+
+let peek_global t g i = peek t (global_addr g i)
+
+let channel_queue t ~dst ~chan =
+  let key = (dst, chan) in
+  match Hashtbl.find_opt t.channels key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.channels key q;
+      q
+
+let eval ts operand =
+  match operand with
+  | Instr.Reg r -> ts.regs.(r)
+  | Instr.Imm v -> v
+  | Instr.Glob _ -> assert false (* resolved in [eval_full] *)
+  | Instr.Tid -> Value.of_int ts.tile
+  | Instr.Ntiles -> assert false
+
+let eval_full t ts operand =
+  match operand with
+  | Instr.Glob g -> Value.of_int (Program.global_exn t.prog g).Program.base
+  | Instr.Ntiles -> Value.of_int t.ntiles
+  | Instr.Reg _ | Instr.Imm _ | Instr.Tid -> eval ts operand
+
+let set_dst ts (i : Instr.t) v =
+  match i.Instr.dst with
+  | Some d -> ts.regs.(d) <- v
+  | None -> ()
+
+(* Execute the instruction at [ts.ip]; returns [false] when the tile must
+   block (recv on an empty channel) without advancing. *)
+let exec_instr t ts (i : Instr.t) =
+  let arg n = eval_full t ts i.Instr.args.(n) in
+  let goto target =
+    ts.bid <- target;
+    ts.ip <- 0;
+    Int_vec.push ts.bb_path target
+  in
+  let advance () = ts.ip <- ts.ip + 1 in
+  match i.Instr.op with
+  | Op.Binop op ->
+      set_dst ts i
+        (Value.Int (Eval.ibinop op (Value.to_int64 (arg 0)) (Value.to_int64 (arg 1))));
+      advance ();
+      true
+  | Op.Fbinop op ->
+      set_dst ts i
+        (Value.Float (Eval.fbinop op (Value.to_float (arg 0)) (Value.to_float (arg 1))));
+      advance ();
+      true
+  | Op.Icmp p ->
+      set_dst ts i
+        (Value.of_bool (Eval.pred_int p (Value.to_int64 (arg 0)) (Value.to_int64 (arg 1))));
+      advance ();
+      true
+  | Op.Fcmp p ->
+      set_dst ts i
+        (Value.of_bool (Eval.pred_float p (Value.to_float (arg 0)) (Value.to_float (arg 1))));
+      advance ();
+      true
+  | Op.Select ->
+      set_dst ts i (if Value.to_bool (arg 0) then arg 1 else arg 2);
+      advance ();
+      true
+  | Op.Cast c ->
+      let v = arg 0 in
+      let result =
+        match c with
+        | Op.Sitofp -> Value.Float (Value.to_float v)
+        | Op.Fptosi -> Value.Int (Int64.of_float (Value.to_float v))
+        | Op.Zext -> Value.Int (Value.to_int64 v)
+        | Op.Trunc ->
+            Value.Int (Int64.of_int32 (Int64.to_int32 (Value.to_int64 v)))
+      in
+      set_dst ts i result;
+      advance ();
+      true
+  | Op.Math m ->
+      let args = Array.map (fun a -> Value.to_float (eval_full t ts a)) i.Instr.args in
+      set_dst ts i (Value.Float (Eval.math m args));
+      advance ();
+      true
+  | Op.Gep scale ->
+      let base = Value.to_int (arg 0) and idx = Value.to_int (arg 1) in
+      set_dst ts i (Value.of_int (base + (idx * scale)));
+      advance ();
+      true
+  | Op.Load _ ->
+      let addr = Value.to_int (arg 0) in
+      Int_vec.push ts.mem_accs.(i.Instr.id) addr;
+      set_dst ts i (peek t addr);
+      advance ();
+      true
+  | Op.Store _ ->
+      let addr = Value.to_int (arg 0) in
+      Int_vec.push ts.mem_accs.(i.Instr.id) addr;
+      poke t addr (arg 1);
+      advance ();
+      true
+  | Op.Atomic_rmw (rmw, _) ->
+      let addr = Value.to_int (arg 0) in
+      Int_vec.push ts.mem_accs.(i.Instr.id) addr;
+      let old = peek t addr in
+      poke t addr (Eval.rmw rmw old (arg 1));
+      set_dst ts i old;
+      advance ();
+      true
+  | Op.Send chan ->
+      let dst = Value.to_int (arg 0) in
+      if dst < 0 || dst >= t.ntiles then
+        invalid_arg (Printf.sprintf "Interp: send to bad tile %d" dst);
+      Int_vec.push ts.send_accs.(i.Instr.id) dst;
+      Queue.add (arg 1) (channel_queue t ~dst ~chan);
+      advance ();
+      true
+  | Op.Load_send (chan, _) ->
+      let dst = Value.to_int (arg 0) in
+      if dst < 0 || dst >= t.ntiles then
+        invalid_arg (Printf.sprintf "Interp: load_send to bad tile %d" dst);
+      let addr = Value.to_int (arg 1) in
+      Int_vec.push ts.mem_accs.(i.Instr.id) addr;
+      Int_vec.push ts.send_accs.(i.Instr.id) dst;
+      Queue.add (peek t addr) (channel_queue t ~dst ~chan);
+      advance ();
+      true
+  | Op.Recv chan -> (
+      let q = channel_queue t ~dst:ts.tile ~chan in
+      match Queue.take_opt q with
+      | Some v ->
+          set_dst ts i v;
+          advance ();
+          true
+      | None ->
+          ts.status <- Blocked;
+          false)
+  | Op.Store_recv (chan, _, rmw) -> (
+      let q = channel_queue t ~dst:ts.tile ~chan in
+      match Queue.take_opt q with
+      | Some v ->
+          let addr = Value.to_int (arg 0) in
+          Int_vec.push ts.mem_accs.(i.Instr.id) addr;
+          (match rmw with
+          | Some r -> poke t addr (Eval.rmw r (peek t addr) v)
+          | None -> poke t addr v);
+          advance ();
+          true
+      | None ->
+          ts.status <- Blocked;
+          false)
+  | Op.Accel kind ->
+      let params = Array.map (eval_full t ts) i.Instr.args in
+      let cell = ts.accel_accs.(i.Instr.id) in
+      cell := params :: !cell;
+      (match Hashtbl.find_opt t.accel_fns kind with
+      | Some fn -> fn t params
+      | None -> ());
+      advance ();
+      true
+  | Op.Br target ->
+      goto target;
+      true
+  | Op.Cond_br (taken, not_taken) ->
+      goto (if Value.to_bool (arg 0) then taken else not_taken);
+      true
+  | Op.Ret ->
+      ts.status <- Finished;
+      true
+
+let step_tile t ts ~quantum ~max_steps =
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && ts.status = Running && !executed < quantum do
+    if t.total_steps >= max_steps then raise (Step_limit t.total_steps);
+    let blk = Func.block ts.kernel ts.bid in
+    let i = blk.Func.instrs.(ts.ip) in
+    if exec_instr t ts i then begin
+      ts.dyn <- ts.dyn + 1;
+      t.total_steps <- t.total_steps + 1;
+      incr executed
+    end
+    else continue := false
+  done;
+  !executed
+
+let steps t = t.total_steps
+
+let finalize_trace t =
+  let tiles =
+    Array.map
+      (fun ts ->
+        {
+          Trace.tile = ts.tile;
+          kernel = ts.kernel.Func.name;
+          bb_path = Int_vec.to_array ts.bb_path;
+          mem_addrs = Array.map Int_vec.to_array ts.mem_accs;
+          accel_params =
+            Array.map (fun cell -> Array.of_list (List.rev !cell)) ts.accel_accs;
+          send_dsts = Array.map Int_vec.to_array ts.send_accs;
+          dyn_instrs = ts.dyn;
+        })
+      t.tiles
+  in
+  { Trace.kernel = t.label; ntiles = t.ntiles; tiles }
+
+let run ?(max_steps = 200_000_000) t =
+  if t.ran then invalid_arg "Interp.run: handle already consumed";
+  t.ran <- true;
+  let quantum = 10_000 in
+  let all_finished () =
+    Array.for_all (fun ts -> ts.status = Finished) t.tiles
+  in
+  let round () =
+    let progressed = ref 0 in
+    Array.iter
+      (fun ts ->
+        if ts.status = Blocked then ts.status <- Running;
+        if ts.status = Running then
+          progressed := !progressed + step_tile t ts ~quantum ~max_steps)
+      t.tiles;
+    !progressed
+  in
+  let rec loop () =
+    if not (all_finished ()) then begin
+      let progressed = round () in
+      if progressed = 0 && not (all_finished ()) then
+        raise
+          (Deadlock
+             (Printf.sprintf "kernel %s: all unfinished tiles blocked on recv"
+                t.label));
+      loop ()
+    end
+  in
+  loop ();
+  finalize_trace t

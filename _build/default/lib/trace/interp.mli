@@ -1,0 +1,62 @@
+(** The step-based IR interpreter — native execution substitute.
+
+    Plays the role of the paper's instrumented x86 run: it executes the
+    kernel for real (so control flow and memory addresses are the true
+    ones), while recording the control-flow and memory traces the simulator
+    consumes. SPMD execution runs [ntiles] logical tiles round-robin over a
+    shared memory; [send]/[recv] channels block like their hardware
+    counterparts, so decoupled (DAE) slices interleave correctly. *)
+
+type t
+
+(** [create prog ~kernel ~ntiles ~args] readies an execution of
+    [kernel] on [ntiles] tiles, each receiving [args] in its parameter
+    registers. Raises [Invalid_argument] if the kernel does not exist or
+    [args] does not match its parameter count. *)
+val create :
+  Mosaic_ir.Program.t ->
+  kernel:string ->
+  ntiles:int ->
+  args:Mosaic_ir.Value.t list ->
+  t
+
+(** Heterogeneous execution: tile [i] runs [fst tiles.(i)] with the given
+    arguments. This is how sliced DAE pairs (access kernel on one tile,
+    execute kernel on another) are launched. *)
+val create_hetero :
+  Mosaic_ir.Program.t ->
+  label:string ->
+  tiles:(string * Mosaic_ir.Value.t list) array ->
+  t
+
+(** Register the functional behaviour of an accelerator kind (what the
+    hardware would compute), so kernels that off-load work still produce
+    correct memory contents. Unregistered kinds are traced but compute
+    nothing. *)
+val register_accel :
+  t -> string -> (t -> Mosaic_ir.Value.t array -> unit) -> unit
+
+(** {1 Memory access (dataset setup and result checking)} *)
+
+val poke : t -> int -> Mosaic_ir.Value.t -> unit
+val peek : t -> int -> Mosaic_ir.Value.t
+
+(** Index-based access to a global array's elements. *)
+val poke_global :
+  t -> Mosaic_ir.Program.global -> int -> Mosaic_ir.Value.t -> unit
+
+val peek_global : t -> Mosaic_ir.Program.global -> int -> Mosaic_ir.Value.t
+
+(** {1 Execution} *)
+
+exception Deadlock of string
+exception Step_limit of int
+
+(** [run t] executes all tiles to completion and returns the traces.
+    Raises [Deadlock] when every unfinished tile is blocked on [recv], and
+    [Step_limit] when the dynamic instruction budget (default 200M) is
+    exceeded. Can only be called once per handle. *)
+val run : ?max_steps:int -> t -> Trace.t
+
+(** Dynamic instructions executed so far (all tiles). *)
+val steps : t -> int

@@ -1,0 +1,116 @@
+type tile_trace = {
+  tile : int;
+  kernel : string;
+  bb_path : int array;
+  mem_addrs : int array array;
+  accel_params : Mosaic_ir.Value.t array array array;
+  send_dsts : int array array;
+  dyn_instrs : int;
+}
+
+type t = { kernel : string; ntiles : int; tiles : tile_trace array }
+
+let total_dyn_instrs t =
+  Array.fold_left (fun acc tt -> acc + tt.dyn_instrs) 0 t.tiles
+
+let total_mem_accesses t =
+  Array.fold_left
+    (fun acc tt ->
+      acc
+      + Array.fold_left (fun a addrs -> a + Array.length addrs) 0 tt.mem_addrs)
+    0 t.tiles
+
+let storage_bytes t =
+  let control =
+    Array.fold_left (fun acc tt -> acc + (4 * Array.length tt.bb_path)) 0 t.tiles
+  in
+  let memory =
+    8 * total_mem_accesses t
+    + Array.fold_left
+        (fun acc tt ->
+          acc
+          + Array.fold_left
+              (fun a invocations ->
+                a
+                + Array.fold_left
+                    (fun b params -> b + (8 * Array.length params))
+                    0 invocations)
+              0 tt.accel_params)
+        0 t.tiles
+  in
+  (control, memory)
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Marshal.to_channel oc t [])
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> (Marshal.from_channel ic : t))
+
+module Cursor = struct
+  type cursor = {
+    tt : tile_trace;
+    mutable bb_pos : int;
+    mem_pos : int array;  (** per static instruction id *)
+    accel_pos : int array;
+    send_pos : int array;
+  }
+
+  let create tt =
+    {
+      tt;
+      bb_pos = 0;
+      mem_pos = Array.make (Array.length tt.mem_addrs) 0;
+      accel_pos = Array.make (Array.length tt.accel_params) 0;
+      send_pos = Array.make (Array.length tt.send_dsts) 0;
+    }
+
+  let next_block c =
+    if c.bb_pos >= Array.length c.tt.bb_path then None
+    else begin
+      let b = c.tt.bb_path.(c.bb_pos) in
+      c.bb_pos <- c.bb_pos + 1;
+      Some b
+    end
+
+  let peek_block c k =
+    let pos = c.bb_pos + k in
+    if pos >= Array.length c.tt.bb_path then None else Some c.tt.bb_path.(pos)
+
+  let blocks_consumed c = c.bb_pos
+
+  let next_addr c ~instr_id =
+    let addrs = c.tt.mem_addrs.(instr_id) in
+    let pos = c.mem_pos.(instr_id) in
+    if pos >= Array.length addrs then
+      invalid_arg
+        (Printf.sprintf "Trace.Cursor.next_addr: instr %d trace exhausted"
+           instr_id);
+    c.mem_pos.(instr_id) <- pos + 1;
+    addrs.(pos)
+
+  let next_accel_params c ~instr_id =
+    let ps = c.tt.accel_params.(instr_id) in
+    let pos = c.accel_pos.(instr_id) in
+    if pos >= Array.length ps then
+      invalid_arg
+        (Printf.sprintf
+           "Trace.Cursor.next_accel_params: instr %d trace exhausted" instr_id);
+    c.accel_pos.(instr_id) <- pos + 1;
+    ps.(pos)
+
+  let next_send_dst c ~instr_id =
+    let ds = c.tt.send_dsts.(instr_id) in
+    let pos = c.send_pos.(instr_id) in
+    if pos >= Array.length ds then
+      invalid_arg
+        (Printf.sprintf "Trace.Cursor.next_send_dst: instr %d trace exhausted"
+           instr_id);
+    c.send_pos.(instr_id) <- pos + 1;
+    ds.(pos)
+end

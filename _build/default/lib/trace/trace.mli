@@ -1,0 +1,74 @@
+(** Dynamic traces — the output of the Dynamic Trace Generator (DTG).
+
+    The paper's instrumented native run writes two files per kernel: the
+    taken control-flow path (a sequence of basic-block ids) and the address
+    stream of every load/store. MosaicSim's accelerator extension adds the
+    parameters of each accelerator invocation. Traces here carry exactly
+    that, per SPMD tile. *)
+
+type tile_trace = {
+  tile : int;
+  kernel : string;  (** the kernel this tile executed (tiles may differ) *)
+  bb_path : int array;  (** basic-block ids in execution order *)
+  mem_addrs : int array array;
+      (** indexed by static instruction id; the byte addresses touched by
+          that load/store/atomic, in occurrence order *)
+  accel_params : Mosaic_ir.Value.t array array array;
+      (** indexed by static instruction id; one parameter vector per
+          dynamic invocation of that accelerator-call instruction *)
+  send_dsts : int array array;
+      (** indexed by static instruction id; destination tile of each
+          dynamic occurrence of that send instruction *)
+  dyn_instrs : int;  (** total dynamic instructions executed by this tile *)
+}
+
+type t = {
+  kernel : string;  (** label for the run (the user-facing kernel name) *)
+  ntiles : int;
+  tiles : tile_trace array;
+}
+
+(** Total dynamic instructions across all tiles. *)
+val total_dyn_instrs : t -> int
+
+(** Total dynamic memory accesses across all tiles. *)
+val total_mem_accesses : t -> int
+
+(** On-disk footprint estimate using the paper's encoding: 4 bytes per
+    control-flow entry, 8 bytes per memory-trace entry (address), 8 bytes
+    per accelerator parameter. Returns (control_bytes, memory_bytes). *)
+val storage_bytes : t -> int * int
+
+(** Serialize to / from a file (Marshal-based; same build only). *)
+val save : t -> string -> unit
+
+val load : string -> t
+
+(** A cursor over one tile's trace, consumed by tile models: DBB launches
+    pop block ids; each memory instruction pops its next address at DBB
+    creation; accelerator calls pop parameter vectors. *)
+module Cursor : sig
+  type cursor
+
+  val create : tile_trace -> cursor
+
+  (** Next block id on the control path, advancing; [None] at the end. *)
+  val next_block : cursor -> int option
+
+  (** Block id [k] entries ahead of the cursor without advancing
+      ([lookahead 0] = what [next_block] would return). *)
+  val peek_block : cursor -> int -> int option
+
+  (** Number of control-path entries already consumed. *)
+  val blocks_consumed : cursor -> int
+
+  (** [next_addr c ~instr_id] pops the next address recorded for that
+      static memory instruction. Raises [Invalid_argument] if exhausted —
+      that means simulator and trace disagree, a bug. *)
+  val next_addr : cursor -> instr_id:int -> int
+
+  val next_accel_params : cursor -> instr_id:int -> Mosaic_ir.Value.t array
+
+  (** Destination tile of the next dynamic occurrence of a send. *)
+  val next_send_dst : cursor -> instr_id:int -> int
+end

@@ -1,0 +1,35 @@
+type 'a t = { q : 'a Queue.t; cap : int option }
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 0 -> invalid_arg "Bounded_queue.create: negative capacity"
+  | Some _ | None -> ());
+  { q = Queue.create (); cap = capacity }
+
+let capacity t = t.cap
+
+let length t = Queue.length t.q
+
+let is_empty t = Queue.is_empty t.q
+
+let is_full t =
+  match t.cap with None -> false | Some c -> Queue.length t.q >= c
+
+let push t x =
+  if is_full t then false
+  else begin
+    Queue.add x t.q;
+    true
+  end
+
+let pop t = Queue.take_opt t.q
+
+let peek t = Queue.peek_opt t.q
+
+let fold f acc t = Queue.fold f acc t.q
+
+let iter f t = Queue.iter f t.q
+
+let to_list t = List.rev (Queue.fold (fun acc x -> x :: acc) [] t.q)
+
+let clear t = Queue.clear t.q

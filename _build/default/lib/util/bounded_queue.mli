@@ -1,0 +1,40 @@
+(** FIFO queue with an optional capacity bound.
+
+    Models the finite hardware buffers in MosaicSim: inter-tile communication
+    buffers (DAE load/store queues), MSHR wait lists, and cache request
+    queues. [push] reports whether the element was accepted so callers can
+    model back-pressure (a tile stalls its [send] when the buffer is full). *)
+
+type 'a t
+
+(** [create ~capacity ()] is an empty queue holding at most [capacity]
+    elements; [None] means unbounded. *)
+val create : ?capacity:int -> unit -> 'a t
+
+val capacity : 'a t -> int option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** True when the queue cannot accept another element. *)
+val is_full : 'a t -> bool
+
+(** [push q x] appends [x]; returns [false] (and leaves [q] unchanged) when
+    the queue is full. *)
+val push : 'a t -> 'a -> bool
+
+(** Remove and return the oldest element. *)
+val pop : 'a t -> 'a option
+
+(** Oldest element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** Oldest-first fold over the contents. *)
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit

@@ -1,0 +1,28 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(initial_capacity = 16) () =
+  { data = Array.make (Stdlib.max initial_capacity 1) 0; len = 0 }
+
+let length v = v.len
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let fresh = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 fresh 0 v.len;
+    v.data <- fresh
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Int_vec.get: out of bounds";
+  v.data.(i)
+
+let to_array v = Array.sub v.data 0 v.len
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let clear v = v.len <- 0

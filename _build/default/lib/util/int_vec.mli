@@ -1,0 +1,17 @@
+(** Growable integer vector.
+
+    Dynamic traces record one entry per memory access; an unboxed int vector
+    keeps multi-million-access traces cheap. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+
+(** [get v i]; raises [Invalid_argument] when out of bounds. *)
+val get : t -> int -> int
+
+val to_array : t -> int array
+val iter : (int -> unit) -> t -> unit
+val clear : t -> unit

@@ -1,0 +1,99 @@
+(* Binary min-heap over (priority, sequence, payload). The sequence number
+   makes equal-priority pops FIFO, so event processing is deterministic. *)
+
+type 'a entry = { prio : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && less q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && less q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q =
+  let cap = Array.length q.heap in
+  let new_cap = if cap = 0 then 16 else 2 * cap in
+  let dummy = q.heap.(0) in
+  let fresh = Array.make new_cap dummy in
+  Array.blit q.heap 0 fresh 0 q.size;
+  q.heap <- fresh
+
+let add q ~prio payload =
+  let e = { prio; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if Array.length q.heap = 0 then q.heap <- Array.make 16 e
+  else if q.size = Array.length q.heap then grow q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let e = q.heap.(0) in
+    Some (e.prio, e.payload)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let e = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (e.prio, e.payload)
+  end
+
+let pop_until q ~prio =
+  let rec loop acc =
+    match peek q with
+    | Some (p, _) when p <= prio -> (
+        match pop q with
+        | Some entry -> loop (entry :: acc)
+        | None -> List.rev acc)
+    | Some _ | None -> List.rev acc
+  in
+  loop []
+
+let clear q = q.size <- 0
+
+let to_list q =
+  let rec loop i acc =
+    if i >= q.size then acc
+    else
+      let e = q.heap.(i) in
+      loop (i + 1) ((e.prio, e.payload) :: acc)
+  in
+  loop 0 []

@@ -1,0 +1,35 @@
+(** Binary min-heap priority queue keyed by integer priority.
+
+    Used throughout the simulator for event scheduling: DRAM request
+    completion times, per-tile fixed-latency completion events, and the
+    accelerator pipeline simulator all order work by cycle number. *)
+
+type 'a t
+
+(** [create ()] is an empty queue. *)
+val create : unit -> 'a t
+
+(** Number of elements currently stored. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [add q ~prio x] inserts [x] with priority [prio]. O(log n). *)
+val add : 'a t -> prio:int -> 'a -> unit
+
+(** Smallest priority and its element, without removing. *)
+val peek : 'a t -> (int * 'a) option
+
+(** Remove and return the entry with the smallest priority. Ties are broken
+    by insertion order (FIFO), which keeps simulations deterministic. *)
+val pop : 'a t -> (int * 'a) option
+
+(** [pop_until q ~prio] removes and returns, in order, every entry whose
+    priority is [<= prio]. *)
+val pop_until : 'a t -> prio:int -> (int * 'a) list
+
+(** Remove all elements. *)
+val clear : 'a t -> unit
+
+(** Elements in an unspecified order (for statistics and debugging). *)
+val to_list : 'a t -> (int * 'a) list

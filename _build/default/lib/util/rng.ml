@@ -1,0 +1,51 @@
+(* splitmix64: tiny, fast, and statistically solid for workload synthesis.
+   Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (next t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let unit_float t =
+  (* 53 high-quality bits mapped to [0, 1). *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+let float t bound = unit_float t *. bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u = unit_float t in
+    if u <= 1e-12 then draw () else u
+  in
+  let u1 = draw () and u2 = unit_float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let split t = { state = next t }

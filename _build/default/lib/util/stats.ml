@@ -1,0 +1,49 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+      let sum_logs =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0.0 then invalid_arg "Stats.geomean: non-positive input"
+            else acc +. log x)
+          0.0 xs
+      in
+      exp (sum_logs /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+
+let min = function
+  | [] -> invalid_arg "Stats.min: empty list"
+  | x :: xs -> List.fold_left Stdlib.min x xs
+
+let max = function
+  | [] -> invalid_arg "Stats.max: empty list"
+  | x :: xs -> List.fold_left Stdlib.max x xs
+
+let ratio a b =
+  if b = 0.0 then invalid_arg "Stats.ratio: zero denominator";
+  a /. b
+
+let speedup ~baseline t = ratio baseline t

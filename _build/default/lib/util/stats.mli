@@ -1,0 +1,27 @@
+(** Small statistics helpers used by the benchmark harness and the
+    evaluation tables (geomean accuracy, scaling curves, percentiles). *)
+
+(** Arithmetic mean; 0 on the empty list. *)
+val mean : float list -> float
+
+(** Geometric mean; 0 on the empty list. Raises [Invalid_argument] if any
+    input is non-positive (accuracy factors are ratios of cycle counts and
+    must be positive). *)
+val geomean : float list -> float
+
+(** Population standard deviation; 0 on lists shorter than 2. *)
+val stddev : float list -> float
+
+(** [percentile p xs] with [p] in [\[0, 100\]], by linear interpolation on the
+    sorted data. Raises [Invalid_argument] on an empty list. *)
+val percentile : float -> float list -> float
+
+val min : float list -> float
+val max : float list -> float
+
+(** [ratio a b] is [a /. b]; raises [Invalid_argument] if [b = 0]. *)
+val ratio : float -> float -> float
+
+(** [speedup ~baseline t] is [baseline /. t]: how many times faster [t] is
+    than [baseline]. *)
+val speedup : baseline:float -> float -> float

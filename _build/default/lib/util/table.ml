@@ -1,0 +1,61 @@
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+let column ?(align = Right) header = { header; align }
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let normalize ncols row =
+  let len = List.length row in
+  if len = ncols then row
+  else if len < ncols then row @ List.init (ncols - len) (fun _ -> "")
+  else List.filteri (fun i _ -> i < ncols) row
+
+let render ~columns rows =
+  let ncols = List.length columns in
+  let rows = List.map (normalize ncols) rows in
+  let widths =
+    List.mapi
+      (fun i col ->
+        let cell_width =
+          List.fold_left
+            (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+            (String.length col.header)
+            rows
+        in
+        cell_width)
+      columns
+  in
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i cell ->
+        let col = List.nth columns i in
+        let w = List.nth widths i in
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad col.align w cell))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row (List.map (fun c -> c.header) columns);
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~title ~columns rows =
+  Printf.printf "== %s ==\n%s\n" title (render ~columns rows)
+
+let fcell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let icell = string_of_int

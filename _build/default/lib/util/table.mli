@@ -1,0 +1,24 @@
+(** Fixed-width text tables for the benchmark harness.
+
+    Every figure and table of the paper is regenerated as a text table, so
+    the formatting lives in one place. *)
+
+type align = Left | Right
+
+type column = { header : string; align : align }
+
+val column : ?align:align -> string -> column
+
+(** [render ~columns rows] lays the rows out under the headers with a rule
+    line, padding each column to its widest cell. Rows shorter than
+    [columns] are padded with empty cells; longer rows are truncated. *)
+val render : columns:column list -> string list list -> string
+
+(** [print ~title ~columns rows] renders with a [== title ==] banner to
+    stdout. *)
+val print : title:string -> columns:column list -> string list list -> unit
+
+(** Format helpers for numeric cells. *)
+val fcell : ?decimals:int -> float -> string
+
+val icell : int -> string

@@ -1,0 +1,1 @@
+lib/workloads/bfs.ml: Array Builder Datasets Kernel_util Mosaic_ir Mosaic_trace Op Program Runner Value

@@ -1,0 +1,1 @@
+lib/workloads/cutcp.ml: Array Builder Datasets Kernel_util Mosaic_ir Op Program Runner Value

@@ -1,0 +1,1 @@
+lib/workloads/cutcp.mli: Runner

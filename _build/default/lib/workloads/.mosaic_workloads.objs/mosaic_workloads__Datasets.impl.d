@@ -1,0 +1,1 @@
+lib/workloads/datasets.ml: Array Mosaic_util Queue

@@ -1,0 +1,1 @@
+lib/workloads/dnn.ml: Builder Datasets Kernel_util List Mosaic_ir Op Printf Program Runner Stdlib

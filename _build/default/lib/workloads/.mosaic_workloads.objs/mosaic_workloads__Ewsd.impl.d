@@ -1,0 +1,1 @@
+lib/workloads/ewsd.ml: Array Builder Datasets Kernel_util Mosaic_compiler Mosaic_ir Program Runner Value

@@ -1,0 +1,1 @@
+lib/workloads/ewsd.mli: Mosaic_compiler Runner

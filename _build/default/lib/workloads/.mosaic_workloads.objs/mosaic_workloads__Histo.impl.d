@@ -1,0 +1,1 @@
+lib/workloads/histo.ml: Array Builder Datasets Kernel_util Mosaic_ir Op Program Runner Stdlib Value

@@ -1,0 +1,1 @@
+lib/workloads/histo.mli: Runner

@@ -1,0 +1,1 @@
+lib/workloads/kernel_util.ml: Array Builder Float Mosaic_ir Mosaic_trace Op Value

@@ -1,0 +1,1 @@
+lib/workloads/kernel_util.mli: Builder Instr Mosaic_ir Mosaic_trace Program

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Array Builder Datasets Fun Kernel_util Mosaic_ir Mosaic_trace Mosaic_util Program Runner Value

@@ -1,0 +1,1 @@
+lib/workloads/mri_gridding.mli: Runner

@@ -1,0 +1,1 @@
+lib/workloads/mriq.ml: Array Builder Datasets Float Kernel_util Mosaic_ir Op Program Runner Value

@@ -1,0 +1,1 @@
+lib/workloads/projection.ml: Array Builder Datasets Hashtbl Kernel_util Mosaic_compiler Mosaic_ir Mosaic_trace Op Option Program Runner Value

@@ -1,0 +1,1 @@
+lib/workloads/projection.mli: Mosaic_compiler Runner

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bfs Cutcp Ewsd Histo Lbm Mri_gridding Mriq Printf Projection Sad Sgemm Sinkhorn Spmv Stencil Tpacf

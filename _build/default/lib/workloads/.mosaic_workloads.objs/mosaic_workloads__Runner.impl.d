@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Mosaic_accel Mosaic_ir Mosaic_trace Printf

@@ -1,0 +1,1 @@
+lib/workloads/runner.mli: Mosaic_ir Mosaic_trace

@@ -1,0 +1,1 @@
+lib/workloads/sad.mli: Runner

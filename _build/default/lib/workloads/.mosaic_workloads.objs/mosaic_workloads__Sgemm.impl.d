@@ -1,0 +1,1 @@
+lib/workloads/sgemm.ml: Array Builder Datasets Kernel_util Mosaic_compiler Mosaic_ir Op Program Runner Value

@@ -1,0 +1,1 @@
+lib/workloads/sgemm.mli: Mosaic_compiler Runner

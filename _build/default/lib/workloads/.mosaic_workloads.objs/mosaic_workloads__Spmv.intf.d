@@ -1,0 +1,1 @@
+lib/workloads/spmv.mli: Runner

@@ -1,0 +1,1 @@
+lib/workloads/stencil.ml: Array Builder Datasets Kernel_util Mosaic_ir Program Runner Value

@@ -1,0 +1,69 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let unreachable = 1 lsl 30
+
+(* Level-synchronized relaxation: [iters] sweeps of atomic-min updates with
+   a sense-style spin barrier (atomic arrival counter + generation word)
+   between sweeps, so distance information propagates at least one hop per
+   sweep regardless of how tiles interleave. *)
+let instance ?(seed = 3) ~n ~degree () =
+  let g = Datasets.random_graph ~seed ~n ~degree in
+  let host = Datasets.bfs_distances g ~source:0 in
+  let diameter =
+    Array.fold_left
+      (fun acc d -> if d <> max_int && d > acc then d else acc)
+      0 host
+  in
+  let iters = diameter + 1 in
+  let nnz = Array.length g.Datasets.cols in
+  let prog = Program.create () in
+  let g_rp = Program.alloc prog "row_ptr" ~elems:(n + 1) ~elem_size:4 in
+  let g_cols = Program.alloc prog "cols" ~elems:nnz ~elem_size:4 in
+  let g_dist = Program.alloc prog "dist" ~elems:n ~elem_size:4 in
+  let g_bar = Program.alloc prog "barrier" ~elems:2 ~elem_size:4 in
+  let _ =
+    B.define prog "bfs" ~nparams:2 (fun b ->
+        let pn = B.param b 0 and piters = B.param b 1 in
+        B.for_ b ~from:(B.imm 0) ~to_:piters (fun it ->
+            let lo, hi = U.spmd_slice b ~total:pn in
+            B.for_ b ~from:lo ~to_:hi (fun u ->
+                let du = B.load b ~size:4 (B.elem b g_dist u) in
+                (* Only relax from nodes the search has reached. *)
+                B.if_ b
+                  (B.icmp b Op.Lt du (B.imm unreachable))
+                  (fun () ->
+                    let s = B.load b ~size:4 (B.elem b g_rp u) in
+                    let e =
+                      B.load b ~size:4 (B.elem b g_rp (B.add b u (B.imm 1)))
+                    in
+                    let cand = B.add b du (B.imm 1) in
+                    B.for_ b ~from:s ~to_:e (fun k ->
+                        let v = B.load b ~size:4 (B.elem b g_cols k) in
+                        ignore
+                          (B.atomic b Op.Rmw_min ~size:4
+                             ~addr:(B.elem b g_dist v) cand))));
+            U.barrier b ~state:g_bar ~target:(B.add b it (B.imm 1)));
+        B.ret b ())
+  in
+  let expected =
+    Array.map (fun d -> if d = max_int then unreachable else d) host
+  in
+  {
+    Runner.name = "bfs";
+    program = prog;
+    kernel = "bfs";
+    args = [ Value.of_int n; Value.of_int iters ];
+    setup =
+      (fun it ->
+        U.write_ints it g_rp g.Datasets.row_ptr;
+        U.write_ints it g_cols g.Datasets.cols;
+        U.write_ints it g_dist (Array.make n unreachable);
+        U.write_ints it g_bar [| 0; 0 |];
+        Mosaic_trace.Interp.poke_global it g_dist 0 (Value.of_int 0));
+    check =
+      (fun it ->
+        let got = U.read_ints it g_dist n in
+        got = expected);
+  }

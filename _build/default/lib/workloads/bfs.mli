@@ -1,0 +1,15 @@
+(** Parboil BFS: single-source breadth-first distances on a CSR graph.
+
+    Substitution note: Parboil's queue-based BFS is replaced by the
+    level-synchronized relaxation formulation (Bellman-Ford on unit
+    weights): sweeps of atomic-min distance relaxations separated by a spin
+    barrier built from atomics. It converges to exact BFS distances and
+    keeps the behaviours the paper leans on — data-dependent control flow,
+    irregular neighbor gathers, and the atomic read-modify-writes that make
+    BFS the latency-bound, hard-to-model-scaling benchmark of Fig 7. *)
+
+val instance :
+  ?seed:int -> n:int -> degree:int -> unit -> Runner.t
+
+(** Distance assigned to unreached nodes. *)
+val unreachable : int

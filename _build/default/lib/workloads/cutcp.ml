@@ -1,0 +1,77 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let instance ?(seed = 19) ~grid_points ~atoms ~cutoff () =
+  let prog = Program.create () in
+  let g_gx = Program.alloc prog "grid_xyz" ~elems:(3 * grid_points) ~elem_size:4 in
+  let g_ax = Program.alloc prog "atom_xyz" ~elems:(3 * atoms) ~elem_size:4 in
+  let g_q = Program.alloc prog "charge" ~elems:atoms ~elem_size:4 in
+  let g_pot = Program.alloc prog "potential" ~elems:grid_points ~elem_size:4 in
+  let cutoff2 = cutoff *. cutoff in
+  let _ =
+    B.define prog "cutcp" ~nparams:2 (fun b ->
+        let npts = B.param b 0 and natoms = B.param b 1 in
+        let lo, hi = U.spmd_slice b ~total:npts in
+        B.for_ b ~from:lo ~to_:hi (fun gpt ->
+            let gbase = B.mul b gpt (B.imm 3) in
+            let gx = B.load b ~size:4 (B.elem b g_gx gbase) in
+            let gy = B.load b ~size:4 (B.elem b g_gx (B.add b gbase (B.imm 1))) in
+            let gz = B.load b ~size:4 (B.elem b g_gx (B.add b gbase (B.imm 2))) in
+            let pot = B.var b (B.fimm 0.0) in
+            B.for_ b ~from:(B.imm 0) ~to_:natoms (fun a ->
+                let abase = B.mul b a (B.imm 3) in
+                let ax = B.load b ~size:4 (B.elem b g_ax abase) in
+                let ay =
+                  B.load b ~size:4 (B.elem b g_ax (B.add b abase (B.imm 1)))
+                in
+                let az =
+                  B.load b ~size:4 (B.elem b g_ax (B.add b abase (B.imm 2)))
+                in
+                let dx = B.fsub b gx ax in
+                let dy = B.fsub b gy ay in
+                let dz = B.fsub b gz az in
+                let r2 =
+                  B.fadd b
+                    (B.fadd b (B.fmul b dx dx) (B.fmul b dy dy))
+                    (B.fmul b dz dz)
+                in
+                B.if_ b
+                  (B.fcmp b Op.Lt r2 (B.fimm cutoff2))
+                  (fun () ->
+                    let q = B.load b ~size:4 (B.elem b g_q a) in
+                    let contrib = B.fdiv b q (B.math1 b Op.Sqrt r2) in
+                    B.assign b ~var:pot (B.fadd b pot contrib)));
+            B.store b ~size:4 ~addr:(B.elem b g_pot gpt) pot);
+        B.ret b ())
+  in
+  let gxyz = Datasets.random_points ~seed grid_points in
+  let axyz = Datasets.random_points ~seed:(seed + 1) atoms in
+  let q = Datasets.random_floats ~seed:(seed + 2) atoms in
+  let expected =
+    Array.init grid_points (fun gpt ->
+        let acc = ref 0.0 in
+        for a = 0 to atoms - 1 do
+          let dx = gxyz.(3 * gpt) -. axyz.(3 * a) in
+          let dy = gxyz.((3 * gpt) + 1) -. axyz.((3 * a) + 1) in
+          let dz = gxyz.((3 * gpt) + 2) -. axyz.((3 * a) + 2) in
+          let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+          if r2 < cutoff2 then acc := !acc +. (q.(a) /. sqrt r2)
+        done;
+        !acc)
+  in
+  {
+    Runner.name = "cutcp";
+    program = prog;
+    kernel = "cutcp";
+    args = [ Value.of_int grid_points; Value.of_int atoms ];
+    setup =
+      (fun it ->
+        U.write_floats it g_gx gxyz;
+        U.write_floats it g_ax axyz;
+        U.write_floats it g_q q);
+    check =
+      (fun it ->
+        let got = U.read_floats it g_pot grid_points in
+        Array.for_all2 U.approx_equal got expected);
+  }

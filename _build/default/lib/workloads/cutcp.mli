@@ -1,0 +1,6 @@
+(** Parboil CUTCP: cutoff-limited Coulombic potential. Each 3D grid point
+    accumulates q/r from all atoms within a cutoff radius — FP compute with
+    a data-dependent branch per atom. SPMD over grid points. *)
+
+val instance :
+  ?seed:int -> grid_points:int -> atoms:int -> cutoff:float -> unit -> Runner.t

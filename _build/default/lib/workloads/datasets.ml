@@ -1,0 +1,75 @@
+module Rng = Mosaic_util.Rng
+
+type csr = { n : int; row_ptr : int array; cols : int array }
+
+let random_graph ~seed ~n ~degree =
+  if n <= 1 || degree <= 0 then invalid_arg "Datasets.random_graph";
+  let rng = Rng.create seed in
+  let row_ptr = Array.make (n + 1) 0 in
+  let cols = Array.make (n * degree) 0 in
+  for u = 0 to n - 1 do
+    row_ptr.(u) <- u * degree;
+    for k = 0 to degree - 1 do
+      let rec pick () =
+        let v = Rng.int rng n in
+        if v = u then pick () else v
+      in
+      cols.((u * degree) + k) <- pick ()
+    done
+  done;
+  row_ptr.(n) <- n * degree;
+  { n; row_ptr; cols }
+
+let random_bipartite ~seed ~n_left ~n_right ~degree =
+  if n_left <= 0 || n_right <= 0 || degree <= 0 then
+    invalid_arg "Datasets.random_bipartite";
+  let rng = Rng.create seed in
+  let row_ptr = Array.make (n_left + 1) 0 in
+  let cols = Array.make (n_left * degree) 0 in
+  for u = 0 to n_left - 1 do
+    row_ptr.(u) <- u * degree;
+    for k = 0 to degree - 1 do
+      cols.((u * degree) + k) <- Rng.int rng n_right
+    done
+  done;
+  row_ptr.(n_left) <- n_left * degree;
+  { n = n_left; row_ptr; cols }
+
+type sparse = { shape : csr; values : float array }
+
+let random_sparse ~seed ~rows ~cols:ncols ~per_row =
+  let shape =
+    random_bipartite ~seed ~n_left:rows ~n_right:ncols ~degree:per_row
+  in
+  let rng = Rng.create (seed + 1) in
+  let values =
+    Array.init (Array.length shape.cols) (fun _ -> Rng.unit_float rng)
+  in
+  { shape; values }
+
+let random_floats ~seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.unit_float rng)
+
+let random_ints ~seed ~bound n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.int rng bound)
+
+let random_points ~seed n = random_floats ~seed (3 * n)
+
+let bfs_distances g ~source =
+  let dist = Array.make g.n max_int in
+  dist.(source) <- 0;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    for k = g.row_ptr.(u) to g.row_ptr.(u + 1) - 1 do
+      let v = g.cols.(k) in
+      if dist.(v) = max_int then begin
+        dist.(v) <- dist.(u) + 1;
+        Queue.add v q
+      end
+    done
+  done;
+  dist

@@ -1,0 +1,34 @@
+(** Synthetic dataset generators.
+
+    Stand-ins for the Parboil inputs: random CSR graphs and sparse matrices,
+    random float arrays, point sets. All draw from seeded {!Mosaic_util.Rng}
+    so every run of the suite sees identical data. *)
+
+(** A graph in CSR form. [row_ptr] has [n+1] entries; [cols.(k)] are
+    neighbor ids. *)
+type csr = { n : int; row_ptr : int array; cols : int array }
+
+(** [random_graph ~seed ~n ~degree] with uniformly random neighbors
+    (no self-loops; duplicates possible, as in real edge lists). *)
+val random_graph : seed:int -> n:int -> degree:int -> csr
+
+(** Random bipartite graph: [n_left] nodes each with [degree] random
+    neighbors among [n_right]. *)
+val random_bipartite : seed:int -> n_left:int -> n_right:int -> degree:int -> csr
+
+(** Sparse matrix in CSR with float values attached per entry. *)
+type sparse = { shape : csr; values : float array }
+
+val random_sparse : seed:int -> rows:int -> cols:int -> per_row:int -> sparse
+
+val random_floats : seed:int -> int -> float array
+
+(** Random ints in [\[0, bound)]. *)
+val random_ints : seed:int -> bound:int -> int -> int array
+
+(** 3D points in the unit cube, flattened as x,y,z triples. *)
+val random_points : seed:int -> int -> float array
+
+(** Single-source shortest (hop) distances by host-side BFS; unreachable
+    nodes get [max_int]. Used to check the BFS workload. *)
+val bfs_distances : csr -> source:int -> int array

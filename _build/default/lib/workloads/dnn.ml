@@ -1,0 +1,308 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+type model = Convnet | Graphsage | Recsys
+
+let name = function
+  | Convnet -> "convnet"
+  | Graphsage -> "graphsage"
+  | Recsys -> "recsys"
+
+let all = [ Convnet; Graphsage; Recsys ]
+
+type layer =
+  | Conv of { cin : int; cout : int; hw : int; k : int }
+  | Dense of { nin : int; nout : int }
+  | Relu of int
+  | Pool of { c : int; hw : int; p : int }
+  | Batchnorm of int
+  | Dropout of int
+  | Random_walk of { nodes : int; deg : int; walks : int; len : int }
+  | Embedding of { visited : int; dim : int }
+
+let layers_of = function
+  | Convnet ->
+      [
+        Conv { cin = 4; cout = 8; hw = 12; k = 3 };
+        Relu (8 * 12 * 12);
+        Batchnorm (8 * 12 * 12);
+        Conv { cin = 8; cout = 8; hw = 12; k = 3 };
+        Relu (8 * 12 * 12);
+        Conv { cin = 8; cout = 8; hw = 12; k = 3 };
+        Relu (8 * 12 * 12);
+        Pool { c = 8; hw = 12; p = 2 };
+        Dense { nin = 8 * 6 * 6; nout = 64 };
+        Relu 64;
+        Dense { nin = 64; nout = 10 };
+      ]
+  | Graphsage ->
+      [
+        Random_walk { nodes = 512; deg = 8; walks = 128; len = 16 };
+        Embedding { visited = 128 * 16; dim = 32 };
+        Dense { nin = 32; nout = 256 };
+        Relu 256;
+        Dense { nin = 256; nout = 128 };
+        Relu 128;
+        Dense { nin = 128; nout = 32 };
+      ]
+  | Recsys ->
+      [
+        Dense { nin = 256; nout = 512 };
+        Relu 512;
+        Batchnorm 512;
+        Dropout 512;
+        Dense { nin = 512; nout = 256 };
+        Relu 256;
+        Batchnorm 256;
+        Dropout 256;
+        Dense { nin = 256; nout = 64 };
+      ]
+
+(* Whether an accelerator exists for the layer in the given phase (the
+   paper: no conv-backprop accelerator; random walk and embedding are not
+   handled by accelerators at all). *)
+let accelerable layer ~backward =
+  match layer with
+  | Conv _ -> not backward
+  | Dense _ | Relu _ | Pool _ | Batchnorm _ | Dropout _ -> true
+  | Random_walk _ | Embedding _ -> false
+
+(* --- CPU loop-nest emitters --- *)
+
+let clamp b x upper =
+  let zero = B.imm 0 in
+  let low = B.select b (B.icmp b Op.Lt x zero) zero x in
+  B.select b (B.icmp b Op.Gt low (B.imm upper)) (B.imm upper) low
+
+let conv_loops b ~cin ~cout ~hw ~k ~xin ~wts ~out =
+  B.for_ b ~from:(B.imm 0) ~to_:(B.imm cout) (fun co ->
+      B.for_ b ~from:(B.imm 0) ~to_:(B.imm hw) (fun i ->
+          B.for_ b ~from:(B.imm 0) ~to_:(B.imm hw) (fun j ->
+              let acc = B.var b (B.fimm 0.0) in
+              B.for_ b ~from:(B.imm 0) ~to_:(B.imm cin) (fun ci ->
+                  B.for_ b ~from:(B.imm 0) ~to_:(B.imm k) (fun di ->
+                      B.for_ b ~from:(B.imm 0) ~to_:(B.imm k) (fun dj ->
+                          let pi = clamp b (B.sub b (B.add b i di) (B.imm 1)) (hw - 1) in
+                          let pj = clamp b (B.sub b (B.add b j dj) (B.imm 1)) (hw - 1) in
+                          let xidx =
+                            B.add b (B.mul b (B.add b (B.mul b ci (B.imm hw)) pi) (B.imm hw)) pj
+                          in
+                          let widx =
+                            B.add b
+                              (B.mul b
+                                 (B.add b
+                                    (B.mul b (B.add b (B.mul b co (B.imm cin)) ci) (B.imm k))
+                                    di)
+                                 (B.imm k))
+                              dj
+                          in
+                          let x = B.load b ~size:4 (B.elem b xin xidx) in
+                          let wv = B.load b ~size:4 (B.elem b wts widx) in
+                          B.assign b ~var:acc (B.fadd b acc (B.fmul b x wv)))));
+              let oidx = B.add b (B.mul b (B.add b (B.mul b co (B.imm hw)) i) (B.imm hw)) j in
+              B.store b ~size:4 ~addr:(B.elem b out oidx) acc)))
+
+let dense_loops b ~nin ~nout ~xin ~wts ~out =
+  B.for_ b ~from:(B.imm 0) ~to_:(B.imm nout) (fun o ->
+      let acc = B.var b (B.fimm 0.0) in
+      let row = B.mul b o (B.imm nin) in
+      B.for_ b ~from:(B.imm 0) ~to_:(B.imm nin) (fun i ->
+          let x = B.load b ~size:4 (B.elem b xin i) in
+          let wv = B.load b ~size:4 (B.elem b wts (B.add b row i)) in
+          B.assign b ~var:acc (B.fadd b acc (B.fmul b x wv)));
+      B.store b ~size:4 ~addr:(B.elem b out o) acc)
+
+let elementwise_loops b ~n ~xin ~out ~f =
+  B.for_ b ~from:(B.imm 0) ~to_:(B.imm n) (fun i ->
+      let x = B.load b ~size:4 (B.elem b xin i) in
+      B.store b ~size:4 ~addr:(B.elem b out i) (f i x))
+
+let relu_loops b ~n ~xin ~out =
+  elementwise_loops b ~n ~xin ~out ~f:(fun _ x ->
+      B.select b (B.fcmp b Op.Gt x (B.fimm 0.0)) x (B.fimm 0.0))
+
+let batchnorm_loops b ~n ~xin ~out =
+  elementwise_loops b ~n ~xin ~out ~f:(fun _ x ->
+      B.fadd b (B.fmul b x (B.fimm 1.01)) (B.fimm 0.01))
+
+let dropout_loops b ~n ~xin ~mask ~out =
+  elementwise_loops b ~n ~xin ~out ~f:(fun i x ->
+      B.fmul b x (B.load b ~size:4 (B.elem b mask i)))
+
+let pool_loops b ~c ~hw ~p ~xin ~out =
+  let ohw = hw / p in
+  B.for_ b ~from:(B.imm 0) ~to_:(B.imm c) (fun ch ->
+      B.for_ b ~from:(B.imm 0) ~to_:(B.imm ohw) (fun i ->
+          B.for_ b ~from:(B.imm 0) ~to_:(B.imm ohw) (fun j ->
+              let best = B.var b (B.fimm (-1e30)) in
+              B.for_ b ~from:(B.imm 0) ~to_:(B.imm p) (fun di ->
+                  B.for_ b ~from:(B.imm 0) ~to_:(B.imm p) (fun dj ->
+                      let pi = B.add b (B.mul b i (B.imm p)) di in
+                      let pj = B.add b (B.mul b j (B.imm p)) dj in
+                      let idx =
+                        B.add b (B.mul b (B.add b (B.mul b ch (B.imm hw)) pi) (B.imm hw)) pj
+                      in
+                      let x = B.load b ~size:4 (B.elem b xin idx) in
+                      B.assign b ~var:best
+                        (B.select b (B.fcmp b Op.Gt x best) x best)));
+              let oidx =
+                B.add b (B.mul b (B.add b (B.mul b ch (B.imm ohw)) i) (B.imm ohw)) j
+              in
+              B.store b ~size:4 ~addr:(B.elem b out oidx) best)))
+
+let walk_loops b ~nodes ~deg ~walks ~len ~nbr ~visited =
+  B.for_ b ~from:(B.imm 0) ~to_:(B.imm walks) (fun w ->
+      let cur = B.var b (B.srem b (B.mul b w (B.imm 31)) (B.imm nodes)) in
+      B.for_ b ~from:(B.imm 0) ~to_:(B.imm len) (fun s ->
+          let slot = B.srem b s (B.imm deg) in
+          let nxt =
+            B.load b ~size:4 (B.elem b nbr (B.add b (B.mul b cur (B.imm deg)) slot))
+          in
+          B.assign b ~var:cur nxt;
+          B.store b ~size:4
+            ~addr:(B.elem b visited (B.add b (B.mul b w (B.imm len)) s))
+            cur))
+
+let embed_loops b ~visited_n ~dim ~visited ~emb ~pooled =
+  B.for_ b ~from:(B.imm 0) ~to_:(B.imm visited_n) (fun t ->
+      let id = B.load b ~size:4 (B.elem b visited t) in
+      let row = B.mul b id (B.imm dim) in
+      B.for_ b ~from:(B.imm 0) ~to_:(B.imm dim) (fun d ->
+          let e = B.load b ~size:4 (B.elem b emb (B.add b row d)) in
+          let cur = B.load b ~size:4 (B.elem b pooled d) in
+          B.store b ~size:4 ~addr:(B.elem b pooled d) (B.fadd b cur e)))
+
+(* --- Instance construction --- *)
+
+let instance model ~accel =
+  let layers = layers_of model in
+  let prog = Program.create () in
+  let counter = ref 0 in
+  let galloc n =
+    incr counter;
+    Program.alloc prog (Printf.sprintf "buf%d" !counter) ~elems:(Stdlib.max n 1)
+      ~elem_size:4
+  in
+  let float_inits : (Program.global * float array) list ref = ref [] in
+  let int_inits : (Program.global * int array) list ref = ref [] in
+  let seeded = ref 100 in
+  let fresh_seed () =
+    incr seeded;
+    !seeded
+  in
+  let falloc n =
+    let g = galloc n in
+    float_inits := (g, Datasets.random_floats ~seed:(fresh_seed ()) n) :: !float_inits;
+    g
+  in
+  let kernel = Printf.sprintf "%s_%s" (name model) (if accel then "soc" else "cpu") in
+  let _ =
+    B.define prog kernel ~nparams:0 (fun b ->
+        (* Per-layer buffers created as we walk the network. *)
+        let emit_layer ~backward ~xin layer =
+          let use_accel = accel && accelerable layer ~backward in
+          match layer with
+          | Conv { cin; cout; hw; k } ->
+              let out = galloc (cout * hw * hw) in
+              let wts = falloc (cout * cin * k * k) in
+              if use_accel then begin
+                B.accel b "conv"
+                  [ B.imm cin; B.imm cout; B.imm hw; B.imm hw; B.imm k ];
+                out
+              end
+              else begin
+                conv_loops b ~cin ~cout ~hw ~k ~xin ~wts ~out;
+                if backward then begin
+                  (* dW pass: second nest of the same shape. *)
+                  let scratch = galloc (cout * hw * hw) in
+                  conv_loops b ~cin ~cout ~hw ~k ~xin ~wts ~out:scratch
+                end;
+                out
+              end
+          | Dense { nin; nout } ->
+              let nin, nout = if backward then (nout, nin) else (nin, nout) in
+              let out = galloc nout in
+              let wts = falloc (nin * nout) in
+              if use_accel then begin
+                B.accel b "dense" [ B.imm nin; B.imm nout ];
+                if backward then B.accel b "dense" [ B.imm nout; B.imm nin ];
+                out
+              end
+              else begin
+                dense_loops b ~nin ~nout ~xin ~wts ~out;
+                if backward then begin
+                  let scratch = galloc nin in
+                  dense_loops b ~nin:nout ~nout:nin ~xin:out ~wts ~out:scratch
+                end;
+                out
+              end
+          | Relu n ->
+              let out = galloc n in
+              if use_accel then B.accel b "relu" [ B.imm n ]
+              else relu_loops b ~n ~xin ~out;
+              out
+          | Batchnorm n ->
+              let out = galloc n in
+              if use_accel then B.accel b "batchnorm" [ B.imm n ]
+              else batchnorm_loops b ~n ~xin ~out;
+              out
+          | Dropout n ->
+              let out = galloc n in
+              if use_accel then B.accel b "elementwise" [ B.imm n ]
+              else begin
+                let mask = falloc n in
+                dropout_loops b ~n ~xin ~mask ~out
+              end;
+              out
+          | Pool { c; hw; p } ->
+              let out = galloc (c * (hw / p) * (hw / p)) in
+              if use_accel then B.accel b "pool" [ B.imm c; B.imm hw; B.imm hw; B.imm p ]
+              else pool_loops b ~c ~hw ~p ~xin ~out;
+              out
+          | Random_walk { nodes; deg; walks; len } ->
+              let nbr = galloc (nodes * deg) in
+              int_inits :=
+                (nbr, Datasets.random_ints ~seed:(fresh_seed ()) ~bound:nodes (nodes * deg))
+                :: !int_inits;
+              let visited = galloc (walks * len) in
+              walk_loops b ~nodes ~deg ~walks ~len ~nbr ~visited;
+              visited
+          | Embedding { visited; dim } ->
+              let emb = falloc (512 * dim) in
+              let pooled = galloc dim in
+              embed_loops b ~visited_n:visited ~dim ~visited:xin ~emb ~pooled;
+              pooled
+        in
+        let input = falloc 1024 in
+        let forward_out =
+          List.fold_left
+            (fun xin layer -> emit_layer ~backward:false ~xin layer)
+            input layers
+        in
+        (* Backward sweep over the differentiable layers, in reverse. *)
+        let bwd_layers =
+          List.filter
+            (fun l ->
+              match l with Random_walk _ | Embedding _ -> false | _ -> true)
+            (List.rev layers)
+        in
+        let _ =
+          List.fold_left
+            (fun xin layer -> emit_layer ~backward:true ~xin layer)
+            forward_out bwd_layers
+        in
+        B.ret b ())
+  in
+  let float_inits = !float_inits and int_inits = !int_inits in
+  {
+    Runner.name = kernel;
+    program = prog;
+    kernel;
+    args = [];
+    setup =
+      (fun it ->
+        List.iter (fun (g, arr) -> U.write_floats it g arr) float_inits;
+        List.iter (fun (g, arr) -> U.write_ints it g arr) int_inits);
+    check = (fun _ -> true);
+  }

@@ -1,0 +1,24 @@
+(** Keras TensorFlow case study (§VII-C, Fig 14).
+
+    Three DNN training workloads lowered from layer descriptions, the way
+    the paper's Keras API pass maps layer calls onto accelerator
+    invocations. Each layer lowers either to a real IR loop nest (the CPU
+    path) or to an accelerator invocation, depending on [accel] and on
+    whether an accelerator exists for it: forward convolution, dense,
+    ReLU, pooling, batch-norm and dropout are accelerated; convolution
+    backprop, random walks, and embedding gathers are not (exactly the gaps
+    the paper calls out for ConvNet and GraphSage).
+
+    One training step (forward + backward) per instance; single tile. *)
+
+type model = Convnet | Graphsage | Recsys
+
+val name : model -> string
+
+val all : model list
+
+(** [instance model ~accel] builds the training-step kernel. With
+    [accel:false] everything runs as core loop nests (the out-of-order
+    server baseline); with [accel:true] supported layers become accelerator
+    invocations. *)
+val instance : model -> accel:bool -> Runner.t

@@ -1,0 +1,67 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let build ?(seed = 41) ~rows ~cols ~per_row () =
+  let sp = Datasets.random_sparse ~seed ~rows ~cols ~per_row in
+  let nnz = Array.length sp.Datasets.shape.Datasets.cols in
+  let dense = Datasets.random_floats ~seed:(seed + 2) (rows * cols) in
+  let prog = Program.create () in
+  let g_rp = Program.alloc prog "row_ptr" ~elems:(rows + 1) ~elem_size:4 in
+  let g_cols = Program.alloc prog "cols" ~elems:nnz ~elem_size:4 in
+  let g_vals = Program.alloc prog "vals" ~elems:nnz ~elem_size:4 in
+  let g_dense = Program.alloc prog "dense" ~elems:(rows * cols) ~elem_size:4 in
+  let g_out = Program.alloc prog "out" ~elems:nnz ~elem_size:4 in
+  let func =
+    B.define prog "ewsd" ~nparams:2 (fun b ->
+        let nrows = B.param b 0 and ncols = B.param b 1 in
+        let lo, hi = U.spmd_slice b ~total:nrows in
+        B.for_ b ~from:lo ~to_:hi (fun i ->
+            let s = B.load b ~size:4 (B.elem b g_rp i) in
+            let e = B.load b ~size:4 (B.elem b g_rp (B.add b i (B.imm 1))) in
+            let drow = B.mul b i ncols in
+            B.for_ b ~from:s ~to_:e (fun kk ->
+                let j = B.load b ~size:4 (B.elem b g_cols kk) in
+                let v = B.load b ~size:4 (B.elem b g_vals kk) in
+                let d = B.load b ~size:4 (B.elem b g_dense (B.add b drow j)) in
+                B.store b ~size:4 ~addr:(B.elem b g_out kk) (B.fmul b v d)));
+        B.ret b ())
+  in
+  let expected =
+    Array.init nnz (fun k ->
+        let row =
+          (* Row of entry k: row_ptr is uniform (degree per_row). *)
+          k / per_row
+        in
+        sp.Datasets.values.(k)
+        *. dense.((row * cols) + sp.Datasets.shape.Datasets.cols.(k)))
+  in
+  let instance =
+    {
+      Runner.name = "ewsd";
+      program = prog;
+      kernel = "ewsd";
+      args = [ Value.of_int rows; Value.of_int cols ];
+      setup =
+        (fun it ->
+          U.write_ints it g_rp sp.Datasets.shape.Datasets.row_ptr;
+          U.write_ints it g_cols sp.Datasets.shape.Datasets.cols;
+          U.write_floats it g_vals sp.Datasets.values;
+          U.write_floats it g_dense dense);
+      check =
+        (fun it ->
+          let got = U.read_floats it g_out nnz in
+          Array.for_all2 U.approx_equal got expected);
+    }
+  in
+  (instance, func)
+
+let instance ?seed ~rows ~cols ~per_row () =
+  fst (build ?seed ~rows ~cols ~per_row ())
+
+let dae_instance ?seed ~rows ~cols ~per_row () =
+  let inst, func = build ?seed ~rows ~cols ~per_row () in
+  let info = Mosaic_compiler.Dae.slice func in
+  Program.add_func inst.Runner.program info.Mosaic_compiler.Dae.access;
+  Program.add_func inst.Runner.program info.Mosaic_compiler.Dae.execute;
+  (inst, info)

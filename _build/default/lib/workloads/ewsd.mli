@@ -1,0 +1,17 @@
+(** EWSD: element-wise product of a sparse and a dense matrix (§VII-B,
+    Fig 12) — the memory-bound half of Sinkhorn-style alternating
+    sparse/dense workloads. For each sparse nonzero (i, j, v), computes
+    [out = v * dense(i, j)]: irregular dense gathers feeding a multiply,
+    the textbook shape for DAE latency tolerance. SPMD over rows. *)
+
+val instance :
+  ?seed:int -> rows:int -> cols:int -> per_row:int -> unit -> Runner.t
+
+(** DAE-sliced variant, as in {!Projection.dae_instance}. *)
+val dae_instance :
+  ?seed:int ->
+  rows:int ->
+  cols:int ->
+  per_row:int ->
+  unit ->
+  Runner.t * Mosaic_compiler.Dae.info

@@ -1,0 +1,40 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let instance ?(seed = 5) ~n ~bins () =
+  let prog = Program.create () in
+  let g_img = Program.alloc prog "img" ~elems:n ~elem_size:4 in
+  let g_hist = Program.alloc prog "hist" ~elems:bins ~elem_size:4 in
+  let _ =
+    B.define prog "histo" ~nparams:2 (fun b ->
+        let pn = B.param b 0 in
+        let pbins = B.param b 1 in
+        let lo, hi = U.spmd_slice b ~total:pn in
+        B.for_ b ~from:lo ~to_:hi (fun i ->
+            let v = B.load b ~size:4 (B.elem b g_img i) in
+            (* Clamp into range like Parboil's bin computation. *)
+            let bin = U.min_op b v (B.sub b pbins (B.imm 1)) in
+            ignore
+              (B.atomic b Op.Rmw_add ~size:4 ~addr:(B.elem b g_hist bin)
+                 (B.imm 1)));
+        B.ret b ())
+  in
+  let img = Datasets.random_ints ~seed ~bound:(bins + (bins / 4)) n in
+  let expected = Array.make bins 0 in
+  Array.iter
+    (fun v ->
+      let bin = Stdlib.min v (bins - 1) in
+      expected.(bin) <- expected.(bin) + 1)
+    img;
+  {
+    Runner.name = "histo";
+    program = prog;
+    kernel = "histo";
+    args = [ Value.of_int n; Value.of_int bins ];
+    setup = (fun it -> U.write_ints it g_img img);
+    check =
+      (fun it ->
+        let got = U.read_ints it g_hist bins in
+        got = expected);
+  }

@@ -1,0 +1,10 @@
+(** Parboil HISTO: histogram of an input image into [bins] counters.
+
+    Substitution note: Parboil's histogram saturates each counter at 255
+    with a read-modify-write; SPMD tiles here use atomic adds on the shared
+    histogram instead (lossless counting), which preserves the
+    scattered-update memory behaviour while staying deterministic under any
+    interleaving. The saturating variant lives in the ["histo"] accelerator
+    model. *)
+
+val instance : ?seed:int -> n:int -> bins:int -> unit -> Runner.t

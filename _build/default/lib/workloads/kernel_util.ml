@@ -1,0 +1,44 @@
+open Mosaic_ir
+module B = Builder
+module Interp = Mosaic_trace.Interp
+
+let min_op b x y = B.select b (B.icmp b Op.Lt x y) x y
+
+(* lo = tid * ceil(total / ntiles); hi = min total (lo + per). *)
+let spmd_slice b ~total =
+  let per =
+    B.sdiv b (B.sub b (B.add b total B.ntiles) (B.imm 1)) B.ntiles
+  in
+  let lo = B.mul b B.tid per in
+  let hi = min_op b total (B.add b lo per) in
+  (lo, hi)
+
+let barrier b ~state ~target =
+  let arrivals = B.elem b state (B.imm 0) in
+  let generation = B.elem b state (B.imm 1) in
+  let old = B.atomic b Op.Rmw_add ~size:4 ~addr:arrivals (B.imm 1) in
+  B.if_else b
+    (B.icmp b Op.Eq old (B.sub b B.ntiles (B.imm 1)))
+    (fun () ->
+      B.store b ~size:4 ~addr:arrivals (B.imm 0);
+      ignore (B.atomic b Op.Rmw_add ~size:4 ~addr:generation (B.imm 1)))
+    (fun () ->
+      B.while_ b
+        ~cond:(fun () -> B.icmp b Op.Lt (B.load b ~size:4 generation) target)
+        (fun () -> ()))
+
+let approx_equal a b =
+  let diff = Float.abs (a -. b) in
+  diff <= 1e-6 +. (1e-5 *. Float.max (Float.abs a) (Float.abs b))
+
+let read_floats it g n =
+  Array.init n (fun i -> Value.to_float (Interp.peek_global it g i))
+
+let write_floats it g arr =
+  Array.iteri (fun i v -> Interp.poke_global it g i (Value.of_float v)) arr
+
+let write_ints it g arr =
+  Array.iteri (fun i v -> Interp.poke_global it g i (Value.of_int v)) arr
+
+let read_ints it g n =
+  Array.init n (fun i -> Value.to_int (Interp.peek_global it g i))

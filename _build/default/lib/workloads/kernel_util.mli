@@ -1,0 +1,34 @@
+(** Shared lowering helpers for workload kernels. *)
+
+open Mosaic_ir
+
+(** [min_op b x y] emits a select-based minimum. *)
+val min_op : Builder.t -> Instr.operand -> Instr.operand -> Instr.operand
+
+(** [spmd_slice b ~total] computes this tile's contiguous slice
+    [\[lo, hi)] of [total] work items: block partitioning by tile id. *)
+val spmd_slice :
+  Builder.t -> total:Instr.operand -> Instr.operand * Instr.operand
+
+(** [barrier b ~state ~target] emits a spin barrier across all tiles:
+    [state] is a 2-element int32 global (arrival counter, generation); the
+    last tile to arrive resets the counter and bumps the generation, the
+    rest spin until the generation reaches [target] (the number of barriers
+    every tile has executed so far, including this one). *)
+val barrier :
+  Builder.t -> state:Program.global -> target:Instr.operand -> unit
+
+(** [approx_equal a b] with mixed absolute/relative tolerance. *)
+val approx_equal : float -> float -> bool
+
+(** Read back [n] floats from a global array. *)
+val read_floats :
+  Mosaic_trace.Interp.t -> Program.global -> int -> float array
+
+(** Write floats into a global array. *)
+val write_floats :
+  Mosaic_trace.Interp.t -> Program.global -> float array -> unit
+
+val write_ints : Mosaic_trace.Interp.t -> Program.global -> int array -> unit
+
+val read_ints : Mosaic_trace.Interp.t -> Program.global -> int -> int array

@@ -1,0 +1,117 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let omega = 1.2
+
+(* D2Q5: center, east, north, west, south. *)
+let wq = [| 1.0 /. 3.0; 1.0 /. 6.0; 1.0 /. 6.0; 1.0 /. 6.0; 1.0 /. 6.0 |]
+
+let ex = [| 0.0; 1.0; 0.0; -1.0; 0.0 |]
+
+let ey = [| 0.0; 0.0; -1.0; 0.0; 1.0 |]
+
+(* Cell offset the direction streams to, in units of the flattened index. *)
+let stream_offset w = [| 0; 1; -w; -1; w |]
+
+let host_step ~h ~w fin =
+  let cells = h * w in
+  let fout = Array.copy fin in
+  for i = 1 to h - 2 do
+    for j = 1 to w - 2 do
+      let idx = (i * w) + j in
+      let f = Array.init 5 (fun d -> fin.((d * cells) + idx)) in
+      let rho = Array.fold_left ( +. ) 0.0 f in
+      let ux = (f.(1) -. f.(3)) /. rho in
+      let uy = (f.(4) -. f.(2)) /. rho in
+      for d = 0 to 4 do
+        let feq =
+          wq.(d) *. rho *. (1.0 +. (3.0 *. ((ex.(d) *. ux) +. (ey.(d) *. uy))))
+        in
+        let fnew = f.(d) +. (omega *. (feq -. f.(d))) in
+        fout.((d * cells) + idx + (stream_offset w).(d)) <- fnew
+      done
+    done
+  done;
+  fout
+
+let instance ?(seed = 13) ~h ~w () =
+  if h < 3 || w < 3 then invalid_arg "Lbm.instance: grid too small";
+  let cells = h * w in
+  let prog = Program.create () in
+  let g_fin = Program.alloc prog "fin" ~elems:(5 * cells) ~elem_size:4 in
+  let g_fout = Program.alloc prog "fout" ~elems:(5 * cells) ~elem_size:4 in
+  let _ =
+    B.define prog "lbm" ~nparams:2 (fun b ->
+        let ph = B.param b 0 and pw = B.param b 1 in
+        let ncells = B.mul b ph pw in
+        let interior = B.sub b ph (B.imm 2) in
+        let lo, hi = U.spmd_slice b ~total:interior in
+        B.for_ b ~from:lo ~to_:hi (fun r ->
+            let i = B.add b r (B.imm 1) in
+            B.for_ b ~from:(B.imm 1) ~to_:(B.sub b pw (B.imm 1)) (fun j ->
+                let idx = B.add b (B.mul b i pw) j in
+                let load_dist d =
+                  B.load b ~size:4
+                    (B.elem b g_fin
+                       (B.add b (B.mul b (B.imm d) ncells) idx))
+                in
+                let f = Array.init 5 load_dist in
+                let rho =
+                  B.fadd b
+                    (B.fadd b (B.fadd b f.(0) f.(1)) (B.fadd b f.(2) f.(3)))
+                    f.(4)
+                in
+                let ux = B.fdiv b (B.fsub b f.(1) f.(3)) rho in
+                let uy = B.fdiv b (B.fsub b f.(4) f.(2)) rho in
+                for d = 0 to 4 do
+                  let eu =
+                    B.fadd b
+                      (B.fmul b (B.fimm ex.(d)) ux)
+                      (B.fmul b (B.fimm ey.(d)) uy)
+                  in
+                  let feq =
+                    B.fmul b
+                      (B.fmul b (B.fimm wq.(d)) rho)
+                      (B.fadd b (B.fimm 1.0) (B.fmul b (B.fimm 3.0) eu))
+                  in
+                  let fnew =
+                    B.fadd b f.(d)
+                      (B.fmul b (B.fimm omega) (B.fsub b feq f.(d)))
+                  in
+                  let dst_idx =
+                    B.add b
+                      (B.add b (B.mul b (B.imm d) ncells) idx)
+                      (B.imm (stream_offset w).(d))
+                  in
+                  B.store b ~size:4 ~addr:(B.elem b g_fout dst_idx) fnew
+                done));
+        B.ret b ())
+  in
+  let fin =
+    Array.map (fun v -> 0.5 +. v) (Datasets.random_floats ~seed (5 * cells))
+  in
+  let expected = host_step ~h ~w fin in
+  {
+    Runner.name = "lbm";
+    program = prog;
+    kernel = "lbm";
+    args = [ Value.of_int h; Value.of_int w ];
+    setup =
+      (fun it ->
+        U.write_floats it g_fin fin;
+        U.write_floats it g_fout fin);
+    check =
+      (fun it ->
+        let got = U.read_floats it g_fout (5 * cells) in
+        let ok = ref true in
+        for d = 0 to 4 do
+          for i = 1 to h - 2 do
+            for j = 1 to w - 2 do
+              let idx = (d * cells) + (i * w) + j in
+              if not (U.approx_equal got.(idx) expected.(idx)) then ok := false
+            done
+          done
+        done;
+        !ok);
+  }

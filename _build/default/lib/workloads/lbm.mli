@@ -1,0 +1,6 @@
+(** Parboil LBM: one collide-stream step of a lattice-Boltzmann method,
+    reduced to a D2Q5 lattice (center + 4 neighbors). Heavily streaming:
+    5 distribution loads and 5 stores per cell with FP relaxation
+    arithmetic. SPMD over interior rows. *)
+
+val instance : ?seed:int -> h:int -> w:int -> unit -> Runner.t

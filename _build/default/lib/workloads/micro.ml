@@ -1,0 +1,106 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+module Rng = Mosaic_util.Rng
+
+(* A random cyclic permutation so the chain visits every node once before
+   repeating (Sattolo's algorithm). *)
+let cyclic_permutation ~seed n =
+  let rng = Rng.create seed in
+  let next = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng i in
+    let tmp = next.(i) in
+    next.(i) <- next.(j);
+    next.(j) <- tmp
+  done;
+  next
+
+let pointer_chase ?(seed = 53) ~nodes ~steps () =
+  let next = cyclic_permutation ~seed nodes in
+  let prog = Program.create () in
+  let g_next = Program.alloc prog "next" ~elems:nodes ~elem_size:8 in
+  let g_out = Program.alloc prog "out" ~elems:1 ~elem_size:8 in
+  let _ =
+    B.define prog "pointer_chase" ~nparams:1 (fun b ->
+        let cur = B.var b (B.imm 0) in
+        B.for_ b ~from:(B.imm 0) ~to_:(B.param b 0) (fun _ ->
+            B.assign b ~var:cur (B.load b (B.elem b g_next cur)));
+        B.store b ~addr:(B.elem b g_out (B.imm 0)) cur;
+        B.ret b ())
+  in
+  let expected =
+    let cur = ref 0 in
+    for _ = 1 to steps do
+      cur := next.(!cur)
+    done;
+    !cur
+  in
+  {
+    Runner.name = "pointer_chase";
+    program = prog;
+    kernel = "pointer_chase";
+    args = [ Value.of_int steps ];
+    setup = (fun it -> U.write_ints it g_next next);
+    check =
+      (fun it ->
+        Value.to_int (Mosaic_trace.Interp.peek_global it g_out 0) = expected);
+  }
+
+let stream ?(seed = 59) ~elems () =
+  let data = Datasets.random_floats ~seed elems in
+  let prog = Program.create () in
+  let g = Program.alloc prog "data" ~elems ~elem_size:8 in
+  let g_out = Program.alloc prog "out" ~elems:1 ~elem_size:8 in
+  let expected = Array.fold_left ( +. ) 0.0 data in
+  let _ =
+    B.define prog "stream" ~nparams:1 (fun b ->
+        let acc = B.var b (B.fimm 0.0) in
+        B.for_ b ~from:(B.imm 0) ~to_:(B.param b 0) (fun i ->
+            B.assign b ~var:acc (B.fadd b acc (B.load b (B.elem b g i))));
+        B.store b ~addr:(B.elem b g_out (B.imm 0)) acc;
+        B.ret b ())
+  in
+  {
+    Runner.name = "stream";
+    program = prog;
+    kernel = "stream";
+    args = [ Value.of_int elems ];
+    setup = (fun it -> U.write_floats it g data);
+    check =
+      (fun it ->
+        U.approx_equal
+          (Value.to_float (Mosaic_trace.Interp.peek_global it g_out 0))
+          expected);
+  }
+
+let random_access ?(seed = 61) ~elems ~accesses () =
+  let idx = Datasets.random_ints ~seed ~bound:elems accesses in
+  let data = Datasets.random_ints ~seed:(seed + 1) ~bound:1000 elems in
+  let prog = Program.create () in
+  let g_idx = Program.alloc prog "idx" ~elems:accesses ~elem_size:8 in
+  let g = Program.alloc prog "data" ~elems ~elem_size:8 in
+  let g_out = Program.alloc prog "out" ~elems:1 ~elem_size:8 in
+  let expected = Array.fold_left (fun acc i -> acc + data.(i)) 0 idx in
+  let _ =
+    B.define prog "random_access" ~nparams:1 (fun b ->
+        let acc = B.var b (B.imm 0) in
+        B.for_ b ~from:(B.imm 0) ~to_:(B.param b 0) (fun i ->
+            let target = B.load b (B.elem b g_idx i) in
+            B.assign b ~var:acc (B.add b acc (B.load b (B.elem b g target))));
+        B.store b ~addr:(B.elem b g_out (B.imm 0)) acc;
+        B.ret b ())
+  in
+  {
+    Runner.name = "random_access";
+    program = prog;
+    kernel = "random_access";
+    args = [ Value.of_int accesses ];
+    setup =
+      (fun it ->
+        U.write_ints it g_idx idx;
+        U.write_ints it g data);
+    check =
+      (fun it ->
+        Value.to_int (Mosaic_trace.Interp.peek_global it g_out 0) = expected);
+  }

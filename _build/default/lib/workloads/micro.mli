@@ -1,0 +1,18 @@
+(** Memory-system microbenchmarks.
+
+    Three classic probes used to validate that the simulated memory system
+    honours its configuration (the tests assert measured against
+    configured):
+
+    - [pointer_chase]: a dependent load chain through a random permutation —
+      measures round-trip load latency (no MLP possible);
+    - [stream]: independent streaming reads — measures sustainable
+      bandwidth;
+    - [random_access]: independent random reads — measures MLP-limited
+      latency hiding. *)
+
+val pointer_chase : ?seed:int -> nodes:int -> steps:int -> unit -> Runner.t
+
+val stream : ?seed:int -> elems:int -> unit -> Runner.t
+
+val random_access : ?seed:int -> elems:int -> accesses:int -> unit -> Runner.t

@@ -1,0 +1,70 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+(* Each sample lands between two grid cells and contributes
+   exp-weighted value to both (a 1D cut of the gridding window). *)
+let instance ?(seed = 29) ~samples ~grid () =
+  if grid < 4 then invalid_arg "Mri_gridding.instance: grid too small";
+  let prog = Program.create () in
+  let g_pos = Program.alloc prog "pos" ~elems:samples ~elem_size:4 in
+  let g_val = Program.alloc prog "sval" ~elems:samples ~elem_size:4 in
+  let g_grid = Program.alloc prog "grid" ~elems:grid ~elem_size:4 in
+  let scale = float_of_int (grid - 2) in
+  let _ =
+    B.define prog "mri-gridding" ~nparams:1 (fun b ->
+        let nsamp = B.param b 0 in
+        let lo, hi = U.spmd_slice b ~total:nsamp in
+        B.for_ b ~from:lo ~to_:hi (fun s ->
+            let pos = B.load b ~size:4 (B.elem b g_pos s) in
+            let v = B.load b ~size:4 (B.elem b g_val s) in
+            let scaled = B.fmul b pos (B.fimm scale) in
+            let cell_f = B.math1 b Op.Floor scaled in
+            let cell = B.fptosi b cell_f in
+            let frac = B.fsub b scaled cell_f in
+            (* Gaussian weights for the two neighbouring cells. *)
+            let w0 =
+              B.math1 b Op.Exp
+                (B.fmul b (B.fimm (-2.0)) (B.fmul b frac frac))
+            in
+            let one_m = B.fsub b (B.fimm 1.0) frac in
+            let w1 =
+              B.math1 b Op.Exp
+                (B.fmul b (B.fimm (-2.0)) (B.fmul b one_m one_m))
+            in
+            ignore
+              (B.atomic b Op.Rmw_add ~size:4 ~addr:(B.elem b g_grid cell)
+                 (B.fmul b v w0));
+            ignore
+              (B.atomic b Op.Rmw_add ~size:4
+                 ~addr:(B.elem b g_grid (B.add b cell (B.imm 1)))
+                 (B.fmul b v w1)));
+        B.ret b ())
+  in
+  let pos = Datasets.random_floats ~seed samples in
+  let sval = Datasets.random_floats ~seed:(seed + 1) samples in
+  let expected = Array.make grid 0.0 in
+  for s = 0 to samples - 1 do
+    let scaled = pos.(s) *. scale in
+    let cell = int_of_float (Float.floor scaled) in
+    let frac = scaled -. Float.floor scaled in
+    expected.(cell) <- expected.(cell) +. (sval.(s) *. exp (-2.0 *. frac *. frac));
+    expected.(cell + 1) <-
+      expected.(cell + 1)
+      +. (sval.(s) *. exp (-2.0 *. (1.0 -. frac) *. (1.0 -. frac)))
+  done;
+  {
+    Runner.name = "mri-gridding";
+    program = prog;
+    kernel = "mri-gridding";
+    args = [ Value.of_int samples ];
+    setup =
+      (fun it ->
+        U.write_floats it g_pos pos;
+        U.write_floats it g_val sval;
+        U.write_floats it g_grid (Array.make grid 0.0));
+    check =
+      (fun it ->
+        let got = U.read_floats it g_grid grid in
+        Array.for_all2 U.approx_equal got expected);
+  }

@@ -1,0 +1,5 @@
+(** Parboil MRI-GRIDDING: scatter non-Cartesian k-space samples onto a
+    regular 1D-flattened grid with Gaussian kernel weights — irregular
+    atomic scatters plus [exp] per sample. SPMD over samples. *)
+
+val instance : ?seed:int -> samples:int -> grid:int -> unit -> Runner.t

@@ -1,0 +1,79 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let two_pi = 2.0 *. Float.pi
+
+let instance ?(seed = 23) ~voxels ~samples () =
+  let prog = Program.create () in
+  let g_x = Program.alloc prog "vox_xyz" ~elems:(3 * voxels) ~elem_size:4 in
+  let g_k = Program.alloc prog "k_xyz" ~elems:(3 * samples) ~elem_size:4 in
+  let g_mag = Program.alloc prog "mag" ~elems:samples ~elem_size:4 in
+  let g_qr = Program.alloc prog "q_re" ~elems:voxels ~elem_size:4 in
+  let g_qi = Program.alloc prog "q_im" ~elems:voxels ~elem_size:4 in
+  let _ =
+    B.define prog "mri-q" ~nparams:2 (fun b ->
+        let nvox = B.param b 0 and nsamp = B.param b 1 in
+        let lo, hi = U.spmd_slice b ~total:nvox in
+        B.for_ b ~from:lo ~to_:hi (fun v ->
+            let vbase = B.mul b v (B.imm 3) in
+            let x = B.load b ~size:4 (B.elem b g_x vbase) in
+            let y = B.load b ~size:4 (B.elem b g_x (B.add b vbase (B.imm 1))) in
+            let z = B.load b ~size:4 (B.elem b g_x (B.add b vbase (B.imm 2))) in
+            let qr = B.var b (B.fimm 0.0) in
+            let qi = B.var b (B.fimm 0.0) in
+            B.for_ b ~from:(B.imm 0) ~to_:nsamp (fun s ->
+                let sbase = B.mul b s (B.imm 3) in
+                let kx = B.load b ~size:4 (B.elem b g_k sbase) in
+                let ky =
+                  B.load b ~size:4 (B.elem b g_k (B.add b sbase (B.imm 1)))
+                in
+                let kz =
+                  B.load b ~size:4 (B.elem b g_k (B.add b sbase (B.imm 2)))
+                in
+                let m = B.load b ~size:4 (B.elem b g_mag s) in
+                let dot =
+                  B.fadd b
+                    (B.fadd b (B.fmul b kx x) (B.fmul b ky y))
+                    (B.fmul b kz z)
+                in
+                let phi = B.fmul b (B.fimm two_pi) dot in
+                B.assign b ~var:qr
+                  (B.fadd b qr (B.fmul b m (B.math1 b Op.Cos phi)));
+                B.assign b ~var:qi
+                  (B.fadd b qi (B.fmul b m (B.math1 b Op.Sin phi))));
+            B.store b ~size:4 ~addr:(B.elem b g_qr v) qr;
+            B.store b ~size:4 ~addr:(B.elem b g_qi v) qi);
+        B.ret b ())
+  in
+  let vx = Datasets.random_points ~seed voxels in
+  let kx = Datasets.random_points ~seed:(seed + 1) samples in
+  let mag = Datasets.random_floats ~seed:(seed + 2) samples in
+  let exp_r = Array.make voxels 0.0 and exp_i = Array.make voxels 0.0 in
+  for v = 0 to voxels - 1 do
+    for s = 0 to samples - 1 do
+      let dot =
+        (kx.(3 * s) *. vx.(3 * v))
+        +. (kx.((3 * s) + 1) *. vx.((3 * v) + 1))
+        +. (kx.((3 * s) + 2) *. vx.((3 * v) + 2))
+      in
+      let phi = two_pi *. dot in
+      exp_r.(v) <- exp_r.(v) +. (mag.(s) *. cos phi);
+      exp_i.(v) <- exp_i.(v) +. (mag.(s) *. sin phi)
+    done
+  done;
+  {
+    Runner.name = "mri-q";
+    program = prog;
+    kernel = "mri-q";
+    args = [ Value.of_int voxels; Value.of_int samples ];
+    setup =
+      (fun it ->
+        U.write_floats it g_x vx;
+        U.write_floats it g_k kx;
+        U.write_floats it g_mag mag);
+    check =
+      (fun it ->
+        Array.for_all2 U.approx_equal (U.read_floats it g_qr voxels) exp_r
+        && Array.for_all2 U.approx_equal (U.read_floats it g_qi voxels) exp_i);
+  }

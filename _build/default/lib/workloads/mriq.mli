@@ -1,0 +1,7 @@
+(** Parboil MRI-Q: Q-matrix computation for non-Cartesian MRI
+    reconstruction. For every voxel, accumulates magnitude-weighted
+    sin/cos of the phase against all k-space samples — dominated by
+    transcendental math calls (the benchmark where ISA-agnostic timing
+    diverges most in Fig 5). SPMD over voxels. *)
+
+val instance : ?seed:int -> voxels:int -> samples:int -> unit -> Runner.t

@@ -1,0 +1,91 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let build ?(seed = 37) ~n_left ~n_right ~degree () =
+  let g = Datasets.random_bipartite ~seed ~n_left ~n_right ~degree in
+  let nnz = Array.length g.Datasets.cols in
+  let weights = Datasets.random_floats ~seed:(seed + 1) n_right in
+  let prog = Program.create () in
+  let g_rp = Program.alloc prog "row_ptr" ~elems:(n_left + 1) ~elem_size:4 in
+  let g_cols = Program.alloc prog "cols" ~elems:nnz ~elem_size:4 in
+  let g_w = Program.alloc prog "weight" ~elems:n_right ~elem_size:4 in
+  let g_proj =
+    Program.alloc prog "proj" ~elems:(n_right * n_right) ~elem_size:4
+  in
+  let func =
+    B.define prog "projection" ~nparams:2 (fun b ->
+        let nl = B.param b 0 and nr = B.param b 1 in
+        let lo, hi = U.spmd_slice b ~total:nl in
+        B.for_ b ~from:lo ~to_:hi (fun u ->
+            let s = B.load b ~size:4 (B.elem b g_rp u) in
+            let e = B.load b ~size:4 (B.elem b g_rp (B.add b u (B.imm 1))) in
+            B.for_ b ~from:s ~to_:e (fun i ->
+                let a = B.load b ~size:4 (B.elem b g_cols i) in
+                let wa = B.load b ~size:4 (B.elem b g_w a) in
+                let arow = B.mul b a nr in
+                B.for_ b ~from:s ~to_:e (fun j ->
+                    let bcol = B.load b ~size:4 (B.elem b g_cols j) in
+                    B.if_ b
+                      (B.icmp b Op.Ne bcol a)
+                      (fun () ->
+                        let wb = B.load b ~size:4 (B.elem b g_w bcol) in
+                        let contrib = B.fmul b wa wb in
+                        ignore
+                          (B.atomic b Op.Rmw_add ~size:4
+                             ~addr:(B.elem b g_proj (B.add b arow bcol))
+                             contrib)))));
+        B.ret b ())
+  in
+  let expected = Hashtbl.create 4096 in
+  for u = 0 to n_left - 1 do
+    for i = g.Datasets.row_ptr.(u) to g.Datasets.row_ptr.(u + 1) - 1 do
+      let a = g.Datasets.cols.(i) in
+      for j = g.Datasets.row_ptr.(u) to g.Datasets.row_ptr.(u + 1) - 1 do
+        let bcol = g.Datasets.cols.(j) in
+        if bcol <> a then begin
+          let key = (a * n_right) + bcol in
+          let cur = Option.value ~default:0.0 (Hashtbl.find_opt expected key) in
+          Hashtbl.replace expected key (cur +. (weights.(a) *. weights.(bcol)))
+        end
+      done
+    done
+  done;
+  let instance =
+    {
+      Runner.name = "projection";
+      program = prog;
+      kernel = "projection";
+      args = [ Value.of_int n_left; Value.of_int n_right ];
+      setup =
+        (fun it ->
+          U.write_ints it g_rp g.Datasets.row_ptr;
+          U.write_ints it g_cols g.Datasets.cols;
+          U.write_floats it g_w weights;
+          (* Projection entries must exist as floats for FP atomics. *)
+          Hashtbl.iter
+            (fun key _ ->
+              Mosaic_trace.Interp.poke_global it g_proj key (Value.of_float 0.0))
+            expected);
+      check =
+        (fun it ->
+          Hashtbl.fold
+            (fun key v acc ->
+              acc
+              && U.approx_equal
+                   (Value.to_float (Mosaic_trace.Interp.peek_global it g_proj key))
+                   v)
+            expected true);
+    }
+  in
+  (instance, func)
+
+let instance ?seed ~n_left ~n_right ~degree () =
+  fst (build ?seed ~n_left ~n_right ~degree ())
+
+let dae_instance ?seed ~n_left ~n_right ~degree () =
+  let inst, func = build ?seed ~n_left ~n_right ~degree () in
+  let info = Mosaic_compiler.Dae.slice func in
+  Program.add_func inst.Runner.program info.Mosaic_compiler.Dae.access;
+  Program.add_func inst.Runner.program info.Mosaic_compiler.Dae.execute;
+  (inst, info)

@@ -1,0 +1,24 @@
+(** Bipartite graph projection — the DAE case-study kernel (§VII-A,
+    Fig 11). For every left-side node, every pair of its right-side
+    neighbors (a, b) accumulates w(a) * w(b) into the dense projection
+    matrix: each pair of edges updates a projection entry through an
+    irregular, memory-latency-bound read-modify-write. SPMD over left
+    nodes; accumulation uses atomic FP adds so tiles can share rows.
+
+    Sized so the projection matrix spills past the LLC, which is what makes
+    the kernel latency-bound. *)
+
+val instance :
+  ?seed:int -> n_left:int -> n_right:int -> degree:int -> unit -> Runner.t
+
+(** The same kernel sliced into access/execute DAE halves; returns the
+    instance (with both slices registered in its program) and the slicing
+    report. Tiles [0..pairs-1] run the access slice, [pairs..2*pairs-1]
+    the execute slice. *)
+val dae_instance :
+  ?seed:int ->
+  n_left:int ->
+  n_right:int ->
+  degree:int ->
+  unit ->
+  Runner.t * Mosaic_compiler.Dae.info

@@ -1,0 +1,34 @@
+let parboil_names =
+  [
+    "bfs";
+    "cutcp";
+    "histo";
+    "lbm";
+    "mri-gridding";
+    "mri-q";
+    "sad";
+    "sgemm";
+    "spmv";
+    "stencil";
+    "tpacf";
+  ]
+
+let all_names = parboil_names @ [ "projection"; "ewsd"; "sinkhorn" ]
+
+let instance = function
+  | "bfs" -> Bfs.instance ~n:8192 ~degree:8 ()
+  | "cutcp" -> Cutcp.instance ~grid_points:256 ~atoms:256 ~cutoff:0.5 ()
+  | "histo" -> Histo.instance ~n:(64 * 1024) ~bins:256 ()
+  | "lbm" -> Lbm.instance ~h:64 ~w:64 ()
+  | "mri-gridding" -> Mri_gridding.instance ~samples:(32 * 1024) ~grid:1024 ()
+  | "mri-q" -> Mriq.instance ~voxels:256 ~samples:256 ()
+  | "sad" -> Sad.instance ~blocks:256 ~block_size:16 ~offsets:8 ()
+  | "sgemm" -> Sgemm.instance ~m:40 ~n:40 ~k:40 ()
+  | "spmv" -> Spmv.instance ~rows:4096 ~cols:4096 ~per_row:12 ()
+  | "stencil" -> Stencil.instance ~h:128 ~w:128 ()
+  | "tpacf" -> Tpacf.instance ~points:192 ~bins:8 ()
+  | "projection" -> Projection.instance ~n_left:512 ~n_right:512 ~degree:8 ()
+  | "ewsd" -> Ewsd.instance ~rows:1024 ~cols:1024 ~per_row:16 ()
+  | "sinkhorn" ->
+      Sinkhorn.instance ~dim:32 ~rows:512 ~cols:512 ~per_row:12 ~reps:2 ()
+  | name -> invalid_arg (Printf.sprintf "Registry.instance: unknown %s" name)

@@ -1,0 +1,15 @@
+(** Named benchmark registry with the reference dataset sizes used by the
+    accuracy/characterization experiments (Figs 5-6). Sizes are scaled to
+    keep traces tractable while preserving each kernel's bottleneck
+    character (see DESIGN.md). *)
+
+(** All eleven Parboil benchmark names, in the paper's Fig 5 order. *)
+val parboil_names : string list
+
+(** Build the reference instance of a benchmark. Raises [Invalid_argument]
+    for unknown names. *)
+val instance : string -> Runner.t
+
+(** All benchmarks including the case-study kernels
+    ("projection", "ewsd"). *)
+val all_names : string list

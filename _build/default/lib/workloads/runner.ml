@@ -1,0 +1,39 @@
+module Interp = Mosaic_trace.Interp
+module Validate = Mosaic_ir.Validate
+
+type t = {
+  name : string;
+  program : Mosaic_ir.Program.t;
+  kernel : string;
+  args : Mosaic_ir.Value.t list;
+  setup : Interp.t -> unit;
+  check : Interp.t -> bool;
+}
+
+let run_interp ?(check = true) inst it =
+  Mosaic_accel.Accel_kinds.register_functional it;
+  inst.setup it;
+  let trace = Interp.run it in
+  if check && not (inst.check it) then
+    failwith (Printf.sprintf "workload %s: wrong answer" inst.name);
+  trace
+
+let trace ?check inst ~ntiles =
+  Validate.check_exn inst.program;
+  let it =
+    Interp.create inst.program ~kernel:inst.kernel ~ntiles ~args:inst.args
+  in
+  run_interp ?check inst it
+
+let trace_hetero ?check inst ~tiles =
+  Validate.check_exn inst.program;
+  let it = Interp.create_hetero inst.program ~label:inst.name ~tiles in
+  run_interp ?check inst it
+
+let execute inst ~ntiles =
+  Validate.check_exn inst.program;
+  let it =
+    Interp.create inst.program ~kernel:inst.kernel ~ntiles ~args:inst.args
+  in
+  let tr = run_interp ~check:true inst it in
+  (it, tr)

@@ -1,0 +1,33 @@
+(** Workload instances and the host-side flow that turns them into traces.
+
+    An instance bundles everything the toolchain needs: the program (IR +
+    globals), the kernel entry point and its arguments, dataset setup, and a
+    correctness check run against the interpreter's final memory — so every
+    benchmark is verified functionally before its trace is trusted. *)
+
+type t = {
+  name : string;
+  program : Mosaic_ir.Program.t;
+  kernel : string;
+  args : Mosaic_ir.Value.t list;
+  setup : Mosaic_trace.Interp.t -> unit;
+  check : Mosaic_trace.Interp.t -> bool;
+}
+
+(** [trace ?check instance ~ntiles] validates the program, executes it on
+    [ntiles] SPMD tiles with accelerator functional models registered,
+    optionally verifies the result (default [true]; raises [Failure] on a
+    wrong answer), and returns the dynamic traces. *)
+val trace : ?check:bool -> t -> ntiles:int -> Mosaic_trace.Trace.t
+
+(** Like {!trace} but for heterogeneous tile/kernel assignments (DAE
+    pairs). [tiles] gives (kernel, args) per tile; setup/check come from the
+    instance. *)
+val trace_hetero :
+  ?check:bool ->
+  t ->
+  tiles:(string * Mosaic_ir.Value.t list) array ->
+  Mosaic_trace.Trace.t
+
+(** Run the interpreter and return it (for tests that inspect memory). *)
+val execute : t -> ntiles:int -> Mosaic_trace.Interp.t * Mosaic_trace.Trace.t

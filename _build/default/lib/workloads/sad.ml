@@ -1,0 +1,64 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let instance ?(seed = 17) ~blocks ~block_size ~offsets () =
+  let n = (blocks * block_size) + offsets in
+  let prog = Program.create () in
+  let g_cur = Program.alloc prog "cur" ~elems:n ~elem_size:4 in
+  let g_ref = Program.alloc prog "reff" ~elems:n ~elem_size:4 in
+  let g_sad = Program.alloc prog "sad" ~elems:(blocks * offsets) ~elem_size:4 in
+  let _ =
+    B.define prog "sad" ~nparams:3 (fun b ->
+        let pblocks = B.param b 0 in
+        let psize = B.param b 1 in
+        let poffsets = B.param b 2 in
+        let lo, hi = U.spmd_slice b ~total:pblocks in
+        B.for_ b ~from:lo ~to_:hi (fun mb ->
+            let base = B.mul b mb psize in
+            B.for_ b ~from:(B.imm 0) ~to_:poffsets (fun off ->
+                let acc = B.var b (B.imm 0) in
+                B.for_ b ~from:(B.imm 0) ~to_:psize (fun p ->
+                    let cidx = B.add b base p in
+                    let c = B.load b ~size:4 (B.elem b g_cur cidx) in
+                    let r =
+                      B.load b ~size:4 (B.elem b g_ref (B.add b cidx off))
+                    in
+                    let d = B.sub b c r in
+                    let abs_d =
+                      B.select b
+                        (B.icmp b Op.Lt d (B.imm 0))
+                        (B.sub b (B.imm 0) d)
+                        d
+                    in
+                    B.assign b ~var:acc (B.add b acc abs_d));
+                B.store b ~size:4
+                  ~addr:(B.elem b g_sad (B.add b (B.mul b mb poffsets) off))
+                  acc));
+        B.ret b ())
+  in
+  let cur = Datasets.random_ints ~seed ~bound:256 n in
+  let reff = Datasets.random_ints ~seed:(seed + 1) ~bound:256 n in
+  let expected =
+    Array.init (blocks * offsets) (fun i ->
+        let mb = i / offsets and off = i mod offsets in
+        let acc = ref 0 in
+        for pnt = 0 to block_size - 1 do
+          acc := !acc + abs (cur.((mb * block_size) + pnt) - reff.((mb * block_size) + pnt + off))
+        done;
+        !acc)
+  in
+  {
+    Runner.name = "sad";
+    program = prog;
+    kernel = "sad";
+    args = [ Value.of_int blocks; Value.of_int block_size; Value.of_int offsets ];
+    setup =
+      (fun it ->
+        U.write_ints it g_cur cur;
+        U.write_ints it g_ref reff);
+    check =
+      (fun it ->
+        let got = U.read_ints it g_sad (blocks * offsets) in
+        got = expected);
+  }

@@ -1,0 +1,7 @@
+(** Parboil SAD: sum-of-absolute-differences for motion estimation. For
+    each macroblock of the current frame, computes the SAD against the
+    reference frame at every search offset. Integer-dense with high ILP —
+    the highest-IPC benchmark of Fig 6. SPMD over macroblocks. *)
+
+val instance :
+  ?seed:int -> blocks:int -> block_size:int -> offsets:int -> unit -> Runner.t

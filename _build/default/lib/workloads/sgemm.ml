@@ -1,0 +1,81 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let host_gemm ~m ~n ~k a bm =
+  let c = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for kk = 0 to k - 1 do
+        acc := !acc +. (a.((i * k) + kk) *. bm.((kk * n) + j))
+      done;
+      c.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+let instance ?(seed = 42) ?(accel = false) ~m ~n ~k () =
+  let prog = Program.create () in
+  let ga = Program.alloc prog "A" ~elems:(m * k) ~elem_size:4 in
+  let gb = Program.alloc prog "B" ~elems:(k * n) ~elem_size:4 in
+  let gc = Program.alloc prog "C" ~elems:(m * n) ~elem_size:4 in
+  let kernel = if accel then "sgemm_accel" else "sgemm" in
+  let _ =
+    if accel then
+      B.define prog kernel ~nparams:3 (fun b ->
+          let pm = B.param b 0 and pn = B.param b 1 and pk = B.param b 2 in
+          (* Only tile 0 invokes the accelerator. *)
+          B.if_ b
+            (B.icmp b Op.Eq B.tid (B.imm 0))
+            (fun () ->
+              B.accel b "gemm"
+                [ pm; pn; pk; B.glob ga; B.glob gb; B.glob gc ]);
+          B.ret b ())
+    else
+      B.define prog kernel ~nparams:3 (fun b ->
+          let pm = B.param b 0 and pn = B.param b 1 and pk = B.param b 2 in
+          let lo, hi = U.spmd_slice b ~total:pm in
+          B.for_ b ~from:lo ~to_:hi (fun i ->
+              B.for_ b ~from:(B.imm 0) ~to_:pn (fun j ->
+                  let acc = B.var b (B.fimm 0.0) in
+                  let row = B.mul b i pk in
+                  B.for_ b ~from:(B.imm 0) ~to_:pk (fun kk ->
+                      let av =
+                        B.load b ~size:4 (B.elem b ga (B.add b row kk))
+                      in
+                      let bv =
+                        B.load b ~size:4
+                          (B.elem b gb (B.add b (B.mul b kk pn) j))
+                      in
+                      B.assign b ~var:acc (B.fadd b acc (B.fmul b av bv)));
+                  B.store b ~size:4
+                    ~addr:(B.elem b gc (B.add b (B.mul b i pn) j))
+                    acc));
+          B.ret b ())
+  in
+  let av = Datasets.random_floats ~seed (m * k) in
+  let bv = Datasets.random_floats ~seed:(seed + 1) (k * n) in
+  let expected = host_gemm ~m ~n ~k av bv in
+  {
+    Runner.name = kernel;
+    program = prog;
+    kernel;
+    args = [ Value.of_int m; Value.of_int n; Value.of_int k ];
+    setup =
+      (fun it ->
+        U.write_floats it ga av;
+        U.write_floats it gb bv);
+    check =
+      (fun it ->
+        let got = U.read_floats it gc (m * n) in
+        Array.for_all2 U.approx_equal got expected);
+  }
+
+let dae_instance ?seed ~m ~n ~k () =
+  let inst = instance ?seed ~accel:false ~m ~n ~k () in
+  let func = Program.func_exn inst.Runner.program "sgemm" in
+  let info = Mosaic_compiler.Dae.slice func in
+  Program.add_func inst.Runner.program info.Mosaic_compiler.Dae.access;
+  Program.add_func inst.Runner.program info.Mosaic_compiler.Dae.execute;
+  (inst, info)

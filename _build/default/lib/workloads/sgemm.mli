@@ -1,0 +1,19 @@
+(** Parboil SGEMM: dense single-precision matrix multiply, C = A * B.
+    Compute-bound; exposes abundant data-level parallelism (Fig 6, Fig 8,
+    Fig 12). SPMD over rows of C.
+
+    [accel:true] builds the variant where tile 0 off-loads the whole
+    multiply to the ["gemm"] accelerator (§VII-B). *)
+
+val instance :
+  ?seed:int -> ?accel:bool -> m:int -> n:int -> k:int -> unit -> Runner.t
+
+(** DAE-sliced variant (kernels [sgemm_access]/[sgemm_execute]); Fig 12
+    runs SGEMM on DAE pairs as one of the candidate systems. *)
+val dae_instance :
+  ?seed:int ->
+  m:int ->
+  n:int ->
+  k:int ->
+  unit ->
+  Runner.t * Mosaic_compiler.Dae.info

@@ -1,0 +1,117 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let instance ?(seed = 47) ?(accel = false) ~dim ~rows ~cols ~per_row ~reps () =
+  let sp = Datasets.random_sparse ~seed ~rows ~cols ~per_row in
+  let nnz = Array.length sp.Datasets.shape.Datasets.cols in
+  let dense = Datasets.random_floats ~seed:(seed + 1) (rows * cols) in
+  let av = Datasets.random_floats ~seed:(seed + 2) (dim * dim) in
+  let bv = Datasets.random_floats ~seed:(seed + 3) (dim * dim) in
+  let prog = Program.create () in
+  let ga = Program.alloc prog "A" ~elems:(dim * dim) ~elem_size:4 in
+  let gb = Program.alloc prog "B" ~elems:(dim * dim) ~elem_size:4 in
+  let gc = Program.alloc prog "C" ~elems:(dim * dim) ~elem_size:4 in
+  let g_rp = Program.alloc prog "row_ptr" ~elems:(rows + 1) ~elem_size:4 in
+  let g_cols = Program.alloc prog "cols" ~elems:nnz ~elem_size:4 in
+  let g_vals = Program.alloc prog "vals" ~elems:nnz ~elem_size:4 in
+  let g_dense = Program.alloc prog "dense" ~elems:(rows * cols) ~elem_size:4 in
+  let g_out = Program.alloc prog "out" ~elems:nnz ~elem_size:4 in
+  let g_bar = Program.alloc prog "barrier" ~elems:2 ~elem_size:4 in
+  let kernel = if accel then "sinkhorn_accel" else "sinkhorn" in
+  let _ =
+    B.define prog kernel ~nparams:4 (fun b ->
+        let pdim = B.param b 0
+        and prows = B.param b 1
+        and pcols = B.param b 2
+        and preps = B.param b 3 in
+        B.for_ b ~from:(B.imm 0) ~to_:preps (fun r ->
+            (* Dense phase. *)
+            (if accel then
+               B.if_ b
+                 (B.icmp b Op.Eq B.tid (B.imm 0))
+                 (fun () ->
+                   B.accel b "gemm"
+                     [ pdim; pdim; pdim; B.glob ga; B.glob gb; B.glob gc ])
+             else
+               let lo, hi = U.spmd_slice b ~total:pdim in
+               B.for_ b ~from:lo ~to_:hi (fun i ->
+                   B.for_ b ~from:(B.imm 0) ~to_:pdim (fun j ->
+                       let acc = B.var b (B.fimm 0.0) in
+                       let row = B.mul b i pdim in
+                       B.for_ b ~from:(B.imm 0) ~to_:pdim (fun kk ->
+                           let x =
+                             B.load b ~size:4 (B.elem b ga (B.add b row kk))
+                           in
+                           let y =
+                             B.load b ~size:4
+                               (B.elem b gb (B.add b (B.mul b kk pdim) j))
+                           in
+                           B.assign b ~var:acc (B.fadd b acc (B.fmul b x y)));
+                       B.store b ~size:4
+                         ~addr:(B.elem b gc (B.add b (B.mul b i pdim) j))
+                         acc)));
+            let two_r = B.mul b r (B.imm 2) in
+            U.barrier b ~state:g_bar ~target:(B.add b two_r (B.imm 1));
+            (* Sparse phase. *)
+            let lo, hi = U.spmd_slice b ~total:prows in
+            B.for_ b ~from:lo ~to_:hi (fun i ->
+                let s = B.load b ~size:4 (B.elem b g_rp i) in
+                let e =
+                  B.load b ~size:4 (B.elem b g_rp (B.add b i (B.imm 1)))
+                in
+                let drow = B.mul b i pcols in
+                B.for_ b ~from:s ~to_:e (fun kk ->
+                    let j = B.load b ~size:4 (B.elem b g_cols kk) in
+                    let v = B.load b ~size:4 (B.elem b g_vals kk) in
+                    let d =
+                      B.load b ~size:4 (B.elem b g_dense (B.add b drow j))
+                    in
+                    B.store b ~size:4 ~addr:(B.elem b g_out kk)
+                      (B.fmul b v d)));
+            U.barrier b ~state:g_bar ~target:(B.add b two_r (B.imm 2)));
+        B.ret b ())
+  in
+  let expected_out =
+    Array.init nnz (fun k ->
+        let row = k / per_row in
+        sp.Datasets.values.(k)
+        *. dense.((row * cols) + sp.Datasets.shape.Datasets.cols.(k)))
+  in
+  let expected_c =
+    if accel then [||]
+    else
+      Array.init (dim * dim) (fun idx ->
+          let i = idx / dim and j = idx mod dim in
+          let acc = ref 0.0 in
+          for kk = 0 to dim - 1 do
+            acc := !acc +. (av.((i * dim) + kk) *. bv.((kk * dim) + j))
+          done;
+          !acc)
+  in
+  {
+    Runner.name = kernel;
+    program = prog;
+    kernel;
+    args =
+      [
+        Value.of_int dim; Value.of_int rows; Value.of_int cols;
+        Value.of_int reps;
+      ];
+    setup =
+      (fun it ->
+        U.write_floats it ga av;
+        U.write_floats it gb bv;
+        U.write_ints it g_rp sp.Datasets.shape.Datasets.row_ptr;
+        U.write_ints it g_cols sp.Datasets.shape.Datasets.cols;
+        U.write_floats it g_vals sp.Datasets.values;
+        U.write_floats it g_dense dense;
+        U.write_ints it g_bar [| 0; 0 |]);
+    check =
+      (fun it ->
+        Array.for_all2 U.approx_equal (U.read_floats it g_out nnz) expected_out
+        && (accel
+           || Array.for_all2 U.approx_equal
+                (U.read_floats it gc (dim * dim))
+                expected_c));
+  }

@@ -1,0 +1,16 @@
+(** The Sinkhorn-style alternating kernel of §VII-B as one real kernel:
+    [reps] rounds of a dense SGEMM phase followed by a sparse EWSD phase,
+    with spin barriers between phases (all tiles participate in both).
+    With [accel:true] the dense phase is off-loaded by tile 0 to the
+    ["gemm"] accelerator while the other tiles wait at the barrier. *)
+
+val instance :
+  ?seed:int ->
+  ?accel:bool ->
+  dim:int ->
+  rows:int ->
+  cols:int ->
+  per_row:int ->
+  reps:int ->
+  unit ->
+  Runner.t

@@ -1,0 +1,59 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let instance ?(seed = 7) ~rows ~cols ~per_row () =
+  let sp = Datasets.random_sparse ~seed ~rows ~cols ~per_row in
+  let nnz = Array.length sp.Datasets.shape.Datasets.cols in
+  let prog = Program.create () in
+  let g_rp = Program.alloc prog "row_ptr" ~elems:(rows + 1) ~elem_size:4 in
+  let g_cols = Program.alloc prog "cols" ~elems:nnz ~elem_size:4 in
+  let g_vals = Program.alloc prog "vals" ~elems:nnz ~elem_size:4 in
+  let g_x = Program.alloc prog "x" ~elems:cols ~elem_size:4 in
+  let g_y = Program.alloc prog "y" ~elems:rows ~elem_size:4 in
+  let _ =
+    B.define prog "spmv" ~nparams:1 (fun b ->
+        let nrows = B.param b 0 in
+        let lo, hi = U.spmd_slice b ~total:nrows in
+        B.for_ b ~from:lo ~to_:hi (fun i ->
+            let acc = B.var b (B.fimm 0.0) in
+            let row_start = B.load b ~size:4 (B.elem b g_rp i) in
+            let row_end =
+              B.load b ~size:4 (B.elem b g_rp (B.add b i (B.imm 1)))
+            in
+            B.for_ b ~from:row_start ~to_:row_end (fun kk ->
+                let c = B.load b ~size:4 (B.elem b g_cols kk) in
+                let v = B.load b ~size:4 (B.elem b g_vals kk) in
+                let xv = B.load b ~size:4 (B.elem b g_x c) in
+                B.assign b ~var:acc (B.fadd b acc (B.fmul b v xv)));
+            B.store b ~size:4 ~addr:(B.elem b g_y i) acc);
+        B.ret b ())
+  in
+  let xv = Datasets.random_floats ~seed:(seed + 2) cols in
+  let expected =
+    Array.init rows (fun i ->
+        let acc = ref 0.0 in
+        for k = sp.Datasets.shape.Datasets.row_ptr.(i)
+            to sp.Datasets.shape.Datasets.row_ptr.(i + 1) - 1 do
+          acc :=
+            !acc
+            +. (sp.Datasets.values.(k) *. xv.(sp.Datasets.shape.Datasets.cols.(k)))
+        done;
+        !acc)
+  in
+  {
+    Runner.name = "spmv";
+    program = prog;
+    kernel = "spmv";
+    args = [ Value.of_int rows ];
+    setup =
+      (fun it ->
+        U.write_ints it g_rp sp.Datasets.shape.Datasets.row_ptr;
+        U.write_ints it g_cols sp.Datasets.shape.Datasets.cols;
+        U.write_floats it g_vals sp.Datasets.values;
+        U.write_floats it g_x xv);
+    check =
+      (fun it ->
+        let got = U.read_floats it g_y rows in
+        Array.for_all2 U.approx_equal got expected);
+  }

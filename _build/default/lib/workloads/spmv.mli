@@ -1,0 +1,6 @@
+(** Parboil SPMV: sparse matrix-vector product, y = A x (CSR).
+    Bandwidth-bound with irregular gathers of x — the sublinear-scaling
+    example of Fig 9. SPMD over rows. *)
+
+val instance :
+  ?seed:int -> rows:int -> cols:int -> per_row:int -> unit -> Runner.t

@@ -1,0 +1,76 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let c0 = 0.5
+
+let c1 = 0.125
+
+let instance ?(seed = 11) ~h ~w () =
+  if h < 3 || w < 3 then invalid_arg "Stencil.instance: grid too small";
+  let prog = Program.create () in
+  let g_in = Program.alloc prog "grid_in" ~elems:(h * w) ~elem_size:4 in
+  let g_out = Program.alloc prog "grid_out" ~elems:(h * w) ~elem_size:4 in
+  let _ =
+    B.define prog "stencil" ~nparams:2 (fun b ->
+        let ph = B.param b 0 and pw = B.param b 1 in
+        let interior = B.sub b ph (B.imm 2) in
+        let lo, hi = U.spmd_slice b ~total:interior in
+        B.for_ b ~from:lo ~to_:hi (fun r ->
+            let i = B.add b r (B.imm 1) in
+            B.for_ b ~from:(B.imm 1) ~to_:(B.sub b pw (B.imm 1)) (fun j ->
+                let idx = B.add b (B.mul b i pw) j in
+                let center = B.load b ~size:4 (B.elem b g_in idx) in
+                let north =
+                  B.load b ~size:4 (B.elem b g_in (B.sub b idx pw))
+                in
+                let south =
+                  B.load b ~size:4 (B.elem b g_in (B.add b idx pw))
+                in
+                let west =
+                  B.load b ~size:4 (B.elem b g_in (B.sub b idx (B.imm 1)))
+                in
+                let east =
+                  B.load b ~size:4 (B.elem b g_in (B.add b idx (B.imm 1)))
+                in
+                let ring =
+                  B.fadd b (B.fadd b north south) (B.fadd b west east)
+                in
+                let value =
+                  B.fadd b
+                    (B.fmul b center (B.fimm c0))
+                    (B.fmul b ring (B.fimm c1))
+                in
+                B.store b ~size:4 ~addr:(B.elem b g_out idx) value));
+        B.ret b ())
+  in
+  let grid = Datasets.random_floats ~seed (h * w) in
+  let expected = Array.copy grid in
+  for i = 1 to h - 2 do
+    for j = 1 to w - 2 do
+      let idx = (i * w) + j in
+      expected.(idx) <-
+        (c0 *. grid.(idx))
+        +. (c1
+            *. (grid.(idx - w) +. grid.(idx + w) +. grid.(idx - 1)
+                +. grid.(idx + 1)))
+    done
+  done;
+  {
+    Runner.name = "stencil";
+    program = prog;
+    kernel = "stencil";
+    args = [ Value.of_int h; Value.of_int w ];
+    setup = (fun it -> U.write_floats it g_in grid);
+    check =
+      (fun it ->
+        let got = U.read_floats it g_out (h * w) in
+        let ok = ref true in
+        for i = 1 to h - 2 do
+          for j = 1 to w - 2 do
+            let idx = (i * w) + j in
+            if not (U.approx_equal got.(idx) expected.(idx)) then ok := false
+          done
+        done;
+        !ok);
+  }

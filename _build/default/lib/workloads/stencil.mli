@@ -1,0 +1,4 @@
+(** Parboil STENCIL: one Jacobi sweep of a 2D 5-point stencil over an
+    [h x w] grid. Streaming with spatial reuse. SPMD over interior rows. *)
+
+val instance : ?seed:int -> h:int -> w:int -> unit -> Runner.t

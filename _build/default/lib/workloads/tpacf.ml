@@ -1,0 +1,88 @@
+open Mosaic_ir
+module B = Builder
+module U = Kernel_util
+
+let normalize points n =
+  for i = 0 to n - 1 do
+    let x = points.(3 * i) -. 0.5
+    and y = points.((3 * i) + 1) -. 0.5
+    and z = points.((3 * i) + 2) -. 0.5 in
+    let r = sqrt ((x *. x) +. (y *. y) +. (z *. z)) in
+    let r = if r < 1e-9 then 1.0 else r in
+    points.(3 * i) <- x /. r;
+    points.((3 * i) + 1) <- y /. r;
+    points.((3 * i) + 2) <- z /. r
+  done
+
+let edges_of bins = Array.init bins (fun i -> -1.0 +. (2.0 *. float_of_int (i + 1) /. float_of_int bins))
+
+let instance ?(seed = 31) ~points:npts ~bins () =
+  let prog = Program.create () in
+  let g_p = Program.alloc prog "pts" ~elems:(3 * npts) ~elem_size:4 in
+  let g_edges = Program.alloc prog "edges" ~elems:bins ~elem_size:4 in
+  let g_hist = Program.alloc prog "hist" ~elems:(bins + 1) ~elem_size:4 in
+  let _ =
+    B.define prog "tpacf" ~nparams:2 (fun b ->
+        let n = B.param b 0 and nbins = B.param b 1 in
+        let lo, hi = U.spmd_slice b ~total:n in
+        B.for_ b ~from:lo ~to_:hi (fun i ->
+            let ib = B.mul b i (B.imm 3) in
+            let xi = B.load b ~size:4 (B.elem b g_p ib) in
+            let yi = B.load b ~size:4 (B.elem b g_p (B.add b ib (B.imm 1))) in
+            let zi = B.load b ~size:4 (B.elem b g_p (B.add b ib (B.imm 2))) in
+            B.for_ b ~from:(B.add b i (B.imm 1)) ~to_:n (fun j ->
+                let jb = B.mul b j (B.imm 3) in
+                let xj = B.load b ~size:4 (B.elem b g_p jb) in
+                let yj =
+                  B.load b ~size:4 (B.elem b g_p (B.add b jb (B.imm 1)))
+                in
+                let zj =
+                  B.load b ~size:4 (B.elem b g_p (B.add b jb (B.imm 2)))
+                in
+                let dot =
+                  B.fadd b
+                    (B.fadd b (B.fmul b xi xj) (B.fmul b yi yj))
+                    (B.fmul b zi zj)
+                in
+                (* Linear scan over bin edges, as Parboil does over its
+                   precomputed bin boundaries. *)
+                let bin = B.var b (B.imm 0) in
+                B.for_ b ~from:(B.imm 0) ~to_:nbins (fun e ->
+                    let edge = B.load b ~size:4 (B.elem b g_edges e) in
+                    let above = B.fcmp b Op.Ge dot edge in
+                    B.assign b ~var:bin (B.add b bin (B.select b above (B.imm 1) (B.imm 0))));
+                ignore
+                  (B.atomic b Op.Rmw_add ~size:4 ~addr:(B.elem b g_hist bin)
+                     (B.imm 1))));
+        B.ret b ())
+  in
+  let pts = Datasets.random_points ~seed npts in
+  normalize pts npts;
+  let edges = edges_of bins in
+  let expected = Array.make (bins + 1) 0 in
+  for i = 0 to npts - 1 do
+    for j = i + 1 to npts - 1 do
+      let dot =
+        (pts.(3 * i) *. pts.(3 * j))
+        +. (pts.((3 * i) + 1) *. pts.((3 * j) + 1))
+        +. (pts.((3 * i) + 2) *. pts.((3 * j) + 2))
+      in
+      let bin = ref 0 in
+      Array.iter (fun e -> if dot >= e then incr bin) edges;
+      expected.(!bin) <- expected.(!bin) + 1
+    done
+  done;
+  {
+    Runner.name = "tpacf";
+    program = prog;
+    kernel = "tpacf";
+    args = [ Value.of_int npts; Value.of_int bins ];
+    setup =
+      (fun it ->
+        U.write_floats it g_p pts;
+        U.write_floats it g_edges edges);
+    check =
+      (fun it ->
+        let got = U.read_ints it g_hist (bins + 1) in
+        got = expected);
+  }

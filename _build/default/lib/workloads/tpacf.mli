@@ -1,0 +1,7 @@
+(** Parboil TPACF: two-point angular correlation function. All-pairs dot
+    products of unit vectors binned into an angular histogram via a linear
+    scan of bin edges — mixed FP compute, branches and atomic histogram
+    updates; the benchmark with the largest over-estimate in Fig 5. SPMD
+    over points. *)
+
+val instance : ?seed:int -> points:int -> bins:int -> unit -> Runner.t

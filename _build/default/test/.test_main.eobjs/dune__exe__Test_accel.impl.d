@@ -1,0 +1,1 @@
+test/test_accel.ml: Alcotest Float List Mosaic_accel Mosaic_ir Value

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Builder List Mosaic_ir Mosaic_trace Mosaic_util Mosaic_workloads Program QCheck QCheck_alcotest

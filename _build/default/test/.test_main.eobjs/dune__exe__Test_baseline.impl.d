@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest List Mosaic Mosaic_baseline Mosaic_tile Mosaic_trace Mosaic_workloads

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Array Builder Float Func Instr List Mosaic_compiler Mosaic_ir Mosaic_trace Op Program Validate Value

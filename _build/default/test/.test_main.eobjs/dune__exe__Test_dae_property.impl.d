@@ -1,0 +1,1 @@
+test/test_dae_property.ml: Array Builder Float Mosaic_compiler Mosaic_ir Mosaic_trace Op Printf Program QCheck QCheck_alcotest Validate Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Builder Bytes Instr List Mosaic Mosaic_ir Mosaic_tile Mosaic_trace Mosaic_workloads Op Program QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Builder Func Instr Int64 Mosaic_ir Mosaic_trace Op Program QCheck QCheck_alcotest Stdlib Value

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Eval Format Func Instr List Mosaic_ir Op Pretty Printf Program String Validate Value

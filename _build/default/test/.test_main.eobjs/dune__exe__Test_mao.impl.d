@@ -1,0 +1,1 @@
+test/test_mao.ml: Alcotest List Mosaic_tile QCheck QCheck_alcotest

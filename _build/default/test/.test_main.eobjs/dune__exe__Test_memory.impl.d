@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array List Mosaic_memory Mosaic_util QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Float Int64 Mosaic Mosaic_frontend Mosaic_ir Mosaic_tile Mosaic_trace Printf Program QCheck QCheck_alcotest Value

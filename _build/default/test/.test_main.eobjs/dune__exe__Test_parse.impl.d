@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Array Builder Format Func Mosaic_ir Mosaic_trace Mosaic_workloads Op Parse Pretty Program Value

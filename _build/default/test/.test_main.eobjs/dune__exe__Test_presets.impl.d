@@ -1,0 +1,1 @@
+test/test_presets.ml: Alcotest Float List Mosaic Mosaic_memory Mosaic_tile Option String

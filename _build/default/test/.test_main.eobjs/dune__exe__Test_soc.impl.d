@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Array Float List Mosaic Mosaic_baseline Mosaic_memory Mosaic_tile Mosaic_trace Mosaic_workloads Printf String

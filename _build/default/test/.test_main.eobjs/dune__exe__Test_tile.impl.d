@@ -1,0 +1,1 @@
+test/test_tile.ml: Alcotest Array Builder Mosaic Mosaic_ir Mosaic_tile Mosaic_trace Mosaic_workloads Op Program

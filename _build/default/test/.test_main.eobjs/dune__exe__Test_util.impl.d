@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bounded_queue Float Fun Gen Int_vec List Mosaic_util Option Pqueue QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Mosaic Mosaic_memory Mosaic_tile Mosaic_workloads Printf

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Filename Fun List Mosaic_compiler Mosaic_ir Mosaic_trace Mosaic_workloads Printf Sys

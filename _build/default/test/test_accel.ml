@@ -1,0 +1,199 @@
+(* Tests for accelerator models: analytic model, RTL/FPGA goldens, kinds,
+   design-space exploration. *)
+
+module Model = Mosaic_accel.Accel_model
+module Rtl = Mosaic_accel.Accel_rtl
+module Kinds = Mosaic_accel.Accel_kinds
+module Dse = Mosaic_accel.Dse
+open Mosaic_ir
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let sys = Model.default_sys
+let dp = { Model.plm_bytes = 64 * 1024; par_lanes = 8 }
+
+let w ~ops ~bytes_in ~bytes_out = { Model.ops; bytes_in; bytes_out }
+
+(* --- analytic model --- *)
+
+let test_model_monotonic_in_work () =
+  let small = Model.estimate sys dp (w ~ops:1000 ~bytes_in:4096 ~bytes_out:4096) in
+  let big = Model.estimate sys dp (w ~ops:100_000 ~bytes_in:409_600 ~bytes_out:409_600) in
+  checkb "more work, more cycles" true (big.Model.cycles > small.Model.cycles);
+  checkb "more bytes" true (big.Model.bytes > small.Model.bytes)
+
+let test_model_lanes_help_compute_bound () =
+  let compute = w ~ops:1_000_000 ~bytes_in:4096 ~bytes_out:0 in
+  let slow = Model.estimate sys { dp with Model.par_lanes = 2 } compute in
+  let fast = Model.estimate sys { dp with Model.par_lanes = 32 } compute in
+  checkb "lanes speed compute-bound work" true
+    (fast.Model.cycles * 4 < slow.Model.cycles)
+
+let test_model_bandwidth_bounds_streaming () =
+  let streaming = w ~ops:100 ~bytes_in:1_000_000 ~bytes_out:0 in
+  let est = Model.estimate sys dp streaming in
+  let floor =
+    int_of_float (1_000_000.0 /. sys.Model.mem_bw_bytes_per_cycle)
+  in
+  checkb "cannot beat the memory bandwidth" true (est.Model.cycles >= floor)
+
+let test_model_plm_reduces_overheads () =
+  let work = w ~ops:10_000 ~bytes_in:1_000_000 ~bytes_out:0 in
+  let tiny = Model.estimate sys { dp with Model.plm_bytes = 4096 } work in
+  let big = Model.estimate sys { dp with Model.plm_bytes = 256 * 1024 } work in
+  checkb "bigger PLM, fewer chunk overheads" true (big.Model.cycles <= tiny.Model.cycles)
+
+let test_model_energy_power () =
+  let est = Model.estimate sys dp (w ~ops:10_000 ~bytes_in:65536 ~bytes_out:0) in
+  checkb "power positive" true (est.Model.avg_power_w > 0.0);
+  checkb "energy = power * time" true
+    (Float.abs
+       (est.Model.energy_j
+       -. (est.Model.avg_power_w *. (float_of_int est.Model.cycles /. (sys.Model.freq_ghz *. 1e9))))
+    < 1e-12)
+
+let test_model_area_monotonic () =
+  checkb "plm adds area" true
+    (Model.area_um2 { dp with Model.plm_bytes = 256 * 1024 }
+    > Model.area_um2 { dp with Model.plm_bytes = 4096 });
+  checkb "lanes add area" true
+    (Model.area_um2 { dp with Model.par_lanes = 32 }
+    > Model.area_um2 { dp with Model.par_lanes = 2 })
+
+let test_model_rejects_empty () =
+  Alcotest.check_raises "empty workload"
+    (Invalid_argument "Accel_model.estimate: empty workload") (fun () ->
+      ignore (Model.estimate sys dp (w ~ops:0 ~bytes_in:0 ~bytes_out:0)))
+
+let test_chunks () =
+  checki "double-buffered chunks" 4
+    (Model.chunks { dp with Model.plm_bytes = 8192 } (w ~ops:1 ~bytes_in:16384 ~bytes_out:0));
+  checki "at least one" 1 (Model.chunks dp (w ~ops:1 ~bytes_in:1 ~bytes_out:0))
+
+(* --- goldens --- *)
+
+let typical = w ~ops:500_000 ~bytes_in:1_000_000 ~bytes_out:250_000
+
+let test_rtl_close_to_model () =
+  let est = Model.estimate sys dp typical in
+  let rtl = Rtl.rtl_cycles sys dp typical in
+  let acc = Dse.accuracy ~model:est.Model.cycles ~golden:rtl in
+  checkb "model within 10% of RTL" true (acc > 0.9)
+
+let test_fpga_slower_than_rtl () =
+  let rtl = Rtl.rtl_cycles sys dp typical in
+  let fpga = Rtl.fpga_cycles sys dp typical in
+  checkb "fpga adds overheads" true (fpga > rtl)
+
+let test_accuracy_helper () =
+  Alcotest.(check (float 1e-9)) "symmetric" (Dse.accuracy ~model:90 ~golden:100)
+    (Dse.accuracy ~model:100 ~golden:90);
+  Alcotest.(check (float 1e-9)) "perfect" 1.0 (Dse.accuracy ~model:5 ~golden:5);
+  Alcotest.check_raises "zero" (Invalid_argument "Dse.accuracy") (fun () ->
+      ignore (Dse.accuracy ~model:0 ~golden:5))
+
+(* --- kinds --- *)
+
+let vi n = Value.of_int n
+
+let test_kind_workloads () =
+  let gemm = Kinds.workload "gemm" [| vi 16; vi 16; vi 16 |] in
+  checki "gemm ops" (16 * 16 * 16) gemm.Model.ops;
+  checki "gemm bytes out" (4 * 16 * 16) gemm.Model.bytes_out;
+  let conv = Kinds.workload "conv" [| vi 3; vi 8; vi 10; vi 10; vi 3 |] in
+  checki "conv ops" (10 * 10 * 8 * 3 * 3 * 3) conv.Model.ops;
+  let ew = Kinds.workload "elementwise" [| vi 100 |] in
+  checki "elementwise reads two operands" 800 ew.Model.bytes_in
+
+let test_kind_errors () =
+  checkb "unknown kind" true
+    (try
+       ignore (Kinds.workload "warp-drive" [| vi 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  checkb "missing params" true
+    (try
+       ignore (Kinds.workload "gemm" [| vi 4 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_kind_list_covers_registry () =
+  List.iter
+    (fun k ->
+      let wl = Kinds.workload k [| vi 8; vi 8; vi 8; vi 8; vi 3 |] in
+      checkb (k ^ " nonempty") true (wl.Model.ops > 0))
+    Kinds.known_kinds
+
+(* --- DSE --- *)
+
+let test_dse_sweep_shape () =
+  let pts =
+    Dse.sweep ~kind:"gemm" ~plm_sizes:Dse.paper_plm_sizes
+      ~workload_bytes:Dse.paper_workload_bytes sys
+  in
+  checki "4x4 grid" 16 (List.length pts);
+  List.iter
+    (fun (pt : Dse.point) ->
+      checkb "cycles positive" true (pt.Dse.model_cycles > 0);
+      checkb "area positive" true (pt.Dse.area_um2 > 0.0))
+    pts
+
+let test_dse_accuracy_bands () =
+  List.iter
+    (fun kind ->
+      let pts =
+        Dse.sweep ~kind ~plm_sizes:Dse.paper_plm_sizes
+          ~workload_bytes:Dse.paper_workload_bytes sys
+      in
+      let vs_rtl, vs_fpga = Dse.mean_accuracy pts in
+      checkb (kind ^ ": rtl accuracy high") true (vs_rtl > 0.9);
+      checkb (kind ^ ": fpga accuracy lower than rtl") true (vs_fpga < vs_rtl);
+      checkb (kind ^ ": fpga accuracy still decent") true (vs_fpga > 0.75))
+    [ "gemm"; "histo"; "elementwise" ]
+
+let test_dse_gemm_blocking () =
+  (* Bigger PLM means better blocking for GEMM: fewer cycles at a fixed
+     workload. *)
+  let pts =
+    Dse.sweep ~kind:"gemm" ~plm_sizes:[ 4 * 1024; 256 * 1024 ]
+      ~workload_bytes:[ 4 * 1024 * 1024 ] sys
+  in
+  match pts with
+  | [ small; big ] ->
+      checkb "256KB PLM beats 4KB on 4MB gemm" true
+        (big.Dse.model_cycles < small.Dse.model_cycles)
+  | _ -> Alcotest.fail "expected two points"
+
+let suite =
+  [
+    ( "accel.model",
+      [
+        Alcotest.test_case "monotonic in work" `Quick test_model_monotonic_in_work;
+        Alcotest.test_case "lanes help compute" `Quick test_model_lanes_help_compute_bound;
+        Alcotest.test_case "bandwidth floor" `Quick test_model_bandwidth_bounds_streaming;
+        Alcotest.test_case "PLM amortizes overheads" `Quick test_model_plm_reduces_overheads;
+        Alcotest.test_case "energy and power" `Quick test_model_energy_power;
+        Alcotest.test_case "area monotonic" `Quick test_model_area_monotonic;
+        Alcotest.test_case "rejects empty work" `Quick test_model_rejects_empty;
+        Alcotest.test_case "chunking" `Quick test_chunks;
+      ] );
+    ( "accel.goldens",
+      [
+        Alcotest.test_case "model vs RTL" `Quick test_rtl_close_to_model;
+        Alcotest.test_case "FPGA overheads" `Quick test_fpga_slower_than_rtl;
+        Alcotest.test_case "accuracy helper" `Quick test_accuracy_helper;
+      ] );
+    ( "accel.kinds",
+      [
+        Alcotest.test_case "workload mapping" `Quick test_kind_workloads;
+        Alcotest.test_case "errors" `Quick test_kind_errors;
+        Alcotest.test_case "registry coverage" `Quick test_kind_list_covers_registry;
+      ] );
+    ( "accel.dse",
+      [
+        Alcotest.test_case "sweep shape" `Quick test_dse_sweep_shape;
+        Alcotest.test_case "accuracy bands" `Quick test_dse_accuracy_bands;
+        Alcotest.test_case "gemm blocking" `Quick test_dse_gemm_blocking;
+      ] );
+  ]

@@ -1,0 +1,115 @@
+(* Tests for the Fenwick tree and trace-based characterization. *)
+
+open Mosaic_ir
+module B = Builder
+module Fenwick = Mosaic_util.Fenwick
+module Analysis = Mosaic_trace.Analysis
+module W = Mosaic_workloads
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_fenwick_basics () =
+  let t = Fenwick.create 10 in
+  Fenwick.add t 0 3;
+  Fenwick.add t 4 5;
+  Fenwick.add t 9 2;
+  checki "prefix 0" 3 (Fenwick.prefix_sum t 0);
+  checki "prefix 4" 8 (Fenwick.prefix_sum t 4);
+  checki "prefix all" 10 (Fenwick.prefix_sum t 9);
+  checki "range" 5 (Fenwick.range_sum t ~lo:1 ~hi:5);
+  checki "empty range" 0 (Fenwick.range_sum t ~lo:5 ~hi:3);
+  Fenwick.add t 4 (-5);
+  checki "after removal" 3 (Fenwick.prefix_sum t 8);
+  Alcotest.check_raises "bounds" (Invalid_argument "Fenwick.add: out of bounds")
+    (fun () -> Fenwick.add t 10 1)
+
+let prop_fenwick_matches_array =
+  QCheck.Test.make ~name:"fenwick prefix sums match a plain array" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (pair (int_range 0 19) (int_range (-5) 5)))
+    (fun ops ->
+      let t = Fenwick.create 20 in
+      let arr = Array.make 20 0 in
+      List.iter
+        (fun (i, d) ->
+          Fenwick.add t i d;
+          arr.(i) <- arr.(i) + d)
+        ops;
+      List.for_all
+        (fun i ->
+          let expected = Array.fold_left ( + ) 0 (Array.sub arr 0 (i + 1)) in
+          Fenwick.prefix_sum t i = expected)
+        [ 0; 5; 10; 19 ])
+
+(* A kernel that touches [n] distinct lines then re-touches them in order:
+   every reuse distance equals the footprint. *)
+let sweep_instance n sweeps =
+  let prog = Program.create () in
+  let arr = Program.alloc prog "arr" ~elems:(n * 16) ~elem_size:4 in
+  let _ =
+    B.define prog "sweep" ~nparams:0 (fun b ->
+        B.for_ b ~from:(B.imm 0) ~to_:(B.imm sweeps) (fun _ ->
+            B.for_ b ~from:(B.imm 0) ~to_:(B.imm n) (fun i ->
+                ignore (B.load b ~size:4 (B.elem b arr (B.mul b i (B.imm 16))))));
+        B.ret b ())
+  in
+  let it = Mosaic_trace.Interp.create prog ~kernel:"sweep" ~ntiles:1 ~args:[] in
+  (prog, Mosaic_trace.Interp.run it)
+
+let test_analysis_footprint_and_cold () =
+  let prog, trace = sweep_instance 64 1 in
+  let a = Analysis.whole prog trace in
+  checki "footprint" 64 a.Analysis.footprint_lines;
+  checki "all accesses cold on one sweep" 64
+    (List.assoc max_int a.Analysis.reuse_hist);
+  checki "mem accesses" 64 a.Analysis.mem_accesses
+
+let test_analysis_reuse_distances () =
+  let prog, trace = sweep_instance 64 3 in
+  let a = Analysis.whole prog trace in
+  checki "footprint stable" 64 a.Analysis.footprint_lines;
+  checki "64 cold + 128 reuses" 192 a.Analysis.mem_accesses;
+  (* Reuse distance of a cyclic sweep over 64 lines is 63: bucket <=64. *)
+  checki "reuses land in the 64-line bucket" 128
+    (List.assoc 64 a.Analysis.reuse_hist);
+  (* Capacity model: a 64-line cache captures the reuses, a 32-line one
+     does not. *)
+  checkb "hits at 64 lines" true
+    (Analysis.capacity_hit_rate a ~lines:64 > 0.6);
+  checkb "thrashes at 32 lines" true
+    (Analysis.capacity_hit_rate a ~lines:32 < 0.01)
+
+let test_analysis_stride_regularity () =
+  let prog, trace = sweep_instance 64 2 in
+  let a = Analysis.whole prog trace in
+  checkb "sequential sweep is regular" true (a.Analysis.stride_regular > 0.9);
+  let inst = W.Registry.instance "tpacf" in
+  let t2 = W.Runner.trace inst ~ntiles:1 in
+  let a2 = Analysis.whole inst.W.Runner.program t2 in
+  checkb "characterization runs on real kernels" true
+    (a2.Analysis.mem_ratio > 0.0)
+
+let test_analysis_orders_benchmarks () =
+  (* Streaming stencil must look far more prefetcher-friendly than the
+     pointer-chasing projection kernel. *)
+  let regularity name =
+    let inst = W.Registry.instance name in
+    let trace = W.Runner.trace inst ~ntiles:1 in
+    (Analysis.whole inst.W.Runner.program trace).Analysis.stride_regular
+  in
+  checkb "stencil more regular than projection" true
+    (regularity "stencil" > regularity "projection")
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "fenwick basics" `Quick test_fenwick_basics;
+        QCheck_alcotest.to_alcotest prop_fenwick_matches_array;
+        Alcotest.test_case "footprint and cold misses" `Quick
+          test_analysis_footprint_and_cold;
+        Alcotest.test_case "reuse distances" `Quick test_analysis_reuse_distances;
+        Alcotest.test_case "stride regularity" `Quick test_analysis_stride_regularity;
+        Alcotest.test_case "orders benchmarks" `Slow test_analysis_orders_benchmarks;
+      ] );
+  ]

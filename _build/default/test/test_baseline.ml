@@ -1,0 +1,92 @@
+(* Tests for the x86 reference model. *)
+
+module X86 = Mosaic_baseline.X86_model
+module W = Mosaic_workloads
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let run_x86 ?config name ~ntiles =
+  let inst = W.Registry.instance name in
+  let trace = W.Runner.trace inst ~ntiles in
+  X86.run ?config ~program:inst.W.Runner.program ~trace
+    ~hierarchy:Mosaic.Presets.xeon_hierarchy ()
+
+let test_determinism () =
+  let a = run_x86 "stencil" ~ntiles:1 in
+  let b = run_x86 "stencil" ~ntiles:1 in
+  checki "same cycles" a.X86.cycles b.X86.cycles
+
+let test_fusion_reduces_instrs () =
+  let inst = W.Registry.instance "stencil" in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let r =
+    X86.run ~program:inst.W.Runner.program ~trace
+      ~hierarchy:Mosaic.Presets.xeon_hierarchy ()
+  in
+  checkb "x86 count below IR count" true
+    (r.X86.x86_instrs < Mosaic_trace.Trace.total_dyn_instrs trace);
+  checkb "but most instructions remain" true
+    (2 * r.X86.x86_instrs > Mosaic_trace.Trace.total_dyn_instrs trace)
+
+let test_threads_speed_up () =
+  let one = run_x86 "sgemm" ~ntiles:1 in
+  let four = run_x86 "sgemm" ~ntiles:4 in
+  checkb "parallel speedup" true (4 * four.X86.cycles < 2 * one.X86.cycles)
+
+let test_atomics_limit_scaling () =
+  (* BFS is atomic-heavy: the lock serialization must flatten scaling well
+     below linear at 8 threads. *)
+  let one = run_x86 "bfs" ~ntiles:1 in
+  let eight = run_x86 "bfs" ~ntiles:8 in
+  let speedup = float_of_int one.X86.cycles /. float_of_int eight.X86.cycles in
+  checkb "sublinear atomic-bound scaling" true (speedup < 6.0)
+
+let test_math_is_expensive () =
+  (* mri-q is dominated by sin/cos; doubling the math cost should move
+     total time substantially. *)
+  let base = run_x86 "mri-q" ~ntiles:1 in
+  let pricey =
+    run_x86 "mri-q" ~ntiles:1
+      ~config:{ X86.default_config with X86.math_cycles = 2.0 *. X86.default_config.X86.math_cycles }
+  in
+  checkb "math dominates mri-q" true
+    (float_of_int pricey.X86.cycles > 1.5 *. float_of_int base.X86.cycles)
+
+let test_mosaic_vs_x86_band () =
+  (* The headline accuracy property: across the suite the factor stays in a
+     sane band and the geomean is near 1. Uses three representative
+     benchmarks to stay fast. *)
+  let factors =
+    List.map
+      (fun name ->
+        let inst = W.Registry.instance name in
+        let trace = W.Runner.trace inst ~ntiles:1 in
+        let m =
+          Mosaic.Soc.run_homogeneous Mosaic.Presets.xeon_soc
+            ~program:inst.W.Runner.program ~trace
+            ~tile_config:Mosaic_tile.Tile_config.out_of_order
+        in
+        let x =
+          X86.run ~program:inst.W.Runner.program ~trace
+            ~hierarchy:Mosaic.Presets.xeon_hierarchy ()
+        in
+        float_of_int m.Mosaic.Soc.cycles /. float_of_int x.X86.cycles)
+      [ "sgemm"; "spmv"; "stencil" ]
+  in
+  List.iter
+    (fun f -> checkb "factor within band" true (f > 0.3 && f < 3.5))
+    factors
+
+let suite =
+  [
+    ( "baseline.x86",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "ISA fusion" `Quick test_fusion_reduces_instrs;
+        Alcotest.test_case "thread scaling" `Quick test_threads_speed_up;
+        Alcotest.test_case "atomic serialization" `Quick test_atomics_limit_scaling;
+        Alcotest.test_case "math cost" `Quick test_math_is_expensive;
+        Alcotest.test_case "accuracy band" `Quick test_mosaic_vs_x86_band;
+      ] );
+  ]

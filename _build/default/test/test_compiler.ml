@@ -1,0 +1,395 @@
+(* Tests for the compiler: DDG, optimization passes, DAE slicing. *)
+
+open Mosaic_ir
+module B = Builder
+module Ddg = Mosaic_compiler.Ddg
+module Passes = Mosaic_compiler.Passes
+module Dae = Mosaic_compiler.Dae
+module Rewrite = Mosaic_compiler.Rewrite
+module Interp = Mosaic_trace.Interp
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- DDG --- *)
+
+let test_ddg_intra_edges () =
+  let p = Program.create () in
+  let f =
+    B.define p "chain" ~nparams:1 (fun b ->
+        let x = B.param b 0 in
+        let a = B.add b x (B.imm 1) in
+        let c = B.mul b a a in
+        let _ = B.sub b c x in
+        B.ret b ())
+  in
+  let ddg = Ddg.build f in
+  (* instr 0 = add (param use only), 1 = mul (uses add), 2 = sub (uses mul),
+     3 = ret *)
+  checki "add has no intra parents" 0 (Array.length ddg.Ddg.deps.(0).Ddg.intra);
+  Alcotest.(check (array int)) "mul depends on add" [| 0 |] ddg.Ddg.deps.(1).Ddg.intra;
+  Alcotest.(check (array int)) "sub depends on mul" [| 1 |] ddg.Ddg.deps.(2).Ddg.intra;
+  checki "edge count" 2 (Ddg.edge_count ddg)
+
+let test_ddg_extern_regs () =
+  let p = Program.create () in
+  let f =
+    B.define p "crossbb" ~nparams:0 (fun b ->
+        let v = B.var b (B.imm 3) in
+        B.if_ b (B.icmp b Op.Ge v (B.imm 0)) (fun () ->
+            (* reads v, defined in the previous block *)
+            B.assign b ~var:v (B.add b v (B.imm 1)));
+        B.ret b ())
+  in
+  let ddg = Ddg.build f in
+  (* find the add in the then-block: it reads v externally *)
+  let found = ref false in
+  Array.iter
+    (fun (blk : Func.block) ->
+      Array.iter
+        (fun (i : Instr.t) ->
+          match i.Instr.op with
+          | Op.Binop Op.Add
+            when Array.length ddg.Ddg.deps.(i.Instr.id).Ddg.extern_regs > 0 ->
+              found := true
+          | _ -> ())
+        blk.Func.instrs)
+    f.Func.blocks;
+  checkb "cross-block dependence is extern" true !found
+
+let test_ddg_params_not_extern () =
+  let p = Program.create () in
+  let f =
+    B.define p "params" ~nparams:2 (fun b ->
+        let _ = B.add b (B.param b 0) (B.param b 1) in
+        B.ret b ())
+  in
+  let ddg = Ddg.build f in
+  checki "params are always available" 0
+    (Array.length ddg.Ddg.deps.(0).Ddg.extern_regs)
+
+let test_ddg_class_histogram () =
+  let p = Program.create () in
+  let g = Program.alloc p "g" ~elems:4 ~elem_size:4 in
+  let f =
+    B.define p "histo" ~nparams:0 (fun b ->
+        let v = B.load b ~size:4 (B.elem b g (B.imm 0)) in
+        B.store b ~size:4 ~addr:(B.elem b g (B.imm 1)) v;
+        B.ret b ())
+  in
+  let h = Ddg.class_histogram (Ddg.build f) in
+  checki "one load" 1 (List.assoc Op.C_load h);
+  checki "one store" 1 (List.assoc Op.C_store h);
+  checki "two geps" 2 (List.assoc Op.C_agu h)
+
+(* --- Rewrite helpers --- *)
+
+let test_def_use_counts () =
+  let p = Program.create () in
+  let f =
+    B.define p "counts" ~nparams:1 (fun b ->
+        let x = B.param b 0 in
+        let a = B.add b x x in
+        let _ = B.mul b a (B.imm 2) in
+        B.ret b ())
+  in
+  let defs = Rewrite.def_counts f and uses = Rewrite.use_counts f in
+  checki "param used twice" 2 uses.(0);
+  checki "a defined once" 1 defs.(1);
+  checki "a used once" 1 uses.(1)
+
+(* --- Passes --- *)
+
+let count_class f cls =
+  Array.fold_left
+    (fun acc (b : Func.block) ->
+      Array.fold_left
+        (fun acc (i : Instr.t) ->
+          if Op.classify i.Instr.op = cls then acc + 1 else acc)
+        acc b.Func.instrs)
+    0 f.Func.blocks
+
+let test_constant_fold () =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:1 ~elem_size:8 in
+  let f =
+    B.define p "cf" ~nparams:0 (fun b ->
+        let c = B.add b (B.imm 2) (B.imm 3) in
+        let d = B.mul b c (B.imm 4) in
+        B.store b ~addr:(B.elem b out (B.imm 0)) d;
+        B.ret b ())
+  in
+  let f' = Passes.optimize f in
+  checkb "shrank" true (Passes.size f' < Passes.size f);
+  (* semantics preserved *)
+  let p2 = Program.create () in
+  let _ = Program.alloc p2 "out" ~elems:1 ~elem_size:8 in
+  Program.add_func p2 f';
+  let it = Interp.create p2 ~kernel:"cf" ~ntiles:1 ~args:[] in
+  let _ = Interp.run it in
+  checki "still 20" 20
+    (Value.to_int (Interp.peek it (Program.global_exn p2 "out").Program.base))
+
+let test_dce () =
+  let p = Program.create () in
+  let f =
+    B.define p "dead" ~nparams:1 (fun b ->
+        let _ = B.add b (B.param b 0) (B.imm 1) in
+        let _ = B.mul b (B.param b 0) (B.imm 2) in
+        B.ret b ())
+  in
+  let f' = Passes.dead_code_elim f in
+  checki "all dead removed" 1 (Passes.size f')
+
+let test_dce_keeps_effects () =
+  let p = Program.create () in
+  let g = Program.alloc p "g" ~elems:1 ~elem_size:8 in
+  let f =
+    B.define p "effects" ~nparams:0 (fun b ->
+        B.store b ~addr:(B.elem b g (B.imm 0)) (B.imm 1);
+        B.ret b ())
+  in
+  let f' = Passes.dead_code_elim f in
+  checki "stores kept" (Passes.size f) (Passes.size f')
+
+let test_optimize_preserves_loop_semantics () =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:1 ~elem_size:8 in
+  let f =
+    B.define p "k" ~nparams:1 (fun b ->
+        let acc = B.var b (B.imm 0) in
+        B.for_ b ~from:(B.imm 0) ~to_:(B.param b 0) (fun i ->
+            (* foldable subexpression inside the loop *)
+            let three = B.add b (B.imm 1) (B.imm 2) in
+            B.assign b ~var:acc (B.add b acc (B.mul b i three)));
+        B.store b ~addr:(B.elem b out (B.imm 0)) acc;
+        B.ret b ())
+  in
+  let f' = Passes.optimize f in
+  checkb "folded something" true (Passes.size f' < Passes.size f);
+  let p2 = Program.create () in
+  let out2 = Program.alloc p2 "out" ~elems:1 ~elem_size:8 in
+  Program.add_func p2 f';
+  let it = Interp.create p2 ~kernel:"k" ~ntiles:1 ~args:[ Value.of_int 5 ] in
+  let _ = Interp.run it in
+  (* sum of 3i for i<5 = 30 *)
+  checki "sum preserved" 30 (Value.to_int (Interp.peek it out2.Program.base))
+
+(* --- CSE --- *)
+
+let test_cse_removes_duplicates () =
+  let p = Program.create () in
+  let g = Program.alloc p "g" ~elems:8 ~elem_size:4 in
+  let f =
+    B.define p "dup" ~nparams:1 (fun b ->
+        let i = B.param b 0 in
+        (* two identical address computations *)
+        let a1 = B.elem b g i in
+        let v = B.load b ~size:4 a1 in
+        let a2 = B.elem b g i in
+        B.store b ~size:4 ~addr:a2 (B.fadd b v (B.fimm 1.0));
+        B.ret b ())
+  in
+  let f' = Passes.common_subexpr_elim f in
+  checkb "one gep eliminated" true (Passes.size f' < Passes.size f);
+  checki "exactly one" (Passes.size f - 1) (Passes.size f')
+
+let test_cse_respects_redefinition () =
+  let p = Program.create () in
+  let f =
+    B.define p "redef" ~nparams:1 (fun b ->
+        let x = B.var b (B.param b 0) in
+        let a = B.add b x (B.imm 1) in
+        B.assign b ~var:x (B.imm 9);
+        (* same textual expression but x changed: must NOT be reused *)
+        let bv = B.add b x (B.imm 1) in
+        let _ = B.mul b a bv in
+        B.ret b ())
+  in
+  let f' = Passes.common_subexpr_elim f in
+  checki "nothing eliminated" (Passes.size f) (Passes.size f')
+
+let test_cse_preserves_semantics () =
+  let p = Program.create () in
+  let g = Program.alloc p "g" ~elems:8 ~elem_size:8 in
+  let f =
+    B.define p "k" ~nparams:1 (fun b ->
+        let i = B.param b 0 in
+        let a1 = B.elem b g i in
+        let a2 = B.elem b g i in
+        let v1 = B.load b a1 in
+        B.store b ~addr:a2 (B.add b v1 (B.imm 5));
+        B.ret b ())
+  in
+  let f' = Passes.common_subexpr_elim f in
+  let p2 = Program.create () in
+  let g2 = Program.alloc p2 "g" ~elems:8 ~elem_size:8 in
+  Program.add_func p2 f';
+  let it = Interp.create p2 ~kernel:"k" ~ntiles:1 ~args:[ Value.of_int 3 ] in
+  Interp.poke_global it g2 3 (Value.of_int 10);
+  let _ = Interp.run it in
+  checki "in-place add" 15 (Value.to_int (Interp.peek_global it g2 3))
+
+(* --- DAE slicing --- *)
+
+let daeable_kernel () =
+  let p = Program.create () in
+  let xs = Program.alloc p "xs" ~elems:32 ~elem_size:4 in
+  let ys = Program.alloc p "ys" ~elems:32 ~elem_size:4 in
+  let f =
+    B.define p "axpy" ~nparams:1 (fun b ->
+        let n = B.param b 0 in
+        B.for_ b ~from:(B.imm 0) ~to_:n (fun i ->
+            let x = B.load b ~size:4 (B.elem b xs i) in
+            let v = B.fmul b x (B.fimm 2.0) in
+            B.store b ~size:4 ~addr:(B.elem b ys i) v);
+        B.ret b ())
+  in
+  (p, xs, ys, f)
+
+let test_dae_structure () =
+  let _, _, _, f = daeable_kernel () in
+  let info = Dae.slice f in
+  checki "one terminal load" 1 info.Dae.sent_loads;
+  checki "one routed store" 1 info.Dae.routed_stores;
+  (* the access slice carries no FP compute; the execute slice no loads *)
+  checki "no fmul on access side" 0 (count_class info.Dae.access Op.C_fmul);
+  checki "no plain loads on execute side" 0 (count_class info.Dae.execute Op.C_load);
+  checki "execute has no stores" 0 (count_class info.Dae.execute Op.C_store);
+  (* both slices keep the control skeleton *)
+  checki "same block count (access)"
+    (Array.length f.Func.blocks)
+    (Array.length info.Dae.access.Func.blocks);
+  checki "same block count (execute)"
+    (Array.length f.Func.blocks)
+    (Array.length info.Dae.execute.Func.blocks)
+
+let test_dae_functional_equivalence () =
+  let p, xs, ys, f = daeable_kernel () in
+  let info = Dae.slice f in
+  Program.add_func p info.Dae.access;
+  Program.add_func p info.Dae.execute;
+  Validate.check_exn p;
+  let args = [ Value.of_int 32 ] in
+  let it =
+    Interp.create_hetero p ~label:"axpy-dae"
+      ~tiles:[| ("axpy_access", args); ("axpy_execute", args) |]
+  in
+  for i = 0 to 31 do
+    Interp.poke_global it xs i (Value.of_float (float_of_int i))
+  done;
+  let _ = Interp.run it in
+  for i = 0 to 31 do
+    Alcotest.(check (float 1e-9))
+      "sliced result matches"
+      (2.0 *. float_of_int i)
+      (Value.to_float (Interp.peek_global it ys i))
+  done
+
+let test_dae_multi_pair () =
+  (* Two DAE pairs: tid remapping must route each access tile to its own
+     partner. *)
+  let p, xs, ys, f = daeable_kernel () in
+  let info = Dae.slice f in
+  Program.add_func p info.Dae.access;
+  Program.add_func p info.Dae.execute;
+  let args = [ Value.of_int 32 ] in
+  let it =
+    Interp.create_hetero p ~label:"axpy-dae2"
+      ~tiles:
+        [|
+          ("axpy_access", args);
+          ("axpy_access", args);
+          ("axpy_execute", args);
+          ("axpy_execute", args);
+        |]
+  in
+  for i = 0 to 31 do
+    Interp.poke_global it xs i (Value.of_float (float_of_int i))
+  done;
+  let _ = Interp.run it in
+  let ok = ref true in
+  for i = 0 to 31 do
+    if
+      Float.abs
+        (Value.to_float (Interp.peek_global it ys i) -. (2.0 *. float_of_int i))
+      > 1e-9
+    then ok := false
+  done;
+  checkb "both pairs computed their halves" true !ok
+
+let test_dae_rejects_communicating_kernels () =
+  let p = Program.create () in
+  let f =
+    B.define p "comm" ~nparams:0 (fun b ->
+        B.send b ~chan:0 ~dst:(B.imm 0) (B.imm 1);
+        B.ret b ())
+  in
+  checkb "rejected" true
+    (try
+       ignore (Dae.slice f);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dae_atomic_routing () =
+  (* Computed atomic values route through the store channel. *)
+  let p = Program.create () in
+  let w = Program.alloc p "w" ~elems:8 ~elem_size:4 in
+  let acc = Program.alloc p "acc" ~elems:1 ~elem_size:4 in
+  let f =
+    B.define p "gather" ~nparams:1 (fun b ->
+        B.for_ b ~from:(B.imm 0) ~to_:(B.param b 0) (fun i ->
+            let x = B.load b ~size:4 (B.elem b w i) in
+            let v = B.fmul b x x in
+            ignore (B.atomic b Op.Rmw_add ~size:4 ~addr:(B.elem b acc (B.imm 0)) v));
+        B.ret b ())
+  in
+  let info = Dae.slice f in
+  checki "atomic routed" 1 info.Dae.routed_stores;
+  Program.add_func p info.Dae.access;
+  Program.add_func p info.Dae.execute;
+  let args = [ Value.of_int 8 ] in
+  let it =
+    Interp.create_hetero p ~label:"gather-dae"
+      ~tiles:[| ("gather_access", args); ("gather_execute", args) |]
+  in
+  for i = 0 to 7 do
+    Interp.poke_global it w i (Value.of_float 1.0)
+  done;
+  Interp.poke_global it acc 0 (Value.of_float 0.0);
+  let _ = Interp.run it in
+  Alcotest.(check (float 1e-9)) "sum of squares" 8.0
+    (Value.to_float (Interp.peek_global it acc 0))
+
+let suite =
+  [
+    ( "compiler.ddg",
+      [
+        Alcotest.test_case "intra-block edges" `Quick test_ddg_intra_edges;
+        Alcotest.test_case "extern registers" `Quick test_ddg_extern_regs;
+        Alcotest.test_case "params not extern" `Quick test_ddg_params_not_extern;
+        Alcotest.test_case "class histogram" `Quick test_ddg_class_histogram;
+      ] );
+    ("compiler.rewrite", [ Alcotest.test_case "def/use counts" `Quick test_def_use_counts ]);
+    ( "compiler.passes",
+      [
+        Alcotest.test_case "constant folding" `Quick test_constant_fold;
+        Alcotest.test_case "dead code elimination" `Quick test_dce;
+        Alcotest.test_case "dce keeps effects" `Quick test_dce_keeps_effects;
+        Alcotest.test_case "optimize preserves loops" `Quick
+          test_optimize_preserves_loop_semantics;
+        Alcotest.test_case "cse removes duplicates" `Quick test_cse_removes_duplicates;
+        Alcotest.test_case "cse respects redefinition" `Quick
+          test_cse_respects_redefinition;
+        Alcotest.test_case "cse preserves semantics" `Quick test_cse_preserves_semantics;
+      ] );
+    ( "compiler.dae",
+      [
+        Alcotest.test_case "slice structure" `Quick test_dae_structure;
+        Alcotest.test_case "functional equivalence" `Quick test_dae_functional_equivalence;
+        Alcotest.test_case "multiple pairs" `Quick test_dae_multi_pair;
+        Alcotest.test_case "rejects communicating kernels" `Quick
+          test_dae_rejects_communicating_kernels;
+        Alcotest.test_case "atomic value routing" `Quick test_dae_atomic_routing;
+      ] );
+  ]

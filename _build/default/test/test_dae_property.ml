@@ -1,0 +1,122 @@
+(* Property: DAE slicing preserves semantics for a randomized family of
+   map-style kernels (random pure expression over two loaded streams,
+   stored to an output stream), at 1 and 2 pairs. *)
+
+open Mosaic_ir
+module B = Builder
+module Dae = Mosaic_compiler.Dae
+module Interp = Mosaic_trace.Interp
+
+(* Expression tree over the two loaded values. *)
+type expr =
+  | X
+  | Y
+  | Const of float
+  | Add of expr * expr
+  | Mul of expr * expr
+  | Sub of expr * expr
+  | Maxe of expr * expr
+
+let arb_expr =
+  let open QCheck.Gen in
+  let leaf =
+    frequency
+      [
+        (3, return X);
+        (3, return Y);
+        (2, map (fun f -> Const (float_of_int f /. 4.0)) (int_range (-8) 8));
+      ]
+  in
+  let node self n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          (2, map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2)));
+          (2, map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2)));
+          (1, map2 (fun a b -> Sub (a, b)) (self (n / 2)) (self (n / 2)));
+          (1, map2 (fun a b -> Maxe (a, b)) (self (n / 2)) (self (n / 2)));
+        ]
+  in
+  QCheck.make (sized_size (QCheck.Gen.int_range 1 6) (fix node))
+
+let rec eval_expr x y = function
+  | X -> x
+  | Y -> y
+  | Const c -> c
+  | Add (a, b) -> eval_expr x y a +. eval_expr x y b
+  | Mul (a, b) -> eval_expr x y a *. eval_expr x y b
+  | Sub (a, b) -> eval_expr x y a -. eval_expr x y b
+  | Maxe (a, b) -> Float.max (eval_expr x y a) (eval_expr x y b)
+
+let rec build_expr b x y = function
+  | X -> x
+  | Y -> y
+  | Const c -> B.fimm c
+  | Add (l, r) -> B.fadd b (build_expr b x y l) (build_expr b x y r)
+  | Mul (l, r) -> B.fmul b (build_expr b x y l) (build_expr b x y r)
+  | Sub (l, r) -> B.fsub b (build_expr b x y l) (build_expr b x y r)
+  | Maxe (l, r) ->
+      let lv = build_expr b x y l and rv = build_expr b x y r in
+      B.select b (B.fcmp b Op.Gt lv rv) lv rv
+
+let n_elems = 24
+
+let build_kernel e =
+  let prog = Program.create () in
+  let ga = Program.alloc prog "a" ~elems:n_elems ~elem_size:4 in
+  let gb = Program.alloc prog "b" ~elems:n_elems ~elem_size:4 in
+  let gout = Program.alloc prog "out" ~elems:n_elems ~elem_size:4 in
+  let f =
+    B.define prog "map2" ~nparams:1 (fun b ->
+        let n = B.param b 0 in
+        let per = B.sdiv b (B.sub b (B.add b n B.ntiles) (B.imm 1)) B.ntiles in
+        let lo = B.mul b B.tid per in
+        let want = B.add b lo per in
+        let hi = B.select b (B.icmp b Op.Lt n want) n want in
+        B.for_ b ~from:lo ~to_:hi (fun i ->
+            let x = B.load b ~size:4 (B.elem b ga i) in
+            let y = B.load b ~size:4 (B.elem b gb i) in
+            B.store b ~size:4 ~addr:(B.elem b gout i) (build_expr b x y e));
+        B.ret b ())
+  in
+  (prog, ga, gb, gout, f)
+
+let run_sliced e ~pairs =
+  let prog, ga, gb, gout, f = build_kernel e in
+  let info = Dae.slice f in
+  Program.add_func prog info.Dae.access;
+  Program.add_func prog info.Dae.execute;
+  Validate.check_exn prog;
+  let args = [ Value.of_int n_elems ] in
+  let spec =
+    Array.init (2 * pairs) (fun i ->
+        ((if i < pairs then "map2_access" else "map2_execute"), args))
+  in
+  let it = Interp.create_hetero prog ~label:"map2-dae" ~tiles:spec in
+  let xs = Array.init n_elems (fun i -> float_of_int i /. 3.0) in
+  let ys = Array.init n_elems (fun i -> float_of_int (n_elems - i) /. 5.0) in
+  Array.iteri (fun i v -> Interp.poke_global it ga i (Value.of_float v)) xs;
+  Array.iteri (fun i v -> Interp.poke_global it gb i (Value.of_float v)) ys;
+  let _ = Interp.run it in
+  Array.init n_elems (fun i ->
+      ( Value.to_float (Interp.peek_global it gout i),
+        eval_expr xs.(i) ys.(i) e ))
+
+let close (got, want) = Float.abs (got -. want) <= 1e-6 +. (1e-6 *. Float.abs want)
+
+let prop_dae_equivalence pairs =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "DAE slicing preserves semantics (%d pairs)" pairs)
+    ~count:40 arb_expr
+    (fun e -> Array.for_all close (run_sliced e ~pairs))
+
+let suite =
+  [
+    ( "compiler.dae-property",
+      [
+        QCheck_alcotest.to_alcotest (prop_dae_equivalence 1);
+        QCheck_alcotest.to_alcotest (prop_dae_equivalence 2);
+      ] );
+  ]

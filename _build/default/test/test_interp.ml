@@ -1,0 +1,386 @@
+(* Tests for the trace-generating interpreter. *)
+
+open Mosaic_ir
+module B = Builder
+module Interp = Mosaic_trace.Interp
+module Trace = Mosaic_trace.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let single_tile prog kernel args =
+  Interp.create prog ~kernel ~ntiles:1 ~args
+
+(* --- arithmetic semantics --- *)
+
+let test_arith_result () =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:1 ~elem_size:8 in
+  let _ =
+    B.define p "k" ~nparams:2 (fun b ->
+        let x = B.param b 0 and y = B.param b 1 in
+        let v = B.add b (B.mul b x y) (B.imm 5) in
+        B.store b ~addr:(B.elem b out (B.imm 0)) v;
+        B.ret b ())
+  in
+  let it = single_tile p "k" [ Value.of_int 6; Value.of_int 7 ] in
+  let _ = Interp.run it in
+  checki "6*7+5" 47 (Value.to_int (Interp.peek_global it out 0))
+
+let test_float_math () =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:2 ~elem_size:8 in
+  let _ =
+    B.define p "k" ~nparams:1 (fun b ->
+        let x = B.param b 0 in
+        B.store b ~addr:(B.elem b out (B.imm 0)) (B.math1 b Op.Sqrt x);
+        B.store b ~addr:(B.elem b out (B.imm 1))
+          (B.fdiv b x (B.fimm 4.0));
+        B.ret b ())
+  in
+  let it = single_tile p "k" [ Value.of_float 16.0 ] in
+  let _ = Interp.run it in
+  checkf "sqrt" 4.0 (Value.to_float (Interp.peek_global it out 0));
+  checkf "fdiv" 4.0 (Value.to_float (Interp.peek_global it out 1))
+
+let test_select_and_casts () =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:3 ~elem_size:8 in
+  let _ =
+    B.define p "k" ~nparams:0 (fun b ->
+        B.store b ~addr:(B.elem b out (B.imm 0))
+          (B.select b (B.icmp b Op.Lt (B.imm 1) (B.imm 2)) (B.imm 10) (B.imm 20));
+        B.store b ~addr:(B.elem b out (B.imm 1)) (B.sitofp b (B.imm 3));
+        B.store b ~addr:(B.elem b out (B.imm 2)) (B.fptosi b (B.fimm 9.9));
+        B.ret b ())
+  in
+  let it = single_tile p "k" [] in
+  let _ = Interp.run it in
+  checki "select" 10 (Value.to_int (Interp.peek_global it out 0));
+  checkf "sitofp" 3.0 (Value.to_float (Interp.peek_global it out 1));
+  checki "fptosi" 9 (Value.to_int (Interp.peek_global it out 2))
+
+(* --- control flow + traces --- *)
+
+let loop_prog n =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:1 ~elem_size:8 in
+  let _ =
+    B.define p "sum" ~nparams:1 (fun b ->
+        let acc = B.var b (B.imm 0) in
+        B.for_ b ~from:(B.imm 0) ~to_:(B.param b 0) (fun i ->
+            B.assign b ~var:acc (B.add b acc i));
+        B.store b ~addr:(B.elem b out (B.imm 0)) acc;
+        B.ret b ())
+  in
+  (p, out, [ Value.of_int n ])
+
+let test_loop_sum () =
+  let p, out, args = loop_prog 10 in
+  let it = single_tile p "sum" args in
+  let _ = Interp.run it in
+  checki "sum 0..9" 45 (Value.to_int (Interp.peek_global it out 0))
+
+let test_control_trace_shape () =
+  let p, _, args = loop_prog 3 in
+  let it = single_tile p "sum" args in
+  let trace = Interp.run it in
+  let tt = trace.Trace.tiles.(0) in
+  (* entry, then header/body alternation 3 times, then header + exit *)
+  checki "first block is entry" 0 tt.Trace.bb_path.(0);
+  checkb "path length sane" true (Array.length tt.Trace.bb_path >= 8);
+  checki "dyn instrs recorded" tt.Trace.dyn_instrs
+    (Array.fold_left
+       (fun acc bid ->
+         let f = Program.func_exn p "sum" in
+         acc + Array.length (Func.block f bid).Func.instrs)
+       0 tt.Trace.bb_path)
+
+let test_mem_trace_addresses () =
+  let p = Program.create () in
+  let arr = Program.alloc p "arr" ~elems:8 ~elem_size:4 in
+  let f =
+    B.define p "touch" ~nparams:0 (fun b ->
+        B.for_ b ~from:(B.imm 0) ~to_:(B.imm 8) (fun i ->
+            B.store b ~size:4 ~addr:(B.elem b arr i) i);
+        B.ret b ())
+  in
+  let it = single_tile p "touch" [] in
+  let trace = Interp.run it in
+  let tt = trace.Trace.tiles.(0) in
+  (* find the store instruction's address stream *)
+  let store_id =
+    let found = ref (-1) in
+    Array.iter
+      (fun (blk : Func.block) ->
+        Array.iter
+          (fun (i : Instr.t) ->
+            match i.Instr.op with Op.Store _ -> found := i.Instr.id | _ -> ())
+          blk.Func.instrs)
+      f.Func.blocks;
+    !found
+  in
+  let addrs = tt.Trace.mem_addrs.(store_id) in
+  checki "eight stores" 8 (Array.length addrs);
+  Array.iteri
+    (fun k a -> checki "sequential addresses" (arr.Program.base + (4 * k)) a)
+    addrs
+
+(* --- SPMD --- *)
+
+let test_spmd_tid_ntiles () =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:4 ~elem_size:8 in
+  let _ =
+    B.define p "who" ~nparams:0 (fun b ->
+        B.store b ~addr:(B.elem b out B.tid) (B.mul b B.tid B.ntiles);
+        B.ret b ())
+  in
+  let it = Interp.create p ~kernel:"who" ~ntiles:4 ~args:[] in
+  let _ = Interp.run it in
+  for tid = 0 to 3 do
+    checki "tid*ntiles" (tid * 4) (Value.to_int (Interp.peek_global it out tid))
+  done
+
+let test_atomics_across_tiles () =
+  let p = Program.create () in
+  let counter = Program.alloc p "counter" ~elems:1 ~elem_size:8 in
+  let _ =
+    B.define p "count" ~nparams:1 (fun b ->
+        B.for_ b ~from:(B.imm 0) ~to_:(B.param b 0) (fun _ ->
+            ignore
+              (B.atomic b Op.Rmw_add ~addr:(B.elem b counter (B.imm 0)) (B.imm 1)));
+        B.ret b ())
+  in
+  let it = Interp.create p ~kernel:"count" ~ntiles:3 ~args:[ Value.of_int 100 ] in
+  let _ = Interp.run it in
+  checki "300 increments" 300 (Value.to_int (Interp.peek_global it counter 0))
+
+(* --- channels --- *)
+
+let test_send_recv_pipeline () =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:1 ~elem_size:8 in
+  let _ =
+    B.define p "pipe" ~nparams:0 (fun b ->
+        B.if_else b
+          (B.icmp b Op.Eq B.tid (B.imm 0))
+          (fun () ->
+            B.for_ b ~from:(B.imm 0) ~to_:(B.imm 10) (fun i ->
+                B.send b ~chan:0 ~dst:(B.imm 1) i))
+          (fun () ->
+            let acc = B.var b (B.imm 0) in
+            B.for_ b ~from:(B.imm 0) ~to_:(B.imm 10) (fun _ ->
+                B.assign b ~var:acc (B.add b acc (B.recv b ~chan:0)));
+            B.store b ~addr:(B.elem b out (B.imm 0)) acc);
+        B.ret b ())
+  in
+  let it = Interp.create p ~kernel:"pipe" ~ntiles:2 ~args:[] in
+  let trace = Interp.run it in
+  checki "sum received" 45 (Value.to_int (Interp.peek_global it out 0));
+  (* send destinations recorded in the trace *)
+  let sends =
+    Array.fold_left
+      (fun acc d -> acc + Array.length d)
+      0 trace.Trace.tiles.(0).Trace.send_dsts
+  in
+  checki "ten sends traced" 10 sends
+
+let test_load_send_store_recv () =
+  let p = Program.create () in
+  let src = Program.alloc p "src" ~elems:4 ~elem_size:8 in
+  let dst = Program.alloc p "dst" ~elems:4 ~elem_size:8 in
+  let _ =
+    B.define p "dae" ~nparams:0 (fun b ->
+        B.if_else b
+          (B.icmp b Op.Eq B.tid (B.imm 0))
+          (fun () ->
+            (* access tile: push loads to tile 1, stores come back *)
+            B.for_ b ~from:(B.imm 0) ~to_:(B.imm 4) (fun i ->
+                B.load_send b ~chan:0 ~dst:(B.imm 1) (B.elem b src i);
+                B.store_recv b ~chan:1 ~addr:(B.elem b dst i) ()))
+          (fun () ->
+            B.for_ b ~from:(B.imm 0) ~to_:(B.imm 4) (fun _ ->
+                let v = B.recv b ~chan:0 in
+                B.send b ~chan:1 ~dst:(B.imm 0) (B.add b v (B.imm 100))));
+        B.ret b ())
+  in
+  let it = Interp.create p ~kernel:"dae" ~ntiles:2 ~args:[] in
+  for i = 0 to 3 do
+    Interp.poke_global it src i (Value.of_int (i * 11))
+  done;
+  let _ = Interp.run it in
+  for i = 0 to 3 do
+    checki "value round-trip" ((i * 11) + 100)
+      (Value.to_int (Interp.peek_global it dst i))
+  done
+
+let test_atomic_store_recv () =
+  let p = Program.create () in
+  let acc = Program.alloc p "acc" ~elems:1 ~elem_size:8 in
+  let _ =
+    B.define p "k" ~nparams:0 (fun b ->
+        B.if_else b
+          (B.icmp b Op.Eq B.tid (B.imm 0))
+          (fun () ->
+            B.for_ b ~from:(B.imm 0) ~to_:(B.imm 5) (fun _ ->
+                B.store_recv b ~chan:0 ~rmw:Op.Rmw_add
+                  ~addr:(B.elem b acc (B.imm 0)) ()))
+          (fun () ->
+            B.for_ b ~from:(B.imm 0) ~to_:(B.imm 5) (fun i ->
+                B.send b ~chan:0 ~dst:(B.imm 0) i));
+        B.ret b ())
+  in
+  let it = Interp.create p ~kernel:"k" ~ntiles:2 ~args:[] in
+  let _ = Interp.run it in
+  checki "accumulated" 10 (Value.to_int (Interp.peek_global it acc 0))
+
+(* --- failure modes --- *)
+
+let test_deadlock_detection () =
+  let p = Program.create () in
+  let _ =
+    B.define p "stuck" ~nparams:0 (fun b ->
+        ignore (B.recv b ~chan:9);
+        B.ret b ())
+  in
+  let it = Interp.create p ~kernel:"stuck" ~ntiles:1 ~args:[] in
+  checkb "deadlock raised" true
+    (try
+       ignore (Interp.run it);
+       false
+     with Interp.Deadlock _ -> true)
+
+let test_step_limit () =
+  let p = Program.create () in
+  let _ =
+    B.define p "forever" ~nparams:0 (fun b ->
+        B.while_ b ~cond:(fun () -> B.tru) (fun () -> ());
+        B.ret b ())
+  in
+  let it = Interp.create p ~kernel:"forever" ~ntiles:1 ~args:[] in
+  checkb "limit raised" true
+    (try
+       ignore (Interp.run ~max_steps:10_000 it);
+       false
+     with Interp.Step_limit _ -> true)
+
+let test_bad_args () =
+  let p, _, _ = loop_prog 3 in
+  Alcotest.check_raises "arg count"
+    (Invalid_argument "Interp: sum expects 1 args, got 0") (fun () ->
+      ignore (Interp.create p ~kernel:"sum" ~ntiles:1 ~args:[]))
+
+let test_run_once () =
+  let p, _, args = loop_prog 3 in
+  let it = single_tile p "sum" args in
+  let _ = Interp.run it in
+  Alcotest.check_raises "second run rejected"
+    (Invalid_argument "Interp.run: handle already consumed") (fun () ->
+      ignore (Interp.run it))
+
+let test_hetero_kernels () =
+  let p = Program.create () in
+  let out = Program.alloc p "out" ~elems:2 ~elem_size:8 in
+  let _ =
+    B.define p "a" ~nparams:0 (fun b ->
+        B.store b ~addr:(B.elem b out (B.imm 0)) (B.imm 1);
+        B.ret b ())
+  in
+  let _ =
+    B.define p "b" ~nparams:0 (fun b ->
+        B.store b ~addr:(B.elem b out (B.imm 1)) (B.imm 2);
+        B.ret b ())
+  in
+  let it = Interp.create_hetero p ~label:"mix" ~tiles:[| ("a", []); ("b", []) |] in
+  let trace = Interp.run it in
+  checki "tile0 ran a" 1 (Value.to_int (Interp.peek_global it out 0));
+  checki "tile1 ran b" 2 (Value.to_int (Interp.peek_global it out 1));
+  Alcotest.(check string) "trace kernel names" "a"
+    trace.Trace.tiles.(0).Trace.kernel
+
+(* Property: random arithmetic expressions agree with OCaml evaluation. *)
+let arb_expr =
+  let open QCheck.Gen in
+  let leaf = map (fun n -> `Imm n) (int_range (-100) 100) in
+  let node self n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [
+          (1, leaf);
+          (2, map2 (fun a b -> `Add (a, b)) (self (n / 2)) (self (n / 2)));
+          (2, map2 (fun a b -> `Sub (a, b)) (self (n / 2)) (self (n / 2)));
+          (2, map2 (fun a b -> `Mul (a, b)) (self (n / 2)) (self (n / 2)));
+          (1, map2 (fun a b -> `Min (a, b)) (self (n / 2)) (self (n / 2)));
+        ]
+  in
+  QCheck.make (sized (fix node))
+
+(* Reference semantics in Int64, matching the IR's integer width. *)
+let rec eval_expr = function
+  | `Imm n -> Int64.of_int n
+  | `Add (a, b) -> Int64.add (eval_expr a) (eval_expr b)
+  | `Sub (a, b) -> Int64.sub (eval_expr a) (eval_expr b)
+  | `Mul (a, b) -> Int64.mul (eval_expr a) (eval_expr b)
+  | `Min (a, b) -> Stdlib.min (eval_expr a) (eval_expr b)
+
+let rec build_expr b = function
+  | `Imm n -> B.imm n
+  | `Add (x, y) -> B.add b (build_expr b x) (build_expr b y)
+  | `Sub (x, y) -> B.sub b (build_expr b x) (build_expr b y)
+  | `Mul (x, y) -> B.mul b (build_expr b x) (build_expr b y)
+  | `Min (x, y) ->
+      let xv = build_expr b x and yv = build_expr b y in
+      B.select b (B.icmp b Op.Lt xv yv) xv yv
+
+let prop_expr_agrees =
+  QCheck.Test.make ~name:"interp agrees with OCaml on random expressions"
+    ~count:60 arb_expr (fun e ->
+      let p = Program.create () in
+      let out = Program.alloc p "out" ~elems:1 ~elem_size:8 in
+      let _ =
+        B.define p "e" ~nparams:0 (fun b ->
+            B.store b ~addr:(B.elem b out (B.imm 0)) (build_expr b e);
+            B.ret b ())
+      in
+      let it = single_tile p "e" [] in
+      let _ = Interp.run it in
+      Value.to_int64 (Interp.peek_global it out 0) = eval_expr e)
+
+let suite =
+  [
+    ( "interp.semantics",
+      [
+        Alcotest.test_case "integer arithmetic" `Quick test_arith_result;
+        Alcotest.test_case "float math" `Quick test_float_math;
+        Alcotest.test_case "select and casts" `Quick test_select_and_casts;
+        Alcotest.test_case "loop sum" `Quick test_loop_sum;
+        QCheck_alcotest.to_alcotest prop_expr_agrees;
+      ] );
+    ( "interp.traces",
+      [
+        Alcotest.test_case "control trace shape" `Quick test_control_trace_shape;
+        Alcotest.test_case "memory trace addresses" `Quick test_mem_trace_addresses;
+      ] );
+    ( "interp.spmd",
+      [
+        Alcotest.test_case "tid and ntiles" `Quick test_spmd_tid_ntiles;
+        Alcotest.test_case "atomics across tiles" `Quick test_atomics_across_tiles;
+        Alcotest.test_case "heterogeneous kernels" `Quick test_hetero_kernels;
+      ] );
+    ( "interp.channels",
+      [
+        Alcotest.test_case "send/recv pipeline" `Quick test_send_recv_pipeline;
+        Alcotest.test_case "load_send + store_recv" `Quick test_load_send_store_recv;
+        Alcotest.test_case "atomic store_recv" `Quick test_atomic_store_recv;
+      ] );
+    ( "interp.failures",
+      [
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "step limit" `Quick test_step_limit;
+        Alcotest.test_case "bad arg count" `Quick test_bad_args;
+        Alcotest.test_case "single run" `Quick test_run_once;
+      ] );
+  ]

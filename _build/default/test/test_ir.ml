@@ -1,0 +1,338 @@
+(* Tests for the IR: values, opcodes, programs, builder, validator. *)
+
+open Mosaic_ir
+module B = Builder
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Value --- *)
+
+let test_value_coercions () =
+  checki "to_int of float" 3 (Value.to_int (Value.Float 3.7));
+  Alcotest.(check (float 0.0)) "to_float of int" 5.0 (Value.to_float (Value.Int 5L));
+  checkb "truthy int" true (Value.to_bool (Value.Int 2L));
+  checkb "falsy zero" false (Value.to_bool Value.zero);
+  checkb "truthy float" true (Value.to_bool (Value.Float 0.5));
+  checkb "equal" true (Value.equal (Value.of_int 4) (Value.Int 4L));
+  checkb "int <> float" false (Value.equal (Value.Int 1L) (Value.Float 1.0));
+  Alcotest.(check string) "to_string" "42" (Value.to_string (Value.of_int 42))
+
+(* --- Op --- *)
+
+let test_op_classification () =
+  checkb "add is ialu" true (Op.classify (Op.Binop Op.Add) = Op.C_ialu);
+  checkb "mul is imul" true (Op.classify (Op.Binop Op.Mul) = Op.C_imul);
+  checkb "fadd is falu" true (Op.classify (Op.Fbinop Op.Fadd) = Op.C_falu);
+  checkb "load" true (Op.classify (Op.Load 4) = Op.C_load);
+  checkb "load_send is load-class" true
+    (Op.classify (Op.Load_send (0, 4)) = Op.C_load);
+  checkb "atomic store_recv is atomic-class" true
+    (Op.classify (Op.Store_recv (1, 4, Some Op.Rmw_add)) = Op.C_atomic);
+  checkb "ret is branch" true (Op.classify Op.Ret = Op.C_branch)
+
+let test_op_predicates () =
+  checkb "store is mem" true (Op.is_mem (Op.Store 8));
+  checkb "gep not mem" false (Op.is_mem (Op.Gep 4));
+  checkb "ret terminator" true (Op.is_terminator Op.Ret);
+  checkb "condbr terminator" true (Op.is_terminator (Op.Cond_br (1, 2)));
+  checkb "load dynamic" true (Op.is_dynamic_cost (Op.Load 4));
+  checkb "add fixed" false (Op.is_dynamic_cost (Op.Binop Op.Add));
+  Alcotest.(check (option int)) "mem_size load" (Some 4) (Op.mem_size (Op.Load 4));
+  Alcotest.(check (option int)) "mem_size add" None (Op.mem_size (Op.Binop Op.Add));
+  checkb "load has result" true (Op.has_result (Op.Load 4));
+  checkb "store no result" false (Op.has_result (Op.Store 4));
+  checkb "load_send no result" false (Op.has_result (Op.Load_send (0, 4)))
+
+let test_op_all_classes_distinct () =
+  let n = List.length Op.all_classes in
+  checki "distinct class strings" n
+    (List.sort_uniq compare (List.map Op.class_to_string Op.all_classes)
+    |> List.length)
+
+(* --- Eval --- *)
+
+let test_eval_ibinop () =
+  Alcotest.(check int64) "add" 7L (Eval.ibinop Op.Add 3L 4L);
+  Alcotest.(check int64) "sdiv by zero" 0L (Eval.ibinop Op.Sdiv 5L 0L);
+  Alcotest.(check int64) "srem" 2L (Eval.ibinop Op.Srem 17L 5L);
+  Alcotest.(check int64) "shl" 16L (Eval.ibinop Op.Shl 1L 4L);
+  Alcotest.(check int64) "ashr negative" (-2L) (Eval.ibinop Op.Ashr (-8L) 2L)
+
+let test_eval_preds () =
+  checkb "lt" true (Eval.pred_int Op.Lt 1L 2L);
+  checkb "ge" true (Eval.pred_int Op.Ge 2L 2L);
+  checkb "fne" true (Eval.pred_float Op.Ne 1.0 2.0)
+
+let test_eval_math () =
+  Alcotest.(check (float 1e-9)) "sqrt" 3.0 (Eval.math Op.Sqrt [| 9.0 |]);
+  Alcotest.(check (float 1e-9)) "pow" 8.0 (Eval.math Op.Pow [| 2.0; 3.0 |]);
+  Alcotest.check_raises "arity" (Invalid_argument "Eval.math: arity mismatch")
+    (fun () -> ignore (Eval.math Op.Sqrt [| 1.0; 2.0 |]))
+
+let test_eval_rmw () =
+  checkb "int add" true
+    (Value.equal (Eval.rmw Op.Rmw_add (Value.Int 3L) (Value.Int 4L)) (Value.Int 7L));
+  checkb "float add" true
+    (Value.equal
+       (Eval.rmw Op.Rmw_add (Value.Float 1.5) (Value.Float 1.0))
+       (Value.Float 2.5));
+  checkb "min" true
+    (Value.equal (Eval.rmw Op.Rmw_min (Value.Int 3L) (Value.Int 9L)) (Value.Int 3L));
+  checkb "xchg" true
+    (Value.equal (Eval.rmw Op.Rmw_xchg (Value.Int 3L) (Value.Int 9L)) (Value.Int 9L))
+
+(* --- Program --- *)
+
+let test_program_globals () =
+  let p = Program.create () in
+  let a = Program.alloc p "a" ~elems:10 ~elem_size:4 in
+  let b = Program.alloc p "b" ~elems:3 ~elem_size:8 in
+  checkb "line aligned" true (a.Program.base mod 64 = 0);
+  checkb "b after a" true (b.Program.base >= a.Program.base + 40);
+  checkb "b line aligned" true (b.Program.base mod 64 = 0);
+  checki "data bytes" (40 + 24) (Program.data_bytes p);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Program.alloc: duplicate global a") (fun () ->
+      ignore (Program.alloc p "a" ~elems:1 ~elem_size:4));
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Program.alloc: sizes must be positive") (fun () ->
+      ignore (Program.alloc p "c" ~elems:0 ~elem_size:4));
+  checkb "find" true (Program.find_global p "b" <> None);
+  checkb "missing" true (Program.find_global p "zzz" = None)
+
+let test_program_funcs () =
+  let p = Program.create () in
+  let f =
+    B.define p "k" ~nparams:0 (fun b -> B.ret b ())
+  in
+  checkb "registered" true (Program.find_func p "k" = Some f);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Program.add_func: duplicate k") (fun () ->
+      Program.add_func p f);
+  checki "one func" 1 (List.length (Program.funcs p))
+
+(* --- Builder --- *)
+
+let test_builder_simple () =
+  let p = Program.create () in
+  let f =
+    B.define p "arith" ~nparams:2 (fun b ->
+        let x = B.param b 0 and y = B.param b 1 in
+        let s = B.add b x y in
+        let _ = B.mul b s (B.imm 3) in
+        B.ret b ())
+  in
+  checki "one block" 1 (Array.length f.Func.blocks);
+  checki "instrs" 3 f.Func.ninstrs;
+  checkb "terminated" true
+    (Op.is_terminator (Func.terminator f.Func.blocks.(0)).Instr.op)
+
+let test_builder_if_shape () =
+  let p = Program.create () in
+  let f =
+    B.define p "branches" ~nparams:1 (fun b ->
+        B.if_else b (B.param b 0)
+          (fun () -> ignore (B.add b (B.imm 1) (B.imm 2)))
+          (fun () -> ignore (B.sub b (B.imm 1) (B.imm 2)));
+        B.ret b ())
+  in
+  (* entry + then + else + join *)
+  checki "four blocks" 4 (Array.length f.Func.blocks);
+  Alcotest.(check (list int)) "entry successors" [ 1; 2 ]
+    (Func.successors f.Func.blocks.(0))
+
+let test_builder_for_executes () =
+  (* The canonical loop shape: validated and structurally sane. *)
+  let p = Program.create () in
+  let f =
+    B.define p "loop" ~nparams:1 (fun b ->
+        let acc = B.var b (B.imm 0) in
+        B.for_ b ~from:(B.imm 0) ~to_:(B.param b 0) (fun i ->
+            B.assign b ~var:acc (B.add b acc i));
+        B.ret b ())
+  in
+  Alcotest.(check (list string)) "no validation errors" []
+    (List.map (fun e -> Format.asprintf "%a" Validate.pp_error e)
+       (Validate.check_func f))
+
+let test_builder_unterminated () =
+  Alcotest.check_raises "unterminated block"
+    (Invalid_argument "Builder(bad): block 0 not terminated") (fun () ->
+      let p = Program.create () in
+      ignore (B.define p "bad" ~nparams:0 (fun _ -> ())))
+
+let test_builder_emit_after_terminator () =
+  let p = Program.create () in
+  Alcotest.check_raises "emit after ret"
+    (Invalid_argument "Builder(bad2): emit into terminated block 0") (fun () ->
+      ignore
+        (B.define p "bad2" ~nparams:0 (fun b ->
+             B.ret b ();
+             ignore (B.add b (B.imm 1) (B.imm 1)))))
+
+let test_builder_assign_non_var () =
+  let p = Program.create () in
+  Alcotest.check_raises "assign to imm"
+    (Invalid_argument "Builder.assign: target is not a variable") (fun () ->
+      ignore
+        (B.define p "bad3" ~nparams:0 (fun b ->
+             B.assign b ~var:(B.imm 3) (B.imm 4);
+             B.ret b ())))
+
+let test_builder_param_bounds () =
+  let p = Program.create () in
+  Alcotest.check_raises "bad param"
+    (Invalid_argument "Builder.param: bad has 1 params") (fun () ->
+      ignore
+        (B.define p "bad" ~nparams:1 (fun b ->
+             ignore (B.param b 1);
+             B.ret b ())))
+
+(* --- Validate --- *)
+
+let mk_func ~nregs blocks =
+  Func.make ~name:"test" ~nparams:0 ~nregs ~blocks
+
+let instr id op args dst = Instr.make ~id ~op ~args ~dst
+
+let test_validate_catches_bad_target () =
+  let f =
+    mk_func ~nregs:1
+      [| { Func.bid = 0; instrs = [| instr 0 (Op.Br 5) [||] None |] } |]
+  in
+  checkb "error found" true (Validate.check_func f <> [])
+
+let test_validate_catches_bad_reg () =
+  let f =
+    mk_func ~nregs:1
+      [|
+        {
+          Func.bid = 0;
+          instrs =
+            [|
+              instr 0 (Op.Binop Op.Add) [| Instr.Reg 7; Instr.Imm Value.zero |] (Some 0);
+              instr 1 Op.Ret [||] None;
+            |];
+        };
+      |]
+  in
+  checkb "error found" true (Validate.check_func f <> [])
+
+let test_validate_catches_unwritten_reg () =
+  let f =
+    mk_func ~nregs:2
+      [|
+        {
+          Func.bid = 0;
+          instrs =
+            [|
+              instr 0 (Op.Binop Op.Add) [| Instr.Reg 1; Instr.Imm Value.zero |] (Some 0);
+              instr 1 Op.Ret [||] None;
+            |];
+        };
+      |]
+  in
+  checkb "reads never-written register" true (Validate.check_func f <> [])
+
+let test_validate_catches_mid_terminator () =
+  let f =
+    mk_func ~nregs:0
+      [|
+        {
+          Func.bid = 0;
+          instrs = [| instr 0 Op.Ret [||] None; instr 1 Op.Ret [||] None |];
+        };
+      |]
+  in
+  checkb "terminator mid-block" true (Validate.check_func f <> [])
+
+let test_validate_catches_arity () =
+  let f =
+    mk_func ~nregs:1
+      [|
+        {
+          Func.bid = 0;
+          instrs =
+            [|
+              instr 0 (Op.Binop Op.Add) [| Instr.Imm Value.zero |] (Some 0);
+              instr 1 Op.Ret [||] None;
+            |];
+        };
+      |]
+  in
+  checkb "arity error" true (Validate.check_func f <> [])
+
+let test_validate_unresolved_global () =
+  let p = Program.create () in
+  let _ =
+    B.define p "g" ~nparams:0 (fun b ->
+        ignore (B.load b ~size:4 (B.gep b ~scale:4 (Instr.Glob "nope") (B.imm 0)));
+        B.ret b ())
+  in
+  checkb "unresolved global flagged" true (Validate.check_program p <> [])
+
+(* --- Pretty --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_pretty_simple () =
+  let p = Program.create () in
+  let g = Program.alloc p "data" ~elems:4 ~elem_size:8 in
+  let f =
+    B.define p "show" ~nparams:1 (fun b ->
+        let v = B.load b (B.elem b g (B.param b 0)) in
+        B.store b ~addr:(B.elem b g (B.imm 0)) v;
+        B.ret b ())
+  in
+  let out = Pretty.func_to_string f in
+  List.iter
+    (fun fragment ->
+      checkb (Printf.sprintf "contains %s" fragment) true (contains out fragment))
+    [ "kernel @show"; "load.8"; "store.8"; "@data"; "ret" ]
+
+let suite =
+  [
+    ("ir.value", [ Alcotest.test_case "coercions" `Quick test_value_coercions ]);
+    ( "ir.op",
+      [
+        Alcotest.test_case "classification" `Quick test_op_classification;
+        Alcotest.test_case "predicates" `Quick test_op_predicates;
+        Alcotest.test_case "class names distinct" `Quick test_op_all_classes_distinct;
+      ] );
+    ( "ir.eval",
+      [
+        Alcotest.test_case "integer binops" `Quick test_eval_ibinop;
+        Alcotest.test_case "predicates" `Quick test_eval_preds;
+        Alcotest.test_case "math" `Quick test_eval_math;
+        Alcotest.test_case "rmw" `Quick test_eval_rmw;
+      ] );
+    ( "ir.program",
+      [
+        Alcotest.test_case "global allocation" `Quick test_program_globals;
+        Alcotest.test_case "function registry" `Quick test_program_funcs;
+      ] );
+    ( "ir.builder",
+      [
+        Alcotest.test_case "simple emission" `Quick test_builder_simple;
+        Alcotest.test_case "if/else shape" `Quick test_builder_if_shape;
+        Alcotest.test_case "for loop validates" `Quick test_builder_for_executes;
+        Alcotest.test_case "unterminated rejected" `Quick test_builder_unterminated;
+        Alcotest.test_case "emit after terminator" `Quick test_builder_emit_after_terminator;
+        Alcotest.test_case "assign to non-var" `Quick test_builder_assign_non_var;
+        Alcotest.test_case "param bounds" `Quick test_builder_param_bounds;
+      ] );
+    ( "ir.validate",
+      [
+        Alcotest.test_case "bad branch target" `Quick test_validate_catches_bad_target;
+        Alcotest.test_case "register out of range" `Quick test_validate_catches_bad_reg;
+        Alcotest.test_case "never-written register" `Quick test_validate_catches_unwritten_reg;
+        Alcotest.test_case "terminator mid-block" `Quick test_validate_catches_mid_terminator;
+        Alcotest.test_case "operand arity" `Quick test_validate_catches_arity;
+        Alcotest.test_case "unresolved global" `Quick test_validate_unresolved_global;
+      ] );
+    ("ir.pretty", [ Alcotest.test_case "round trip fragments" `Quick test_pretty_simple ]);
+  ]

@@ -1,0 +1,141 @@
+(* Tests for the Memory Address Orderer / LSQ model. *)
+
+module Mao = Mosaic_tile.Mao
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mk ?(capacity = 8) ?(perfect_alias = false) () =
+  Mao.create ~capacity ~perfect_alias
+
+let test_load_blocked_by_unresolved_store () =
+  let m = mk () in
+  Mao.insert m ~seq:0 ~kind:Mao.K_store ~addr:100 ~size:4;
+  Mao.insert m ~seq:1 ~kind:Mao.K_load ~addr:200 ~size:4;
+  Mao.resolve m ~seq:1;
+  (* store address still unresolved: the load must wait *)
+  checkb "load blocked" false (Mao.can_issue m ~seq:1);
+  Mao.resolve m ~seq:0;
+  checkb "load free after resolve (no overlap)" true (Mao.can_issue m ~seq:1)
+
+let test_load_blocked_by_matching_store () =
+  let m = mk () in
+  Mao.insert m ~seq:0 ~kind:Mao.K_store ~addr:100 ~size:4;
+  Mao.insert m ~seq:1 ~kind:Mao.K_load ~addr:100 ~size:4;
+  Mao.resolve m ~seq:0;
+  Mao.resolve m ~seq:1;
+  checkb "aliasing load blocked" false (Mao.can_issue m ~seq:1);
+  Mao.complete m ~seq:0;
+  checkb "free after store completes" true (Mao.can_issue m ~seq:1)
+
+let test_load_not_blocked_by_older_load () =
+  let m = mk () in
+  Mao.insert m ~seq:0 ~kind:Mao.K_load ~addr:100 ~size:4;
+  Mao.insert m ~seq:1 ~kind:Mao.K_load ~addr:100 ~size:4;
+  (* loads never conflict with loads, even unresolved *)
+  Mao.resolve m ~seq:1;
+  checkb "load-load fine" true (Mao.can_issue m ~seq:1)
+
+let test_store_blocked_by_any_older () =
+  let m = mk () in
+  Mao.insert m ~seq:0 ~kind:Mao.K_load ~addr:100 ~size:4;
+  Mao.insert m ~seq:1 ~kind:Mao.K_store ~addr:100 ~size:4;
+  Mao.resolve m ~seq:0;
+  Mao.resolve m ~seq:1;
+  checkb "store blocked by older matching load" false (Mao.can_issue m ~seq:1);
+  Mao.complete m ~seq:0;
+  checkb "free after load completes" true (Mao.can_issue m ~seq:1)
+
+let test_overlap_partial () =
+  let m = mk () in
+  (* 8-byte store overlapping a 4-byte load at +4 *)
+  Mao.insert m ~seq:0 ~kind:Mao.K_store ~addr:100 ~size:8;
+  Mao.insert m ~seq:1 ~kind:Mao.K_load ~addr:104 ~size:4;
+  Mao.resolve m ~seq:0;
+  Mao.resolve m ~seq:1;
+  checkb "partial overlap blocks" false (Mao.can_issue m ~seq:1)
+
+let test_perfect_alias_resolves_upfront () =
+  let m = mk ~perfect_alias:true () in
+  Mao.insert m ~seq:0 ~kind:Mao.K_store ~addr:100 ~size:4;
+  Mao.insert m ~seq:1 ~kind:Mao.K_load ~addr:200 ~size:4;
+  (* no resolve calls needed: addresses known from the trace *)
+  checkb "non-aliasing load issues immediately" true (Mao.can_issue m ~seq:1)
+
+let test_capacity_window () =
+  let m = mk ~capacity:2 ~perfect_alias:true () in
+  Mao.insert m ~seq:0 ~kind:Mao.K_load ~addr:0 ~size:4;
+  Mao.insert m ~seq:1 ~kind:Mao.K_load ~addr:64 ~size:4;
+  Mao.insert m ~seq:2 ~kind:Mao.K_load ~addr:128 ~size:4;
+  checkb "inside window" true (Mao.can_issue m ~seq:1);
+  checkb "outside window" false (Mao.can_issue m ~seq:2);
+  Mao.complete m ~seq:0;
+  checkb "window slides on completion" true (Mao.can_issue m ~seq:2)
+
+let test_occupancy_and_stalls () =
+  let m = mk ~capacity:1 ~perfect_alias:true () in
+  Mao.insert m ~seq:0 ~kind:Mao.K_load ~addr:0 ~size:4;
+  Mao.insert m ~seq:1 ~kind:Mao.K_load ~addr:64 ~size:4;
+  checki "occupancy" 2 (Mao.occupancy m);
+  ignore (Mao.can_issue m ~seq:1);
+  checki "stall recorded" 1 (Mao.stalls m);
+  Mao.complete m ~seq:0;
+  Mao.complete m ~seq:1;
+  checki "drained" 0 (Mao.occupancy m)
+
+let test_duplicate_seq_rejected () =
+  let m = mk () in
+  Mao.insert m ~seq:5 ~kind:Mao.K_load ~addr:0 ~size:4;
+  Alcotest.check_raises "duplicate" (Invalid_argument "Mao.insert: duplicate seq 5")
+    (fun () -> Mao.insert m ~seq:5 ~kind:Mao.K_load ~addr:64 ~size:4)
+
+(* Property: under perfect alias, a load never issues while an older
+   overlapping store is incomplete, for random programs. *)
+let prop_no_raw_violation =
+  QCheck.Test.make ~name:"MAO never lets a load pass a conflicting store"
+    ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (pair bool (int_range 0 4)))
+    (fun ops ->
+      let m = mk ~capacity:64 ~perfect_alias:true () in
+      let entries =
+        List.mapi
+          (fun seq (is_store, slot) ->
+            let kind = if is_store then Mao.K_store else Mao.K_load in
+            Mao.insert m ~seq ~kind ~addr:(slot * 8) ~size:8;
+            (seq, kind, slot))
+          ops
+      in
+      List.for_all
+        (fun (seq, kind, slot) ->
+          match kind with
+          | Mao.K_store -> true
+          | Mao.K_load ->
+              let conflicting_older =
+                List.exists
+                  (fun (s2, k2, slot2) ->
+                    s2 < seq && k2 = Mao.K_store && slot2 = slot)
+                  entries
+              in
+              if conflicting_older then not (Mao.can_issue m ~seq) else true)
+        entries)
+
+let suite =
+  [
+    ( "tile.mao",
+      [
+        Alcotest.test_case "unresolved store blocks load" `Quick
+          test_load_blocked_by_unresolved_store;
+        Alcotest.test_case "matching store blocks load" `Quick
+          test_load_blocked_by_matching_store;
+        Alcotest.test_case "loads pass loads" `Quick test_load_not_blocked_by_older_load;
+        Alcotest.test_case "store waits for older accesses" `Quick
+          test_store_blocked_by_any_older;
+        Alcotest.test_case "partial overlap" `Quick test_overlap_partial;
+        Alcotest.test_case "perfect alias speculation" `Quick
+          test_perfect_alias_resolves_upfront;
+        Alcotest.test_case "capacity window" `Quick test_capacity_window;
+        Alcotest.test_case "occupancy and stalls" `Quick test_occupancy_and_stalls;
+        Alcotest.test_case "duplicate seq" `Quick test_duplicate_seq_rejected;
+        QCheck_alcotest.to_alcotest prop_no_raw_violation;
+      ] );
+  ]

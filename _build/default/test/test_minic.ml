@@ -1,0 +1,266 @@
+(* Tests for the MiniC front-end. *)
+
+open Mosaic_ir
+module Minic = Mosaic_frontend.Minic
+module Interp = Mosaic_trace.Interp
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let run ?(ntiles = 1) ?(args = []) src kernel =
+  let prog = Minic.compile src in
+  let it = Interp.create prog ~kernel ~ntiles ~args in
+  (prog, it)
+
+let peek prog it name i =
+  Interp.peek_global it (Program.global_exn prog name) i
+
+let test_arithmetic () =
+  let src =
+    {|
+global out[4] : i64;
+kernel k() {
+  out[0] = 2 + 3 * 4;
+  out[1] = (2 + 3) * 4;
+  out[2] = 17 % 5;
+  out[3] = -7 + 1;
+}
+|}
+  in
+  let prog, it = run src "k" in
+  let _ = Interp.run it in
+  checki "precedence" 14 (Value.to_int (peek prog it "out" 0));
+  checki "parens" 20 (Value.to_int (peek prog it "out" 1));
+  checki "mod" 2 (Value.to_int (peek prog it "out" 2));
+  checki "negation" (-6) (Value.to_int (peek prog it "out" 3))
+
+let test_floats_and_promotion () =
+  let src =
+    {|
+global out[3] : f64;
+kernel k() {
+  out[0] = 1.5 * 2;          // int promotes to float
+  out[1] = sqrt(16.0) + float(1);
+  out[2] = pow(2.0, 10);
+}
+|}
+  in
+  let prog, it = run src "k" in
+  let _ = Interp.run it in
+  checkf "promotion" 3.0 (Value.to_float (peek prog it "out" 0));
+  checkf "sqrt+cast" 5.0 (Value.to_float (peek prog it "out" 1));
+  checkf "pow" 1024.0 (Value.to_float (peek prog it "out" 2))
+
+let test_control_flow () =
+  let src =
+    {|
+global out[1] : i64;
+kernel k(n) {
+  var acc = 0;
+  for (i = 0; i < n; i = i + 1) {
+    if (i % 2 == 0) { acc = acc + i; } else { acc = acc - 1; }
+  }
+  var j = 0;
+  while (j < 3) { acc = acc * 2; j = j + 1; }
+  out[0] = acc;
+}
+|}
+  in
+  let prog, it = run ~args:[ Value.of_int 10 ] src "k" in
+  let _ = Interp.run it in
+  (* evens 0..8 sum 20, minus 5 odd decrements = 15; *8 = 120 *)
+  checki "loops and branches" 120 (Value.to_int (peek prog it "out" 0))
+
+let test_arrays_and_spmd () =
+  let src =
+    {|
+global data[64] : f32;
+kernel scale(n) {
+  var chunk = n / ntiles;
+  var lo = tid * chunk;
+  for (i = lo; i < lo + chunk; i = i + 1) {
+    data[i] = data[i] * 3.0;
+  }
+}
+|}
+  in
+  let prog = Minic.compile src in
+  let g = Program.global_exn prog "data" in
+  let it = Interp.create prog ~kernel:"scale" ~ntiles:4 ~args:[ Value.of_int 64 ] in
+  for i = 0 to 63 do
+    Interp.poke_global it g i (Value.of_float (float_of_int i))
+  done;
+  let _ = Interp.run it in
+  let ok = ref true in
+  for i = 0 to 63 do
+    if
+      Float.abs (Value.to_float (Interp.peek_global it g i) -. (3.0 *. float_of_int i))
+      > 1e-9
+    then ok := false
+  done;
+  checkb "all tiles scaled their slices" true !ok
+
+let test_atomics_and_logic () =
+  let src =
+    {|
+global hist[4] : i64;
+global src_data[32] : i64;
+kernel count(n) {
+  for (i = 0; i < n; i = i + 1) {
+    var v = src_data[i];
+    if (v >= 0 && v < 4) { atomic hist[v] += 1; }
+    if (!(v < 4)) { atomic hist[3] += 1; }
+  }
+}
+|}
+  in
+  let prog = Minic.compile src in
+  let gsrc = Program.global_exn prog "src_data" in
+  let it = Interp.create prog ~kernel:"count" ~ntiles:2 ~args:[ Value.of_int 32 ] in
+  for i = 0 to 31 do
+    Interp.poke_global it gsrc i (Value.of_int (i mod 6))
+  done;
+  let _ = Interp.run it in
+  (* values 0..5 repeating: 0,1,2,3 get 6,6,6,5(+direct)... compute host side *)
+  let expected = Array.make 4 0 in
+  for i = 0 to 31 do
+    let v = i mod 6 in
+    if v < 4 then expected.(v) <- expected.(v) + 1;
+    if not (v < 4) then expected.(3) <- expected.(3) + 1
+  done;
+  (* both tiles scan all 32 elements: counts double *)
+  for b = 0 to 3 do
+    checki "histogram bin" (2 * expected.(b))
+      (Value.to_int (peek prog it "hist" b))
+  done
+
+let test_channels () =
+  let src =
+    {|
+global out[1] : f64;
+kernel pipe() {
+  if (tid == 0) {
+    for (i = 0; i < 5; i = i + 1) { send(0, 1, float(i)); }
+  } else {
+    var acc = 0.0;
+    for (i = 0; i < 5; i = i + 1) { acc = acc + recv(0); }
+    out[0] = acc;
+  }
+}
+|}
+  in
+  let prog = Minic.compile src in
+  let it = Interp.create prog ~kernel:"pipe" ~ntiles:2 ~args:[] in
+  let _ = Interp.run it in
+  checkf "0+1+2+3+4" 10.0 (Value.to_float (peek prog it "out" 0))
+
+let test_compiled_kernel_simulates () =
+  let src =
+    {|
+global a[256] : f32;
+global b[256] : f32;
+kernel add(n) {
+  for (i = 0; i < n; i = i + 1) { b[i] = a[i] + 1.0; }
+}
+|}
+  in
+  let prog = Minic.compile src in
+  let it = Interp.create prog ~kernel:"add" ~ntiles:1 ~args:[ Value.of_int 256 ] in
+  let trace = Interp.run it in
+  let r =
+    Mosaic.Soc.run_homogeneous Mosaic.Presets.dae_soc ~program:prog ~trace
+      ~tile_config:Mosaic_tile.Tile_config.out_of_order
+  in
+  checkb "simulates" true (r.Mosaic.Soc.cycles > 0)
+
+let expect_error src =
+  try
+    ignore (Minic.compile src);
+    false
+  with Minic.Error _ | Invalid_argument _ -> true
+
+let test_errors () =
+  checkb "unknown variable" true
+    (expect_error "kernel k() { x = 1; }");
+  checkb "unknown array" true
+    (expect_error "kernel k() { nope[0] = 1; }");
+  checkb "float index" true
+    (expect_error "global a[4] : i64;\nkernel k() { a[1.5] = 1; }");
+  checkb "float stored to int array" true
+    (expect_error "global a[4] : i64;\nkernel k() { a[0] = 1.5; }");
+  checkb "mod on floats" true
+    (expect_error "global a[4] : f64;\nkernel k() { a[0] = 1.5 % 2.0; }");
+  checkb "missing semicolon" true
+    (expect_error "global a[4] : i64;\nkernel k() { a[0] = 1 }");
+  checkb "no kernels" true (expect_error "global a[4] : i64;")
+
+let test_error_line_numbers () =
+  try ignore (Minic.compile "kernel k() {\n  x = 1;\n}")
+  with Minic.Error { line; _ } -> checki "line" 2 line
+
+(* Property: random integer expressions rendered as MiniC source compile
+   and evaluate to the same value as a direct Int64 evaluation. *)
+type iexpr =
+  | L of int
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+  | Mul of iexpr * iexpr
+
+let arb_iexpr =
+  let open QCheck.Gen in
+  let leaf = map (fun n -> L n) (int_range (-50) 50) in
+  let node self n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          (2, map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2)));
+          (2, map2 (fun a b -> Sub (a, b)) (self (n / 2)) (self (n / 2)));
+          (1, map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2)));
+        ]
+  in
+  QCheck.make (sized_size (int_range 1 6) (fix node))
+
+let rec eval_iexpr = function
+  | L n -> Int64.of_int n
+  | Add (a, b) -> Int64.add (eval_iexpr a) (eval_iexpr b)
+  | Sub (a, b) -> Int64.sub (eval_iexpr a) (eval_iexpr b)
+  | Mul (a, b) -> Int64.mul (eval_iexpr a) (eval_iexpr b)
+
+let rec render = function
+  | L n -> if n < 0 then Printf.sprintf "(0 - %d)" (-n) else string_of_int n
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (render a) (render b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (render a) (render b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (render a) (render b)
+
+let prop_minic_expr =
+  QCheck.Test.make ~name:"minic compiles expressions faithfully" ~count:60
+    arb_iexpr (fun e ->
+      let src =
+        Printf.sprintf "global out[1] : i64;\nkernel k() { out[0] = %s; }"
+          (render e)
+      in
+      let prog = Minic.compile src in
+      let it = Interp.create prog ~kernel:"k" ~ntiles:1 ~args:[] in
+      let _ = Interp.run it in
+      Value.to_int64 (peek prog it "out" 0) = eval_iexpr e)
+
+let suite =
+  [
+    ( "frontend.minic",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "floats and promotion" `Quick test_floats_and_promotion;
+        Alcotest.test_case "control flow" `Quick test_control_flow;
+        Alcotest.test_case "arrays and SPMD" `Quick test_arrays_and_spmd;
+        Alcotest.test_case "atomics and logic" `Quick test_atomics_and_logic;
+        Alcotest.test_case "channels" `Quick test_channels;
+        Alcotest.test_case "compiled kernel simulates" `Quick
+          test_compiled_kernel_simulates;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "error lines" `Quick test_error_line_numbers;
+        QCheck_alcotest.to_alcotest prop_minic_expr;
+      ] );
+  ]

@@ -1,0 +1,146 @@
+(* Tests for the textual IR parser and printer round-trips. *)
+
+open Mosaic_ir
+module B = Builder
+module Interp = Mosaic_trace.Interp
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let saxpy_text =
+  {|
+global @data : 16 x 4B at 0x1000
+kernel @scale(params=1, regs=4) {
+bb0:
+  %r1 = gep.4 @data %r0
+  %r2 = load.4 %r1
+  %r3 = fmul %r2 2.0
+  store.4 %r1 %r3
+  ret
+}
+|}
+
+let test_parse_simple () =
+  let p = Parse.program saxpy_text in
+  let f = Program.func_exn p "scale" in
+  checki "nparams" 1 f.Func.nparams;
+  checki "nregs inferred" 4 f.Func.nregs;
+  checki "instructions" 5 f.Func.ninstrs;
+  let g = Program.global_exn p "data" in
+  checki "elems" 16 g.Program.elems;
+  checki "elem size" 4 g.Program.elem_size
+
+let test_parsed_kernel_executes () =
+  let p = Parse.program saxpy_text in
+  let g = Program.global_exn p "data" in
+  let it = Interp.create p ~kernel:"scale" ~ntiles:1 ~args:[ Value.of_int 3 ] in
+  Interp.poke_global it g 3 (Value.of_float 21.0);
+  let _ = Interp.run it in
+  Alcotest.(check (float 1e-9)) "scaled in place" 42.0
+    (Value.to_float (Interp.peek_global it g 3))
+
+let test_round_trip_builder_program () =
+  (* Build with the DSL, print, parse, print again: fixpoint. *)
+  let p = Program.create () in
+  let xs = Program.alloc p "xs" ~elems:32 ~elem_size:4 in
+  let _ =
+    B.define p "axpy" ~nparams:1 (fun b ->
+        let n = B.param b 0 in
+        B.for_ b ~from:(B.imm 0) ~to_:n (fun i ->
+            let x = B.load b ~size:4 (B.elem b xs i) in
+            B.if_ b
+              (B.fcmp b Op.Gt x (B.fimm 0.5))
+              (fun () ->
+                B.store b ~size:4 ~addr:(B.elem b xs i)
+                  (B.fmul b x (B.fimm 2.0))));
+        B.ret b ())
+  in
+  (* The parser renumbers instruction ids in block order, so the fixpoint
+     starts after one trip: print(parse(x)) is stable from then on. *)
+  let printed = Format.asprintf "%a" Pretty.pp_program p in
+  let printed2 =
+    Format.asprintf "%a" Pretty.pp_program (Parse.program printed)
+  in
+  let printed3 =
+    Format.asprintf "%a" Pretty.pp_program (Parse.program printed2)
+  in
+  checks "print-parse-print fixpoint" printed2 printed3
+
+let test_round_trip_comm_ops () =
+  let p = Program.create () in
+  let xs = Program.alloc p "xs" ~elems:8 ~elem_size:8 in
+  let _ =
+    B.define p "comm" ~nparams:0 (fun b ->
+        B.load_send b ~chan:3 ~dst:(B.imm 1) (B.elem b xs (B.imm 0));
+        B.store_recv b ~chan:4 ~rmw:Op.Rmw_add ~addr:(B.elem b xs (B.imm 1)) ();
+        B.send b ~chan:0 ~dst:(B.imm 1) (B.imm 9);
+        let _ = B.recv b ~chan:0 in
+        ignore (B.atomic b Op.Rmw_max ~addr:(B.elem b xs (B.imm 2)) (B.imm 5));
+        B.accel b "gemm" [ B.imm 4; B.imm 4; B.imm 4 ];
+        B.ret b ())
+  in
+  let printed = Format.asprintf "%a" Pretty.pp_program p in
+  let printed2 =
+    Format.asprintf "%a" Pretty.pp_program (Parse.program printed)
+  in
+  let printed3 =
+    Format.asprintf "%a" Pretty.pp_program (Parse.program printed2)
+  in
+  checks "comm ops round trip" printed2 printed3
+
+let test_parse_errors () =
+  let expect_fail text =
+    try
+      ignore (Parse.program text);
+      false
+    with Parse.Parse_error _ | Invalid_argument _ -> true
+  in
+  checkb "unknown op" true
+    (expect_fail "kernel @k(params=0, regs=1) {\nbb0:\n  frobnicate\n  ret\n}");
+  checkb "missing dest" true
+    (expect_fail "kernel @k(params=0, regs=1) {\nbb0:\n  add 1 2\n  ret\n}");
+  checkb "unclosed kernel" true
+    (expect_fail "kernel @k(params=0, regs=1) {\nbb0:\n  ret\n");
+  checkb "instruction outside kernel" true (expect_fail "  ret\n");
+  checkb "unterminated block caught by validation" true
+    (expect_fail
+       "kernel @k(params=0, regs=2) {\nbb0:\n  %r0 = add 1 2\n}");
+  checkb "bad branch target caught" true
+    (expect_fail "kernel @k(params=0, regs=0) {\nbb0:\n  br bb7\n}")
+
+let test_parse_error_reports_line () =
+  try
+    ignore
+      (Parse.program "kernel @k(params=0, regs=1) {\nbb0:\n  frobnicate\n}")
+  with Parse.Parse_error { line; _ } -> checki "line number" 3 line
+
+let test_round_trip_workload () =
+  (* A real workload survives the trip and still validates. *)
+  let inst = Mosaic_workloads.Registry.instance "stencil" in
+  let printed =
+    Format.asprintf "%a" Pretty.pp_program inst.Mosaic_workloads.Runner.program
+  in
+  let reparsed = Parse.program printed in
+  let f = Program.func_exn reparsed "stencil" in
+  let orig =
+    Program.func_exn inst.Mosaic_workloads.Runner.program "stencil"
+  in
+  checki "same instruction count" orig.Func.ninstrs f.Func.ninstrs;
+  checki "same block count"
+    (Array.length orig.Func.blocks)
+    (Array.length f.Func.blocks)
+
+let suite =
+  [
+    ( "ir.parse",
+      [
+        Alcotest.test_case "simple program" `Quick test_parse_simple;
+        Alcotest.test_case "parsed kernel executes" `Quick test_parsed_kernel_executes;
+        Alcotest.test_case "builder round trip" `Quick test_round_trip_builder_program;
+        Alcotest.test_case "comm ops round trip" `Quick test_round_trip_comm_ops;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "error line numbers" `Quick test_parse_error_reports_line;
+        Alcotest.test_case "workload round trip" `Quick test_round_trip_workload;
+      ] );
+  ]

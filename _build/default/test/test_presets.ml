@@ -1,0 +1,75 @@
+(* Sanity over the shipped system presets: geometries validate, tables are
+   populated, and the documented relationships hold. *)
+
+module Presets = Mosaic.Presets
+module Hierarchy = Mosaic_memory.Hierarchy
+module Cache = Mosaic_memory.Cache
+module TC = Mosaic_tile.Tile_config
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let validate_hierarchy (h : Hierarchy.config) =
+  ignore (Cache.validate_config h.Hierarchy.l1);
+  Option.iter (fun c -> ignore (Cache.validate_config c)) h.Hierarchy.l2;
+  Option.iter (fun c -> ignore (Cache.validate_config c)) h.Hierarchy.llc;
+  (* creating the hierarchy exercises the DRAM configs too *)
+  ignore (Hierarchy.create ~ntiles:2 h)
+
+let test_hierarchies_valid () =
+  validate_hierarchy Presets.xeon_hierarchy;
+  validate_hierarchy Presets.xeon_scaled_hierarchy;
+  validate_hierarchy Presets.dae_hierarchy
+
+let test_xeon_capacities () =
+  let h = Presets.xeon_hierarchy in
+  checki "L1 32KB" (32 * 1024) h.Hierarchy.l1.Cache.size_bytes;
+  (match h.Hierarchy.l2 with
+  | Some l2 -> checki "L2 2MB" (2 * 1024 * 1024) l2.Cache.size_bytes
+  | None -> Alcotest.fail "xeon has a private L2");
+  match h.Hierarchy.llc with
+  | Some llc -> checki "LLC 20MB" (20 * 1024 * 1024) llc.Cache.size_bytes
+  | None -> Alcotest.fail "xeon has an LLC"
+
+let test_scaled_smaller () =
+  let full = Presets.xeon_hierarchy and scaled = Presets.xeon_scaled_hierarchy in
+  checkb "scaled L1 smaller" true
+    (scaled.Hierarchy.l1.Cache.size_bytes < full.Hierarchy.l1.Cache.size_bytes)
+
+let test_core_presets () =
+  checki "Table II OoO width" 4 TC.out_of_order.TC.issue_width;
+  checki "Table II OoO window" 128 TC.out_of_order.TC.window_size;
+  checki "InO single issue" 1 TC.in_order.TC.issue_width;
+  checkb "InO issues in order" true TC.in_order.TC.in_order;
+  checkb "OoO out of order" false TC.out_of_order.TC.in_order;
+  checkb "areas match Table II" true
+    (TC.out_of_order.TC.area_mm2 = 8.44 && TC.in_order.TC.area_mm2 = 1.01);
+  checkb "8 InO ~ area of 1 OoO" true
+    (Float.abs ((8.0 *. TC.in_order.TC.area_mm2) -. TC.out_of_order.TC.area_mm2)
+    < 0.5)
+
+let test_tables_populated () =
+  checkb "table1 rows" true (List.length Presets.table1_rows >= 6);
+  checkb "table2 rows" true (List.length Presets.table2_rows >= 8);
+  List.iter
+    (fun (k, v) -> checkb k true (String.length v > 0))
+    (Presets.table1_rows @ Presets.table2_rows)
+
+let test_accel_tile_preset () =
+  let a = TC.pre_rtl_accelerator ~live_dbb_limit:4 () in
+  checkb "live dbb limit set" true (a.TC.live_dbb_limit = Some 4);
+  checkb "perfect speculation" true (a.TC.branch = Mosaic_tile.Branch.Perfect);
+  checkb "alias speculation" true a.TC.perfect_alias
+
+let suite =
+  [
+    ( "presets",
+      [
+        Alcotest.test_case "hierarchies validate" `Quick test_hierarchies_valid;
+        Alcotest.test_case "xeon capacities" `Quick test_xeon_capacities;
+        Alcotest.test_case "scaled hierarchy smaller" `Quick test_scaled_smaller;
+        Alcotest.test_case "core presets" `Quick test_core_presets;
+        Alcotest.test_case "tables populated" `Quick test_tables_populated;
+        Alcotest.test_case "accelerator tile preset" `Quick test_accel_tile_preset;
+      ] );
+  ]

@@ -1,0 +1,282 @@
+(* Tests for the mosaic_util substrate. *)
+
+open Mosaic_util
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Pqueue --- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, x) -> Pqueue.add q ~prio:p x) [ (5, "e"); (1, "a"); (3, "c") ];
+  Alcotest.(check (option (pair int string))) "peek" (Some (1, "a")) (Pqueue.peek q);
+  Alcotest.(check (option (pair int string))) "pop1" (Some (1, "a")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "pop2" (Some (3, "c")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "pop3" (Some (5, "e")) (Pqueue.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None (Pqueue.pop q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun x -> Pqueue.add q ~prio:7 x) [ "first"; "second"; "third" ];
+  let order = List.filter_map (fun () -> Option.map snd (Pqueue.pop q)) [ (); (); () ] in
+  Alcotest.(check (list string)) "fifo on equal priority"
+    [ "first"; "second"; "third" ] order
+
+let test_pqueue_pop_until () =
+  let q = Pqueue.create () in
+  List.iter (fun p -> Pqueue.add q ~prio:p p) [ 10; 2; 7; 4; 20 ];
+  let popped = List.map fst (Pqueue.pop_until q ~prio:7) in
+  Alcotest.(check (list int)) "popped <= 7" [ 2; 4; 7 ] popped;
+  check "remaining" 2 (Pqueue.length q)
+
+let test_pqueue_grows () =
+  let q = Pqueue.create () in
+  for i = 99 downto 0 do
+    Pqueue.add q ~prio:i i
+  done;
+  check "length" 100 (Pqueue.length q);
+  let rec drain last =
+    match Pqueue.pop q with
+    | None -> ()
+    | Some (p, _) ->
+        checkb "sorted" true (p >= last);
+        drain p
+  in
+  drain (-1)
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.add q ~prio:1 ();
+  Pqueue.clear q;
+  checkb "empty after clear" true (Pqueue.is_empty q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in sorted order" ~count:100
+    QCheck.(list int)
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iter (fun p -> Pqueue.add q ~prio:p p) prios;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+(* --- Bounded_queue --- *)
+
+let test_bq_capacity () =
+  let q = Bounded_queue.create ~capacity:2 () in
+  checkb "push1" true (Bounded_queue.push q 1);
+  checkb "push2" true (Bounded_queue.push q 2);
+  checkb "push3 rejected" false (Bounded_queue.push q 3);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Bounded_queue.pop q);
+  checkb "room again" true (Bounded_queue.push q 3);
+  Alcotest.(check (list int)) "contents" [ 2; 3 ] (Bounded_queue.to_list q)
+
+let test_bq_unbounded () =
+  let q = Bounded_queue.create () in
+  for i = 0 to 999 do
+    checkb "push" true (Bounded_queue.push q i)
+  done;
+  check "length" 1000 (Bounded_queue.length q);
+  checkb "never full" false (Bounded_queue.is_full q)
+
+let test_bq_fold_iter () =
+  let q = Bounded_queue.create () in
+  List.iter (fun x -> ignore (Bounded_queue.push q x)) [ 1; 2; 3 ];
+  check "fold sum" 6 (Bounded_queue.fold ( + ) 0 q);
+  let seen = ref [] in
+  Bounded_queue.iter (fun x -> seen := x :: !seen) q;
+  Alcotest.(check (list int)) "iter order" [ 3; 2; 1 ] !seen
+
+let test_bq_invalid () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Bounded_queue.create: negative capacity") (fun () ->
+      ignore (Bounded_queue.create ~capacity:(-1) ()))
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 0 to 99 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  checkb "different seeds differ" false (Rng.next a = Rng.next b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 7 in
+  for _ = 0 to 999 do
+    let x = Rng.int r 13 in
+    checkb "in range" true (x >= 0 && x < 13)
+  done
+
+let test_rng_int_invalid () =
+  let r = Rng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_unit_float () =
+  let r = Rng.create 11 in
+  for _ = 0 to 999 do
+    let x = Rng.unit_float r in
+    checkb "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create 5 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian r) in
+  let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+  checkb "mean near 0" true (Float.abs mean < 0.05);
+  let var = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs /. float_of_int n in
+  checkb "variance near 1" true (Float.abs (var -. 1.0) < 0.1)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let x = Rng.int r bound in
+      x >= 0 && x < bound)
+
+(* --- Stats --- *)
+
+let test_stats_mean () =
+  checkf "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  checkf "empty" 0.0 (Stats.mean [])
+
+let test_stats_geomean () =
+  checkf "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive input") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_stddev () =
+  checkf "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  checkf "simple" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  checkf "p0" 1.0 (Stats.percentile 0.0 xs);
+  checkf "p50" 3.0 (Stats.percentile 50.0 xs);
+  checkf "p100" 5.0 (Stats.percentile 100.0 xs);
+  checkf "p25" 2.0 (Stats.percentile 25.0 xs);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty list")
+    (fun () -> ignore (Stats.percentile 50.0 []))
+
+let test_stats_speedup () =
+  checkf "speedup" 4.0 (Stats.speedup ~baseline:8.0 2.0);
+  Alcotest.check_raises "zero denominator"
+    (Invalid_argument "Stats.ratio: zero denominator") (fun () ->
+      ignore (Stats.ratio 1.0 0.0))
+
+let prop_percentile_within_range =
+  QCheck.Test.make ~name:"percentile lies within [min,max]" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_range 0.0 100.0)) (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let v = Stats.percentile p xs in
+      v >= Stats.min xs -. 1e-9 && v <= Stats.max xs +. 1e-9)
+
+(* --- Int_vec --- *)
+
+let test_int_vec () =
+  let v = Int_vec.create () in
+  for i = 0 to 99 do
+    Int_vec.push v (i * i)
+  done;
+  check "length" 100 (Int_vec.length v);
+  check "get" 81 (Int_vec.get v 9);
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Int_vec.get: out of bounds")
+    (fun () -> ignore (Int_vec.get v 100));
+  let arr = Int_vec.to_array v in
+  check "array length" 100 (Array.length arr);
+  check "array content" 9801 arr.(99);
+  Int_vec.clear v;
+  check "cleared" 0 (Int_vec.length v)
+
+(* --- Table --- *)
+
+let test_table_render () =
+  let out =
+    Table.render
+      ~columns:[ Table.column ~align:Table.Left "name"; Table.column "x" ]
+      [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  checkb "has header" true (String.length out > 0);
+  checkb "mentions bb" true
+    (String.split_on_char '\n' out |> List.exists (fun l ->
+         String.length l >= 2 && String.sub l 0 2 = "bb"))
+
+let test_table_ragged_rows () =
+  (* Short rows are padded, long rows truncated; must not raise. *)
+  let out =
+    Table.render
+      ~columns:[ Table.column "a"; Table.column "b" ]
+      [ [ "1" ]; [ "1"; "2"; "3" ] ]
+  in
+  checkb "renders" true (String.length out > 0)
+
+let test_table_cells () =
+  Alcotest.(check string) "fcell" "3.14" (Table.fcell 3.14159);
+  Alcotest.(check string) "fcell decimals" "3.1" (Table.fcell ~decimals:1 3.14159);
+  Alcotest.(check string) "icell" "42" (Table.icell 42)
+
+let suite =
+  [
+    ( "util.pqueue",
+      [
+        Alcotest.test_case "ordering" `Quick test_pqueue_order;
+        Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+        Alcotest.test_case "pop_until" `Quick test_pqueue_pop_until;
+        Alcotest.test_case "growth keeps order" `Quick test_pqueue_grows;
+        Alcotest.test_case "clear" `Quick test_pqueue_clear;
+        QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+      ] );
+    ( "util.bounded_queue",
+      [
+        Alcotest.test_case "capacity backpressure" `Quick test_bq_capacity;
+        Alcotest.test_case "unbounded" `Quick test_bq_unbounded;
+        Alcotest.test_case "fold and iter" `Quick test_bq_fold_iter;
+        Alcotest.test_case "invalid capacity" `Quick test_bq_invalid;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+        Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+        Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+        Alcotest.test_case "unit_float range" `Quick test_rng_unit_float;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+        QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_stats_mean;
+        Alcotest.test_case "geomean" `Quick test_stats_geomean;
+        Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "speedup/ratio" `Quick test_stats_speedup;
+        QCheck_alcotest.to_alcotest prop_percentile_within_range;
+      ] );
+    ("util.int_vec", [ Alcotest.test_case "push/get/clear" `Quick test_int_vec ]);
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+        Alcotest.test_case "cells" `Quick test_table_cells;
+      ] );
+  ]

@@ -1,0 +1,128 @@
+(* End-to-end validation of the memory system against its configured
+   parameters, using the microbenchmark probes: the simulator must
+   reproduce the latencies and bandwidths it was configured with. *)
+
+module W = Mosaic_workloads
+module Soc = Mosaic.Soc
+module TC = Mosaic_tile.Tile_config
+module Hierarchy = Mosaic_memory.Hierarchy
+module Cache = Mosaic_memory.Cache
+module Dram = Mosaic_memory.Dram
+
+let checkb = Alcotest.(check bool)
+
+(* A bare hierarchy with known numbers: 1-cycle 8KB L1, no L2/LLC, DRAM with
+   150-cycle latency and 8 lines per 64-cycle epoch (= 8 B/cycle). *)
+let lab_hierarchy =
+  {
+    Hierarchy.l1 =
+      {
+        Cache.size_bytes = 8 * 1024;
+        line_size = 64;
+        assoc = 8;
+        latency = 1;
+        mshr_size = 16;
+        prefetch = None;
+      };
+    l2 = None;
+    llc = None;
+    dram =
+      Hierarchy.Simple
+        { Dram.min_latency = 150; lines_per_epoch = 8; epoch_cycles = 64 };
+    coherence = None;
+  }
+
+let lab_soc = Soc.with_hierarchy Mosaic.Presets.dae_soc lab_hierarchy
+
+let run inst =
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  Soc.run_homogeneous lab_soc ~program:inst.W.Runner.program ~trace
+    ~tile_config:TC.out_of_order
+
+let test_pointer_chase_sees_latency () =
+  (* 4096 nodes x 8B = 32KB, 4x the L1: most hops miss to DRAM. The chain
+     is fully dependent, so cycles/step must approach the DRAM latency. *)
+  let steps = 2000 in
+  let r = run (W.Micro.pointer_chase ~nodes:4096 ~steps ()) in
+  let per_step = float_of_int r.Soc.cycles /. float_of_int steps in
+  checkb
+    (Printf.sprintf "latency-bound chain (%.0f cyc/step, expect ~150)" per_step)
+    true
+    (per_step > 100.0 && per_step < 220.0)
+
+let test_pointer_chase_in_cache_is_fast () =
+  (* 64 nodes fit in L1: each hop costs ~the L1 latency + ALU work. *)
+  let steps = 2000 in
+  let r = run (W.Micro.pointer_chase ~nodes:64 ~steps ()) in
+  let per_step = float_of_int r.Soc.cycles /. float_of_int steps in
+  checkb
+    (Printf.sprintf "cache-resident chain (%.1f cyc/step)" per_step)
+    true (per_step < 12.0)
+
+let test_stream_sees_bandwidth () =
+  (* 64K elements x 8B = 512KB streamed once. The configured DRAM bandwidth
+     is 8 B/cycle, so the kernel cannot beat bytes/8 cycles. Without a
+     prefetcher the 128-entry window covers ~16 elements = 2 concurrent
+     line misses, so the expected pace is ~latency/2 per line
+     (~9.4 cyc/elem); assert that window-limited regime, not peak. *)
+  let elems = 64 * 1024 in
+  let r = run (W.Micro.stream ~elems ()) in
+  let bytes = 8 * elems in
+  let bw_floor = bytes / 8 in
+  checkb "cannot beat configured bandwidth" true (r.Soc.cycles >= bw_floor);
+  let per_elem = float_of_int r.Soc.cycles /. float_of_int elems in
+  checkb
+    (Printf.sprintf "window-limited streaming pace (%.1f cyc/elem)" per_elem)
+    true
+    (per_elem > 6.0 && per_elem < 14.0)
+
+let test_random_access_mlp () =
+  (* Independent random misses overlap up to the 16-entry MSHR: throughput
+     must beat the dependent chain by a wide margin. *)
+  let accesses = 2000 in
+  let chase = run (W.Micro.pointer_chase ~nodes:4096 ~steps:accesses ()) in
+  let rand = run (W.Micro.random_access ~elems:4096 ~accesses ()) in
+  checkb "independent misses overlap" true
+    (rand.Soc.cycles * 3 < chase.Soc.cycles)
+
+let test_prefetcher_closes_stream_gap () =
+  (* With an L1 stream prefetcher, the streaming probe should get closer to
+     the bandwidth floor than without. *)
+  let elems = 32 * 1024 in
+  let with_pf =
+    let h =
+      {
+        lab_hierarchy with
+        Hierarchy.l1 =
+          {
+            lab_hierarchy.Hierarchy.l1 with
+            Cache.prefetch = Some Mosaic_memory.Prefetcher.default_config;
+          };
+      }
+    in
+    let inst = W.Micro.stream ~elems () in
+    let trace = W.Runner.trace inst ~ntiles:1 in
+    (Soc.run_homogeneous
+       (Soc.with_hierarchy Mosaic.Presets.dae_soc h)
+       ~program:inst.W.Runner.program ~trace ~tile_config:TC.out_of_order)
+      .Soc.cycles
+  in
+  let without = (run (W.Micro.stream ~elems ())).Soc.cycles in
+  checkb "prefetcher helps streaming" true (with_pf < without)
+
+let suite =
+  [
+    ( "validation.memory-system",
+      [
+        Alcotest.test_case "pointer chase ~ DRAM latency" `Quick
+          test_pointer_chase_sees_latency;
+        Alcotest.test_case "resident chase ~ L1 latency" `Quick
+          test_pointer_chase_in_cache_is_fast;
+        Alcotest.test_case "stream ~ DRAM bandwidth" `Quick
+          test_stream_sees_bandwidth;
+        Alcotest.test_case "random access exploits MLP" `Quick
+          test_random_access_mlp;
+        Alcotest.test_case "prefetcher closes stream gap" `Quick
+          test_prefetcher_closes_stream_gap;
+      ] );
+  ]

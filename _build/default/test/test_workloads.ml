@@ -1,0 +1,188 @@
+(* Workload tests: every benchmark must run to completion and produce the
+   right answer (the interpreter check), at 1 tile and at an odd tile count
+   (exercising uneven SPMD slicing). Dataset generators are also covered. *)
+
+module W = Mosaic_workloads
+module Trace = Mosaic_trace.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* Small instances so the whole suite stays fast. *)
+let small_instance = function
+  | "bfs" -> W.Bfs.instance ~n:256 ~degree:4 ()
+  | "cutcp" -> W.Cutcp.instance ~grid_points:32 ~atoms:48 ~cutoff:0.5 ()
+  | "histo" -> W.Histo.instance ~n:2048 ~bins:64 ()
+  | "lbm" -> W.Lbm.instance ~h:12 ~w:12 ()
+  | "mri-gridding" -> W.Mri_gridding.instance ~samples:512 ~grid:64 ()
+  | "mri-q" -> W.Mriq.instance ~voxels:24 ~samples:32 ()
+  | "sad" -> W.Sad.instance ~blocks:16 ~block_size:8 ~offsets:4 ()
+  | "sgemm" -> W.Sgemm.instance ~m:12 ~n:12 ~k:12 ()
+  | "spmv" -> W.Spmv.instance ~rows:128 ~cols:128 ~per_row:6 ()
+  | "stencil" -> W.Stencil.instance ~h:16 ~w:16 ()
+  | "tpacf" -> W.Tpacf.instance ~points:32 ~bins:6 ()
+  | "projection" -> W.Projection.instance ~n_left:48 ~n_right:64 ~degree:4 ()
+  | "ewsd" -> W.Ewsd.instance ~rows:64 ~cols:64 ~per_row:4 ()
+  | "sinkhorn" ->
+      W.Sinkhorn.instance ~dim:10 ~rows:32 ~cols:32 ~per_row:4 ~reps:2 ()
+  | "sinkhorn-accel" ->
+      W.Sinkhorn.instance ~accel:true ~dim:10 ~rows:32 ~cols:32 ~per_row:4
+        ~reps:2 ()
+  | name -> invalid_arg name
+
+let correctness_case name =
+  Alcotest.test_case name `Quick (fun () ->
+      (* Runner.trace raises on a wrong answer. *)
+      let t1 = W.Runner.trace (small_instance name) ~ntiles:1 in
+      checkb "instructions executed" true (Trace.total_dyn_instrs t1 > 0);
+      let t3 = W.Runner.trace (small_instance name) ~ntiles:3 in
+      checkb "three tiles also correct" true (Trace.total_dyn_instrs t3 > 0))
+
+let test_registry_names () =
+  checki "eleven parboil kernels" 11 (List.length W.Registry.parboil_names);
+  List.iter
+    (fun n -> checkb n true (List.mem n W.Registry.all_names))
+    W.Registry.parboil_names;
+  checkb "unknown rejected" true
+    (try
+       ignore (W.Registry.instance "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_storage_accounting () =
+  let inst = small_instance "sgemm" in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let control, memory = Trace.storage_bytes trace in
+  checkb "control bytes counted" true (control > 0);
+  checki "memory bytes = 8 per access" (8 * Trace.total_mem_accesses trace) memory
+
+let test_trace_save_load () =
+  let inst = small_instance "stencil" in
+  let trace = W.Runner.trace inst ~ntiles:2 in
+  let path = Filename.temp_file "mosaic" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save trace path;
+      let loaded = Trace.load path in
+      checki "tiles preserved" trace.Trace.ntiles loaded.Trace.ntiles;
+      checki "instructions preserved"
+        (Trace.total_dyn_instrs trace)
+        (Trace.total_dyn_instrs loaded))
+
+let test_dae_instances_correct () =
+  let run_pairs inst access execute pairs =
+    let spec =
+      Array.init (2 * pairs) (fun i ->
+          ((if i < pairs then access else execute), inst.W.Runner.args))
+    in
+    ignore (W.Runner.trace_hetero inst ~tiles:spec)
+  in
+  let ewsd, info = W.Ewsd.dae_instance ~rows:64 ~cols:64 ~per_row:4 () in
+  checkb "ewsd slices communicate" true (info.Mosaic_compiler.Dae.sent_loads > 0);
+  run_pairs ewsd "ewsd_access" "ewsd_execute" 1;
+  let ewsd2, _ = W.Ewsd.dae_instance ~rows:64 ~cols:64 ~per_row:4 () in
+  run_pairs ewsd2 "ewsd_access" "ewsd_execute" 2;
+  let proj, pinfo = W.Projection.dae_instance ~n_left:48 ~n_right:64 ~degree:4 () in
+  checkb "projection routes atomic values" true
+    (pinfo.Mosaic_compiler.Dae.routed_stores > 0);
+  run_pairs proj "projection_access" "projection_execute" 2
+
+let test_dnn_instances_build () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun accel ->
+          let inst = W.Dnn.instance model ~accel in
+          Mosaic_ir.Validate.check_exn inst.W.Runner.program;
+          let trace = W.Runner.trace inst ~ntiles:1 in
+          checkb
+            (Printf.sprintf "%s traced" inst.W.Runner.name)
+            true
+            (Trace.total_dyn_instrs trace > 0);
+          if accel then begin
+            let has_accel =
+              Array.exists
+                (fun (tt : Trace.tile_trace) ->
+                  Array.exists (fun a -> Array.length a > 0) tt.Trace.accel_params)
+                trace.Trace.tiles
+            in
+            checkb "soc variant invokes accelerators" true has_accel
+          end)
+        [ false; true ])
+    W.Dnn.all
+
+let test_accel_sgemm_matches_software () =
+  (* The accelerated kernel must produce the same matrix as the software
+     kernel (functional model correctness). *)
+  ignore (W.Runner.trace (W.Sgemm.instance ~accel:true ~m:12 ~n:12 ~k:12 ()) ~ntiles:1)
+
+(* --- datasets --- *)
+
+let test_random_graph_valid () =
+  let g = W.Datasets.random_graph ~seed:1 ~n:100 ~degree:5 in
+  checki "row_ptr length" 101 (Array.length g.W.Datasets.row_ptr);
+  checki "edges" 500 (Array.length g.W.Datasets.cols);
+  Array.iteri
+    (fun u _ ->
+      if u < 100 then
+        for k = g.W.Datasets.row_ptr.(u) to g.W.Datasets.row_ptr.(u + 1) - 1 do
+          let v = g.W.Datasets.cols.(k) in
+          checkb "neighbor in range" true (v >= 0 && v < 100);
+          checkb "no self loop" true (v <> u)
+        done)
+    g.W.Datasets.row_ptr
+
+let test_bfs_distances_reference () =
+  (* A path graph 0-1-2-3 encoded in CSR. *)
+  let g =
+    {
+      W.Datasets.n = 4;
+      row_ptr = [| 0; 1; 3; 5; 6 |];
+      cols = [| 1; 0; 2; 1; 3; 2 |];
+    }
+  in
+  Alcotest.(check (array int)) "hop distances" [| 0; 1; 2; 3 |]
+    (W.Datasets.bfs_distances g ~source:0)
+
+let test_sparse_shapes () =
+  let sp = W.Datasets.random_sparse ~seed:2 ~rows:10 ~cols:20 ~per_row:3 in
+  checki "values match nnz"
+    (Array.length sp.W.Datasets.shape.W.Datasets.cols)
+    (Array.length sp.W.Datasets.values);
+  Array.iter
+    (fun v -> checkb "column in range" true (v >= 0 && v < 20))
+    sp.W.Datasets.shape.W.Datasets.cols
+
+let test_deterministic_datasets () =
+  let a = W.Datasets.random_floats ~seed:7 32 in
+  let b = W.Datasets.random_floats ~seed:7 32 in
+  Alcotest.(check (array (float 0.0))) "same seed same data" a b
+
+let suite =
+  [
+    ( "workloads.correctness",
+      List.map correctness_case
+        [
+          "bfs"; "cutcp"; "histo"; "lbm"; "mri-gridding"; "mri-q"; "sad";
+          "sgemm"; "spmv"; "stencil"; "tpacf"; "projection"; "ewsd";
+          "sinkhorn"; "sinkhorn-accel";
+        ] );
+    ( "workloads.infrastructure",
+      [
+        Alcotest.test_case "registry" `Quick test_registry_names;
+        Alcotest.test_case "trace storage accounting" `Quick test_trace_storage_accounting;
+        Alcotest.test_case "trace save/load" `Quick test_trace_save_load;
+        Alcotest.test_case "dae instances" `Quick test_dae_instances_correct;
+        Alcotest.test_case "dnn instances" `Quick test_dnn_instances_build;
+        Alcotest.test_case "accelerated sgemm correct" `Quick
+          test_accel_sgemm_matches_software;
+      ] );
+    ( "workloads.datasets",
+      [
+        Alcotest.test_case "random graph valid" `Quick test_random_graph_valid;
+        Alcotest.test_case "bfs reference distances" `Quick test_bfs_distances_reference;
+        Alcotest.test_case "sparse shapes" `Quick test_sparse_shapes;
+        Alcotest.test_case "deterministic" `Quick test_deterministic_datasets;
+      ] );
+  ]
