@@ -2,9 +2,13 @@
    evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
    paper-vs-measured record).
 
-   Usage: dune exec bench/main.exe [-- SECTION ...]
+   Usage: dune exec bench/main.exe [-- SECTION ...] [--metrics-out=FILE]
    Sections: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-             fig14 speed storage bechamel (default: all). *)
+             fig14 speed storage bechamel (default: all).
+
+   Each section's host time is published as a "bench.SECTION.host_seconds"
+   gauge in a metrics registry; a per-phase summary is printed at the end
+   and --metrics-out=FILE dumps the registry (CSV, or JSON for .json). *)
 
 module W = Mosaic_workloads
 module Soc = Mosaic.Soc
@@ -860,11 +864,50 @@ let sections =
     ("bechamel", bechamel_section);
   ]
 
+module Metrics = Mosaic_obs.Metrics
+
+let bench_metrics = Metrics.create ()
+
+(* Tolerates a section being requested twice (gauges register once). *)
+let record_phase name seconds =
+  let mname = Printf.sprintf "bench.%s.host_seconds" name in
+  let g =
+    match Metrics.find bench_metrics mname with
+    | Some (Metrics.Gauge g) -> g
+    | Some _ -> assert false
+    | None -> Metrics.gauge bench_metrics mname
+  in
+  Metrics.set g seconds
+
+let phase_summary () =
+  let rows = Metrics.rows bench_metrics in
+  if rows <> [] then
+    Table.print ~title:"per-phase host time (from the metrics registry)"
+      ~columns:
+        [ Table.column ~align:Table.Left "phase"; Table.column "seconds" ]
+      (List.map (fun (n, _, v) -> [ n; fcell ~decimals:2 v ]) rows)
+
+let dump_metrics file =
+  let data =
+    if Filename.check_suffix file ".json" then
+      Mosaic_obs.Json.to_string (Metrics.to_json bench_metrics)
+    else Metrics.to_csv bench_metrics
+  in
+  Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc data);
+  Printf.printf "metrics: %s\n" file
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let outs, names =
+    List.partition_map
+      (fun a ->
+        if String.starts_with ~prefix:"--metrics-out=" a then
+          Either.Left (String.sub a 14 (String.length a - 14))
+        else Either.Right a)
+      args
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match names with [] -> List.map fst sections | ns -> ns
   in
   List.iter
     (fun name ->
@@ -873,8 +916,12 @@ let () =
           Printf.printf ">> %s\n%!" name;
           let t0 = Sys.time () in
           f ();
-          Printf.printf "[%s took %.1fs host time]\n\n%!" name (Sys.time () -. t0)
+          let dt = Sys.time () -. t0 in
+          record_phase name dt;
+          Printf.printf "[%s took %.1fs host time]\n\n%!" name dt
       | None ->
           Printf.eprintf "unknown section %s; available: %s\n" name
             (String.concat " " (List.map fst sections)))
-    requested
+    requested;
+  phase_summary ();
+  List.iter dump_metrics outs

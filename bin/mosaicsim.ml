@@ -47,20 +47,66 @@ let list_cmd =
 let print_result name (r : Soc.result) =
   Printf.printf "results: %s\n%s\n" name (Mosaic.Report.full r)
 
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace_event JSON of the run to $(docv); load it in \
+     Perfetto (ui.perfetto.dev) or chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Dump the metrics registry to $(docv): CSV by default, JSON when the \
+     file ends in .json."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Event collection is enabled only when a trace file was requested, so
+   plain runs keep the zero-cost null sink. *)
+let sink_for trace_out =
+  match trace_out with
+  | None -> Mosaic_obs.Sink.null
+  | Some _ -> Mosaic_obs.Sink.create ()
+
+let write_observability ~trace_out ~metrics_out ~sink (r : Soc.result) =
+  Option.iter
+    (fun file ->
+      Mosaic_obs.Trace_export.write_file file (Mosaic_obs.Sink.to_list sink);
+      Printf.printf "trace: %s (%d events, %d dropped)\n" file
+        (Mosaic_obs.Sink.length sink)
+        (Mosaic_obs.Sink.dropped sink))
+    trace_out;
+  Option.iter
+    (fun file ->
+      let data =
+        if Filename.check_suffix file ".json" then
+          Mosaic_obs.Json.to_string (Mosaic_obs.Metrics.to_json r.Soc.metrics)
+        else Mosaic_obs.Metrics.to_csv r.Soc.metrics
+      in
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc data);
+      Printf.printf "metrics: %s\n" file)
+    metrics_out
+
 let run_cmd =
-  let run bench tiles core system =
+  let run bench tiles core system trace_out metrics_out =
     let inst = W.Registry.instance bench in
     let trace = W.Runner.trace inst ~ntiles:tiles in
     let cfg = system_of_string system in
+    let sink = sink_for trace_out in
     let r =
-      Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
+      Soc.run_homogeneous ~sink cfg ~program:inst.W.Runner.program ~trace
         ~tile_config:(core_of_string core)
     in
-    print_result bench r
+    print_result bench r;
+    write_observability ~trace_out ~metrics_out ~sink r
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark on a simulated system")
-    Term.(const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg)
+    Term.(
+      const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
+      $ trace_out_arg $ metrics_out_arg)
 
 let dump_cmd =
   let run bench =

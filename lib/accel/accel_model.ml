@@ -74,3 +74,13 @@ let estimate sys dp w =
     avg_power_w;
     energy_j = avg_power_w *. seconds;
   }
+
+(* [estimate] plus an [Accel_invoke] trace event; the SoC's invocation path
+   goes through here so accelerator activity shows up as spans on the
+   exported trace. *)
+let estimate_traced ?(sink = Mosaic_obs.Sink.null) ~tile ~kind ~cycle sys dp w =
+  let est = estimate sys dp w in
+  if Mosaic_obs.Sink.enabled sink then
+    Mosaic_obs.Sink.emit sink ~cycle
+      (Mosaic_obs.Event.Accel_invoke { tile; kind; cycles = est.cycles });
+  est

@@ -53,3 +53,16 @@ val power_w : design_point -> float
 
 (** Number of PLM-sized chunks the input is streamed in. *)
 val chunks : design_point -> workload -> int
+
+(** [estimate] plus an [Accel_invoke] trace event emitted into [sink]
+    (default: disabled). [tile] is the invoking tile, [kind] the kernel
+    name, [cycle] the invocation cycle. *)
+val estimate_traced :
+  ?sink:Mosaic_obs.Sink.t ->
+  tile:int ->
+  kind:string ->
+  cycle:int ->
+  sys_params ->
+  design_point ->
+  workload ->
+  estimate

@@ -17,9 +17,11 @@ type t = {
   owed : (int * int, int) Hashtbl.t;
       (** per (dst, chan): consumptions committed before the message *)
   stats : stats;
+  sink : Mosaic_obs.Sink.t;
 }
 
-let create ?(buffer_capacity = 512) ?(wire_latency = 1) ?noc () =
+let create ?(buffer_capacity = 512) ?(wire_latency = 1) ?noc
+    ?(sink = Mosaic_obs.Sink.null) () =
   if buffer_capacity <= 0 then
     invalid_arg "Interleaver.create: buffer_capacity must be positive";
   {
@@ -29,6 +31,7 @@ let create ?(buffer_capacity = 512) ?(wire_latency = 1) ?noc () =
     buffers = Hashtbl.create 16;
     owed = Hashtbl.create 16;
     stats = { sends = 0; recvs = 0; send_stalls = 0; max_occupancy = 0 };
+    sink;
   }
 
 let buffer t ~dst ~chan =
@@ -46,13 +49,18 @@ let occupancy t =
 let owed_count t key =
   Option.value ~default:0 (Hashtbl.find_opt t.owed key)
 
-let send t ~src ~dst ~chan ~cycle:_ ~available =
-  ignore src;
+let emit_handoff t ~src ~dst ~chan ~cycle =
+  if Mosaic_obs.Sink.enabled t.sink then
+    Mosaic_obs.Sink.emit t.sink ~cycle
+      (Mosaic_obs.Event.Interleaver_handoff { src; dst; chan })
+
+let send t ~src ~dst ~chan ~cycle ~available =
   let key = (dst, chan) in
   if owed_count t key > 0 then begin
     (* The consumer already committed this slot; the message is absorbed. *)
     Hashtbl.replace t.owed key (owed_count t key - 1);
     t.stats.sends <- t.stats.sends + 1;
+    emit_handoff t ~src ~dst ~chan ~cycle;
     true
   end
   else
@@ -64,6 +72,7 @@ let send t ~src ~dst ~chan ~cycle:_ ~available =
   in
   if Bounded_queue.push q { arrival } then begin
     t.stats.sends <- t.stats.sends + 1;
+    emit_handoff t ~src ~dst ~chan ~cycle;
     let occ = occupancy t in
     if occ > t.stats.max_occupancy then t.stats.max_occupancy <- occ;
     true
@@ -98,3 +107,14 @@ let try_recv t ~tile ~chan ~cycle =
   | None -> None
 
 let stats t = t.stats
+
+(* Publish the messaging counters under "inter.*" into a metrics
+   registry; the report's memory table reads these. *)
+let publish t reg =
+  let module M = Mosaic_obs.Metrics in
+  let c name v = M.incr ~by:v (M.counter reg name) in
+  c "inter.sends" t.stats.sends;
+  c "inter.recvs" t.stats.recvs;
+  c "inter.send_stalls" t.stats.send_stalls;
+  c "inter.max_occupancy" t.stats.max_occupancy;
+  Option.iter (fun noc -> Noc.publish noc reg) t.noc

@@ -20,7 +20,12 @@ type t
     {!Noc} is supplied, message arrival times come from mesh routing and
     link contention instead of the flat [wire_latency]. *)
 val create :
-  ?buffer_capacity:int -> ?wire_latency:int -> ?noc:Noc.t -> unit -> t
+  ?buffer_capacity:int ->
+  ?wire_latency:int ->
+  ?noc:Noc.t ->
+  ?sink:Mosaic_obs.Sink.t ->
+  unit ->
+  t
 
 (** [send t ~src ~dst ~chan ~cycle ~available] reserves a buffer slot now
     and delivers the message at [available + wire_latency] ([available =
@@ -45,3 +50,7 @@ val stats : t -> stats
 
 (** Messages currently buffered across all channels. *)
 val occupancy : t -> int
+
+(** Publish the messaging counters under "inter.*" (and the NoC's under
+    "noc.*", when one is attached) into a metrics registry. *)
+val publish : t -> Mosaic_obs.Metrics.t -> unit

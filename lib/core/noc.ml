@@ -23,9 +23,10 @@ type t = {
   (* (link id, epoch) -> messages in flight on that link that epoch *)
   link_load : (int * int, int) Hashtbl.t;
   stats : stats;
+  sink : Mosaic_obs.Sink.t;
 }
 
-let create ~ntiles cfg =
+let create ?(sink = Mosaic_obs.Sink.null) ~ntiles cfg =
   if ntiles <= 0 then invalid_arg "Noc.create: ntiles must be positive";
   if cfg.width <= 0 || cfg.hop_latency < 0 || cfg.link_capacity <= 0 then
     invalid_arg "Noc.create: bad configuration";
@@ -34,6 +35,7 @@ let create ~ntiles cfg =
     ntiles;
     link_load = Hashtbl.create 256;
     stats = { messages = 0; total_hops = 0; contended = 0 };
+    sink;
   }
 
 let coords t tile = (tile mod t.cfg.width, tile / t.cfg.width)
@@ -80,6 +82,9 @@ let delay t ~src ~dst ~cycle =
   t.stats.messages <- t.stats.messages + 1;
   let links = path t ~src ~dst in
   t.stats.total_hops <- t.stats.total_hops + List.length links;
+  if Mosaic_obs.Sink.enabled t.sink then
+    Mosaic_obs.Sink.emit t.sink ~cycle
+      (Mosaic_obs.Event.Noc_hop { src; dst; hops = List.length links });
   (* Local delivery still crosses the router once. *)
   let arrival = ref (cycle + t.cfg.hop_latency) in
   List.iter
@@ -91,3 +96,11 @@ let delay t ~src ~dst ~cycle =
   !arrival
 
 let stats t = t.stats
+
+(* Publish the message counters under "noc.*" into a metrics registry. *)
+let publish t reg =
+  let module M = Mosaic_obs.Metrics in
+  let c name v = M.incr ~by:v (M.counter reg name) in
+  c "noc.messages" t.stats.messages;
+  c "noc.total_hops" t.stats.total_hops;
+  c "noc.contended" t.stats.contended

@@ -25,7 +25,8 @@ type stats = {
 
 type t
 
-val create : ntiles:int -> config -> t
+(** An enabled [sink] receives a [Noc_hop] event per routed message. *)
+val create : ?sink:Mosaic_obs.Sink.t -> ntiles:int -> config -> t
 
 (** Manhattan hop count between two tiles under XY routing. *)
 val hops : t -> src:int -> dst:int -> int
@@ -36,3 +37,6 @@ val hops : t -> src:int -> dst:int -> int
 val delay : t -> src:int -> dst:int -> cycle:int -> int
 
 val stats : t -> stats
+
+(** Publish the message counters under "noc.*" into a metrics registry. *)
+val publish : t -> Mosaic_obs.Metrics.t -> unit

@@ -1,53 +1,58 @@
 module Table = Mosaic_util.Table
-module Core_tile = Mosaic_tile.Core_tile
-module Tile_config = Mosaic_tile.Tile_config
-module Branch = Mosaic_tile.Branch
-module Hierarchy = Mosaic_memory.Hierarchy
-module Dram = Mosaic_memory.Dram
+module Metrics = Mosaic_obs.Metrics
 module Op = Mosaic_ir.Op
+
+(* Every table reads from the metrics registry the run published into
+   ([r.metrics]), not from the result-record fields: the registry is the
+   single source of truth shared with the CSV/JSON exporters, and the
+   rendered tables are identical to what the record-based reporting
+   produced. *)
 
 let kv = [ Table.column ~align:Table.Left "metric"; Table.column "value" ]
 
 let summary (r : Soc.result) =
+  let m = r.Soc.metrics in
+  let c = Metrics.get_counter m and g = Metrics.get_gauge m in
   Table.render ~columns:kv
     [
-      [ "cycles"; Table.icell r.Soc.cycles ];
-      [ "instructions"; Table.icell r.Soc.instrs ];
-      [ "IPC"; Table.fcell ~decimals:3 r.Soc.ipc ];
-      [ "simulated time (ms)"; Table.fcell ~decimals:3 (r.Soc.seconds *. 1e3) ];
-      [ "energy (J)"; Printf.sprintf "%.3e" r.Soc.energy_j ];
-      [ "EDP (J*s)"; Printf.sprintf "%.3e" r.Soc.edp ];
-      [ "simulation speed (MIPS)"; Table.fcell r.Soc.mips ];
-      [ "accelerator invocations"; Table.icell r.Soc.accel_invocations ];
+      [ "cycles"; Table.icell (c "sim.cycles") ];
+      [ "instructions"; Table.icell (c "sim.instrs") ];
+      [ "IPC"; Table.fcell ~decimals:3 (g "sim.ipc") ];
+      [ "simulated time (ms)"; Table.fcell ~decimals:3 (g "sim.seconds" *. 1e3) ];
+      [ "energy (J)"; Printf.sprintf "%.3e" (g "sim.energy_j") ];
+      [ "EDP (J*s)"; Printf.sprintf "%.3e" (g "sim.edp") ];
+      [ "simulation speed (MIPS)"; Table.fcell (g "sim.mips") ];
+      [ "accelerator invocations"; Table.icell (c "soc.accel_invocations") ];
     ]
 
 let per_tile (r : Soc.result) =
+  let m = r.Soc.metrics in
+  let c = Metrics.get_counter m and g = Metrics.get_gauge m in
+  let ntiles = int_of_float (g "soc.tiles") in
   let rows =
-    Array.to_list
-      (Array.mapi
-         (fun i (s : Core_tile.stats) ->
-           let b = s.Core_tile.branch in
-           [
-             Table.icell i;
-             Table.icell s.Core_tile.completed_instrs;
-             Table.icell s.Core_tile.finish_cycle;
-             Table.fcell
-               (if s.Core_tile.finish_cycle > 0 then
-                  float_of_int s.Core_tile.completed_instrs
-                  /. float_of_int s.Core_tile.finish_cycle
-                else 0.0);
-             Table.icell s.Core_tile.dbbs_launched;
-             Table.icell s.Core_tile.mem_accesses;
-             (if b.Branch.predictions = 0 then "-"
-              else
-                Printf.sprintf "%.1f%%"
-                  (100.0
-                  *. (1.0
-                     -. float_of_int b.Branch.mispredictions
-                        /. float_of_int b.Branch.predictions)));
-             Printf.sprintf "%.2e" (s.Core_tile.energy_pj *. 1e-12);
-           ])
-         r.Soc.tile_stats)
+    List.init ntiles (fun i ->
+        let p suffix = Printf.sprintf "tile.%d.%s" i suffix in
+        let instrs = c (p "instrs") in
+        let finish = c (p "finish_cycle") in
+        let predictions = c (p "branch.predictions") in
+        let mispredictions = c (p "branch.mispredictions") in
+        [
+          Table.icell i;
+          Table.icell instrs;
+          Table.icell finish;
+          Table.fcell
+            (if finish > 0 then float_of_int instrs /. float_of_int finish
+             else 0.0);
+          Table.icell (c (p "dbbs"));
+          Table.icell (c (p "mem_accesses"));
+          (if predictions = 0 then "-"
+           else
+             Printf.sprintf "%.1f%%"
+               (100.0
+               *. (1.0
+                  -. float_of_int mispredictions /. float_of_int predictions)));
+          Printf.sprintf "%.2e" (g (p "energy_pj") *. 1e-12);
+        ])
   in
   Table.render
     ~columns:
@@ -64,28 +69,28 @@ let per_tile (r : Soc.result) =
     rows
 
 let instruction_mix (r : Soc.result) =
-  let totals = Array.make Tile_config.nclasses 0 in
-  Array.iter
-    (fun (s : Core_tile.stats) ->
-      Array.iteri
-        (fun i n -> totals.(i) <- totals.(i) + n)
-        s.Core_tile.issued_by_class)
-    r.Soc.tile_stats;
-  let all = Array.fold_left ( + ) 0 totals in
+  let c = Metrics.get_counter r.Soc.metrics in
+  let counts =
+    List.map
+      (fun cls ->
+        let name = Op.class_to_string cls in
+        (name, c ("mix." ^ name)))
+      Op.all_classes
+  in
+  let all = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
   let rows =
     List.filter_map
-      (fun cls ->
-        let n = totals.(Tile_config.class_index cls) in
+      (fun (name, n) ->
         if n = 0 then None
         else
           Some
             [
-              Op.class_to_string cls;
+              name;
               Table.icell n;
               Printf.sprintf "%.1f%%"
                 (100.0 *. float_of_int n /. float_of_int (Stdlib.max all 1));
             ])
-      Op.all_classes
+      counts
   in
   Table.render
     ~columns:
@@ -97,20 +102,19 @@ let instruction_mix (r : Soc.result) =
     rows
 
 let memory (r : Soc.result) =
-  let t = r.Soc.mem_totals in
-  let d = r.Soc.dram in
+  let c = Metrics.get_counter r.Soc.metrics in
   Table.render ~columns:kv
     [
-      [ "L1 accesses"; Table.icell t.Hierarchy.l1_accesses ];
-      [ "L2 accesses"; Table.icell t.Hierarchy.l2_accesses ];
-      [ "LLC accesses"; Table.icell t.Hierarchy.llc_accesses ];
-      [ "DRAM line reads"; Table.icell d.Dram.reads ];
-      [ "DRAM line writes"; Table.icell d.Dram.writes ];
-      [ "DRAM busy returns"; Table.icell d.Dram.busy_returns ];
-      [ "DRAM row hits"; Table.icell d.Dram.row_hits ];
-      [ "MAO issue rejections"; Table.icell r.Soc.mao_stalls ];
-      [ "interleaver sends"; Table.icell r.Soc.interleaver.Interleaver.sends ];
-      [ "interleaver stalls"; Table.icell r.Soc.interleaver.Interleaver.send_stalls ];
+      [ "L1 accesses"; Table.icell (c "mem.l1_accesses") ];
+      [ "L2 accesses"; Table.icell (c "mem.l2_accesses") ];
+      [ "LLC accesses"; Table.icell (c "mem.llc_accesses") ];
+      [ "DRAM line reads"; Table.icell (c "dram.reads") ];
+      [ "DRAM line writes"; Table.icell (c "dram.writes") ];
+      [ "DRAM busy returns"; Table.icell (c "dram.busy_returns") ];
+      [ "DRAM row hits"; Table.icell (c "dram.row_hits") ];
+      [ "MAO issue rejections"; Table.icell (c "soc.mao_stalls") ];
+      [ "interleaver sends"; Table.icell (c "inter.sends") ];
+      [ "interleaver stalls"; Table.icell (c "inter.send_stalls") ];
     ]
 
 let full r =

@@ -8,6 +8,9 @@ module Ddg = Mosaic_compiler.Ddg
 module Trace = Mosaic_trace.Trace
 module Accel_model = Mosaic_accel.Accel_model
 module Accel_kinds = Mosaic_accel.Accel_kinds
+module Branch = Mosaic_tile.Branch
+module Metrics = Mosaic_obs.Metrics
+module Sink = Mosaic_obs.Sink
 
 type tile_spec = { kernel : string; tile_config : Tile_config.t }
 
@@ -96,6 +99,7 @@ type result = {
   dram : Dram.stats;
   mao_stalls : int;
   accel_invocations : int;
+  metrics : Metrics.t;
 }
 
 (* Tracks concurrent accelerator invocations so memory bandwidth is divided
@@ -109,7 +113,7 @@ type accel_manager = {
           (treated as clock-gated for static power) *)
 }
 
-let accel_invoke mgr cfg hier ~tile ~kind ~params ~cycle =
+let accel_invoke mgr cfg hier ~sink ~tile ~kind ~params ~cycle =
   mgr.active <- List.filter (fun f -> f > cycle) mgr.active;
   let concurrent = 1 + List.length mgr.active in
   let sys = cfg.accel_sys in
@@ -126,7 +130,7 @@ let accel_invoke mgr cfg hier ~tile ~kind ~params ~cycle =
     | None -> { Accel_model.plm_bytes = 64 * 1024; par_lanes = 16 }
   in
   let w = Accel_kinds.workload kind params in
-  let est = Accel_model.estimate sys design w in
+  let est = Accel_model.estimate_traced ~sink ~tile ~kind ~cycle sys design w in
   (* Non-coherent DMA: traffic goes straight to DRAM, contending with the
      cores' misses. Charged at invocation time. *)
   ignore
@@ -140,7 +144,47 @@ let accel_invoke mgr cfg hier ~tile ~kind ~params ~cycle =
   mgr.energy_pj_total <- mgr.energy_pj_total +. energy_pj;
   { Core_tile.finish_cycle = finish; energy_pj }
 
-let run cfg ~program ~trace ~tiles =
+(* Register the run-level numbers into the metrics registry. Components
+   (hierarchy, interleaver, NoC) publish their own counters separately;
+   together these are the registry view that [Report] renders from. *)
+let publish_result reg (r : result) =
+  let c name v = Metrics.incr ~by:v (Metrics.counter reg name) in
+  let g name v = Metrics.set (Metrics.gauge reg name) v in
+  c "sim.cycles" r.cycles;
+  c "sim.instrs" r.instrs;
+  g "sim.ipc" r.ipc;
+  g "sim.seconds" r.seconds;
+  g "sim.energy_j" r.energy_j;
+  g "sim.edp" r.edp;
+  g "sim.host_seconds" r.host_seconds;
+  g "sim.mips" r.mips;
+  g "soc.tiles" (float_of_int (Array.length r.tile_stats));
+  c "soc.accel_invocations" r.accel_invocations;
+  c "soc.mao_stalls" r.mao_stalls;
+  Array.iteri
+    (fun i (s : Core_tile.stats) ->
+      let p suffix = Printf.sprintf "tile.%d.%s" i suffix in
+      c (p "instrs") s.Core_tile.completed_instrs;
+      c (p "finish_cycle") s.Core_tile.finish_cycle;
+      c (p "dbbs") s.Core_tile.dbbs_launched;
+      c (p "mem_accesses") s.Core_tile.mem_accesses;
+      c (p "branch.predictions") s.Core_tile.branch.Branch.predictions;
+      c (p "branch.mispredictions") s.Core_tile.branch.Branch.mispredictions;
+      g (p "energy_pj") s.Core_tile.energy_pj)
+    r.tile_stats;
+  List.iter
+    (fun cls ->
+      let idx = Tile_config.class_index cls in
+      let n =
+        Array.fold_left
+          (fun acc (s : Core_tile.stats) ->
+            acc + s.Core_tile.issued_by_class.(idx))
+          0 r.tile_stats
+      in
+      c ("mix." ^ Op.class_to_string cls) n)
+    Op.all_classes
+
+let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
   let ntiles = Array.length tiles in
   if ntiles = 0 then invalid_arg "Soc.run: no tiles";
   if ntiles <> trace.Trace.ntiles then
@@ -155,12 +199,15 @@ let run cfg ~program ~trace ~tiles =
           (Printf.sprintf "Soc.run: tile %d runs %s but trace has %s" i
              spec.kernel traced))
     tiles;
-  let hier = Hierarchy.create ~ntiles cfg.hierarchy in
+  let reg =
+    match metrics with Some r -> r | None -> Metrics.create ()
+  in
+  let hier = Hierarchy.create ~sink ~ntiles cfg.hierarchy in
   let inter =
     Interleaver.create ~buffer_capacity:cfg.buffer_capacity
       ~wire_latency:cfg.wire_latency
-      ?noc:(Option.map (fun c -> Noc.create ~ntiles c) cfg.noc)
-      ()
+      ?noc:(Option.map (fun c -> Noc.create ~sink ~ntiles c) cfg.noc)
+      ~sink ()
   in
   let mgr =
     {
@@ -190,16 +237,19 @@ let run cfg ~program ~trace ~tiles =
         (fun ~tile ~chan -> Interleaver.take_or_owe inter ~tile ~chan);
       accel =
         (fun ~tile ~kind ~params ~cycle ->
-          accel_invoke mgr cfg hier ~tile ~kind ~params ~cycle);
+          accel_invoke mgr cfg hier ~sink ~tile ~kind ~params ~cycle);
     }
   in
   let cores =
     Array.mapi
       (fun i spec ->
-        Core_tile.create ~id:i ~config:spec.tile_config
+        let lat_hist =
+          Metrics.histogram reg (Printf.sprintf "tile.%d.load_latency" i)
+        in
+        Core_tile.create ~sink ~lat_hist ~id:i ~config:spec.tile_config
           ~func:(Program.func_exn program spec.kernel)
           ~ddg:(ddg_of spec.kernel) ~tile_trace:trace.Trace.tiles.(i)
-          ~hierarchy:hier ~comm)
+          ~hierarchy:hier ~comm ())
       tiles
   in
   let host_start = Sys.time () in
@@ -254,30 +304,39 @@ let run cfg ~program ~trace ~tiles =
   in
   let energy_j = ((core_energy_pj +. mem_energy_pj) *. 1e-12) +. static_j in
   let seconds = float_of_int cycles /. (cfg.freq_ghz *. 1e9) in
-  {
-    cycles;
-    seconds;
-    instrs;
-    ipc = (if cycles = 0 then 0.0 else float_of_int instrs /. float_of_int cycles);
-    energy_j;
-    edp = energy_j *. seconds;
-    host_seconds;
-    mips =
-      (if host_seconds <= 0.0 then Float.infinity
-       else float_of_int instrs /. host_seconds /. 1e6);
-    tile_stats;
-    interleaver = Interleaver.stats inter;
-    mem_totals = totals;
-    dram = Hierarchy.dram_stats hier;
-    mao_stalls =
-      Array.fold_left (fun acc c -> acc + Core_tile.mao_stalls c) 0 cores;
-    accel_invocations = mgr.invocations;
-  }
+  let r =
+    {
+      cycles;
+      seconds;
+      instrs;
+      ipc =
+        (if cycles = 0 then 0.0
+         else float_of_int instrs /. float_of_int cycles);
+      energy_j;
+      edp = energy_j *. seconds;
+      host_seconds;
+      mips =
+        (if host_seconds <= 0.0 then Float.infinity
+         else float_of_int instrs /. host_seconds /. 1e6);
+      tile_stats;
+      interleaver = Interleaver.stats inter;
+      mem_totals = totals;
+      dram = Hierarchy.dram_stats hier;
+      mao_stalls =
+        Array.fold_left (fun acc c -> acc + Core_tile.mao_stalls c) 0 cores;
+      accel_invocations = mgr.invocations;
+      metrics = reg;
+    }
+  in
+  publish_result reg r;
+  Hierarchy.publish hier reg;
+  Interleaver.publish inter reg;
+  r
 
-let run_homogeneous cfg ~program ~trace ~tile_config =
+let run_homogeneous ?sink ?metrics cfg ~program ~trace ~tile_config =
   let tiles =
     Array.map
       (fun (tt : Trace.tile_trace) -> { kernel = tt.Trace.kernel; tile_config })
       trace.Trace.tiles
   in
-  run cfg ~program ~trace ~tiles
+  run ?sink ?metrics cfg ~program ~trace ~tiles

@@ -54,12 +54,25 @@ type result = {
   dram : Mosaic_memory.Dram.stats;
   mao_stalls : int;
   accel_invocations : int;
+  metrics : Mosaic_obs.Metrics.t;
+      (** registry all components published into; source of truth for
+          {!Report} and the metrics exporters *)
 }
 
 (** Raises [Invalid_argument] when tiles and trace disagree (count or
     kernels), and [Failure] if [max_cycles] elapses before all tiles
-    finish. *)
+    finish.
+
+    An enabled [sink] receives the full event stream (instruction
+    issue/retire, cache hits/misses/evictions, DRAM row activations,
+    interleaver handoffs, NoC hops, accelerator invocations); the default
+    null sink costs nothing. [metrics] supplies the registry that tiles and
+    memory publish into (a fresh one is created when absent); pass a fresh
+    registry per run — metric names are registered once and duplicates
+    raise. *)
 val run :
+  ?sink:Mosaic_obs.Sink.t ->
+  ?metrics:Mosaic_obs.Metrics.t ->
   config ->
   program:Mosaic_ir.Program.t ->
   trace:Mosaic_trace.Trace.t ->
@@ -69,6 +82,8 @@ val run :
 (** Convenience: homogeneous system of [n] identical tiles running the
     trace's kernel. *)
 val run_homogeneous :
+  ?sink:Mosaic_obs.Sink.t ->
+  ?metrics:Mosaic_obs.Metrics.t ->
   config ->
   program:Mosaic_ir.Program.t ->
   trace:Mosaic_trace.Trace.t ->

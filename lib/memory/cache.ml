@@ -198,3 +198,24 @@ let mshr_earliest t ~cycle =
         | Some best -> Some (Stdlib.min best ready)
       else acc)
     t.mshr None
+
+let hit_rate t =
+  if t.stats.accesses = 0 then 0.0
+  else float_of_int t.stats.hits /. float_of_int t.stats.accesses
+
+(* Publish this cache's counters into a metrics registry under
+   "cache.<name>.*" (e.g. cache.l1.0.hits). *)
+let publish t reg =
+  let module M = Mosaic_obs.Metrics in
+  let c field v =
+    M.incr ~by:v (M.counter reg (Printf.sprintf "cache.%s.%s" t.cname field))
+  in
+  c "accesses" t.stats.accesses;
+  c "hits" t.stats.hits;
+  c "misses" t.stats.misses;
+  c "evictions" t.stats.evictions;
+  c "writebacks" t.stats.writebacks;
+  c "prefetches_issued" t.stats.prefetches_issued;
+  c "mshr_merges" t.stats.mshr_merges;
+  c "mshr_stalls" t.stats.mshr_stalls;
+  c "invalidations" t.stats.invalidations

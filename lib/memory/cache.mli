@@ -73,3 +73,10 @@ val mshr_full : t -> cycle:int -> bool
 val mshr_earliest : t -> cycle:int -> int option
 
 val prefetcher : t -> Prefetcher.t option
+
+(** Hits over accesses; 0 before the first access. *)
+val hit_rate : t -> float
+
+(** Publish this cache's counters under "cache.<name>.*" into a metrics
+    registry. *)
+val publish : t -> Mosaic_obs.Metrics.t -> unit

@@ -45,7 +45,7 @@ type detailed_state = {
 
 type model = Simple of simple_state | Detailed of detailed_state
 
-type t = { model : model; stats : stats }
+type t = { model : model; stats : stats; sink : Mosaic_obs.Sink.t }
 
 let default_simple =
   (* 200-cycle latency, ~24 GB/s at 2 GHz: 12 B/cycle = one 64B line per
@@ -65,15 +65,16 @@ let default_detailed =
     t_rfc = 700;
   }
 
-let simple cfg =
+let simple ?(sink = Mosaic_obs.Sink.null) cfg =
   if cfg.min_latency < 0 || cfg.lines_per_epoch <= 0 || cfg.epoch_cycles <= 0
   then invalid_arg "Dram.simple: bad configuration";
   {
     model = Simple { s_cfg = cfg; epoch_used = Hashtbl.create 64; oldest_epoch = 0 };
     stats = fresh_stats ();
+    sink;
   }
 
-let detailed cfg =
+let detailed ?(sink = Mosaic_obs.Sink.null) cfg =
   if cfg.nbanks <= 0 || cfg.row_bytes <= 0 then
     invalid_arg "Dram.detailed: bad configuration";
   {
@@ -85,6 +86,7 @@ let detailed cfg =
           bank_open_row = Array.make cfg.nbanks (-1);
         };
     stats = fresh_stats ();
+    sink;
   }
 
 let simple_access st stats ~cycle =
@@ -108,7 +110,7 @@ let simple_access st stats ~cycle =
   if completion > earliest then stats.busy_returns <- stats.busy_returns + 1;
   completion
 
-let detailed_access st stats ~cycle ~addr =
+let detailed_access st stats ~sink ~cycle ~addr =
   let cfg = st.d_cfg in
   let row = addr / cfg.row_bytes in
   let bank = row mod cfg.nbanks in
@@ -127,6 +129,9 @@ let detailed_access st stats ~cycle ~addr =
     end
     else begin
       stats.row_misses <- stats.row_misses + 1;
+      if Mosaic_obs.Sink.enabled sink then
+        Mosaic_obs.Sink.emit sink ~cycle
+          (Mosaic_obs.Event.Dram_row_activate { bank; row });
       let closed = st.bank_open_row.(bank) = -1 in
       st.bank_open_row.(bank) <- row;
       (if closed then 0 else cfg.t_rp) + cfg.t_rcd + cfg.t_cas
@@ -142,8 +147,19 @@ let access t ~cycle ~addr kind =
   | Dram_write -> t.stats.writes <- t.stats.writes + 1);
   match t.model with
   | Simple st -> simple_access st t.stats ~cycle
-  | Detailed st -> detailed_access st t.stats ~cycle ~addr
+  | Detailed st -> detailed_access st t.stats ~sink:t.sink ~cycle ~addr
 
 let stats t = t.stats
 
 let name t = match t.model with Simple _ -> "simple" | Detailed _ -> "detailed"
+
+(* Publish the end-of-run counters into a metrics registry; the report and
+   the CSV/JSON exporters read these rather than the raw record. *)
+let publish t reg =
+  let module M = Mosaic_obs.Metrics in
+  let c name v = M.incr ~by:v (M.counter reg name) in
+  c "dram.reads" t.stats.reads;
+  c "dram.writes" t.stats.writes;
+  c "dram.busy_returns" t.stats.busy_returns;
+  c "dram.row_hits" t.stats.row_hits;
+  c "dram.row_misses" t.stats.row_misses

@@ -42,8 +42,11 @@ type detailed_config = {
   t_rfc : int;  (** refresh duration *)
 }
 
-val simple : simple_config -> t
-val detailed : detailed_config -> t
+(** Constructors; an enabled [sink] receives a [Dram_row_activate] event
+    per row-buffer miss (detailed model only). *)
+val simple : ?sink:Mosaic_obs.Sink.t -> simple_config -> t
+
+val detailed : ?sink:Mosaic_obs.Sink.t -> detailed_config -> t
 
 (** Defaults tuned for the paper's evaluation systems: DDR4-ish SimpleDRAM
     with [min_latency] 200 cycles. *)
@@ -59,3 +62,6 @@ val stats : t -> stats
 
 (** Human-readable model name ("simple" or "detailed"). *)
 val name : t -> string
+
+(** Publish end-of-run counters under "dram.*" into a metrics registry. *)
+val publish : t -> Mosaic_obs.Metrics.t -> unit

@@ -23,9 +23,10 @@ type t = {
   sharers : (int, int) Hashtbl.t;
   modified : (int, int) Hashtbl.t;
   mutable inval_msgs : int;
+  sink : Mosaic_obs.Sink.t;
 }
 
-let create ~ntiles cfg =
+let create ?(sink = Mosaic_obs.Sink.null) ~ntiles cfg =
   if ntiles <= 0 then invalid_arg "Hierarchy.create: ntiles must be positive";
   let mk name c = Cache.create ~name c in
   {
@@ -40,12 +41,18 @@ let create ~ntiles cfg =
     llc = Option.map (mk "llc") cfg.llc;
     dram =
       (match cfg.dram with
-      | Simple c -> Dram.simple c
-      | Detailed c -> Dram.detailed c);
+      | Simple c -> Dram.simple ~sink c
+      | Detailed c -> Dram.detailed ~sink c);
     sharers = Hashtbl.create 1024;
     modified = Hashtbl.create 256;
     inval_msgs = 0;
+    sink;
   }
+
+let emit_cache t ~cycle c outcome =
+  if Mosaic_obs.Sink.enabled t.sink then
+    Mosaic_obs.Sink.emit t.sink ~cycle
+      (Mosaic_obs.Event.Cache_access { cache = Cache.name c; outcome })
 
 let line_size t = t.cfg.l1.Cache.line_size
 
@@ -82,6 +89,7 @@ let rec demand t caches ~cycle ~addr ~dirty_first =
       let completion =
         match Cache.lookup c ~addr ~is_write:dirty_first with
         | `Hit -> (
+            emit_cache t ~cycle c Mosaic_obs.Event.Hit;
             let base = cycle + lat in
             (* A hit on a line whose fill is still in flight completes when
                the outstanding miss returns (MSHR coalescing). *)
@@ -92,6 +100,7 @@ let rec demand t caches ~cycle ~addr ~dirty_first =
                 Stdlib.max base ready
             | None -> base)
         | `Miss ->
+            emit_cache t ~cycle c Mosaic_obs.Event.Miss;
             let start =
               if Cache.mshr_full c ~cycle then begin
                 (Cache.stats c).Cache.mshr_stalls <-
@@ -106,8 +115,12 @@ let rec demand t caches ~cycle ~addr ~dirty_first =
               demand t rest ~cycle:(start + lat) ~addr ~dirty_first:false
             in
             (match Cache.fill c ~addr ~dirty:dirty_first with
-            | `Dirty evicted -> writeback t rest ~cycle:below ~addr:evicted
-            | `Clean _ | `None -> ());
+            | `Dirty evicted ->
+                emit_cache t ~cycle:below c Mosaic_obs.Event.Evict;
+                emit_cache t ~cycle:below c Mosaic_obs.Event.Writeback;
+                writeback t rest ~cycle:below ~addr:evicted
+            | `Clean _ -> emit_cache t ~cycle:below c Mosaic_obs.Event.Evict
+            | `None -> ());
             Cache.mshr_insert c ~addr ~ready:below;
             below
       in
@@ -244,3 +257,39 @@ let totals t =
       (let s = Dram.stats t.dram in
        s.Dram.reads + s.Dram.writes);
   }
+
+(* Aggregate hit rate across an array of same-level private caches. *)
+let level_hit_rate caches =
+  let acc, hits =
+    Array.fold_left
+      (fun (a, h) c ->
+        let s = Cache.stats c in
+        (a + s.Cache.accesses, h + s.Cache.hits))
+      (0, 0) caches
+  in
+  if acc = 0 then 0.0 else float_of_int hits /. float_of_int acc
+
+let l1_hit_rate t = level_hit_rate t.l1s
+let l2_hit_rate t = level_hit_rate t.l2s
+
+let llc_hit_rate t =
+  match t.llc with Some c -> Cache.hit_rate c | None -> 0.0
+
+(* Publish every cache, the DRAM model and the level totals into a metrics
+   registry. *)
+let publish t reg =
+  let module M = Mosaic_obs.Metrics in
+  Array.iter (fun c -> Cache.publish c reg) t.l1s;
+  Array.iter (fun c -> Cache.publish c reg) t.l2s;
+  Option.iter (fun c -> Cache.publish c reg) t.llc;
+  Dram.publish t.dram reg;
+  let tt = totals t in
+  let c name v = M.incr ~by:v (M.counter reg name) in
+  c "mem.l1_accesses" tt.l1_accesses;
+  c "mem.l2_accesses" tt.l2_accesses;
+  c "mem.llc_accesses" tt.llc_accesses;
+  c "mem.dram_lines" tt.dram_lines;
+  c "mem.coherence_invalidations" t.inval_msgs;
+  M.set (M.gauge reg "mem.l1_hit_rate") (l1_hit_rate t);
+  M.set (M.gauge reg "mem.l2_hit_rate") (l2_hit_rate t);
+  M.set (M.gauge reg "mem.llc_hit_rate") (llc_hit_rate t)

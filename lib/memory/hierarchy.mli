@@ -31,7 +31,9 @@ type config = {
 
 type t
 
-val create : ntiles:int -> config -> t
+(** An enabled [sink] receives per-level [Cache_access] events (hit, miss,
+    evict, writeback) and the DRAM model's row-activate events. *)
+val create : ?sink:Mosaic_obs.Sink.t -> ntiles:int -> config -> t
 
 val line_size : t -> int
 val ntiles : t -> int
@@ -70,3 +72,13 @@ type totals = {
 }
 
 val totals : t -> totals
+
+(** Aggregate hit rates per level; 0 when the level is absent or idle. *)
+val l1_hit_rate : t -> float
+
+val l2_hit_rate : t -> float
+val llc_hit_rate : t -> float
+
+(** Publish every cache ("cache.<name>.*"), the DRAM model ("dram.*") and
+    the level totals ("mem.*") into a metrics registry. *)
+val publish : t -> Mosaic_obs.Metrics.t -> unit

@@ -1,0 +1,245 @@
+(* Minimal JSON tree, printer and parser. Enough for the trace/metrics
+   exporters and for the tests that re-read exporter output; not a general
+   standards-lawyer implementation (no \u escapes beyond pass-through, no
+   scientific-notation canonicalization). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (String k);
+          Buffer.add_char buf ':';
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  write buf v;
+  Buffer.contents buf
+
+(* --- Parsing --- *)
+
+exception Parse_error of string
+
+type parser_state = { text : string; mutable pos : int }
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.text then Some st.text.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.text
+    && (match st.text.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st lit value =
+  let n = String.length lit in
+  if
+    st.pos + n <= String.length st.text
+    && String.sub st.text st.pos n = lit
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st (Printf.sprintf "expected %s" lit)
+
+let parse_string_raw st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> st.pos <- st.pos + 1
+    | Some '\\' ->
+        st.pos <- st.pos + 1;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'u' ->
+            (* Keep the code point's low byte; sufficient for our ASCII
+               escapes. *)
+            if st.pos + 4 >= String.length st.text then error st "bad \\u";
+            let hex = String.sub st.text (st.pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code -> Buffer.add_char buf (Char.chr (code land 0xff))
+            | None -> error st "bad \\u");
+            st.pos <- st.pos + 4
+        | _ -> error st "bad escape");
+        st.pos <- st.pos + 1;
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.text && is_num_char st.text.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let s = String.sub st.text start (st.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> error st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string_raw st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              List.rev ((k, v) :: acc)
+          | _ -> error st "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              elems (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              List.rev (v :: acc)
+          | _ -> error st "expected ',' or ']'"
+        in
+        List (elems [])
+      end
+  | Some '"' -> String (parse_string_raw st)
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string text =
+  let st = { text; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length text then error st "trailing garbage";
+  v
+
+(* --- Accessors --- *)
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let member_exn key v =
+  match member key v with
+  | Some x -> x
+  | None -> raise (Parse_error (Printf.sprintf "missing key %s" key))
+
+let to_list_exn = function
+  | List xs -> xs
+  | _ -> raise (Parse_error "expected array")
+
+let to_number_exn = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | _ -> raise (Parse_error "expected number")
+
+let to_string_exn = function
+  | String s -> s
+  | _ -> raise (Parse_error "expected string")

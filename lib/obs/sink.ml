@@ -1,0 +1,57 @@
+(* Low-overhead event sink: a fixed-capacity ring buffer of the most recent
+   events plus emit/drop counters. The [null] sink is disabled: [emit] is a
+   no-op and instrumentation sites guard payload construction with
+   [enabled], so a simulation without tracing allocates nothing. *)
+
+type t = {
+  enabled : bool;
+  buf : Event.t array;  (** ring storage; meaningful only when enabled *)
+  capacity : int;
+  mutable head : int;  (** next write position *)
+  mutable emitted : int;  (** total events offered to the sink *)
+  mutable dropped : int;  (** events overwritten by wraparound *)
+}
+
+let dummy_event = { Event.cycle = 0; payload = Event.Instr_retire { tile = 0; seq = 0 } }
+
+let create ?(capacity = 1 lsl 20) () =
+  if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
+  {
+    enabled = true;
+    buf = Array.make capacity dummy_event;
+    capacity;
+    head = 0;
+    emitted = 0;
+    dropped = 0;
+  }
+
+(* The disabled sink: shared, never records. *)
+let null =
+  { enabled = false; buf = [||]; capacity = 0; head = 0; emitted = 0; dropped = 0 }
+
+let enabled t = t.enabled
+
+let emit t ~cycle payload =
+  if t.enabled then begin
+    if t.emitted >= t.capacity then t.dropped <- t.dropped + 1;
+    t.buf.(t.head) <- { Event.cycle; payload };
+    t.head <- (t.head + 1) mod t.capacity;
+    t.emitted <- t.emitted + 1
+  end
+
+let length t = Stdlib.min t.emitted t.capacity
+let emitted t = t.emitted
+let dropped t = t.dropped
+
+(* Events in emission order (oldest retained first). *)
+let to_list t =
+  if not t.enabled then []
+  else
+    let n = length t in
+    let start = if t.emitted <= t.capacity then 0 else t.head in
+    List.init n (fun i -> t.buf.((start + i) mod t.capacity))
+
+let clear t =
+  t.head <- 0;
+  t.emitted <- 0;
+  t.dropped <- 0

@@ -1,0 +1,92 @@
+(* Chrome trace-event exporter: turns a recorded event stream into JSON
+   loadable in chrome://tracing or Perfetto. Tracks (trace "threads") are
+   one per tile plus one per cache level, DRAM, interleaver, NoC and
+   accelerator; everything lives in a single process 0. Timestamps are
+   simulation cycles. *)
+
+let args_of_event (e : Event.t) =
+  match e.Event.payload with
+  | Event.Instr_issue { seq; cls; _ } ->
+      [ ("seq", Json.Int seq); ("class", Json.String cls) ]
+  | Event.Instr_retire { seq; _ } -> [ ("seq", Json.Int seq) ]
+  | Event.Cache_access { cache; _ } -> [ ("cache", Json.String cache) ]
+  | Event.Dram_row_activate { bank; row } ->
+      [ ("bank", Json.Int bank); ("row", Json.Int row) ]
+  | Event.Interleaver_handoff { src; dst; chan } ->
+      [ ("src", Json.Int src); ("dst", Json.Int dst); ("chan", Json.Int chan) ]
+  | Event.Noc_hop { src; dst; hops } ->
+      [ ("src", Json.Int src); ("dst", Json.Int dst); ("hops", Json.Int hops) ]
+  | Event.Accel_invoke { tile; kind; cycles } ->
+      [
+        ("tile", Json.Int tile);
+        ("kind", Json.String kind);
+        ("cycles", Json.Int cycles);
+      ]
+
+(* Accelerator invocations know their duration, so they render as complete
+   ("X") spans; everything else is an instant ("i"). *)
+let phase_and_extra (e : Event.t) =
+  match e.Event.payload with
+  | Event.Accel_invoke { cycles; _ } -> ("X", [ ("dur", Json.Int cycles) ])
+  | _ -> ("i", [ ("s", Json.String "t") ])
+
+let to_json events =
+  (* Stable sort keeps same-cycle events in emission order while making the
+     exported ts column monotonic. *)
+  let events =
+    List.stable_sort
+      (fun (a : Event.t) (b : Event.t) -> compare a.Event.cycle b.Event.cycle)
+      events
+  in
+  let tracks = Hashtbl.create 16 in
+  let track_order = ref [] in
+  let tid_of e =
+    let tr = Event.track e in
+    match Hashtbl.find_opt tracks tr with
+    | Some tid -> tid
+    | None ->
+        let tid = Hashtbl.length tracks in
+        Hashtbl.replace tracks tr tid;
+        track_order := (tr, tid) :: !track_order;
+        tid
+  in
+  let rows =
+    List.map
+      (fun (e : Event.t) ->
+        let ph, extra = phase_and_extra e in
+        Json.Obj
+          ([
+             ("name", Json.String (Event.name e));
+             ("ph", Json.String ph);
+             ("ts", Json.Int e.Event.cycle);
+             ("pid", Json.Int 0);
+             ("tid", Json.Int (tid_of e));
+           ]
+          @ extra
+          @ [ ("args", Json.Obj (args_of_event e)) ]))
+      events
+  in
+  let metadata =
+    List.rev_map
+      (fun (name, tid) ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 0);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.String name) ]);
+          ])
+      !track_order
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata @ rows));
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+let to_string events = Json.to_string (to_json events)
+
+let write_file path events =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string events))

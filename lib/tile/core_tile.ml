@@ -71,6 +71,9 @@ type t = {
   mutable trace_done : bool;
   mutable done_ : bool;
   stats : stats;
+  sink : Mosaic_obs.Sink.t;
+  lat_hist : Mosaic_obs.Metrics.histogram option;
+      (** live memory-completion-latency histogram, when observability is on *)
 }
 
 let fresh_stats () =
@@ -84,7 +87,8 @@ let fresh_stats () =
     branch = Branch.fresh_stats ();
   }
 
-let create ~id ~config ~func ~ddg ~tile_trace ~hierarchy ~comm =
+let create ?(sink = Mosaic_obs.Sink.null) ?lat_hist ~id ~config ~func ~ddg
+    ~tile_trace ~hierarchy ~comm () =
   if ddg.Ddg.func != func then
     invalid_arg "Core_tile.create: DDG built for a different function";
   {
@@ -117,6 +121,8 @@ let create ~id ~config ~func ~ddg ~tile_trace ~hierarchy ~comm =
     trace_done = false;
     done_ = false;
     stats = fresh_stats ();
+    sink;
+    lat_hist;
   }
 
 let id t = t.id
@@ -146,6 +152,9 @@ let mark_ready t n =
 let complete_node t n ~cycle =
   n.state <- Completed;
   n.complete_cycle <- cycle;
+  if Mosaic_obs.Sink.enabled t.sink then
+    Mosaic_obs.Sink.emit t.sink ~cycle
+      (Mosaic_obs.Event.Instr_retire { tile = t.id; seq = n.seq });
   let cls = Op.classify n.instr.Instr.op in
   t.stats.completed_instrs <- t.stats.completed_instrs + 1;
   t.stats.energy_pj <- t.stats.energy_pj +. Tile_config.energy_pj t.cfg cls;
@@ -467,6 +476,14 @@ let try_issue t n ~cycle =
     | None -> false
     | Some c ->
         n.state <- Issued;
+        if Mosaic_obs.Sink.enabled t.sink then
+          Mosaic_obs.Sink.emit t.sink ~cycle
+            (Mosaic_obs.Event.Instr_issue
+               { tile = t.id; seq = n.seq; cls = Op.class_to_string cls });
+        (match t.lat_hist with
+        | Some h when is_mem_node n ->
+            Mosaic_obs.Metrics.observe h (float_of_int (c - cycle))
+        | _ -> ());
         t.fu_busy.(ci) <- t.fu_busy.(ci) + 1;
         t.stats.issued_by_class.(ci) <- t.stats.issued_by_class.(ci) + 1;
         Pqueue.add t.events ~prio:(Stdlib.max (cycle + 1) c) n;

@@ -42,7 +42,12 @@ type stats = {
 
 type t
 
+(** An enabled [sink] receives [Instr_issue]/[Instr_retire] events; a
+    [lat_hist] records the completion latency of every memory operation the
+    tile issues. Both default to off and cost nothing when absent. *)
 val create :
+  ?sink:Mosaic_obs.Sink.t ->
+  ?lat_hist:Mosaic_obs.Metrics.histogram ->
   id:int ->
   config:Tile_config.t ->
   func:Mosaic_ir.Func.t ->
@@ -50,6 +55,7 @@ val create :
   tile_trace:Mosaic_trace.Trace.tile_trace ->
   hierarchy:Mosaic_memory.Hierarchy.t ->
   comm:comm ->
+  unit ->
   t
 
 val id : t -> int

@@ -1,3 +1,12 @@
+(* Summary statistics over float lists.
+
+   Edge-case contract (uniform across the aggregators): [mean], [geomean],
+   [stddev] and [percentile] all return 0.0 on the empty list and the sole
+   element on a singleton; they never raise on size alone. [min], [max] and
+   [ratio] keep raising, since they have no meaningful neutral value.
+   Domain errors (non-positive geomean inputs, percentile rank outside
+   [0, 100]) still raise [Invalid_argument]. *)
+
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
@@ -23,16 +32,19 @@ let stddev xs =
       sqrt var
 
 let percentile p xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty list";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let arr = Array.of_list xs in
-  Array.sort compare arr;
-  let n = Array.length arr in
-  let rank = p /. 100.0 *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor rank) in
-  let hi = Stdlib.min (lo + 1) (n - 1) in
-  let frac = rank -. float_of_int lo in
-  arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  match xs with
+  | [] -> 0.0
+  | [ x ] -> x
+  | _ ->
+      let arr = Array.of_list xs in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
 
 let min = function
   | [] -> invalid_arg "Stats.min: empty list"

@@ -12,8 +12,10 @@ val geomean : float list -> float
 (** Population standard deviation; 0 on lists shorter than 2. *)
 val stddev : float list -> float
 
-(** [percentile p xs] with [p] in [\[0, 100\]], by linear interpolation on the
-    sorted data. Raises [Invalid_argument] on an empty list. *)
+(** [percentile p xs] with [p] in [\[0, 100\]], by linear interpolation on
+    the sorted data. 0 on the empty list and the sole element on a
+    singleton, matching [mean]/[geomean]; raises [Invalid_argument] only
+    when [p] is outside [\[0, 100\]]. *)
 val percentile : float -> float list -> float
 
 val min : float list -> float

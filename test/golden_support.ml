@@ -1,0 +1,62 @@
+(* Shared harness for the golden-trace tests and the regeneration tool:
+   the pinned workloads, the headline metrics extracted from a run, and
+   the JSON encoding of the golden files.
+
+   Workload sizes are deliberately tiny (a run is a few milliseconds) and
+   every dataset generator is seeded, so the headline numbers are exact
+   and stable across runs and machines. *)
+
+module W = Mosaic_workloads
+module Soc = Mosaic.Soc
+module Metrics = Mosaic_obs.Metrics
+module Json = Mosaic_obs.Json
+
+(* The three pinned workloads: a dependent-load microbenchmark, a small
+   SPMV and a tiny BFS. [seed] perturbs the dataset generator where the
+   workload exposes one (the micro chain ignores structure-free seeds
+   identically). *)
+let workloads =
+  [
+    ( "micro",
+      fun ?(seed = 53) () -> W.Micro.pointer_chase ~seed ~nodes:64 ~steps:256 ()
+    );
+    ( "spmv",
+      fun ?(seed = 7) () ->
+        W.Spmv.instance ~seed ~rows:128 ~cols:128 ~per_row:4 () );
+    ("bfs", fun ?(seed = 11) () -> W.Bfs.instance ~seed ~n:256 ~degree:4 ());
+  ]
+
+let names = List.map fst workloads
+
+let run ?sink ?seed name =
+  let make = List.assoc name workloads in
+  let inst = make ?seed () in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  Soc.run_homogeneous ?sink Mosaic.Presets.dae_soc
+    ~program:inst.W.Runner.program ~trace
+    ~tile_config:Mosaic_tile.Tile_config.out_of_order
+
+(* Headline metrics pinned by the golden files, read from the registry the
+   run published into. Counters are exact; hit rates are quotients of
+   counters and therefore bit-stable too. *)
+let headline (r : Soc.result) =
+  let m = r.Soc.metrics in
+  let c name = float_of_int (Metrics.get_counter m name) in
+  [
+    ("cycles", c "sim.cycles");
+    ("instructions", c "sim.instrs");
+    ("l1_hit_rate", Metrics.get_gauge m "mem.l1_hit_rate");
+    ("llc_hit_rate", Metrics.get_gauge m "mem.llc_hit_rate");
+    ("dram_reads", c "dram.reads");
+    ("dram_writes", c "dram.writes");
+  ]
+
+let to_json pairs =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) pairs)
+
+let of_json json =
+  match json with
+  | Json.Obj kvs -> List.map (fun (k, v) -> (k, Json.to_number_exn v)) kvs
+  | _ -> raise (Json.Parse_error "golden file is not an object")
+
+let golden_file name = name ^ ".json"

@@ -164,6 +164,20 @@ let test_stats_geomean () =
     (Invalid_argument "Stats.geomean: non-positive input") (fun () ->
       ignore (Stats.geomean [ 1.0; 0.0 ]))
 
+(* The documented edge-case contract: empty -> 0.0, singleton -> the
+   element, for every aggregator that has a neutral value. *)
+let test_stats_edge_cases () =
+  checkf "geomean empty" 0.0 (Stats.geomean []);
+  checkf "geomean singleton" 7.5 (Stats.geomean [ 7.5 ]);
+  checkf "mean singleton" 7.5 (Stats.mean [ 7.5 ]);
+  checkf "stddev singleton" 0.0 (Stats.stddev [ 7.5 ]);
+  checkf "percentile empty" 0.0 (Stats.percentile 50.0 []);
+  checkf "percentile singleton p0" 3.0 (Stats.percentile 0.0 [ 3.0 ]);
+  checkf "percentile singleton p100" 3.0 (Stats.percentile 100.0 [ 3.0 ]);
+  Alcotest.check_raises "p out of range even when empty"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile 101.0 []))
+
 let test_stats_stddev () =
   checkf "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
   checkf "simple" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
@@ -173,9 +187,7 @@ let test_stats_percentile () =
   checkf "p0" 1.0 (Stats.percentile 0.0 xs);
   checkf "p50" 3.0 (Stats.percentile 50.0 xs);
   checkf "p100" 5.0 (Stats.percentile 100.0 xs);
-  checkf "p25" 2.0 (Stats.percentile 25.0 xs);
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty list")
-    (fun () -> ignore (Stats.percentile 50.0 []))
+  checkf "p25" 2.0 (Stats.percentile 25.0 xs)
 
 let test_stats_speedup () =
   checkf "speedup" 4.0 (Stats.speedup ~baseline:8.0 2.0);
@@ -267,6 +279,8 @@ let suite =
       [
         Alcotest.test_case "mean" `Quick test_stats_mean;
         Alcotest.test_case "geomean" `Quick test_stats_geomean;
+        Alcotest.test_case "empty/singleton edge cases" `Quick
+          test_stats_edge_cases;
         Alcotest.test_case "stddev" `Quick test_stats_stddev;
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
         Alcotest.test_case "speedup/ratio" `Quick test_stats_speedup;
