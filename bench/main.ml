@@ -39,6 +39,7 @@ type parboil_result = {
   comp_control : int;
   comp_memory : int;
   mips : float;
+  host_seconds : float;
 }
 
 let run_parboil name =
@@ -66,6 +67,7 @@ let run_parboil name =
     comp_control;
     comp_memory;
     mips = r.Soc.mips;
+    host_seconds = r.Soc.host_seconds;
   }
 
 let parboil_results = lazy (List.map run_parboil W.Registry.parboil_names)
@@ -546,13 +548,97 @@ let motivation () =
 (* Section VI-B: simulation speed and trace storage                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Stall-heavy workloads where the event-driven scheduler's cycle skipping
+   pays off: a dependent-load chain (the core idles for a DRAM round trip
+   per hop) and an accelerator offload (the host tile idles for the whole
+   invocation). Sized to run in seconds while still being skip-dominated. *)
+let skip_workloads =
+  [
+    ( "pointer_chase",
+      (* 8 MB of chain spills past the LLC, so every hop is a DRAM round
+         trip the core can do nothing during. *)
+      fun () -> W.Micro.pointer_chase ~seed:3 ~nodes:(1 lsl 20) ~steps:16384 ()
+    );
+    ("sgemm-accel", fun () -> W.Sgemm.instance ~accel:true ~m:64 ~n:64 ~k:64 ());
+  ]
+
+let speed_json_file = "BENCH_speed.json"
+
 let speed () =
   let rs = Lazy.force parboil_results in
   Table.print ~title:"Section VI-B: simulation speed (paper: up to 0.47 MIPS)"
     ~columns:[ Table.column ~align:Table.Left "benchmark"; Table.column "MIPS" ]
     (List.map (fun r -> [ r.pname; fcell r.mips ]) rs);
   Printf.printf "mean simulation speed: %.2f MIPS\n\n"
-    (Stats.mean (List.map (fun r -> r.mips) rs))
+    (Stats.mean (List.map (fun r -> r.mips) rs));
+  (* Cycle-skipping speedup, measured as host time with the event-driven
+     scheduler on vs the naive per-cycle sweep on the same run. *)
+  let reg = Mosaic_obs.Metrics.create () in
+  let gauge name v =
+    Mosaic_obs.Metrics.set (Mosaic_obs.Metrics.gauge reg name) v
+  in
+  List.iter
+    (fun r ->
+      let p suffix = Printf.sprintf "speed.%s.%s" r.pname suffix in
+      gauge (p "host_seconds") r.host_seconds;
+      gauge (p "mips") r.mips;
+      gauge (p "cycles") (float_of_int r.mosaic_cycles))
+    rs;
+  let skip_rows =
+    List.map
+      (fun (name, make) ->
+        let inst = make () in
+        let trace = W.Runner.trace inst ~ntiles:1 in
+        let run cfg =
+          Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
+            ~tile_config:TC.out_of_order
+        in
+        let skip = run Presets.dae_soc in
+        let naive = run { Presets.dae_soc with Soc.cycle_skip = false } in
+        assert (skip.Soc.cycles = naive.Soc.cycles);
+        let speedup =
+          if skip.Soc.host_seconds > 0.0 then
+            naive.Soc.host_seconds /. skip.Soc.host_seconds
+          else Float.infinity
+        in
+        let p suffix = Printf.sprintf "speed.skip.%s.%s" name suffix in
+        gauge (p "host_seconds") skip.Soc.host_seconds;
+        gauge (p "noskip_host_seconds") naive.Soc.host_seconds;
+        gauge (p "mips") skip.Soc.mips;
+        gauge (p "cycles") (float_of_int skip.Soc.cycles);
+        gauge (p "stepped_cycles") (float_of_int skip.Soc.stepped_cycles);
+        gauge (p "speedup") speedup;
+        (name, skip, naive, speedup))
+      skip_workloads
+  in
+  Table.print
+    ~title:
+      "Event-driven cycle skipping: host time, skip on (default) vs off \
+       (--no-skip), identical simulated cycles"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "workload";
+        Table.column "cycles";
+        Table.column "stepped";
+        Table.column "skip s";
+        Table.column "sweep s";
+        Table.column "speedup";
+      ]
+    (List.map
+       (fun (name, skip, naive, speedup) ->
+         [
+           name;
+           icell skip.Soc.cycles;
+           icell skip.Soc.stepped_cycles;
+           fcell ~decimals:3 skip.Soc.host_seconds;
+           fcell ~decimals:3 naive.Soc.host_seconds;
+           fcell speedup;
+         ])
+       skip_rows);
+  Out_channel.with_open_text speed_json_file (fun oc ->
+      Out_channel.output_string oc
+        (Mosaic_obs.Json.to_string (Mosaic_obs.Metrics.to_json reg)));
+  Printf.printf "speed metrics: %s\n\n" speed_json_file
 
 let storage () =
   let rs = Lazy.force parboil_results in

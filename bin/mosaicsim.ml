@@ -34,6 +34,17 @@ let system_of_string = function
   | "dae" -> Presets.dae_soc
   | s -> failwith (Printf.sprintf "unknown system preset %s (xeon|dae)" s)
 
+let no_skip_arg =
+  let doc =
+    "Disable event-driven cycle skipping and sweep every simulated cycle. \
+     Results are identical either way; this is an escape hatch for \
+     debugging the scheduler."
+  in
+  Arg.(value & flag & info [ "no-skip" ] ~doc)
+
+let apply_no_skip no_skip cfg =
+  if no_skip then { cfg with Soc.cycle_skip = false } else cfg
+
 let list_cmd =
   let run () =
     print_endline "Benchmarks:";
@@ -90,10 +101,10 @@ let write_observability ~trace_out ~metrics_out ~sink (r : Soc.result) =
     metrics_out
 
 let run_cmd =
-  let run bench tiles core system trace_out metrics_out =
+  let run bench tiles core system no_skip trace_out metrics_out =
     let inst = W.Registry.instance bench in
     let trace = W.Runner.trace inst ~ntiles:tiles in
-    let cfg = system_of_string system in
+    let cfg = apply_no_skip no_skip (system_of_string system) in
     let sink = sink_for trace_out in
     let r =
       Soc.run_homogeneous ~sink cfg ~program:inst.W.Runner.program ~trace
@@ -106,7 +117,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a benchmark on a simulated system")
     Term.(
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ no_skip_arg $ trace_out_arg $ metrics_out_arg)
 
 let dump_cmd =
   let run bench =
@@ -232,7 +243,7 @@ let asm_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Textual IR file (see the dump command)")
   in
-  let run file tiles core system =
+  let run file tiles core system no_skip =
     let text = In_channel.with_open_text file In_channel.input_all in
     let prog = Mosaic_ir.Parse.program text in
     let kernel =
@@ -246,14 +257,16 @@ let asm_cmd =
     let it = Mosaic_trace.Interp.create prog ~kernel ~ntiles:tiles ~args:[] in
     let trace = Mosaic_trace.Interp.run it in
     let r =
-      Soc.run_homogeneous (system_of_string system) ~program:prog ~trace
-        ~tile_config:(core_of_string core)
+      Soc.run_homogeneous
+        (apply_no_skip no_skip (system_of_string system))
+        ~program:prog ~trace ~tile_config:(core_of_string core)
     in
     print_result (Filename.basename file) r
   in
   Cmd.v
     (Cmd.info "asm" ~doc:"Assemble and simulate a textual IR file")
-    Term.(const run $ file_arg $ tiles_arg $ core_arg $ system_arg)
+    Term.(
+      const run $ file_arg $ tiles_arg $ core_arg $ system_arg $ no_skip_arg)
 
 let cc_cmd =
   let file_arg =
@@ -274,7 +287,7 @@ let cc_cmd =
       & opt (list int) []
       & info [ "args" ] ~docv:"N,N,..." ~doc:"Integer kernel arguments")
   in
-  let run file kernel kargs tiles core system =
+  let run file kernel kargs tiles core system no_skip =
     let prog = Mosaic_frontend.Minic.compile_file file in
     let kernel =
       match kernel with
@@ -288,8 +301,9 @@ let cc_cmd =
     let it = Mosaic_trace.Interp.create prog ~kernel ~ntiles:tiles ~args in
     let trace = Mosaic_trace.Interp.run it in
     let r =
-      Soc.run_homogeneous (system_of_string system) ~program:prog ~trace
-        ~tile_config:(core_of_string core)
+      Soc.run_homogeneous
+        (apply_no_skip no_skip (system_of_string system))
+        ~program:prog ~trace ~tile_config:(core_of_string core)
     in
     print_result (Filename.basename file) r
   in
@@ -298,10 +312,10 @@ let cc_cmd =
        ~doc:"Compile a MiniC source file and simulate its kernel")
     Term.(
       const run $ file_arg $ kernel_arg $ args_arg $ tiles_arg $ core_arg
-      $ system_arg)
+      $ system_arg $ no_skip_arg)
 
 let dae_cmd =
-  let run bench pairs =
+  let run bench pairs no_skip =
     let inst, info =
       match bench with
       | "ewsd" -> W.Ewsd.dae_instance ~rows:2048 ~cols:2048 ~per_row:16 ()
@@ -329,7 +343,9 @@ let dae_cmd =
           })
     in
     let r =
-      Soc.run Presets.dae_soc ~program:inst.W.Runner.program ~trace ~tiles
+      Soc.run
+        (apply_no_skip no_skip Presets.dae_soc)
+        ~program:inst.W.Runner.program ~trace ~tiles
     in
     print_result (bench ^ "-dae") r
   in
@@ -338,7 +354,7 @@ let dae_cmd =
   in
   Cmd.v
     (Cmd.info "dae" ~doc:"Slice a kernel into DAE halves and simulate pairs")
-    Term.(const run $ benchmark_arg $ pairs_arg)
+    Term.(const run $ benchmark_arg $ pairs_arg $ no_skip_arg)
 
 let main =
   let doc = "MosaicSim: lightweight modular simulation of heterogeneous systems" in

@@ -1,4 +1,5 @@
 module Bounded_queue = Mosaic_util.Bounded_queue
+module Pqueue = Mosaic_util.Pqueue
 
 type message = { arrival : int }
 
@@ -16,6 +17,11 @@ type t = {
   buffers : (int * int, message Bounded_queue.t) Hashtbl.t;
   owed : (int * int, int) Hashtbl.t;
       (** per (dst, chan): consumptions committed before the message *)
+  mutable occupancy : int;
+      (** running total of buffered messages across all channels *)
+  arrivals : unit Pqueue.t;
+      (** arrival cycles of buffered sends, drained lazily; its head is the
+          conservative next-event view for the cycle-skipping scheduler *)
   stats : stats;
   sink : Mosaic_obs.Sink.t;
 }
@@ -30,6 +36,8 @@ let create ?(buffer_capacity = 512) ?(wire_latency = 1) ?noc
     noc;
     buffers = Hashtbl.create 16;
     owed = Hashtbl.create 16;
+    occupancy = 0;
+    arrivals = Pqueue.create ();
     stats = { sends = 0; recvs = 0; send_stalls = 0; max_occupancy = 0 };
     sink;
   }
@@ -43,8 +51,7 @@ let buffer t ~dst ~chan =
       Hashtbl.replace t.buffers key q;
       q
 
-let occupancy t =
-  Hashtbl.fold (fun _ q acc -> acc + Bounded_queue.length q) t.buffers 0
+let occupancy t = t.occupancy
 
 let owed_count t key =
   Option.value ~default:0 (Hashtbl.find_opt t.owed key)
@@ -73,8 +80,10 @@ let send t ~src ~dst ~chan ~cycle ~available =
   if Bounded_queue.push q { arrival } then begin
     t.stats.sends <- t.stats.sends + 1;
     emit_handoff t ~src ~dst ~chan ~cycle;
-    let occ = occupancy t in
-    if occ > t.stats.max_occupancy then t.stats.max_occupancy <- occ;
+    t.occupancy <- t.occupancy + 1;
+    Pqueue.add t.arrivals ~prio:arrival ();
+    if t.occupancy > t.stats.max_occupancy then
+      t.stats.max_occupancy <- t.occupancy;
     true
   end
   else begin
@@ -86,6 +95,7 @@ let take_or_owe t ~tile ~chan =
   let q = buffer t ~dst:tile ~chan in
   match Bounded_queue.pop q with
   | Some _ ->
+      t.occupancy <- t.occupancy - 1;
       t.stats.recvs <- t.stats.recvs + 1;
       true
   | None ->
@@ -102,9 +112,25 @@ let try_recv t ~tile ~chan ~cycle =
   let q = buffer t ~dst:tile ~chan in
   match Bounded_queue.pop q with
   | Some msg ->
+      t.occupancy <- t.occupancy - 1;
       t.stats.recvs <- t.stats.recvs + 1;
       Some (Stdlib.max (cycle + 1) msg.arrival)
   | None -> None
+
+(* Buffered messages are consumable as soon as they are enqueued (arrival
+   only bounds the receive-completion cycle), so this is a conservative
+   wake-up hint, not a gate: the scheduler may wake at an arrival and find
+   nothing to do. Entries for already-consumed or already-arrived messages
+   are drained lazily here. *)
+let next_arrival t ~cycle =
+  let rec drain () =
+    match Pqueue.peek_prio t.arrivals with
+    | Some c when c <= cycle ->
+        ignore (Pqueue.pop t.arrivals);
+        drain ()
+    | other -> other
+  in
+  drain ()
 
 let stats t = t.stats
 

@@ -48,8 +48,16 @@ val take_or_owe : t -> tile:int -> chan:int -> bool
 
 val stats : t -> stats
 
-(** Messages currently buffered across all channels. *)
+(** Messages currently buffered across all channels. O(1): maintained as a
+    running counter on enqueue/dequeue. *)
 val occupancy : t -> int
+
+(** [next_arrival t ~cycle] is the earliest in-flight message arrival
+    strictly after [cycle], or [None] when nothing is in flight. Buffered
+    messages are consumable before their arrival cycle (arrival only bounds
+    receive completion), so this is a conservative wake-up hint for the
+    cycle-skipping scheduler, never a gate. *)
+val next_arrival : t -> cycle:int -> int option
 
 (** Publish the messaging counters under "inter.*" (and the NoC's under
     "noc.*", when one is attached) into a metrics registry. *)

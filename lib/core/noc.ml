@@ -95,6 +95,13 @@ let delay t ~src ~dst ~cycle =
     links;
   !arrival
 
+(* Link bandwidth is reserved eagerly: [delay] walks the whole path and
+   books every epoch at injection time, so a routed message's arrival is
+   final the moment it is sent and the mesh holds no state that matures on
+   its own. In-flight arrivals are therefore tracked by the Interleaver
+   (which buffers the messages); the NoC itself never constrains a skip. *)
+let next_event _t ~cycle:_ = None
+
 let stats t = t.stats
 
 (* Publish the message counters under "noc.*" into a metrics registry. *)

@@ -36,6 +36,14 @@ val hops : t -> src:int -> dst:int -> int
     Raises [Invalid_argument] on bad tile ids. *)
 val delay : t -> src:int -> dst:int -> cycle:int -> int
 
+(** Next-event view for the cycle-skipping scheduler. The mesh reserves all
+    link bandwidth eagerly at injection time ({!delay} returns a final
+    arrival), so it has no autonomous future events and always answers
+    [None]; in-flight arrivals are reported by the Interleaver, which owns
+    the message buffers. A future reactive NoC model (per-cycle router
+    occupancy) would report its earliest pending hop here. *)
+val next_event : t -> cycle:int -> int option
+
 val stats : t -> stats
 
 (** Publish the message counters under "noc.*" into a metrics registry. *)

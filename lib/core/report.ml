@@ -16,6 +16,7 @@ let summary (r : Soc.result) =
   Table.render ~columns:kv
     [
       [ "cycles"; Table.icell (c "sim.cycles") ];
+      [ "stepped cycles"; Table.icell (c "sim.stepped_cycles") ];
       [ "instructions"; Table.icell (c "sim.instrs") ];
       [ "IPC"; Table.fcell ~decimals:3 (g "sim.ipc") ];
       [ "simulated time (ms)"; Table.fcell ~decimals:3 (g "sim.seconds" *. 1e3) ];

@@ -32,6 +32,13 @@ type config = {
   freq_ghz : float;
   mem_energy : mem_energy;
   max_cycles : int;
+  cycle_skip : bool;
+      (** event-driven cycle skipping (on by default): when every tile
+          reports a quiescent step, the scheduler jumps straight to the
+          earliest next-event cycle instead of sweeping the intervening
+          no-op cycles. Results are cycle-exact either way; disable (the
+          CLI's [--no-skip]) to force the naive per-cycle sweep when
+          debugging the scheduler itself. *)
 }
 
 val default_config : config
@@ -41,6 +48,10 @@ val with_hierarchy : config -> Mosaic_memory.Hierarchy.config -> config
 
 type result = {
   cycles : int;
+  stepped_cycles : int;
+      (** scheduler iterations actually executed; equals [cycles] under
+          the naive sweep and drops below it when cycle skipping
+          fast-forwards over quiescent stretches *)
   seconds : float;  (** simulated time at [freq_ghz] *)
   instrs : int;  (** dynamic instructions completed across tiles *)
   ipc : float;

@@ -212,6 +212,12 @@ let can_accept t ~tile ~cycle =
     invalid_arg (Printf.sprintf "Hierarchy.can_accept: bad tile %d" tile);
   not (Cache.mshr_full t.l1s.(tile) ~cycle)
 
+let next_accept t ~tile ~cycle =
+  if tile < 0 || tile >= t.ntiles then
+    invalid_arg (Printf.sprintf "Hierarchy.next_accept: bad tile %d" tile);
+  if not (Cache.mshr_full t.l1s.(tile) ~cycle) then None
+  else Cache.mshr_earliest t.l1s.(tile) ~cycle
+
 let dram_burst t ~cycle ~addr ~bytes ~is_write =
   if bytes <= 0 then cycle
   else begin

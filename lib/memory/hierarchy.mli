@@ -48,6 +48,14 @@ val access : t -> tile:int -> cycle:int -> addr:int -> is_write:bool -> int
     core to the memory system's actual miss bandwidth. *)
 val can_accept : t -> tile:int -> cycle:int -> bool
 
+(** [next_accept t ~tile ~cycle] is the earliest cycle after [cycle] at
+    which {!can_accept} flips back to true when the tile's L1 MSHR is
+    currently full ([None] when it can accept now). During a quiescent
+    stretch MSHR slots free only by time passing, so this is the exact wake
+    cycle the event-driven scheduler needs for a tile whose fire-and-forget
+    memory ops are throttled by miss bandwidth. *)
+val next_accept : t -> tile:int -> cycle:int -> int option
+
 (** Direct DRAM transfer for non-coherent accelerators (§IV-B): [bytes]
     are moved as line-sized bursts, bypassing the caches. Returns the cycle
     at which the last line completes. *)

@@ -184,13 +184,17 @@ let complete_node t n ~cycle =
   in
   pop ()
 
+(* Returns whether anything matured: the scheduler must not skip cycles
+   where a completion (or deferred LSQ free) changes tile state. *)
 let process_events t ~cycle =
+  let progressed = ref false in
   let rec release () =
     match Pqueue.peek t.mao_release with
     | Some (c, _) when c <= cycle -> (
         match Pqueue.pop t.mao_release with
         | Some (_, seq) ->
             Mao.complete t.mao ~seq;
+            progressed := true;
             release ()
         | None -> ())
     | Some _ | None -> ()
@@ -202,11 +206,13 @@ let process_events t ~cycle =
         match Pqueue.pop t.events with
         | Some (c, n) ->
             complete_node t n ~cycle:c;
+            progressed := true;
             loop ()
         | None -> ())
     | Some _ | None -> ()
   in
-  loop ()
+  loop ();
+  !progressed
 
 (* --- DBB launching --- *)
 
@@ -375,7 +381,8 @@ let try_launches t ~cycle =
               launch_dbb t next_bid;
               incr launched
         end
-  done
+  done;
+  !launched > 0
 
 (* --- Issue --- *)
 
@@ -512,7 +519,8 @@ let issue_out_of_order t ~cycle =
         else if try_issue t n ~cycle then decr budget
         else stash := n :: !stash
   done;
-  List.iter (fun n -> Pqueue.add t.ready ~prio:n.seq n) !stash
+  List.iter (fun n -> Pqueue.add t.ready ~prio:n.seq n) !stash;
+  !budget < t.cfg.Tile_config.issue_width
 
 let issue_in_order t ~cycle =
   let budget = ref t.cfg.Tile_config.issue_width in
@@ -527,21 +535,96 @@ let issue_in_order t ~cycle =
           decr budget
         end
         else continue := false
-  done
+  done;
+  !budget < t.cfg.Tile_config.issue_width
 
 let step t ~cycle =
-  if not t.done_ then begin
-    if cycle mod t.cfg.Tile_config.clock_divider = 0 then begin
-      process_events t ~cycle;
-      Array.fill t.fu_busy 0 (Array.length t.fu_busy) 0;
-      try_launches t ~cycle;
-      if t.cfg.Tile_config.in_order then issue_in_order t ~cycle
-      else issue_out_of_order t ~cycle;
-      if t.trace_done && Queue.is_empty t.inflight && Pqueue.is_empty t.events
-      then begin
-        t.done_ <- true;
-        t.stats.finish_cycle <- cycle
-      end
+  if t.done_ then false
+  else if cycle mod t.cfg.Tile_config.clock_divider = 0 then begin
+    let progress = ref (process_events t ~cycle) in
+    Array.fill t.fu_busy 0 (Array.length t.fu_busy) 0;
+    if try_launches t ~cycle then progress := true;
+    if
+      (if t.cfg.Tile_config.in_order then issue_in_order t ~cycle
+       else issue_out_of_order t ~cycle)
+    then progress := true;
+    if t.trace_done && Queue.is_empty t.inflight && Pqueue.is_empty t.events
+    then begin
+      t.done_ <- true;
+      t.stats.finish_cycle <- cycle;
+      progress := true
+    end;
+    !progress
+  end
+  else process_events t ~cycle
+
+(* --- Next-event view (event-driven cycle skipping) --- *)
+
+let round_up_to ~div c = if div <= 1 then c else (c + div - 1) / div * div
+
+(* Whether the tile holds work the issue stage would look at on its next
+   clock edge: any ready node out of order, the head of the program-order
+   queue when in order. *)
+let has_issue_candidate t =
+  if t.cfg.Tile_config.in_order then
+    match Queue.peek_opt t.order with
+    | Some n -> n.state = Ready
+    | None -> false
+  else not (Pqueue.is_empty t.ready)
+
+(* The earliest cycle after [cycle] at which this tile's state can change
+   by time alone, or [None] when only another component's progress can
+   unblock it (a full destination buffer, an empty receive channel, a debt
+   ceiling). The SoC scheduler consults this only on globally quiescent
+   cycles — no tile processed an event, launched, issued, or retired — so a
+   blocked tile is genuinely blocked and everything that can wake it is
+   either queued here with a known cycle or will itself wake the system. *)
+let next_event_cycle t ~cycle =
+  if t.done_ then None
+  else begin
+    let div = t.cfg.Tile_config.clock_divider in
+    let best = ref max_int in
+    let add c = if c > cycle && c < !best then best := c in
+    (match Pqueue.peek_prio t.events with Some c -> add c | None -> ());
+    (match Pqueue.peek_prio t.mao_release with Some c -> add c | None -> ());
+    let next_edge = round_up_to ~div (cycle + 1) in
+    if cycle mod div <> 0 then begin
+      (* The tile had no launch/issue opportunity at [cycle], so failing to
+         progress proves nothing: retry pending work at the next edge. *)
+      if
+        has_issue_candidate t
+        || (not t.trace_done)
+        || not (Queue.is_empty t.inflight)
+      then add next_edge
     end
-    else process_events t ~cycle
+    else begin
+      (* The tile took a full step at [cycle] and did nothing, so its work
+         is blocked; the only blockers that clear by time alone are the
+         branch-misprediction penalty and MSHR miss bandwidth. *)
+      (match (t.last_term, Trace.Cursor.peek_block t.cursor 0) with
+      | Some term, Some next_bid when term.state = Completed -> (
+          match control_gate t ~cycle ~next_bid with
+          | `Wait ->
+              let penalty =
+                match t.cfg.Tile_config.branch with
+                | Branch.Dynamic { penalty; _ } | Branch.Static { penalty } ->
+                    penalty
+                | Branch.Perfect | Branch.No_speculation -> 0
+              in
+              add (round_up_to ~div (term.complete_cycle + penalty))
+          | `Launch _ -> ())
+      | _ -> ());
+      if
+        has_issue_candidate t
+        && not (Hierarchy.can_accept t.hier ~tile:t.id ~cycle)
+      then
+        match Hierarchy.next_accept t.hier ~tile:t.id ~cycle with
+        | Some free -> add (round_up_to ~div free)
+        | None -> ()
+    end;
+    (* A drained tile flips [done_] only at a clock edge; give it one even
+       when no event remains to trigger a wake-up. *)
+    if t.trace_done && Queue.is_empty t.inflight && Pqueue.is_empty t.events
+    then add next_edge;
+    if !best = max_int then None else Some !best
   end

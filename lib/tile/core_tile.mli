@@ -62,8 +62,22 @@ val id : t -> int
 val config : t -> Tile_config.t
 
 (** Advance the tile through global cycle [cycle]. Honors the tile's clock
-    divider internally. *)
-val step : t -> cycle:int -> unit
+    divider internally. Returns whether the tile made progress: processed a
+    completion event, released a MAO slot, launched a DBB, issued a node,
+    or transitioned to finished. The SoC scheduler uses this to detect
+    globally quiescent cycles it may skip over. *)
+val step : t -> cycle:int -> bool
+
+(** [next_event_cycle t ~cycle] is the earliest cycle after [cycle] at
+    which the tile's state can change by time alone: the head of its
+    completion-event or MAO-release queues, the end of a branch
+    misprediction penalty, an L1 MSHR slot freeing, or the next clock edge
+    when work is pending but [cycle] is unaligned with the tile's clock
+    divider. [None] means the tile is either finished or blocked solely on
+    another component's progress. Only meaningful on cycles where {!step}
+    reported no progress for any tile; the scheduler jumps to the minimum
+    across components. *)
+val next_event_cycle : t -> cycle:int -> int option
 
 val finished : t -> bool
 val stats : t -> stats

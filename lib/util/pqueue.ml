@@ -64,6 +64,8 @@ let peek q =
     let e = q.heap.(0) in
     Some (e.prio, e.payload)
 
+let peek_prio q = if q.size = 0 then None else Some q.heap.(0).prio
+
 let pop q =
   if q.size = 0 then None
   else begin

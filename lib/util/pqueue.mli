@@ -20,6 +20,10 @@ val add : 'a t -> prio:int -> 'a -> unit
 (** Smallest priority and its element, without removing. *)
 val peek : 'a t -> (int * 'a) option
 
+(** Smallest priority alone, without removing — the next-event view used by
+    the cycle-skipping scheduler. *)
+val peek_prio : 'a t -> int option
+
 (** Remove and return the entry with the smallest priority. Ties are broken
     by insertion order (FIFO), which keeps simulations deterministic. *)
 val pop : 'a t -> (int * 'a) option
