@@ -3,8 +3,15 @@
    paper-vs-measured record).
 
    Usage: dune exec bench/main.exe [-- SECTION ...] [--metrics-out=FILE]
+                                   [--jobs=N]
    Sections: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
              fig14 speed storage bechamel (default: all).
+
+   --jobs=N runs the independent simulations of the shared Parboil batch
+   (and the cycle-skip pair) across N domains. Simulated results are
+   bit-identical at any job count; only host-time readings (MIPS,
+   host_seconds) wobble under contention, so commit baselines from a
+   serial run.
 
    Each section's host time is published as a "bench.SECTION.host_seconds"
    gauge in a metrics registry; a per-phase summary is printed at the end
@@ -70,7 +77,13 @@ let run_parboil name =
     host_seconds = r.Soc.host_seconds;
   }
 
-let parboil_results = lazy (List.map run_parboil W.Registry.parboil_names)
+(* Set from --jobs=N before any section runs. *)
+let jobs = ref 1
+
+let parboil_results =
+  lazy
+    (W.Runner.run_batch ~jobs:!jobs
+       (List.map (fun name () -> run_parboil name) W.Registry.parboil_names))
 
 (* ------------------------------------------------------------------ *)
 (* Tables I and II                                                     *)
@@ -585,8 +598,9 @@ let speed () =
       gauge (p "cycles") (float_of_int r.mosaic_cycles))
     rs;
   let skip_rows =
-    List.map
-      (fun (name, make) ->
+    W.Runner.run_batch ~jobs:!jobs
+    @@ List.map
+      (fun (name, make) () ->
         let inst = make () in
         let trace = W.Runner.trace inst ~ntiles:1 in
         let run cfg =
@@ -601,16 +615,21 @@ let speed () =
             naive.Soc.host_seconds /. skip.Soc.host_seconds
           else Float.infinity
         in
-        let p suffix = Printf.sprintf "speed.skip.%s.%s" name suffix in
-        gauge (p "host_seconds") skip.Soc.host_seconds;
-        gauge (p "noskip_host_seconds") naive.Soc.host_seconds;
-        gauge (p "mips") skip.Soc.mips;
-        gauge (p "cycles") (float_of_int skip.Soc.cycles);
-        gauge (p "stepped_cycles") (float_of_int skip.Soc.stepped_cycles);
-        gauge (p "speedup") speedup;
         (name, skip, naive, speedup))
       skip_workloads
   in
+  (* Gauges land in the shared registry from the driver domain only; the
+     parallel tasks above just return their results. *)
+  List.iter
+    (fun (name, (skip : Soc.result), (naive : Soc.result), speedup) ->
+      let p suffix = Printf.sprintf "speed.skip.%s.%s" name suffix in
+      gauge (p "host_seconds") skip.Soc.host_seconds;
+      gauge (p "noskip_host_seconds") naive.Soc.host_seconds;
+      gauge (p "mips") skip.Soc.mips;
+      gauge (p "cycles") (float_of_int skip.Soc.cycles);
+      gauge (p "stepped_cycles") (float_of_int skip.Soc.stepped_cycles);
+      gauge (p "speedup") speedup)
+    skip_rows;
   Table.print
     ~title:
       "Event-driven cycle skipping: host time, skip on (default) vs off \
@@ -984,6 +1003,18 @@ let dump_metrics file =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if String.starts_with ~prefix:"--jobs=" a then begin
+          (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
+          | Some n when n >= 1 -> jobs := n
+          | _ -> failwith (Printf.sprintf "bad --jobs value: %s" a));
+          false
+        end
+        else true)
+      args
+  in
   let outs, names =
     List.partition_map
       (fun a ->

@@ -34,6 +34,14 @@ let system_of_string = function
   | "dae" -> Presets.dae_soc
   | s -> failwith (Printf.sprintf "unknown system preset %s (xeon|dae)" s)
 
+let jobs_arg =
+  let doc =
+    "Run independent simulations across $(docv) domains. Simulated results \
+     (cycles, IPC, every counter) are identical at any job count; only \
+     host-time readings wobble under contention."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let no_skip_arg =
   let doc =
     "Disable event-driven cycle skipping and sweep every simulated cycle. \
@@ -119,6 +127,60 @@ let run_cmd =
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
       $ no_skip_arg $ trace_out_arg $ metrics_out_arg)
 
+let bench_cmd =
+  let benches_arg =
+    let doc = "Benchmarks to run (default: the Parboil suite)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc)
+  in
+  let run benches tiles core system no_skip jobs =
+    let names =
+      match benches with [] -> W.Registry.parboil_names | ns -> ns
+    in
+    let cfg = apply_no_skip no_skip (system_of_string system) in
+    let tc = core_of_string core in
+    let results =
+      W.Runner.run_batch ~jobs
+        (List.map
+           (fun name () ->
+             let inst = W.Registry.instance name in
+             let trace = W.Runner.trace inst ~ntiles:tiles in
+             let r =
+               Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
+                 ~tile_config:tc
+             in
+             (name, r))
+           names)
+    in
+    Table.print
+      ~title:(Printf.sprintf "bench: %s, %s (%d jobs)" system core jobs)
+      ~columns:
+        [
+          Table.column ~align:Table.Left "benchmark";
+          Table.column "cycles";
+          Table.column "IPC";
+          Table.column "MIPS";
+          Table.column "host s";
+        ]
+      (List.map
+         (fun (name, (r : Soc.result)) ->
+           [
+             name;
+             Table.icell r.Soc.cycles;
+             Printf.sprintf "%.2f" r.Soc.ipc;
+             Printf.sprintf "%.2f" r.Soc.mips;
+             Printf.sprintf "%.2f" r.Soc.host_seconds;
+           ])
+         results)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run a batch of benchmarks, optionally across parallel domains \
+          (--jobs)")
+    Term.(
+      const run $ benches_arg $ tiles_arg $ core_arg $ system_arg
+      $ no_skip_arg $ jobs_arg)
+
 let dump_cmd =
   let run bench =
     let inst = W.Registry.instance bench in
@@ -152,9 +214,9 @@ let dse_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"KIND" ~doc:"Accelerator kind: gemm, histo, elementwise")
   in
-  let run kind =
+  let run kind jobs =
     let points =
-      Mosaic_accel.Dse.sweep ~kind
+      Mosaic_accel.Dse.sweep ~jobs ~kind
         ~plm_sizes:Mosaic_accel.Dse.paper_plm_sizes
         ~workload_bytes:Mosaic_accel.Dse.paper_workload_bytes
         Mosaic_accel.Accel_model.default_sys
@@ -186,7 +248,7 @@ let dse_cmd =
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Accelerator design-space exploration sweep")
-    Term.(const run $ kind_arg)
+    Term.(const run $ kind_arg $ jobs_arg)
 
 let dnn_cmd =
   let model_arg =
@@ -360,8 +422,8 @@ let main =
   let doc = "MosaicSim: lightweight modular simulation of heterogeneous systems" in
   Cmd.group (Cmd.info "mosaicsim" ~version:"0.1.0" ~doc)
     [
-      list_cmd; run_cmd; dump_cmd; trace_stats_cmd; dse_cmd; dnn_cmd; asm_cmd;
-      cc_cmd; dae_cmd; characterize_cmd;
+      list_cmd; run_cmd; bench_cmd; dump_cmd; trace_stats_cmd; dse_cmd;
+      dnn_cmd; asm_cmd; cc_cmd; dae_cmd; characterize_cmd;
     ]
 
 let () = exit (Cmd.eval main)

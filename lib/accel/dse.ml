@@ -49,28 +49,33 @@ let workload_for ~kind ~plm ~footprint =
       { ops = n; bytes_in = 8 * n; bytes_out = 4 * n }
   | _ -> invalid_arg (Printf.sprintf "Dse.workload_for: unknown %s" kind)
 
-let sweep ~kind ~plm_sizes ~workload_bytes sys =
-  List.concat_map
-    (fun plm ->
-      List.map
-        (fun footprint ->
-          let dp =
-            { Accel_model.plm_bytes = plm; par_lanes = lanes_of_kind kind }
-          in
-          let w = workload_for ~kind ~plm ~footprint in
-          let est = Accel_model.estimate sys dp w in
-          {
-            kind;
-            plm_bytes = plm;
-            workload_bytes = footprint;
-            model_cycles = est.Accel_model.cycles;
-            rtl_cycles = Accel_rtl.rtl_cycles sys dp w;
-            fpga_cycles = Accel_rtl.fpga_cycles sys dp w;
-            area_um2 = Accel_model.area_um2 dp;
-            avg_power_w = est.Accel_model.avg_power_w;
-          })
-        workload_bytes)
-    plm_sizes
+let sweep ?(jobs = 1) ~kind ~plm_sizes ~workload_bytes sys =
+  let points =
+    List.concat_map
+      (fun plm -> List.map (fun footprint -> (plm, footprint)) workload_bytes)
+      plm_sizes
+  in
+  let eval (plm, footprint) =
+    let dp = { Accel_model.plm_bytes = plm; par_lanes = lanes_of_kind kind } in
+    let w = workload_for ~kind ~plm ~footprint in
+    let est = Accel_model.estimate sys dp w in
+    {
+      kind;
+      plm_bytes = plm;
+      workload_bytes = footprint;
+      model_cycles = est.Accel_model.cycles;
+      rtl_cycles = Accel_rtl.rtl_cycles sys dp w;
+      fpga_cycles = Accel_rtl.fpga_cycles sys dp w;
+      area_um2 = Accel_model.area_um2 dp;
+      avg_power_w = est.Accel_model.avg_power_w;
+    }
+  in
+  (* Each design point is independent; the pool keeps input order, so the
+     sweep's output is identical at any [jobs]. *)
+  if jobs <= 1 then List.map eval points
+  else
+    Array.to_list
+      (Mosaic_util.Domain_pool.map ~jobs eval (Array.of_list points))
 
 let mean_accuracy points =
   let accs golden_of =

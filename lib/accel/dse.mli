@@ -22,8 +22,11 @@ val accuracy : model:int -> golden:int -> float
 
 (** [sweep ~kind ~plm_sizes ~workload_bytes sys] crosses design points with
     workload sizes. Workload parameters are derived per kind so that the
-    input footprint matches [workload_bytes]. *)
+    input footprint matches [workload_bytes]. [jobs] (default 1) evaluates
+    points across that many domains; output order — and every simulated
+    number — is identical at any job count. *)
 val sweep :
+  ?jobs:int ->
   kind:string ->
   plm_sizes:int list ->
   workload_bytes:int list ->

@@ -1,7 +1,6 @@
-module Bounded_queue = Mosaic_util.Bounded_queue
+module Int_ring = Mosaic_util.Int_ring
+module Int_table = Mosaic_util.Int_table
 module Pqueue = Mosaic_util.Pqueue
-
-type message = { arrival : int }
 
 type stats = {
   mutable sends : int;
@@ -10,13 +9,22 @@ type stats = {
   mutable max_occupancy : int;
 }
 
+(* (dst, chan) pairs key both the message buffers and the owed counters.
+   Packing them into one int keeps the lookups in monomorphic int tables:
+   the previous tuple-keyed [Hashtbl]s allocated a key per send/receive and
+   probed twice (find then replace). Channel ids are small enumerations, so
+   20 bits is far beyond any configuration. *)
+let pack ~dst ~chan = (dst lsl 20) lor chan
+
 type t = {
   capacity : int;
   wire_latency : int;
   noc : Noc.t option;
-  buffers : (int * int, message Bounded_queue.t) Hashtbl.t;
-  owed : (int * int, int) Hashtbl.t;
-      (** per (dst, chan): consumptions committed before the message *)
+  buffers : Int_table.t;  (** packed key -> index into [rings] *)
+  mutable rings : Int_ring.t array;
+  mutable nrings : int;
+  owed : Int_table.t;
+      (** per packed (dst, chan): consumptions committed before the message *)
   mutable occupancy : int;
       (** running total of buffered messages across all channels *)
   arrivals : unit Pqueue.t;
@@ -34,8 +42,10 @@ let create ?(buffer_capacity = 512) ?(wire_latency = 1) ?noc
     capacity = buffer_capacity;
     wire_latency;
     noc;
-    buffers = Hashtbl.create 16;
-    owed = Hashtbl.create 16;
+    buffers = Int_table.create ~initial_capacity:16 ();
+    rings = [||];
+    nrings = 0;
+    owed = Int_table.create ~initial_capacity:16 ();
     occupancy = 0;
     arrivals = Pqueue.create ();
     stats = { sends = 0; recvs = 0; send_stalls = 0; max_occupancy = 0 };
@@ -43,18 +53,23 @@ let create ?(buffer_capacity = 512) ?(wire_latency = 1) ?noc
   }
 
 let buffer t ~dst ~chan =
-  let key = (dst, chan) in
-  match Hashtbl.find_opt t.buffers key with
-  | Some q -> q
-  | None ->
-      let q = Bounded_queue.create ~capacity:t.capacity () in
-      Hashtbl.replace t.buffers key q;
-      q
+  let key = pack ~dst ~chan in
+  let i = Int_table.find t.buffers key ~default:(-1) in
+  if i >= 0 then t.rings.(i)
+  else begin
+    let q = Int_ring.create ~capacity:t.capacity in
+    if t.nrings = Array.length t.rings then begin
+      let grown = Array.make (Stdlib.max 8 (2 * t.nrings)) q in
+      Array.blit t.rings 0 grown 0 t.nrings;
+      t.rings <- grown
+    end;
+    t.rings.(t.nrings) <- q;
+    Int_table.set t.buffers key t.nrings;
+    t.nrings <- t.nrings + 1;
+    q
+  end
 
 let occupancy t = t.occupancy
-
-let owed_count t key =
-  Option.value ~default:0 (Hashtbl.find_opt t.owed key)
 
 let emit_handoff t ~src ~dst ~chan ~cycle =
   if Mosaic_obs.Sink.enabled t.sink then
@@ -62,60 +77,65 @@ let emit_handoff t ~src ~dst ~chan ~cycle =
       (Mosaic_obs.Event.Interleaver_handoff { src; dst; chan })
 
 let send t ~src ~dst ~chan ~cycle ~available =
-  let key = (dst, chan) in
-  if owed_count t key > 0 then begin
+  let owed_slot = Int_table.probe t.owed (pack ~dst ~chan) in
+  if owed_slot >= 0 && Int_table.value_at t.owed owed_slot > 0 then begin
     (* The consumer already committed this slot; the message is absorbed. *)
-    Hashtbl.replace t.owed key (owed_count t key - 1);
+    Int_table.set_at t.owed owed_slot (Int_table.value_at t.owed owed_slot - 1);
     t.stats.sends <- t.stats.sends + 1;
     emit_handoff t ~src ~dst ~chan ~cycle;
     true
   end
   else
-  let q = buffer t ~dst ~chan in
-  let arrival =
-    match t.noc with
-    | Some noc -> Noc.delay noc ~src ~dst ~cycle:available
-    | None -> available + t.wire_latency
-  in
-  if Bounded_queue.push q { arrival } then begin
-    t.stats.sends <- t.stats.sends + 1;
-    emit_handoff t ~src ~dst ~chan ~cycle;
-    t.occupancy <- t.occupancy + 1;
-    Pqueue.add t.arrivals ~prio:arrival ();
-    if t.occupancy > t.stats.max_occupancy then
-      t.stats.max_occupancy <- t.occupancy;
-    true
-  end
-  else begin
-    t.stats.send_stalls <- t.stats.send_stalls + 1;
-    false
-  end
+    let q = buffer t ~dst ~chan in
+    let arrival =
+      match t.noc with
+      | Some noc -> Noc.delay noc ~src ~dst ~cycle:available
+      | None -> available + t.wire_latency
+    in
+    if Int_ring.push q arrival then begin
+      t.stats.sends <- t.stats.sends + 1;
+      emit_handoff t ~src ~dst ~chan ~cycle;
+      t.occupancy <- t.occupancy + 1;
+      Pqueue.add t.arrivals ~prio:arrival ();
+      if t.occupancy > t.stats.max_occupancy then
+        t.stats.max_occupancy <- t.occupancy;
+      true
+    end
+    else begin
+      t.stats.send_stalls <- t.stats.send_stalls + 1;
+      false
+    end
 
 let take_or_owe t ~tile ~chan =
   let q = buffer t ~dst:tile ~chan in
-  match Bounded_queue.pop q with
-  | Some _ ->
-      t.occupancy <- t.occupancy - 1;
+  if not (Int_ring.is_empty q) then begin
+    ignore (Int_ring.pop_exn q);
+    t.occupancy <- t.occupancy - 1;
+    t.stats.recvs <- t.stats.recvs + 1;
+    true
+  end
+  else begin
+    let key = pack ~dst:tile ~chan in
+    let slot = Int_table.probe t.owed key in
+    let owed = if slot >= 0 then Int_table.value_at t.owed slot else 0 in
+    if owed >= t.capacity then false
+    else begin
+      if slot >= 0 then Int_table.set_at t.owed slot (owed + 1)
+      else Int_table.set t.owed key 1;
       t.stats.recvs <- t.stats.recvs + 1;
       true
-  | None ->
-      let key = (tile, chan) in
-      let owed = owed_count t key in
-      if owed >= t.capacity then false
-      else begin
-        Hashtbl.replace t.owed key (owed + 1);
-        t.stats.recvs <- t.stats.recvs + 1;
-        true
-      end
+    end
+  end
 
 let try_recv t ~tile ~chan ~cycle =
   let q = buffer t ~dst:tile ~chan in
-  match Bounded_queue.pop q with
-  | Some msg ->
-      t.occupancy <- t.occupancy - 1;
-      t.stats.recvs <- t.stats.recvs + 1;
-      Some (Stdlib.max (cycle + 1) msg.arrival)
-  | None -> None
+  if Int_ring.is_empty q then None
+  else begin
+    let arrival = Int_ring.pop_exn q in
+    t.occupancy <- t.occupancy - 1;
+    t.stats.recvs <- t.stats.recvs + 1;
+    Some (Stdlib.max (cycle + 1) arrival)
+  end
 
 (* Buffered messages are consumable as soon as they are enqueued (arrival
    only bounds the receive-completion cycle), so this is a conservative
@@ -123,14 +143,12 @@ let try_recv t ~tile ~chan ~cycle =
    nothing to do. Entries for already-consumed or already-arrived messages
    are drained lazily here. *)
 let next_arrival t ~cycle =
-  let rec drain () =
-    match Pqueue.peek_prio t.arrivals with
-    | Some c when c <= cycle ->
-        ignore (Pqueue.pop t.arrivals);
-        drain ()
-    | other -> other
-  in
-  drain ()
+  while
+    (not (Pqueue.is_empty t.arrivals)) && Pqueue.min_prio t.arrivals <= cycle
+  do
+    Pqueue.drop_min t.arrivals
+  done;
+  if Pqueue.is_empty t.arrivals then None else Some (Pqueue.min_prio t.arrivals)
 
 let stats t = t.stats
 

@@ -256,7 +256,10 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
           ~hierarchy:hier ~comm ())
       tiles
   in
-  let host_start = Sys.time () in
+  (* Wall clock, not [Sys.time]: process CPU time aggregates across all
+     domains in OCaml 5, which would misreport per-run speed under the
+     domain-parallel batch runner. *)
+  let host_start = Unix.gettimeofday () in
   let cycle = ref 0 in
   let stepped = ref 0 in
   (* Running finished count: each tile transitions to finished exactly
@@ -269,14 +272,14 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
         (Printf.sprintf "Soc.run: exceeded max_cycles=%d (deadlock?)"
            cfg.max_cycles);
     let progress = ref false in
-    Array.iteri
-      (fun i c ->
-        if Core_tile.step c ~cycle:!cycle then progress := true;
-        if (not finished_flags.(i)) && Core_tile.finished c then begin
-          finished_flags.(i) <- true;
-          incr finished_count
-        end)
-      cores;
+    for i = 0 to ntiles - 1 do
+      let c = cores.(i) in
+      if Core_tile.step c ~cycle:!cycle then progress := true;
+      if (not finished_flags.(i)) && Core_tile.finished c then begin
+        finished_flags.(i) <- true;
+        incr finished_count
+      end
+    done;
     incr stepped;
     if !progress || not cfg.cycle_skip then incr cycle
     else begin
@@ -292,9 +295,9 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
         | Some c when c > !cycle && c < !next -> next := c
         | Some _ | None -> ()
       in
-      Array.iter
-        (fun c -> consider (Core_tile.next_event_cycle c ~cycle:!cycle))
-        cores;
+      for i = 0 to ntiles - 1 do
+        consider (Core_tile.next_event_cycle cores.(i) ~cycle:!cycle)
+      done;
       consider (Interleaver.next_arrival inter ~cycle:!cycle);
       List.iter (fun finish -> consider (Some finish)) mgr.active;
       if !next = max_int then
@@ -304,7 +307,7 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
       else cycle := Stdlib.min !next cfg.max_cycles
     end
   done;
-  let host_seconds = Sys.time () -. host_start in
+  let host_seconds = Unix.gettimeofday () -. host_start in
   let cycles = !cycle in
   let stepped_cycles = !stepped in
   let tile_stats = Array.map Core_tile.stats cores in

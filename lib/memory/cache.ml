@@ -44,6 +44,9 @@ let fresh_stats () =
     invalidations = 0;
   }
 
+module Int_table = Mosaic_util.Int_table
+module Int_heap = Mosaic_util.Int_heap
+
 type t = {
   cname : string;
   cfg : config;
@@ -52,7 +55,13 @@ type t = {
   dirty : bool array;
   lru : int array;  (** higher = more recent *)
   mutable clock : int;
-  mshr : (int, int) Hashtbl.t;  (** line address -> ready cycle *)
+  mshr : Int_table.t;  (** line address -> ready cycle *)
+  mshr_expiry : Int_heap.t;
+      (** (ready, line) pairs mirroring [mshr] inserts; drained lazily so
+          stale-entry expiry never traverses the table. An entry is live
+          only while the table still maps its line to its ready cycle —
+          re-inserting a line orphans the old heap pair, which validation
+          against the table discards on contact. *)
   stats : stats;
   pf : Prefetcher.t option;
 }
@@ -68,7 +77,8 @@ let create ~name cfg =
     dirty = Array.make (nsets * cfg.assoc) false;
     lru = Array.make (nsets * cfg.assoc) 0;
     clock = 0;
-    mshr = Hashtbl.create 64;
+    mshr = Int_table.create ~initial_capacity:(2 * cfg.mshr_size) ();
+    mshr_expiry = Int_heap.create ();
     stats = fresh_stats ();
     pf = Option.map Prefetcher.create cfg.prefetch;
   }
@@ -83,15 +93,18 @@ let line_of t addr = addr / t.cfg.line_size
 
 let set_of t line = line mod t.nsets
 
+(* Slot holding [line], or -1. Runs for every lookup/fill/probe; the int
+   sentinel and while shape keep it allocation-free (an option return plus
+   a local recursive scan cost two small allocations per call). *)
 let find_way t line =
   let set = set_of t line in
   let base = set * t.cfg.assoc in
-  let rec scan way =
-    if way >= t.cfg.assoc then None
-    else if t.tags.(base + way) = line then Some (base + way)
-    else scan (way + 1)
-  in
-  scan 0
+  let way = ref 0 in
+  let res = ref (-1) in
+  while !res < 0 && !way < t.cfg.assoc do
+    if t.tags.(base + !way) = line then res := base + !way else incr way
+  done;
+  !res
 
 let touch t slot =
   t.clock <- t.clock + 1;
@@ -100,27 +113,30 @@ let touch t slot =
 let lookup t ~addr ~is_write =
   t.stats.accesses <- t.stats.accesses + 1;
   let line = line_of t addr in
-  match find_way t line with
-  | Some slot ->
-      t.stats.hits <- t.stats.hits + 1;
-      touch t slot;
-      if is_write then t.dirty.(slot) <- true;
-      `Hit
-  | None ->
-      t.stats.misses <- t.stats.misses + 1;
-      `Miss
+  let slot = find_way t line in
+  if slot >= 0 then begin
+    t.stats.hits <- t.stats.hits + 1;
+    touch t slot;
+    if is_write then t.dirty.(slot) <- true;
+    `Hit
+  end
+  else begin
+    t.stats.misses <- t.stats.misses + 1;
+    `Miss
+  end
 
-let probe t ~addr = find_way t (line_of t addr) <> None
+let probe t ~addr = find_way t (line_of t addr) >= 0
 
 let fill t ~addr ~dirty =
   let line = line_of t addr in
-  match find_way t line with
-  | Some slot ->
-      (* Already present (e.g. filled by a coalesced miss): refresh. *)
-      touch t slot;
-      if dirty then t.dirty.(slot) <- true;
-      `None
-  | None ->
+  let slot = find_way t line in
+  if slot >= 0 then begin
+    (* Already present (e.g. filled by a coalesced miss): refresh. *)
+    touch t slot;
+    if dirty then t.dirty.(slot) <- true;
+    `None
+  end
+  else begin
       let set = set_of t line in
       let base = set * t.cfg.assoc in
       (* Choose an invalid way, else the LRU way. *)
@@ -152,52 +168,65 @@ let fill t ~addr ~dirty =
       t.dirty.(slot) <- dirty;
       touch t slot;
       result
+  end
 
 let invalidate t ~addr =
-  match find_way t (line_of t addr) with
-  | None -> `Absent
-  | Some slot ->
-      t.stats.invalidations <- t.stats.invalidations + 1;
-      t.tags.(slot) <- -1;
-      let was_dirty = t.dirty.(slot) in
-      t.dirty.(slot) <- false;
-      if was_dirty then `Dirty else `Clean
+  let slot = find_way t (line_of t addr) in
+  if slot < 0 then `Absent
+  else begin
+    t.stats.invalidations <- t.stats.invalidations + 1;
+    t.tags.(slot) <- -1;
+    let was_dirty = t.dirty.(slot) in
+    t.dirty.(slot) <- false;
+    if was_dirty then `Dirty else `Clean
+  end
 
 (* MSHR entries are cleaned lazily: an entry whose ready cycle has passed no
-   longer occupies a slot. *)
+   longer occupies a slot. The expiry heap makes this O(stale log n) instead
+   of a full-table fold per access: pop orphaned pairs (their line was
+   re-registered with a newer ready cycle) and expired live pairs until the
+   head is a live entry strictly in the future. Heap order guarantees that
+   once the head is in the future, no stale table entry remains. *)
 let mshr_sweep t ~cycle =
-  let stale =
-    Hashtbl.fold
-      (fun line ready acc -> if ready <= cycle then line :: acc else acc)
-      t.mshr []
-  in
-  List.iter (Hashtbl.remove t.mshr) stale
+  let continue = ref true in
+  while !continue && not (Int_heap.is_empty t.mshr_expiry) do
+    let ready = Int_heap.min_prio t.mshr_expiry in
+    let line = Int_heap.min_value t.mshr_expiry in
+    if Int_table.find t.mshr line ~default:min_int <> ready then
+      Int_heap.drop_min t.mshr_expiry
+    else if ready <= cycle then begin
+      Int_table.remove t.mshr line;
+      Int_heap.drop_min t.mshr_expiry
+    end
+    else continue := false
+  done
 
 let mshr_pending t ~addr ~cycle =
   let line = line_of t addr in
-  match Hashtbl.find_opt t.mshr line with
-  | Some ready when ready > cycle -> Some ready
-  | Some _ ->
-      Hashtbl.remove t.mshr line;
-      None
-  | None -> None
+  let ready = Int_table.find t.mshr line ~default:min_int in
+  if ready = min_int then -1
+  else if ready > cycle then ready
+  else begin
+    (* Expired: free the slot; its heap pair dies as an orphan later. *)
+    Int_table.remove t.mshr line;
+    -1
+  end
 
 let mshr_insert t ~addr ~ready =
-  Hashtbl.replace t.mshr (line_of t addr) ready
+  let line = line_of t addr in
+  Int_table.set t.mshr line ready;
+  Int_heap.push t.mshr_expiry ~prio:ready line
 
 let mshr_full t ~cycle =
   mshr_sweep t ~cycle;
-  Hashtbl.length t.mshr >= t.cfg.mshr_size
+  Int_table.length t.mshr >= t.cfg.mshr_size
 
 let mshr_earliest t ~cycle =
-  Hashtbl.fold
-    (fun _ ready acc ->
-      if ready > cycle then
-        match acc with
-        | None -> Some ready
-        | Some best -> Some (Stdlib.min best ready)
-      else acc)
-    t.mshr None
+  mshr_sweep t ~cycle;
+  (* After the sweep every table entry is in the future and the heap head,
+     if any, is live — so it is exactly the earliest retirement. *)
+  if Int_heap.is_empty t.mshr_expiry then -1
+  else Int_heap.min_prio t.mshr_expiry
 
 let hit_rate t =
   if t.stats.accesses = 0 then 0.0

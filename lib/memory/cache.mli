@@ -58,10 +58,15 @@ val fill :
     (directory-initiated invalidation); returns whether it was dirty. *)
 val invalidate : t -> addr:int -> [ `Absent | `Clean | `Dirty ]
 
-(** {1 MSHR} *)
+(** {1 MSHR}
 
-(** Completion cycle of an in-flight miss on this line, if any. *)
-val mshr_pending : t -> addr:int -> cycle:int -> int option
+    These sit on the per-access hot path, so "absent" is signalled with a
+    [-1] sentinel rather than an allocated option. Stale entries (ready
+    cycle already passed) are expired lazily via a min-heap of retirement
+    times — no operation traverses the whole table. *)
+
+(** Completion cycle of an in-flight miss on this line, or [-1] if none. *)
+val mshr_pending : t -> addr:int -> cycle:int -> int
 
 val mshr_insert : t -> addr:int -> ready:int -> unit
 
@@ -69,8 +74,8 @@ val mshr_insert : t -> addr:int -> ready:int -> unit
 val mshr_full : t -> cycle:int -> bool
 
 (** Earliest completion among outstanding entries (to model stalling until
-    an MSHR frees up). *)
-val mshr_earliest : t -> cycle:int -> int option
+    an MSHR frees up), or [-1] when none are outstanding. *)
+val mshr_earliest : t -> cycle:int -> int
 
 val prefetcher : t -> Prefetcher.t option
 

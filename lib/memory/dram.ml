@@ -29,11 +29,13 @@ type detailed_config = {
   t_rfc : int;
 }
 
+module Int_table = Mosaic_util.Int_table
+
 (* SimpleDRAM tracks per-epoch return counts; a request returns in the first
    epoch at or after (arrival + min latency) with spare bandwidth. *)
 type simple_state = {
   s_cfg : simple_config;
-  epoch_used : (int, int) Hashtbl.t;
+  epoch_used : Int_table.t;
   mutable oldest_epoch : int;
 }
 
@@ -69,7 +71,13 @@ let simple ?(sink = Mosaic_obs.Sink.null) cfg =
   if cfg.min_latency < 0 || cfg.lines_per_epoch <= 0 || cfg.epoch_cycles <= 0
   then invalid_arg "Dram.simple: bad configuration";
   {
-    model = Simple { s_cfg = cfg; epoch_used = Hashtbl.create 64; oldest_epoch = 0 };
+    model =
+      Simple
+        {
+          s_cfg = cfg;
+          epoch_used = Int_table.create ~initial_capacity:64 ();
+          oldest_epoch = 0;
+        };
     stats = fresh_stats ();
     sink;
   }
@@ -92,18 +100,29 @@ let detailed ?(sink = Mosaic_obs.Sink.null) cfg =
 let simple_access st stats ~cycle =
   let cfg = st.s_cfg in
   let earliest = cycle + cfg.min_latency in
-  let rec find epoch =
-    let used = Option.value ~default:0 (Hashtbl.find_opt st.epoch_used epoch) in
-    if used < cfg.lines_per_epoch then begin
-      Hashtbl.replace st.epoch_used epoch (used + 1);
-      epoch
+  (* While-shaped scan for the first epoch with spare bandwidth (a local
+     recursive function would allocate its closure on every access). *)
+  let epoch = ref (earliest / cfg.epoch_cycles) in
+  let continue = ref true in
+  while !continue do
+    let slot = Int_table.probe st.epoch_used !epoch in
+    if slot < 0 then begin
+      Int_table.set st.epoch_used !epoch 1;
+      continue := false
     end
-    else find (epoch + 1)
-  in
-  let epoch = find (earliest / cfg.epoch_cycles) in
+    else begin
+      let used = Int_table.value_at st.epoch_used slot in
+      if used < cfg.lines_per_epoch then begin
+        Int_table.set_at st.epoch_used slot (used + 1);
+        continue := false
+      end
+      else incr epoch
+    end
+  done;
+  let epoch = !epoch in
   (* Drop bookkeeping for epochs long past to bound memory. *)
   if epoch > st.oldest_epoch + 4096 then begin
-    Hashtbl.reset st.epoch_used;
+    Int_table.clear st.epoch_used;
     st.oldest_epoch <- epoch
   end;
   let completion = Stdlib.max earliest (epoch * cfg.epoch_cycles) in

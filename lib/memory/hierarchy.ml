@@ -1,3 +1,6 @@
+module Int_table = Mosaic_util.Int_table
+module Int_vec = Mosaic_util.Int_vec
+
 type dram_config =
   | Simple of Dram.simple_config
   | Detailed of Dram.detailed_config
@@ -18,10 +21,14 @@ type t = {
   l1s : Cache.t array;
   l2s : Cache.t array;  (** empty when no private L2 *)
   llc : Cache.t option;
+  chains : Cache.t array array;
+      (** per tile, the levels a demand access walks, front to back —
+          precomputed so the per-access path builds no lists *)
+  shared_chain : Cache.t array;  (** the LLC alone (or empty) *)
   dram : Dram.t;
   (* directory state: per line, a sharer bitmask and the modifying tile *)
-  sharers : (int, int) Hashtbl.t;
-  modified : (int, int) Hashtbl.t;
+  sharers : Int_table.t;
+  modified : Int_table.t;
   mutable inval_msgs : int;
   sink : Mosaic_obs.Sink.t;
 }
@@ -29,22 +36,37 @@ type t = {
 let create ?(sink = Mosaic_obs.Sink.null) ~ntiles cfg =
   if ntiles <= 0 then invalid_arg "Hierarchy.create: ntiles must be positive";
   let mk name c = Cache.create ~name c in
+  let l1s = Array.init ntiles (fun i -> mk (Printf.sprintf "l1.%d" i) cfg.l1) in
+  let l2s =
+    match cfg.l2 with
+    | Some c -> Array.init ntiles (fun i -> mk (Printf.sprintf "l2.%d" i) c)
+    | None -> [||]
+  in
+  let llc = Option.map (mk "llc") cfg.llc in
+  let shared_chain = match llc with Some c -> [| c |] | None -> [||] in
+  let chains =
+    Array.init ntiles (fun i ->
+        Array.concat
+          [
+            [| l1s.(i) |];
+            (if Array.length l2s > 0 then [| l2s.(i) |] else [||]);
+            shared_chain;
+          ])
+  in
   {
     cfg;
     ntiles;
-    l1s = Array.init ntiles (fun i -> mk (Printf.sprintf "l1.%d" i) cfg.l1);
-    l2s =
-      (match cfg.l2 with
-      | Some c ->
-          Array.init ntiles (fun i -> mk (Printf.sprintf "l2.%d" i) c)
-      | None -> [||]);
-    llc = Option.map (mk "llc") cfg.llc;
+    l1s;
+    l2s;
+    llc;
+    chains;
+    shared_chain;
     dram =
       (match cfg.dram with
       | Simple c -> Dram.simple ~sink c
       | Detailed c -> Dram.detailed ~sink c);
-    sharers = Hashtbl.create 1024;
-    modified = Hashtbl.create 256;
+    sharers = Int_table.create ~initial_capacity:1024 ();
+    modified = Int_table.create ~initial_capacity:256 ();
     inval_msgs = 0;
     sink;
   }
@@ -58,76 +80,76 @@ let line_size t = t.cfg.l1.Cache.line_size
 
 let ntiles t = t.ntiles
 
-let chain t tile =
-  let privates =
-    if Array.length t.l2s > 0 then [ t.l1s.(tile); t.l2s.(tile) ]
-    else [ t.l1s.(tile) ]
-  in
-  match t.llc with Some llc -> privates @ [ llc ] | None -> privates
+(* The per-access walkers below recurse over a precomputed [Cache.t array]
+   plus a level index instead of consing a list per access. [i] past the
+   end of the array means DRAM. *)
 
 (* Push a dirty line toward DRAM: it lands in the next level (inclusive
    hierarchy), which may itself evict. *)
-let rec writeback t caches ~cycle ~addr =
-  match caches with
-  | [] -> ignore (Dram.access t.dram ~cycle ~addr Dram.Dram_write)
-  | c :: rest -> (
-      match Cache.lookup c ~addr ~is_write:true with
-      | `Hit -> ()
-      | `Miss -> (
-          match Cache.fill c ~addr ~dirty:true with
-          | `Dirty evicted -> writeback t rest ~cycle ~addr:evicted
-          | `Clean _ | `None -> ()))
+let rec writeback t caches i ~cycle ~addr =
+  if i >= Array.length caches then
+    ignore (Dram.access t.dram ~cycle ~addr Dram.Dram_write)
+  else
+    let c = caches.(i) in
+    match Cache.lookup c ~addr ~is_write:true with
+    | `Hit -> ()
+    | `Miss -> (
+        match Cache.fill c ~addr ~dirty:true with
+        | `Dirty evicted -> writeback t caches (i + 1) ~cycle ~addr:evicted
+        | `Clean _ | `None -> ())
 
 (* Demand access walking the cache chain; [dirty_first] marks/installs the
    line dirty at the first level only (write-back). Returns the completion
    cycle. *)
-let rec demand t caches ~cycle ~addr ~dirty_first =
-  match caches with
-  | [] -> Dram.access t.dram ~cycle ~addr Dram.Dram_read
-  | c :: rest -> (
-      let lat = (Cache.config c).Cache.latency in
-      let completion =
-        match Cache.lookup c ~addr ~is_write:dirty_first with
-        | `Hit -> (
-            emit_cache t ~cycle c Mosaic_obs.Event.Hit;
-            let base = cycle + lat in
-            (* A hit on a line whose fill is still in flight completes when
-               the outstanding miss returns (MSHR coalescing). *)
-            match Cache.mshr_pending c ~addr ~cycle with
-            | Some ready ->
-                (Cache.stats c).Cache.mshr_merges <-
-                  (Cache.stats c).Cache.mshr_merges + 1;
-                Stdlib.max base ready
-            | None -> base)
-        | `Miss ->
-            emit_cache t ~cycle c Mosaic_obs.Event.Miss;
-            let start =
-              if Cache.mshr_full c ~cycle then begin
-                (Cache.stats c).Cache.mshr_stalls <-
-                  (Cache.stats c).Cache.mshr_stalls + 1;
-                match Cache.mshr_earliest c ~cycle with
-                | Some ready -> ready
-                | None -> cycle
-              end
-              else cycle
-            in
-            let below =
-              demand t rest ~cycle:(start + lat) ~addr ~dirty_first:false
-            in
-            (match Cache.fill c ~addr ~dirty:dirty_first with
-            | `Dirty evicted ->
-                emit_cache t ~cycle:below c Mosaic_obs.Event.Evict;
-                emit_cache t ~cycle:below c Mosaic_obs.Event.Writeback;
-                writeback t rest ~cycle:below ~addr:evicted
-            | `Clean _ -> emit_cache t ~cycle:below c Mosaic_obs.Event.Evict
-            | `None -> ());
-            Cache.mshr_insert c ~addr ~ready:below;
-            below
-      in
-      maybe_prefetch t c rest ~cycle ~addr;
-      completion)
+let rec demand t caches i ~cycle ~addr ~dirty_first =
+  if i >= Array.length caches then Dram.access t.dram ~cycle ~addr Dram.Dram_read
+  else begin
+    let c = caches.(i) in
+    let lat = (Cache.config c).Cache.latency in
+    let completion =
+      match Cache.lookup c ~addr ~is_write:dirty_first with
+      | `Hit ->
+          emit_cache t ~cycle c Mosaic_obs.Event.Hit;
+          let base = cycle + lat in
+          (* A hit on a line whose fill is still in flight completes when
+             the outstanding miss returns (MSHR coalescing). *)
+          let ready = Cache.mshr_pending c ~addr ~cycle in
+          if ready >= 0 then begin
+            (Cache.stats c).Cache.mshr_merges <-
+              (Cache.stats c).Cache.mshr_merges + 1;
+            Stdlib.max base ready
+          end
+          else base
+      | `Miss ->
+          emit_cache t ~cycle c Mosaic_obs.Event.Miss;
+          let start =
+            if Cache.mshr_full c ~cycle then begin
+              (Cache.stats c).Cache.mshr_stalls <-
+                (Cache.stats c).Cache.mshr_stalls + 1;
+              let ready = Cache.mshr_earliest c ~cycle in
+              if ready >= 0 then ready else cycle
+            end
+            else cycle
+          in
+          let below =
+            demand t caches (i + 1) ~cycle:(start + lat) ~addr
+              ~dirty_first:false
+          in
+          (match Cache.fill c ~addr ~dirty:dirty_first with
+          | `Dirty evicted ->
+              emit_cache t ~cycle:below c Mosaic_obs.Event.Evict;
+              emit_cache t ~cycle:below c Mosaic_obs.Event.Writeback;
+              writeback t caches (i + 1) ~cycle:below ~addr:evicted
+          | `Clean _ -> emit_cache t ~cycle:below c Mosaic_obs.Event.Evict
+          | `None -> ());
+          Cache.mshr_insert c ~addr ~ready:below;
+          below
+    in
+    maybe_prefetch t c caches i ~cycle ~addr;
+    completion
+  end
 
-and maybe_prefetch t c rest ~cycle ~addr =
+and maybe_prefetch t c caches i ~cycle ~addr =
   match Cache.prefetcher c with
   | None -> ()
   | Some pf ->
@@ -135,24 +157,25 @@ and maybe_prefetch t c rest ~cycle ~addr =
       let lines =
         Prefetcher.observe pf ~addr ~line_size:(Cache.config c).Cache.line_size
       in
-      List.iter
-        (fun pa ->
-          if
-            (not (Cache.probe c ~addr:pa))
-            && (not (Cache.mshr_full c ~cycle))
-            && Cache.mshr_pending c ~addr:pa ~cycle = None
-          then begin
-            (Cache.stats c).Cache.prefetches_issued <-
-              (Cache.stats c).Cache.prefetches_issued + 1;
-            let below =
-              demand t rest ~cycle:(cycle + lat) ~addr:pa ~dirty_first:false
-            in
-            (match Cache.fill c ~addr:pa ~dirty:false with
-            | `Dirty evicted -> writeback t rest ~cycle:below ~addr:evicted
-            | `Clean _ | `None -> ());
-            Cache.mshr_insert c ~addr:pa ~ready:below
-          end)
-        lines
+      for k = 0 to Int_vec.length lines - 1 do
+        let pa = Int_vec.get lines k in
+        if
+          (not (Cache.probe c ~addr:pa))
+          && (not (Cache.mshr_full c ~cycle))
+          && Cache.mshr_pending c ~addr:pa ~cycle < 0
+        then begin
+          (Cache.stats c).Cache.prefetches_issued <-
+            (Cache.stats c).Cache.prefetches_issued + 1;
+          let below =
+            demand t caches (i + 1) ~cycle:(cycle + lat) ~addr:pa
+              ~dirty_first:false
+          in
+          (match Cache.fill c ~addr:pa ~dirty:false with
+          | `Dirty evicted -> writeback t caches (i + 1) ~cycle:below ~addr:evicted
+          | `Clean _ | `None -> ());
+          Cache.mshr_insert c ~addr:pa ~ready:below
+        end
+      done
 
 (* Drop a line from another tile's private caches; its dirty data merges at
    the shared level (or DRAM), which the writeback path accounts. *)
@@ -164,8 +187,7 @@ let invalidate_private t other ~addr ~cycle =
     else `Absent
   in
   if dirty1 = `Dirty || dirty2 = `Dirty then
-    let rest = match t.llc with Some llc -> [ llc ] | None -> [] in
-    writeback t rest ~cycle ~addr
+    writeback t t.shared_chain 0 ~cycle ~addr
 
 let directory_penalty t ~tile ~cycle ~addr ~is_write =
   match t.cfg.coherence with
@@ -173,9 +195,7 @@ let directory_penalty t ~tile ~cycle ~addr ~is_write =
   | Some { directory_latency } when t.ntiles > 1 ->
       let line = addr / line_size t in
       let bit = 1 lsl tile in
-      let sharer_mask =
-        Option.value ~default:0 (Hashtbl.find_opt t.sharers line)
-      in
+      let sharer_mask = Int_table.find t.sharers line ~default:0 in
       let penalty = ref 0 in
       if is_write then begin
         let others = sharer_mask land lnot bit in
@@ -186,17 +206,17 @@ let directory_penalty t ~tile ~cycle ~addr ~is_write =
               invalidate_private t other ~addr ~cycle
           done
         end;
-        Hashtbl.replace t.sharers line bit;
-        Hashtbl.replace t.modified line tile
+        Int_table.set t.sharers line bit;
+        Int_table.set t.modified line tile
       end
       else begin
-        (match Hashtbl.find_opt t.modified line with
-        | Some owner when owner <> tile ->
-            penalty := directory_latency;
-            invalidate_private t owner ~addr ~cycle;
-            Hashtbl.remove t.modified line
-        | _ -> ());
-        Hashtbl.replace t.sharers line (sharer_mask lor bit)
+        let owner = Int_table.find t.modified line ~default:(-1) in
+        if owner >= 0 && owner <> tile then begin
+          penalty := directory_latency;
+          invalidate_private t owner ~addr ~cycle;
+          Int_table.remove t.modified line
+        end;
+        Int_table.set t.sharers line (sharer_mask lor bit)
       end;
       !penalty
   | Some _ -> 0
@@ -205,7 +225,8 @@ let access t ~tile ~cycle ~addr ~is_write =
   if tile < 0 || tile >= t.ntiles then
     invalid_arg (Printf.sprintf "Hierarchy.access: bad tile %d" tile);
   let penalty = directory_penalty t ~tile ~cycle ~addr ~is_write in
-  demand t (chain t tile) ~cycle:(cycle + penalty) ~addr ~dirty_first:is_write
+  demand t t.chains.(tile) 0 ~cycle:(cycle + penalty) ~addr
+    ~dirty_first:is_write
 
 let can_accept t ~tile ~cycle =
   if tile < 0 || tile >= t.ntiles then
@@ -216,7 +237,9 @@ let next_accept t ~tile ~cycle =
   if tile < 0 || tile >= t.ntiles then
     invalid_arg (Printf.sprintf "Hierarchy.next_accept: bad tile %d" tile);
   if not (Cache.mshr_full t.l1s.(tile) ~cycle) then None
-  else Cache.mshr_earliest t.l1s.(tile) ~cycle
+  else
+    let ready = Cache.mshr_earliest t.l1s.(tile) ~cycle in
+    if ready >= 0 then Some ready else None
 
 let dram_burst t ~cycle ~addr ~bytes ~is_write =
   if bytes <= 0 then cycle

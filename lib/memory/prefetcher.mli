@@ -21,8 +21,9 @@ val create : config -> t
 
 (** [observe t ~addr ~line_size] records a demand access and returns the
     line-aligned addresses to prefetch (empty until a stream is
-    confirmed). *)
-val observe : t -> addr:int -> line_size:int -> int list
+    confirmed). The returned vector is scratch storage owned by [t]: read
+    it before the next [observe] call, and do not retain it. *)
+val observe : t -> addr:int -> line_size:int -> Mosaic_util.Int_vec.t
 
 (** Streams currently confirmed (for tests/inspection). *)
 val active_streams : t -> int

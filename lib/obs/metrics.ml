@@ -15,9 +15,9 @@ type histogram = {
           bound land in an implicit overflow bucket *)
   buckets : Fenwick.t;  (** one slot per bound plus the overflow bucket *)
   mutable hcount : int;
-  mutable hsum : float;
-  mutable hmin : float;
-  mutable hmax : float;
+  fstate : float array;
+      (** [| sum; min; max |] — a flat float array so the per-observation
+          updates store unboxed floats instead of reboxing record fields *)
 }
 
 type metric =
@@ -63,9 +63,7 @@ let histogram ?(bounds = default_latency_bounds) t name =
       bounds;
       buckets = Fenwick.create (Array.length bounds + 1);
       hcount = 0;
-      hsum = 0.0;
-      hmin = Float.infinity;
-      hmax = Float.neg_infinity;
+      fstate = [| 0.0; Float.infinity; Float.neg_infinity |];
     }
   in
   register t name (Histogram h);
@@ -93,15 +91,16 @@ let bucket_index h v =
 let observe h v =
   Fenwick.add h.buckets (bucket_index h v) 1;
   h.hcount <- h.hcount + 1;
-  h.hsum <- h.hsum +. v;
-  if v < h.hmin then h.hmin <- v;
-  if v > h.hmax then h.hmax <- v
+  h.fstate.(0) <- h.fstate.(0) +. v;
+  if v < h.fstate.(1) then h.fstate.(1) <- v;
+  if v > h.fstate.(2) then h.fstate.(2) <- v
 
 let hist_count h = h.hcount
-let hist_sum h = h.hsum
-let hist_mean h = if h.hcount = 0 then 0.0 else h.hsum /. float_of_int h.hcount
-let hist_min h = if h.hcount = 0 then 0.0 else h.hmin
-let hist_max h = if h.hcount = 0 then 0.0 else h.hmax
+let hist_sum h = h.fstate.(0)
+let hist_mean h =
+  if h.hcount = 0 then 0.0 else h.fstate.(0) /. float_of_int h.hcount
+let hist_min h = if h.hcount = 0 then 0.0 else h.fstate.(1)
+let hist_max h = if h.hcount = 0 then 0.0 else h.fstate.(2)
 
 (* Quantile estimate: the upper bound of the first bucket whose cumulative
    count reaches q of the total (overflow bucket reports the observed max).
@@ -153,7 +152,7 @@ let float_repr f =
 let hist_rows name h =
   [
     (name ^ ".count", "histogram", float_of_int h.hcount);
-    (name ^ ".sum", "histogram", h.hsum);
+    (name ^ ".sum", "histogram", hist_sum h);
     (name ^ ".min", "histogram", hist_min h);
     (name ^ ".max", "histogram", hist_max h);
     (name ^ ".p50", "histogram", hist_quantile h 0.5);
@@ -220,7 +219,7 @@ let to_json t =
                Json.Obj
                  [
                    ("count", Json.Int h.hcount);
-                   ("sum", Json.Float h.hsum);
+                   ("sum", Json.Float (hist_sum h));
                    ("min", Json.Float (hist_min h));
                    ("max", Json.Float (hist_max h));
                    ("p50", Json.Float (hist_quantile h 0.5));

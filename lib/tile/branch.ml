@@ -20,6 +20,19 @@ let predict ~policy ~bid (term : Mosaic_ir.Instr.t) =
           else Some taken
       | _ -> None)
 
+(* [predict] without the option: -1 for "no guess". Block ids are
+   non-negative. The launch gate queries this every attempt, so the [Some]
+   per call adds up. *)
+let predict_id ~policy ~bid (term : Mosaic_ir.Instr.t) =
+  match policy with
+  | No_speculation | Perfect | Dynamic _ -> -1
+  | Static _ -> (
+      match term.Mosaic_ir.Instr.op with
+      | Mosaic_ir.Op.Br target -> target
+      | Mosaic_ir.Op.Cond_br (taken, not_taken) ->
+          if not_taken <= bid && taken > bid then not_taken else taken
+      | _ -> -1)
+
 type stats = { mutable predictions : int; mutable mispredictions : int }
 
 let fresh_stats () = { predictions = 0; mispredictions = 0 }

@@ -21,6 +21,10 @@ type policy =
 val predict :
   policy:policy -> bid:int -> Mosaic_ir.Instr.t -> int option
 
+(** [predict] without the option: -1 when the policy never predicts.
+    Allocation-free, for the per-launch gate. *)
+val predict_id : policy:policy -> bid:int -> Mosaic_ir.Instr.t -> int
+
 type stats = { mutable predictions : int; mutable mispredictions : int }
 
 val fresh_stats : unit -> stats

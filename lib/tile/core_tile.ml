@@ -51,7 +51,11 @@ type t = {
   cursor : Trace.Cursor.cursor;
   hier : Hierarchy.t;
   comm : comm;
-  ready : node Pqueue.t;  (** priority = seq *)
+  mutable ready_arr : node array;
+      (** out-of-order ready list, sorted by seq and scanned in place; the
+          previous heap popped and re-pushed every blocked node every cycle
+          (two O(log n) sifts each), which dominated the issue stage *)
+  mutable ready_len : int;
   events : node Pqueue.t;  (** priority = completion cycle *)
   inflight : node Queue.t;  (** creation order; completed prefix popped *)
   order : node Queue.t;  (** unissued nodes in program order (in-order) *)
@@ -60,8 +64,18 @@ type t = {
       (** deferred LSQ frees for fire-and-forget memory ops: the core
           retires them immediately but the entry pins the LSQ until the
           access completes in memory *)
+  mutable stash : node array;
+      (** nodes that became ready since the last issue scan; sorted and
+          merged into [ready_arr] at the top of the next scan *)
+  mutable stash_len : int;
   last_writer : node option array;
+  pos_of_id : int array;
+      (** instruction id -> position within its block, precomputed so DBB
+          wiring never rescans the block per dependence edge *)
   fu_busy : int array;
+  fu_limit_ci : int array;  (** dense per-class cost tables, see below *)
+  latency_ci : int array;
+  energy_ci : float array;
   mutable next_seq : int;
   mutable live_dbbs : int;
   live_per_bb : int array;
@@ -99,7 +113,8 @@ let create ?(sink = Mosaic_obs.Sink.null) ?lat_hist ~id ~config ~func ~ddg
     cursor = Trace.Cursor.create tile_trace;
     hier = hierarchy;
     comm;
-    ready = Pqueue.create ();
+    ready_arr = [||];
+    ready_len = 0;
     events = Pqueue.create ();
     inflight = Queue.create ();
     order = Queue.create ();
@@ -107,8 +122,25 @@ let create ?(sink = Mosaic_obs.Sink.null) ?lat_hist ~id ~config ~func ~ddg
       Mao.create ~capacity:config.Tile_config.lsq_size
         ~perfect_alias:config.Tile_config.perfect_alias;
     mao_release = Pqueue.create ();
+    stash = [||];
+    stash_len = 0;
     last_writer = Array.make (Stdlib.max func.Func.nregs 1) None;
+    pos_of_id =
+      (let pos = Array.make (Stdlib.max func.Func.ninstrs 1) (-1) in
+       Array.iter
+         (fun (b : Func.block) ->
+           Array.iteri
+             (fun k (i : Instr.t) -> pos.(i.Instr.id) <- k)
+             b.Func.instrs)
+         func.Func.blocks;
+       pos);
     fu_busy = Array.make Tile_config.nclasses 0;
+    (* The issue path consults these once per issue attempt; compiling
+       the config's association lists into dense arrays here keeps those
+       lookups allocation-free and O(1). *)
+    fu_limit_ci = Tile_config.fu_limit_table config;
+    latency_ci = Tile_config.latency_table config;
+    energy_ci = Tile_config.energy_table config;
     next_seq = 0;
     live_dbbs = 0;
     live_per_bb = Array.make (Array.length func.Func.blocks) 0;
@@ -136,16 +168,23 @@ let ipc t =
   else float_of_int t.stats.completed_instrs /. float_of_int t.stats.finish_cycle
 
 let window_start t =
-  match Queue.peek_opt t.inflight with
-  | Some n -> n.seq
-  | None -> t.next_seq
+  if Queue.is_empty t.inflight then t.next_seq else (Queue.peek t.inflight).seq
 
 let is_mem_node n = Op.is_mem n.instr.Instr.op
+
+let push_stash t n =
+  if t.stash_len = Array.length t.stash then begin
+    let grown = Array.make (Stdlib.max 8 (2 * t.stash_len)) n in
+    Array.blit t.stash 0 grown 0 t.stash_len;
+    t.stash <- grown
+  end;
+  t.stash.(t.stash_len) <- n;
+  t.stash_len <- t.stash_len + 1
 
 let mark_ready t n =
   n.state <- Ready;
   if is_mem_node n then Mao.resolve t.mao ~seq:n.seq;
-  if not t.cfg.Tile_config.in_order then Pqueue.add t.ready ~prio:n.seq n
+  if not t.cfg.Tile_config.in_order then push_stash t n
 
 (* --- Completion --- *)
 
@@ -157,7 +196,8 @@ let complete_node t n ~cycle =
       (Mosaic_obs.Event.Instr_retire { tile = t.id; seq = n.seq });
   let cls = Op.classify n.instr.Instr.op in
   t.stats.completed_instrs <- t.stats.completed_instrs + 1;
-  t.stats.energy_pj <- t.stats.energy_pj +. Tile_config.energy_pj t.cfg cls;
+  t.stats.energy_pj <-
+    t.stats.energy_pj +. t.energy_ci.(Tile_config.class_index cls);
   (* Fire-and-forget ops free their MAO entry when memory completes, not
      when the core retires them. *)
   (match n.instr.Instr.op with
@@ -168,63 +208,59 @@ let complete_node t n ~cycle =
     t.live_dbbs <- t.live_dbbs - 1;
     t.live_per_bb.(n.dbb.dbb_bid) <- t.live_per_bb.(n.dbb.dbb_bid) - 1
   end;
-  List.iter
-    (fun dep ->
-      dep.parents_left <- dep.parents_left - 1;
-      if dep.parents_left = 0 && dep.state = Waiting then mark_ready t dep)
-    n.dependents;
+  (* Manual list walk: [List.iter] with an inline function allocates the
+     closure per completion. *)
+  let deps = ref n.dependents in
+  let continue = ref true in
+  while !continue do
+    match !deps with
+    | [] -> continue := false
+    | dep :: rest ->
+        dep.parents_left <- dep.parents_left - 1;
+        if dep.parents_left = 0 && dep.state = Waiting then mark_ready t dep;
+        deps := rest
+  done;
   n.dependents <- [];
   (* Retire: advance the window past the completed prefix. *)
-  let rec pop () =
-    match Queue.peek_opt t.inflight with
-    | Some front when front.state = Completed ->
-        ignore (Queue.pop t.inflight);
-        pop ()
-    | _ -> ()
-  in
-  pop ()
+  while
+    (not (Queue.is_empty t.inflight))
+    && (Queue.peek t.inflight).state = Completed
+  do
+    ignore (Queue.pop t.inflight)
+  done
 
 (* Returns whether anything matured: the scheduler must not skip cycles
    where a completion (or deferred LSQ free) changes tile state. *)
 let process_events t ~cycle =
   let progressed = ref false in
-  let rec release () =
-    match Pqueue.peek t.mao_release with
-    | Some (c, _) when c <= cycle -> (
-        match Pqueue.pop t.mao_release with
-        | Some (_, seq) ->
-            Mao.complete t.mao ~seq;
-            progressed := true;
-            release ()
-        | None -> ())
-    | Some _ | None -> ()
-  in
-  release ();
-  let rec loop () =
-    match Pqueue.peek t.events with
-    | Some (c, _) when c <= cycle -> (
-        match Pqueue.pop t.events with
-        | Some (c, n) ->
-            complete_node t n ~cycle:c;
-            progressed := true;
-            loop ()
-        | None -> ())
-    | Some _ | None -> ()
-  in
-  loop ();
+  while
+    (not (Pqueue.is_empty t.mao_release))
+    && Pqueue.min_prio t.mao_release <= cycle
+  do
+    Mao.complete t.mao ~seq:(Pqueue.min_elt t.mao_release);
+    Pqueue.drop_min t.mao_release;
+    progressed := true
+  done;
+  while
+    (not (Pqueue.is_empty t.events)) && Pqueue.min_prio t.events <= cycle
+  do
+    let c = Pqueue.min_prio t.events and n = Pqueue.min_elt t.events in
+    Pqueue.drop_min t.events;
+    complete_node t n ~cycle:c;
+    progressed := true
+  done;
   !progressed
 
 (* --- DBB launching --- *)
 
-let position_in_block (blk : Func.block) iid =
-  (* Blocks are small; a linear scan is fine and avoids an extra index. *)
-  let rec find k =
-    if k >= Array.length blk.Func.instrs then
-      invalid_arg "Core_tile: instruction not in block"
-    else if blk.Func.instrs.(k).Instr.id = iid then k
-    else find (k + 1)
-  in
-  find 0
+(* Record [p] as a parent [n] must wait for. Top-level (not a closure in
+   the wiring loop) so launching allocates nothing beyond the nodes and
+   dependence conses themselves. *)
+let add_parent n (p : node) =
+  if p.state <> Completed then begin
+    n.parents_left <- n.parents_left + 1;
+    p.dependents <- n :: p.dependents
+  end
 
 let launch_dbb t bid =
   let blk = Func.block t.func bid in
@@ -233,187 +269,200 @@ let launch_dbb t bid =
   t.stats.dbbs_launched <- t.stats.dbbs_launched + 1;
   t.live_dbbs <- t.live_dbbs + 1;
   t.live_per_bb.(bid) <- t.live_per_bb.(bid) + 1;
-  let nodes = Array.make n_instrs None in
-  Array.iteri
-    (fun k (instr : Instr.t) ->
-      let seq = t.next_seq in
-      t.next_seq <- seq + 1;
-      let n =
-        {
-          seq;
-          instr;
-          dbb;
-          parents_left = 0;
-          state = Waiting;
-          dependents = [];
-          addr = -1;
-          accel_params = [||];
-          send_dst = -1;
-          complete_cycle = -1;
-        }
-      in
-      nodes.(k) <- Some n;
-      let deps = t.ddg.Ddg.deps.(instr.Instr.id) in
-      let add_parent (p : node) =
-        if p.state <> Completed then begin
-          n.parents_left <- n.parents_left + 1;
-          p.dependents <- n :: p.dependents
-        end
-      in
-      Array.iter
-        (fun pid ->
-          match nodes.(position_in_block blk pid) with
-          | Some p -> add_parent p
-          | None -> invalid_arg "Core_tile: forward intra-block dependence")
-        deps.Ddg.intra;
-      Array.iter
-        (fun r ->
-          match t.last_writer.(r) with
-          | Some p -> add_parent p
-          | None -> ())
-        deps.Ddg.extern_regs;
-      (* Memory nodes take their address from the trace and enter the MAO
-         in program order. *)
-      (match Op.mem_size instr.Instr.op with
-      | Some size ->
-          let addr = Trace.Cursor.next_addr t.cursor ~instr_id:instr.Instr.id in
-          n.addr <- addr;
-          let kind =
-            match instr.Instr.op with
-            | Op.Load _ | Op.Load_send _ -> Mao.K_load
-            | Op.Store _ | Op.Atomic_rmw _ | Op.Store_recv _ | _ ->
-                Mao.K_store
-          in
-          Mao.insert t.mao ~seq ~kind ~addr ~size
-      | None -> ());
-      (match instr.Instr.op with
-      | Op.Accel _ ->
-          n.accel_params <-
-            Trace.Cursor.next_accel_params t.cursor ~instr_id:instr.Instr.id
-      | Op.Send _ | Op.Load_send _ ->
-          n.send_dst <-
-            Trace.Cursor.next_send_dst t.cursor ~instr_id:instr.Instr.id
-      | _ -> ());
-      (match instr.Instr.dst with
-      | Some d -> t.last_writer.(d) <- Some n
-      | None -> ());
-      Queue.add n t.inflight;
-      if t.cfg.Tile_config.in_order then Queue.add n t.order;
-      if n.parents_left = 0 then mark_ready t n)
-    blk.Func.instrs;
-  (match nodes.(n_instrs - 1) with
-  | Some term when Op.is_terminator term.instr.Instr.op ->
-      t.last_term <- Some term;
-      (* A dynamic predictor guesses (and trains on) the next block at
-         fetch; the verdict is stable until that block launches. *)
-      (match (t.predictor, Trace.Cursor.peek_block t.cursor 0) with
-      | Some pred, Some actual ->
+  (* Allocate all the block's nodes up front (sequence numbers in program
+     order); the wiring pass below then never needs an option per slot. *)
+  let mk_node (instr : Instr.t) =
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    {
+      seq;
+      instr;
+      dbb;
+      parents_left = 0;
+      state = Waiting;
+      dependents = [];
+      addr = -1;
+      accel_params = [||];
+      send_dst = -1;
+      complete_cycle = -1;
+    }
+  in
+  let first = mk_node blk.Func.instrs.(0) in
+  let nodes = Array.make n_instrs first in
+  for k = 1 to n_instrs - 1 do
+    nodes.(k) <- mk_node blk.Func.instrs.(k)
+  done;
+  for k = 0 to n_instrs - 1 do
+    let instr = blk.Func.instrs.(k) in
+    let n = nodes.(k) in
+    let seq = n.seq in
+    let deps = t.ddg.Ddg.deps.(instr.Instr.id) in
+    let intra = deps.Ddg.intra in
+    for di = 0 to Array.length intra - 1 do
+      let pos = t.pos_of_id.(intra.(di)) in
+      if pos >= k then
+        invalid_arg "Core_tile: forward intra-block dependence";
+      add_parent n nodes.(pos)
+    done;
+    let ext = deps.Ddg.extern_regs in
+    for ri = 0 to Array.length ext - 1 do
+      match t.last_writer.(ext.(ri)) with
+      | Some p -> add_parent n p
+      | None -> ()
+    done;
+    (* Memory nodes take their address from the trace and enter the MAO
+       in program order. *)
+    (match Op.mem_size instr.Instr.op with
+    | Some size ->
+        let addr = Trace.Cursor.next_addr t.cursor ~instr_id:instr.Instr.id in
+        n.addr <- addr;
+        let kind =
+          match instr.Instr.op with
+          | Op.Load _ | Op.Load_send _ -> Mao.K_load
+          | Op.Store _ | Op.Atomic_rmw _ | Op.Store_recv _ | _ ->
+              Mao.K_store
+        in
+        Mao.insert t.mao ~seq ~kind ~addr ~size
+    | None -> ());
+    (match instr.Instr.op with
+    | Op.Accel _ ->
+        n.accel_params <-
+          Trace.Cursor.next_accel_params t.cursor ~instr_id:instr.Instr.id
+    | Op.Send _ | Op.Load_send _ ->
+        n.send_dst <-
+          Trace.Cursor.next_send_dst t.cursor ~instr_id:instr.Instr.id
+    | _ -> ());
+    (match instr.Instr.dst with
+    | Some d -> t.last_writer.(d) <- Some n
+    | None -> ());
+    Queue.add n t.inflight;
+    if t.cfg.Tile_config.in_order then Queue.add n t.order;
+    if n.parents_left = 0 then mark_ready t n
+  done;
+  let term = nodes.(n_instrs - 1) in
+  if Op.is_terminator term.instr.Instr.op then begin
+    t.last_term <- Some term;
+    (* A dynamic predictor guesses (and trains on) the next block at
+       fetch; the verdict is stable until that block launches. *)
+    match t.predictor with
+    | Some pred ->
+        let actual = Trace.Cursor.peek_block_id t.cursor 0 in
+        if actual >= 0 then begin
           let predicted =
             Predictor.predict pred ~branch_id:term.instr.Instr.id term.instr
           in
           Predictor.train pred ~branch_id:term.instr.Instr.id term.instr
             ~actual;
           t.pending_mispredict <- predicted <> Some actual
-      | _ -> t.pending_mispredict <- false)
-  | _ -> t.last_term <- None)
+        end
+        else t.pending_mispredict <- false
+    | None -> t.pending_mispredict <- false
+  end
+  else t.last_term <- None
 
-(* Whether the next DBB may launch now: [`Launch gated] with [gated = true]
-   when a prior terminator gated this launch (counts as a prediction) and
-   [`Mispredict] when that prediction was wrong. *)
+(* Whether the next DBB may launch now, as an int code — the gate runs for
+   every launch attempt and every next-event probe, so the old polymorphic
+   variant result (`Launch carrying its payload) allocated on each call. *)
+let gate_wait = 0
+let gate_first = 1 (* ungated: no prior terminator *)
+let gate_predicted = 2
+let gate_mispredicted = 3
+
 let control_gate t ~cycle ~next_bid =
   match t.last_term with
-  | None -> `Launch `First
+  | None -> gate_first
   | Some term -> (
       match t.cfg.Tile_config.branch with
-      | Branch.Perfect -> `Launch `Predicted
+      | Branch.Perfect -> gate_predicted
       | Branch.No_speculation ->
-          if term.state = Completed then `Launch `Predicted else `Wait
+          if term.state = Completed then gate_predicted else gate_wait
       | Branch.Dynamic { penalty; _ } ->
-          if not t.pending_mispredict then `Launch `Predicted
+          if not t.pending_mispredict then gate_predicted
           else if term.state = Completed && cycle >= term.complete_cycle + penalty
-          then `Launch `Mispredicted
-          else `Wait
-      | Branch.Static { penalty } -> (
+          then gate_mispredicted
+          else gate_wait
+      | Branch.Static { penalty } ->
           let bid = term.dbb.dbb_bid in
-          match
-            Branch.predict ~policy:t.cfg.Tile_config.branch ~bid term.instr
-          with
-          | Some predicted when predicted = next_bid -> `Launch `Predicted
-          | Some _ | None ->
-              (* Mispredicted (or unpredictable): wait for resolution plus
-                 the misprediction penalty. *)
-              if term.state = Completed && cycle >= term.complete_cycle + penalty
-              then `Launch `Mispredicted
-              else `Wait))
+          let predicted =
+            Branch.predict_id ~policy:t.cfg.Tile_config.branch ~bid term.instr
+          in
+          if predicted >= 0 && predicted = next_bid then gate_predicted
+            (* Mispredicted (or unpredictable): wait for resolution plus
+               the misprediction penalty. *)
+          else if term.state = Completed && cycle >= term.complete_cycle + penalty
+          then gate_mispredicted
+          else gate_wait)
 
 let try_launches t ~cycle =
   let launched = ref 0 in
   let continue = ref true in
   while !continue && !launched < t.cfg.Tile_config.fetch_per_cycle do
-    match Trace.Cursor.peek_block t.cursor 0 with
-    | None ->
-        t.trace_done <- true;
-        continue := false
-    | Some next_bid ->
-        let live_ok =
-          (match t.cfg.Tile_config.live_dbb_limit with
-          | Some limit -> t.live_per_bb.(next_bid) < limit
-          | None -> true)
-          && t.live_dbbs < t.cfg.Tile_config.max_live_dbbs
-          && t.next_seq - window_start t < t.cfg.Tile_config.window_size
-        in
-        if not live_ok then continue := false
+    let next_bid = Trace.Cursor.peek_block_id t.cursor 0 in
+    if next_bid < 0 then begin
+      t.trace_done <- true;
+      continue := false
+    end
+    else begin
+      let live_ok =
+        (match t.cfg.Tile_config.live_dbb_limit with
+        | Some limit -> t.live_per_bb.(next_bid) < limit
+        | None -> true)
+        && t.live_dbbs < t.cfg.Tile_config.max_live_dbbs
+        && t.next_seq - window_start t < t.cfg.Tile_config.window_size
+      in
+      if not live_ok then continue := false
+      else begin
+        let gate = control_gate t ~cycle ~next_bid in
+        if gate = gate_wait then continue := false
         else begin
-          match control_gate t ~cycle ~next_bid with
-          | `Wait -> continue := false
-          | `Launch how ->
-              (match how with
-              | `First -> ()
-              | `Predicted ->
-                  t.stats.branch.Branch.predictions <-
-                    t.stats.branch.Branch.predictions + 1
-              | `Mispredicted ->
-                  t.stats.branch.Branch.predictions <-
-                    t.stats.branch.Branch.predictions + 1;
-                  t.stats.branch.Branch.mispredictions <-
-                    t.stats.branch.Branch.mispredictions + 1);
-              ignore (Trace.Cursor.next_block t.cursor);
-              launch_dbb t next_bid;
-              incr launched
+          if gate = gate_predicted || gate = gate_mispredicted then
+            t.stats.branch.Branch.predictions <-
+              t.stats.branch.Branch.predictions + 1;
+          if gate = gate_mispredicted then
+            t.stats.branch.Branch.mispredictions <-
+              t.stats.branch.Branch.mispredictions + 1;
+          ignore (Trace.Cursor.next_block t.cursor);
+          launch_dbb t next_bid;
+          incr launched
         end
+      end
+    end
   done;
   !launched > 0
 
 (* --- Issue --- *)
 
+let fixed_completion ~cycle ~div lat = cycle + Stdlib.max 1 (lat * div)
+
 (* Attempt to issue [n] at [cycle]; true on success. *)
 (* Functional units are pipelined: the limit is per-cycle issue
-   throughput, tracked in [fu_busy] which resets every cycle. *)
+   throughput, tracked in [fu_busy] which resets every cycle.
+
+   The completion cycle flows as a plain int with -1 for "cannot issue" —
+   this path runs once per instruction, so an option per attempt would be
+   a steady allocation drip. *)
 let try_issue t n ~cycle =
   let cls = Op.classify n.instr.Instr.op in
   let ci = Tile_config.class_index cls in
-  if t.fu_busy.(ci) >= Tile_config.fu_limit t.cfg cls then false
+  if t.fu_busy.(ci) >= t.fu_limit_ci.(ci) then false
   else begin
     let div = t.cfg.Tile_config.clock_divider in
-    let fixed lat = Some (cycle + Stdlib.max 1 (lat * div)) in
     let completion =
       match n.instr.Instr.op with
       | Op.Load _ ->
           if Mao.can_issue t.mao ~seq:n.seq then begin
             t.stats.mem_accesses <- t.stats.mem_accesses + 1;
-            Some
-              (Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
-                 ~is_write:false)
+            Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+              ~is_write:false
           end
-          else None
+          else -1
       | Op.Store _ ->
           if Mao.can_issue t.mao ~seq:n.seq then begin
             t.stats.mem_accesses <- t.stats.mem_accesses + 1;
-            Some
-              (Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
-                 ~is_write:true)
+            Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+              ~is_write:true
           end
-          else None
+          else -1
       | Op.Atomic_rmw _ ->
           if Mao.can_issue t.mao ~seq:n.seq then begin
             t.stats.mem_accesses <- t.stats.mem_accesses + 1;
@@ -421,13 +470,13 @@ let try_issue t n ~cycle =
               Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
                 ~is_write:true
             in
-            Some (base + t.cfg.Tile_config.atomic_extra_latency)
+            base + t.cfg.Tile_config.atomic_extra_latency
           end
-          else None
+          else -1
       | Op.Send chan ->
           if t.comm.send ~src:t.id ~dst:n.send_dst ~chan ~cycle ~available:cycle
-          then fixed t.cfg.Tile_config.comm_latency
-          else None
+          then fixed_completion ~cycle ~div t.cfg.Tile_config.comm_latency
+          else -1
       | Op.Load_send (chan, _) ->
           (* Terminal load: needs an MAO slot, a buffer slot and a free
              miss slot; the core moves on while memory fills the message
@@ -448,12 +497,15 @@ let try_issue t n ~cycle =
               (* The core retires the push at once; the LSQ entry drains
                  when memory answers. *)
               Pqueue.add t.mao_release ~prio:completion n.seq;
-              fixed 1
+              fixed_completion ~cycle ~div 1
             end
-            else None
+            else -1
           end
-          else None
-      | Op.Recv chan -> t.comm.try_recv ~tile:t.id ~chan ~cycle
+          else -1
+      | Op.Recv chan -> (
+          match t.comm.try_recv ~tile:t.id ~chan ~cycle with
+          | Some c -> c
+          | None -> -1)
       | Op.Store_recv (chan, _, rmw) ->
           (* Retire into the store value buffer: commit the channel slot,
              charge the memory write, and move on. Gated on a free miss
@@ -469,57 +521,107 @@ let try_issue t n ~cycle =
                   ~is_write:true
               in
               Pqueue.add t.mao_release ~prio:completion n.seq;
-              fixed (match rmw with Some _ -> 2 | None -> 1)
+              fixed_completion ~cycle ~div (match rmw with Some _ -> 2 | None -> 1)
             end
-            else None
-          else None
+            else -1
+          else -1
       | Op.Accel kind ->
           let r = t.comm.accel ~tile:t.id ~kind ~params:n.accel_params ~cycle in
           t.stats.energy_pj <- t.stats.energy_pj +. r.energy_pj;
-          Some (Stdlib.max (cycle + 1) r.finish_cycle)
-      | _ -> fixed (Tile_config.latency t.cfg cls)
+          Stdlib.max (cycle + 1) r.finish_cycle
+      | _ -> fixed_completion ~cycle ~div t.latency_ci.(ci)
     in
-    match completion with
-    | None -> false
-    | Some c ->
-        n.state <- Issued;
-        if Mosaic_obs.Sink.enabled t.sink then
-          Mosaic_obs.Sink.emit t.sink ~cycle
-            (Mosaic_obs.Event.Instr_issue
-               { tile = t.id; seq = n.seq; cls = Op.class_to_string cls });
-        (match t.lat_hist with
-        | Some h when is_mem_node n ->
-            Mosaic_obs.Metrics.observe h (float_of_int (c - cycle))
-        | _ -> ());
-        t.fu_busy.(ci) <- t.fu_busy.(ci) + 1;
-        t.stats.issued_by_class.(ci) <- t.stats.issued_by_class.(ci) + 1;
-        Pqueue.add t.events ~prio:(Stdlib.max (cycle + 1) c) n;
-        true
+    if completion < 0 then false
+    else begin
+      let c = completion in
+      n.state <- Issued;
+      if Mosaic_obs.Sink.enabled t.sink then
+        Mosaic_obs.Sink.emit t.sink ~cycle
+          (Mosaic_obs.Event.Instr_issue
+             { tile = t.id; seq = n.seq; cls = Op.class_to_string cls });
+      (match t.lat_hist with
+      | Some h when is_mem_node n ->
+          Mosaic_obs.Metrics.observe h (float_of_int (c - cycle))
+      | _ -> ());
+      t.fu_busy.(ci) <- t.fu_busy.(ci) + 1;
+      t.stats.issued_by_class.(ci) <- t.stats.issued_by_class.(ci) + 1;
+      Pqueue.add t.events ~prio:(Stdlib.max (cycle + 1) c) n;
+      true
+    end
+  end
+
+(* Fold the nodes that became ready since the last scan into the sorted
+   ready list: insertion-sort the (typically tiny) batch, then a single
+   back-to-front in-place merge. *)
+let merge_new_ready t =
+  if t.stash_len > 0 then begin
+    for i = 1 to t.stash_len - 1 do
+      let n = t.stash.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && t.stash.(!j).seq > n.seq do
+        t.stash.(!j + 1) <- t.stash.(!j);
+        decr j
+      done;
+      t.stash.(!j + 1) <- n
+    done;
+    let total = t.ready_len + t.stash_len in
+    if total > Array.length t.ready_arr then begin
+      let cap = ref (Stdlib.max 8 (Array.length t.ready_arr)) in
+      while !cap < total do cap := !cap * 2 done;
+      let grown = Array.make !cap t.stash.(0) in
+      Array.blit t.ready_arr 0 grown 0 t.ready_len;
+      t.ready_arr <- grown
+    end;
+    let i = ref (t.ready_len - 1) in
+    let j = ref (t.stash_len - 1) in
+    let k = ref (total - 1) in
+    while !j >= 0 do
+      if !i >= 0 && t.ready_arr.(!i).seq > t.stash.(!j).seq then begin
+        t.ready_arr.(!k) <- t.ready_arr.(!i);
+        decr i
+      end
+      else begin
+        t.ready_arr.(!k) <- t.stash.(!j);
+        decr j
+      end;
+      decr k
+    done;
+    t.ready_len <- total;
+    t.stash_len <- 0
   end
 
 let issue_out_of_order t ~cycle =
+  merge_new_ready t;
   let budget = ref t.cfg.Tile_config.issue_width in
   let window_end = window_start t + t.cfg.Tile_config.window_size in
-  let stash = ref [] in
   let scans = ref 0 in
-  (* Scan the whole window's worth of ready nodes: blocked older entries
-     must not starve issuable younger ones. *)
+  (* Scan the whole window's worth of ready nodes in seq order: blocked
+     older entries must not starve issuable younger ones. Issued nodes are
+     squeezed out in place as the scan advances; blocked ones stay put. *)
   let scan_budget = Stdlib.min 256 t.cfg.Tile_config.window_size in
+  let r = ref 0 in
+  let w = ref 0 in
   let continue = ref true in
-  while !continue && !budget > 0 && !scans < scan_budget do
-    match Pqueue.pop t.ready with
-    | None -> continue := false
-    | Some (_, n) ->
-        incr scans;
-        if n.seq >= window_end then begin
-          (* Ordered by seq: nothing further fits the window either. *)
-          stash := n :: !stash;
-          continue := false
-        end
-        else if try_issue t n ~cycle then decr budget
-        else stash := n :: !stash
+  while !continue && !r < t.ready_len && !budget > 0 && !scans < scan_budget do
+    let n = t.ready_arr.(!r) in
+    incr scans;
+    if n.seq >= window_end then
+      (* Ordered by seq: nothing further fits the window either. *)
+      continue := false
+    else begin
+      incr r;
+      if try_issue t n ~cycle then decr budget
+      else begin
+        if !w < !r - 1 then t.ready_arr.(!w) <- n;
+        incr w
+      end
+    end
   done;
-  List.iter (fun n -> Pqueue.add t.ready ~prio:n.seq n) !stash;
+  if !w < !r then begin
+    let tail = t.ready_len - !r in
+    if tail > 0 then Array.blit t.ready_arr !r t.ready_arr !w tail;
+    t.ready_len <- !w + tail
+  end;
   !budget < t.cfg.Tile_config.issue_width
 
 let issue_in_order t ~cycle =
@@ -527,14 +629,15 @@ let issue_in_order t ~cycle =
   let window_end = window_start t + t.cfg.Tile_config.window_size in
   let continue = ref true in
   while !continue && !budget > 0 do
-    match Queue.peek_opt t.order with
-    | None -> continue := false
-    | Some n ->
-        if n.state = Ready && n.seq < window_end && try_issue t n ~cycle then begin
-          ignore (Queue.pop t.order);
-          decr budget
-        end
-        else continue := false
+    if Queue.is_empty t.order then continue := false
+    else begin
+      let n = Queue.peek t.order in
+      if n.state = Ready && n.seq < window_end && try_issue t n ~cycle then begin
+        ignore (Queue.pop t.order);
+        decr budget
+      end
+      else continue := false
+    end
   done;
   !budget < t.cfg.Tile_config.issue_width
 
@@ -548,6 +651,7 @@ let step t ~cycle =
       (if t.cfg.Tile_config.in_order then issue_in_order t ~cycle
        else issue_out_of_order t ~cycle)
     then progress := true;
+
     if t.trace_done && Queue.is_empty t.inflight && Pqueue.is_empty t.events
     then begin
       t.done_ <- true;
@@ -567,10 +671,8 @@ let round_up_to ~div c = if div <= 1 then c else (c + div - 1) / div * div
    queue when in order. *)
 let has_issue_candidate t =
   if t.cfg.Tile_config.in_order then
-    match Queue.peek_opt t.order with
-    | Some n -> n.state = Ready
-    | None -> false
-  else not (Pqueue.is_empty t.ready)
+    (not (Queue.is_empty t.order)) && (Queue.peek t.order).state = Ready
+  else t.ready_len > 0 || t.stash_len > 0
 
 (* The earliest cycle after [cycle] at which this tile's state can change
    by time alone, or [None] when only another component's progress can
@@ -585,8 +687,9 @@ let next_event_cycle t ~cycle =
     let div = t.cfg.Tile_config.clock_divider in
     let best = ref max_int in
     let add c = if c > cycle && c < !best then best := c in
-    (match Pqueue.peek_prio t.events with Some c -> add c | None -> ());
-    (match Pqueue.peek_prio t.mao_release with Some c -> add c | None -> ());
+    if not (Pqueue.is_empty t.events) then add (Pqueue.min_prio t.events);
+    if not (Pqueue.is_empty t.mao_release) then
+      add (Pqueue.min_prio t.mao_release);
     let next_edge = round_up_to ~div (cycle + 1) in
     if cycle mod div <> 0 then begin
       (* The tile had no launch/issue opportunity at [cycle], so failing to
@@ -601,18 +704,19 @@ let next_event_cycle t ~cycle =
       (* The tile took a full step at [cycle] and did nothing, so its work
          is blocked; the only blockers that clear by time alone are the
          branch-misprediction penalty and MSHR miss bandwidth. *)
-      (match (t.last_term, Trace.Cursor.peek_block t.cursor 0) with
-      | Some term, Some next_bid when term.state = Completed -> (
-          match control_gate t ~cycle ~next_bid with
-          | `Wait ->
-              let penalty =
-                match t.cfg.Tile_config.branch with
-                | Branch.Dynamic { penalty; _ } | Branch.Static { penalty } ->
-                    penalty
-                | Branch.Perfect | Branch.No_speculation -> 0
-              in
-              add (round_up_to ~div (term.complete_cycle + penalty))
-          | `Launch _ -> ())
+      (match t.last_term with
+      | Some term when term.state = Completed ->
+          let next_bid = Trace.Cursor.peek_block_id t.cursor 0 in
+          if next_bid >= 0 && control_gate t ~cycle ~next_bid = gate_wait
+          then begin
+            let penalty =
+              match t.cfg.Tile_config.branch with
+              | Branch.Dynamic { penalty; _ } | Branch.Static { penalty } ->
+                  penalty
+              | Branch.Perfect | Branch.No_speculation -> 0
+            in
+            add (round_up_to ~div (term.complete_cycle + penalty))
+          end
       | _ -> ());
       if
         has_issue_candidate t

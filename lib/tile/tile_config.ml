@@ -79,14 +79,41 @@ let fu_limit cfg cls =
   | Some v -> v
   | None -> max_int
 
-let class_index cls =
-  let rec find i = function
-    | [] -> invalid_arg "Tile_config.class_index"
-    | c :: rest -> if c = cls then i else find (i + 1) rest
-  in
-  find 0 Op.all_classes
+(* Dense index matching the order of [Op.all_classes]. A direct match
+   rather than a list scan: the issue path consults this (and the cost
+   tables below) for every issue attempt, and the generic-equality walk
+   over the class list dominated that path's profile. *)
+let class_index = function
+  | Op.C_ialu -> 0
+  | Op.C_imul -> 1
+  | Op.C_idiv -> 2
+  | Op.C_falu -> 3
+  | Op.C_fmul -> 4
+  | Op.C_fdiv -> 5
+  | Op.C_fmath -> 6
+  | Op.C_agu -> 7
+  | Op.C_load -> 8
+  | Op.C_store -> 9
+  | Op.C_atomic -> 10
+  | Op.C_branch -> 11
+  | Op.C_send -> 12
+  | Op.C_recv -> 13
+  | Op.C_accel -> 14
 
 let nclasses = List.length Op.all_classes
+
+(* Dense per-class cost tables, indexed by [class_index]. Tiles compile
+   their association-list config into these once at creation so the hot
+   paths never run [List.assoc_opt] (which also allocates an option per
+   query). *)
+let table_of ~f =
+  let a = Array.make nclasses (f Op.C_ialu) in
+  List.iteri (fun i c -> a.(i) <- f c) Op.all_classes;
+  a
+
+let latency_table cfg = table_of ~f:(latency cfg)
+let energy_table cfg = table_of ~f:(energy_pj cfg)
+let fu_limit_table cfg = table_of ~f:(fu_limit cfg)
 
 let out_of_order =
   {

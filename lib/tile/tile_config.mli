@@ -46,6 +46,13 @@ val class_index : Mosaic_ir.Op.op_class -> int
 
 val nclasses : int
 
+(** Dense per-class cost tables indexed by [class_index]; compiled from
+    the association lists once so hot paths avoid [List.assoc_opt]. *)
+val latency_table : t -> int array
+
+val energy_table : t -> float array
+val fu_limit_table : t -> int array
+
 (** Default latency/energy tables (22 nm-flavoured). *)
 val default_latencies : (Mosaic_ir.Op.op_class * int) list
 

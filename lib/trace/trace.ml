@@ -82,6 +82,12 @@ module Cursor = struct
     let pos = c.bb_pos + k in
     if pos >= Array.length c.tt.bb_path then None else Some c.tt.bb_path.(pos)
 
+  (* Allocation-free peek for the per-cycle launch path: block ids are
+     non-negative, so -1 signals an exhausted trace without the [Some]. *)
+  let peek_block_id c k =
+    let pos = c.bb_pos + k in
+    if pos >= Array.length c.tt.bb_path then -1 else c.tt.bb_path.(pos)
+
   let blocks_consumed c = c.bb_pos
 
   let next_addr c ~instr_id =

@@ -59,6 +59,10 @@ module Cursor : sig
       ([lookahead 0] = what [next_block] would return). *)
   val peek_block : cursor -> int -> int option
 
+  (** [peek_block] without the option: -1 at the end of the trace.
+      Allocation-free, for per-cycle call sites. *)
+  val peek_block_id : cursor -> int -> int
+
   (** Number of control-path entries already consumed. *)
   val blocks_consumed : cursor -> int
 

@@ -1,0 +1,48 @@
+(* Small fixed-size domain pool for embarrassingly parallel batches.
+
+   Independent simulations (the bench suite, DSE sweeps) share no mutable
+   state, so they parallelize across OCaml 5 domains with a single atomic
+   work counter. Results land in a per-task slot, so the output order is
+   the input order regardless of which domain ran what — callers see
+   deterministic, serial-identical results. *)
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+let run ~jobs tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.map (fun f -> f ()) tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Value (tasks.(i) ())
+            with e -> Raised (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* The calling domain works too, so [jobs] counts total workers. *)
+    let spawned =
+      Array.init (Stdlib.min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Value v) -> v
+        | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every index was claimed and joined *))
+      results
+  end
+
+let map ~jobs f items = run ~jobs (Array.map (fun x () -> f x) items)

@@ -1,0 +1,21 @@
+(** Domain-parallel execution of independent tasks with deterministic
+    result ordering.
+
+    Tasks must not share mutable state (every simulator run builds its own
+    state, so whole-simulation thunks qualify). Result slot [i] always
+    holds task [i]'s outcome, whatever domain ran it; with [jobs <= 1] the
+    tasks run serially on the calling domain, so parallel and serial runs
+    are bit-identical for deterministic tasks. The first raising task (by
+    index) has its exception re-raised with its original backtrace after
+    all domains join. *)
+
+(** A sensible default worker count for this machine. *)
+val default_jobs : unit -> int
+
+(** [run ~jobs tasks] executes every task and returns their results in
+    task order. At most [jobs] domains run concurrently (the calling
+    domain counts as one). *)
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+
+(** [map ~jobs f items] is [run] over [f] applied to each item. *)
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array

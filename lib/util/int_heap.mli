@@ -1,0 +1,21 @@
+(** Allocation-free binary min-heap over (int priority, int value) pairs.
+
+    Backs lazily-expired structures like the cache MSHR table: entries are
+    pushed with their expiry cycle and drained from the minimum, with
+    validity against the owning table checked by the caller. Equal
+    priorities pop in unspecified order. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push : t -> prio:int -> int -> unit
+
+(** Smallest priority / its value. Raise [Invalid_argument] when empty;
+    guard with {!is_empty} on hot paths. *)
+val min_prio : t -> int
+
+val min_value : t -> int
+val drop_min : t -> unit
+val clear : t -> unit

@@ -14,8 +14,24 @@ val length : 'a t -> int
 
 val is_empty : 'a t -> bool
 
-(** [add q ~prio x] inserts [x] with priority [prio]. O(log n). *)
+(** [add q ~prio x] inserts [x] with priority [prio]. O(log n) and
+    allocation-free (entries live in parallel arrays). *)
 val add : 'a t -> prio:int -> 'a -> unit
+
+(** {1 Allocation-free head access}
+
+    The option-returning accessors below allocate a [Some] per call; on
+    the simulator's per-cycle paths use these instead, guarded by
+    {!is_empty}. They raise [Invalid_argument] on an empty queue. *)
+
+(** Smallest priority, without removing. *)
+val min_prio : 'a t -> int
+
+(** Element with the smallest priority, without removing. *)
+val min_elt : 'a t -> 'a
+
+(** Remove the minimum entry (FIFO on ties). *)
+val drop_min : 'a t -> unit
 
 (** Smallest priority and its element, without removing. *)
 val peek : 'a t -> (int * 'a) option

@@ -37,3 +37,11 @@ let execute inst ~ntiles =
   in
   let tr = run_interp ~check:true inst it in
   (it, tr)
+
+(* Independent simulations share no mutable state (every Soc/Interp run owns
+   its own records), so a batch parallelizes across OCaml 5 domains. The
+   domain pool writes each task's result into its input-order slot, so the
+   output is identical to [List.map (fun f -> f ()) tasks] regardless of
+   [jobs] — callers can flip parallelism on without re-validating output. *)
+let run_batch ~jobs tasks =
+  Array.to_list (Mosaic_util.Domain_pool.run ~jobs (Array.of_list tasks))

@@ -31,3 +31,10 @@ val trace_hetero :
 
 (** Run the interpreter and return it (for tests that inspect memory). *)
 val execute : t -> ntiles:int -> Mosaic_trace.Interp.t * Mosaic_trace.Trace.t
+
+(** [run_batch ~jobs tasks] runs independent simulation thunks across
+    [jobs] domains (serially when [jobs <= 1]) and returns their results in
+    input order. Simulated results are bit-identical to a serial
+    [List.map]; only host-time observations (wall seconds, MIPS) differ
+    under contention. *)
+val run_batch : jobs:int -> (unit -> 'a) list -> 'a list

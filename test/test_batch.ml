@@ -1,0 +1,101 @@
+(* Determinism of the domain-parallel batch runner: running whole
+   simulations through [Runner.run_batch ~jobs:4] must produce the same
+   reports as the serial runner — same cycles, same instruction counts,
+   same energy, same per-component counters. Host-time fields
+   (host_seconds, mips) are wall-clock observations and are excluded.
+
+   The comparison serializes each run's metrics registry to CSV, which
+   covers every counter the components published (caches, DRAM, tiles,
+   interleaver), so any nondeterminism in shared state would show up as a
+   diff, not just as a cycle mismatch. *)
+
+module W = Mosaic_workloads
+module Soc = Mosaic.Soc
+module Presets = Mosaic.Presets
+module TC = Mosaic_tile.Tile_config
+module Metrics = Mosaic_obs.Metrics
+
+let workloads () =
+  [
+    ("pointer_chase", W.Micro.pointer_chase ~seed:3 ~nodes:128 ~steps:512 ());
+    ("stream", W.Micro.stream ~seed:5 ~elems:2048 ());
+    ("random_access", W.Micro.random_access ~seed:9 ~elems:1024 ~accesses:512 ());
+    ("sgemm", W.Sgemm.instance ~m:8 ~n:8 ~k:8 ());
+  ]
+
+(* Everything deterministic about a run, as one comparable string. The
+   metrics CSV includes host-time gauges (soc.host_seconds and friends), so
+   those rows are filtered by name. *)
+let fingerprint (r : Soc.result) =
+  let deterministic_rows =
+    List.filter
+      (fun (name, _, _) ->
+        not
+          (List.exists
+             (fun banned ->
+               String.length name >= String.length banned
+               && String.sub name
+                    (String.length name - String.length banned)
+                    (String.length banned)
+                  = banned)
+             [ "host_seconds"; "mips" ]))
+      (Metrics.rows r.Soc.metrics)
+  in
+  let rows =
+    List.map
+      (fun (name, kind, v) -> Printf.sprintf "%s,%s,%g" name kind v)
+      deterministic_rows
+  in
+  Printf.sprintf "cycles=%d stepped=%d instrs=%d ipc=%.9f energy=%.9f\n%s"
+    r.Soc.cycles r.Soc.stepped_cycles r.Soc.instrs r.Soc.ipc r.Soc.energy_j
+    (String.concat "\n" rows)
+
+let run_all ~jobs =
+  W.Runner.run_batch ~jobs
+    (List.map
+       (fun (name, inst) () ->
+         let trace = W.Runner.trace inst ~ntiles:1 in
+         let r =
+           Soc.run_homogeneous Presets.xeon_soc ~program:inst.W.Runner.program
+             ~trace ~tile_config:TC.out_of_order
+         in
+         (name, fingerprint r))
+       (workloads ()))
+
+let test_parallel_matches_serial () =
+  let serial = run_all ~jobs:1 in
+  let parallel = run_all ~jobs:4 in
+  List.iter2
+    (fun (n1, f1) (n2, f2) ->
+      Alcotest.(check string) "task order" n1 n2;
+      Alcotest.(check string) (Printf.sprintf "%s report" n1) f1 f2)
+    serial parallel
+
+(* run_batch must also preserve ordering for wildly unbalanced task
+   durations (a fast task finishing before an earlier slow one). *)
+let test_unbalanced_ordering () =
+  let slow () =
+    let inst = W.Micro.pointer_chase ~seed:3 ~nodes:256 ~steps:2048 () in
+    let trace = W.Runner.trace inst ~ntiles:1 in
+    (Soc.run_homogeneous Presets.xeon_soc ~program:inst.W.Runner.program
+       ~trace ~tile_config:TC.out_of_order)
+      .Soc.cycles
+  in
+  let tasks = slow :: List.init 6 (fun i () -> i) in
+  match W.Runner.run_batch ~jobs:4 tasks with
+  | slow_cycles :: rest ->
+      Alcotest.(check bool) "slow task ran" true (slow_cycles > 0);
+      Alcotest.(check (list int)) "fast tasks in order" [ 0; 1; 2; 3; 4; 5 ]
+        rest
+  | [] -> Alcotest.fail "empty batch result"
+
+let suite =
+  [
+    ( "batch.determinism",
+      [
+        Alcotest.test_case "jobs:4 identical to serial" `Quick
+          test_parallel_matches_serial;
+        Alcotest.test_case "ordering under unbalanced tasks" `Quick
+          test_unbalanced_ordering;
+      ] );
+  ]

@@ -219,6 +219,165 @@ let test_int_vec () =
   Int_vec.clear v;
   check "cleared" 0 (Int_vec.length v)
 
+(* --- Int_table --- *)
+
+let test_int_table_basic () =
+  let t = Int_table.create () in
+  check "empty" 0 (Int_table.length t);
+  Int_table.set t 5 50;
+  Int_table.set t 9 90;
+  check "find hit" 50 (Int_table.find t 5 ~default:(-1));
+  check "find miss" (-1) (Int_table.find t 6 ~default:(-1));
+  checkb "mem" true (Int_table.mem t 9);
+  Int_table.set t 5 55;
+  check "replace" 55 (Int_table.find t 5 ~default:(-1));
+  check "length after replace" 2 (Int_table.length t);
+  check "add fresh" 3 (Int_table.add t 7 3);
+  check "add existing" 58 (Int_table.add t 5 3);
+  Int_table.remove t 5;
+  checkb "removed" false (Int_table.mem t 5);
+  check "length after remove" 2 (Int_table.length t);
+  (* Removing an absent key is a no-op. *)
+  Int_table.remove t 5;
+  check "idempotent remove" 2 (Int_table.length t)
+
+let test_int_table_slots () =
+  let t = Int_table.create () in
+  Int_table.set t 42 1;
+  let s = Int_table.probe t 42 in
+  checkb "slot found" true (s >= 0);
+  check "value_at" 1 (Int_table.value_at t s);
+  Int_table.set_at t s 2;
+  check "set_at visible" 2 (Int_table.find t 42 ~default:0);
+  check "absent probe" (-1) (Int_table.probe t 43)
+
+let test_int_table_growth () =
+  let t = Int_table.create ~initial_capacity:8 () in
+  for i = 0 to 999 do
+    Int_table.set t (i * 17) i
+  done;
+  check "length" 1000 (Int_table.length t);
+  for i = 0 to 999 do
+    check "survives growth" i (Int_table.find t (i * 17) ~default:(-1))
+  done
+
+let test_int_table_reserved_keys () =
+  let t = Int_table.create () in
+  Alcotest.check_raises "min_int"
+    (Invalid_argument "Int_table: key out of supported range") (fun () ->
+      Int_table.set t min_int 0);
+  Alcotest.check_raises "min_int+1"
+    (Invalid_argument "Int_table: key out of supported range") (fun () ->
+      ignore (Int_table.mem t (min_int + 1)))
+
+(* Model check against Hashtbl: random insert/remove/add streams must leave
+   both maps with identical contents (compared via sorted bindings, so
+   iteration order never matters). Keys are drawn from a small range to
+   force collisions, tombstone reuse, and rehashes with deletions. *)
+let prop_int_table_model =
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun (k, v) -> `Set (k, v)) (pair (int_range 0 40) small_int);
+          map (fun k -> `Remove k) (int_range 0 40);
+          map (fun (k, d) -> `Add (k, d)) (pair (int_range 0 40) small_int);
+        ])
+  in
+  QCheck.Test.make ~name:"int_table agrees with Hashtbl" ~count:500
+    QCheck.(list op)
+    (fun ops ->
+      let t = Int_table.create ~initial_capacity:8 () in
+      let h = Hashtbl.create 8 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Set (k, v) ->
+              Int_table.set t k v;
+              Hashtbl.replace h k v
+          | `Remove k ->
+              Int_table.remove t k;
+              Hashtbl.remove h k
+          | `Add (k, d) ->
+              let model =
+                (match Hashtbl.find_opt h k with None -> 0 | Some v -> v) + d
+              in
+              Hashtbl.replace h k model;
+              if Int_table.add t k d <> model then
+                QCheck.Test.fail_report "add returned a stale sum")
+        ops;
+      (* Also exercise the read APIs on every key ever touched. *)
+      let agree k =
+        Int_table.mem t k = Hashtbl.mem h k
+        && Int_table.find t k ~default:(min_int + 2)
+           = (match Hashtbl.find_opt h k with
+             | None -> min_int + 2
+             | Some v -> v)
+      in
+      let all_agree = List.for_all agree (List.init 41 Fun.id) in
+      let bindings m =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [])
+      in
+      let table_bindings =
+        List.sort compare
+          (Int_table.fold (fun k v acc -> (k, v) :: acc) t [])
+      in
+      all_agree
+      && Int_table.length t = Hashtbl.length h
+      && table_bindings = bindings h)
+
+(* --- Int_heap --- *)
+
+let test_int_heap_order () =
+  let h = Int_heap.create () in
+  List.iter
+    (fun (p, v) -> Int_heap.push h ~prio:p v)
+    [ (9, 900); (2, 200); (5, 500); (1, 100) ];
+  check "min prio" 1 (Int_heap.min_prio h);
+  check "min value" 100 (Int_heap.min_value h);
+  Int_heap.drop_min h;
+  check "next min" 2 (Int_heap.min_prio h);
+  check "length" 3 (Int_heap.length h);
+  Int_heap.clear h;
+  checkb "cleared" true (Int_heap.is_empty h)
+
+let prop_int_heap_sorted =
+  QCheck.Test.make ~name:"int_heap drains in priority order" ~count:200
+    QCheck.(list int)
+    (fun prios ->
+      let h = Int_heap.create () in
+      List.iteri (fun i p -> Int_heap.push h ~prio:p i) prios;
+      let rec drain acc =
+        if Int_heap.is_empty h then List.rev acc
+        else begin
+          let p = Int_heap.min_prio h in
+          Int_heap.drop_min h;
+          drain (p :: acc)
+        end
+      in
+      drain [] = List.sort compare prios)
+
+(* --- Domain_pool --- *)
+
+let test_domain_pool_ordering () =
+  let tasks = Array.init 37 (fun i () -> i * i) in
+  let serial = Domain_pool.run ~jobs:1 tasks in
+  let par = Domain_pool.run ~jobs:4 tasks in
+  Alcotest.(check (array int)) "parallel = serial" serial par;
+  Alcotest.(check (array int)) "input order" (Array.init 37 (fun i -> i * i)) par
+
+let test_domain_pool_more_jobs_than_tasks () =
+  let out = Domain_pool.map ~jobs:8 (fun x -> x + 1) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "jobs > tasks" [| 2; 3; 4 |] out
+
+let test_domain_pool_exception () =
+  Alcotest.check_raises "task exception resurfaces" (Failure "task 2")
+    (fun () ->
+      ignore
+        (Domain_pool.run ~jobs:4
+           (Array.init 8 (fun i () ->
+                if i = 2 then failwith "task 2" else i))))
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -287,6 +446,29 @@ let suite =
         QCheck_alcotest.to_alcotest prop_percentile_within_range;
       ] );
     ("util.int_vec", [ Alcotest.test_case "push/get/clear" `Quick test_int_vec ]);
+    ( "util.int_table",
+      [
+        Alcotest.test_case "set/find/add/remove" `Quick test_int_table_basic;
+        Alcotest.test_case "slot access" `Quick test_int_table_slots;
+        Alcotest.test_case "growth keeps entries" `Quick test_int_table_growth;
+        Alcotest.test_case "reserved keys rejected" `Quick
+          test_int_table_reserved_keys;
+        QCheck_alcotest.to_alcotest prop_int_table_model;
+      ] );
+    ( "util.int_heap",
+      [
+        Alcotest.test_case "min ordering" `Quick test_int_heap_order;
+        QCheck_alcotest.to_alcotest prop_int_heap_sorted;
+      ] );
+    ( "util.domain_pool",
+      [
+        Alcotest.test_case "deterministic ordering" `Quick
+          test_domain_pool_ordering;
+        Alcotest.test_case "more jobs than tasks" `Quick
+          test_domain_pool_more_jobs_than_tasks;
+        Alcotest.test_case "exception propagation" `Quick
+          test_domain_pool_exception;
+      ] );
     ( "util.table",
       [
         Alcotest.test_case "render" `Quick test_table_render;

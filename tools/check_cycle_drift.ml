@@ -1,0 +1,82 @@
+(* Perf-regression guard: compare every speed.*.cycles entry of a freshly
+   generated BENCH_speed.json against the committed baseline.
+
+   Cycle counts are the simulator's deterministic output — any drift means
+   the timing model changed, which must be a deliberate, baseline-refreshing
+   commit, never a side effect of a performance patch. MIPS and host-time
+   gauges are informational and ignored here.
+
+   Usage: check_cycle_drift FRESH.json BASELINE.json
+   Exits 0 when all baseline cycle entries match, 1 on drift or a missing
+   entry, 2 on usage/parse errors. *)
+
+module Json = Mosaic_obs.Json
+
+let read_json file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.of_string s
+
+let is_cycles_key name =
+  String.length name > String.length "speed."
+  && String.sub name 0 6 = "speed."
+  && Filename.check_suffix name ".cycles"
+
+let cycle_entries = function
+  | Json.Obj kvs ->
+      List.filter_map
+        (fun (name, v) ->
+          if is_cycles_key name then Some (name, Json.to_number_exn v)
+          else None)
+        kvs
+  | _ -> failwith "expected a metrics object"
+
+let () =
+  let fresh_file, baseline_file =
+    match Sys.argv with
+    | [| _; f; b |] -> (f, b)
+    | _ ->
+        prerr_endline "usage: check_cycle_drift FRESH.json BASELINE.json";
+        exit 2
+  in
+  let fresh, baseline =
+    try (cycle_entries (read_json fresh_file), cycle_entries (read_json baseline_file))
+    with e ->
+      Printf.eprintf "check_cycle_drift: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  if baseline = [] then begin
+    Printf.eprintf "check_cycle_drift: no speed.*.cycles entries in %s\n"
+      baseline_file;
+    exit 2
+  end;
+  let drift = ref false in
+  List.iter
+    (fun (name, expected) ->
+      match List.assoc_opt name fresh with
+      | None ->
+          drift := true;
+          Printf.printf "MISSING %s (baseline %.0f)\n" name expected
+      | Some got when got <> expected ->
+          drift := true;
+          Printf.printf "DRIFT   %s: baseline %.0f, fresh %.0f\n" name
+            expected got
+      | Some _ -> ())
+    baseline;
+  List.iter
+    (fun (name, v) ->
+      if not (List.mem_assoc name baseline) then
+        Printf.printf "NEW     %s = %.0f (not in baseline; refresh it)\n" name
+          v)
+    fresh;
+  if !drift then begin
+    Printf.printf
+      "cycle drift detected: the timing model changed. If intentional, \
+       refresh BENCH_speed.json in the same commit.\n";
+    exit 1
+  end
+  else
+    Printf.printf "cycle check OK: %d speed.*.cycles entries identical\n"
+      (List.length baseline)
