@@ -3,7 +3,7 @@
    paper-vs-measured record).
 
    Usage: dune exec bench/main.exe [-- SECTION ...] [--metrics-out=FILE]
-                                   [--jobs=N]
+                                   [--jobs=N] [--trace-cache=DIR|off]
    Sections: table1 table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
              fig14 speed storage bechamel (default: all).
 
@@ -12,6 +12,16 @@
    bit-identical at any job count; only host-time readings (MIPS,
    host_seconds) wobble under contention, so commit baselines from a
    serial run.
+
+   Traces flow through the trace store (lib/trace/store.ml): every section
+   asks for its workload via Runner.trace_cached, so one invocation
+   interprets each (workload, tile spec) exactly once no matter how many
+   sections or --jobs workers want it, and warm re-invocations load traces
+   from the on-disk cache instead of interpreting at all. --trace-cache=DIR
+   points the disk cache somewhere explicit (off/none disables it;
+   MOSAICSIM_TRACE_CACHE is the environment equivalent). Cached traces are
+   bit-identical to fresh ones, so simulated cycles never depend on cache
+   state — the speed section's trace_gen_seconds gauges do.
 
    Each section's host time is published as a "bench.SECTION.host_seconds"
    gauge in a metrics registry; a per-phase summary is printed at the end
@@ -47,12 +57,14 @@ type parboil_result = {
   comp_memory : int;
   mips : float;
   host_seconds : float;
+  trace_gen_seconds : float;
+  trace_source : Mosaic_trace.Store.source;
 }
 
 let run_parboil name =
   let inst = W.Registry.instance name in
-  let trace = W.Runner.trace inst ~ntiles:1 in
-  let comp_control, comp_memory = Mosaic_trace.Encode.compressed_bytes trace in
+  let trace, cache = W.Runner.trace_cached_full inst ~ntiles:1 in
+  let comp_control, comp_memory = Trace.compressed_bytes trace in
   let r =
     Soc.run_homogeneous Presets.xeon_soc ~program:inst.W.Runner.program ~trace
       ~tile_config:TC.out_of_order
@@ -75,6 +87,8 @@ let run_parboil name =
     comp_memory;
     mips = r.Soc.mips;
     host_seconds = r.Soc.host_seconds;
+    trace_gen_seconds = cache.Mosaic_trace.Store.gen_seconds;
+    trace_source = cache.Mosaic_trace.Store.source;
   }
 
 (* Set from --jobs=N before any section runs. *)
@@ -174,7 +188,7 @@ let scaling_fig ~title make =
     List.map
       (fun nt ->
         let inst = make () in
-        let trace = W.Runner.trace inst ~ntiles:nt in
+        let trace = W.Runner.trace_cached inst ~ntiles:nt in
         let r =
           Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
             ~tile_config:TC.out_of_order
@@ -283,7 +297,7 @@ let proj_params = (512, 1024, 8)
 let run_projection_homog core nt =
   let n_left, n_right, degree = proj_params in
   let inst = W.Projection.instance ~n_left ~n_right ~degree () in
-  let trace = W.Runner.trace inst ~ntiles:nt in
+  let trace = W.Runner.trace_cached inst ~ntiles:nt in
   (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
      ~tile_config:core)
     .Soc.cycles
@@ -293,7 +307,7 @@ let run_dae inst ~access ~execute ~pairs ~core =
     Array.init (2 * pairs) (fun i ->
         ((if i < pairs then access else execute), inst.W.Runner.args))
   in
-  let trace = W.Runner.trace_hetero inst ~tiles:spec in
+  let trace = W.Runner.trace_hetero_cached inst ~tiles:spec in
   let tiles =
     Array.init (2 * pairs) (fun i ->
         {
@@ -347,7 +361,7 @@ let gemm_dim = 48
 let run_ewsd_homog core nt =
   let rows, cols, per_row = ewsd_params in
   let inst = W.Ewsd.instance ~rows ~cols ~per_row () in
-  let trace = W.Runner.trace inst ~ntiles:nt in
+  let trace = W.Runner.trace_cached inst ~ntiles:nt in
   (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
      ~tile_config:core)
     .Soc.cycles
@@ -360,7 +374,7 @@ let run_ewsd_dae pairs =
 
 let run_gemm_homog core nt =
   let inst = W.Sgemm.instance ~m:gemm_dim ~n:gemm_dim ~k:gemm_dim () in
-  let trace = W.Runner.trace inst ~ntiles:nt in
+  let trace = W.Runner.trace_cached inst ~ntiles:nt in
   (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
      ~tile_config:core)
     .Soc.cycles
@@ -372,7 +386,7 @@ let run_gemm_dae pairs =
 
 let run_gemm_accel () =
   let inst = W.Sgemm.instance ~accel:true ~m:gemm_dim ~n:gemm_dim ~k:gemm_dim () in
-  let trace = W.Runner.trace inst ~ntiles:1 in
+  let trace = W.Runner.trace_cached inst ~ntiles:1 in
   (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
      ~tile_config:TC.out_of_order)
     .Soc.cycles
@@ -478,7 +492,7 @@ let fig14 () =
       (fun model ->
         let run ~accel =
           let inst = W.Dnn.instance model ~accel in
-          let trace = W.Runner.trace inst ~ntiles:1 in
+          let trace = W.Runner.trace_cached inst ~ntiles:1 in
           Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program
             ~trace ~tile_config:TC.out_of_order
         in
@@ -513,7 +527,7 @@ let motivation () =
     List.map
       (fun name ->
         let inst = W.Registry.instance name in
-        let trace = W.Runner.trace inst ~ntiles:1 in
+        let trace = W.Runner.trace_cached inst ~ntiles:1 in
         let reference =
           (X86.run ~program:inst.W.Runner.program ~trace
              ~hierarchy:Presets.xeon_hierarchy ())
@@ -579,9 +593,34 @@ let speed_json_file = "BENCH_speed.json"
 
 let speed () =
   let rs = Lazy.force parboil_results in
+  let source_label = function
+    | Mosaic_trace.Store.Interpreted -> "interpreted"
+    | Mosaic_trace.Store.Memo_hit -> "memo hit"
+    | Mosaic_trace.Store.Disk_hit -> "disk hit"
+  in
+  (* trace_gen_seconds is the wall time spent obtaining the trace (full
+     interpretation on a cache miss, ~ms of decode on a hit); sim_seconds
+     is the timing model alone. MIPS is computed from sim time only, so it
+     measures simulation, not interpretation. *)
   Table.print ~title:"Section VI-B: simulation speed (paper: up to 0.47 MIPS)"
-    ~columns:[ Table.column ~align:Table.Left "benchmark"; Table.column "MIPS" ]
-    (List.map (fun r -> [ r.pname; fcell r.mips ]) rs);
+    ~columns:
+      [
+        Table.column ~align:Table.Left "benchmark";
+        Table.column "MIPS";
+        Table.column "trace gen s";
+        Table.column "sim s";
+        Table.column ~align:Table.Left "trace source";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.pname;
+           fcell r.mips;
+           fcell ~decimals:3 r.trace_gen_seconds;
+           fcell ~decimals:3 r.host_seconds;
+           source_label r.trace_source;
+         ])
+       rs);
   Printf.printf "mean simulation speed: %.2f MIPS\n\n"
     (Stats.mean (List.map (fun r -> r.mips) rs));
   (* Cycle-skipping speedup, measured as host time with the event-driven
@@ -594,6 +633,8 @@ let speed () =
     (fun r ->
       let p suffix = Printf.sprintf "speed.%s.%s" r.pname suffix in
       gauge (p "host_seconds") r.host_seconds;
+      gauge (p "sim_seconds") r.host_seconds;
+      gauge (p "trace_gen_seconds") r.trace_gen_seconds;
       gauge (p "mips") r.mips;
       gauge (p "cycles") (float_of_int r.mosaic_cycles))
     rs;
@@ -602,7 +643,7 @@ let speed () =
     @@ List.map
       (fun (name, make) () ->
         let inst = make () in
-        let trace = W.Runner.trace inst ~ntiles:1 in
+        let trace = W.Runner.trace_cached inst ~ntiles:1 in
         let run cfg =
           Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
             ~tile_config:TC.out_of_order
@@ -697,7 +738,7 @@ let characterize () =
     List.map
       (fun name ->
         let inst = W.Registry.instance name in
-        let trace = W.Runner.trace inst ~ntiles:1 in
+        let trace = W.Runner.trace_cached inst ~ntiles:1 in
         let a = Mosaic_trace.Analysis.whole inst.W.Runner.program trace in
         let hit kb =
           Printf.sprintf "%.0f%%"
@@ -736,12 +777,13 @@ let bechamel_section () =
   let open Bechamel in
   let mk_soc_bench () =
     let inst = W.Sgemm.instance ~m:12 ~n:12 ~k:12 () in
-    let trace = W.Runner.trace inst ~ntiles:1 in
+    let trace = W.Runner.trace_cached inst ~ntiles:1 in
     fun () ->
       ignore
         (Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program
            ~trace ~tile_config:TC.out_of_order)
   in
+  (* Deliberately uncached: this one measures the interpreter itself. *)
   let mk_interp_bench () =
     let inst = W.Sgemm.instance ~m:12 ~n:12 ~k:12 () in
     fun () -> ignore (W.Runner.trace inst ~ntiles:1)
@@ -805,7 +847,7 @@ let bechamel_section () =
 
 let run_with ?(bench = "spmv") ?hier core =
   let inst = W.Registry.instance bench in
-  let trace = W.Runner.trace inst ~ntiles:1 in
+  let trace = W.Runner.trace_cached inst ~ntiles:1 in
   let cfg =
     match hier with
     | Some h -> Soc.with_hierarchy Presets.dae_soc h
@@ -900,7 +942,7 @@ let ablation () =
   (* Directory coherence (extension; off in the paper). *)
   let run_bfs4 coherence =
     let inst = W.Bfs.instance ~n:4096 ~degree:8 () in
-    let trace = W.Runner.trace inst ~ntiles:4 in
+    let trace = W.Runner.trace_cached inst ~ntiles:4 in
     let hier = { Presets.dae_hierarchy with Mosaic_memory.Hierarchy.coherence } in
     (Soc.run_homogeneous
        (Soc.with_hierarchy Presets.dae_soc hier)
@@ -1010,6 +1052,13 @@ let () =
           (match int_of_string_opt (String.sub a 7 (String.length a - 7)) with
           | Some n when n >= 1 -> jobs := n
           | _ -> failwith (Printf.sprintf "bad --jobs value: %s" a));
+          false
+        end
+        else if String.starts_with ~prefix:"--trace-cache=" a then begin
+          (match String.sub a 14 (String.length a - 14) with
+          | "" | "off" | "none" ->
+              Mosaic_trace.Store.set_cache_dir `Disabled
+          | dir -> Mosaic_trace.Store.set_cache_dir (`Dir dir));
           false
         end
         else true)

@@ -50,6 +50,22 @@ let no_skip_arg =
   in
   Arg.(value & flag & info [ "no-skip" ] ~doc)
 
+let trace_cache_arg =
+  let doc =
+    "Trace-cache directory (default: \\$MOSAICSIM_TRACE_CACHE, else \
+     ~/.cache/mosaicsim). Dynamic traces are generated once per workload \
+     and reused from here on later runs; cached traces are bit-identical \
+     to fresh interpretation. Pass $(b,off) or $(b,none) to disable the \
+     disk cache."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-cache" ] ~docv:"DIR" ~doc)
+
+let apply_trace_cache = function
+  | None -> ()
+  | Some "off" | Some "none" -> Mosaic_trace.Store.set_cache_dir `Disabled
+  | Some dir -> Mosaic_trace.Store.set_cache_dir (`Dir dir)
+
 let apply_no_skip no_skip cfg =
   if no_skip then { cfg with Soc.cycle_skip = false } else cfg
 
@@ -109,9 +125,10 @@ let write_observability ~trace_out ~metrics_out ~sink (r : Soc.result) =
     metrics_out
 
 let run_cmd =
-  let run bench tiles core system no_skip trace_out metrics_out =
+  let run bench tiles core system no_skip trace_out metrics_out cache =
+    apply_trace_cache cache;
     let inst = W.Registry.instance bench in
-    let trace = W.Runner.trace inst ~ntiles:tiles in
+    let trace = W.Runner.trace_cached inst ~ntiles:tiles in
     let cfg = apply_no_skip no_skip (system_of_string system) in
     let sink = sink_for trace_out in
     let r =
@@ -125,14 +142,15 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a benchmark on a simulated system")
     Term.(
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
-      $ no_skip_arg $ trace_out_arg $ metrics_out_arg)
+      $ no_skip_arg $ trace_out_arg $ metrics_out_arg $ trace_cache_arg)
 
 let bench_cmd =
   let benches_arg =
     let doc = "Benchmarks to run (default: the Parboil suite)." in
     Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc)
   in
-  let run benches tiles core system no_skip jobs =
+  let run benches tiles core system no_skip jobs cache =
+    apply_trace_cache cache;
     let names =
       match benches with [] -> W.Registry.parboil_names | ns -> ns
     in
@@ -143,7 +161,7 @@ let bench_cmd =
         (List.map
            (fun name () ->
              let inst = W.Registry.instance name in
-             let trace = W.Runner.trace inst ~ntiles:tiles in
+             let trace = W.Runner.trace_cached inst ~ntiles:tiles in
              let r =
                Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
                  ~tile_config:tc
@@ -179,7 +197,7 @@ let bench_cmd =
           (--jobs)")
     Term.(
       const run $ benches_arg $ tiles_arg $ core_arg $ system_arg
-      $ no_skip_arg $ jobs_arg)
+      $ no_skip_arg $ jobs_arg $ trace_cache_arg)
 
 let dump_cmd =
   let run bench =
@@ -189,10 +207,57 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Dump a benchmark's IR")
     Term.(const run $ benchmark_arg)
 
+(* Pre-warm or inspect the trace cache for one workload: where the trace
+   came from (fresh interpretation, in-process memo, disk), its cache key
+   and file, and the §VI-B storage story (raw vs encoded footprint). *)
+let trace_cmd =
+  let run bench tiles cache =
+    apply_trace_cache cache;
+    let inst = W.Registry.instance bench in
+    let trace, info = W.Runner.trace_cached_full inst ~ntiles:tiles in
+    let control, memory = Mosaic_trace.Trace.storage_bytes trace in
+    let comp_control, comp_memory = Mosaic_trace.Trace.compressed_bytes trace in
+    let status =
+      match info.Mosaic_trace.Store.source with
+      | Mosaic_trace.Store.Interpreted -> "miss (interpreted and cached)"
+      | Mosaic_trace.Store.Memo_hit -> "hit (in-process memo)"
+      | Mosaic_trace.Store.Disk_hit -> "hit (disk cache)"
+    in
+    let kb n = Printf.sprintf "%.1f" (float_of_int n /. 1024.0) in
+    Table.print ~title:(Printf.sprintf "trace: %s (%d tiles)" bench tiles)
+      ~columns:[ Table.column ~align:Table.Left "metric"; Table.column ~align:Table.Left "value" ]
+      [
+        [ "workload digest"; info.Mosaic_trace.Store.digest ];
+        [ "cache status"; status ];
+        [
+          "cache file";
+          (match info.Mosaic_trace.Store.cache_file with
+          | Some path -> path
+          | None -> "(disk cache disabled)");
+        ];
+        [
+          "trace obtained in";
+          Printf.sprintf "%.3f s" info.Mosaic_trace.Store.gen_seconds;
+        ];
+        [ "dynamic instructions"; Table.icell (Mosaic_trace.Trace.total_dyn_instrs trace) ];
+        [ "memory accesses"; Table.icell (Mosaic_trace.Trace.total_mem_accesses trace) ];
+        [ "control trace raw KB"; kb control ];
+        [ "control trace packed KB"; kb comp_control ];
+        [ "memory trace raw KB"; kb memory ];
+        [ "memory trace packed KB"; kb comp_memory ];
+      ]
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Generate a benchmark's trace (or fetch it from the trace cache) \
+          and report footprint and cache status")
+    Term.(const run $ benchmark_arg $ tiles_arg $ trace_cache_arg)
+
 let trace_stats_cmd =
   let run bench tiles =
     let inst = W.Registry.instance bench in
-    let trace = W.Runner.trace inst ~ntiles:tiles in
+    let trace = W.Runner.trace_cached inst ~ntiles:tiles in
     let control, memory = Mosaic_trace.Trace.storage_bytes trace in
     Table.print ~title:(Printf.sprintf "trace: %s" bench)
       ~columns:[ Table.column ~align:Table.Left "metric"; Table.column "value" ]
@@ -269,7 +334,7 @@ let dnn_cmd =
       | s -> failwith (Printf.sprintf "unknown model %s" s)
     in
     let inst = W.Dnn.instance m ~accel in
-    let trace = W.Runner.trace inst ~ntiles:1 in
+    let trace = W.Runner.trace_cached inst ~ntiles:1 in
     let r =
       Soc.run_homogeneous Presets.dae_soc ~program:inst.W.Runner.program ~trace
         ~tile_config:Tile_config.out_of_order
@@ -283,7 +348,7 @@ let dnn_cmd =
 let characterize_cmd =
   let run bench tiles =
     let inst = W.Registry.instance bench in
-    let trace = W.Runner.trace inst ~ntiles:tiles in
+    let trace = W.Runner.trace_cached inst ~ntiles:tiles in
     let a = Mosaic_trace.Analysis.whole inst.W.Runner.program trace in
     Format.printf "characterization: %s@.%a@." bench Mosaic_trace.Analysis.pp a;
     List.iter
@@ -396,7 +461,7 @@ let dae_cmd =
       Array.init (2 * pairs) (fun i ->
           ((if i < pairs then access else execute), inst.W.Runner.args))
     in
-    let trace = W.Runner.trace_hetero inst ~tiles:spec in
+    let trace = W.Runner.trace_hetero_cached inst ~tiles:spec in
     let tiles =
       Array.init (2 * pairs) (fun i ->
           {
@@ -422,8 +487,8 @@ let main =
   let doc = "MosaicSim: lightweight modular simulation of heterogeneous systems" in
   Cmd.group (Cmd.info "mosaicsim" ~version:"0.1.0" ~doc)
     [
-      list_cmd; run_cmd; bench_cmd; dump_cmd; trace_stats_cmd; dse_cmd;
-      dnn_cmd; asm_cmd; cc_cmd; dae_cmd; characterize_cmd;
+      list_cmd; run_cmd; bench_cmd; dump_cmd; trace_cmd; trace_stats_cmd;
+      dse_cmd; dnn_cmd; asm_cmd; cc_cmd; dae_cmd; characterize_cmd;
     ]
 
 let () = exit (Cmd.eval main)

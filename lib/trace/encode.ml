@@ -122,17 +122,3 @@ let decode_addrs bytes =
     out.(i) <- !prev
   done;
   out
-
-let compressed_bytes (t : Trace.t) =
-  Array.fold_left
-    (fun (control, memory) (tt : Trace.tile_trace) ->
-      let control = control + Bytes.length (encode_control tt.Trace.bb_path) in
-      let memory =
-        Array.fold_left
-          (fun acc addrs ->
-            if Array.length addrs = 0 then acc
-            else acc + Bytes.length (encode_addrs addrs))
-          memory tt.Trace.mem_addrs
-      in
-      (control, memory))
-    (0, 0) t.Trace.tiles

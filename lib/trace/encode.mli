@@ -10,7 +10,30 @@
     - address streams are dominated by strides: zig-zag delta varints store
       a few bytes per access instead of eight.
 
-    Both are exact (lossless) and covered by round-trip tests. *)
+    Both are exact (lossless) and covered by round-trip tests. The
+    whole-trace binary container built on these encoders lives in
+    {!Trace.save}/{!Trace.load}; the compressed-footprint accounting is
+    {!Trace.compressed_bytes}. *)
+
+(** {1 Varint primitives}
+
+    LEB128 varints plus zig-zag folding for signed deltas, exposed so the
+    trace container ({!Trace}) and the cache digest ({!Store}) frame their
+    records with the same plumbing. Only non-negative values are written at
+    existing call sites; [zigzag] maps a signed value to a non-negative one
+    first. *)
+
+val put_varint : Buffer.t -> int -> unit
+
+(** [get_varint bytes pos] returns [(value, next_pos)]. No bounds checking
+    beyond [Bytes.get]; callers validating untrusted input should check
+    lengths themselves. *)
+val get_varint : Bytes.t -> int -> int * int
+
+val zigzag : int -> int
+val unzigzag : int -> int
+
+(** {1 Stream encoders} *)
 
 (** Encode a control-flow path (block ids). *)
 val encode_control : int array -> Bytes.t
@@ -21,6 +44,3 @@ val decode_control : Bytes.t -> int array
 val encode_addrs : int array -> Bytes.t
 
 val decode_addrs : Bytes.t -> int array
-
-(** Whole-trace compressed footprint: (control bytes, memory bytes). *)
-val compressed_bytes : Trace.t -> int * int

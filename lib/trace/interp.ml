@@ -94,6 +94,19 @@ let poke_global t g i v = poke t (global_addr g i) v
 
 let peek_global t g i = peek t (global_addr g i)
 
+(* [poke] only ever [Hashtbl.replace]s, so each address has one binding;
+   sorting makes the snapshot independent of hash order. *)
+let memory_contents t =
+  let arr = Array.make (Hashtbl.length t.mem) (0, Value.zero) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun addr v ->
+      arr.(!i) <- (addr, v);
+      incr i)
+    t.mem;
+  Array.sort (fun (a, _) (b, _) -> Stdlib.compare a b) arr;
+  arr
+
 let channel_queue t ~dst ~chan =
   let key = (dst, chan) in
   match Hashtbl.find_opt t.channels key with

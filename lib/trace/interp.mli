@@ -47,6 +47,12 @@ val poke_global :
 
 val peek_global : t -> Mosaic_ir.Program.global -> int -> Mosaic_ir.Value.t
 
+(** Snapshot of every memory binding, sorted by address. Taken after
+    [setup] and before [run], this is the dataset the kernel will read —
+    the part of a workload's identity that lives outside the program text,
+    digested by {!Store.workload_digest} for trace-cache keying. *)
+val memory_contents : t -> (int * Mosaic_ir.Value.t) array
+
 (** {1 Execution} *)
 
 exception Deadlock of string

@@ -1,0 +1,73 @@
+(** Trace store: generate a dynamic trace once, reuse it everywhere.
+
+    MosaicSim's premise (§III) is that the instrumented run happens once
+    and the timing model replays it cheaply. This module delivers that for
+    the whole toolchain: a content-addressed on-disk cache of
+    {!Trace.save} containers plus a domain-safe in-process memo, both
+    keyed by {!workload_digest}. Cold runs populate the cache; warm runs
+    (later bench sections, [--jobs] siblings, or whole re-invocations)
+    skip interpretation entirely. Cache hits are bit-identical to fresh
+    interpretation — the container format is exact and the digest covers
+    every input the trace depends on. *)
+
+(** Digest of everything a trace is a function of: the program text, the
+    run label, each tile's (kernel, args) assignment, and the post-setup
+    memory image ({!Interp.memory_contents} — datasets live there, not in
+    the program). Hex MD5; also salted with an internal semantics-version
+    string so interpreter changes invalidate old caches. *)
+val workload_digest :
+  program:Mosaic_ir.Program.t ->
+  label:string ->
+  tiles:(string * Mosaic_ir.Value.t list) array ->
+  mem:(int * Mosaic_ir.Value.t) array ->
+  string
+
+(** {1 Cache directory}
+
+    Resolution order: {!set_cache_dir} override, then the
+    [MOSAICSIM_TRACE_CACHE] environment variable (["off"], ["none"] or
+    empty disables), then [$XDG_CACHE_HOME/mosaicsim], then
+    [~/.cache/mosaicsim]. [None] means the disk layer is off — the
+    in-process memo still works. *)
+
+val set_cache_dir : [ `Default | `Dir of string | `Disabled ] -> unit
+
+val cache_dir : unit -> string option
+
+(** Path the given digest would be stored at, if the disk cache is on. *)
+val cache_file : string -> string option
+
+(** {1 Fetch} *)
+
+type source =
+  | Interpreted  (** miss: [generate] ran *)
+  | Memo_hit  (** in-process memo (includes waiting on another domain) *)
+  | Disk_hit  (** loaded from the cache directory *)
+
+type info = {
+  digest : string;
+  source : source;
+  cache_file : string option;
+  gen_seconds : float;
+      (** wall time to obtain the trace: full interpretation on a miss,
+          ~milliseconds of decode on a hit *)
+}
+
+(** [fetch ~digest ~generate] returns the trace for [digest], trying the
+    memo, then the disk cache, then running [generate] (which populates
+    both). Safe to call concurrently from any number of domains:
+    concurrent requests for one digest block on a single flight of
+    [generate], so each workload is interpreted at most once per process.
+    Stale or unreadable cache files count as misses and are overwritten;
+    disk failures never fail the run. If [generate] raises, the exception
+    propagates to every waiter and the next fetch retries. *)
+val fetch : digest:string -> generate:(unit -> Trace.t) -> Trace.t * info
+
+(** {1 Introspection (tests, CLI)} *)
+
+type stats = { interpreted : int; memo_hits : int; disk_hits : int }
+
+val stats : unit -> stats
+
+(** Clear the memo and zero {!stats} (tests). Does not touch the disk. *)
+val reset : unit -> unit

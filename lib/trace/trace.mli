@@ -39,10 +39,46 @@ val total_mem_accesses : t -> int
     per accelerator parameter. Returns (control_bytes, memory_bytes). *)
 val storage_bytes : t -> int * int
 
-(** Serialize to / from a file (Marshal-based; same build only). *)
-val save : t -> string -> unit
+(** Compressed footprint under the {!Encode} stream encoders:
+    (control_bytes, memory_bytes). The §VI-B counterpart of
+    {!storage_bytes}. *)
+val compressed_bytes : t -> int * int
 
-val load : string -> t
+(** Structural equality, exact on accelerator parameters (NaN floats
+    compare equal to themselves, per [Value.equal]). *)
+val equal : t -> t -> bool
+
+(** {1 Serialization}
+
+    A versioned binary container built on the {!Encode} stream encoders:
+    a ["MSTR"] magic, a format version, an optional workload digest (used
+    by {!Store} to detect stale cache entries), an MD5 checksum of the
+    payload, then the per-tile streams. Exact and build-independent —
+    unlike the Marshal encoding it replaced, a file written by one build
+    loads in any other or fails loudly. *)
+
+(** Raised by {!load}/{!of_bytes} on a bad magic, an unsupported format
+    version, a truncated or corrupted payload, or a workload-digest
+    mismatch. The message says which. *)
+exception Format_error of string
+
+(** [to_bytes ?digest t] serializes [t], tagging the container with
+    [digest] (default [""]). *)
+val to_bytes : ?digest:string -> t -> Bytes.t
+
+(** Inverse of {!to_bytes}: returns the stored digest and the trace.
+    Raises {!Format_error} on malformed input. *)
+val of_bytes : Bytes.t -> string * t
+
+val save : ?digest:string -> t -> string -> unit
+
+(** [load ?expect_digest path] reads a trace container. When
+    [expect_digest] is given, a file whose recorded workload digest
+    differs raises {!Format_error} — that is how the cache rejects stale
+    entries. *)
+val load : ?expect_digest:string -> string -> t
+
+val load_with_digest : string -> string * t
 
 (** A cursor over one tile's trace, consumed by tile models: DBB launches
     pop block ids; each memory instruction pops its next address at DBB

@@ -1,4 +1,5 @@
 module Interp = Mosaic_trace.Interp
+module Store = Mosaic_trace.Store
 module Validate = Mosaic_ir.Validate
 
 type t = {
@@ -10,13 +11,16 @@ type t = {
   check : Interp.t -> bool;
 }
 
-let run_interp ?(check = true) inst it =
-  Mosaic_accel.Accel_kinds.register_functional it;
-  inst.setup it;
+let run_checked ~check inst it =
   let trace = Interp.run it in
   if check && not (inst.check it) then
     failwith (Printf.sprintf "workload %s: wrong answer" inst.name);
   trace
+
+let run_interp ?(check = true) inst it =
+  Mosaic_accel.Accel_kinds.register_functional it;
+  inst.setup it;
+  run_checked ~check inst it
 
 let trace ?check inst ~ntiles =
   Validate.check_exn inst.program;
@@ -29,6 +33,40 @@ let trace_hetero ?check inst ~tiles =
   Validate.check_exn inst.program;
   let it = Interp.create_hetero inst.program ~label:inst.name ~tiles in
   run_interp ?check inst it
+
+(* The cached path still creates the interpreter and runs dataset setup
+   (cheap, and the post-setup memory image is part of the cache key); only
+   the expensive [Interp.run] is skipped on a hit. On a miss the prepared
+   interpreter is consumed by [Store.fetch]'s generate thunk, so the trace
+   a hit returns is bit-identical to the one a miss would have produced. *)
+let cached ?(check = true) inst ~label ~tiles it =
+  Mosaic_accel.Accel_kinds.register_functional it;
+  inst.setup it;
+  let digest =
+    Store.workload_digest ~program:inst.program ~label ~tiles
+      ~mem:(Interp.memory_contents it)
+  in
+  Store.fetch ~digest ~generate:(fun () -> run_checked ~check inst it)
+
+let trace_cached_full ?check inst ~ntiles =
+  Validate.check_exn inst.program;
+  let it =
+    Interp.create inst.program ~kernel:inst.kernel ~ntiles ~args:inst.args
+  in
+  cached ?check inst ~label:inst.kernel
+    ~tiles:(Array.make ntiles (inst.kernel, inst.args))
+    it
+
+let trace_cached ?check inst ~ntiles =
+  fst (trace_cached_full ?check inst ~ntiles)
+
+let trace_hetero_cached_full ?check inst ~tiles =
+  Validate.check_exn inst.program;
+  let it = Interp.create_hetero inst.program ~label:inst.name ~tiles in
+  cached ?check inst ~label:inst.name ~tiles it
+
+let trace_hetero_cached ?check inst ~tiles =
+  fst (trace_hetero_cached_full ?check inst ~tiles)
 
 let execute inst ~ntiles =
   Validate.check_exn inst.program;

@@ -29,6 +29,38 @@ val trace_hetero :
   tiles:(string * Mosaic_ir.Value.t list) array ->
   Mosaic_trace.Trace.t
 
+(** {1 Cached tracing}
+
+    Same results as {!trace}/{!trace_hetero}, but routed through the
+    {!Mosaic_trace.Store} trace store: the workload is interpreted at most
+    once per process (domain-safe — concurrent {!run_batch} tasks
+    requesting the same workload share one interpretation) and at most
+    once per cache directory across processes. Dataset setup still runs
+    (its memory image is part of the cache key); only interpretation is
+    skipped, and the functional [check] with it — a cached trace was
+    checked when it was generated. The [_full] variants also return where
+    the trace came from and how long it took. *)
+
+val trace_cached : ?check:bool -> t -> ntiles:int -> Mosaic_trace.Trace.t
+
+val trace_cached_full :
+  ?check:bool ->
+  t ->
+  ntiles:int ->
+  Mosaic_trace.Trace.t * Mosaic_trace.Store.info
+
+val trace_hetero_cached :
+  ?check:bool ->
+  t ->
+  tiles:(string * Mosaic_ir.Value.t list) array ->
+  Mosaic_trace.Trace.t
+
+val trace_hetero_cached_full :
+  ?check:bool ->
+  t ->
+  tiles:(string * Mosaic_ir.Value.t list) array ->
+  Mosaic_trace.Trace.t * Mosaic_trace.Store.info
+
 (** Run the interpreter and return it (for tests that inspect memory). *)
 val execute : t -> ntiles:int -> Mosaic_trace.Interp.t * Mosaic_trace.Trace.t
 

@@ -236,7 +236,7 @@ let test_compressed_trace_smaller () =
   let inst = Mosaic_workloads.Registry.instance "stencil" in
   let trace = Mosaic_workloads.Runner.trace inst ~ntiles:1 in
   let raw_control, raw_memory = Trace.storage_bytes trace in
-  let comp_control, comp_memory = Encode.compressed_bytes trace in
+  let comp_control, comp_memory = Trace.compressed_bytes trace in
   checkb "control shrinks" true (comp_control < raw_control / 4);
   checkb "memory shrinks" true (comp_memory < raw_memory / 2)
 

@@ -1,0 +1,89 @@
+(* Warm-cache guard: run the speed bench twice against the same trace
+   cache directory and compare the two BENCH_speed.json files.
+
+   Two invariants make the trace store safe to trust:
+   - a cached trace is bit-identical to a fresh interpretation, so every
+     speed.*.cycles entry must be byte-identical between the cold and the
+     warm run;
+   - the warm run actually hits the cache, so its total
+     speed.*.trace_gen_seconds must be near zero (we allow a small floor
+     for digesting the dataset plus 10% of the cold total for noise).
+
+   Usage: check_warm_cache COLD.json WARM.json
+   Exits 0 when both hold, 1 on a violation, 2 on usage/parse errors. *)
+
+module Json = Mosaic_obs.Json
+
+let read_json file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.of_string s
+
+let speed_entries ~suffix = function
+  | Json.Obj kvs ->
+      List.filter_map
+        (fun (name, v) ->
+          if
+            String.length name > 6
+            && String.sub name 0 6 = "speed."
+            && Filename.check_suffix name suffix
+          then Some (name, Json.to_number_exn v)
+          else None)
+        kvs
+  | _ -> failwith "expected a metrics object"
+
+let () =
+  let cold_file, warm_file =
+    match Sys.argv with
+    | [| _; c; w |] -> (c, w)
+    | _ ->
+        prerr_endline "usage: check_warm_cache COLD.json WARM.json";
+        exit 2
+  in
+  let cold, warm =
+    try (read_json cold_file, read_json warm_file)
+    with e ->
+      Printf.eprintf "check_warm_cache: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  let cold_cycles = speed_entries ~suffix:".cycles" cold in
+  let warm_cycles = speed_entries ~suffix:".cycles" warm in
+  if cold_cycles = [] then begin
+    Printf.eprintf "check_warm_cache: no speed.*.cycles entries in %s\n"
+      cold_file;
+    exit 2
+  end;
+  let bad = ref false in
+  List.iter
+    (fun (name, expected) ->
+      match List.assoc_opt name warm_cycles with
+      | None ->
+          bad := true;
+          Printf.printf "MISSING %s in warm run\n" name
+      | Some got when got <> expected ->
+          bad := true;
+          Printf.printf
+            "DIVERGED %s: cold %.0f, warm %.0f — cached trace is not \
+             bit-identical\n"
+            name expected got
+      | Some _ -> ())
+    cold_cycles;
+  let sum entries = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 entries in
+  let cold_gen = sum (speed_entries ~suffix:".trace_gen_seconds" cold) in
+  let warm_gen = sum (speed_entries ~suffix:".trace_gen_seconds" warm) in
+  let budget = Float.max 0.05 (0.10 *. cold_gen) in
+  if warm_gen > budget then begin
+    bad := true;
+    Printf.printf
+      "COLD CACHE: warm trace_gen total %.3fs exceeds budget %.3fs (cold \
+       total %.3fs) — the warm run re-interpreted workloads\n"
+      warm_gen budget cold_gen
+  end;
+  if !bad then exit 1
+  else
+    Printf.printf
+      "warm cache OK: %d cycle entries identical, warm trace_gen %.3fs \
+       (cold %.3fs)\n"
+      (List.length cold_cycles) warm_gen cold_gen
