@@ -695,6 +695,40 @@ let speed () =
            fcell speedup;
          ])
        skip_rows);
+  (* Profiler overhead: the same run with cycle accounting on vs off.
+     Simulated cycles must be bit-identical (the profiler only observes);
+     the ratio records how much host time the attribution costs. *)
+  let inst = W.Registry.instance "spmv" in
+  let trace = W.Runner.trace_cached inst ~ntiles:1 in
+  let run ~profile =
+    Soc.run_homogeneous ~profile Presets.xeon_soc
+      ~program:inst.W.Runner.program ~trace ~tile_config:TC.out_of_order
+  in
+  let plain = run ~profile:false and prof = run ~profile:true in
+  assert (plain.Soc.cycles = prof.Soc.cycles);
+  let overhead =
+    if prof.Soc.mips > 0.0 then plain.Soc.mips /. prof.Soc.mips
+    else Float.infinity
+  in
+  gauge "speed.profile.spmv.cycles" (float_of_int prof.Soc.cycles);
+  gauge "speed.profile.spmv.mips" prof.Soc.mips;
+  gauge "speed.profile.spmv.plain_mips" plain.Soc.mips;
+  gauge "speed.profile_overhead_ratio" overhead;
+  Table.print
+    ~title:
+      "Cycle-accounting profiler overhead (spmv, 1 OoO; identical simulated \
+       cycles)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "mode";
+        Table.column "cycles";
+        Table.column "MIPS";
+        Table.column "overhead";
+      ]
+    [
+      [ "unprofiled"; icell plain.Soc.cycles; fcell plain.Soc.mips; "-" ];
+      [ "profiled"; icell prof.Soc.cycles; fcell prof.Soc.mips; fcell overhead ];
+    ];
   Out_channel.with_open_text speed_json_file (fun oc ->
       Out_channel.output_string oc
         (Mosaic_obs.Json.to_string (Mosaic_obs.Metrics.to_json reg)));

@@ -69,6 +69,39 @@ let apply_trace_cache = function
 let apply_no_skip no_skip cfg =
   if no_skip then { cfg with Soc.cycle_skip = false } else cfg
 
+let profile_arg =
+  let doc =
+    "Enable the cycle-accounting profiler: attribute every tile-cycle to a \
+     stall cause and report per-tile attribution, per-basic-block hot spots \
+     and memory-latency quantiles. Simulated cycles are identical with or \
+     without profiling."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+(* Dominant cause across tiles, as "cause share%" — the one-cell profile
+   summary the bench table shows per benchmark. *)
+let top_stall (r : Soc.result) =
+  let module Stall = Mosaic_obs.Stall in
+  let module Profile = Mosaic_tile.Profile in
+  let totals = Array.make Stall.ncauses 0 in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun cause ->
+          let i = Stall.index cause in
+          totals.(i) <- totals.(i) + Profile.count p cause)
+        Stall.all)
+    r.Soc.profiles;
+  let all = Array.fold_left ( + ) 0 totals in
+  if all = 0 then "-"
+  else begin
+    let best = ref 0 in
+    Array.iteri (fun i n -> if n > totals.(!best) then best := i) totals;
+    Printf.sprintf "%s %.0f%%"
+      (Stall.name (Stall.of_index !best))
+      (100.0 *. float_of_int totals.(!best) /. float_of_int all)
+  end
+
 let list_cmd =
   let run () =
     print_endline "Benchmarks:";
@@ -125,15 +158,15 @@ let write_observability ~trace_out ~metrics_out ~sink (r : Soc.result) =
     metrics_out
 
 let run_cmd =
-  let run bench tiles core system no_skip trace_out metrics_out cache =
+  let run bench tiles core system no_skip profile trace_out metrics_out cache =
     apply_trace_cache cache;
     let inst = W.Registry.instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
     let cfg = apply_no_skip no_skip (system_of_string system) in
     let sink = sink_for trace_out in
     let r =
-      Soc.run_homogeneous ~sink cfg ~program:inst.W.Runner.program ~trace
-        ~tile_config:(core_of_string core)
+      Soc.run_homogeneous ~sink ~profile cfg ~program:inst.W.Runner.program
+        ~trace ~tile_config:(core_of_string core)
     in
     print_result bench r;
     write_observability ~trace_out ~metrics_out ~sink r
@@ -142,14 +175,15 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a benchmark on a simulated system")
     Term.(
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
-      $ no_skip_arg $ trace_out_arg $ metrics_out_arg $ trace_cache_arg)
+      $ no_skip_arg $ profile_arg $ trace_out_arg $ metrics_out_arg
+      $ trace_cache_arg)
 
 let bench_cmd =
   let benches_arg =
     let doc = "Benchmarks to run (default: the Parboil suite)." in
     Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc)
   in
-  let run benches tiles core system no_skip jobs cache =
+  let run benches tiles core system no_skip profile jobs cache =
     apply_trace_cache cache;
     let names =
       match benches with [] -> W.Registry.parboil_names | ns -> ns
@@ -163,8 +197,8 @@ let bench_cmd =
              let inst = W.Registry.instance name in
              let trace = W.Runner.trace_cached inst ~ntiles:tiles in
              let r =
-               Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
-                 ~tile_config:tc
+               Soc.run_homogeneous ~profile cfg ~program:inst.W.Runner.program
+                 ~trace ~tile_config:tc
              in
              (name, r))
            names)
@@ -172,13 +206,14 @@ let bench_cmd =
     Table.print
       ~title:(Printf.sprintf "bench: %s, %s (%d jobs)" system core jobs)
       ~columns:
-        [
-          Table.column ~align:Table.Left "benchmark";
-          Table.column "cycles";
-          Table.column "IPC";
-          Table.column "MIPS";
-          Table.column "host s";
-        ]
+        ([
+           Table.column ~align:Table.Left "benchmark";
+           Table.column "cycles";
+           Table.column "IPC";
+           Table.column "MIPS";
+           Table.column "host s";
+         ]
+        @ if profile then [ Table.column ~align:Table.Left "top stall" ] else [])
       (List.map
          (fun (name, (r : Soc.result)) ->
            [
@@ -187,7 +222,8 @@ let bench_cmd =
              Printf.sprintf "%.2f" r.Soc.ipc;
              Printf.sprintf "%.2f" r.Soc.mips;
              Printf.sprintf "%.2f" r.Soc.host_seconds;
-           ])
+           ]
+           @ if profile then [ top_stall r ] else [])
          results)
   in
   Cmd.v
@@ -197,7 +233,76 @@ let bench_cmd =
           (--jobs)")
     Term.(
       const run $ benches_arg $ tiles_arg $ core_arg $ system_arg
-      $ no_skip_arg $ jobs_arg $ trace_cache_arg)
+      $ no_skip_arg $ profile_arg $ jobs_arg $ trace_cache_arg)
+
+(* Cycle-accounting profiler front-end: run one workload with attribution
+   on and print where the cycles went — per-tile stacked stall shares, the
+   ranked per-basic-block hot-spot table, and memory-latency quantiles. *)
+let profile_cmd =
+  let top_arg =
+    let doc = "Rows in the hot-spot ranking." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Export stall-attribution samples to $(docv): CSV by default \
+       (cycle,tile,cause,cycles with cumulative counts), JSON when the file \
+       ends in .json. With --trace-out the export carries the periodic \
+       samples of the run; otherwise a single end-of-run snapshot."
+    in
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run bench tiles core system no_skip top out trace_out metrics_out cache =
+    apply_trace_cache cache;
+    let inst = W.Registry.instance bench in
+    let trace = W.Runner.trace_cached inst ~ntiles:tiles in
+    let cfg = apply_no_skip no_skip (system_of_string system) in
+    let sink = sink_for trace_out in
+    let r =
+      Soc.run_homogeneous ~sink ~profile:true cfg
+        ~program:inst.W.Runner.program ~trace
+        ~tile_config:(core_of_string core)
+    in
+    Printf.printf "profile: %s\n== summary ==\n%s\n%s\n" bench
+      (Mosaic.Report.summary r)
+      (Mosaic.Report.profile ~top r);
+    Option.iter
+      (fun file ->
+        let events =
+          if Mosaic_obs.Sink.enabled sink then Mosaic_obs.Sink.to_list sink
+          else
+            Array.to_list
+              (Array.mapi
+                 (fun i p ->
+                   {
+                     Mosaic_obs.Event.cycle = r.Soc.cycles;
+                     payload =
+                       Mosaic_obs.Event.Stall_sample
+                         { tile = i; counts = Mosaic_tile.Profile.counts p };
+                   })
+                 r.Soc.profiles)
+        in
+        let data =
+          if Filename.check_suffix file ".json" then
+            Mosaic_obs.Json.to_string
+              (Mosaic_obs.Trace_export.stalls_to_json events)
+          else Mosaic_obs.Trace_export.stalls_to_csv events
+        in
+        Out_channel.with_open_text file (fun oc ->
+            Out_channel.output_string oc data);
+        Printf.printf "stalls: %s\n" file)
+      out;
+    write_observability ~trace_out ~metrics_out ~sink r
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a benchmark with cycle accounting and print the stall \
+          attribution, hot-spot ranking and memory-latency histogram")
+    Term.(
+      const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
+      $ no_skip_arg $ top_arg $ out_arg $ trace_out_arg $ metrics_out_arg
+      $ trace_cache_arg)
 
 let dump_cmd =
   let run bench =
@@ -442,7 +547,7 @@ let cc_cmd =
       $ system_arg $ no_skip_arg)
 
 let dae_cmd =
-  let run bench pairs no_skip =
+  let run bench pairs no_skip profile =
     let inst, info =
       match bench with
       | "ewsd" -> W.Ewsd.dae_instance ~rows:2048 ~cols:2048 ~per_row:16 ()
@@ -470,7 +575,7 @@ let dae_cmd =
           })
     in
     let r =
-      Soc.run
+      Soc.run ~profile
         (apply_no_skip no_skip Presets.dae_soc)
         ~program:inst.W.Runner.program ~trace ~tiles
     in
@@ -481,14 +586,15 @@ let dae_cmd =
   in
   Cmd.v
     (Cmd.info "dae" ~doc:"Slice a kernel into DAE halves and simulate pairs")
-    Term.(const run $ benchmark_arg $ pairs_arg $ no_skip_arg)
+    Term.(const run $ benchmark_arg $ pairs_arg $ no_skip_arg $ profile_arg)
 
 let main =
   let doc = "MosaicSim: lightweight modular simulation of heterogeneous systems" in
   Cmd.group (Cmd.info "mosaicsim" ~version:"0.1.0" ~doc)
     [
-      list_cmd; run_cmd; bench_cmd; dump_cmd; trace_cmd; trace_stats_cmd;
-      dse_cmd; dnn_cmd; asm_cmd; cc_cmd; dae_cmd; characterize_cmd;
+      list_cmd; run_cmd; bench_cmd; profile_cmd; dump_cmd; trace_cmd;
+      trace_stats_cmd; dse_cmd; dnn_cmd; asm_cmd; cc_cmd; dae_cmd;
+      characterize_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,6 +1,8 @@
 module Table = Mosaic_util.Table
 module Metrics = Mosaic_obs.Metrics
 module Op = Mosaic_ir.Op
+module Stall = Mosaic_obs.Stall
+module Profile = Mosaic_tile.Profile
 
 (* Every table reads from the metrics registry the run published into
    ([r.metrics]), not from the result-record fields: the registry is the
@@ -118,15 +120,145 @@ let memory (r : Soc.result) =
       [ "interleaver stalls"; Table.icell (c "inter.send_stalls") ];
     ]
 
-let full r =
+(* --- Cycle-accounting profiler sections --- *)
+
+let profiled (r : Soc.result) = Array.exists Profile.enabled r.Soc.profiles
+
+(* Per-tile stacked attribution: every simulated cycle lands in exactly
+   one cause, so each row's percentages sum to 100. *)
+let stalls (r : Soc.result) =
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i p ->
+           let total = Profile.total p in
+           let denom = float_of_int (Stdlib.max 1 total) in
+           Table.icell i :: Profile.label p :: Table.icell total
+           :: (Array.to_list Stall.all
+              |> List.map (fun cause ->
+                     let n = Profile.count p cause in
+                     if n = 0 then "-"
+                     else
+                       Printf.sprintf "%.1f%%"
+                         (100.0 *. float_of_int n /. denom))))
+         r.Soc.profiles)
+  in
+  Table.render
+    ~columns:
+      (Table.column "tile"
+      :: Table.column ~align:Table.Left "kernel"
+      :: Table.column "cycles"
+      :: (Array.to_list Stall.names |> List.map Table.column))
+    rows
+
+(* Causes that can carry a basic-block culprit (busy/idle/finished cycles
+   book no roll-up row, so their columns would always be zero). *)
+let bb_causes =
+  [
+    Stall.Dependency; Stall.Structural; Stall.Memory; Stall.Mao; Stall.Supply;
+    Stall.Branch_redirect;
+  ]
+
+(* Ranked hot spots: stall cycles attributed to each static basic block
+   (aggregated over tiles running the same kernel), worst first. *)
+let hot_spot_rows (r : Soc.result) =
+  let tbl = Hashtbl.create 32 in
+  Array.iter
+    (fun p ->
+      if Profile.enabled p then
+        for bid = 0 to Profile.nblocks p - 1 do
+          let key = (Profile.label p, bid) in
+          let acc =
+            match Hashtbl.find_opt tbl key with
+            | Some a -> a
+            | None ->
+                let a = Array.make (List.length bb_causes) 0 in
+                Hashtbl.replace tbl key a;
+                a
+          in
+          List.iteri
+            (fun ci cause -> acc.(ci) <- acc.(ci) + Profile.bb_count p ~bid cause)
+            bb_causes
+        done)
+    r.Soc.profiles;
+  Hashtbl.fold (fun k v l -> (k, v) :: l) tbl []
+  |> List.filter (fun (_, v) -> Array.exists (fun n -> n > 0) v)
+  |> List.sort (fun ((ka, ba), va) ((kb, bb), vb) ->
+         let ta = Array.fold_left ( + ) 0 va
+         and tb = Array.fold_left ( + ) 0 vb in
+         if ta <> tb then compare tb ta else compare (ka, ba) (kb, bb))
+
+let hot_spots ?(top = 10) (r : Soc.result) =
+  let rows =
+    hot_spot_rows r
+    |> List.filteri (fun i _ -> i < top)
+    |> List.map (fun ((kernel, bid), v) ->
+           Printf.sprintf "%s#%d" kernel bid
+           :: Table.icell (Array.fold_left ( + ) 0 v)
+           :: Array.to_list (Array.map Table.icell v))
+  in
+  Table.render
+    ~columns:
+      (Table.column ~align:Table.Left "block"
+      :: Table.column "stall cyc"
+      :: List.map (fun c -> Table.column (Stall.name c)) bb_causes)
+    rows
+
+(* Memory-request completion latency per tile, from the live histograms
+   the tiles observe into ([tile.<i>.load_latency]). *)
+let latency (r : Soc.result) =
+  let m = r.Soc.metrics in
+  let rows =
+    List.init (Array.length r.Soc.tile_stats) (fun i ->
+        match Metrics.find m (Printf.sprintf "tile.%d.load_latency" i) with
+        | Some (Metrics.Histogram h) when Metrics.hist_count h > 0 ->
+            Some
+              [
+                Table.icell i;
+                Table.icell (Metrics.hist_count h);
+                Table.fcell ~decimals:1 (Metrics.hist_mean h);
+                Table.fcell ~decimals:0 (Metrics.hist_quantile h 0.5);
+                Table.fcell ~decimals:0 (Metrics.hist_quantile h 0.95);
+                Table.fcell ~decimals:0 (Metrics.hist_quantile h 0.99);
+                Table.fcell ~decimals:0 (Metrics.hist_max h);
+              ]
+        | _ -> None)
+    |> List.filter_map Fun.id
+  in
+  Table.render
+    ~columns:
+      [
+        Table.column "tile";
+        Table.column "mem ops";
+        Table.column "mean";
+        Table.column "p50";
+        Table.column "p95";
+        Table.column "p99";
+        Table.column "max";
+      ]
+    rows
+
+let profile ?top r =
   String.concat "\n"
     [
-      "== summary ==";
-      summary r;
-      "== per tile ==";
-      per_tile r;
-      "== instruction mix ==";
-      instruction_mix r;
-      "== memory system ==";
-      memory r;
+      "== stall attribution (% of cycles) ==";
+      stalls r;
+      "== hot spots (top basic blocks by stall cycles) ==";
+      hot_spots ?top r;
+      "== memory latency (cycles) ==";
+      latency r;
     ]
+
+let full r =
+  String.concat "\n"
+    ([
+       "== summary ==";
+       summary r;
+       "== per tile ==";
+       per_tile r;
+       "== instruction mix ==";
+       instruction_mix r;
+       "== memory system ==";
+       memory r;
+     ]
+    @ if profiled r then [ profile r ] else [])

@@ -14,5 +14,25 @@ val instruction_mix : Soc.result -> string
 (** Memory-system counters (per-level totals and DRAM behaviour). *)
 val memory : Soc.result -> string
 
-(** All of the above concatenated. *)
+(** Whether the run carried an enabled cycle-accounting profile. *)
+val profiled : Soc.result -> bool
+
+(** Per-tile stacked stall attribution (one cause per cycle, percentages
+    summing to 100 per row). Meaningful only when {!profiled}. *)
+val stalls : Soc.result -> string
+
+(** Ranked hot-spot table: stall cycles attributed to each static basic
+    block (kernel#bid), aggregated over tiles, worst first; [top] rows
+    (default 10). *)
+val hot_spots : ?top:int -> Soc.result -> string
+
+(** Per-tile memory-request completion-latency histogram summary
+    (count/mean/p50/p95/p99/max). *)
+val latency : Soc.result -> string
+
+(** The three profiler sections concatenated. *)
+val profile : ?top:int -> Soc.result -> string
+
+(** All the non-profiler sections concatenated; appends {!profile} when
+    the run was profiled. *)
 val full : Soc.result -> string

@@ -11,6 +11,8 @@ module Accel_kinds = Mosaic_accel.Accel_kinds
 module Branch = Mosaic_tile.Branch
 module Metrics = Mosaic_obs.Metrics
 module Sink = Mosaic_obs.Sink
+module Stall = Mosaic_obs.Stall
+module Profile = Mosaic_tile.Profile
 
 type tile_spec = { kernel : string; tile_config : Tile_config.t }
 
@@ -103,6 +105,7 @@ type result = {
   mao_stalls : int;
   accel_invocations : int;
   metrics : Metrics.t;
+  profiles : Profile.t array;
 }
 
 (* Tracks concurrent accelerator invocations so memory bandwidth is divided
@@ -176,6 +179,26 @@ let publish_result reg (r : result) =
       c (p "branch.mispredictions") s.Core_tile.branch.Branch.mispredictions;
       g (p "energy_pj") s.Core_tile.energy_pj)
     r.tile_stats;
+  Array.iteri
+    (fun i prof ->
+      if Profile.enabled prof then
+        Array.iter
+          (fun cause ->
+            c
+              (Printf.sprintf "tile.%d.stall.%s" i (Stall.name cause))
+              (Profile.count prof cause))
+          Stall.all)
+    r.profiles;
+  if Array.exists Profile.enabled r.profiles then
+    Array.iter
+      (fun cause ->
+        let n =
+          Array.fold_left
+            (fun acc prof -> acc + Profile.count prof cause)
+            0 r.profiles
+        in
+        c ("stall." ^ Stall.name cause) n)
+      Stall.all;
   List.iter
     (fun cls ->
       let idx = Tile_config.class_index cls in
@@ -188,7 +211,8 @@ let publish_result reg (r : result) =
       c ("mix." ^ Op.class_to_string cls) n)
     Op.all_classes
 
-let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
+let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
+    ~tiles =
   let ntiles = Array.length tiles in
   if ntiles = 0 then invalid_arg "Soc.run: no tiles";
   if ntiles <> trace.Trace.ntiles then
@@ -244,13 +268,25 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
           accel_invoke mgr cfg hier ~sink ~tile ~kind ~params ~cycle);
     }
   in
+  let profiles =
+    Array.map
+      (fun spec ->
+        if profile then
+          let func = Program.func_exn program spec.kernel in
+          Profile.create ~label:spec.kernel
+            ~nblocks:(Array.length func.Func.blocks)
+            ~ninstrs:func.Func.ninstrs
+        else Profile.null)
+      tiles
+  in
   let cores =
     Array.mapi
       (fun i spec ->
         let lat_hist =
           Metrics.histogram reg (Printf.sprintf "tile.%d.load_latency" i)
         in
-        Core_tile.create ~sink ~lat_hist ~id:i ~config:spec.tile_config
+        Core_tile.create ~sink ~lat_hist ~profile:profiles.(i) ~id:i
+          ~config:spec.tile_config
           ~func:(Program.func_exn program spec.kernel)
           ~ddg:(ddg_of spec.kernel) ~tile_trace:trace.Trace.tiles.(i)
           ~hierarchy:hier ~comm ())
@@ -262,6 +298,18 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
   let host_start = Unix.gettimeofday () in
   let cycle = ref 0 in
   let stepped = ref 0 in
+  (* Periodic cumulative stall samples for Chrome counter tracks; only
+     when both profiling and an enabled sink are wired up. *)
+  let sampling = profile && Sink.enabled sink in
+  let sample_interval = 1024 in
+  let next_sample = ref 0 in
+  let emit_samples () =
+    for i = 0 to ntiles - 1 do
+      Sink.emit sink ~cycle:!cycle
+        (Mosaic_obs.Event.Stall_sample
+           { tile = i; counts = Profile.counts profiles.(i) })
+    done
+  in
   (* Running finished count: each tile transitions to finished exactly
      once, so a per-step O(ntiles) [Array.for_all] rescan is unnecessary. *)
   let finished_count = ref 0 in
@@ -281,6 +329,10 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
       end
     done;
     incr stepped;
+    if sampling && !cycle >= !next_sample then begin
+      emit_samples ();
+      next_sample := !cycle + sample_interval
+    end;
     if !progress || not cfg.cycle_skip then incr cycle
     else begin
       (* Globally quiescent cycle: no tile processed an event, launched,
@@ -300,13 +352,28 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
       done;
       consider (Interleaver.next_arrival inter ~cycle:!cycle);
       List.iter (fun finish -> consider (Some finish)) mgr.active;
-      if !next = max_int then
-        (* Nothing can ever wake: a true deadlock. Jump to the cap so it
-           surfaces with the same max_cycles failure as the naive sweep. *)
-        cycle := cfg.max_cycles
-      else cycle := Stdlib.min !next cfg.max_cycles
+      let target =
+        if !next = max_int then
+          (* Nothing can ever wake: a true deadlock. Jump to the cap so it
+             surfaces with the same max_cycles failure as the naive sweep. *)
+          cfg.max_cycles
+        else Stdlib.min !next cfg.max_cycles
+      in
+      (* Skipped cycles are provably identical no-ops, so each tile's
+         attribution over the stretch is its frozen last-swept-cycle
+         cause; booking it keeps per-tile attribution bit-identical with
+         and without cycle skipping (and summing to [cycles]). *)
+      if profile then begin
+        let skipped = target - !cycle - 1 in
+        if skipped > 0 then
+          for i = 0 to ntiles - 1 do
+            Profile.book_repeat profiles.(i) skipped
+          done
+      end;
+      cycle := target
     end
   done;
+  if sampling then emit_samples ();
   let host_seconds = Unix.gettimeofday () -. host_start in
   let cycles = !cycle in
   let stepped_cycles = !stepped in
@@ -372,6 +439,7 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
         Array.fold_left (fun acc c -> acc + Core_tile.mao_stalls c) 0 cores;
       accel_invocations = mgr.invocations;
       metrics = reg;
+      profiles;
     }
   in
   publish_result reg r;
@@ -379,10 +447,10 @@ let run ?(sink = Sink.null) ?metrics cfg ~program ~trace ~tiles =
   Interleaver.publish inter reg;
   r
 
-let run_homogeneous ?sink ?metrics cfg ~program ~trace ~tile_config =
+let run_homogeneous ?sink ?metrics ?profile cfg ~program ~trace ~tile_config =
   let tiles =
     Array.map
       (fun (tt : Trace.tile_trace) -> { kernel = tt.Trace.kernel; tile_config })
       trace.Trace.tiles
   in
-  run ?sink ?metrics cfg ~program ~trace ~tiles
+  run ?sink ?metrics ?profile cfg ~program ~trace ~tiles

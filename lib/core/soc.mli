@@ -68,6 +68,11 @@ type result = {
   metrics : Mosaic_obs.Metrics.t;
       (** registry all components published into; source of truth for
           {!Report} and the metrics exporters *)
+  profiles : Mosaic_tile.Profile.t array;
+      (** per-tile cycle-accounting stores when the run was profiled
+          ([Profile.null] per tile otherwise). Invariant: for every tile,
+          [Profile.total] equals [cycles], with and without cycle
+          skipping. *)
 }
 
 (** Raises [Invalid_argument] when tiles and trace disagree (count or
@@ -80,10 +85,19 @@ type result = {
     null sink costs nothing. [metrics] supplies the registry that tiles and
     memory publish into (a fresh one is created when absent); pass a fresh
     registry per run — metric names are registered once and duplicates
-    raise. *)
+    raise.
+
+    [profile] (default off) turns on the cycle-accounting profiler: every
+    tile-cycle is attributed to one {!Mosaic_obs.Stall.cause}, per-tile
+    and per-basic-block, surfaced in [result.profiles], as
+    [tile.<i>.stall.<cause>] / [stall.<cause>] registry counters, and —
+    when [sink] is also enabled — as periodic cumulative
+    [Event.Stall_sample] counter-track events. Simulated cycle counts are
+    bit-identical with profiling on or off. *)
 val run :
   ?sink:Mosaic_obs.Sink.t ->
   ?metrics:Mosaic_obs.Metrics.t ->
+  ?profile:bool ->
   config ->
   program:Mosaic_ir.Program.t ->
   trace:Mosaic_trace.Trace.t ->
@@ -95,6 +109,7 @@ val run :
 val run_homogeneous :
   ?sink:Mosaic_obs.Sink.t ->
   ?metrics:Mosaic_obs.Metrics.t ->
+  ?profile:bool ->
   config ->
   program:Mosaic_ir.Program.t ->
   trace:Mosaic_trace.Trace.t ->

@@ -13,6 +13,7 @@ type payload =
   | Interleaver_handoff of { src : int; dst : int; chan : int }
   | Noc_hop of { src : int; dst : int; hops : int }
   | Accel_invoke of { tile : int; kind : string; cycles : int }
+  | Stall_sample of { tile : int; counts : int array }
 
 type t = { cycle : int; payload : payload }
 
@@ -32,12 +33,14 @@ let name e =
   | Interleaver_handoff _ -> "handoff"
   | Noc_hop _ -> "hop"
   | Accel_invoke { kind; _ } -> kind
+  | Stall_sample _ -> "stalls"
 
 (* Track (Chrome trace thread) the event belongs to: one per tile, one per
    cache level, and one each for DRAM, the interleaver and the NoC. *)
 let track e =
   match e.payload with
-  | Instr_issue { tile; _ } | Instr_retire { tile; _ } ->
+  | Instr_issue { tile; _ } | Instr_retire { tile; _ } | Stall_sample { tile; _ }
+    ->
       Printf.sprintf "tile.%d" tile
   | Cache_access { cache; _ } -> (
       (* Per-tile caches are named "l1.0", "l2.3", ...; the track is the

@@ -1,0 +1,38 @@
+(** Minimal JSON tree, printer and parser.
+
+    Enough for the trace/metrics exporters and for tests that re-read
+    exporter output; not a standards-lawyer implementation (the parser
+    keeps only the low byte of [\u] escapes, and the printer does no
+    scientific-notation canonicalization). Printing escapes quotes,
+    backslashes and all control characters, so arbitrary workload/label
+    strings round-trip through [to_string]/[of_string]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Integral floats print as ["x.0"]. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete document; raises {!Parse_error} on malformed input
+    or trailing garbage. *)
+
+(** {1 Accessors} — [_exn] variants raise {!Parse_error} on shape
+    mismatch. *)
+
+val member : string -> t -> t option
+val member_exn : string -> t -> t
+val to_list_exn : t -> t list
+val to_number_exn : t -> float
+val to_string_exn : t -> string

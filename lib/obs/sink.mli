@@ -1,0 +1,38 @@
+(** Low-overhead event sink: a fixed-capacity ring buffer of the most
+    recent events plus emit/drop counters.
+
+    Contract for instrumentation sites: guard payload construction with
+    {!enabled} (e.g.
+    [if Sink.enabled sink then Sink.emit sink ~cycle (Event.Instr_issue ...)])
+    so a simulation wired to {!null} allocates nothing on the hot path.
+    [emit] on a disabled sink is a no-op either way. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Enabled sink retaining the last [capacity] events (default [2^20]).
+    Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val null : t
+(** The disabled sink: shared, never records, costs nothing. *)
+
+val enabled : t -> bool
+
+val emit : t -> cycle:int -> Event.payload -> unit
+(** Record an event; once full, overwrites the oldest (counted in
+    {!dropped}). No-op on a disabled sink. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val emitted : t -> int
+(** Total events offered, including overwritten ones. *)
+
+val dropped : t -> int
+(** Events lost to ring wraparound. *)
+
+val to_list : t -> Event.t list
+(** Retained events in emission order (oldest first). *)
+
+val clear : t -> unit
+(** Reset to empty; capacity and enabledness unchanged. *)

@@ -1,0 +1,61 @@
+(* Closed stall-cause taxonomy for the cycle-accounting profiler.
+
+   Every simulated tile-cycle is attributed to exactly one cause (see
+   DESIGN.md "Cycle accounting" for the priority order used when several
+   conditions hold at once).  The taxonomy lives in [Mosaic_obs] so the
+   exporters ([Trace_export]) can name counter tracks without depending on
+   the tile layer; [Mosaic_tile.Profile] stores dense arrays indexed by
+   [index]. *)
+
+type cause =
+  | Busy (* issued at full width this cycle: not a stall *)
+  | Dependency (* RAW: no ready instruction, head still computing *)
+  | Structural (* FU class saturated or instruction window full *)
+  | Memory (* outstanding load/store at head, or L1 MSHRs full *)
+  | Mao (* memory-atomic-ordering constraint blocks issue *)
+  | Supply (* interleaver supply/consume: buffer full/empty, debt cap *)
+  | Branch_redirect (* control gate: terminator unresolved or mispredict penalty *)
+  | Idle (* nothing in flight and nothing fetchable *)
+  | Finished (* tile already drained; cycles burned waiting for peers *)
+
+let ncauses = 9
+
+let index = function
+  | Busy -> 0
+  | Dependency -> 1
+  | Structural -> 2
+  | Memory -> 3
+  | Mao -> 4
+  | Supply -> 5
+  | Branch_redirect -> 6
+  | Idle -> 7
+  | Finished -> 8
+
+let of_index = function
+  | 0 -> Busy
+  | 1 -> Dependency
+  | 2 -> Structural
+  | 3 -> Memory
+  | 4 -> Mao
+  | 5 -> Supply
+  | 6 -> Branch_redirect
+  | 7 -> Idle
+  | 8 -> Finished
+  | i -> invalid_arg (Printf.sprintf "Stall.of_index: %d" i)
+
+let name = function
+  | Busy -> "busy"
+  | Dependency -> "dependency"
+  | Structural -> "structural"
+  | Memory -> "memory"
+  | Mao -> "mao"
+  | Supply -> "supply"
+  | Branch_redirect -> "branch"
+  | Idle -> "idle"
+  | Finished -> "finished"
+
+let all =
+  [| Busy; Dependency; Structural; Memory; Mao; Supply; Branch_redirect;
+     Idle; Finished |]
+
+let names = Array.map name all

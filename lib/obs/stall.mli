@@ -1,0 +1,41 @@
+(** Closed stall-cause taxonomy for the cycle-accounting profiler.
+
+    Every simulated tile-cycle is attributed to exactly one [cause].  The
+    classification itself happens in [Mosaic_tile.Core_tile] (see DESIGN.md
+    for the priority order); this module only fixes the vocabulary, the
+    dense index mapping used by per-tile counter arrays, and the canonical
+    names used by exporters and the metrics registry
+    ([tile.<i>.stall.<name>] counters, Chrome-trace counter tracks, and the
+    profile CSV/JSON schema). *)
+
+type cause =
+  | Busy  (** issued at full width this cycle: not a stall *)
+  | Dependency  (** RAW: no ready instruction, producer still computing *)
+  | Structural  (** FU class saturated or instruction window full *)
+  | Memory  (** outstanding load/store at head, or L1 MSHRs full *)
+  | Mao  (** memory-atomic-ordering constraint blocks issue *)
+  | Supply
+      (** interleaver supply/consume stall: send buffer full, recv buffer
+          empty, or produce/consume debt at ceiling *)
+  | Branch_redirect
+      (** control gate closed: terminator unresolved or mispredict penalty *)
+  | Idle  (** nothing in flight and nothing fetchable *)
+  | Finished  (** tile already drained; cycles burned waiting for peers *)
+
+val ncauses : int
+(** Number of causes; dense indices are [0 .. ncauses-1]. *)
+
+val index : cause -> int
+(** Dense index of a cause, for counter arrays. *)
+
+val of_index : int -> cause
+(** Inverse of [index]. Raises [Invalid_argument] out of range. *)
+
+val name : cause -> string
+(** Stable lowercase name used in metrics keys, exports and reports. *)
+
+val all : cause array
+(** All causes in index order. *)
+
+val names : string array
+(** [Array.map name all]. *)

@@ -4,6 +4,17 @@
    accelerator; everything lives in a single process 0. Timestamps are
    simulation cycles. *)
 
+(* Counter samples carry one args entry per stall cause; Chrome renders
+   each key as a series of the counter track. Extra (unnamed) slots can
+   only come from hand-built events, not the profiler; label them c<i>
+   instead of raising so exports never fail mid-run. *)
+let stall_args counts =
+  List.init (Array.length counts) (fun i ->
+      let key =
+        if i < Stall.ncauses then Stall.names.(i) else Printf.sprintf "c%d" i
+      in
+      (key, Json.Int counts.(i)))
+
 let args_of_event (e : Event.t) =
   match e.Event.payload with
   | Event.Instr_issue { seq; cls; _ } ->
@@ -22,12 +33,15 @@ let args_of_event (e : Event.t) =
         ("kind", Json.String kind);
         ("cycles", Json.Int cycles);
       ]
+  | Event.Stall_sample { counts; _ } -> stall_args counts
 
 (* Accelerator invocations know their duration, so they render as complete
-   ("X") spans; everything else is an instant ("i"). *)
+   ("X") spans; stall samples are counter ("C") points; everything else is
+   an instant ("i"). *)
 let phase_and_extra (e : Event.t) =
   match e.Event.payload with
   | Event.Accel_invoke { cycles; _ } -> ("X", [ ("dur", Json.Int cycles) ])
+  | Event.Stall_sample _ -> ("C", [])
   | _ -> ("i", [ ("s", Json.String "t") ])
 
 let to_json events =
@@ -90,3 +104,49 @@ let to_string events = Json.to_string (to_json events)
 let write_file path events =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (to_string events))
+
+(* Flat schema for stall-attribution samples, independent of the Chrome
+   format: one row per (cycle, tile, cause) with the cumulative cycle
+   count. Non-sample events in the stream are ignored, so the whole sink
+   contents can be passed through unfiltered. *)
+
+let stall_rows events =
+  let events =
+    List.stable_sort
+      (fun (a : Event.t) (b : Event.t) -> compare a.Event.cycle b.Event.cycle)
+      events
+  in
+  List.concat_map
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Stall_sample { tile; counts } ->
+          List.init (Array.length counts) (fun i ->
+              let cause =
+                if i < Stall.ncauses then Stall.names.(i)
+                else Printf.sprintf "c%d" i
+              in
+              (e.Event.cycle, tile, cause, counts.(i)))
+      | _ -> [])
+    events
+
+let stalls_to_csv events =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "cycle,tile,cause,cycles\n";
+  List.iter
+    (fun (cycle, tile, cause, v) ->
+      Buffer.add_string buf (Printf.sprintf "%d,%d,%s,%d\n" cycle tile cause v))
+    (stall_rows events);
+  Buffer.contents buf
+
+let stalls_to_json events =
+  Json.List
+    (List.map
+       (fun (cycle, tile, cause, v) ->
+         Json.Obj
+           [
+             ("cycle", Json.Int cycle);
+             ("tile", Json.Int tile);
+             ("cause", Json.String cause);
+             ("cycles", Json.Int v);
+           ])
+       (stall_rows events))

@@ -1,0 +1,40 @@
+(** Chrome trace-event exporter.
+
+    Turns a recorded {!Event.t} stream into JSON loadable in
+    chrome://tracing or Perfetto, plus a flat CSV/JSON schema for the
+    cycle-accounting profiler's stall samples.
+
+    Exporter contract:
+    - events are stable-sorted by [cycle], so the emitted [ts] column is
+      monotone while same-cycle events keep their emission order;
+    - tracks (Chrome "threads") are allocated in first-appearance order
+      and described with ["thread_name"] metadata records; everything
+      lives in a single process 0;
+    - timestamps are simulation cycles (1 cycle = 1 "ns" for display);
+    - {!Event.Accel_invoke} renders as a complete ("X") span,
+      {!Event.Stall_sample} as a counter ("C") point whose args hold one
+      cumulative cycle count per {!Stall.cause}, everything else as an
+      instant ("i");
+    - all strings pass through {!Json.to_string} escaping, so workload
+      and label names may contain quotes, control characters, etc. *)
+
+val to_json : Event.t list -> Json.t
+(** Full trace document: [{"traceEvents": [...], "displayTimeUnit": ...}]. *)
+
+val to_string : Event.t list -> string
+(** [Json.to_string] of {!to_json}. *)
+
+val write_file : string -> Event.t list -> unit
+(** Write {!to_string} to a file (truncating). *)
+
+val stall_rows : Event.t list -> (int * int * string * int) list
+(** Flattened stall-attribution samples [(cycle, tile, cause, cycles)],
+    sorted by cycle; [cycles] is cumulative since cycle 0. Events other
+    than {!Event.Stall_sample} are ignored. *)
+
+val stalls_to_csv : Event.t list -> string
+(** {!stall_rows} as CSV with header [cycle,tile,cause,cycles]. *)
+
+val stalls_to_json : Event.t list -> Json.t
+(** {!stall_rows} as a JSON list of objects with keys [cycle], [tile],
+    [cause], [cycles]. *)

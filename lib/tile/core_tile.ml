@@ -3,6 +3,7 @@ module Pqueue = Mosaic_util.Pqueue
 module Trace = Mosaic_trace.Trace
 module Ddg = Mosaic_compiler.Ddg
 module Hierarchy = Mosaic_memory.Hierarchy
+module Stall = Mosaic_obs.Stall
 
 type accel_result = { finish_cycle : int; energy_pj : float }
 
@@ -88,6 +89,8 @@ type t = {
   sink : Mosaic_obs.Sink.t;
   lat_hist : Mosaic_obs.Metrics.histogram option;
       (** live memory-completion-latency histogram, when observability is on *)
+  prof : Profile.t;
+      (** cycle-accounting store; [Profile.null] when not profiling *)
 }
 
 let fresh_stats () =
@@ -101,8 +104,8 @@ let fresh_stats () =
     branch = Branch.fresh_stats ();
   }
 
-let create ?(sink = Mosaic_obs.Sink.null) ?lat_hist ~id ~config ~func ~ddg
-    ~tile_trace ~hierarchy ~comm () =
+let create ?(sink = Mosaic_obs.Sink.null) ?lat_hist ?(profile = Profile.null)
+    ~id ~config ~func ~ddg ~tile_trace ~hierarchy ~comm () =
   if ddg.Ddg.func != func then
     invalid_arg "Core_tile.create: DDG built for a different function";
   {
@@ -155,11 +158,13 @@ let create ?(sink = Mosaic_obs.Sink.null) ?lat_hist ~id ~config ~func ~ddg
     stats = fresh_stats ();
     sink;
     lat_hist;
+    prof = profile;
   }
 
 let id t = t.id
 let config t = t.cfg
 let stats t = t.stats
+let profile t = t.prof
 let finished t = t.done_
 let mao_stalls t = Mao.stalls t.mao
 
@@ -434,6 +439,17 @@ let try_launches t ~cycle =
 
 let fixed_completion ~cycle ~div lat = cycle + Stdlib.max 1 (lat * div)
 
+(* Profiler hook for issue-scan failures; [blocked] doubles as the -1
+   "cannot issue" completion code so the failure paths below stay
+   one-liners. *)
+let note_fail t n cause =
+  if t.prof.Profile.enabled then
+    Profile.note_fail t.prof ~cause ~iid:n.instr.Instr.id ~bid:n.dbb.dbb_bid
+
+let blocked t n cause =
+  note_fail t n cause;
+  -1
+
 (* Attempt to issue [n] at [cycle]; true on success. *)
 (* Functional units are pipelined: the limit is per-cycle issue
    throughput, tracked in [fu_busy] which resets every cycle.
@@ -444,7 +460,10 @@ let fixed_completion ~cycle ~div lat = cycle + Stdlib.max 1 (lat * div)
 let try_issue t n ~cycle =
   let cls = Op.classify n.instr.Instr.op in
   let ci = Tile_config.class_index cls in
-  if t.fu_busy.(ci) >= t.fu_limit_ci.(ci) then false
+  if t.fu_busy.(ci) >= t.fu_limit_ci.(ci) then begin
+    note_fail t n Stall.Structural;
+    false
+  end
   else begin
     let div = t.cfg.Tile_config.clock_divider in
     let completion =
@@ -455,14 +474,14 @@ let try_issue t n ~cycle =
             Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
               ~is_write:false
           end
-          else -1
+          else blocked t n Stall.Mao
       | Op.Store _ ->
           if Mao.can_issue t.mao ~seq:n.seq then begin
             t.stats.mem_accesses <- t.stats.mem_accesses + 1;
             Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
               ~is_write:true
           end
-          else -1
+          else blocked t n Stall.Mao
       | Op.Atomic_rmw _ ->
           if Mao.can_issue t.mao ~seq:n.seq then begin
             t.stats.mem_accesses <- t.stats.mem_accesses + 1;
@@ -472,59 +491,58 @@ let try_issue t n ~cycle =
             in
             base + t.cfg.Tile_config.atomic_extra_latency
           end
-          else -1
+          else blocked t n Stall.Mao
       | Op.Send chan ->
           if t.comm.send ~src:t.id ~dst:n.send_dst ~chan ~cycle ~available:cycle
           then fixed_completion ~cycle ~div t.cfg.Tile_config.comm_latency
-          else -1
+          else blocked t n Stall.Supply
       | Op.Load_send (chan, _) ->
           (* Terminal load: needs an MAO slot, a buffer slot and a free
              miss slot; the core moves on while memory fills the message
              in. *)
-          if
-            Mao.can_issue t.mao ~seq:n.seq
-            && Hierarchy.can_accept t.hier ~tile:t.id ~cycle
-          then begin
-            let completion =
-              Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
-                ~is_write:false
-            in
-            if
-              t.comm.send ~src:t.id ~dst:n.send_dst ~chan ~cycle
-                ~available:completion
-            then begin
-              t.stats.mem_accesses <- t.stats.mem_accesses + 1;
-              (* The core retires the push at once; the LSQ entry drains
-                 when memory answers. *)
-              Pqueue.add t.mao_release ~prio:completion n.seq;
-              fixed_completion ~cycle ~div 1
+          if Mao.can_issue t.mao ~seq:n.seq then
+            if Hierarchy.can_accept t.hier ~tile:t.id ~cycle then begin
+              let completion =
+                Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                  ~is_write:false
+              in
+              if
+                t.comm.send ~src:t.id ~dst:n.send_dst ~chan ~cycle
+                  ~available:completion
+              then begin
+                t.stats.mem_accesses <- t.stats.mem_accesses + 1;
+                (* The core retires the push at once; the LSQ entry drains
+                   when memory answers. *)
+                Pqueue.add t.mao_release ~prio:completion n.seq;
+                fixed_completion ~cycle ~div 1
+              end
+              else blocked t n Stall.Supply
             end
-            else -1
-          end
-          else -1
+            else blocked t n Stall.Memory
+          else blocked t n Stall.Mao
       | Op.Recv chan -> (
           match t.comm.try_recv ~tile:t.id ~chan ~cycle with
           | Some c -> c
-          | None -> -1)
+          | None -> blocked t n Stall.Supply)
       | Op.Store_recv (chan, _, rmw) ->
           (* Retire into the store value buffer: commit the channel slot,
              charge the memory write, and move on. Gated on a free miss
              slot so drains respect memory bandwidth. *)
-          if
-            Mao.can_issue t.mao ~seq:n.seq
-            && Hierarchy.can_accept t.hier ~tile:t.id ~cycle
-          then
-            if t.comm.take_or_owe ~tile:t.id ~chan then begin
-              t.stats.mem_accesses <- t.stats.mem_accesses + 1;
-              let completion =
-                Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
-                  ~is_write:true
-              in
-              Pqueue.add t.mao_release ~prio:completion n.seq;
-              fixed_completion ~cycle ~div (match rmw with Some _ -> 2 | None -> 1)
-            end
-            else -1
-          else -1
+          if Mao.can_issue t.mao ~seq:n.seq then
+            if Hierarchy.can_accept t.hier ~tile:t.id ~cycle then
+              if t.comm.take_or_owe ~tile:t.id ~chan then begin
+                t.stats.mem_accesses <- t.stats.mem_accesses + 1;
+                let completion =
+                  Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                    ~is_write:true
+                in
+                Pqueue.add t.mao_release ~prio:completion n.seq;
+                fixed_completion ~cycle ~div
+                  (match rmw with Some _ -> 2 | None -> 1)
+              end
+              else blocked t n Stall.Supply
+            else blocked t n Stall.Memory
+          else blocked t n Stall.Mao
       | Op.Accel kind ->
           let r = t.comm.accel ~tile:t.id ~kind ~params:n.accel_params ~cycle in
           t.stats.energy_pj <- t.stats.energy_pj +. r.energy_pj;
@@ -605,9 +623,11 @@ let issue_out_of_order t ~cycle =
   while !continue && !r < t.ready_len && !budget > 0 && !scans < scan_budget do
     let n = t.ready_arr.(!r) in
     incr scans;
-    if n.seq >= window_end then
+    if n.seq >= window_end then begin
       (* Ordered by seq: nothing further fits the window either. *)
+      note_fail t n Stall.Structural;
       continue := false
+    end
     else begin
       incr r;
       if try_issue t n ~cycle then decr budget
@@ -622,7 +642,7 @@ let issue_out_of_order t ~cycle =
     if tail > 0 then Array.blit t.ready_arr !r t.ready_arr !w tail;
     t.ready_len <- !w + tail
   end;
-  !budget < t.cfg.Tile_config.issue_width
+  t.cfg.Tile_config.issue_width - !budget
 
 let issue_in_order t ~cycle =
   let budget = ref t.cfg.Tile_config.issue_width in
@@ -632,25 +652,77 @@ let issue_in_order t ~cycle =
     if Queue.is_empty t.order then continue := false
     else begin
       let n = Queue.peek t.order in
-      if n.state = Ready && n.seq < window_end && try_issue t n ~cycle then begin
+      if n.state <> Ready then continue := false
+      else if n.seq >= window_end then begin
+        note_fail t n Stall.Structural;
+        continue := false
+      end
+      else if try_issue t n ~cycle then begin
         ignore (Queue.pop t.order);
         decr budget
       end
       else continue := false
     end
   done;
-  !budget < t.cfg.Tile_config.issue_width
+  t.cfg.Tile_config.issue_width - !budget
+
+(* End-of-cycle attribution (profiling only). Priority when several
+   conditions hold at once: finished > full-width busy > outstanding
+   memory access at the window head (top-down style — an in-flight load
+   at the head is what the whole window is draining behind, even when a
+   younger candidate was also turned away this cycle) > first blocked
+   issue candidate noted during the scan > dependency (head is an
+   uncompleted non-memory producer) > branch redirect > idle. One cause
+   per tile-cycle; see DESIGN.md "Cycle accounting". *)
+let classify t ~issued =
+  let p = t.prof in
+  if t.done_ then Profile.book_cause p Stall.Finished
+  else if issued >= t.cfg.Tile_config.issue_width then
+    Profile.book_cause p Stall.Busy
+  else if
+    (not (Queue.is_empty t.inflight))
+    &&
+    let n = Queue.peek t.inflight in
+    n.state = Issued && is_mem_node n
+  then begin
+    let n = Queue.peek t.inflight in
+    Profile.book p ~cause:Stall.Memory ~iid:n.instr.Instr.id
+      ~bid:n.dbb.dbb_bid
+  end
+  else if Profile.book_fail p then ()
+  else if not (Queue.is_empty t.inflight) then begin
+    (* Nothing ready and no candidate was turned away: the window head is
+       an uncompleted producer somebody is waiting on. *)
+    let n = Queue.peek t.inflight in
+    Profile.book p ~cause:Stall.Dependency ~iid:n.instr.Instr.id
+      ~bid:n.dbb.dbb_bid
+  end
+  else if not t.trace_done then begin
+    (* Empty pipeline with trace remaining: the control gate is closed
+       (unresolved terminator or misprediction penalty). *)
+    match t.last_term with
+    | Some term ->
+        Profile.book p ~cause:Stall.Branch_redirect ~iid:term.instr.Instr.id
+          ~bid:term.dbb.dbb_bid
+    | None -> Profile.book_cause p Stall.Branch_redirect
+  end
+  else Profile.book_cause p Stall.Idle
 
 let step t ~cycle =
-  if t.done_ then false
+  if t.done_ then begin
+    if t.prof.Profile.enabled then Profile.book_cause t.prof Stall.Finished;
+    false
+  end
   else if cycle mod t.cfg.Tile_config.clock_divider = 0 then begin
+    if t.prof.Profile.enabled then Profile.reset_scan t.prof;
     let progress = ref (process_events t ~cycle) in
     Array.fill t.fu_busy 0 (Array.length t.fu_busy) 0;
     if try_launches t ~cycle then progress := true;
-    if
-      (if t.cfg.Tile_config.in_order then issue_in_order t ~cycle
-       else issue_out_of_order t ~cycle)
-    then progress := true;
+    let issued =
+      if t.cfg.Tile_config.in_order then issue_in_order t ~cycle
+      else issue_out_of_order t ~cycle
+    in
+    if issued > 0 then progress := true;
 
     if t.trace_done && Queue.is_empty t.inflight && Pqueue.is_empty t.events
     then begin
@@ -658,9 +730,16 @@ let step t ~cycle =
       t.stats.finish_cycle <- cycle;
       progress := true
     end;
+    if t.prof.Profile.enabled then classify t ~issued;
     !progress
   end
-  else process_events t ~cycle
+  else begin
+    let progressed = process_events t ~cycle in
+    (* Below the clock edge there is no launch/issue opportunity: re-book
+       the last edge's attribution so every cycle is accounted. *)
+    if t.prof.Profile.enabled then Profile.book_last t.prof;
+    progressed
+  end
 
 (* --- Next-event view (event-driven cycle skipping) --- *)
 

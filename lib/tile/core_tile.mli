@@ -44,10 +44,13 @@ type t
 
 (** An enabled [sink] receives [Instr_issue]/[Instr_retire] events; a
     [lat_hist] records the completion latency of every memory operation the
-    tile issues. Both default to off and cost nothing when absent. *)
+    tile issues; an enabled [profile] makes {!step} attribute every
+    tile-cycle to a {!Mosaic_obs.Stall.cause} (see {!Profile}). All default
+    to off and cost nothing when absent. *)
 val create :
   ?sink:Mosaic_obs.Sink.t ->
   ?lat_hist:Mosaic_obs.Metrics.histogram ->
+  ?profile:Profile.t ->
   id:int ->
   config:Tile_config.t ->
   func:Mosaic_ir.Func.t ->
@@ -81,6 +84,10 @@ val next_event_cycle : t -> cycle:int -> int option
 
 val finished : t -> bool
 val stats : t -> stats
+
+val profile : t -> Profile.t
+(** The cycle-accounting store passed at creation ([Profile.null] when
+    profiling is off). *)
 
 (** MAO issue-rejection count (ordering or capacity), for reports. *)
 val mao_stalls : t -> int

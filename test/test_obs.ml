@@ -188,6 +188,168 @@ let test_trace_json_empty () =
   checki "no events" 0
     (List.length (Json.to_list_exn (Json.member_exn "traceEvents" json)))
 
+(* --- Property tests: the Chrome export is valid for ANY event stream --- *)
+
+module Stall = Mosaic_obs.Stall
+
+(* Strings with quotes, backslashes, control characters and non-ASCII
+   bytes: the exporter must escape them all into parseable JSON. *)
+let nasty_string_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        string_size ~gen:char (int_range 0 12);
+        oneofl [ "\"q\""; "a\\b"; "nl\n"; "tab\t"; "\x00\x1f\x7f"; "caf\xc3\xa9" ];
+      ])
+
+let event_gen =
+  QCheck.Gen.(
+    let payload =
+      int_range 0 3 >>= fun tile ->
+      oneof
+        [
+          ( nasty_string_gen >>= fun cls ->
+            int_range 0 999 >>= fun seq ->
+            return (Event.Instr_issue { tile; seq; cls }) );
+          (int_range 0 999 >>= fun seq -> return (Event.Instr_retire { tile; seq }));
+          ( nasty_string_gen >>= fun cache ->
+            oneofl [ Event.Hit; Event.Miss; Event.Evict; Event.Writeback ]
+            >>= fun outcome -> return (Event.Cache_access { cache; outcome }) );
+          ( int_range 0 7 >>= fun bank ->
+            int_range 0 4095 >>= fun row ->
+            return (Event.Dram_row_activate { bank; row }) );
+          ( int_range 0 3 >>= fun dst ->
+            return (Event.Interleaver_handoff { src = tile; dst; chan = 0 }) );
+          (int_range 1 6 >>= fun hops -> return (Event.Noc_hop { src = tile; dst = 0; hops }));
+          ( nasty_string_gen >>= fun kind ->
+            int_range 0 500 >>= fun cycles ->
+            return (Event.Accel_invoke { tile; kind; cycles }) );
+          (* Lengths around ncauses exercise the exporter's extra-column
+             guard for hand-built samples. *)
+          ( int_range 0 (Stall.ncauses + 2) >>= fun len ->
+            array_size (return len) (int_range 0 100) >>= fun counts ->
+            return (Event.Stall_sample { tile; counts }) );
+        ]
+    in
+    int_range 0 5000 >>= fun cycle ->
+    payload >>= fun payload -> return { Event.cycle; payload })
+
+let prop_chrome_export_parses =
+  QCheck.Test.make ~name:"chrome export of any event stream parses" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) event_gen))
+    (fun events ->
+      let json = Json.of_string (Trace_export.to_string events) in
+      let entries = Json.to_list_exn (Json.member_exn "traceEvents" json) in
+      let non_meta =
+        List.filter
+          (fun e -> Json.to_string_exn (Json.member_exn "ph" e) <> "M")
+          entries
+      in
+      List.length non_meta = List.length events)
+
+(* Cumulative profiler samples: random per-tile increments folded into
+   running totals, exactly what Soc.run emits. The exported counter tracks
+   must come out non-negative and monotone in ts, per tile, per cause. *)
+let cumulative_samples_gen =
+  QCheck.Gen.(
+    int_range 1 3 >>= fun ntiles ->
+    list_size (int_range 1 20)
+      (pair
+         (int_range 0 (ntiles - 1))
+         (array_size (return Stall.ncauses) (int_range 0 50)))
+    >>= fun increments ->
+    let totals = Array.init ntiles (fun _ -> Array.make Stall.ncauses 0) in
+    let cycle = ref 0 in
+    let events =
+      List.map
+        (fun (tile, inc) ->
+          cycle := !cycle + 1 + tile;
+          Array.iteri
+            (fun i d -> totals.(tile).(i) <- totals.(tile).(i) + d)
+            inc;
+          {
+            Event.cycle = !cycle;
+            payload =
+              Event.Stall_sample { tile; counts = Array.copy totals.(tile) };
+          })
+        increments
+    in
+    return events)
+
+let prop_counter_tracks_monotone =
+  QCheck.Test.make ~name:"stall counter tracks non-negative and monotone"
+    ~count:100
+    (QCheck.make cumulative_samples_gen)
+    (fun events ->
+      let json = Json.of_string (Trace_export.to_string events) in
+      let counters =
+        List.filter
+          (fun e -> Json.to_string_exn (Json.member_exn "ph" e) = "C")
+          (Json.to_list_exn (Json.member_exn "traceEvents" json))
+      in
+      List.length counters = List.length events
+      && List.for_all
+           (fun e ->
+             match Json.member_exn "args" e with
+             | Json.Obj kvs ->
+                 List.for_all (fun (_, v) -> Json.to_number_exn v >= 0.0) kvs
+             | _ -> false)
+           counters
+      &&
+      (* Per (tid, cause): values sorted by ts never decrease. The export
+         is already ts-sorted, so a single sweep with a watermark per key
+         suffices. *)
+      let last : (float * string, float) Hashtbl.t = Hashtbl.create 16 in
+      List.for_all
+        (fun e ->
+          let tid = Json.to_number_exn (Json.member_exn "tid" e) in
+          match Json.member_exn "args" e with
+          | Json.Obj kvs ->
+              List.for_all
+                (fun (cause, v) ->
+                  let v = Json.to_number_exn v in
+                  let key = (tid, cause) in
+                  let ok =
+                    match Hashtbl.find_opt last key with
+                    | Some prev -> v >= prev
+                    | None -> true
+                  in
+                  Hashtbl.replace last key v;
+                  ok)
+                kvs
+          | _ -> false)
+        counters)
+
+(* The tabular stall exporters mirror the same samples. *)
+let test_stalls_csv_json () =
+  let events =
+    [
+      {
+        Event.cycle = 10;
+        payload = Event.Stall_sample { tile = 0; counts = [| 1; 2; 3; 0; 0; 0; 0; 0; 4 |] };
+      };
+      { Event.cycle = 4; payload = retire ~tile:0 ~seq:0 };
+      {
+        Event.cycle = 7;
+        payload = Event.Stall_sample { tile = 1; counts = [| 5; 0; 0; 0; 0; 0; 0; 0; 0 |] };
+      };
+    ]
+  in
+  let csv = Trace_export.stalls_to_csv events in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  checks "header" "cycle,tile,cause,cycles" (List.hd lines);
+  checki "one row per tile per cause" (2 * Stall.ncauses)
+    (List.length (List.tl lines));
+  (* Samples sort by cycle: tile 1's earlier sample leads. *)
+  checks "first row" "7,1,busy,5" (List.nth lines 1);
+  let json = Trace_export.stalls_to_json events in
+  let rows = Json.to_list_exn json in
+  checki "json rows" (2 * Stall.ncauses) (List.length rows);
+  let r0 = List.hd rows in
+  checkf "json cycle" 7.0 (Json.to_number_exn (Json.member_exn "cycle" r0));
+  checks "json cause" "busy" (Json.to_string_exn (Json.member_exn "cause" r0));
+  checkf "json cycles" 5.0 (Json.to_number_exn (Json.member_exn "cycles" r0))
+
 let suite =
   [
     ( "obs.sink",
@@ -211,5 +373,9 @@ let suite =
         Alcotest.test_case "chrome JSON well-formed" `Quick
           test_trace_json_well_formed;
         Alcotest.test_case "empty stream" `Quick test_trace_json_empty;
+        QCheck_alcotest.to_alcotest prop_chrome_export_parses;
+        QCheck_alcotest.to_alcotest prop_counter_tracks_monotone;
+        Alcotest.test_case "stall CSV/JSON exporters" `Quick
+          test_stalls_csv_json;
       ] );
   ]

@@ -1,0 +1,253 @@
+(* Cycle-accounting profiler invariants.
+
+   The profiler promises three things, tested differentially here:
+   1. Totality — every simulated tile-cycle lands in exactly one stall
+      cause, so each tile's attribution sums to the run's cycle count.
+   2. Observation only — enabling the profiler changes no simulated
+      observable (cycles are bit-identical profiled vs unprofiled).
+   3. Skip-independence — attribution is not merely total but identical
+      with and without event-driven cycle skipping: the scheduler replays
+      the frozen cause over fast-forwarded stretches, and a skipped
+      stretch is by construction a run of cycles that would each have
+      re-derived that same cause under the naive sweep. *)
+
+module Soc = Mosaic.Soc
+module TC = Mosaic_tile.Tile_config
+module Profile = Mosaic_tile.Profile
+module Stall = Mosaic_obs.Stall
+module Metrics = Mosaic_obs.Metrics
+module W = Mosaic_workloads
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let no_skip cfg = { cfg with Soc.cycle_skip = false }
+
+(* The three invariants over an arbitrary pair of profiled runs. *)
+let assert_profile_invariants name (skip : Soc.result) (naive : Soc.result) =
+  let ck what = checki (Printf.sprintf "%s: %s" name what) in
+  ck "cycles agree" naive.Soc.cycles skip.Soc.cycles;
+  ck "tile count"
+    (Array.length naive.Soc.profiles)
+    (Array.length skip.Soc.profiles);
+  Array.iteri
+    (fun i (np : Profile.t) ->
+      let sp = skip.Soc.profiles.(i) in
+      ck
+        (Printf.sprintf "tile %d attribution sums to cycles (skip)" i)
+        skip.Soc.cycles (Profile.total sp);
+      ck
+        (Printf.sprintf "tile %d attribution sums to cycles (no-skip)" i)
+        naive.Soc.cycles (Profile.total np);
+      Array.iter
+        (fun cause ->
+          ck
+            (Printf.sprintf "tile %d cause %s identical" i (Stall.name cause))
+            (Profile.count np cause) (Profile.count sp cause))
+        Stall.all;
+      (* Roll-ups must agree too, block by block. *)
+      ck (Printf.sprintf "tile %d nblocks" i) (Profile.nblocks np)
+        (Profile.nblocks sp);
+      for bid = 0 to Profile.nblocks np - 1 do
+        Array.iter
+          (fun cause ->
+            ck
+              (Printf.sprintf "tile %d bb %d cause %s" i bid (Stall.name cause))
+              (Profile.bb_count np ~bid cause)
+              (Profile.bb_count sp ~bid cause))
+          Stall.all
+      done)
+    naive.Soc.profiles
+
+(* Run [inst] profiled with skipping on and off, plus unprofiled, and
+   demand all three invariants. Returns the profiled skip run. *)
+let differential name cfg ~tile_config inst ~ntiles =
+  let run cfg ~profile =
+    let trace = W.Runner.trace inst ~ntiles in
+    Soc.run_homogeneous ~profile cfg ~program:inst.W.Runner.program ~trace
+      ~tile_config
+  in
+  let skip = run { cfg with Soc.cycle_skip = true } ~profile:true in
+  let naive = run (no_skip cfg) ~profile:true in
+  let plain = run { cfg with Soc.cycle_skip = true } ~profile:false in
+  assert_profile_invariants name skip naive;
+  checki
+    (Printf.sprintf "%s: profiling does not perturb cycles" name)
+    plain.Soc.cycles skip.Soc.cycles;
+  checkb
+    (Printf.sprintf "%s: unprofiled run carries null profiles" name)
+    false
+    (Array.exists Profile.enabled plain.Soc.profiles);
+  skip
+
+let test_micro_workloads () =
+  List.iter
+    (fun (name, inst) ->
+      List.iter
+        (fun (cname, tc) ->
+          ignore
+            (differential
+               (Printf.sprintf "%s/%s" name cname)
+               Mosaic.Presets.dae_soc ~tile_config:tc inst ~ntiles:1))
+        [ ("ooo", TC.out_of_order); ("ino", TC.in_order) ])
+    [
+      ("pointer_chase", W.Micro.pointer_chase ~seed:3 ~nodes:128 ~steps:512 ());
+      ("stream", W.Micro.stream ~seed:5 ~elems:2048 ());
+      ("random_access", W.Micro.random_access ~seed:9 ~elems:1024 ~accesses:512 ());
+    ]
+
+let test_xeon_preset () =
+  ignore
+    (differential "spmv/xeon" Mosaic.Presets.xeon_soc
+       ~tile_config:TC.out_of_order
+       (W.Spmv.instance ~seed:17 ~rows:96 ~cols:96 ~per_row:5 ())
+       ~ntiles:2)
+
+(* DAE pairs stall on interleaver channels; supply-consume attribution and
+   the skip replay must hold across the pipeline. *)
+let test_dae_pipeline () =
+  let inst, _info =
+    W.Projection.dae_instance ~seed:13 ~n_left:64 ~n_right:128 ~degree:4 ()
+  in
+  let pairs = 2 in
+  let access = inst.W.Runner.kernel ^ "_access"
+  and execute = inst.W.Runner.kernel ^ "_execute" in
+  let spec =
+    Array.init (2 * pairs) (fun i ->
+        ((if i < pairs then access else execute), inst.W.Runner.args))
+  in
+  let trace = W.Runner.trace_hetero inst ~tiles:spec in
+  let tiles =
+    Array.init (2 * pairs) (fun i ->
+        {
+          Soc.kernel = (if i < pairs then access else execute);
+          tile_config = TC.in_order;
+        })
+  in
+  let run cfg =
+    Soc.run ~profile:true cfg ~program:inst.W.Runner.program ~trace ~tiles
+  in
+  let skip = run Mosaic.Presets.dae_soc in
+  let naive = run (no_skip Mosaic.Presets.dae_soc) in
+  assert_profile_invariants "projection-dae" skip naive;
+  (* The execute tiles actually wait on their access partners. *)
+  let supply =
+    Array.fold_left
+      (fun acc p -> acc + Profile.count p Stall.Supply)
+      0 skip.Soc.profiles
+  in
+  checkb "DAE pipeline books supply-consume stalls" true (supply > 0)
+
+(* Divided clocks exercise the sticky sub-edge booking: the slow tile books
+   its last edge attribution on every intermediate fast-clock cycle. *)
+let test_clock_dividers () =
+  let inst = W.Sgemm.instance ~m:24 ~n:24 ~k:24 () in
+  let trace = W.Runner.trace inst ~ntiles:2 in
+  let tiles =
+    [|
+      { Soc.kernel = "sgemm"; tile_config = TC.out_of_order };
+      {
+        Soc.kernel = "sgemm";
+        tile_config = { TC.in_order with TC.clock_divider = 3 };
+      };
+    |]
+  in
+  let run cfg =
+    Soc.run ~profile:true cfg ~program:inst.W.Runner.program ~trace ~tiles
+  in
+  let skip = run Mosaic.Presets.dae_soc in
+  let naive = run (no_skip Mosaic.Presets.dae_soc) in
+  assert_profile_invariants "mixed dividers" skip naive
+
+(* Registry mirror: soc publishes per-tile and aggregate stall counters
+   that must equal the profile stores. *)
+let test_metrics_mirror () =
+  let inst = W.Micro.pointer_chase ~seed:3 ~nodes:256 ~steps:1024 () in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let r =
+    Soc.run_homogeneous ~profile:true Mosaic.Presets.dae_soc
+      ~program:inst.W.Runner.program ~trace ~tile_config:TC.out_of_order
+  in
+  let c = Metrics.get_counter r.Soc.metrics in
+  Array.iter
+    (fun cause ->
+      let n = Stall.name cause in
+      checki
+        (Printf.sprintf "tile.0.stall.%s mirrors profile" n)
+        (Profile.count r.Soc.profiles.(0) cause)
+        (c (Printf.sprintf "tile.0.stall.%s" n));
+      checki
+        (Printf.sprintf "stall.%s aggregates tiles" n)
+        (Array.fold_left
+           (fun acc p -> acc + Profile.count p cause)
+           0 r.Soc.profiles)
+        (c (Printf.sprintf "stall.%s" n)))
+    Stall.all
+
+(* Attribution sanity: a dependent-load chain that spills past the LLC is
+   memory-bound, and the profiler must say so. *)
+let test_pointer_chase_is_memory_bound () =
+  let inst = W.Micro.pointer_chase ~seed:3 ~nodes:4096 ~steps:4096 () in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let r =
+    Soc.run_homogeneous ~profile:true Mosaic.Presets.dae_soc
+      ~program:inst.W.Runner.program ~trace ~tile_config:TC.out_of_order
+  in
+  let p = r.Soc.profiles.(0) in
+  let mem = Profile.count p Stall.Memory + Profile.count p Stall.Dependency in
+  let dump =
+    String.concat " "
+      (Array.to_list
+         (Array.map
+            (fun c -> Printf.sprintf "%s=%d" (Stall.name c) (Profile.count p c))
+            Stall.all))
+  in
+  checkb
+    (Printf.sprintf "memory+dependency dominate (%d of %d: %s)" mem
+       r.Soc.cycles dump)
+    true
+    (2 * mem > r.Soc.cycles)
+
+(* Roll-up consistency: block and instruction roll-ups never exceed the
+   per-cause totals (cycles booked without a culprit carry no row). *)
+let test_rollup_consistency () =
+  let inst = W.Spmv.instance ~seed:17 ~rows:96 ~cols:96 ~per_row:5 () in
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let r =
+    Soc.run_homogeneous ~profile:true Mosaic.Presets.xeon_soc
+      ~program:inst.W.Runner.program ~trace ~tile_config:TC.out_of_order
+  in
+  let p = r.Soc.profiles.(0) in
+  Array.iter
+    (fun cause ->
+      let by_bb = ref 0 and by_instr = ref 0 in
+      for bid = 0 to Profile.nblocks p - 1 do
+        by_bb := !by_bb + Profile.bb_count p ~bid cause
+      done;
+      for iid = 0 to Profile.ninstrs p - 1 do
+        by_instr := !by_instr + Profile.instr_count p ~iid cause
+      done;
+      let total = Profile.count p cause in
+      checkb
+        (Printf.sprintf "bb roll-up of %s bounded (%d <= %d)"
+           (Stall.name cause) !by_bb total)
+        true (!by_bb <= total);
+      checki
+        (Printf.sprintf "bb and instr roll-ups of %s agree" (Stall.name cause))
+        !by_bb !by_instr)
+    Stall.all
+
+let suite =
+  [
+    ( "tile.profile",
+      [
+        Alcotest.test_case "micro workloads" `Quick test_micro_workloads;
+        Alcotest.test_case "xeon preset" `Quick test_xeon_preset;
+        Alcotest.test_case "DAE pipeline" `Quick test_dae_pipeline;
+        Alcotest.test_case "mixed clock dividers" `Quick test_clock_dividers;
+        Alcotest.test_case "metrics mirror" `Quick test_metrics_mirror;
+        Alcotest.test_case "pointer chase is memory bound" `Quick
+          test_pointer_chase_is_memory_bound;
+        Alcotest.test_case "roll-up consistency" `Quick test_rollup_consistency;
+      ] );
+  ]

@@ -1,0 +1,97 @@
+(* Profiler invariant guard: run every speed-suite workload with cycle
+   accounting on and check the two properties the profiler promises:
+
+   1. Attribution is total — for every tile, the per-cause counters sum to
+      exactly the simulated cycle count (each cycle lands in one cause).
+   2. Observation is free — the simulated cycles of the profiled run match
+      the committed baseline's speed.<name>.cycles entry, i.e. turning the
+      profiler on cannot perturb the timing model.
+
+   Usage: check_profile BASELINE.json
+   Exits 0 when every workload satisfies both, 1 on any violation, 2 on
+   usage/parse errors. Runs match the speed section's configuration (xeon
+   preset, one OoO tile) so the baseline entries are directly comparable;
+   point MOSAICSIM_TRACE_CACHE at the bench cache to skip interpretation. *)
+
+module W = Mosaic_workloads
+module Soc = Mosaic.Soc
+module Json = Mosaic_obs.Json
+module Profile = Mosaic_tile.Profile
+module Stall = Mosaic_obs.Stall
+
+let read_json file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Json.of_string s
+
+let () =
+  let baseline_file =
+    match Sys.argv with
+    | [| _; b |] -> b
+    | _ ->
+        prerr_endline "usage: check_profile BASELINE.json";
+        exit 2
+  in
+  let baseline =
+    try read_json baseline_file
+    with e ->
+      Printf.eprintf "check_profile: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  let baseline_cycles name =
+    match Json.member (Printf.sprintf "speed.%s.cycles" name) baseline with
+    | Some v -> Some (int_of_float (Json.to_number_exn v))
+    | None -> None
+  in
+  let failed = ref false in
+  List.iter
+    (fun name ->
+      let inst = W.Registry.instance name in
+      let trace = W.Runner.trace_cached inst ~ntiles:1 in
+      let r =
+        Soc.run_homogeneous ~profile:true Mosaic.Presets.xeon_soc
+          ~program:inst.W.Runner.program ~trace
+          ~tile_config:Mosaic_tile.Tile_config.out_of_order
+      in
+      let bad = ref false in
+      Array.iteri
+        (fun i p ->
+          let total = Profile.total p in
+          if total <> r.Soc.cycles then begin
+            bad := true;
+            Printf.printf
+              "SUM     %s tile %d: attribution %d <> cycles %d (%s)\n" name i
+              total r.Soc.cycles
+              (String.concat " "
+                 (Array.to_list
+                    (Array.map
+                       (fun c ->
+                         Printf.sprintf "%s=%d" (Stall.name c)
+                           (Profile.count p c))
+                       Stall.all)))
+          end)
+        r.Soc.profiles;
+      (match baseline_cycles name with
+      | Some expected when expected <> r.Soc.cycles ->
+          bad := true;
+          Printf.printf "DRIFT   %s: baseline %d, profiled run %d\n" name
+            expected r.Soc.cycles
+      | Some _ -> ()
+      | None ->
+          bad := true;
+          Printf.printf "MISSING speed.%s.cycles in %s\n" name baseline_file);
+      if !bad then failed := true
+      else
+        Printf.printf "ok      %s: %d cycles, attribution total on %d tile(s)\n"
+          name r.Soc.cycles
+          (Array.length r.Soc.profiles))
+    W.Registry.parboil_names;
+  if !failed then begin
+    Printf.printf
+      "profiler invariant violated: attribution must sum to the cycle count \
+       and profiling must not change simulated cycles.\n";
+    exit 1
+  end
+  else print_endline "profile check OK: attribution total, cycles unperturbed"
