@@ -9,8 +9,23 @@ module Tile_config = Mosaic_tile.Tile_config
 module Table = Mosaic_util.Table
 
 let benchmark_arg =
-  let doc = "Benchmark name (see the list command)." in
+  let doc =
+    "Benchmark name (see the list command), or a path to a $(b,.mir) \
+     workload file (see corpus/ and the fmt command)."
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+(* BENCH is either a registry name or a `.mir` workload file. Parse
+   failures print located caret diagnostics, not a backtrace. *)
+let resolve_instance bench =
+  if Filename.check_suffix bench ".mir" then (
+    try W.Mir_workload.load_file bench
+    with Failure msg ->
+      prerr_string msg;
+      if msg <> "" && msg.[String.length msg - 1] <> '\n' then
+        prerr_newline ();
+      exit 1)
+  else W.Registry.instance bench
 
 let tiles_arg =
   let doc = "Number of SPMD tiles." in
@@ -160,7 +175,7 @@ let write_observability ~trace_out ~metrics_out ~sink (r : Soc.result) =
 let run_cmd =
   let run bench tiles core system no_skip profile trace_out metrics_out cache =
     apply_trace_cache cache;
-    let inst = W.Registry.instance bench in
+    let inst = resolve_instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
     let cfg = apply_no_skip no_skip (system_of_string system) in
     let sink = sink_for trace_out in
@@ -194,7 +209,7 @@ let bench_cmd =
       W.Runner.run_batch ~jobs
         (List.map
            (fun name () ->
-             let inst = W.Registry.instance name in
+             let inst = resolve_instance name in
              let trace = W.Runner.trace_cached inst ~ntiles:tiles in
              let r =
                Soc.run_homogeneous ~profile cfg ~program:inst.W.Runner.program
@@ -254,7 +269,7 @@ let profile_cmd =
   in
   let run bench tiles core system no_skip top out trace_out metrics_out cache =
     apply_trace_cache cache;
-    let inst = W.Registry.instance bench in
+    let inst = resolve_instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
     let cfg = apply_no_skip no_skip (system_of_string system) in
     let sink = sink_for trace_out in
@@ -306,7 +321,7 @@ let profile_cmd =
 
 let dump_cmd =
   let run bench =
-    let inst = W.Registry.instance bench in
+    let inst = resolve_instance bench in
     Format.printf "%a@." Mosaic_ir.Pretty.pp_program inst.W.Runner.program
   in
   Cmd.v (Cmd.info "dump" ~doc:"Dump a benchmark's IR")
@@ -318,7 +333,7 @@ let dump_cmd =
 let trace_cmd =
   let run bench tiles cache =
     apply_trace_cache cache;
-    let inst = W.Registry.instance bench in
+    let inst = resolve_instance bench in
     let trace, info = W.Runner.trace_cached_full inst ~ntiles:tiles in
     let control, memory = Mosaic_trace.Trace.storage_bytes trace in
     let comp_control, comp_memory = Mosaic_trace.Trace.compressed_bytes trace in
@@ -361,7 +376,7 @@ let trace_cmd =
 
 let trace_stats_cmd =
   let run bench tiles =
-    let inst = W.Registry.instance bench in
+    let inst = resolve_instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
     let control, memory = Mosaic_trace.Trace.storage_bytes trace in
     Table.print ~title:(Printf.sprintf "trace: %s" bench)
@@ -452,7 +467,7 @@ let dnn_cmd =
 
 let characterize_cmd =
   let run bench tiles =
-    let inst = W.Registry.instance bench in
+    let inst = resolve_instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
     let a = Mosaic_trace.Analysis.whole inst.W.Runner.program trace in
     Format.printf "characterization: %s@.%a@." bench Mosaic_trace.Analysis.pp a;
@@ -588,13 +603,68 @@ let dae_cmd =
     (Cmd.info "dae" ~doc:"Slice a kernel into DAE halves and simulate pairs")
     Term.(const run $ benchmark_arg $ pairs_arg $ no_skip_arg $ profile_arg)
 
+(* Parse -> pretty-print round trip: the canonical form preserves
+   semantics exactly (explicit instruction ids, bit-exact float literals,
+   metadata directives), so formatting never changes a trace digest. *)
+let fmt_cmd =
+  let files_arg =
+    let doc = "The $(b,.mir) files to format." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let in_place_arg =
+    Arg.(value & flag & info [ "i"; "in-place" ] ~doc:"Rewrite files in place.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Don't write anything; exit non-zero if any file is not already \
+             in canonical form (use in CI).")
+  in
+  let run files in_place check =
+    let dirty = ref false in
+    List.iter
+      (fun file ->
+        let text = In_channel.with_open_text file In_channel.input_all in
+        match Mosaic_ir.Parse.mir ~path:file text with
+        | Error diags ->
+            dirty := true;
+            prerr_string (Mosaic_ir.Parse.render ~path:file ~source:text diags)
+        | Ok mir ->
+            let canonical = Mosaic_ir.Mir.to_string mir in
+            if check then begin
+              if canonical <> text then begin
+                dirty := true;
+                Printf.eprintf "%s: not in canonical form (run mosaicsim fmt)\n"
+                  file
+              end
+            end
+            else if in_place then begin
+              if canonical <> text then begin
+                Out_channel.with_open_bin file (fun oc ->
+                    Out_channel.output_string oc canonical);
+                Printf.printf "reformatted %s\n" file
+              end
+            end
+            else print_string canonical)
+      files;
+    if !dirty then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fmt"
+       ~doc:
+         "Validate and canonically format .mir workload files (parse, \
+          re-print; semantics and trace digests are unchanged)")
+    Term.(const run $ files_arg $ in_place_arg $ check_arg)
+
 let main =
   let doc = "MosaicSim: lightweight modular simulation of heterogeneous systems" in
   Cmd.group (Cmd.info "mosaicsim" ~version:"0.1.0" ~doc)
     [
       list_cmd; run_cmd; bench_cmd; profile_cmd; dump_cmd; trace_cmd;
       trace_stats_cmd; dse_cmd; dnn_cmd; asm_cmd; cc_cmd; dae_cmd;
-      characterize_cmd;
+      characterize_cmd; fmt_cmd;
     ]
 
 let () = exit (Cmd.eval main)

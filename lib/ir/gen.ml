@@ -1,0 +1,213 @@
+(* Random well-formed program generator for differential fuzzing.
+
+   Programs are built through [Builder] (so they are structurally valid by
+   construction), then checked with [Validate] as a belt-and-braces
+   assertion. Three properties are guaranteed so every generated case can
+   be traced and simulated safely:
+
+   - termination: the only loops are counted [for_] loops with constant
+     trip counts (<= 4) nested at most [max_depth] deep;
+   - memory safety: every address is [elem g (x land (elems-1))] with
+     power-of-two element counts, so indices stay in bounds;
+   - evaluation safety: [Eval] already guards zero divisors and masks
+     shift amounts, and unwritten registers/memory read as zero, so no
+     operand combination can crash the interpreter.
+
+   Immediates deliberately include the literals that are hardest to
+   round-trip through the textual syntax: NaN, infinities, [-0.0],
+   subnormal-ish magnitudes and both [Int64] extremes. *)
+
+module Rng = Mosaic_util.Rng
+
+type case = {
+  seed : int;
+  program : Program.t;
+  kernel : string;
+  args : Value.t list;
+  ntiles : int;
+}
+
+let int_imms =
+  [|
+    0L; 1L; -1L; 2L; 3L; 7L; 63L; 255L; 4096L; -37L;
+    Int64.max_int; Int64.min_int;
+  |]
+
+let float_imms =
+  [|
+    0.0; -0.0; 1.0; -1.0; 0.5; -2.75; 3.14159265358979312;
+    1e300; 1e-300; -6.25e-2;
+    Float.nan; Float.infinity; Float.neg_infinity;
+  |]
+
+type st = {
+  rng : Rng.t;
+  b : Builder.t;
+  globals : (Program.global * int) array;  (* global, index mask *)
+  mutable ints : Instr.operand list;  (* int-typed operand pool *)
+  mutable floats : Instr.operand list;  (* float-typed operand pool *)
+  mutable budget : int;  (* approximate instructions left to emit *)
+}
+
+let pick rng l = List.nth l (Rng.int rng (List.length l))
+let pick_int st = pick st.rng st.ints
+let pick_float st = pick st.rng st.floats
+let push_int st o = st.ints <- o :: st.ints
+let push_float st o = st.floats <- o :: st.floats
+
+(* In-bounds address of a random element of a random global. *)
+let address st =
+  let g, mask = st.globals.(Rng.int st.rng (Array.length st.globals)) in
+  let idx = Builder.and_ st.b (pick_int st) (Builder.imm mask) in
+  (Builder.elem st.b g idx, g)
+
+let ibinops =
+  [| Builder.add; Builder.sub; Builder.mul; Builder.sdiv; Builder.srem;
+     Builder.and_; Builder.or_; Builder.xor; Builder.shl; Builder.lshr;
+     Builder.ashr |]
+
+let fbinops = [| Builder.fadd; Builder.fsub; Builder.fmul; Builder.fdiv |]
+
+let preds = [| Op.Eq; Op.Ne; Op.Lt; Op.Le; Op.Gt; Op.Ge |]
+let math1s = [| Op.Sqrt; Op.Sin; Op.Cos; Op.Exp; Op.Log; Op.Fabs; Op.Floor |]
+let math2s = [| Op.Pow; Op.Atan2 |]
+let rmws = [| Op.Rmw_add; Op.Rmw_min; Op.Rmw_max; Op.Rmw_xchg |]
+
+let choose st a = a.(Rng.int st.rng (Array.length a))
+
+let max_depth = 3
+
+let rec stmt st ~depth =
+  st.budget <- st.budget - 1;
+  match Rng.int st.rng 14 with
+  | 0 | 1 ->
+      push_int st ((choose st ibinops) st.b (pick_int st) (pick_int st))
+  | 2 | 3 ->
+      push_float st ((choose st fbinops) st.b (pick_float st) (pick_float st))
+  | 4 ->
+      if Rng.bool st.rng then
+        push_int st
+          (Builder.icmp st.b (choose st preds) (pick_int st) (pick_int st))
+      else
+        push_int st
+          (Builder.fcmp st.b (choose st preds) (pick_float st) (pick_float st))
+  | 5 ->
+      let cond = Builder.icmp st.b Op.Ne (pick_int st) (Builder.imm 0) in
+      push_int st (Builder.select st.b cond (pick_int st) (pick_int st))
+  | 6 ->
+      if Rng.bool st.rng then push_float st (Builder.sitofp st.b (pick_int st))
+      else push_int st (Builder.fptosi st.b (pick_float st))
+  | 7 ->
+      if Rng.bool st.rng then
+        push_float st (Builder.math1 st.b (choose st math1s) (pick_float st))
+      else
+        push_float st
+          (Builder.math2 st.b (choose st math2s) (pick_float st)
+             (pick_float st))
+  | 8 ->
+      let addr, g = address st in
+      let v = Builder.load st.b ~size:g.Program.elem_size addr in
+      if Rng.bool st.rng then push_int st v else push_float st v
+  | 9 ->
+      let addr, g = address st in
+      let v = if Rng.bool st.rng then pick_int st else pick_float st in
+      Builder.store st.b ~size:g.Program.elem_size ~addr v
+  | 10 ->
+      let addr, g = address st in
+      push_int st
+        (Builder.atomic st.b (choose st rmws) ~size:g.Program.elem_size ~addr
+           (pick_int st))
+  | 11 when depth < max_depth ->
+      let cond =
+        Builder.icmp st.b (choose st preds) (pick_int st) (pick_int st)
+      in
+      let saved_i = st.ints and saved_f = st.floats in
+      if Rng.bool st.rng then
+        Builder.if_ st.b cond (fun () -> block st ~depth:(depth + 1))
+      else
+        Builder.if_else st.b cond
+          (fun () -> block st ~depth:(depth + 1))
+          (fun () -> block st ~depth:(depth + 1));
+      (* Operands defined under a branch may be skipped at runtime; keep
+         them out of the pools so later code never reads a maybe-unwritten
+         register. *)
+      st.ints <- saved_i;
+      st.floats <- saved_f
+  | 12 when depth < max_depth ->
+      let trip = 1 + Rng.int st.rng 4 in
+      let acc = Builder.var st.b (pick_int st) in
+      let saved_i = st.ints and saved_f = st.floats in
+      Builder.for_ st.b ~from:(Builder.imm 0) ~to_:(Builder.imm trip)
+        (fun i ->
+          push_int st i;
+          block st ~depth:(depth + 1);
+          Builder.assign st.b ~var:acc (Builder.add st.b acc (pick_int st)));
+      st.ints <- saved_i;
+      st.floats <- saved_f;
+      (* The accumulator register is written before the loop, so it is
+         safe to use afterwards. *)
+      push_int st acc
+  | _ ->
+      let v = Builder.var st.b (pick_int st) in
+      Builder.assign st.b ~var:v ((choose st ibinops) st.b v (pick_int st));
+      push_int st v
+
+and block st ~depth =
+  let n = 1 + Rng.int st.rng 3 in
+  for _ = 1 to n do
+    if st.budget > 0 then stmt st ~depth
+  done
+
+let generate ~seed ?(size = 40) () =
+  let rng = Rng.create seed in
+  let prog = Program.create () in
+  let nglobals = 1 + Rng.int rng 3 in
+  let globals =
+    Array.init nglobals (fun i ->
+        let elems = 8 lsl Rng.int rng 4 (* 8..64, power of two *) in
+        let elem_size = if Rng.bool rng then 4 else 8 in
+        let g =
+          Program.alloc prog (Printf.sprintf "g%d" i) ~elems ~elem_size
+        in
+        (g, elems - 1))
+  in
+  let nparams = Rng.int rng 3 in
+  let args =
+    List.init nparams (fun _ ->
+        if Rng.bool rng then Value.Int (Int64.of_int (Rng.int rng 1024))
+        else Value.of_float (Rng.unit_float rng))
+  in
+  let kernel = "fuzz" in
+  ignore
+    (Builder.define prog kernel ~nparams (fun b ->
+         let st =
+           {
+             rng;
+             b;
+             globals;
+             ints =
+               Builder.tid :: Builder.ntiles
+               :: List.init nparams (Builder.param b)
+               @ Array.to_list (Array.map (fun i -> Instr.Imm (Value.Int i)) int_imms);
+             floats =
+               Array.to_list
+                 (Array.map (fun f -> Instr.Imm (Value.of_float f)) float_imms);
+             budget = size;
+           }
+         in
+         while st.budget > 0 do
+           stmt st ~depth:0
+         done;
+         (* Make sure memory is always touched so cached-vs-uncached runs
+            exercise the trace store with a non-trivial footprint. *)
+         let addr, g = address st in
+         Builder.store st.b ~size:g.Program.elem_size ~addr (pick_int st);
+         Builder.ret b ()));
+  (match Validate.check_program prog with
+  | [] -> ()
+  | e :: _ ->
+      failwith
+        (Printf.sprintf "Gen.generate: seed %d produced invalid IR: %s: %s"
+           seed e.Validate.where e.Validate.what));
+  let ntiles = 1 + Rng.int rng 4 in
+  { seed; program = prog; kernel; args; ntiles }

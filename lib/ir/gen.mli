@@ -1,0 +1,21 @@
+(** Seeded random program generator for differential fuzzing.
+
+    [generate ~seed ()] produces a well-typed, validated program with a
+    single kernel that is guaranteed to terminate (counted loops only,
+    constant trip counts) and to stay inside its globals (power-of-two
+    masking of every index). Immediates include the adversarial literals
+    — NaN, infinities, [-0.0], [Int64.max_int]/[min_int] — that stress
+    the textual round-trip and the evaluator's guards.
+
+    The same seed always yields the same case, so a fuzz divergence is
+    reproducible from its seed alone. *)
+
+type case = {
+  seed : int;
+  program : Program.t;
+  kernel : string;  (** always defined in [program] *)
+  args : Value.t list;  (** matches the kernel's parameter count *)
+  ntiles : int;  (** suggested tile count, 1..4 *)
+}
+
+val generate : seed:int -> ?size:int -> unit -> case

@@ -11,7 +11,7 @@ let make ~id ~op ~args ~dst = { id; op; args; dst }
 
 let pp_operand ppf = function
   | Reg r -> Format.fprintf ppf "%%r%d" r
-  | Imm v -> Value.pp ppf v
+  | Imm v -> Value.pp_literal ppf v
   | Glob g -> Format.fprintf ppf "@%s" g
   | Tid -> Format.pp_print_string ppf "%tid"
   | Ntiles -> Format.pp_print_string ppf "%ntiles"

@@ -1,0 +1,96 @@
+(* Workload metadata carried by `.mir` files.
+
+   A bare program body (globals + kernels) is not a runnable workload: it
+   still needs a launch spec and datasets. `.mir` files carry those as
+   `;`-directive headers, parsed by [Parse] into the [meta] record here.
+   Dataset initializers name the seeded generators of
+   [Mosaic_workloads.Datasets] rather than inlining megabytes of values,
+   so a file stays small and its memory image stays bit-identical to the
+   builder-DSL twin that uses the same generator and seed. *)
+
+type dataset_field = Row_ptr | Cols | Values
+
+type init =
+  | Floats of { seed : int; offset : float }
+      (** uniform [0,1) floats, plus [offset] (the lbm "0.5 +." shift) *)
+  | Ints of { seed : int; bound : int }  (** uniform ints in [0, bound) *)
+  | Points of { seed : int }  (** x,y,z triples; elems must divide by 3 *)
+  | Const of Value.t  (** fill every element with one value *)
+  | Values of Value.t list  (** explicit leading elements *)
+  | Graph of { seed : int; n : int; degree : int; field : dataset_field }
+  | Bipartite of {
+      seed : int;
+      n_left : int;
+      n_right : int;
+      degree : int;
+      field : dataset_field;
+    }
+  | Sparse of {
+      seed : int;
+      rows : int;
+      cols : int;
+      per_row : int;
+      field : dataset_field;
+    }
+
+type launch = { kernel : string; args : Value.t list }
+
+type meta = {
+  workload : string option;
+  launch : launch option;
+  inits : (string * init) list;  (** global name -> initializer, in order *)
+  sets : (string * int * Value.t) list  (** point pokes: global, index, value *)
+}
+
+let empty = { workload = None; launch = None; inits = []; sets = [] }
+
+type t = { meta : meta; program : Program.t }
+
+let field_name = function
+  | Row_ptr -> "rowptr"
+  | Cols -> "cols"
+  | Values -> "values"
+
+let init_to_string = function
+  | Floats { seed; offset } ->
+      if offset = 0.0 then Printf.sprintf "floats seed=%d" seed
+      else Printf.sprintf "floats seed=%d offset=%s" seed (Value.float_literal offset)
+  | Ints { seed; bound } -> Printf.sprintf "ints seed=%d bound=%d" seed bound
+  | Points { seed } -> Printf.sprintf "points seed=%d" seed
+  | Const v -> Printf.sprintf "const %s" (Value.literal v)
+  | Values vs ->
+      "values " ^ String.concat " " (List.map Value.literal vs)
+  | Graph { seed; n; degree; field } ->
+      Printf.sprintf "graph.%s seed=%d n=%d degree=%d" (field_name field) seed
+        n degree
+  | Bipartite { seed; n_left; n_right; degree; field } ->
+      Printf.sprintf "bipartite.%s seed=%d left=%d right=%d degree=%d"
+        (field_name field) seed n_left n_right degree
+  | Sparse { seed; rows; cols; per_row; field } ->
+      Printf.sprintf "sparse.%s seed=%d rows=%d cols=%d per_row=%d"
+        (field_name field) seed rows cols per_row
+
+let pp_meta ppf m =
+  Option.iter (fun w -> Format.fprintf ppf "; workload: %s@." w) m.workload;
+  Option.iter
+    (fun { kernel; args } ->
+      Format.fprintf ppf "; launch: @%s(%s)@." kernel
+        (String.concat ", " (List.map Value.literal args)))
+    m.launch;
+  List.iter
+    (fun (g, init) ->
+      Format.fprintf ppf "; init: @%s %s@." g (init_to_string init))
+    m.inits;
+  List.iter
+    (fun (g, i, v) ->
+      Format.fprintf ppf "; set: @%s %d %s@." g i (Value.literal v))
+    m.sets
+
+(* The canonical serialized form `mosaicsim fmt` emits: directive headers,
+   then the program in the pretty-printer's surface syntax. *)
+let pp_file ppf { meta; program } =
+  pp_meta ppf meta;
+  if meta <> empty then Format.pp_print_newline ppf ();
+  Pretty.pp_program ppf program
+
+let to_string t = Format.asprintf "%a" pp_file t

@@ -1,0 +1,70 @@
+(** Workload metadata of `.mir` files.
+
+    A `.mir` file is a complete, runnable workload: a program body in the
+    {!Pretty} surface syntax plus `;`-directive headers giving it a name,
+    a kernel launch, and dataset initializers:
+
+    {v
+    ; workload: stream
+    ; launch: @stream(1024)
+    ; init: @data floats seed=59
+    global @data : 1024 x 8B at 0x1000
+    kernel @stream(params=1, regs=8) { ... }
+    v}
+
+    Initializers reference the seeded generators of
+    [Mosaic_workloads.Datasets] by name, so the post-setup memory image is
+    bit-identical to a builder-DSL workload using the same generator and
+    seed — which makes trace-store digests, and therefore simulated
+    cycles, bit-identical too. This module only defines and prints the
+    metadata; {!Parse} produces it and [Mosaic_workloads.Mir_workload]
+    applies it. *)
+
+type dataset_field = Row_ptr | Cols | Values
+
+type init =
+  | Floats of { seed : int; offset : float }
+  | Ints of { seed : int; bound : int }
+  | Points of { seed : int }
+  | Const of Value.t
+  | Values of Value.t list
+  | Graph of { seed : int; n : int; degree : int; field : dataset_field }
+  | Bipartite of {
+      seed : int;
+      n_left : int;
+      n_right : int;
+      degree : int;
+      field : dataset_field;
+    }
+  | Sparse of {
+      seed : int;
+      rows : int;
+      cols : int;
+      per_row : int;
+      field : dataset_field;
+    }
+
+type launch = { kernel : string; args : Value.t list }
+
+type meta = {
+  workload : string option;
+  launch : launch option;
+  inits : (string * init) list;
+  sets : (string * int * Value.t) list;
+}
+
+val empty : meta
+
+(** A parsed `.mir` file: metadata plus the validated program. *)
+type t = { meta : meta; program : Program.t }
+
+val init_to_string : init -> string
+
+val pp_meta : Format.formatter -> meta -> unit
+
+(** Canonical serialized form (directive headers, blank line, program
+    text); [Parse.mir] of this output reproduces [t] exactly, so it is the
+    formatter `mosaicsim fmt` emits. *)
+val pp_file : Format.formatter -> t -> unit
+
+val to_string : t -> string

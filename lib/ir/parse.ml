@@ -1,79 +1,167 @@
-exception Parse_error of { line : int; message : string }
+(* Located parser for the `.mir` surface syntax.
 
-let fail ~line fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+   Line-oriented, like the printer's output, but hardened into a real file
+   frontend: every token knows its line/column, errors are collected into
+   a recoverable diagnostic list instead of aborting at the first problem,
+   `;` comments and `; key: ...` metadata directives are understood, and
+   validation failures come back located at the offending kernel or
+   instruction rather than as a bare [Invalid_argument].
+
+   Instruction ids: the printer emits `[ 12]` prefixes recording each
+   instruction's function-wide id (builder emission order, which is not
+   block order). When a file carries them they are preserved — so
+   print -> parse is the identity on programs and trace-store digests
+   survive the round trip. Files written by hand can omit them; ids are
+   then assigned sequentially in block order. Mixing the two styles inside
+   one kernel is an error. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+type diagnostic = { line : int; col : int; len : int; message : string }
+
+(* Internal per-line abort: recorded and recovered from. *)
+exception Located of diagnostic
+
+let error ?(len = 1) ~line ~col fmt =
+  Format.kasprintf
+    (fun message -> raise (Located { line; col; len; message }))
+    fmt
+
+(* ---- rendering ---- *)
+
+let render_diagnostic ?path ~source d =
+  let buf = Buffer.create 256 in
+  let file = match path with Some p -> p | None -> "<input>" in
+  Buffer.add_string buf
+    (Printf.sprintf "%s:%d:%d: error: %s\n" file d.line d.col d.message);
+  let lines = String.split_on_char '\n' source in
+  (match List.nth_opt lines (d.line - 1) with
+  | Some text ->
+      let gutter = Printf.sprintf "%4d | " d.line in
+      Buffer.add_string buf gutter;
+      Buffer.add_string buf text;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf "     | ";
+      let col = min d.col (String.length text + 1) in
+      for i = 0 to col - 2 do
+        (* Keep tabs so the caret lines up under tab-indented sources. *)
+        Buffer.add_char buf (if i < String.length text && text.[i] = '\t' then '\t' else ' ')
+      done;
+      Buffer.add_char buf '^';
+      for _ = 2 to d.len do
+        Buffer.add_char buf '~'
+      done;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.contents buf
+
+let render ?path ~source diags =
+  String.concat "" (List.map (render_diagnostic ?path ~source) diags)
+
+(* ---- tokenizer ---- *)
+
+type tok = { text : string; col : int }
 
 let is_space c = c = ' ' || c = '\t' || c = '\r'
 
-(* Tokenize one line: words separated by spaces; '(' ')' ',' ':' are
-   separators too so headers split cleanly. *)
-let tokens line =
-  let n = String.length line in
+let is_punct c =
+  c = ':' || c = '=' || c = '{' || c = '}' || c = '[' || c = ']'
+
+(* Words separated by whitespace; '(' ')' ',' are silent separators so
+   headers and launch specs split cleanly; ':' '=' '{' '}' '[' ']' are
+   single-character tokens. [offset] shifts reported columns (directive
+   bodies are sub-strings of their line). *)
+let tokens ?(offset = 0) s =
+  let n = String.length s in
   let out = ref [] in
   let buf = Buffer.create 16 in
+  let start = ref 0 in
   let flush () =
     if Buffer.length buf > 0 then begin
-      out := Buffer.contents buf :: !out;
+      out := { text = Buffer.contents buf; col = offset + !start + 1 } :: !out;
       Buffer.clear buf
     end
   in
   for i = 0 to n - 1 do
-    let c = line.[i] in
+    let c = s.[i] in
     if is_space c || c = '(' || c = ')' || c = ',' then flush ()
-    else Buffer.add_char buf c
+    else if is_punct c then begin
+      flush ();
+      out := { text = String.make 1 c; col = offset + i + 1 } :: !out
+    end
+    else begin
+      if Buffer.length buf = 0 then start := i;
+      Buffer.add_char buf c
+    end
   done;
   flush ();
   List.rev !out
 
-let strip_brackets toks =
-  (* Drop the "[  12]" id prefix the printer emits: one token "[12]" or two
-     tokens "[" "12]" depending on padding. *)
-  match toks with
-  | t :: rest when String.length t > 0 && t.[0] = '[' ->
-      if String.length t > 1 && t.[String.length t - 1] = ']' then rest
-      else begin
-        match rest with
-        | t2 :: rest2
-          when String.length t2 > 0 && t2.[String.length t2 - 1] = ']' ->
-            rest2
-        | _ -> toks
-      end
-  | _ -> toks
+let cut_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
 
-let split_on_char_nonempty c s =
-  List.filter (fun x -> x <> "") (String.split_on_char c s)
+(* ---- leaf parsers ---- *)
 
-let parse_operand ~line tok =
+let int_of ~line (t : tok) =
+  match int_of_string_opt t.text with
+  | Some i -> i
+  | None ->
+      error ~line ~col:t.col ~len:(String.length t.text)
+        "expected an integer, got '%s'" t.text
+
+let value_of ~line (t : tok) =
+  match Int64.of_string_opt t.text with
+  | Some i -> Value.Int i
+  | None -> (
+      match float_of_string_opt t.text with
+      | Some f -> Value.of_float f
+      | None ->
+          error ~line ~col:t.col ~len:(String.length t.text)
+            "expected a literal, got '%s'" t.text)
+
+let glob_of ~line (t : tok) =
+  if String.length t.text > 1 && t.text.[0] = '@' then
+    String.sub t.text 1 (String.length t.text - 1)
+  else
+    error ~line ~col:t.col ~len:(String.length t.text)
+      "expected a global (@name), got '%s'" t.text
+
+let parse_operand ~line (t : tok) =
+  let tok = t.text in
+  let bad () =
+    error ~line ~col:t.col ~len:(String.length tok)
+      "bad operand '%s' (expected %%rN, @global, %%tid, %%ntiles or a \
+       literal)"
+      tok
+  in
   if tok = "%tid" then Instr.Tid
   else if tok = "%ntiles" then Instr.Ntiles
   else if tok = "true" then Instr.Imm (Value.of_bool true)
   else if tok = "false" then Instr.Imm (Value.of_bool false)
   else if String.length tok > 2 && tok.[0] = '%' && tok.[1] = 'r' then
     match int_of_string_opt (String.sub tok 2 (String.length tok - 2)) with
-    | Some r -> Instr.Reg r
-    | None -> fail ~line "bad register %s" tok
+    | Some r when r >= 0 -> Instr.Reg r
+    | _ -> bad ()
   else if String.length tok > 1 && tok.[0] = '@' then
     Instr.Glob (String.sub tok 1 (String.length tok - 1))
-  else if String.contains tok '.' || String.contains tok 'e' then
-    match float_of_string_opt tok with
-    | Some f -> Instr.Imm (Value.of_float f)
-    | None -> fail ~line "bad operand %s" tok
   else
     match Int64.of_string_opt tok with
     | Some i -> Instr.Imm (Value.Int i)
     | None -> (
         match float_of_string_opt tok with
         | Some f -> Instr.Imm (Value.of_float f)
-        | None -> fail ~line "bad operand %s" tok)
+        | None -> bad ())
 
-let pred_of ~line = function
+let pred_of ~line ~col = function
   | "eq" -> Op.Eq
   | "ne" -> Op.Ne
   | "lt" -> Op.Lt
   | "le" -> Op.Le
   | "gt" -> Op.Gt
   | "ge" -> Op.Ge
-  | p -> fail ~line "bad predicate %s" p
+  | p -> error ~line ~col "bad predicate '%s' (eq|ne|lt|le|gt|ge)" p
 
 let math_of = function
   | "sqrt" -> Some Op.Sqrt
@@ -87,25 +175,35 @@ let math_of = function
   | "atan2" -> Some Op.Atan2
   | _ -> None
 
-let rmw_of ~line = function
+let rmw_of ~line ~col = function
   | "add" -> Op.Rmw_add
   | "min" -> Op.Rmw_min
   | "max" -> Op.Rmw_max
   | "xchg" -> Op.Rmw_xchg
-  | r -> fail ~line "bad rmw %s" r
+  | r -> error ~line ~col "bad rmw kind '%s' (add|min|max|xchg)" r
 
-let int_of ~line s =
+let subint ~line ~col s =
   match int_of_string_opt s with
   | Some i -> i
-  | None -> fail ~line "expected integer, got %s" s
+  | None -> error ~line ~col "expected an integer, got '%s'" s
 
-let bb_of ~line tok =
-  if String.length tok > 2 && String.sub tok 0 2 = "bb" then
-    int_of ~line (String.sub tok 2 (String.length tok - 2))
-  else fail ~line "expected block label, got %s" tok
+let bb_of ~line (t : tok) =
+  if
+    String.length t.text > 2
+    && String.sub t.text 0 2 = "bb"
+    && int_of_string_opt (String.sub t.text 2 (String.length t.text - 2))
+       <> None
+  then int_of_string (String.sub t.text 2 (String.length t.text - 2))
+  else
+    error ~line ~col:t.col ~len:(String.length t.text)
+      "expected a block label (bbN), got '%s'" t.text
 
-let parse_op ~line mnemonic rest_tokens =
-  let parts = split_on_char_nonempty '.' mnemonic in
+let split_on_char_nonempty c s =
+  List.filter (fun x -> x <> "") (String.split_on_char c s)
+
+let parse_op ~line (m : tok) rest_tokens =
+  let col = m.col in
+  let parts = split_on_char_nonempty '.' m.text in
   match parts with
   | [ "add" ] -> Op.Binop Op.Add
   | [ "sub" ] -> Op.Binop Op.Sub
@@ -122,8 +220,8 @@ let parse_op ~line mnemonic rest_tokens =
   | [ "fsub" ] -> Op.Fbinop Op.Fsub
   | [ "fmul" ] -> Op.Fbinop Op.Fmul
   | [ "fdiv" ] -> Op.Fbinop Op.Fdiv
-  | [ "icmp"; p ] -> Op.Icmp (pred_of ~line p)
-  | [ "fcmp"; p ] -> Op.Fcmp (pred_of ~line p)
+  | [ "icmp"; p ] -> Op.Icmp (pred_of ~line ~col p)
+  | [ "fcmp"; p ] -> Op.Fcmp (pred_of ~line ~col p)
   | [ "select" ] -> Op.Select
   | [ "sitofp" ] -> Op.Cast Op.Sitofp
   | [ "fptosi" ] -> Op.Cast Op.Fptosi
@@ -132,55 +230,77 @@ let parse_op ~line mnemonic rest_tokens =
   | [ "call"; m ] -> (
       match math_of m with
       | Some m -> Op.Math m
-      | None -> fail ~line "unknown math call %s" m)
-  | [ "gep"; scale ] -> Op.Gep (int_of ~line scale)
-  | [ "load"; size ] -> Op.Load (int_of ~line size)
-  | [ "store"; size ] -> Op.Store (int_of ~line size)
+      | None -> error ~line ~col "unknown math call '%s'" m)
+  | [ "gep"; scale ] -> Op.Gep (subint ~line ~col scale)
+  | [ "load"; size ] -> Op.Load (subint ~line ~col size)
+  | [ "store"; size ] -> Op.Store (subint ~line ~col size)
   | [ "atomicrmw"; r; size ] ->
-      Op.Atomic_rmw (rmw_of ~line r, int_of ~line size)
-  | [ "send"; chan ] -> Op.Send (int_of ~line chan)
-  | [ "recv"; chan ] -> Op.Recv (int_of ~line chan)
+      Op.Atomic_rmw (rmw_of ~line ~col r, subint ~line ~col size)
+  | [ "send"; chan ] -> Op.Send (subint ~line ~col chan)
+  | [ "recv"; chan ] -> Op.Recv (subint ~line ~col chan)
   | [ "loadsend"; chan; size ] ->
-      Op.Load_send (int_of ~line chan, int_of ~line size)
+      Op.Load_send (subint ~line ~col chan, subint ~line ~col size)
   | [ "storerecv"; chan; size ] ->
-      Op.Store_recv (int_of ~line chan, int_of ~line size, None)
+      Op.Store_recv (subint ~line ~col chan, subint ~line ~col size, None)
   | [ "storerecv"; r; chan; size ] ->
-      Op.Store_recv (int_of ~line chan, int_of ~line size, Some (rmw_of ~line r))
+      Op.Store_recv
+        ( subint ~line ~col chan,
+          subint ~line ~col size,
+          Some (rmw_of ~line ~col r) )
   | [ "accel"; kind ] -> Op.Accel kind
   | [ "br" ] -> (
       match rest_tokens with
       | [ target ] -> Op.Br (bb_of ~line target)
-      | _ -> fail ~line "br expects one target")
+      | _ -> error ~line ~col "br expects exactly one target block"
+  )
   | [ "condbr" ] -> (
       (* printer order: condbr <taken> <not-taken> <cond> *)
       match rest_tokens with
       | [ t; e; _cond ] -> Op.Cond_br (bb_of ~line t, bb_of ~line e)
-      | _ -> fail ~line "condbr expects two targets and a condition")
+      | _ -> error ~line ~col "condbr expects two targets and a condition")
   | [ "ret" ] -> Op.Ret
   | _ -> (
-      match math_of mnemonic with
+      match math_of m.text with
       | Some m -> Op.Math m
-      | None -> fail ~line "unknown instruction %s" mnemonic)
+      | None ->
+          error ~line ~col ~len:(String.length m.text)
+            "unknown instruction '%s'" m.text)
 
 type raw_instr = {
   r_op : Op.t;
   r_args : Instr.operand list;
   r_dst : int option;
+  r_id : int option;  (** explicit [n] id prefix, when present *)
   r_line : int;
+  r_col : int;
 }
 
 let parse_instr ~line toks =
-  let dst, toks =
+  (* Optional explicit id: "[" n "]" *)
+  let r_id, toks =
     match toks with
-    | d :: "=" :: rest
-      when String.length d > 2 && d.[0] = '%' && d.[1] = 'r' -> (
-        match int_of_string_opt (String.sub d 2 (String.length d - 2)) with
-        | Some r -> (Some r, rest)
-        | None -> fail ~line "bad destination %s" d)
+    | { text = "["; _ } :: n :: { text = "]"; _ } :: rest ->
+        (Some (int_of ~line n), rest)
+    | { text = "["; col; _ } :: _ ->
+        error ~line ~col "malformed instruction id (expected [N])"
+    | _ -> (None, toks)
+  in
+  let r_dst, toks =
+    match toks with
+    | d :: { text = "="; _ } :: rest
+      when String.length d.text > 2 && d.text.[0] = '%' && d.text.[1] = 'r'
+      -> (
+        match
+          int_of_string_opt (String.sub d.text 2 (String.length d.text - 2))
+        with
+        | Some r when r >= 0 -> (Some r, rest)
+        | _ ->
+            error ~line ~col:d.col ~len:(String.length d.text)
+              "bad destination register '%s'" d.text)
     | _ -> (None, toks)
   in
   match toks with
-  | [] -> fail ~line "empty instruction"
+  | [] -> error ~line ~col:1 "empty instruction"
   | mnemonic :: args ->
       let op = parse_op ~line mnemonic args in
       let operands =
@@ -189,34 +309,379 @@ let parse_instr ~line toks =
         | Op.Cond_br _ -> (
             match List.rev args with
             | cond :: _ -> [ parse_operand ~line cond ]
-            | [] -> fail ~line "condbr expects a condition")
+            | [] ->
+                error ~line ~col:mnemonic.col "condbr expects a condition")
         | _ -> List.map (parse_operand ~line) args
       in
-      { r_op = op; r_args = operands; r_dst = dst; r_line = line }
+      { r_op = op; r_args = operands; r_dst; r_id; r_line = line;
+        r_col = mnemonic.col }
 
-let build_func ~name ~nparams body_blocks =
-  (* body_blocks: (bid, raw_instr list) in order. *)
+(* ---- directives ---- *)
+
+(* A line whose first non-blank char is ';' is a comment, unless the first
+   word is a known directive key followed by ':'. Unknown keys stay
+   comments, so prose headers never clash with the directive namespace. *)
+let directive_keys = [ "workload"; "launch"; "init"; "set" ]
+
+let directive line_text =
+  let n = String.length line_text in
+  let i = ref 0 in
+  while !i < n && is_space line_text.[!i] do incr i done;
+  if !i >= n || line_text.[!i] <> ';' then None
+  else begin
+    let j = ref (!i + 1) in
+    while !j < n && is_space line_text.[!j] do incr j done;
+    let k = ref !j in
+    while
+      !k < n && (line_text.[!k] = '-' ||
+                 (line_text.[!k] >= 'a' && line_text.[!k] <= 'z'))
+    do incr k done;
+    let key = String.sub line_text !j (!k - !j) in
+    let k2 = ref !k in
+    while !k2 < n && is_space line_text.[!k2] do incr k2 done;
+    if !k2 < n && line_text.[!k2] = ':' && List.mem key directive_keys then
+      Some (key, !j + 1, String.sub line_text (!k2 + 1) (n - !k2 - 1), !k2 + 1)
+    else None
+  end
+
+(* key=value tails: ident '=' value triples. *)
+let rec kv_list ~line = function
+  | [] -> []
+  | k :: { text = "="; _ } :: v :: rest -> (k, v) :: kv_list ~line rest
+  | (t : tok) :: _ ->
+      error ~line ~col:t.col ~len:(String.length t.text)
+        "expected key=value, got '%s'" t.text
+
+let kv_int ~line ~col kvs key =
+  match List.find_opt (fun ((k : tok), _) -> k.text = key) kvs with
+  | Some (_, v) -> int_of ~line v
+  | None -> error ~line ~col "missing %s=N" key
+
+let kv_int_opt ~line kvs key =
+  Option.map
+    (fun (_, v) -> int_of ~line v)
+    (List.find_opt (fun ((k : tok), _) -> k.text = key) kvs)
+
+let kv_float_opt ~line kvs key =
+  Option.map
+    (fun (_, (v : tok)) ->
+      match float_of_string_opt v.text with
+      | Some f -> f
+      | None ->
+          error ~line ~col:v.col ~len:(String.length v.text)
+            "expected a float, got '%s'" v.text)
+    (List.find_opt (fun ((k : tok), _) -> k.text = key) kvs)
+
+let check_kv_keys ~line kvs allowed =
+  List.iter
+    (fun ((k : tok), _) ->
+      if not (List.mem k.text allowed) then
+        error ~line ~col:k.col ~len:(String.length k.text)
+          "unknown key '%s' (expected one of: %s)" k.text
+          (String.concat ", " allowed))
+    kvs
+
+let dataset_field ~line ~col = function
+  | "rowptr" -> Mir.Row_ptr
+  | "cols" -> Mir.Cols
+  | "values" -> Mir.Values
+  | f -> error ~line ~col "unknown dataset field '%s' (rowptr|cols|values)" f
+
+let parse_init_spec ~line (spec : tok) rest =
+  let col = spec.col in
+  (* const/values take raw literals; everything else takes key=value. *)
+  let kvs = lazy (kv_list ~line rest) in
+  match split_on_char_nonempty '.' spec.text with
+  | [ "floats" ] ->
+      check_kv_keys ~line (Lazy.force kvs) [ "seed"; "offset" ];
+      Mir.Floats
+        {
+          seed = kv_int ~line ~col (Lazy.force kvs) "seed";
+          offset = Option.value ~default:0.0 (kv_float_opt ~line (Lazy.force kvs) "offset");
+        }
+  | [ "ints" ] ->
+      check_kv_keys ~line (Lazy.force kvs) [ "seed"; "bound" ];
+      Mir.Ints
+        {
+          seed = kv_int ~line ~col (Lazy.force kvs) "seed";
+          bound = kv_int ~line ~col (Lazy.force kvs) "bound";
+        }
+  | [ "points" ] ->
+      check_kv_keys ~line (Lazy.force kvs) [ "seed" ];
+      Mir.Points { seed = kv_int ~line ~col (Lazy.force kvs) "seed" }
+  | [ "const" ] -> (
+      match rest with
+      | [ v ] -> Mir.Const (value_of ~line v)
+      | _ -> error ~line ~col "const expects exactly one value")
+  | [ "values" ] ->
+      if rest = [] then error ~line ~col "values expects at least one value";
+      Mir.Values (List.map (value_of ~line) rest)
+  | [ "graph"; f ] ->
+      check_kv_keys ~line (Lazy.force kvs) [ "seed"; "n"; "degree" ];
+      Mir.Graph
+        {
+          seed = kv_int ~line ~col (Lazy.force kvs) "seed";
+          n = kv_int ~line ~col (Lazy.force kvs) "n";
+          degree = kv_int ~line ~col (Lazy.force kvs) "degree";
+          field = dataset_field ~line ~col f;
+        }
+  | [ "bipartite"; f ] ->
+      check_kv_keys ~line (Lazy.force kvs) [ "seed"; "left"; "right"; "degree" ];
+      Mir.Bipartite
+        {
+          seed = kv_int ~line ~col (Lazy.force kvs) "seed";
+          n_left = kv_int ~line ~col (Lazy.force kvs) "left";
+          n_right = kv_int ~line ~col (Lazy.force kvs) "right";
+          degree = kv_int ~line ~col (Lazy.force kvs) "degree";
+          field = dataset_field ~line ~col f;
+        }
+  | [ "sparse"; f ] ->
+      check_kv_keys ~line (Lazy.force kvs) [ "seed"; "rows"; "cols"; "per_row" ];
+      Mir.Sparse
+        {
+          seed = kv_int ~line ~col (Lazy.force kvs) "seed";
+          rows = kv_int ~line ~col (Lazy.force kvs) "rows";
+          cols = kv_int ~line ~col (Lazy.force kvs) "cols";
+          per_row = kv_int ~line ~col (Lazy.force kvs) "per_row";
+          field = dataset_field ~line ~col f;
+        }
+  | _ ->
+      error ~line ~col ~len:(String.length spec.text)
+        "unknown initializer '%s' (floats|ints|points|const|values|graph.*|\
+         bipartite.*|sparse.*)"
+        spec.text
+
+(* ---- line classification ---- *)
+
+type line_kind =
+  | L_workload of string
+  | L_launch of Mir.launch
+  | L_init of { glob : string; col : int; init : Mir.init }
+  | L_set of { glob : string; col : int; index : int; value : Value.t }
+  | L_global of { name : string; elems : int; elem_size : int }
+  | L_kernel of { name : string; nparams : int; nregs : int option }
+  | L_label of int
+  | L_close
+  | L_instr of raw_instr
+  | L_blank
+
+let classify_directive ~line key off rest col0 =
+  let toks = tokens ~offset:off rest in
+  match key with
+  | "workload" -> (
+      match toks with
+      | [ t ] -> L_workload t.text
+      | _ -> error ~line ~col:col0 "workload directive expects a single name")
+  | "launch" -> (
+      match toks with
+      | k :: args when String.length k.text > 1 && k.text.[0] = '@' ->
+          L_launch
+            {
+              Mir.kernel = String.sub k.text 1 (String.length k.text - 1);
+              args = List.map (value_of ~line) args;
+            }
+      | _ ->
+          error ~line ~col:col0
+            "launch directive expects @kernel(arg, ...)")
+  | "init" -> (
+      match toks with
+      | g :: spec :: rest ->
+          L_init
+            {
+              glob = glob_of ~line g;
+              col = g.col;
+              init = parse_init_spec ~line spec rest;
+            }
+      | _ -> error ~line ~col:col0 "init directive expects @global <spec>")
+  | "set" -> (
+      match toks with
+      | [ g; i; v ] ->
+          L_set
+            {
+              glob = glob_of ~line g;
+              col = g.col;
+              index = int_of ~line i;
+              value = value_of ~line v;
+            }
+      | _ -> error ~line ~col:col0 "set directive expects @global <index> <value>")
+  | _ -> assert false
+
+let is_label (t : tok) =
+  String.length t.text > 2
+  && String.sub t.text 0 2 = "bb"
+  && int_of_string_opt (String.sub t.text 2 (String.length t.text - 2)) <> None
+
+let classify_line ~line raw =
+  match directive raw with
+  | Some (key, key_col, rest, off) ->
+      classify_directive ~line key off rest key_col
+  | None -> (
+      let toks = tokens (cut_comment raw) in
+      match toks with
+      | [] -> L_blank
+      | { text = "global"; _ } :: g :: rest ->
+          let name = glob_of ~line g in
+          let rest =
+            match rest with { text = ":"; _ } :: r -> r | r -> r
+          in
+          (match rest with
+          | elems :: { text = "x"; _ } :: size :: _ ->
+              let elem_size =
+                let s = size.text in
+                if String.length s > 1 && s.[String.length s - 1] = 'B' then
+                  subint ~line ~col:size.col (String.sub s 0 (String.length s - 1))
+                else subint ~line ~col:size.col s
+              in
+              L_global { name; elems = int_of ~line elems; elem_size }
+          | _ ->
+              error ~line ~col:g.col
+                "malformed global (expected: global @name : N x SB)")
+      | { text = "kernel"; col } :: g :: rest ->
+          let name = glob_of ~line g in
+          let rest =
+            List.filter (fun t -> t.text <> "{") rest
+          in
+          let kvs = kv_list ~line rest in
+          check_kv_keys ~line kvs [ "params"; "regs" ];
+          (match kv_int_opt ~line kvs "params" with
+          | Some nparams ->
+              L_kernel { name; nparams; nregs = kv_int_opt ~line kvs "regs" }
+          | None -> error ~line ~col "kernel header missing params=N")
+      | [ l; { text = ":"; _ } ] when is_label l ->
+          L_label (int_of_string (String.sub l.text 2 (String.length l.text - 2)))
+      | [ { text = "}"; _ } ] -> L_close
+      | _ -> L_instr (parse_instr ~line toks))
+
+(* ---- function assembly ---- *)
+
+(* Maps the validator's "<func>/bbN[k]" location strings back to source
+   lines, so validation failures surface as located diagnostics. *)
+type line_map = (string, int) Hashtbl.t
+
+let build_func ~push_error ~(where_lines : line_map) ~header_line ~name
+    ~nparams ~nregs_decl body_blocks =
+  (* body_blocks: (bid, label_line, raw_instr list) in appearance order. *)
+  let ok = ref true in
+  let explicit = ref 0 and implicit = ref 0 and total = ref 0 in
+  List.iter
+    (fun (_, _, raws) ->
+      List.iter
+        (fun r ->
+          incr total;
+          match r.r_id with
+          | Some _ -> incr explicit
+          | None -> incr implicit)
+        raws)
+    body_blocks;
+  if !explicit > 0 && !implicit > 0 then begin
+    ok := false;
+    push_error
+      {
+        line = header_line;
+        col = 1;
+        len = 1;
+        message =
+          Printf.sprintf
+            "kernel @%s mixes explicit [N] instruction ids with bare \
+             instructions; use one style throughout"
+            name;
+      }
+  end;
+  let use_explicit = !explicit > 0 && !implicit = 0 in
+  if use_explicit then begin
+    (* Explicit ids must be a permutation of 0..n-1: Func.make indexes an
+       array by id, and dependence analysis relies on density. *)
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun (_, _, raws) ->
+        List.iter
+          (fun r ->
+            match r.r_id with
+            | Some id ->
+                if id < 0 || id >= !total then begin
+                  ok := false;
+                  push_error
+                    {
+                      line = r.r_line;
+                      col = r.r_col;
+                      len = 1;
+                      message =
+                        Printf.sprintf
+                          "instruction id %d out of range (kernel @%s has %d \
+                           instructions)"
+                          id name !total;
+                    }
+                end
+                else if Hashtbl.mem seen id then begin
+                  ok := false;
+                  push_error
+                    {
+                      line = r.r_line;
+                      col = r.r_col;
+                      len = 1;
+                      message =
+                        Printf.sprintf "duplicate instruction id %d in kernel @%s"
+                          id name;
+                    }
+                end
+                else Hashtbl.replace seen id ()
+            | None -> ())
+          raws)
+      body_blocks
+  end;
   let next_id = ref 0 in
   let nregs = ref nparams in
   let note_reg r = if r + 1 > !nregs then nregs := r + 1 in
   let blocks =
-    List.map
-      (fun (bid, raws) ->
+    List.mapi
+      (fun bi (bid, label_line, raws) ->
+        Hashtbl.replace where_lines
+          (Printf.sprintf "%s/bb%d" name bi)
+          label_line;
         let instrs =
-          List.map
-            (fun r ->
+          List.mapi
+            (fun k r ->
+              Hashtbl.replace where_lines
+                (Printf.sprintf "%s/bb%d[%d]" name bi k)
+                r.r_line;
               (match r.r_dst with Some d -> note_reg d | None -> ());
               List.iter
                 (function Instr.Reg x -> note_reg x | _ -> ())
                 r.r_args;
               (match (Op.has_result r.r_op, r.r_dst) with
               | true, None ->
-                  fail ~line:r.r_line "instruction needs a destination"
+                  ok := false;
+                  push_error
+                    {
+                      line = r.r_line;
+                      col = r.r_col;
+                      len = 1;
+                      message =
+                        Format.asprintf
+                          "'%a' produces a result and needs a destination \
+                           (%%rN = ...)"
+                          Op.pp r.r_op;
+                    }
               | false, Some _ ->
-                  fail ~line:r.r_line "instruction takes no destination"
+                  ok := false;
+                  push_error
+                    {
+                      line = r.r_line;
+                      col = r.r_col;
+                      len = 1;
+                      message =
+                        Format.asprintf "'%a' takes no destination register"
+                          Op.pp r.r_op;
+                    }
               | _ -> ());
-              let id = !next_id in
-              incr next_id;
+              let id =
+                if use_explicit then Option.value ~default:0 r.r_id
+                else begin
+                  let id = !next_id in
+                  incr next_id;
+                  id
+                end
+              in
               Instr.make ~id ~op:r.r_op ~args:(Array.of_list r.r_args)
                 ~dst:r.r_dst)
             raws
@@ -224,96 +689,269 @@ let build_func ~name ~nparams body_blocks =
         { Func.bid; instrs = Array.of_list instrs })
       body_blocks
   in
-  Func.make ~name ~nparams ~nregs:!nregs ~blocks:(Array.of_list blocks)
+  if !ok then begin
+    let nregs =
+      match nregs_decl with Some d -> Stdlib.max d !nregs | None -> !nregs
+    in
+    Hashtbl.replace where_lines name header_line;
+    Some (Func.make ~name ~nparams ~nregs ~blocks:(Array.of_list blocks))
+  end
+  else None
 
-type line_kind =
-  | L_global of string * int * int
-  | L_kernel of string * int
-  | L_label of int
-  | L_close
-  | L_instr of raw_instr
-  | L_blank
+(* ---- whole-file parsing ---- *)
 
-let classify_line ~line s =
-  let toks = strip_brackets (tokens s) in
-  match toks with
-  | [] -> L_blank
-  | "global" :: g :: ":" :: elems :: "x" :: size :: _
-    when String.length g > 1 && g.[0] = '@' ->
-      let size =
-        (* "4B" *)
-        if String.length size > 1 && size.[String.length size - 1] = 'B' then
-          int_of ~line (String.sub size 0 (String.length size - 1))
-        else int_of ~line size
-      in
-      L_global (String.sub g 1 (String.length g - 1), int_of ~line elems, size)
-  | "kernel" :: k :: rest when String.length k > 1 && k.[0] = '@' -> (
-      let nparams =
-        List.find_map
-          (fun t ->
-            match String.split_on_char '=' t with
-            | [ "params"; v ] -> int_of_string_opt v
-            | _ -> None)
-          rest
-      in
-      match nparams with
-      | Some n -> L_kernel (String.sub k 1 (String.length k - 1), n)
-      | None -> fail ~line "kernel header missing params=N")
-  | [ "}" ] -> L_close
-  | [ label ]
-    when String.length label > 3
-         && String.sub label 0 2 = "bb"
-         && label.[String.length label - 1] = ':' ->
-      L_label (int_of ~line (String.sub label 2 (String.length label - 3)))
-  | _ -> L_instr (parse_instr ~line toks)
+type kernel_state = {
+  k_name : string;
+  k_nparams : int;
+  k_nregs : int option;
+  k_header_line : int;
+  k_bad : bool;  (* header failed to parse; body is checked but discarded *)
+  mutable k_blocks : (int * int * raw_instr list ref) list;  (* reversed *)
+}
 
-let program text =
+let mir ?path:_ text =
+  let errors = ref [] in
+  let push_error d = errors := d :: !errors in
   let prog = Program.create () in
-  let lines = String.split_on_char '\n' text in
+  let where_lines : line_map = Hashtbl.create 256 in
+  let workload = ref None in
+  let launch = ref None in
+  (* directives kept with their source locations for the meta checks *)
+  let inits = ref [] and sets = ref [] in
   let state = ref `Top in
+  let funcs = ref [] in
+  let lines = String.split_on_char '\n' text in
+  let close_kernel ks =
+    if not ks.k_bad then begin
+      let body =
+        List.rev_map (fun (bid, l, is) -> (bid, l, List.rev !is)) ks.k_blocks
+      in
+      match
+        build_func ~push_error ~where_lines ~header_line:ks.k_header_line
+          ~name:ks.k_name ~nparams:ks.k_nparams ~nregs_decl:ks.k_nregs body
+      with
+      | Some f -> funcs := (f, ks.k_header_line) :: !funcs
+      | None -> ()
+    end
+  in
   List.iteri
     (fun idx raw_line ->
       let line = idx + 1 in
-      match classify_line ~line raw_line with
-      | L_blank -> ()
-      | L_global (name, elems, elem_size) ->
-          if !state <> `Top then fail ~line "global inside kernel";
-          ignore (Program.alloc prog name ~elems ~elem_size)
-      | L_kernel (name, nparams) ->
-          if !state <> `Top then fail ~line "nested kernel";
-          state := `In_kernel (name, nparams, ref [])
-      | L_label bid -> (
-          match !state with
-          | `In_kernel (_, _, blocks) -> blocks := (bid, ref []) :: !blocks
-          | `Top -> fail ~line "label outside kernel")
-      | L_instr raw -> (
-          match !state with
-          | `In_kernel (_, _, blocks) -> (
-              match !blocks with
-              | (_, instrs) :: _ -> instrs := raw :: !instrs
-              | [] -> fail ~line "instruction before first block label")
-          | `Top -> fail ~line "instruction outside kernel")
-      | L_close -> (
-          match !state with
-          | `In_kernel (name, nparams, blocks) ->
-              let body =
-                List.rev_map (fun (bid, is) -> (bid, List.rev !is)) !blocks
-              in
-              Program.add_func prog (build_func ~name ~nparams body);
-              state := `Top
-          | `Top -> fail ~line "unmatched }"))
+      try
+        match classify_line ~line raw_line with
+        | L_blank -> ()
+        | L_workload w -> (
+            match !workload with
+            | None -> workload := Some w
+            | Some _ -> error ~line ~col:1 "duplicate workload directive")
+        | L_launch l -> (
+            match !launch with
+            | None -> launch := Some (l, line)
+            | Some _ -> error ~line ~col:1 "duplicate launch directive")
+        | L_init { glob; col; init } -> inits := (glob, init, line, col) :: !inits
+        | L_set { glob; col; index; value } ->
+            sets := (glob, index, value, line, col) :: !sets
+        | L_global { name; elems; elem_size } ->
+            if !state <> `Top then
+              error ~line ~col:1 "global declared inside a kernel";
+            (try ignore (Program.alloc prog name ~elems ~elem_size)
+             with Invalid_argument m -> error ~line ~col:1 "%s" m)
+        | L_kernel { name; nparams; nregs } ->
+            (match !state with
+            | `Top -> ()
+            | `In_kernel _ ->
+                error ~line ~col:1
+                  "nested kernel (missing '}' before kernel @%s?)" name);
+            state :=
+              `In_kernel
+                {
+                  k_name = name;
+                  k_nparams = nparams;
+                  k_nregs = nregs;
+                  k_header_line = line;
+                  k_bad = false;
+                  k_blocks = [];
+                }
+        | L_label bid -> (
+            match !state with
+            | `In_kernel ks -> ks.k_blocks <- (bid, line, ref []) :: ks.k_blocks
+            | `Top -> error ~line ~col:1 "block label outside a kernel")
+        | L_instr raw -> (
+            match !state with
+            | `In_kernel ks -> (
+                match ks.k_blocks with
+                | (_, _, instrs) :: _ -> instrs := raw :: !instrs
+                | [] ->
+                    error ~line ~col:raw.r_col
+                      "instruction before the first block label")
+            | `Top -> error ~line ~col:raw.r_col "instruction outside a kernel")
+        | L_close -> (
+            match !state with
+            | `In_kernel ks ->
+                close_kernel ks;
+                state := `Top
+            | `Top -> error ~line ~col:1 "unmatched '}'")
+      with Located d -> push_error d)
     lines;
   (match !state with
-  | `In_kernel (name, _, _) ->
-      fail ~line:(List.length lines) "kernel %s not closed" name
+  | `In_kernel ks ->
+      push_error
+        {
+          line = List.length lines;
+          col = 1;
+          len = 1;
+          message =
+            Printf.sprintf "kernel @%s is never closed (missing '}')"
+              ks.k_name;
+        }
   | `Top -> ());
-  (match Validate.check_program prog with
-  | [] -> ()
-  | errs ->
-      invalid_arg
-        (String.concat "\n"
-           (List.map (fun e -> Format.asprintf "%a" Validate.pp_error e) errs)));
-  prog
+  List.iter
+    (fun (f, header_line) ->
+      try Program.add_func prog f
+      with Invalid_argument m ->
+        push_error { line = header_line; col = 1; len = 1; message = m })
+    (List.rev !funcs);
+  (* Validation and metadata cross-checks only make sense on a program that
+     assembled cleanly. *)
+  if !errors = [] then begin
+    List.iter
+      (fun (e : Validate.error) ->
+        let line =
+          match Hashtbl.find_opt where_lines e.Validate.where with
+          | Some l -> l
+          | None -> (
+              (* "<func>[id]" (unresolved-global errors) falls back to the
+                 kernel header. *)
+              match String.index_opt e.Validate.where '[' with
+              | Some i -> (
+                  match
+                    Hashtbl.find_opt where_lines
+                      (String.sub e.Validate.where 0 i)
+                  with
+                  | Some l -> l
+                  | None -> 1)
+              | None -> 1)
+        in
+        push_error
+          {
+            line;
+            col = 1;
+            len = 1;
+            message =
+              Printf.sprintf "invalid IR at %s: %s" e.Validate.where
+                e.Validate.what;
+          })
+      (Validate.check_program prog);
+    List.iter
+      (fun (glob, _, line, col) ->
+        if Program.find_global prog glob = None then
+          push_error
+            {
+              line;
+              col;
+              len = String.length glob + 1;
+              message = Printf.sprintf "init of unknown global @%s" glob;
+            })
+      (List.rev !inits);
+    List.iter
+      (fun (glob, index, _, line, col) ->
+        match Program.find_global prog glob with
+        | None ->
+            push_error
+              {
+                line;
+                col;
+                len = String.length glob + 1;
+                message = Printf.sprintf "set of unknown global @%s" glob;
+              }
+        | Some g ->
+            if index < 0 || index >= g.Program.elems then
+              push_error
+                {
+                  line;
+                  col;
+                  len = String.length glob + 1;
+                  message =
+                    Printf.sprintf
+                      "set index %d out of range for @%s (%d elements)" index
+                      glob g.Program.elems;
+                })
+      (List.rev !sets);
+    (* one init per global *)
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (glob, _, line, col) ->
+        if Hashtbl.mem seen glob then
+          push_error
+            {
+              line;
+              col;
+              len = String.length glob + 1;
+              message = Printf.sprintf "duplicate init for global @%s" glob;
+            }
+        else Hashtbl.replace seen glob ())
+      (List.rev !inits);
+    (match !launch with
+    | Some ({ Mir.kernel; args }, line) -> (
+        match Program.find_func prog kernel with
+        | None ->
+            push_error
+              {
+                line;
+                col = 1;
+                len = 1;
+                message = Printf.sprintf "launch of unknown kernel @%s" kernel;
+              }
+        | Some f ->
+            if List.length args <> f.Func.nparams then
+              push_error
+                {
+                  line;
+                  col = 1;
+                  len = 1;
+                  message =
+                    Printf.sprintf
+                      "launch passes %d argument(s) but kernel @%s takes %d"
+                      (List.length args) kernel f.Func.nparams;
+                })
+    | None -> ())
+  end;
+  let dedup ds =
+    (* The validator can report the same defect once per operand use; exact
+       duplicates add no information. *)
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun d ->
+        if Hashtbl.mem seen d then false
+        else begin
+          Hashtbl.add seen d ();
+          true
+        end)
+      ds
+  in
+  match dedup (List.rev !errors) with
+  | [] ->
+      Ok
+        {
+          Mir.meta =
+            {
+              Mir.workload = !workload;
+              launch = Option.map fst !launch;
+              inits = List.rev_map (fun (g, i, _, _) -> (g, i)) !inits;
+              sets = List.rev_map (fun (g, i, v, _, _) -> (g, i, v)) !sets;
+            };
+          program = prog;
+        }
+  | diags -> Error diags
+
+let mir_exn ?path text =
+  match mir ?path text with
+  | Ok m -> m
+  | Error (d :: _) ->
+      raise (Parse_error { line = d.line; col = d.col; message = d.message })
+  | Error [] -> assert false
+
+let program text = (mir_exn text).Mir.program
 
 let kernel prog text =
   let sub = program text in

@@ -1,31 +1,53 @@
-(** Textual IR parser — the assembler counterpart of {!Pretty}.
+(** Parser for the `.mir` surface syntax (the {!Pretty} output format,
+    plus comments and workload-metadata directives).
 
-    Accepts exactly the surface syntax the pretty-printer emits (instruction
-    id brackets are ignored), so programs round-trip:
+    The grammar is line-oriented:
 
-    {v
-    global @data : 16 x 4B at 0x1000
-    kernel @saxpy(params=1, regs=6) {
-    bb0:
-      [  0] %r1 = gep.4 @data %r0
-      [  1] %r2 = load.4 %r1
-      [  2] %r3 = fmul %r2 2
-      [  3] store.4 %r1 %r3
-      [  4] ret
-    }
-    v}
+    - [; ...] — comment, unless the first word is a directive key
+      ([workload:], [launch:], [init:], [set:]; see {!Mir});
+    - [global @name : N x SB at 0xADDR] — global declaration (the [at]
+      clause is ignored: bases are reassigned deterministically);
+    - [kernel @name(params=N, regs=M) {] ... [}] — kernel definition;
+    - [bbN:] — basic-block label;
+    - [[ 12] %r3 = add %r1 %r2] — instruction, with an optional explicit
+      [[id]] prefix as emitted by the printer. Explicit ids are preserved
+      (they must form a dense permutation per kernel); files without them
+      get sequential ids. Mixing styles in one kernel is an error.
 
-    Useful for writing kernels as text, for golden tests, and for shipping
-    reproducible kernels without OCaml code. *)
+    Parse errors carry a 1-based line/column. [mir] collects every
+    diagnostic it can recover to — including IR validation failures,
+    located at the offending kernel or instruction — instead of stopping
+    at the first. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
 
-(** Parse a whole program (globals and kernels). Global base addresses in
-    the input are ignored; globals are re-allocated in order of
-    appearance. The result is validated; [Parse_error] is raised on
-    syntactic problems, [Invalid_argument] on validation failures. *)
+(** A located parse or validation failure. [len] is the width of the
+    offending token (>= 1), used for caret underlining. *)
+type diagnostic = { line : int; col : int; len : int; message : string }
+
+(** Parse a complete `.mir` file: metadata directives plus program body.
+    The result's program is validated; on any failure returns every
+    diagnostic collected, in source order. [path] is only used in
+    rendered messages. *)
+val mir : ?path:string -> string -> (Mir.t, diagnostic list) result
+
+(** Like {!mir} but raises {!Parse_error} with the first diagnostic. *)
+val mir_exn : ?path:string -> string -> Mir.t
+
+(** Parse a program body (metadata directives are allowed and checked, but
+    discarded). Raises {!Parse_error} on the first failure — including
+    validation failures, which earlier versions leaked as
+    [Invalid_argument]. *)
 val program : string -> Program.t
 
-(** Parse a single kernel body given an existing program (for resolving
-    globals). The function is registered in [prog]. *)
+(** [kernel prog text] parses [text] (which must define exactly one
+    kernel, possibly referencing globals already allocated in [prog]),
+    adds it to [prog] and returns it. *)
 val kernel : Program.t -> string -> Func.t
+
+(** Render one diagnostic human-readably: a [file:line:col: error: ...]
+    header, the offending source line, and a caret marking the column. *)
+val render_diagnostic : ?path:string -> source:string -> diagnostic -> string
+
+(** {!render_diagnostic} over a list, concatenated. *)
+val render : ?path:string -> source:string -> diagnostic list -> string

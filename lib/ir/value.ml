@@ -27,3 +27,24 @@ let pp ppf = function
   | Float f -> Format.fprintf ppf "%g" f
 
 let to_string v = Format.asprintf "%a" pp v
+
+(* A float literal must survive print -> parse -> print byte-identically:
+   it has to read back as the same bits AND keep a marker ('.', 'e', "nan",
+   "inf") so the parser classifies it as a float, never an int. "%g" is
+   tried first for readability and upgraded to "%.17g" (always exact for
+   binary64) when it loses bits. *)
+let float_literal f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else
+    let exact s = Int64.bits_of_float (float_of_string s) = Int64.bits_of_float f in
+    let short = Printf.sprintf "%g" f in
+    let s = if exact short then short else Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let literal = function
+  | Int i -> Int64.to_string i
+  | Float f -> float_literal f
+
+let pp_literal ppf v = Format.pp_print_string ppf (literal v)

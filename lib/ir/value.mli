@@ -23,3 +23,16 @@ val to_bool : t -> bool
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Source-form literal for the textual IR. Unlike {!pp} (display-oriented,
+    lossy for floats), [literal] round-trips: parsing the string yields the
+    same constructor and the same bits. Floats always carry a float marker
+    (['.'], ['e'], ["nan"], ["inf"]) so the parser cannot mistake them for
+    integers; [-0.0] prints as ["-0.0"], not ["0"]. *)
+val literal : t -> string
+
+(** [literal] specialized to floats; shortest decimal form whose bits
+    round-trip exactly. *)
+val float_literal : float -> string
+
+val pp_literal : Format.formatter -> t -> unit

@@ -1,0 +1,171 @@
+(* `.mir` files as runnable workload instances.
+
+   Bridges the textual frontend to the Runner flow: the file's directive
+   headers name the kernel launch and the seeded dataset generators, and
+   this module applies them so a `.mir` port of a builder-DSL workload
+   produces the exact same post-setup memory image — and therefore the
+   same trace-store digest and the same simulated cycles. *)
+
+module Ir = Mosaic_ir
+module Interp = Mosaic_trace.Interp
+
+let fill_floats inst (g : Ir.Program.global) a ~offset =
+  if Array.length a <> g.elems then
+    failwith
+      (Printf.sprintf "init @%s: generator yields %d values, global has %d"
+         g.gname (Array.length a) g.elems);
+  Array.iteri
+    (fun i x -> Interp.poke_global inst g i (Ir.Value.of_float (x +. offset)))
+    a
+
+let fill_ints inst (g : Ir.Program.global) a =
+  if Array.length a <> g.elems then
+    failwith
+      (Printf.sprintf "init @%s: generator yields %d values, global has %d"
+         g.gname (Array.length a) g.elems);
+  Array.iteri (fun i x -> Interp.poke_global inst g i (Ir.Value.of_int x)) a
+
+let csr_field (csr : Datasets.csr) = function
+  | Ir.Mir.Row_ptr -> csr.row_ptr
+  | Ir.Mir.Cols -> csr.cols
+  | Ir.Mir.Values -> failwith "graph/bipartite datasets have no values field"
+
+let apply_init inst (g : Ir.Program.global) (init : Ir.Mir.init) =
+  match init with
+  | Floats { seed; offset } ->
+      fill_floats inst g (Datasets.random_floats ~seed g.elems) ~offset
+  | Ints { seed; bound } ->
+      fill_ints inst g (Datasets.random_ints ~seed ~bound g.elems)
+  | Points { seed } ->
+      if g.elems mod 3 <> 0 then
+        failwith
+          (Printf.sprintf
+             "init @%s: points needs a multiple-of-3 element count, got %d"
+             g.gname g.elems);
+      fill_floats inst g (Datasets.random_points ~seed (g.elems / 3)) ~offset:0.0
+  | Const v ->
+      for i = 0 to g.elems - 1 do
+        Interp.poke_global inst g i v
+      done
+  | Values vs ->
+      if List.length vs > g.elems then
+        failwith
+          (Printf.sprintf "init @%s: %d values but only %d elements" g.gname
+             (List.length vs) g.elems);
+      List.iteri (fun i v -> Interp.poke_global inst g i v) vs
+  | Graph { seed; n; degree; field } ->
+      fill_ints inst g
+        (csr_field (Datasets.random_graph ~seed ~n ~degree) field)
+  | Bipartite { seed; n_left; n_right; degree; field } ->
+      fill_ints inst g
+        (csr_field (Datasets.random_bipartite ~seed ~n_left ~n_right ~degree)
+           field)
+  | Sparse { seed; rows; cols; per_row; field } -> (
+      let s = Datasets.random_sparse ~seed ~rows ~cols ~per_row in
+      match field with
+      | Values ->
+          fill_floats inst g s.values ~offset:0.0
+      | (Row_ptr | Cols) as f -> fill_ints inst g (csr_field s.shape f))
+
+let global_exn prog name =
+  match Ir.Program.find_global prog name with
+  | Some g -> g
+  | None -> failwith (Printf.sprintf "unknown global @%s" name)
+
+let setup_of_meta prog (meta : Ir.Mir.meta) inst =
+  List.iter
+    (fun (gname, init) -> apply_init inst (global_exn prog gname) init)
+    meta.inits;
+  List.iter
+    (fun (gname, i, v) -> Interp.poke_global inst (global_exn prog gname) i v)
+    meta.sets
+
+let launch_of prog (meta : Ir.Mir.meta) ~what =
+  match meta.launch with
+  | Some l -> l
+  | None -> (
+      match Ir.Program.funcs prog with
+      | [ f ] when f.Ir.Func.nparams = 0 ->
+          { Ir.Mir.kernel = f.Ir.Func.name; args = [] }
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "%s: no '; launch:' directive and no unique parameterless \
+                kernel to default to"
+               what))
+
+let of_mir ?name (mir : Ir.Mir.t) =
+  let what =
+    match (name, mir.meta.workload) with
+    | Some n, _ | None, Some n -> n
+    | None, None -> "mir"
+  in
+  let launch = launch_of mir.program mir.meta ~what in
+  {
+    Runner.name = what;
+    program = mir.program;
+    kernel = launch.kernel;
+    args = launch.args;
+    setup = setup_of_meta mir.program mir.meta;
+    check = (fun _ -> true);
+  }
+
+let of_source ?path text =
+  match Ir.Parse.mir ?path text with
+  | Ok mir ->
+      let name =
+        match (mir.meta.workload, path) with
+        | Some _, _ -> None
+        | None, Some p -> Some Filename.(remove_extension (basename p))
+        | None, None -> None
+      in
+      of_mir ?name mir
+  | Error diags ->
+      failwith (Ir.Parse.render ?path ~source:text diags)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file path = of_source ~path (read_file path)
+
+(* ---- corpus discovery ----
+
+   The corpus lives in `corpus/` at the repo root. Tests and tools run
+   from `_build/...`, so walk upwards from the working directory until a
+   `corpus/` with `.mir` files appears. *)
+
+let is_corpus_dir d =
+  Sys.file_exists d && Sys.is_directory d
+  && Array.exists (fun f -> Filename.check_suffix f ".mir") (Sys.readdir d)
+
+let corpus_dir () =
+  let rec search dir depth =
+    if depth > 8 then None
+    else
+      let cand = Filename.concat dir "corpus" in
+      if is_corpus_dir cand then Some cand
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else search parent (depth + 1)
+  in
+  search (Sys.getcwd ()) 0
+
+let corpus_dir_exn () =
+  match corpus_dir () with
+  | Some d -> d
+  | None -> failwith "corpus/ directory not found above the working directory"
+
+let corpus_names () =
+  let d = corpus_dir_exn () in
+  Sys.readdir d |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mir")
+  |> List.map Filename.remove_extension
+  |> List.sort compare
+
+let corpus_path name =
+  Filename.concat (corpus_dir_exn ()) (name ^ ".mir")
+
+let load_corpus name = load_file (corpus_path name)

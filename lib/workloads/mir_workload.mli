@@ -1,0 +1,35 @@
+(** `.mir` files as runnable workload instances.
+
+    Turns a parsed {!Mosaic_ir.Mir.t} into a {!Runner.t}: the launch
+    directive picks the kernel and arguments, and init/set directives
+    become the dataset [setup], applied through the same seeded
+    {!Datasets} generators the builder-DSL workloads use — so a faithful
+    `.mir` port has a bit-identical post-setup memory image, trace-store
+    digest, and cycle count to its OCaml twin. *)
+
+(** Build an instance from parsed metadata + program. [name] overrides
+    the `; workload:` directive. Without a `; launch:` directive the
+    program must contain exactly one parameterless kernel. Raises
+    [Failure] on inconsistent metadata (unknown globals, generator/size
+    mismatches, missing launch). *)
+val of_mir : ?name:string -> Mosaic_ir.Mir.t -> Runner.t
+
+(** Parse source text and build the instance. Raises [Failure] carrying
+    rendered diagnostics on parse errors. *)
+val of_source : ?path:string -> string -> Runner.t
+
+val load_file : string -> Runner.t
+
+(** {1 Corpus}
+
+    The repo ships reference workloads in `corpus/*.mir`; these locate it
+    by walking up from the current directory (tests run under `_build`). *)
+
+val corpus_dir : unit -> string option
+val corpus_dir_exn : unit -> string
+val corpus_names : unit -> string list
+
+(** [corpus_path name] is the path of `corpus/<name>.mir`. *)
+val corpus_path : string -> string
+
+val load_corpus : string -> Runner.t

@@ -1,0 +1,375 @@
+(* Tests for the `.mir` workload frontend: corpus files parse, format to a
+   fixpoint, and — for the ported benchmarks — are bit-identical twins of
+   their builder-DSL originals (same program text, same post-setup memory
+   image, same trace-store digest, same simulated cycles). Plus the
+   generator round-trip oracle and golden parse-error diagnostics. *)
+
+open Mosaic_ir
+module Soc = Mosaic.Soc
+module TC = Mosaic_tile.Tile_config
+module Interp = Mosaic_trace.Interp
+module Store = Mosaic_trace.Store
+module W = Mosaic_workloads
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* The corpus workloads ported from builder-DSL twins by tools/gen_corpus;
+   the rest (gep_chain, atomic_storm, branch_maze) are hand-written shapes
+   with no Registry counterpart. *)
+let ported =
+  [
+    "bfs"; "cutcp"; "histo"; "lbm"; "mri-gridding"; "mri-q"; "sad"; "sgemm";
+    "spmv"; "stencil"; "ewsd";
+  ]
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_exn ?path text =
+  match Parse.mir ?path text with
+  | Ok m -> m
+  | Error ds ->
+      Alcotest.failf "unexpected parse errors:\n%s"
+        (Parse.render ?path ~source:text ds)
+
+(* Post-setup memory image of an instance, the thing the trace digest (and
+   the interpreter) actually consumes. Compared with [compare] = 0, not
+   [=]: datasets contain floats and polymorphic [=] is NaN-hostile. *)
+let memory_image (inst : W.Runner.t) =
+  let it =
+    Interp.create inst.W.Runner.program ~kernel:inst.W.Runner.kernel ~ntiles:1
+      ~args:inst.W.Runner.args
+  in
+  inst.W.Runner.setup it;
+  Interp.memory_contents it
+
+let digest_of (inst : W.Runner.t) =
+  Store.workload_digest ~program:inst.W.Runner.program ~label:"twin-test"
+    ~tiles:[| (inst.W.Runner.kernel, inst.W.Runner.args) |]
+    ~mem:(memory_image inst)
+
+let cycles_of (inst : W.Runner.t) =
+  let trace = W.Runner.trace inst ~ntiles:1 in
+  let r =
+    Soc.run_homogeneous Mosaic.Presets.dae_soc ~program:inst.W.Runner.program
+      ~trace ~tile_config:TC.out_of_order
+  in
+  r.Soc.cycles
+
+(* Every corpus file parses clean, validates, and builds a runnable
+   instance; the canonical form is a formatting fixpoint. *)
+let test_corpus_parses_and_fmt_fixpoint () =
+  let names = W.Mir_workload.corpus_names () in
+  checkb "corpus discovered" true (List.length names >= 14);
+  List.iter
+    (fun name ->
+      let path = W.Mir_workload.corpus_path name in
+      let text = read_file path in
+      let m = parse_exn ~path text in
+      ignore (W.Mir_workload.of_mir m);
+      let canon = Mir.to_string m in
+      let canon2 = Mir.to_string (parse_exn ~path:(name ^ "#canon") canon) in
+      checks (name ^ ": fmt is a fixpoint") canon canon2)
+    names
+
+(* Ported corpus files are exact twins of their Registry instances: same
+   program print, same memory image, same store digest. *)
+let test_corpus_twins_identical () =
+  List.iter
+    (fun name ->
+      let mir = W.Mir_workload.load_corpus name in
+      let twin = W.Registry.instance name in
+      checks
+        (name ^ ": program text")
+        (Format.asprintf "%a" Pretty.pp_program twin.W.Runner.program)
+        (Format.asprintf "%a" Pretty.pp_program mir.W.Runner.program);
+      checks (name ^ ": kernel") twin.W.Runner.kernel mir.W.Runner.kernel;
+      checkb
+        (name ^ ": launch args")
+        true
+        (compare twin.W.Runner.args mir.W.Runner.args = 0);
+      checkb
+        (name ^ ": memory image")
+        true
+        (compare (memory_image twin) (memory_image mir) = 0);
+      checks (name ^ ": store digest") (digest_of twin) (digest_of mir))
+    ported
+
+(* And the end-to-end regression: running the `.mir` file through the SoC
+   gives bit-identical cycles to the builder twin. Two benchmarks keep the
+   test quick; digest equality above covers the rest (same digest = same
+   trace = same simulation input). *)
+let test_corpus_cycles_match_twin () =
+  List.iter
+    (fun name ->
+      let mir = W.Mir_workload.load_corpus name in
+      let twin = W.Registry.instance name in
+      checki (name ^ ": cycles") (cycles_of twin) (cycles_of mir))
+    [ "sgemm"; "histo" ]
+
+(* The hand-written shapes (no builder twin) must still run, and must obey
+   the skip/no-skip differential like any other workload. *)
+let test_new_shapes_run () =
+  List.iter
+    (fun name ->
+      let inst = W.Mir_workload.load_corpus name in
+      let trace = W.Runner.trace inst ~ntiles:1 in
+      let run cfg =
+        Soc.run_homogeneous cfg ~program:inst.W.Runner.program ~trace
+          ~tile_config:TC.out_of_order
+      in
+      let skip = run Mosaic.Presets.dae_soc in
+      let naive =
+        run { Mosaic.Presets.dae_soc with Soc.cycle_skip = false }
+      in
+      checkb (name ^ ": ran") true (skip.Soc.cycles > 0);
+      checki (name ^ ": skip differential") naive.Soc.cycles skip.Soc.cycles)
+    [ "gep_chain"; "atomic_storm"; "branch_maze" ]
+
+(* Directive headers land in the parsed metadata verbatim. *)
+let test_metadata_parsed () =
+  let text =
+    {|; workload: demo
+; a prose comment that is not a directive
+; launch: @k(3, 2.5)
+; init: @xs floats seed=7 offset=0.5
+; init: @ys ints seed=9 bound=100
+; set: @xs 2 -1
+
+global @xs 8 x 8B
+global @ys 8 x 8B
+kernel @k(params=2) {
+bb0:
+  ret
+}
+|}
+  in
+  let m = parse_exn text in
+  checkb "workload name" true (m.Mir.meta.Mir.workload = Some "demo");
+  (match m.Mir.meta.Mir.launch with
+  | Some { Mir.kernel; args } ->
+      checks "launch kernel" "k" kernel;
+      checkb "launch args" true
+        (compare args [ Value.of_int 3; Value.of_float 2.5 ] = 0)
+  | None -> Alcotest.fail "launch directive missing");
+  checki "inits" 2 (List.length m.Mir.meta.Mir.inits);
+  (match List.assoc_opt "xs" m.Mir.meta.Mir.inits with
+  | Some (Mir.Floats { seed; offset }) ->
+      checki "floats seed" 7 seed;
+      checkb "floats offset" true (offset = 0.5)
+  | _ -> Alcotest.fail "xs init should be floats");
+  (match m.Mir.meta.Mir.sets with
+  | [ ("xs", 2, v) ] -> checkb "set value" true (Value.to_int v = -1)
+  | _ -> Alcotest.fail "expected one set directive");
+  ignore (W.Mir_workload.of_mir m)
+
+(* Metadata referencing missing globals / out-of-range indices is caught
+   at parse time, as located diagnostics. *)
+let test_metadata_cross_checks () =
+  let expect_error text needle =
+    match Parse.mir text with
+    | Ok _ -> Alcotest.failf "expected error mentioning %S" needle
+    | Error ds ->
+        let rendered = Parse.render ~source:text ds in
+        checkb
+          (Printf.sprintf "diagnostic mentions %S" needle)
+          true
+          (contains ~needle rendered)
+  in
+  let body = "global @xs 4 x 8B\nkernel @k(params=0) {\nbb0:\n  ret\n}\n" in
+  expect_error ("; init: @nope floats seed=1\n" ^ body) "unknown global";
+  expect_error ("; set: @xs 9 0\n" ^ body) "out of range";
+  expect_error ("; launch: @ghost()\n" ^ body) "ghost"
+
+(* Golden parse-error corpus: malformed inputs must render exactly the
+   diagnostics recorded in the .expected files (line, column, caret). *)
+let test_golden_parse_errors () =
+  let dir = Filename.concat "golden" "parse_errors" in
+  let inputs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mir")
+    |> List.sort String.compare
+  in
+  checkb "golden inputs present" true (List.length inputs >= 8);
+  List.iter
+    (fun f ->
+      let text = read_file (Filename.concat dir f) in
+      let expected =
+        read_file (Filename.concat dir (Filename.remove_extension f ^ ".expected"))
+      in
+      match Parse.mir ~path:f text with
+      | Ok _ -> Alcotest.failf "%s: expected parse errors, got none" f
+      | Error ds ->
+          checks (f ^ ": diagnostics") expected
+            (Parse.render ~path:f ~source:text ds))
+    inputs
+
+(* A malformed kernel must not mask later errors: the parser recovers and
+   reports every defective line. *)
+let test_error_recovery_collects_all () =
+  let text = "kernel @k(params=0) {\nbb0:\n  frobnicate\n  bogus2\n  ret\n}\n" in
+  match Parse.mir text with
+  | Ok _ -> Alcotest.fail "expected errors"
+  | Error ds ->
+      checki "both bad lines reported" 2 (List.length ds);
+      (match ds with
+      | [ d1; d2 ] ->
+          checki "first line" 3 d1.Parse.line;
+          checki "first col" 3 d1.Parse.col;
+          checki "second line" 4 d2.Parse.line
+      | _ -> ())
+
+(* Validation failures (not syntax) surface as located Parse_errors too —
+   previously they escaped as bare Invalid_argument. *)
+let test_validation_failures_are_located () =
+  let check_located text ~line =
+    (try ignore (Parse.program text) ; Alcotest.fail "expected Parse_error"
+     with Parse.Parse_error { line = l; _ } -> checki "error line" line l);
+    match Parse.mir text with
+    | Ok _ -> Alcotest.fail "expected Error"
+    | Error (d :: _) -> checki "diagnostic line" line d.Parse.line
+    | Error [] -> Alcotest.fail "empty diagnostics"
+  in
+  (* Unterminated block: validation flags the fall-through add. *)
+  check_located "kernel @k(params=0, regs=2) {\nbb0:\n  %r0 = add 1 2\n}\n"
+    ~line:3;
+  (* Branch to a block that does not exist. *)
+  check_located "kernel @k(params=0) {\nbb0:\n  br bb7\n}\n" ~line:3
+
+let test_empty_basic_block_rejected () =
+  let text = "kernel @k(params=0) {\nbb0:\nbb1:\n  ret\n}\n" in
+  match Parse.mir text with
+  | Ok _ -> Alcotest.fail "empty block should be an error"
+  | Error (d :: _) -> checki "points at the empty label" 2 d.Parse.line
+  | Error [] -> Alcotest.fail "empty diagnostics"
+
+(* Explicit instruction ids must be all-or-nothing within a kernel. *)
+let test_mixed_ids_rejected () =
+  let text =
+    "kernel @k(params=0, regs=1) {\nbb0:\n  [  0] %r0 = add 1 2\n  ret\n}\n"
+  in
+  match Parse.mir text with
+  | Ok _ -> Alcotest.fail "mixed explicit/implicit ids should be an error"
+  | Error (d :: _) ->
+      checkb "message says ids are mixed" true
+        (contains ~needle:"mixes" d.Parse.message)
+  | Error [] -> Alcotest.fail "empty diagnostics"
+
+(* Adversarial literals survive print -> parse byte-exactly: NaN, signed
+   zero, infinities, max-width ints. *)
+let test_adversarial_literal_round_trip () =
+  let module B = Builder in
+  let p = Program.create () in
+  let xs = Program.alloc p "xs" ~elems:8 ~elem_size:8 in
+  let _ =
+    B.define p "lits" ~nparams:0 (fun b ->
+        let stash v = B.store b ~size:8 ~addr:(B.elem b xs (B.imm 0)) v in
+        List.iter
+          (fun f -> stash (B.fadd b (B.fimm f) (B.fimm (-0.0))))
+          [ nan; -0.0; 0.0; infinity; neg_infinity; 1e300; 4e-324 ];
+        stash (B.imm max_int);
+        stash (B.imm min_int);
+        B.ret b ())
+  in
+  let printed = Format.asprintf "%a" Pretty.pp_program p in
+  let printed2 =
+    Format.asprintf "%a" Pretty.pp_program (Parse.program printed)
+  in
+  checks "adversarial literals print-parse-print identity" printed printed2
+
+(* qcheck oracle: for any generated program, print -> parse -> print is
+   the identity (explicit ids make the very first print the fixpoint). *)
+let prop_gen_round_trip =
+  QCheck.Test.make ~name:"generated programs round-trip byte-identically"
+    ~count:50
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let case = Mosaic_ir.Gen.generate ~seed () in
+      let printed =
+        Format.asprintf "%a" Pretty.pp_program case.Mosaic_ir.Gen.program
+      in
+      let printed2 =
+        Format.asprintf "%a" Pretty.pp_program (Parse.program printed)
+      in
+      if printed <> printed2 then
+        QCheck.Test.fail_reportf "seed %d: round trip diverged" seed;
+      true)
+
+(* Mini differential smoke: generated programs agree on cycles and profile
+   attribution across skip/no-skip (the full 3-oracle run lives in
+   tools/fuzz_differential; CI runs it at --count 50). *)
+let test_gen_differential_smoke () =
+  for seed = 1 to 4 do
+    let case = Mosaic_ir.Gen.generate ~seed ~size:25 () in
+    let it =
+      Interp.create case.Mosaic_ir.Gen.program
+        ~kernel:case.Mosaic_ir.Gen.kernel
+        ~ntiles:case.Mosaic_ir.Gen.ntiles ~args:case.Mosaic_ir.Gen.args
+    in
+    let trace = Interp.run it in
+    let run cfg =
+      Soc.run_homogeneous cfg ~profile:true
+        ~program:case.Mosaic_ir.Gen.program ~trace
+        ~tile_config:TC.out_of_order
+    in
+    let skip = run Mosaic.Presets.dae_soc in
+    let naive = run { Mosaic.Presets.dae_soc with Soc.cycle_skip = false } in
+    let tag = Printf.sprintf "gen seed %d" seed in
+    checki (tag ^ ": cycles") naive.Soc.cycles skip.Soc.cycles;
+    checki (tag ^ ": instrs") naive.Soc.instrs skip.Soc.instrs;
+    Array.iteri
+      (fun i p ->
+        checki
+          (Printf.sprintf "%s: tile %d attribution" tag i)
+          skip.Soc.cycles
+          (Mosaic_tile.Profile.total p);
+        checki
+          (Printf.sprintf "%s: tile %d attribution (naive)" tag i)
+          naive.Soc.cycles
+          (Mosaic_tile.Profile.total naive.Soc.profiles.(i)))
+      skip.Soc.profiles
+  done
+
+let suite =
+  [
+    ( "ir.mir",
+      [
+        Alcotest.test_case "corpus parses; fmt fixpoint" `Quick
+          test_corpus_parses_and_fmt_fixpoint;
+        Alcotest.test_case "ported corpus = builder twins" `Quick
+          test_corpus_twins_identical;
+        Alcotest.test_case "corpus cycles match twins" `Quick
+          test_corpus_cycles_match_twin;
+        Alcotest.test_case "hand-written shapes run" `Quick
+          test_new_shapes_run;
+        Alcotest.test_case "metadata directives parsed" `Quick
+          test_metadata_parsed;
+        Alcotest.test_case "metadata cross-checks" `Quick
+          test_metadata_cross_checks;
+        Alcotest.test_case "golden parse errors" `Quick
+          test_golden_parse_errors;
+        Alcotest.test_case "error recovery collects all" `Quick
+          test_error_recovery_collects_all;
+        Alcotest.test_case "validation failures located" `Quick
+          test_validation_failures_are_located;
+        Alcotest.test_case "empty basic block rejected" `Quick
+          test_empty_basic_block_rejected;
+        Alcotest.test_case "mixed instruction ids rejected" `Quick
+          test_mixed_ids_rejected;
+        Alcotest.test_case "adversarial literal round trip" `Quick
+          test_adversarial_literal_round_trip;
+        QCheck_alcotest.to_alcotest prop_gen_round_trip;
+        Alcotest.test_case "generated differential smoke" `Quick
+          test_gen_differential_smoke;
+      ] );
+  ]

@@ -56,16 +56,13 @@ let test_round_trip_builder_program () =
                   (B.fmul b x (B.fimm 2.0))));
         B.ret b ())
   in
-  (* The parser renumbers instruction ids in block order, so the fixpoint
-     starts after one trip: print(parse(x)) is stable from then on. *)
+  (* The printer emits explicit instruction ids and the parser preserves
+     them, so print(parse(x)) is the identity on printed programs. *)
   let printed = Format.asprintf "%a" Pretty.pp_program p in
   let printed2 =
     Format.asprintf "%a" Pretty.pp_program (Parse.program printed)
   in
-  let printed3 =
-    Format.asprintf "%a" Pretty.pp_program (Parse.program printed2)
-  in
-  checks "print-parse-print fixpoint" printed2 printed3
+  checks "print-parse-print identity" printed printed2
 
 let test_round_trip_comm_ops () =
   let p = Program.create () in
@@ -84,17 +81,16 @@ let test_round_trip_comm_ops () =
   let printed2 =
     Format.asprintf "%a" Pretty.pp_program (Parse.program printed)
   in
-  let printed3 =
-    Format.asprintf "%a" Pretty.pp_program (Parse.program printed2)
-  in
-  checks "comm ops round trip" printed2 printed3
+  checks "comm ops round trip" printed printed2
 
 let test_parse_errors () =
+  (* Every failure mode — lexical, structural, or validation — must
+     surface as a located Parse_error, never a bare Invalid_argument. *)
   let expect_fail text =
     try
       ignore (Parse.program text);
       false
-    with Parse.Parse_error _ | Invalid_argument _ -> true
+    with Parse.Parse_error _ -> true
   in
   checkb "unknown op" true
     (expect_fail "kernel @k(params=0, regs=1) {\nbb0:\n  frobnicate\n  ret\n}");
@@ -113,7 +109,44 @@ let test_parse_error_reports_line () =
   try
     ignore
       (Parse.program "kernel @k(params=0, regs=1) {\nbb0:\n  frobnicate\n}")
-  with Parse.Parse_error { line; _ } -> checki "line number" 3 line
+  with Parse.Parse_error { line; col; _ } ->
+    checki "line number" 3 line;
+    checki "column" 3 col
+
+(* The surface syntax is forgiving: comments anywhere, flexible
+   whitespace/commas, directive headers, and launch arguments. *)
+let test_surface_syntax () =
+  let text =
+    {|; workload: surface
+; launch: @scale(3)
+
+; data lives at a fixed base address
+global @data : 16 x 4B at 0x1000
+
+kernel @scale( params = 1 , regs = 4 ) {
+bb0:   ; entry block
+  %r1 = gep.4 @data, %r0   ; commas optional
+  %r2 = load.4 %r1
+  %r3 = fmul %r2, 2.0
+  store.4 %r1 %r3
+  ret
+}
+|}
+  in
+  let m = Parse.mir_exn text in
+  checkb "workload" true (m.Mir.meta.Mir.workload = Some "surface");
+  (match m.Mir.meta.Mir.launch with
+  | Some { Mir.kernel; args } ->
+      checks "launch kernel" "scale" kernel;
+      checkb "launch arg" true (compare args [ Value.of_int 3 ] = 0)
+  | None -> Alcotest.fail "missing launch");
+  let f = Program.func_exn m.Mir.program "scale" in
+  checki "instructions survive comments" 5 f.Func.ninstrs;
+  (* Comment-laden source still parses to the same canonical program as
+     the comment-free original. *)
+  checks "comments do not change the program"
+    (Format.asprintf "%a" Pretty.pp_program (Parse.program saxpy_text))
+    (Format.asprintf "%a" Pretty.pp_program m.Mir.program)
 
 let test_round_trip_workload () =
   (* A real workload survives the trip and still validates. *)
@@ -141,6 +174,7 @@ let suite =
         Alcotest.test_case "comm ops round trip" `Quick test_round_trip_comm_ops;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
         Alcotest.test_case "error line numbers" `Quick test_parse_error_reports_line;
+        Alcotest.test_case "surface syntax" `Quick test_surface_syntax;
         Alcotest.test_case "workload round trip" `Quick test_round_trip_workload;
       ] );
   ]

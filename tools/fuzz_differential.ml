@@ -1,0 +1,147 @@
+(* Differential fuzzer over generated IR programs.
+
+   Each case is a random, validated, terminating program from
+   [Mosaic_ir.Gen]. Its trace is fed through three differential oracles
+   that the simulator promises hold for *every* program, not just the
+   curated workloads:
+
+   1. skip-vs-noskip  — cycle skipping is an optimization, not a model
+      change: cycles, instrs and memory-system counters bit-identical.
+   2. profiled-vs-plain — the profiler only observes: cycles identical,
+      and every tile's stall attribution sums exactly to the cycle count
+      under both schedulers.
+   3. cached-vs-uncached — a trace-store round trip (save, decode) is
+      exact: the reloaded trace is structurally equal and simulates to
+      the same cycle count.
+
+   Any divergence prints the case's seed (which fully determines it) and
+   exits non-zero.
+
+   Usage: fuzz_differential [--seed N] [--count N] [--size N] [--quiet] *)
+
+module Ir = Mosaic_ir
+module Interp = Mosaic_trace.Interp
+module Trace = Mosaic_trace.Trace
+module Store = Mosaic_trace.Store
+module Soc = Mosaic.Soc
+module TC = Mosaic_tile.Tile_config
+module Profile = Mosaic_tile.Profile
+
+let fail case fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "FAIL seed %d: %s\n%!" case.Ir.Gen.seed msg;
+      exit 1)
+    fmt
+
+let check case what expected got =
+  if expected <> got then
+    fail case "%s differs: expected %d, got %d" what expected got
+
+let tile_config_for i = if i mod 2 = 0 then TC.out_of_order else TC.in_order
+
+let run_case ~quiet ~size i base_seed =
+  let seed = base_seed + i in
+  let case = Ir.Gen.generate ~seed ~size () in
+  let trace =
+    Interp.run
+      (Interp.create case.program ~kernel:case.kernel ~ntiles:case.ntiles
+         ~args:case.args)
+  in
+  let tile_config = tile_config_for i in
+  let run ?(profile = false) cycle_skip =
+    Soc.run_homogeneous ~profile
+      { Soc.default_config with Soc.cycle_skip }
+      ~program:case.program ~trace ~tile_config
+  in
+  (* Oracle 1+2: skip/noskip x profiled/plain. *)
+  let skip_prof = run ~profile:true true in
+  let naive_prof = run ~profile:true false in
+  let plain = run true in
+  check case "cycles (skip vs noskip, profiled)" naive_prof.Soc.cycles
+    skip_prof.Soc.cycles;
+  check case "cycles (profiled vs plain)" plain.Soc.cycles
+    skip_prof.Soc.cycles;
+  check case "instrs (skip vs noskip)" naive_prof.Soc.instrs
+    skip_prof.Soc.instrs;
+  Array.iteri
+    (fun t p ->
+      check case
+        (Printf.sprintf "tile %d attribution total (skip)" t)
+        skip_prof.Soc.cycles (Profile.total p))
+    skip_prof.Soc.profiles;
+  Array.iteri
+    (fun t p ->
+      check case
+        (Printf.sprintf "tile %d attribution total (noskip)" t)
+        naive_prof.Soc.cycles (Profile.total p))
+    naive_prof.Soc.profiles;
+  (* Oracle 3: a store round trip reproduces the trace exactly. *)
+  let tiles = Array.make case.ntiles (case.kernel, case.args) in
+  let digest =
+    Store.workload_digest ~program:case.program ~label:case.kernel ~tiles
+      ~mem:[||]
+  in
+  let stored, info = Store.fetch ~digest ~generate:(fun () -> trace) in
+  Store.reset ();
+  let reloaded, info2 = Store.fetch ~digest ~generate:(fun () -> trace) in
+  if not (Trace.equal trace stored) then
+    fail case "stored trace differs from generated trace";
+  if not (Trace.equal trace reloaded) then
+    fail case "reloaded trace differs from generated trace (%s -> %s)"
+      (match info.Store.source with
+      | Store.Interpreted -> "interpreted"
+      | Store.Memo_hit -> "memo"
+      | Store.Disk_hit -> "disk")
+      (match info2.Store.source with
+      | Store.Interpreted -> "interpreted"
+      | Store.Memo_hit -> "memo"
+      | Store.Disk_hit -> "disk");
+  let from_cache =
+    Soc.run_homogeneous Soc.default_config ~program:case.program
+      ~trace:reloaded ~tile_config
+  in
+  check case "cycles (cached vs uncached)" skip_prof.Soc.cycles
+    from_cache.Soc.cycles;
+  if not quiet then
+    Printf.printf "seed %d: ok (%d tiles, %d cycles, %d instrs)\n%!" seed
+      case.ntiles skip_prof.Soc.cycles skip_prof.Soc.instrs
+
+let () =
+  let seed = ref 1 and count = ref 100 and size = ref 40 and quiet = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--seed" :: v :: rest ->
+        seed := int_of_string v;
+        parse rest
+    | "--count" :: v :: rest ->
+        count := int_of_string v;
+        parse rest
+    | "--size" :: v :: rest ->
+        size := int_of_string v;
+        parse rest
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\n\
+           usage: fuzz_differential [--seed N] [--count N] [--size N] \
+           [--quiet]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (* The store oracle must exercise the disk layer without touching the
+     user's real cache. *)
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mosaicsim-fuzz-%d" (Unix.getpid ()))
+  in
+  Store.set_cache_dir (`Dir tmp);
+  for i = 0 to !count - 1 do
+    Store.reset ();
+    run_case ~quiet:!quiet ~size:!size i !seed
+  done;
+  Printf.printf "fuzz_differential: %d cases, 3 oracles each, 0 divergences\n"
+    !count

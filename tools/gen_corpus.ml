@@ -1,0 +1,145 @@
+(* Regenerates the `.mir` ports in corpus/ from their builder-DSL twins.
+
+   Each port is the twin's program text (explicit instruction ids
+   preserved) plus directive headers reconstructing its dataset setup
+   from the shared seeded generators. Before writing a file the tool
+   proves the port faithful: it applies the directive-driven setup and
+   the builder setup side by side and requires bit-identical post-setup
+   memory images — the property that makes trace-store digests, and
+   therefore simulated cycles, identical.
+
+   Usage: gen_corpus [corpus-dir]            (default: corpus/)         *)
+
+module Ir = Mosaic_ir
+module Interp = Mosaic_trace.Interp
+open Mosaic_workloads
+
+let const_int i = Ir.Mir.Const (Ir.Value.of_int i)
+
+(* Directive table for each ported workload, keyed by registry name.
+   Seeds and sizes mirror Registry.instance and each workload's
+   defaults; the memory-image check below catches any drift. *)
+let inits_for = function
+  | "bfs" ->
+      let g field = Ir.Mir.Graph { seed = 3; n = 8192; degree = 8; field } in
+      [
+        ("row_ptr", g Ir.Mir.Row_ptr);
+        ("cols", g Ir.Mir.Cols);
+        ("dist", const_int (1 lsl 30));
+        ("barrier", const_int 0);
+      ]
+  | "cutcp" ->
+      [
+        ("grid_xyz", Ir.Mir.Points { seed = 19 });
+        ("atom_xyz", Ir.Mir.Points { seed = 20 });
+        ("charge", Ir.Mir.Floats { seed = 21; offset = 0.0 });
+      ]
+  | "histo" -> [ ("img", Ir.Mir.Ints { seed = 5; bound = 320 }) ]
+  | "lbm" ->
+      let f = Ir.Mir.Floats { seed = 13; offset = 0.5 } in
+      [ ("fin", f); ("fout", f) ]
+  | "mri-gridding" ->
+      [
+        ("pos", Ir.Mir.Floats { seed = 29; offset = 0.0 });
+        ("sval", Ir.Mir.Floats { seed = 30; offset = 0.0 });
+        ("grid", Ir.Mir.Const (Ir.Value.of_float 0.0));
+      ]
+  | "mri-q" ->
+      [
+        ("vox_xyz", Ir.Mir.Points { seed = 23 });
+        ("k_xyz", Ir.Mir.Points { seed = 24 });
+        ("mag", Ir.Mir.Floats { seed = 25; offset = 0.0 });
+      ]
+  | "sad" ->
+      [
+        ("cur", Ir.Mir.Ints { seed = 17; bound = 256 });
+        ("reff", Ir.Mir.Ints { seed = 18; bound = 256 });
+      ]
+  | "sgemm" ->
+      [
+        ("A", Ir.Mir.Floats { seed = 42; offset = 0.0 });
+        ("B", Ir.Mir.Floats { seed = 43; offset = 0.0 });
+      ]
+  | "spmv" ->
+      let s field =
+        Ir.Mir.Sparse { seed = 7; rows = 4096; cols = 4096; per_row = 12; field }
+      in
+      [
+        ("row_ptr", s Ir.Mir.Row_ptr);
+        ("cols", s Ir.Mir.Cols);
+        ("vals", s Ir.Mir.Values);
+        ("x", Ir.Mir.Floats { seed = 9; offset = 0.0 });
+      ]
+  | "stencil" -> [ ("grid_in", Ir.Mir.Floats { seed = 11; offset = 0.0 }) ]
+  | "ewsd" ->
+      let s field =
+        Ir.Mir.Sparse
+          { seed = 41; rows = 1024; cols = 1024; per_row = 16; field }
+      in
+      [
+        ("row_ptr", s Ir.Mir.Row_ptr);
+        ("cols", s Ir.Mir.Cols);
+        ("vals", s Ir.Mir.Values);
+        ("dense", Ir.Mir.Floats { seed = 43; offset = 0.0 });
+      ]
+  | name -> invalid_arg ("gen_corpus: no init table for " ^ name)
+
+(* Point pokes applied after the fills (bfs plants its BFS source). *)
+let sets_for = function
+  | "bfs" -> [ ("dist", 0, Ir.Value.of_int 0) ]
+  | _ -> []
+
+let ported =
+  [
+    "bfs"; "cutcp"; "histo"; "lbm"; "mri-gridding"; "mri-q"; "sad"; "sgemm";
+    "spmv"; "stencil"; "ewsd";
+  ]
+
+let memory_image (r : Runner.t) =
+  let it =
+    Interp.create r.program ~kernel:r.kernel ~ntiles:1 ~args:r.args
+  in
+  r.setup it;
+  Interp.memory_contents it
+
+let port name =
+  let inst = Registry.instance name in
+  let meta =
+    {
+      Ir.Mir.workload = Some name;
+      launch = Some { Ir.Mir.kernel = inst.Runner.kernel; args = inst.args };
+      inits = inits_for name;
+      sets = sets_for name;
+    }
+  in
+  let mir = { Ir.Mir.meta; program = inst.Runner.program } in
+  let twin = Mir_workload.of_mir mir in
+  if compare (memory_image inst) (memory_image twin) <> 0 then
+    failwith
+      (Printf.sprintf
+         "%s: directive-driven setup diverges from the builder setup" name);
+  let text = Ir.Mir.to_string mir in
+  (* The file must parse back to the same bytes (ids, literals, metadata). *)
+  (match Ir.Parse.mir text with
+  | Ok reparsed ->
+      let text' = Ir.Mir.to_string reparsed in
+      if text <> text' then
+        failwith (Printf.sprintf "%s: corpus text does not round-trip" name)
+  | Error diags ->
+      failwith
+        (Printf.sprintf "%s: corpus text does not parse:\n%s" name
+           (Ir.Parse.render ~source:text diags)));
+  text
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "corpus" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun name ->
+      let text = port name in
+      let path = Filename.concat dir (name ^ ".mir") in
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n%!" path)
+    ported
