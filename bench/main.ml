@@ -632,7 +632,9 @@ let speed () =
   List.iter
     (fun r ->
       let p suffix = Printf.sprintf "speed.%s.%s" r.pname suffix in
-      gauge (p "host_seconds") r.host_seconds;
+      (* host_seconds is end-to-end (trace acquisition + timing model);
+         sim_seconds is the timing model alone. See EXPERIMENTS.md. *)
+      gauge (p "host_seconds") (r.trace_gen_seconds +. r.host_seconds);
       gauge (p "sim_seconds") r.host_seconds;
       gauge (p "trace_gen_seconds") r.trace_gen_seconds;
       gauge (p "mips") r.mips;
@@ -729,6 +731,74 @@ let speed () =
       [ "unprofiled"; icell plain.Soc.cycles; fcell plain.Soc.mips; "-" ];
       [ "profiled"; icell prof.Soc.cycles; fcell prof.Soc.mips; fcell overhead ];
     ];
+  (* One-trace-many-configs incremental DSE: the 16-point default L1 x L2
+     grid, re-timed from a single profiled simulation, with every point
+     also fully simulated so the speedup and error figures below are
+     measured against the exact oracle, never assumed. Sim-dominated
+     workloads, so the one-off profiling + skeleton cost amortizes. *)
+  let sweep_workloads = [ "cutcp"; "histo"; "spmv" ] in
+  let sweep_grid =
+    Mosaic.Sweep.grid
+      (List.map Mosaic.Sweep.axis_of_spec Mosaic.Sweep.default_axes)
+  in
+  let sweep_rows =
+    W.Runner.run_batch ~jobs:!jobs
+    @@ List.map
+         (fun name () ->
+           let inst = W.Registry.instance name in
+           let trace = W.Runner.trace_cached inst ~ntiles:1 in
+           let s =
+             Mosaic.Sweep.run ~exact:true Presets.xeon_soc
+               ~tile_config:TC.out_of_order ~program:inst.W.Runner.program
+               ~trace sweep_grid
+           in
+           (name, s))
+         sweep_workloads
+  in
+  List.iter
+    (fun (name, (s : Mosaic.Sweep.t)) ->
+      let p suffix = Printf.sprintf "speed.sweep.%s.%s" name suffix in
+      gauge (p "points") (float_of_int (Array.length s.Mosaic.Sweep.points));
+      gauge (p "full_seconds") s.Mosaic.Sweep.exact_seconds;
+      gauge (p "incremental_seconds") (Mosaic.Sweep.incremental_seconds s);
+      gauge (p "speedup") (Option.value ~default:0.0 (Mosaic.Sweep.speedup s));
+      gauge (p "max_err_pct") (Mosaic.Sweep.max_err_pct s);
+      gauge (p "cycles") (float_of_int s.Mosaic.Sweep.base.Soc.cycles))
+    sweep_rows;
+  let sweep_geomean =
+    exp
+      (Stats.mean
+         (List.map
+            (fun (_, s) ->
+              log (Option.value ~default:1.0 (Mosaic.Sweep.speedup s)))
+            sweep_rows))
+  in
+  gauge "speed.sweep.geomean_speedup" sweep_geomean;
+  Table.print
+    ~title:
+      "Incremental DSE: 16-point L1 x L2 sweep, one profiled sim + re-timing \
+       vs full per-point simulation (exact oracle)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "workload";
+        Table.column "points";
+        Table.column "full s";
+        Table.column "incr s";
+        Table.column "speedup";
+        Table.column "max err %";
+      ]
+    (List.map
+       (fun (name, (s : Mosaic.Sweep.t)) ->
+         [
+           name;
+           icell (Array.length s.Mosaic.Sweep.points);
+           fcell ~decimals:3 s.Mosaic.Sweep.exact_seconds;
+           fcell ~decimals:3 (Mosaic.Sweep.incremental_seconds s);
+           fcell (Option.value ~default:0.0 (Mosaic.Sweep.speedup s));
+           fcell ~decimals:2 (Mosaic.Sweep.max_err_pct s);
+         ])
+       sweep_rows);
+  Printf.printf "sweep geomean speedup: %.1fx\n\n" sweep_geomean;
   Out_channel.with_open_text speed_json_file (fun oc ->
       Out_channel.output_string oc
         (Mosaic_obs.Json.to_string (Mosaic_obs.Metrics.to_json reg)));

@@ -399,7 +399,63 @@ let dse_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"KIND" ~doc:"Accelerator kind: gemm, histo, elementwise")
   in
-  let run kind jobs =
+  let bench_arg =
+    let doc =
+      "Also sweep the PLM axis at SoC level for this workload (e.g. \
+       $(b,sgemm-accel)) with the incremental re-timer: one profiled \
+       simulation, every paper PLM size re-timed, the full simulator as \
+       the per-point oracle."
+    in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"BENCH" ~doc)
+  in
+  let soc_plm_sweep bench jobs =
+    let inst = resolve_instance bench in
+    let trace = W.Runner.trace_cached inst ~ntiles:1 in
+    let spec =
+      "plm="
+      ^ String.concat ","
+          (List.map
+             (fun b -> string_of_int (b / 1024))
+             Mosaic_accel.Dse.paper_plm_sizes)
+    in
+    let points = Mosaic.Sweep.grid [ Mosaic.Sweep.axis_of_spec spec ] in
+    let o =
+      Mosaic.Sweep.run ~jobs ~exact:true Presets.dae_soc
+        ~tile_config:Tile_config.out_of_order ~program:inst.W.Runner.program
+        ~trace points
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf "SoC-level PLM sweep: %s (retimed vs exact)" bench)
+      ~columns:
+        [
+          Table.column ~align:Table.Left "point";
+          Table.column "retimed cycles";
+          Table.column "exact cycles";
+          Table.column "err %";
+        ]
+      (Array.to_list
+         (Array.map
+            (fun (p : Mosaic.Sweep.point) ->
+              [
+                p.Mosaic.Sweep.label;
+                Table.icell p.Mosaic.Sweep.retimed.Mosaic.Retime.cycles;
+                (match p.Mosaic.Sweep.exact_cycles with
+                | Some e -> Table.icell e
+                | None -> "-");
+                (match p.Mosaic.Sweep.err_pct with
+                | Some e -> Printf.sprintf "%.2f" e
+                | None -> "-");
+              ])
+            o.Mosaic.Sweep.points));
+    Printf.printf
+      "incremental: %.3f s vs %.3f s exact (%.1fx); max err %.2f%%\n"
+      (Mosaic.Sweep.incremental_seconds o)
+      o.Mosaic.Sweep.exact_seconds
+      (Option.value ~default:0.0 (Mosaic.Sweep.speedup o))
+      (Mosaic.Sweep.max_err_pct o)
+  in
+  let run kind jobs bench =
     let points =
       Mosaic_accel.Dse.sweep ~jobs ~kind
         ~plm_sizes:Mosaic_accel.Dse.paper_plm_sizes
@@ -429,11 +485,98 @@ let dse_cmd =
           Table.column "fpga cyc";
           Table.column "area um2";
         ]
-      rows
+      rows;
+    Option.iter (fun b -> soc_plm_sweep b jobs) bench
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Accelerator design-space exploration sweep")
-    Term.(const run $ kind_arg $ jobs_arg)
+    Term.(const run $ kind_arg $ jobs_arg $ bench_arg)
+
+(* Incremental design-space sweep: one exact profiled simulation + N cheap
+   re-timings, full simulator as the per-point oracle behind --exact. *)
+let sweep_cmd =
+  let axis_arg =
+    let doc =
+      "Sweep axis as $(b,name=v1,v2,...) (repeatable; axes cross into a \
+       grid). Axes: l1/l2/llc (cache KB), dramlat (cycles), wire (cycles), \
+       plm (accelerator PLM KB), lanes, width, window, lsq, div, freq \
+       (GHz). Default: l1=8,16,32,64 crossed with l2=256,512,1024,2048 \
+       (16 points)."
+    in
+    Arg.(value & opt_all string [] & info [ "axis"; "a" ] ~docv:"SPEC" ~doc)
+  in
+  let exact_arg =
+    let doc =
+      "Also run the full simulator at every point (the exact oracle) and \
+       report the re-timer's measured cycle error per point."
+    in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run bench tiles core system axes exact jobs no_skip cache =
+    apply_trace_cache cache;
+    let inst = resolve_instance bench in
+    let trace = W.Runner.trace_cached inst ~ntiles:tiles in
+    let cfg = apply_no_skip no_skip (system_of_string system) in
+    let specs = match axes with [] -> Mosaic.Sweep.default_axes | a -> a in
+    let points =
+      Mosaic.Sweep.grid (List.map Mosaic.Sweep.axis_of_spec specs)
+    in
+    let o =
+      Mosaic.Sweep.run ~jobs ~exact cfg ~tile_config:(core_of_string core)
+        ~program:inst.W.Runner.program ~trace points
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf "sweep: %s, %d points (%s)" bench
+           (Array.length o.Mosaic.Sweep.points)
+           (String.concat " x " specs))
+      ~columns:
+        ([
+           Table.column ~align:Table.Left "point";
+           Table.column "retimed cycles";
+           Table.column "IPC";
+         ]
+        @
+        if exact then [ Table.column "exact cycles"; Table.column "err %" ]
+        else [])
+      (Array.to_list
+         (Array.map
+            (fun (p : Mosaic.Sweep.point) ->
+              [
+                p.Mosaic.Sweep.label;
+                Table.icell p.Mosaic.Sweep.retimed.Mosaic.Retime.cycles;
+                Printf.sprintf "%.2f" p.Mosaic.Sweep.retimed.Mosaic.Retime.ipc;
+              ]
+              @
+              match (p.Mosaic.Sweep.exact_cycles, p.Mosaic.Sweep.err_pct) with
+              | Some e, Some err ->
+                  [ Table.icell e; Printf.sprintf "%.2f" err ]
+              | _ -> [])
+            o.Mosaic.Sweep.points));
+    let npoints = Array.length o.Mosaic.Sweep.points in
+    Printf.printf
+      "base: %d cycles; profiled sim %.3f s + analysis %.3f s + %d \
+       re-timings %.4f s (%.1f us/point)\n"
+      o.Mosaic.Sweep.base.Soc.cycles o.Mosaic.Sweep.base_seconds
+      o.Mosaic.Sweep.analyze_seconds npoints o.Mosaic.Sweep.retime_seconds
+      (1e6 *. o.Mosaic.Sweep.retime_seconds /. float_of_int (max npoints 1));
+    if exact then
+      Printf.printf
+        "exact oracle: %.3f s for %d full simulations; incremental sweep \
+         %.1fx faster; max cycle error %.2f%%\n"
+        o.Mosaic.Sweep.exact_seconds npoints
+        (Option.value ~default:0.0 (Mosaic.Sweep.speedup o))
+        (Mosaic.Sweep.max_err_pct o)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Incremental design-space sweep: analyze the trace once, re-time \
+          every design point (LightningSim-style); --exact keeps the full \
+          simulator as the oracle")
+    Term.(
+      const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
+      $ axis_arg $ exact_arg $ jobs_arg $ no_skip_arg $ trace_cache_arg)
 
 let dnn_cmd =
   let model_arg =
@@ -476,7 +619,11 @@ let characterize_cmd =
         Printf.printf "LRU hit rate at %4d KB: %.1f%%\n" kb
           (100.0
           *. Mosaic_trace.Analysis.capacity_hit_rate a ~lines:(kb * 1024 / 64)))
-      [ 16; 32; 256; 2048; 20480 ]
+      [ 16; 32; 256; 2048; 20480 ];
+    (* The re-timer's view of the same trace: instruction mix, critical
+       dependence chain, communication and accelerator events. *)
+    let sk = Mosaic_trace.Analysis.skeleton inst.W.Runner.program trace in
+    Format.printf "@.%a@." Mosaic_trace.Analysis.pp_skeleton sk
   in
   Cmd.v
     (Cmd.info "characterize"
@@ -662,8 +809,8 @@ let main =
   let doc = "MosaicSim: lightweight modular simulation of heterogeneous systems" in
   Cmd.group (Cmd.info "mosaicsim" ~version:"0.1.0" ~doc)
     [
-      list_cmd; run_cmd; bench_cmd; profile_cmd; dump_cmd; trace_cmd;
-      trace_stats_cmd; dse_cmd; dnn_cmd; asm_cmd; cc_cmd; dae_cmd;
+      list_cmd; run_cmd; bench_cmd; sweep_cmd; profile_cmd; dump_cmd;
+      trace_cmd; trace_stats_cmd; dse_cmd; dnn_cmd; asm_cmd; cc_cmd; dae_cmd;
       characterize_cmd; fmt_cmd;
     ]
 

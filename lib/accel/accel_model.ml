@@ -17,6 +17,11 @@ let default_sys =
 
 type design_point = { plm_bytes : int; par_lanes : int }
 
+(* Fallback for accelerator kinds the SoC config names no explicit design
+   point for; shared by the SoC driver and the DSE re-timer so both price
+   an unconfigured kind identically. *)
+let default_design = { plm_bytes = 64 * 1024; par_lanes = 16 }
+
 type workload = { ops : int; bytes_in : int; bytes_out : int }
 
 type estimate = {

@@ -25,6 +25,10 @@ type design_point = {
   par_lanes : int;  (** compute parallelism from HLS knobs *)
 }
 
+(** Design point used for kinds without an entry in the SoC config's
+    [accel_designs] (64 KB PLM, 16 lanes). *)
+val default_design : design_point
+
 (** The workload of one invocation, already reduced to its resource
     demands by {!Accel_kinds}. *)
 type workload = {

@@ -133,7 +133,7 @@ let accel_invoke mgr cfg hier ~sink ~tile ~kind ~params ~cycle =
   let design =
     match List.assoc_opt kind cfg.accel_designs with
     | Some d -> d
-    | None -> { Accel_model.plm_bytes = 64 * 1024; par_lanes = 16 }
+    | None -> Accel_model.default_design
   in
   let w = Accel_kinds.workload kind params in
   let est = Accel_model.estimate_traced ~sink ~tile ~kind ~cycle sys design w in

@@ -4,6 +4,10 @@ type policy =
   | Dynamic of { kind : Predictor.kind; penalty : int }
   | Perfect
 
+let penalty = function
+  | No_speculation | Perfect -> 0
+  | Static { penalty } | Dynamic { penalty; _ } -> penalty
+
 let predict ~policy ~bid (term : Mosaic_ir.Instr.t) =
   match policy with
   | No_speculation -> None

@@ -15,6 +15,11 @@ type policy =
       (** trace-trained dynamic predictor (see {!Predictor}) *)
   | Perfect
 
+(** Misprediction penalty knob of a policy; 0 for policies without one
+    ([No_speculation] stalls on terminator resolution instead,
+    [Perfect] never redirects). *)
+val penalty : policy -> int
+
 (** [predict ~policy ~bid term] is the block id a static predictor picks for
     the terminator [term] of block [bid]; [None] when the policy never
     predicts (no speculation) or the terminator is a return. *)

@@ -148,6 +148,183 @@ let capacity_hit_rate t ~lines =
     in
     float_of_int hits /. float_of_int t.mem_accesses
 
+(* ------------------------------------------------------------------ *)
+(* Config-independent trace skeleton (incremental DSE)                 *)
+(* ------------------------------------------------------------------ *)
+
+let nclasses = List.length Op.all_classes
+let classes = Array.of_list Op.all_classes
+
+let class_index =
+  let tbl = Hashtbl.create 32 in
+  List.iteri (fun i c -> Hashtbl.replace tbl c i) Op.all_classes;
+  fun c -> Hashtbl.find tbl c
+
+(* Baseline weights for picking the longest dependence chain. They only
+   decide *which* chain is the argmax; the re-timer prices the winning
+   chain's composition under each candidate config, so these stay
+   config-independent by construction. Memory ops get a mid-hierarchy
+   estimate, accelerator calls are priced separately (additive model). *)
+let chain_weight = function
+  | Op.C_ialu | Op.C_agu | Op.C_branch -> 1
+  | Op.C_imul | Op.C_falu -> 3
+  | Op.C_fmul -> 4
+  | Op.C_fdiv -> 15
+  | Op.C_idiv -> 18
+  | Op.C_fmath -> 20
+  | Op.C_load | Op.C_store -> 30
+  | Op.C_atomic -> 40
+  | Op.C_send | Op.C_recv -> 5
+  | Op.C_accel -> 0
+
+type tile_skeleton = {
+  tile : int;
+  kernel : string;
+  locality : t;
+  class_counts : int array;
+  cp_classes : int array;
+  cp_mem : int;
+  cp_atomics : int;
+  cp_nodes : int;
+  sends : int;
+  recvs : int;
+  accel_calls : (string * Value.t array) array;
+}
+
+type skeleton = {
+  label : string;
+  ntiles : int;
+  tiles : tile_skeleton array;
+  total_dyn_instrs : int;
+}
+
+(* One pass over the control path recovering dynamic def-use chains by
+   last-writer tracking (exactly how the tile model wires DBBs at launch).
+   Per register we keep the chain depth plus the chain's composition — a
+   per-class node count with memory and atomic ops broken out — so the
+   argmax chain can be re-priced under any config without re-walking. *)
+let dependence_chain (func : Func.t) (tt : Trace.tile_trace) =
+  let nregs = Stdlib.max func.Func.nregs 1 in
+  let k = nclasses + 2 in
+  let mem_slot = nclasses and atomic_slot = nclasses + 1 in
+  let reg_depth = Array.make nregs 0 in
+  let comp = Array.make (nregs * k) 0 in
+  let scratch = Array.make k 0 in
+  let best = Array.make k 0 in
+  let best_depth = ref 0 in
+  let class_counts = Array.make nclasses 0 in
+  let sends = ref 0 and recvs = ref 0 in
+  Array.iter
+    (fun bid ->
+      let blk = Func.block func bid in
+      Array.iter
+        (fun (i : Instr.t) ->
+          let cls = Op.classify i.Instr.op in
+          let ci = class_index cls in
+          class_counts.(ci) <- class_counts.(ci) + 1;
+          (match i.Instr.op with
+          | Op.Send _ | Op.Load_send _ -> incr sends
+          | Op.Recv _ | Op.Store_recv _ -> incr recvs
+          | _ -> ());
+          (* deepest producer among the registers read *)
+          let pd = ref 0 and pr = ref (-1) in
+          List.iter
+            (fun r ->
+              if r < nregs && reg_depth.(r) > !pd then begin
+                pd := reg_depth.(r);
+                pr := r
+              end)
+            (Instr.uses i);
+          if !pr >= 0 then Array.blit comp (!pr * k) scratch 0 k
+          else Array.fill scratch 0 k 0;
+          if Op.is_mem i.Instr.op then begin
+            scratch.(mem_slot) <- scratch.(mem_slot) + 1;
+            if cls = Op.C_atomic then
+              scratch.(atomic_slot) <- scratch.(atomic_slot) + 1
+          end
+          else scratch.(ci) <- scratch.(ci) + 1;
+          let nd = !pd + chain_weight cls in
+          (match i.Instr.dst with
+          | Some r when r < nregs ->
+              reg_depth.(r) <- nd;
+              Array.blit scratch 0 comp (r * k) k
+          | _ -> ());
+          if nd > !best_depth then begin
+            best_depth := nd;
+            Array.blit scratch 0 best 0 k
+          end)
+        blk.Func.instrs)
+    tt.Trace.bb_path;
+  let cp_classes = Array.sub best 0 nclasses in
+  let cp_nodes = Array.fold_left ( + ) 0 best in
+  (class_counts, cp_classes, best.(mem_slot), best.(atomic_slot), cp_nodes,
+   !sends, !recvs)
+
+let tile_skeleton (func : Func.t) (tt : Trace.tile_trace) =
+  let class_counts, cp_classes, cp_mem, cp_atomics, cp_nodes, sends, recvs =
+    dependence_chain func tt
+  in
+  let accel_calls =
+    let acc = ref [] in
+    Array.iter
+      (fun ((i : Instr.t), _) ->
+        match i.Instr.op with
+        | Op.Accel kind ->
+            Array.iter
+              (fun params -> acc := (kind, params) :: !acc)
+              tt.Trace.accel_params.(i.Instr.id)
+        | _ -> ())
+      func.Func.index;
+    Array.of_list (List.rev !acc)
+  in
+  {
+    tile = tt.Trace.tile;
+    kernel = tt.Trace.kernel;
+    locality = tile func tt;
+    class_counts;
+    cp_classes;
+    cp_mem;
+    cp_atomics;
+    cp_nodes;
+    sends;
+    recvs;
+    accel_calls;
+  }
+
+let skeleton prog (trace : Trace.t) =
+  {
+    label = trace.Trace.kernel;
+    ntiles = trace.Trace.ntiles;
+    tiles =
+      Array.map
+        (fun (tt : Trace.tile_trace) ->
+          tile_skeleton (Program.func_exn prog tt.Trace.kernel) tt)
+        trace.Trace.tiles;
+    total_dyn_instrs = Trace.total_dyn_instrs trace;
+  }
+
+let pp_skeleton ppf (s : skeleton) =
+  Format.fprintf ppf "@[<v>skeleton: %s (%d tiles, %d dyn instrs)@ " s.label
+    s.ntiles s.total_dyn_instrs;
+  Array.iter
+    (fun ts ->
+      Format.fprintf ppf
+        "tile %d (%s): %d instrs, chain %d nodes (%d mem, %d atomic), %d \
+         sends, %d recvs, %d accel calls@ "
+        ts.tile ts.kernel ts.locality.dyn_instrs ts.cp_nodes ts.cp_mem
+        ts.cp_atomics ts.sends ts.recvs
+        (Array.length ts.accel_calls);
+      Format.fprintf ppf "  mix:";
+      Array.iteri
+        (fun i cls ->
+          if ts.class_counts.(i) > 0 then
+            Format.fprintf ppf " %s=%d" (Op.class_to_string cls)
+              ts.class_counts.(i))
+        classes;
+      Format.fprintf ppf "@ ")
+    s.tiles;
+  Format.fprintf ppf "@]"
+
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>dyn instrs: %d@ mem accesses: %d (ratio %.3f)@ footprint: %d lines \

@@ -33,3 +33,54 @@ val whole : Mosaic_ir.Program.t -> Trace.t -> t
 val capacity_hit_rate : t -> lines:int -> float
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Config-independent trace skeleton}
+
+    One extra pass over a cached trace extracts everything the incremental
+    DSE re-timer ([Mosaic.Retime]) needs to price a design point without
+    re-simulating: the dynamic instruction mix, the composition of the
+    longest dynamic dependence chain (recovered by last-writer tracking,
+    the same def-use wiring the tile model builds at DBB launch), the LRU
+    reuse/footprint summary ({!t}), inter-tile communication counts, and
+    the accelerator invocation list. All of it depends only on the trace —
+    which is config-independent by construction — never on cache sizes,
+    latencies, widths or PLM parameters. *)
+
+val nclasses : int
+(** Number of opcode classes ([Op.all_classes]). *)
+
+val classes : Mosaic_ir.Op.op_class array
+(** Opcode classes in the dense index order used by the skeleton arrays. *)
+
+val class_index : Mosaic_ir.Op.op_class -> int
+
+type tile_skeleton = {
+  tile : int;
+  kernel : string;
+  locality : t;  (** the reuse/footprint characterization above *)
+  class_counts : int array;
+      (** dynamic instructions per opcode class, indexed like {!classes} *)
+  cp_classes : int array;
+      (** non-memory nodes on the longest dependence chain, per class *)
+  cp_mem : int;  (** loads/stores/atomics on that chain *)
+  cp_atomics : int;  (** atomics among [cp_mem] *)
+  cp_nodes : int;  (** total chain length in instructions *)
+  sends : int;  (** dynamic send/load_send occurrences *)
+  recvs : int;  (** dynamic recv/store_recv occurrences *)
+  accel_calls : (string * Mosaic_ir.Value.t array) array;
+      (** accelerator invocations (kind, parameters), config-independent *)
+}
+
+type skeleton = {
+  label : string;
+  ntiles : int;
+  tiles : tile_skeleton array;
+  total_dyn_instrs : int;
+}
+
+val tile_skeleton : Mosaic_ir.Func.t -> Trace.tile_trace -> tile_skeleton
+
+(** Extract the skeleton of a whole trace (one pass per tile). *)
+val skeleton : Mosaic_ir.Program.t -> Trace.t -> skeleton
+
+val pp_skeleton : Format.formatter -> skeleton -> unit

@@ -13,7 +13,10 @@ let parboil_names =
     "tpacf";
   ]
 
-let all_names = parboil_names @ [ "projection"; "ewsd"; "sinkhorn" ]
+(* sgemm-accel offloads the multiply to the gemm accelerator model — the
+   same instance the bench speed section and the PLM sweep guards use. *)
+let all_names =
+  parboil_names @ [ "projection"; "ewsd"; "sinkhorn"; "sgemm-accel" ]
 
 let instance = function
   | "bfs" -> Bfs.instance ~n:8192 ~degree:8 ()
@@ -24,6 +27,7 @@ let instance = function
   | "mri-q" -> Mriq.instance ~voxels:256 ~samples:256 ()
   | "sad" -> Sad.instance ~blocks:256 ~block_size:16 ~offsets:8 ()
   | "sgemm" -> Sgemm.instance ~m:40 ~n:40 ~k:40 ()
+  | "sgemm-accel" -> Sgemm.instance ~accel:true ~m:64 ~n:64 ~k:64 ()
   | "spmv" -> Spmv.instance ~rows:4096 ~cols:4096 ~per_row:12 ()
   | "stencil" -> Stencil.instance ~h:128 ~w:128 ()
   | "tpacf" -> Tpacf.instance ~points:192 ~bins:8 ()

@@ -13,6 +13,10 @@
    3. cached-vs-uncached — a trace-store round trip (save, decode) is
       exact: the reloaded trace is structurally equal and simulates to
       the same cycle count.
+   4. retimed-vs-simulated — re-timing the profiled run at its own
+      config (Retime, the incremental-DSE engine) reproduces the exact
+      simulator's cycle and instruction counts bit-for-bit: every
+      scaling ratio must collapse to exactly 1.0.
 
    Any divergence prints the case's seed (which fully determines it) and
    exits non-zero.
@@ -103,6 +107,21 @@ let run_case ~quiet ~size i base_seed =
   in
   check case "cycles (cached vs uncached)" skip_prof.Soc.cycles
     from_cache.Soc.cycles;
+  (* Oracle 4: re-timing at the generating config is exact. *)
+  let skel = Mosaic_trace.Analysis.skeleton case.program trace in
+  let soc_tiles =
+    Array.map
+      (fun (tt : Trace.tile_trace) ->
+        { Soc.kernel = tt.Mosaic_trace.Trace.kernel; Soc.tile_config })
+      trace.Mosaic_trace.Trace.tiles
+  in
+  let base_cfg = { Soc.default_config with Soc.cycle_skip = true } in
+  let prep = Mosaic.Retime.of_result ~cfg:base_cfg ~tiles:soc_tiles skel skip_prof in
+  let rt = Mosaic.Retime.run prep base_cfg soc_tiles in
+  check case "cycles (retimed at base vs simulated)" skip_prof.Soc.cycles
+    rt.Mosaic.Retime.cycles;
+  check case "instrs (retimed at base vs simulated)" skip_prof.Soc.instrs
+    rt.Mosaic.Retime.instrs;
   if not quiet then
     Printf.printf "seed %d: ok (%d tiles, %d cycles, %d instrs)\n%!" seed
       case.ntiles skip_prof.Soc.cycles skip_prof.Soc.instrs
@@ -143,5 +162,5 @@ let () =
     Store.reset ();
     run_case ~quiet:!quiet ~size:!size i !seed
   done;
-  Printf.printf "fuzz_differential: %d cases, 3 oracles each, 0 divergences\n"
+  Printf.printf "fuzz_differential: %d cases, 4 oracles each, 0 divergences\n"
     !count
