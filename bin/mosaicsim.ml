@@ -57,6 +57,19 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  let doc =
+    "Simulate one SoC across $(docv) domains: tiles are partitioned into \
+     contiguous shards swept in cycle lockstep, with cross-shard traffic \
+     re-serialized in exact program order. Every result and counter is \
+     bit-identical to --shards 1; speedup needs free host cores and more \
+     than one tile."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+
+let apply_shards shards cfg =
+  if shards <> 1 then { cfg with Soc.shards } else cfg
+
 let no_skip_arg =
   let doc =
     "Disable event-driven cycle skipping and sweep every simulated cycle. \
@@ -173,11 +186,14 @@ let write_observability ~trace_out ~metrics_out ~sink (r : Soc.result) =
     metrics_out
 
 let run_cmd =
-  let run bench tiles core system no_skip profile trace_out metrics_out cache =
+  let run bench tiles core system no_skip shards profile trace_out metrics_out
+      cache =
     apply_trace_cache cache;
     let inst = resolve_instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
-    let cfg = apply_no_skip no_skip (system_of_string system) in
+    let cfg =
+      apply_shards shards (apply_no_skip no_skip (system_of_string system))
+    in
     let sink = sink_for trace_out in
     let r =
       Soc.run_homogeneous ~sink ~profile cfg ~program:inst.W.Runner.program
@@ -190,20 +206,31 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run a benchmark on a simulated system")
     Term.(
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
-      $ no_skip_arg $ profile_arg $ trace_out_arg $ metrics_out_arg
-      $ trace_cache_arg)
+      $ no_skip_arg $ shards_arg $ profile_arg $ trace_out_arg
+      $ metrics_out_arg $ trace_cache_arg)
 
 let bench_cmd =
   let benches_arg =
     let doc = "Benchmarks to run (default: the Parboil suite)." in
     Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc)
   in
-  let run benches tiles core system no_skip profile jobs cache =
+  let run benches tiles core system no_skip shards profile jobs cache =
     apply_trace_cache cache;
+    (* Nested domain pools oversubscribe: a batch of sharded runs would
+       spawn jobs*shards domains. Pick one axis of parallelism. *)
+    if jobs > 1 && shards > 1 then
+      failwith
+        (Printf.sprintf
+           "--jobs %d and --shards %d both parallelize; use --jobs to run \
+            workloads concurrently or --shards to parallelize within one \
+            SoC, not both"
+           jobs shards);
     let names =
       match benches with [] -> W.Registry.parboil_names | ns -> ns
     in
-    let cfg = apply_no_skip no_skip (system_of_string system) in
+    let cfg =
+      apply_shards shards (apply_no_skip no_skip (system_of_string system))
+    in
     let tc = core_of_string core in
     let results =
       W.Runner.run_batch ~jobs
@@ -248,7 +275,7 @@ let bench_cmd =
           (--jobs)")
     Term.(
       const run $ benches_arg $ tiles_arg $ core_arg $ system_arg
-      $ no_skip_arg $ profile_arg $ jobs_arg $ trace_cache_arg)
+      $ no_skip_arg $ shards_arg $ profile_arg $ jobs_arg $ trace_cache_arg)
 
 (* Cycle-accounting profiler front-end: run one workload with attribution
    on and print where the cycles went — per-tile stacked stall shares, the
@@ -267,11 +294,14 @@ let profile_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
-  let run bench tiles core system no_skip top out trace_out metrics_out cache =
+  let run bench tiles core system no_skip shards top out trace_out metrics_out
+      cache =
     apply_trace_cache cache;
     let inst = resolve_instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
-    let cfg = apply_no_skip no_skip (system_of_string system) in
+    let cfg =
+      apply_shards shards (apply_no_skip no_skip (system_of_string system))
+    in
     let sink = sink_for trace_out in
     let r =
       Soc.run_homogeneous ~sink ~profile:true cfg
@@ -316,8 +346,8 @@ let profile_cmd =
           attribution, hot-spot ranking and memory-latency histogram")
     Term.(
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
-      $ no_skip_arg $ top_arg $ out_arg $ trace_out_arg $ metrics_out_arg
-      $ trace_cache_arg)
+      $ no_skip_arg $ shards_arg $ top_arg $ out_arg $ trace_out_arg
+      $ metrics_out_arg $ trace_cache_arg)
 
 let dump_cmd =
   let run bench =
@@ -512,11 +542,17 @@ let sweep_cmd =
     in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run bench tiles core system axes exact jobs no_skip cache =
+  let run bench tiles core system axes exact jobs no_skip shards cache =
     apply_trace_cache cache;
+    if jobs > 1 && shards > 1 then
+      failwith
+        (Printf.sprintf
+           "--jobs %d and --shards %d both parallelize; pick one" jobs shards);
     let inst = resolve_instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
-    let cfg = apply_no_skip no_skip (system_of_string system) in
+    let cfg =
+      apply_shards shards (apply_no_skip no_skip (system_of_string system))
+    in
     let specs = match axes with [] -> Mosaic.Sweep.default_axes | a -> a in
     let points =
       Mosaic.Sweep.grid (List.map Mosaic.Sweep.axis_of_spec specs)
@@ -576,7 +612,8 @@ let sweep_cmd =
           simulator as the oracle")
     Term.(
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
-      $ axis_arg $ exact_arg $ jobs_arg $ no_skip_arg $ trace_cache_arg)
+      $ axis_arg $ exact_arg $ jobs_arg $ no_skip_arg $ shards_arg
+      $ trace_cache_arg)
 
 let dnn_cmd =
   let model_arg =
@@ -709,7 +746,7 @@ let cc_cmd =
       $ system_arg $ no_skip_arg)
 
 let dae_cmd =
-  let run bench pairs no_skip profile =
+  let run bench pairs no_skip shards profile =
     let inst, info =
       match bench with
       | "ewsd" -> W.Ewsd.dae_instance ~rows:2048 ~cols:2048 ~per_row:16 ()
@@ -738,7 +775,7 @@ let dae_cmd =
     in
     let r =
       Soc.run ~profile
-        (apply_no_skip no_skip Presets.dae_soc)
+        (apply_shards shards (apply_no_skip no_skip Presets.dae_soc))
         ~program:inst.W.Runner.program ~trace ~tiles
     in
     print_result (bench ^ "-dae") r
@@ -748,7 +785,9 @@ let dae_cmd =
   in
   Cmd.v
     (Cmd.info "dae" ~doc:"Slice a kernel into DAE halves and simulate pairs")
-    Term.(const run $ benchmark_arg $ pairs_arg $ no_skip_arg $ profile_arg)
+    Term.(
+      const run $ benchmark_arg $ pairs_arg $ no_skip_arg $ shards_arg
+      $ profile_arg)
 
 (* Parse -> pretty-print round trip: the canonical form preserves
    semantics exactly (explicit instruction ids, bit-exact float literals,

@@ -39,6 +39,18 @@ type config = {
           no-op cycles. Results are cycle-exact either way; disable (the
           CLI's [--no-skip]) to force the naive per-cycle sweep when
           debugging the scheduler itself. *)
+  shards : int;
+      (** simulate one SoC across this many OCaml domains (default 1 =
+          serial). Tiles are partitioned into contiguous ranges swept in
+          cycle lockstep; tile-private work (pipelines, L1 hits without
+          coherence or L1 prefetching) parallelizes, while operations on
+          shared state (interleaver, shared caches, DRAM, directory,
+          accelerators) are re-serialized in exact serial program order,
+          so every result field and registry counter is bit-identical to
+          [shards = 1]. Clamped to the tile count; an enabled event sink
+          forces serial execution (event streams would otherwise
+          interleave nondeterministically). Speedup requires free host
+          cores — see {!Mosaic_util.Domain_pool.available_cores}. *)
 }
 
 val default_config : config

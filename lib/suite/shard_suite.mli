@@ -1,0 +1,16 @@
+(** The multi-tile workload suite that measures and guards the sharded
+    scheduler. Shared by the bench suite (publishes [speed.shard.*]) and
+    [tools/check_cycle_drift --sharded] (asserts bit-identical cycles
+    against the committed baseline), so both always run exactly the same
+    simulations. *)
+
+type entry = {
+  name : string;
+  ntiles : int;
+  run : shards:int -> Mosaic.Soc.result;
+      (** builds (or fetches from the trace store) the workload's trace
+          and simulates it with the given shard count; [shards:1] is the
+          serial scheduler *)
+}
+
+val entries : entry list

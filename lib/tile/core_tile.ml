@@ -15,6 +15,7 @@ type comm = {
   accel :
     tile:int -> kind:string -> params:Value.t array -> cycle:int ->
     accel_result;
+  mem_access : tile:int -> cycle:int -> addr:int -> is_write:bool -> int;
 }
 
 type stats = {
@@ -471,23 +472,20 @@ let try_issue t n ~cycle =
       | Op.Load _ ->
           if Mao.can_issue t.mao ~seq:n.seq then begin
             t.stats.mem_accesses <- t.stats.mem_accesses + 1;
-            Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
-              ~is_write:false
+            t.comm.mem_access ~tile:t.id ~cycle ~addr:n.addr ~is_write:false
           end
           else blocked t n Stall.Mao
       | Op.Store _ ->
           if Mao.can_issue t.mao ~seq:n.seq then begin
             t.stats.mem_accesses <- t.stats.mem_accesses + 1;
-            Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
-              ~is_write:true
+            t.comm.mem_access ~tile:t.id ~cycle ~addr:n.addr ~is_write:true
           end
           else blocked t n Stall.Mao
       | Op.Atomic_rmw _ ->
           if Mao.can_issue t.mao ~seq:n.seq then begin
             t.stats.mem_accesses <- t.stats.mem_accesses + 1;
             let base =
-              Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
-                ~is_write:true
+              t.comm.mem_access ~tile:t.id ~cycle ~addr:n.addr ~is_write:true
             in
             base + t.cfg.Tile_config.atomic_extra_latency
           end
@@ -503,7 +501,7 @@ let try_issue t n ~cycle =
           if Mao.can_issue t.mao ~seq:n.seq then
             if Hierarchy.can_accept t.hier ~tile:t.id ~cycle then begin
               let completion =
-                Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                t.comm.mem_access ~tile:t.id ~cycle ~addr:n.addr
                   ~is_write:false
               in
               if
@@ -533,7 +531,7 @@ let try_issue t n ~cycle =
               if t.comm.take_or_owe ~tile:t.id ~chan then begin
                 t.stats.mem_accesses <- t.stats.mem_accesses + 1;
                 let completion =
-                  Hierarchy.access t.hier ~tile:t.id ~cycle ~addr:n.addr
+                  t.comm.mem_access ~tile:t.id ~cycle ~addr:n.addr
                     ~is_write:true
                 in
                 Pqueue.add t.mao_release ~prio:completion n.seq;

@@ -28,6 +28,10 @@ type comm = {
     params:Mosaic_ir.Value.t array ->
     cycle:int ->
     accel_result;
+  mem_access : tile:int -> cycle:int -> addr:int -> is_write:bool -> int;
+      (** demand access into the memory hierarchy; routed through the SoC
+          so the sharded scheduler can order cross-tile memory traffic
+          (plain runs pass straight through to {!Mosaic_memory.Hierarchy.access}) *)
 }
 
 type stats = {

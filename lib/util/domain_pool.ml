@@ -8,7 +8,9 @@
 
 type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
 
-let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count ())
+let available_cores () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+let default_jobs () = available_cores ()
 
 let run ~jobs tasks =
   let n = Array.length tasks in

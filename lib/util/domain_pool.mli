@@ -9,6 +9,12 @@
     index) has its exception re-raised with its original backtrace after
     all domains join. *)
 
+(** Cores the runtime recommends using on this machine (at least 1).
+    Callers deciding whether parallelism can pay off — nested pools, the
+    bench suite on 1-CPU hosts — should consult this rather than
+    spawning unconditionally. *)
+val available_cores : unit -> int
+
 (** A sensible default worker count for this machine. *)
 val default_jobs : unit -> int
 

@@ -1,0 +1,142 @@
+(* Ordering kernel for sharded SoC simulation.
+
+   The sharded scheduler in [Soc] partitions tiles into contiguous
+   ascending ranges, one per shard (domain), and sweeps them in cycle
+   lockstep: every shard visits the same sequence of simulated cycles,
+   stepping its own tiles in ascending id order. Tile-private work runs
+   freely in parallel; any operation that touches shared simulator state
+   (interleaver rings, LLC/DRAM, directory, accelerator manager) is a
+   *point* [(seq, tile)] in the global program order that the serial
+   scheduler would have executed it at, where [seq] counts visited
+   cycles and [tile] is the acting tile's id.
+
+   The protocol makes those shared operations execute one at a time, in
+   exactly ascending point order, without a lock:
+
+   - each shard owns an atomic *horizon*: a packed point promising "all
+     my shared operations at points < horizon are done, and my next one
+     is >= horizon". A shard publishes [(seq, t)] before stepping tile
+     [t] and [(seq + 1, first_tile)] when its sweep for [seq] ends, so
+     the horizon only ever advances.
+   - a shared operation at point [p] first waits until every *other*
+     shard's horizon is > [p]. Distinct shards hold distinct tiles, so
+     points are unique; of any two shards attempting operations, the
+     lower point proceeds and the higher spins on the lower's horizon —
+     mutual exclusion and ascending order follow. Waits only ever target
+     shards that own lower tile ids (earlier program-order turns), so
+     the wait graph is acyclic and the protocol cannot deadlock.
+
+   Sweeps are separated by a combined barrier: the last shard to arrive
+   runs the reduction (the serial scheduler's end-of-cycle decision) and
+   releases the rest. The barrier's seq_cst counters give the reducer a
+   happens-before edge over every shard's plain-field writes from the
+   finished sweep, so it may read any tile's state directly.
+
+   Failure anywhere (a stepping shard or the reduction) records the
+   exception, raises every shard's horizon to infinity and trips a
+   global flag that all spin loops poll; the other shards unwind with
+   {!Aborted} and [run] re-raises the original exception after joining. *)
+
+exception Aborted
+
+type t = {
+  nshards : int;
+  horizons : int Atomic.t array;
+  failed : bool Atomic.t;
+  failures : (exn * Printexc.raw_backtrace) option array;
+      (** slot [k] written only by shard [k] before [failed] is set;
+          read only after all domains join *)
+  arrived : int Atomic.t;
+  phase : int Atomic.t;
+}
+
+(* Packed the same way the interleaver packs (dst, chan) keys: tile ids
+   fit in 20 bits, leaving 42 bits of visited-cycle sequence. *)
+let point_shift = 20
+
+let point ~seq ~tile = (seq lsl point_shift) lor tile
+
+let create ~nshards =
+  if nshards <= 0 then invalid_arg "Shard_sync.create: nshards must be positive";
+  {
+    nshards;
+    horizons = Array.init nshards (fun _ -> Atomic.make 0);
+    failed = Atomic.make false;
+    failures = Array.make nshards None;
+    arrived = Atomic.make 0;
+    phase = Atomic.make 0;
+  }
+
+let nshards t = t.nshards
+
+(* Spin backoff: stay on the core briefly (the typical wait is another
+   shard finishing one tile-step), then yield the timeslice so 1-CPU
+   hosts make progress at OS-scheduler speed instead of burning a whole
+   quantum per handoff. *)
+let pause spins =
+  if spins < 64 then Domain.cpu_relax () else Unix.sleepf 20e-6
+
+let check_failed t = if Atomic.get t.failed then raise Aborted
+
+let record_failure t ~shard e bt =
+  t.failures.(shard) <- Some (e, bt);
+  (* Infinite horizon: nobody must ever wait on a dead shard. *)
+  Atomic.set t.horizons.(shard) max_int;
+  Atomic.set t.failed true
+
+let publish t ~shard ~point = Atomic.set t.horizons.(shard) point
+
+let wait_order t ~shard ~point =
+  let spins = ref 0 in
+  for j = 0 to t.nshards - 1 do
+    if j <> shard then
+      while Atomic.get t.horizons.(j) <= point do
+        check_failed t;
+        pause !spins;
+        incr spins
+      done
+  done
+
+let barrier t ~reduce =
+  let gen = Atomic.get t.phase in
+  let n = 1 + Atomic.fetch_and_add t.arrived 1 in
+  if n = t.nshards then begin
+    (try reduce ()
+     with e ->
+       (* The reducer is whichever shard arrived last; the slot index
+          only picks which exception [run] re-raises, and on a reduce
+          failure exactly one slot is ever set. *)
+       record_failure t ~shard:0 e (Printexc.get_raw_backtrace ()));
+    Atomic.set t.arrived 0;
+    Atomic.incr t.phase
+  end
+  else begin
+    let spins = ref 0 in
+    while Atomic.get t.phase = gen do
+      check_failed t;
+      pause !spins;
+      incr spins
+    done
+  end;
+  check_failed t
+
+let run t body =
+  let wrap shard =
+    try body shard with
+    | Aborted -> ()
+    | e -> record_failure t ~shard e (Printexc.get_raw_backtrace ())
+  in
+  let spawned =
+    Array.init (t.nshards - 1) (fun i -> Domain.spawn (fun () -> wrap (i + 1)))
+  in
+  wrap 0;
+  Array.iter Domain.join spawned;
+  if Atomic.get t.failed then
+    let rec first k =
+      if k >= t.nshards then assert false
+      else
+        match t.failures.(k) with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> first (k + 1)
+    in
+    first 0

@@ -7,6 +7,15 @@
    gauges are informational and ignored here.
 
    Usage: check_cycle_drift FRESH.json BASELINE.json
+          check_cycle_drift --sharded BASELINE.json [SHARDS]
+
+   The --sharded mode is the parallel-determinism guard: it re-simulates
+   every Shard_suite workload twice — serially and sharded across SHARDS
+   (default 2) domains — and requires (a) the two agree bit-for-bit on
+   cycles, and (b) both match the committed speed.shard.<name>.cycles
+   baseline. Any disagreement in (a) is a sharded-scheduler bug, never a
+   legitimate timing change.
+
    Exits 0 when all baseline cycle entries match, 1 on drift or a missing
    entry, 2 on usage/parse errors. *)
 
@@ -33,12 +42,78 @@ let cycle_entries = function
         kvs
   | _ -> failwith "expected a metrics object"
 
+(* --sharded: run the shard suite here and now, serial vs sharded, and
+   hold both to the committed baseline. *)
+let check_sharded baseline_file nshards =
+  let baseline =
+    try
+      match read_json baseline_file with
+      | Json.Obj kvs -> kvs
+      | _ -> failwith "expected a metrics object"
+    with e ->
+      Printf.eprintf "check_cycle_drift: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  let drift = ref false in
+  List.iter
+    (fun (e : Mosaic_suite.Shard_suite.entry) ->
+      let serial = e.run ~shards:1 in
+      let sharded = e.run ~shards:nshards in
+      let scy = serial.Mosaic.Soc.cycles and pcy = sharded.Mosaic.Soc.cycles in
+      if scy <> pcy then begin
+        drift := true;
+        Printf.printf
+          "NONDETERMINISTIC %s: serial %d cycles, shards:%d %d cycles\n"
+          e.name scy nshards pcy
+      end;
+      let key = Printf.sprintf "speed.shard.%s.cycles" e.name in
+      (match List.assoc_opt key baseline with
+      | None ->
+          drift := true;
+          Printf.printf "MISSING baseline key %s (got %d; refresh %s)\n" key
+            pcy baseline_file
+      | Some v ->
+          let expected = int_of_float (Json.to_number_exn v) in
+          if expected <> scy then begin
+            drift := true;
+            Printf.printf "DRIFT   %s: baseline %d, fresh %d\n" key expected
+              scy
+          end);
+      Printf.printf "%-18s serial %9d cycles, shards:%d %9d cycles\n" e.name
+        scy nshards pcy)
+    Mosaic_suite.Shard_suite.entries;
+  if !drift then begin
+    Printf.printf
+      "sharded cycle check failed: determinism or baseline drift (see \
+       above).\n";
+    exit 1
+  end
+  else
+    Printf.printf
+      "sharded cycle check OK: %d workloads bit-identical (serial = \
+       shards:%d = baseline)\n"
+      (List.length Mosaic_suite.Shard_suite.entries)
+      nshards
+
 let () =
   let fresh_file, baseline_file =
     match Sys.argv with
+    | [| _; "--sharded"; b |] ->
+        check_sharded b 2;
+        exit 0
+    | [| _; "--sharded"; b; n |] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 2 ->
+            check_sharded b n;
+            exit 0
+        | _ ->
+            prerr_endline "check_cycle_drift: SHARDS must be an int >= 2";
+            exit 2)
     | [| _; f; b |] -> (f, b)
     | _ ->
-        prerr_endline "usage: check_cycle_drift FRESH.json BASELINE.json";
+        prerr_endline
+          "usage: check_cycle_drift FRESH.json BASELINE.json\n\
+          \       check_cycle_drift --sharded BASELINE.json [SHARDS]";
         exit 2
   in
   let fresh, baseline =
