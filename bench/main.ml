@@ -703,6 +703,118 @@ let speed () =
            fcell speedup;
          ])
        skip_rows);
+  (* Sampled simulation: the same Parboil runs under interval sampling
+     (detailed measurement alternating with functional fast-forward,
+     Sample.auto spec), with the full simulator's cycles — already
+     measured above — as the exact oracle. est_cycles and err_pct are
+     deterministic (simulated quantities); the speedup column is host
+     time and wobbles. *)
+  let sample_rows =
+    W.Runner.run_batch ~jobs:!jobs
+    @@ List.map
+         (fun r () ->
+           let inst = W.Registry.instance r.pname in
+           let trace = W.Runner.trace_cached inst ~ntiles:1 in
+           let spec =
+             Mosaic.Sample.auto
+               ~total_instrs:(Trace.total_dyn_instrs trace)
+           in
+           let s =
+             Soc.run_homogeneous ~sample:spec Presets.xeon_soc
+               ~program:inst.W.Runner.program ~trace
+               ~tile_config:TC.out_of_order
+           in
+           (r, s))
+         rs
+  in
+  List.iter
+    (fun (r, (s : Soc.result)) ->
+      let rep = Option.get s.Soc.sample in
+      let p suffix = Printf.sprintf "speed.sample.%s.%s" r.pname suffix in
+      let err_pct =
+        100.0
+        *. Float.abs
+             (float_of_int (rep.Mosaic.Sample.est_cycles - r.mosaic_cycles))
+        /. float_of_int r.mosaic_cycles
+      in
+      let speedup =
+        if s.Soc.host_seconds > 0.0 then r.host_seconds /. s.Soc.host_seconds
+        else Float.infinity
+      in
+      gauge (p "est_cycles") (float_of_int rep.Mosaic.Sample.est_cycles);
+      gauge (p "err_pct") err_pct;
+      gauge (p "detailed_instrs")
+        (float_of_int rep.Mosaic.Sample.detailed_instrs);
+      gauge (p "periods") (float_of_int rep.Mosaic.Sample.periods);
+      gauge (p "degraded") (float_of_int rep.Mosaic.Sample.degraded);
+      gauge (p "exact_seconds") r.host_seconds;
+      gauge (p "sampled_seconds") s.Soc.host_seconds;
+      gauge (p "speedup") speedup)
+    sample_rows;
+  let sample_geomean =
+    exp
+      (Stats.mean
+         (List.map
+            (fun (r, (s : Soc.result)) ->
+              log
+                (Stdlib.max 1e-9
+                   (if s.Soc.host_seconds > 0.0 then
+                      r.host_seconds /. s.Soc.host_seconds
+                    else 1e9)))
+            sample_rows))
+  in
+  let sample_max_err =
+    List.fold_left
+      (fun acc (r, (s : Soc.result)) ->
+        let rep = Option.get s.Soc.sample in
+        Float.max acc
+          (100.0
+          *. Float.abs
+               (float_of_int (rep.Mosaic.Sample.est_cycles - r.mosaic_cycles))
+          /. float_of_int r.mosaic_cycles))
+      0.0 sample_rows
+  in
+  gauge "speed.sample.geomean_speedup" sample_geomean;
+  gauge "speed.sample.max_err_pct" sample_max_err;
+  Table.print
+    ~title:
+      "Sampled simulation: interval sampling (auto spec) vs the full \
+       simulator (exact oracle)"
+    ~columns:
+      [
+        Table.column ~align:Table.Left "workload";
+        Table.column "exact cyc";
+        Table.column "sampled est";
+        Table.column "err %";
+        Table.column "periods";
+        Table.column "exact s";
+        Table.column "sampled s";
+        Table.column "speedup";
+      ]
+    (List.map
+       (fun (r, (s : Soc.result)) ->
+         let rep = Option.get s.Soc.sample in
+         [
+           r.pname;
+           icell r.mosaic_cycles;
+           icell rep.Mosaic.Sample.est_cycles;
+           fcell ~decimals:2
+             (100.0
+             *. Float.abs
+                  (float_of_int
+                     (rep.Mosaic.Sample.est_cycles - r.mosaic_cycles))
+             /. float_of_int r.mosaic_cycles);
+           icell rep.Mosaic.Sample.periods;
+           fcell ~decimals:3 r.host_seconds;
+           fcell ~decimals:3 s.Soc.host_seconds;
+           fcell
+             (if s.Soc.host_seconds > 0.0 then
+                r.host_seconds /. s.Soc.host_seconds
+              else Float.infinity);
+         ])
+       sample_rows);
+  Printf.printf "sampled geomean speedup: %.2fx; max cycle error %.2f%%\n\n"
+    sample_geomean sample_max_err;
   (* Intra-run parallelism: the same multi-tile SoC simulated serially and
      sharded across domains. Cycles (and every counter) must be
      bit-identical — the speedup column is the only thing allowed to
@@ -711,12 +823,16 @@ let speed () =
   let cores_avail = Mosaic_util.Domain_pool.available_cores () in
   gauge "speed.shard.shards" (float_of_int nshards);
   gauge "speed.shard.available_cores" (float_of_int cores_avail);
-  if cores_avail < 2 then
+  if cores_avail < 2 then begin
+    (* Flag the baseline file itself: shard speedups measured on a
+       single-core host are determinism checks, not performance data. *)
+    gauge "speed.shard.note" 1.0;
     Printf.printf
       "note: host reports %d available core(s); sharded runs verify \
        determinism here but cannot speed up — shard speedups below are \
-       expected to be < 1.\n"
-      cores_avail;
+       expected to be < 1 (speed.shard.note=1 marks this in %s).\n"
+      cores_avail speed_json_file
+  end;
   let shard_rows =
     List.map
       (fun (e : Mosaic_suite.Shard_suite.entry) ->

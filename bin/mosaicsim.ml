@@ -185,9 +185,91 @@ let write_observability ~trace_out ~metrics_out ~sink (r : Soc.result) =
       Printf.printf "metrics: %s\n" file)
     metrics_out
 
+(* "auto", "PERIOD", "PERIOD:INTERVAL" or "PERIOD:INTERVAL:WARMUP", all in
+   instructions across tiles; unspecified fields follow [Sample.auto]'s
+   proportions. *)
+let sample_spec_of_string ~trace s =
+  if s = "auto" then
+    Mosaic.Sample.auto
+      ~total_instrs:(Mosaic_trace.Trace.total_dyn_instrs trace)
+  else
+    let fields =
+      try List.map int_of_string (String.split_on_char ':' s)
+      with Failure _ ->
+        failwith
+          (Printf.sprintf
+             "bad --sample spec %S (auto | PERIOD[:INTERVAL[:WARMUP]])" s)
+    in
+    let spec =
+      match fields with
+      | [ period ] ->
+          {
+            Mosaic.Sample.period;
+            interval = Stdlib.max 1 (period / 8);
+            warmup = Stdlib.max 1 (period / 40);
+          }
+      | [ period; interval ] ->
+          {
+            Mosaic.Sample.period;
+            interval;
+            warmup = Stdlib.max 1 (period / 40);
+          }
+      | [ period; interval; warmup ] ->
+          { Mosaic.Sample.period; interval; warmup }
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "bad --sample spec %S (auto | PERIOD[:INTERVAL[:WARMUP]])" s)
+    in
+    Mosaic.Sample.validate_spec spec;
+    spec
+
+let print_sample_report (r : Soc.result) =
+  Option.iter
+    (fun (s : Mosaic.Sample.report) ->
+      Printf.printf
+        "sampled: %d cycles estimated (%d measured in detail over %d \
+         instrs; %d instrs fast-forwarded across %d periods%s)\n"
+        s.Mosaic.Sample.est_cycles s.Mosaic.Sample.detailed_cycles
+        s.Mosaic.Sample.detailed_instrs s.Mosaic.Sample.ff_instrs
+        s.Mosaic.Sample.periods
+        (if s.Mosaic.Sample.degraded > 0 then
+           Printf.sprintf "; %d drains degraded to exact"
+             s.Mosaic.Sample.degraded
+         else ""))
+    r.Soc.sample
+
+let sample_arg =
+  let doc =
+    "Interval sampling: alternate detailed measurement with functional \
+     fast-forward and report extrapolated cycles. $(docv) is $(b,auto) or \
+     $(b,PERIOD[:INTERVAL[:WARMUP]]) in instructions. Without this flag \
+     the full (exact) simulator runs every cycle."
+  in
+  Arg.(value & opt (some string) None & info [ "sample" ] ~docv:"SPEC" ~doc)
+
+let checkpoint_arg =
+  let doc = "Write a snapshot of the full timing state to $(docv)." in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_at_arg =
+  let doc =
+    "Cycle to capture the --checkpoint snapshot at (first visited cycle >= \
+     $(docv); default 0)."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-at" ] ~docv:"CYCLE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from a snapshot file instead of cycle 0; the remainder of the \
+     run is bit-identical to the straight run."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
   let run bench tiles core system no_skip shards profile trace_out metrics_out
-      cache =
+      cache sample checkpoint checkpoint_at resume =
     apply_trace_cache cache;
     let inst = resolve_instance bench in
     let trace = W.Runner.trace_cached inst ~ntiles:tiles in
@@ -195,11 +277,33 @@ let run_cmd =
       apply_shards shards (apply_no_skip no_skip (system_of_string system))
     in
     let sink = sink_for trace_out in
+    let sample = Option.map (sample_spec_of_string ~trace) sample in
+    let checkpoint_at, on_checkpoint =
+      match checkpoint with
+      | None -> (None, None)
+      | Some file ->
+          ( Some checkpoint_at,
+            Some
+              (fun s ->
+                Mosaic.Snapshot.save s file;
+                Printf.printf "checkpoint: %s (cycle %d)\n" file
+                  (Mosaic.Snapshot.cycle s)) )
+    in
+    let resume =
+      Option.map
+        (fun file ->
+          try Mosaic.Snapshot.load file
+          with Mosaic.Snapshot.Format_error msg ->
+            failwith (Printf.sprintf "%s: %s" file msg))
+        resume
+    in
     let r =
-      Soc.run_homogeneous ~sink ~profile cfg ~program:inst.W.Runner.program
-        ~trace ~tile_config:(core_of_string core)
+      Soc.run_homogeneous ~sink ~profile ?checkpoint_at ?on_checkpoint
+        ?resume ?sample cfg ~program:inst.W.Runner.program ~trace
+        ~tile_config:(core_of_string core)
     in
     print_result bench r;
+    print_sample_report r;
     write_observability ~trace_out ~metrics_out ~sink r
   in
   Cmd.v
@@ -207,7 +311,8 @@ let run_cmd =
     Term.(
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
       $ no_skip_arg $ shards_arg $ profile_arg $ trace_out_arg
-      $ metrics_out_arg $ trace_cache_arg)
+      $ metrics_out_arg $ trace_cache_arg $ sample_arg $ checkpoint_arg
+      $ checkpoint_at_arg $ resume_arg)
 
 let bench_cmd =
   let benches_arg =
@@ -361,8 +466,51 @@ let dump_cmd =
    came from (fresh interpretation, in-process memo, disk), its cache key
    and file, and the §VI-B storage story (raw vs encoded footprint). *)
 let trace_cmd =
-  let run bench tiles cache =
-    apply_trace_cache cache;
+  let bench_opt_arg =
+    let doc =
+      "Benchmark name or $(b,.mir) file (optional with $(b,--gc))."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let gc_arg =
+    let doc =
+      "Garbage-collect the trace cache: report entry count and total size, \
+       and with $(b,--max-bytes) prune least-recently-used entries (by \
+       mtime) until the rest fit. Evicted traces are regenerated on next \
+       use."
+    in
+    Arg.(value & flag & info [ "gc" ] ~doc)
+  in
+  let max_bytes_arg =
+    let doc = "Size cap for $(b,--gc), in bytes." in
+    Arg.(
+      value & opt (some int) None & info [ "max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let run_gc max_bytes =
+    match Mosaic_trace.Store.gc ?max_bytes () with
+    | None -> print_endline "trace cache: disabled; nothing to collect"
+    | Some g ->
+        let dir =
+          Option.value ~default:"?" (Mosaic_trace.Store.cache_dir ())
+        in
+        let mb n = Printf.sprintf "%.2f" (float_of_int n /. 1048576.0) in
+        Table.print ~title:(Printf.sprintf "trace cache gc: %s" dir)
+          ~columns:
+            [ Table.column ~align:Table.Left "metric"; Table.column "value" ]
+          [
+            [ "entries scanned"; Table.icell g.Mosaic_trace.Store.scanned ];
+            [ "size MB"; mb g.Mosaic_trace.Store.scanned_bytes ];
+            [ "entries deleted"; Table.icell g.Mosaic_trace.Store.deleted ];
+            [ "deleted MB"; mb g.Mosaic_trace.Store.deleted_bytes ];
+            [
+              "size after MB";
+              mb
+                (g.Mosaic_trace.Store.scanned_bytes
+                - g.Mosaic_trace.Store.deleted_bytes);
+            ];
+          ]
+  in
+  let run_trace_inspect bench tiles =
     let inst = resolve_instance bench in
     let trace, info = W.Runner.trace_cached_full inst ~ntiles:tiles in
     let control, memory = Mosaic_trace.Trace.storage_bytes trace in
@@ -397,12 +545,26 @@ let trace_cmd =
         [ "memory trace packed KB"; kb comp_memory ];
       ]
   in
+  let run bench tiles cache gc max_bytes =
+    apply_trace_cache cache;
+    if gc then run_gc max_bytes
+    else begin
+      let bench =
+        match bench with
+        | Some b -> b
+        | None -> failwith "BENCH is required unless --gc is given"
+      in
+      run_trace_inspect bench tiles
+    end
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Generate a benchmark's trace (or fetch it from the trace cache) \
-          and report footprint and cache status")
-    Term.(const run $ benchmark_arg $ tiles_arg $ trace_cache_arg)
+          and report footprint and cache status; --gc prunes the cache")
+    Term.(
+      const run $ bench_opt_arg $ tiles_arg $ trace_cache_arg $ gc_arg
+      $ max_bytes_arg)
 
 let trace_stats_cmd =
   let run bench tiles =

@@ -70,6 +70,7 @@ let buffer t ~dst ~chan =
   end
 
 let occupancy t = t.occupancy
+let capacity t = t.capacity
 
 let emit_handoff t ~src ~dst ~chan ~cycle =
   if Mosaic_obs.Sink.enabled t.sink then
@@ -151,6 +152,81 @@ let next_arrival t ~cycle =
   if Pqueue.is_empty t.arrivals then None else Some (Pqueue.min_prio t.arrivals)
 
 let stats t = t.stats
+
+(* --- Fast-forward support ---
+
+   The functional fast-forward executor models each (dst, chan) channel as
+   a pair of counters — buffered messages and owed consumptions — seeded
+   from the live state here, replayed against the trace, and committed
+   back when detailed simulation resumes. *)
+
+let ff_channel t ~dst ~chan =
+  let key = pack ~dst ~chan in
+  let i = Int_table.find t.buffers key ~default:(-1) in
+  let buffered = if i >= 0 then Int_ring.length t.rings.(i) else 0 in
+  (buffered, Int_table.find t.owed key ~default:0)
+
+let ff_set_channel t ~dst ~chan ~buffered ~owed ~sends ~recvs ~cycle =
+  let q = buffer t ~dst ~chan in
+  (* Oldest tokens were consumed first; tokens minted during fast-forward
+     are available at the resume cycle. *)
+  let net = buffered - Int_ring.length q in
+  if net < 0 then
+    for _ = 1 to -net do
+      ignore (Int_ring.pop_exn q)
+    done
+  else
+    for _ = 1 to net do
+      if not (Int_ring.push q cycle) then
+        invalid_arg "Interleaver.ff_set_channel: buffered beyond capacity";
+      Pqueue.add t.arrivals ~prio:cycle ()
+    done;
+  Int_table.set t.owed (pack ~dst ~chan) owed;
+  t.occupancy <- t.occupancy + net;
+  t.stats.sends <- t.stats.sends + sends;
+  t.stats.recvs <- t.stats.recvs + recvs;
+  if t.occupancy > t.stats.max_occupancy then
+    t.stats.max_occupancy <- t.occupancy
+
+(* --- Snapshot support ---
+
+   Ring indices are assigned in channel-creation order, so [buffers] and
+   [rings] are dumped together, slot for slot; [arrivals] keeps its exact
+   heap layout so post-restore wake-up hints match the straight run. *)
+
+type dump = {
+  d_buffers : Int_table.dump;
+  d_rings : Int_ring.dump array;
+  d_owed : Int_table.dump;
+  d_occupancy : int;
+  d_arrivals : unit Pqueue.dump;
+  d_stats : int array;
+}
+
+let dump t =
+  {
+    d_buffers = Int_table.dump t.buffers;
+    d_rings = Array.init t.nrings (fun i -> Int_ring.dump t.rings.(i));
+    d_owed = Int_table.dump t.owed;
+    d_occupancy = t.occupancy;
+    d_arrivals = Pqueue.dump t.arrivals;
+    d_stats =
+      [| t.stats.sends; t.stats.recvs; t.stats.send_stalls;
+         t.stats.max_occupancy |];
+  }
+
+let restore t d =
+  Int_table.restore t.buffers d.d_buffers;
+  let rings = Array.map Int_ring.of_dump d.d_rings in
+  t.rings <- rings;
+  t.nrings <- Array.length rings;
+  Int_table.restore t.owed d.d_owed;
+  t.occupancy <- d.d_occupancy;
+  Pqueue.restore t.arrivals d.d_arrivals;
+  t.stats.sends <- d.d_stats.(0);
+  t.stats.recvs <- d.d_stats.(1);
+  t.stats.send_stalls <- d.d_stats.(2);
+  t.stats.max_occupancy <- d.d_stats.(3)
 
 (* Publish the messaging counters under "inter.*" into a metrics
    registry; the report's memory table reads these. *)

@@ -52,6 +52,9 @@ val stats : t -> stats
     running counter on enqueue/dequeue. *)
 val occupancy : t -> int
 
+(** The per-(destination, channel) buffer capacity passed at creation. *)
+val capacity : t -> int
+
 (** [next_arrival t ~cycle] is the earliest in-flight message arrival
     strictly after [cycle], or [None] when nothing is in flight. Buffered
     messages are consumable before their arrival cycle (arrival only bounds
@@ -62,3 +65,34 @@ val next_arrival : t -> cycle:int -> int option
 (** Publish the messaging counters under "inter.*" (and the NoC's under
     "noc.*", when one is attached) into a metrics registry. *)
 val publish : t -> Mosaic_obs.Metrics.t -> unit
+
+(** {1 Fast-forward}
+
+    The functional fast-forward executor models each (dst, chan) channel as
+    counters seeded from, and committed back to, the live buffers. *)
+
+(** [(buffered, owed)] for the channel: messages waiting and consumptions
+    committed ahead of their send. *)
+val ff_channel : t -> dst:int -> chan:int -> int * int
+
+(** Commit a channel's post-fast-forward state: [buffered]/[owed] become
+    the live counts (new tokens arrive at [cycle]; surplus old tokens are
+    consumed oldest-first) and [sends]/[recvs] are added to the stats. *)
+val ff_set_channel :
+  t ->
+  dst:int ->
+  chan:int ->
+  buffered:int ->
+  owed:int ->
+  sends:int ->
+  recvs:int ->
+  cycle:int ->
+  unit
+
+(** {1 Snapshots} — buffers, owed counters, in-flight arrivals and stats,
+    layout-exact. *)
+
+type dump
+
+val dump : t -> dump
+val restore : t -> dump -> unit

@@ -104,6 +104,31 @@ let next_event _t ~cycle:_ = None
 
 let stats t = t.stats
 
+(* Snapshot: link reservations as explicit bindings (Hashtbl internal
+   layout never affects behaviour — only keyed find/replace is used) plus
+   the stats. *)
+
+type dump = { d_links : (int * int * int) array; d_stats : int array }
+
+let dump t =
+  let links =
+    Hashtbl.fold (fun (link, epoch) used acc -> (link, epoch, used) :: acc)
+      t.link_load []
+  in
+  {
+    d_links = Array.of_list links;
+    d_stats = [| t.stats.messages; t.stats.total_hops; t.stats.contended |];
+  }
+
+let restore t d =
+  Hashtbl.reset t.link_load;
+  Array.iter
+    (fun (link, epoch, used) -> Hashtbl.replace t.link_load (link, epoch) used)
+    d.d_links;
+  t.stats.messages <- d.d_stats.(0);
+  t.stats.total_hops <- d.d_stats.(1);
+  t.stats.contended <- d.d_stats.(2)
+
 (* Publish the message counters under "noc.*" into a metrics registry. *)
 let publish t reg =
   let module M = Mosaic_obs.Metrics in

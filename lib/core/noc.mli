@@ -48,3 +48,10 @@ val stats : t -> stats
 
 (** Publish the message counters under "noc.*" into a metrics registry. *)
 val publish : t -> Mosaic_obs.Metrics.t -> unit
+
+(** {1 Snapshots} — link-epoch reservations and stats. *)
+
+type dump
+
+val dump : t -> dump
+val restore : t -> dump -> unit

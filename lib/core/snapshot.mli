@@ -1,0 +1,42 @@
+(** Checkpoints: the full timing state of a run at a visited cycle.
+
+    Captured by [Soc.run ?checkpoint_at] and consumed by
+    [Soc.run ?resume]; a resumed run is bit-identical to the straight run
+    (differential-tested and fuzzed). The record is pure data — component
+    dumps plus identity fields a resume validates against its own workload
+    — and the disk container adds a magic, a format version and an MD5
+    checksum so corrupt or truncated files fail loudly. *)
+
+type t = {
+  cycle : int;  (** visited cycle the state was captured before sweeping *)
+  stepped : int;  (** scheduler iterations executed so far *)
+  finished : bool array;
+  kernels : string array;  (** per-tile kernel names, for validation *)
+  dyn_instrs : int array;  (** per-tile trace lengths, for validation *)
+  profiled : bool;
+  tiles : Mosaic_tile.Core_tile.dump array;
+  hier : Mosaic_memory.Hierarchy.dump;
+  inter : Interleaver.dump;
+  noc : Noc.dump option;
+  accel_active : int array;  (** finish cycles of in-flight invocations *)
+  accel_invocations : int;
+  accel_energy_pj : float;
+  accel_busy : int array;
+}
+
+val ntiles : t -> int
+val cycle : t -> int
+
+(** Raised by the readers on a bad magic, an unsupported version, or a
+    truncated/corrupted payload. The message says which. *)
+exception Format_error of string
+
+val to_bytes : t -> Bytes.t
+
+(** Inverse of {!to_bytes}; raises {!Format_error} on malformed input. *)
+val of_bytes : Bytes.t -> t
+
+val save : t -> string -> unit
+
+(** Raises {!Format_error} on malformed input. *)
+val load : string -> t

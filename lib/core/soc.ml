@@ -108,6 +108,7 @@ type result = {
   accel_invocations : int;
   metrics : Metrics.t;
   profiles : Profile.t array;
+  sample : Sample.report option;
 }
 
 (* Tracks concurrent accelerator invocations so memory bandwidth is divided
@@ -213,10 +214,12 @@ let publish_result reg (r : result) =
       c ("mix." ^ Op.class_to_string cls) n)
     Op.all_classes
 
-let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
-    ~tiles =
+let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
+    ?on_checkpoint ?resume ?sample cfg ~program ~trace ~tiles =
   let ntiles = Array.length tiles in
   if ntiles = 0 then invalid_arg "Soc.run: no tiles";
+  if sample <> None && (checkpoint_at <> None || resume <> None) then
+    invalid_arg "Soc.run: sampling cannot be combined with checkpoints";
   if ntiles <> trace.Trace.ntiles then
     invalid_arg
       (Printf.sprintf "Soc.run: %d tiles but trace has %d" ntiles
@@ -233,11 +236,10 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
     match metrics with Some r -> r | None -> Metrics.create ()
   in
   let hier = Hierarchy.create ~sink ~ntiles cfg.hierarchy in
+  let noc = Option.map (fun c -> Noc.create ~sink ~ntiles c) cfg.noc in
   let inter =
     Interleaver.create ~buffer_capacity:cfg.buffer_capacity
-      ~wire_latency:cfg.wire_latency
-      ?noc:(Option.map (fun c -> Noc.create ~sink ~ntiles c) cfg.noc)
-      ~sink ()
+      ~wire_latency:cfg.wire_latency ?noc ~sink ()
   in
   let mgr =
     {
@@ -268,7 +270,9 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
      sink forces the serial scheduler. *)
   let nshards =
     let s = Stdlib.min cfg.shards ntiles in
-    if s > 1 && not (Sink.enabled sink) then s else 1
+    (* Sampling drives drains, fast-forwards and phase transitions from
+       the serial scheduler's loop top; force serial when sampling. *)
+    if s > 1 && (not (Sink.enabled sink)) && sample = None then s else 1
   in
   let sync =
     if nshards > 1 then Some (Mosaic_util.Shard_sync.create ~nshards)
@@ -372,6 +376,106 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
   let host_start = Unix.gettimeofday () in
   let cycle = ref 0 in
   let stepped = ref 0 in
+  (* Running finished count: each tile transitions to finished exactly
+     once, so a per-step O(ntiles) [Array.for_all] rescan is unnecessary. *)
+  let finished_count = ref 0 in
+  let finished_flags = Array.make ntiles false in
+  (* --- Checkpoints --- *)
+  let capture () =
+    {
+      Snapshot.cycle = !cycle;
+      stepped = !stepped;
+      finished = Array.copy finished_flags;
+      kernels = Array.map (fun (s : tile_spec) -> s.kernel) tiles;
+      dyn_instrs =
+        Array.map (fun (tt : Trace.tile_trace) -> tt.Trace.dyn_instrs)
+          trace.Trace.tiles;
+      profiled = profile;
+      tiles = Array.map Core_tile.dump cores;
+      hier = Hierarchy.dump hier;
+      inter = Interleaver.dump inter;
+      noc = Option.map Noc.dump noc;
+      accel_active = Array.of_list mgr.active;
+      accel_invocations = mgr.invocations;
+      accel_energy_pj = mgr.energy_pj_total;
+      accel_busy = Array.copy mgr.busy_by_tile;
+    }
+  in
+  (match resume with
+  | None -> ()
+  | Some (s : Snapshot.t) ->
+      if Array.length s.Snapshot.tiles <> ntiles then
+        invalid_arg "Soc.run: snapshot tile count mismatch";
+      Array.iteri
+        (fun i (spec : tile_spec) ->
+          if not (String.equal s.Snapshot.kernels.(i) spec.kernel) then
+            invalid_arg "Soc.run: snapshot kernel mismatch")
+        tiles;
+      Array.iteri
+        (fun i (tt : Trace.tile_trace) ->
+          if s.Snapshot.dyn_instrs.(i) <> tt.Trace.dyn_instrs then
+            invalid_arg "Soc.run: snapshot taken from a different trace")
+        trace.Trace.tiles;
+      if s.Snapshot.profiled <> profile then
+        invalid_arg "Soc.run: snapshot profiling mode mismatch";
+      Array.iteri (fun i d -> Core_tile.restore cores.(i) d) s.Snapshot.tiles;
+      Hierarchy.restore hier s.Snapshot.hier;
+      Interleaver.restore inter s.Snapshot.inter;
+      (match (noc, s.Snapshot.noc) with
+      | Some n, Some d -> Noc.restore n d
+      | None, None -> ()
+      | _ -> invalid_arg "Soc.run: snapshot NoC presence mismatch");
+      mgr.active <- Array.to_list s.Snapshot.accel_active;
+      mgr.invocations <- s.Snapshot.accel_invocations;
+      mgr.energy_pj_total <- s.Snapshot.accel_energy_pj;
+      Array.blit s.Snapshot.accel_busy 0 mgr.busy_by_tile 0 ntiles;
+      Array.blit s.Snapshot.finished 0 finished_flags 0 ntiles;
+      finished_count :=
+        Array.fold_left (fun n f -> if f then n + 1 else n) 0 finished_flags;
+      cycle := s.Snapshot.cycle;
+      stepped := s.Snapshot.stepped);
+  let snapped = ref false in
+  let maybe_checkpoint ?(force = false) () =
+    match checkpoint_at with
+    | Some at when (not !snapped) && (force || !cycle >= at) ->
+        snapped := true;
+        (match on_checkpoint with Some f -> f (capture ()) | None -> ())
+    | _ -> ()
+  in
+  (* --- Sampling --- *)
+  let sampler =
+    Option.map
+      (fun spec ->
+        let funcs =
+          Array.map
+            (fun (s : tile_spec) -> Program.func_exn program s.kernel)
+            tiles
+        in
+        let on_accel ~tile:_ ~kind ~params =
+          (* Functional invocation: count it and charge its closed-form
+             energy, but no DMA burst, busy accounting or bandwidth
+             sharing — timing in fast-forwarded stretches is extrapolated,
+             not simulated. *)
+          let design =
+            match List.assoc_opt kind cfg.accel_designs with
+            | Some d -> d
+            | None -> Accel_model.default_design
+          in
+          let w = Accel_kinds.workload kind params in
+          let est = Accel_model.estimate cfg.accel_sys design w in
+          mgr.invocations <- mgr.invocations + 1;
+          let pj = est.Accel_model.energy_j *. 1e12 in
+          mgr.energy_pj_total <- mgr.energy_pj_total +. pj;
+          pj
+        in
+        Sample.make_driver ~spec ~cores ~funcs ~profiles ~inter ~hier
+          ~dyn_instrs:
+            (Array.map
+               (fun (tt : Trace.tile_trace) -> tt.Trace.dyn_instrs)
+               trace.Trace.tiles)
+          ~on_accel ~profiled:profile)
+      sample
+  in
   (* Periodic cumulative stall samples for Chrome counter tracks; only
      when both profiling and an enabled sink are wired up. *)
   let sampling = profile && Sink.enabled sink in
@@ -384,10 +488,6 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
            { tile = i; counts = Profile.counts profiles.(i) })
     done
   in
-  (* Running finished count: each tile transitions to finished exactly
-     once, so a per-step O(ntiles) [Array.for_all] rescan is unnecessary. *)
-  let finished_count = ref 0 in
-  let finished_flags = Array.make ntiles false in
   (* Minimum next-event view across every component, evaluated at a
      globally quiescent [cycle]; [max_int] means nothing can ever wake (a
      true deadlock). Shared verbatim by both schedulers so the sharded
@@ -414,6 +514,10 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
   | None ->
       while !finished_count < ntiles do
         if !cycle >= cfg.max_cycles then max_cycles_failure ();
+        maybe_checkpoint ();
+        (match sampler with
+        | Some d -> Sample.tick d ~cycle:!cycle
+        | None -> ());
         let progress = ref false in
         for i = 0 to ntiles - 1 do
           let c = cores.(i) in
@@ -445,6 +549,11 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
               cfg.max_cycles
             else Stdlib.min next cfg.max_cycles
           in
+          let target =
+            match sampler with
+            | Some d -> Stdlib.min target (Sample.skip_cap d ~cycle:!cycle)
+            | None -> target
+          in
           (* Skipped cycles are provably identical no-ops, so each tile's
              attribution over the stretch is its frozen last-swept-cycle
              cause; booking it keeps per-tile attribution bit-identical with
@@ -459,11 +568,14 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
           cycle := target
         end
       done
-  | Some sync ->
+  | Some sync when !finished_count < ntiles ->
       let module Sync = Mosaic_util.Shard_sync in
       (* The serial loop fails at the top of its first iteration when the
          cap is non-positive; replicate before spawning any domain. *)
       if !cycle >= cfg.max_cycles then max_cycles_failure ();
+      (* Same capture point as the serial loop top: before sweeping the
+         first visited cycle (later cycles are handled by the reducer). *)
+      maybe_checkpoint ();
       (* Per-shard sweep outcomes (each slot written by its owner before
          the barrier, read by the reducer) and the reducer's decisions
          (written under the barrier, read by every shard after it). *)
@@ -497,13 +609,16 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
            next_cycle := target
          end);
         cycle := !next_cycle;
+        (* Under the barrier every shard is parked, so reading all tiles
+           here matches the serial loop-top capture point exactly. *)
+        maybe_checkpoint ();
         if !finished_count >= ntiles then stop := true
         else if !cycle >= cfg.max_cycles then max_cycles_failure ()
       in
       Sync.run sync (fun k ->
           let lo = bounds.(k) and hi = bounds.(k + 1) in
           let seq = ref 0 in
-          let my_cycle = ref 0 in
+          let my_cycle = ref !cycle in
           let running = ref true in
           while !running do
             let c = !my_cycle in
@@ -538,7 +653,16 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
                 done;
               my_cycle := !next_cycle
             end
-          done));
+          done)
+  | Some _ ->
+      (* Resumed from a snapshot taken after every tile finished: there is
+         no cycle left to sweep, and running one would book extra stepped
+         cycles the straight run never saw. *)
+      ());
+  (* A checkpoint requested at or past the final cycle captures the
+     end-of-run state (the serial loop top is never reached again), even
+     when the requested cycle lies beyond the run's last cycle. *)
+  maybe_checkpoint ~force:true ();
   if sampling then emit_samples ();
   let host_seconds = Unix.gettimeofday () -. host_start in
   let cycles = !cycle in
@@ -606,17 +730,30 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) cfg ~program ~trace
       accel_invocations = mgr.invocations;
       metrics = reg;
       profiles;
+      sample = Option.map (fun d -> Sample.finish d ~cycle:cycles) sampler;
     }
   in
   publish_result reg r;
+  (match r.sample with
+  | Some (s : Sample.report) ->
+      let c name v = Metrics.incr ~by:v (Metrics.counter reg name) in
+      c "sample.est_cycles" s.Sample.est_cycles;
+      c "sample.detailed_cycles" s.Sample.detailed_cycles;
+      c "sample.detailed_instrs" s.Sample.detailed_instrs;
+      c "sample.ff_instrs" s.Sample.ff_instrs;
+      c "sample.periods" s.Sample.periods;
+      c "sample.degraded" s.Sample.degraded
+  | None -> ());
   Hierarchy.publish hier reg;
   Interleaver.publish inter reg;
   r
 
-let run_homogeneous ?sink ?metrics ?profile cfg ~program ~trace ~tile_config =
+let run_homogeneous ?sink ?metrics ?profile ?checkpoint_at ?on_checkpoint
+    ?resume ?sample cfg ~program ~trace ~tile_config =
   let tiles =
     Array.map
       (fun (tt : Trace.tile_trace) -> { kernel = tt.Trace.kernel; tile_config })
       trace.Trace.tiles
   in
-  run ?sink ?metrics ?profile cfg ~program ~trace ~tiles
+  run ?sink ?metrics ?profile ?checkpoint_at ?on_checkpoint ?resume ?sample cfg
+    ~program ~trace ~tiles

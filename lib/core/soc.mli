@@ -85,6 +85,10 @@ type result = {
           ([Profile.null] per tile otherwise). Invariant: for every tile,
           [Profile.total] equals [cycles], with and without cycle
           skipping. *)
+  sample : Sample.report option;
+      (** present iff the run was sampled; [report.est_cycles] is the
+          extrapolated whole-run cycle estimate ([cycles] holds only the
+          detailed clock of the measured portions) *)
 }
 
 (** Raises [Invalid_argument] when tiles and trace disagree (count or
@@ -105,11 +109,32 @@ type result = {
     [tile.<i>.stall.<cause>] / [stall.<cause>] registry counters, and —
     when [sink] is also enabled — as periodic cumulative
     [Event.Stall_sample] counter-track events. Simulated cycle counts are
-    bit-identical with profiling on or off. *)
+    bit-identical with profiling on or off.
+
+    {b Checkpoints.} [checkpoint_at:n] captures a {!Snapshot.t} at the
+    first visited cycle [>= n] (or at end of run when [n] is past it) and
+    hands it to [on_checkpoint]; capture happens before that cycle is
+    swept, so resuming reproduces the remainder bit-identically. [resume]
+    restores a snapshot before the first cycle: the run continues from
+    [Snapshot.cycle] and every final counter matches the straight run.
+    Resume validates tile count, kernels, trace identity (dynamic
+    instruction counts), profiling mode and NoC presence, raising
+    [Invalid_argument] on mismatch. Snapshots work under sharded execution
+    too (capture points coincide with the serial scheduler's).
+
+    {b Sampling.} [sample:spec] turns on interval sampling
+    ({!Sample.spec}): detailed measurement alternates with functional
+    fast-forward, and [result.sample] carries the extrapolated cycle and
+    stall estimates. Sampled runs force [shards = 1] and cannot be
+    combined with checkpoints ([Invalid_argument]). *)
 val run :
   ?sink:Mosaic_obs.Sink.t ->
   ?metrics:Mosaic_obs.Metrics.t ->
   ?profile:bool ->
+  ?checkpoint_at:int ->
+  ?on_checkpoint:(Snapshot.t -> unit) ->
+  ?resume:Snapshot.t ->
+  ?sample:Sample.spec ->
   config ->
   program:Mosaic_ir.Program.t ->
   trace:Mosaic_trace.Trace.t ->
@@ -122,6 +147,10 @@ val run_homogeneous :
   ?sink:Mosaic_obs.Sink.t ->
   ?metrics:Mosaic_obs.Metrics.t ->
   ?profile:bool ->
+  ?checkpoint_at:int ->
+  ?on_checkpoint:(Snapshot.t -> unit) ->
+  ?resume:Snapshot.t ->
+  ?sample:Sample.spec ->
   config ->
   program:Mosaic_ir.Program.t ->
   trace:Mosaic_trace.Trace.t ->

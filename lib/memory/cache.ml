@@ -232,6 +232,114 @@ let hit_rate t =
   if t.stats.accesses = 0 then 0.0
   else float_of_int t.stats.hits /. float_of_int t.stats.accesses
 
+(* Warm [addr] into the cache without touching stats or MSHRs: the
+   fast-forward touch stream maintains tags/LRU/dirty architecturally so
+   the next detailed interval starts from a warmed cache, while demand
+   counters keep counting only detailed accesses. Returns the same
+   eviction view as [fill] so the hierarchy can propagate writebacks. *)
+let warm t ~addr ~is_write =
+  let line = line_of t addr in
+  let slot = find_way t line in
+  if slot >= 0 then begin
+    touch t slot;
+    if is_write then t.dirty.(slot) <- true;
+    `Hit
+  end
+  else begin
+    let set = set_of t line in
+    let base = set * t.cfg.assoc in
+    let victim = ref base in
+    let found_invalid = ref false in
+    for way = 0 to t.cfg.assoc - 1 do
+      let slot = base + way in
+      if (not !found_invalid) && t.tags.(slot) = -1 then begin
+        victim := slot;
+        found_invalid := true
+      end
+      else if (not !found_invalid) && t.lru.(slot) < t.lru.(!victim) then
+        victim := slot
+    done;
+    let slot = !victim in
+    let result =
+      if t.tags.(slot) = -1 then `Filled `None
+      else begin
+        let evicted_addr = t.tags.(slot) * t.cfg.line_size in
+        if t.dirty.(slot) then `Filled (`Dirty evicted_addr)
+        else `Filled (`Clean evicted_addr)
+      end
+    in
+    t.tags.(slot) <- line;
+    t.dirty.(slot) <- is_write;
+    touch t slot;
+    result
+  end
+
+(* [invalidate] minus the stats bump: directory bookkeeping during
+   fast-forward drops lines architecturally without counting them as
+   demand-path invalidations. *)
+let drop t ~addr =
+  let slot = find_way t (line_of t addr) in
+  if slot < 0 then `Absent
+  else begin
+    t.tags.(slot) <- -1;
+    let was_dirty = t.dirty.(slot) in
+    t.dirty.(slot) <- false;
+    if was_dirty then `Dirty else `Clean
+  end
+
+(* --- Snapshot support --- *)
+
+type dump = {
+  d_tags : int array;
+  d_dirty : bool array;
+  d_lru : int array;
+  d_clock : int;
+  d_mshr : Int_table.dump;
+  d_mshr_expiry : Int_heap.dump;
+  d_stats : int array;  (** the 9 counters, field order of [stats] *)
+  d_pf : Prefetcher.dump option;
+}
+
+let dump t =
+  {
+    d_tags = Array.copy t.tags;
+    d_dirty = Array.copy t.dirty;
+    d_lru = Array.copy t.lru;
+    d_clock = t.clock;
+    d_mshr = Int_table.dump t.mshr;
+    d_mshr_expiry = Int_heap.dump t.mshr_expiry;
+    d_stats =
+      [|
+        t.stats.accesses; t.stats.hits; t.stats.misses; t.stats.evictions;
+        t.stats.writebacks; t.stats.prefetches_issued; t.stats.mshr_merges;
+        t.stats.mshr_stalls; t.stats.invalidations;
+      |];
+    d_pf = Option.map Prefetcher.dump t.pf;
+  }
+
+let restore t d =
+  if Array.length d.d_tags <> Array.length t.tags then
+    invalid_arg (Printf.sprintf "Cache.restore(%s): geometry mismatch" t.cname);
+  Array.blit d.d_tags 0 t.tags 0 (Array.length t.tags);
+  Array.blit d.d_dirty 0 t.dirty 0 (Array.length t.dirty);
+  Array.blit d.d_lru 0 t.lru 0 (Array.length t.lru);
+  t.clock <- d.d_clock;
+  Int_table.restore t.mshr d.d_mshr;
+  Int_heap.restore t.mshr_expiry d.d_mshr_expiry;
+  t.stats.accesses <- d.d_stats.(0);
+  t.stats.hits <- d.d_stats.(1);
+  t.stats.misses <- d.d_stats.(2);
+  t.stats.evictions <- d.d_stats.(3);
+  t.stats.writebacks <- d.d_stats.(4);
+  t.stats.prefetches_issued <- d.d_stats.(5);
+  t.stats.mshr_merges <- d.d_stats.(6);
+  t.stats.mshr_stalls <- d.d_stats.(7);
+  t.stats.invalidations <- d.d_stats.(8);
+  match (t.pf, d.d_pf) with
+  | Some pf, Some pd -> Prefetcher.restore pf pd
+  | None, None -> ()
+  | _ -> invalid_arg (Printf.sprintf "Cache.restore(%s): prefetcher mismatch" t.cname)
+
 (* Publish this cache's counters into a metrics registry under
    "cache.<name>.*" (e.g. cache.l1.0.hits). *)
 let publish t reg =

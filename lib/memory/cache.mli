@@ -82,6 +82,30 @@ val prefetcher : t -> Prefetcher.t option
 (** Hits over accesses; 0 before the first access. *)
 val hit_rate : t -> float
 
+(** [warm t ~addr ~is_write] installs or refreshes the line like a demand
+    access but without touching stats, MSHRs or the prefetcher — the
+    fast-forward touch stream uses it to keep tags/LRU/dirty architecturally
+    current between detailed intervals. Returns the eviction, like
+    {!fill}. *)
+val warm :
+  t ->
+  addr:int ->
+  is_write:bool ->
+  [ `Hit | `Filled of [ `None | `Clean of int | `Dirty of int ] ]
+
+(** [invalidate] without the stats bump, for architectural bookkeeping on
+    the fast-forward path. *)
+val drop : t -> addr:int -> [ `Absent | `Clean | `Dirty ]
+
 (** Publish this cache's counters under "cache.<name>.*" into a metrics
     registry. *)
 val publish : t -> Mosaic_obs.Metrics.t -> unit
+
+(** {1 Snapshots} — tags/dirty/LRU, MSHR table and expiry heap, stats and
+    prefetcher state. [restore] raises [Invalid_argument] on a geometry or
+    prefetcher-presence mismatch. *)
+
+type dump
+
+val dump : t -> dump
+val restore : t -> dump -> unit

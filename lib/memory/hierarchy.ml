@@ -228,6 +228,73 @@ let access t ~tile ~cycle ~addr ~is_write =
   demand t t.chains.(tile) 0 ~cycle:(cycle + penalty) ~addr
     ~dirty_first:is_write
 
+(* --- Fast-forward cache warming ---
+
+   Mirror of the demand path's *architectural* effects — fills, LRU
+   refreshes, dirty bits, directory sharers/owners and the invalidations
+   they imply — with no timing, no MSHR traffic and no stats, so the
+   demand counters keep measuring only detailed intervals. *)
+
+let rec warm_writeback caches i ~addr =
+  if i < Array.length caches then
+    match Cache.warm caches.(i) ~addr ~is_write:true with
+    | `Hit | `Filled `None | `Filled (`Clean _) -> ()
+    | `Filled (`Dirty evicted) -> warm_writeback caches (i + 1) ~addr:evicted
+
+let rec warm_chain caches i ~addr ~is_write =
+  if i < Array.length caches then
+    match
+      Cache.warm caches.(i) ~addr ~is_write:(if i = 0 then is_write else false)
+    with
+    | `Hit -> ()
+    | `Filled ev ->
+        (match ev with
+        | `Dirty evicted -> warm_writeback caches (i + 1) ~addr:evicted
+        | `Clean _ | `None -> ());
+        warm_chain caches (i + 1) ~addr ~is_write
+
+(* Directory effects without latency accounting: lines dropped from other
+   tiles' private caches merge their dirty data at the shared level. *)
+let warm_drop_private t other ~addr =
+  let merge = function
+    | `Dirty -> warm_writeback t.shared_chain 0 ~addr
+    | `Clean | `Absent -> ()
+  in
+  merge (Cache.drop t.l1s.(other) ~addr);
+  if Array.length t.l2s > 0 then merge (Cache.drop t.l2s.(other) ~addr)
+
+let warm_directory t ~tile ~addr ~is_write =
+  match t.cfg.coherence with
+  | Some _ when t.ntiles > 1 ->
+      let line = addr / line_size t in
+      let bit = 1 lsl tile in
+      let sharer_mask = Int_table.find t.sharers line ~default:0 in
+      if is_write then begin
+        let others = sharer_mask land lnot bit in
+        if others <> 0 then
+          for other = 0 to t.ntiles - 1 do
+            if others land (1 lsl other) <> 0 then
+              warm_drop_private t other ~addr
+          done;
+        Int_table.set t.sharers line bit;
+        Int_table.set t.modified line tile
+      end
+      else begin
+        let owner = Int_table.find t.modified line ~default:(-1) in
+        if owner >= 0 && owner <> tile then begin
+          warm_drop_private t owner ~addr;
+          Int_table.remove t.modified line
+        end;
+        Int_table.set t.sharers line (sharer_mask lor bit)
+      end
+  | _ -> ()
+
+let warm t ~tile ~addr ~is_write =
+  if tile < 0 || tile >= t.ntiles then
+    invalid_arg (Printf.sprintf "Hierarchy.warm: bad tile %d" tile);
+  warm_directory t ~tile ~addr ~is_write;
+  warm_chain t.chains.(tile) 0 ~addr ~is_write
+
 (* Sharded-execution support: an access whose line is already resident in
    the tile's L1 reads and writes only that tile's private state (tags,
    LRU, stats, MSHR merge bookkeeping), provided nothing can reach across
@@ -319,6 +386,45 @@ let l2_hit_rate t = level_hit_rate t.l2s
 
 let llc_hit_rate t =
   match t.llc with Some c -> Cache.hit_rate c | None -> 0.0
+
+(* --- Snapshot support --- *)
+
+type dump = {
+  d_l1s : Cache.dump array;
+  d_l2s : Cache.dump array;
+  d_llc : Cache.dump option;
+  d_dram : Dram.dump;
+  d_sharers : Int_table.dump;
+  d_modified : Int_table.dump;
+  d_inval_msgs : int;
+}
+
+let dump t =
+  {
+    d_l1s = Array.map Cache.dump t.l1s;
+    d_l2s = Array.map Cache.dump t.l2s;
+    d_llc = Option.map Cache.dump t.llc;
+    d_dram = Dram.dump t.dram;
+    d_sharers = Int_table.dump t.sharers;
+    d_modified = Int_table.dump t.modified;
+    d_inval_msgs = t.inval_msgs;
+  }
+
+let restore t d =
+  if
+    Array.length d.d_l1s <> Array.length t.l1s
+    || Array.length d.d_l2s <> Array.length t.l2s
+    || Option.is_some d.d_llc <> Option.is_some t.llc
+  then invalid_arg "Hierarchy.restore: topology mismatch";
+  Array.iteri (fun i c -> Cache.restore c d.d_l1s.(i)) t.l1s;
+  Array.iteri (fun i c -> Cache.restore c d.d_l2s.(i)) t.l2s;
+  (match (t.llc, d.d_llc) with
+  | Some c, Some cd -> Cache.restore c cd
+  | _ -> ());
+  Dram.restore t.dram d.d_dram;
+  Int_table.restore t.sharers d.d_sharers;
+  Int_table.restore t.modified d.d_modified;
+  t.inval_msgs <- d.d_inval_msgs
 
 (* Publish every cache, the DRAM model and the level totals into a metrics
    registry. *)

@@ -70,6 +70,15 @@ val can_accept : t -> tile:int -> cycle:int -> bool
     memory ops are throttled by miss bandwidth. *)
 val next_accept : t -> tile:int -> cycle:int -> int option
 
+(** [warm t ~tile ~addr ~is_write] replays the architectural effects of a
+    demand access — fills at every level an access would install into, LRU
+    refreshes, dirty bits, and directory sharer/owner transitions with the
+    invalidations they imply — without timing, MSHR traffic or statistics.
+    The fast-forward touch stream uses it so detailed intervals resume
+    against warmed caches while demand counters keep measuring only
+    detailed work. *)
+val warm : t -> tile:int -> addr:int -> is_write:bool -> unit
+
 (** Direct DRAM transfer for non-coherent accelerators (§IV-B): [bytes]
     are moved as line-sized bursts, bypassing the caches. Returns the cycle
     at which the last line completes. *)
@@ -104,3 +113,11 @@ val llc_hit_rate : t -> float
 (** Publish every cache ("cache.<name>.*"), the DRAM model ("dram.*") and
     the level totals ("mem.*") into a metrics registry. *)
 val publish : t -> Mosaic_obs.Metrics.t -> unit
+
+(** {1 Snapshots} — every cache level, the DRAM model and the directory.
+    [restore] raises [Invalid_argument] on a topology mismatch. *)
+
+type dump
+
+val dump : t -> dump
+val restore : t -> dump -> unit

@@ -84,6 +84,9 @@ type t = {
   mutable last_term : node option;
   predictor : Predictor.t option;
   mutable pending_mispredict : bool;
+  mutable launch_enabled : bool;
+      (** cleared while the sampling driver drains the pipeline to a
+          snapshot-able quiescent point; never part of a snapshot *)
   mutable trace_done : bool;
   mutable done_ : bool;
   stats : stats;
@@ -154,6 +157,7 @@ let create ?(sink = Mosaic_obs.Sink.null) ?lat_hist ?(profile = Profile.null)
       | Branch.Dynamic { kind; _ } -> Some (Predictor.create kind)
       | _ -> None);
     pending_mispredict = false;
+    launch_enabled = true;
     trace_done = false;
     done_ = false;
     stats = fresh_stats ();
@@ -715,7 +719,7 @@ let step t ~cycle =
     if t.prof.Profile.enabled then Profile.reset_scan t.prof;
     let progress = ref (process_events t ~cycle) in
     Array.fill t.fu_busy 0 (Array.length t.fu_busy) 0;
-    if try_launches t ~cycle then progress := true;
+    if t.launch_enabled && try_launches t ~cycle then progress := true;
     let issued =
       if t.cfg.Tile_config.in_order then issue_in_order t ~cycle
       else issue_out_of_order t ~cycle
@@ -773,7 +777,7 @@ let next_event_cycle t ~cycle =
          progress proves nothing: retry pending work at the next edge. *)
       if
         has_issue_candidate t
-        || (not t.trace_done)
+        || (t.launch_enabled && not t.trace_done)
         || not (Queue.is_empty t.inflight)
       then add next_edge
     end
@@ -809,3 +813,280 @@ let next_event_cycle t ~cycle =
     then add next_edge;
     if !best = max_int then None else Some !best
   end
+
+(* --- Fast-forward support ---
+
+   The sampling driver drains the pipeline (launching disabled, detailed
+   stepping) to a quiescent point, then the functional executor replays
+   trace blocks against the cursor directly. [ff_commit] absorbs the
+   skipped work into the architectural counters and resets the
+   cross-boundary frontier: register and control dependencies into the
+   fast-forwarded region are dropped, which is the sampling approximation
+   (the exact path never calls this). *)
+
+let set_launch_enabled t v = t.launch_enabled <- v
+
+let quiescent t =
+  Queue.is_empty t.inflight
+  && Pqueue.is_empty t.events
+  && Pqueue.is_empty t.mao_release
+
+let cursor t = t.cursor
+let trace_done t = t.trace_done
+
+let ff_observe_branch t (term : Instr.t) ~actual =
+  match t.predictor with
+  | Some p -> Predictor.observe p ~branch_id:term.Instr.id term ~actual
+  | None -> ()
+
+let ff_commit t ~instrs ~dbbs ~mem_accesses ~by_class ~accel_energy_pj =
+  t.stats.completed_instrs <- t.stats.completed_instrs + instrs;
+  t.stats.dbbs_launched <- t.stats.dbbs_launched + dbbs;
+  t.stats.mem_accesses <- t.stats.mem_accesses + mem_accesses;
+  let energy = ref accel_energy_pj in
+  Array.iteri
+    (fun ci k ->
+      t.stats.issued_by_class.(ci) <- t.stats.issued_by_class.(ci) + k;
+      energy := !energy +. (float_of_int k *. t.energy_ci.(ci)))
+    by_class;
+  t.stats.energy_pj <- t.stats.energy_pj +. !energy;
+  Array.fill t.last_writer 0 (Array.length t.last_writer) None;
+  t.last_term <- None;
+  t.pending_mispredict <- false
+
+(* --- Snapshots ---
+
+   Nodes are serialized by sequence number: the live set is everything in
+   the instruction window plus the completed frontier nodes still referenced
+   as register writers or the last terminator (their dependents are cleared
+   at completion, so they dump as leaves). Instruction identity is
+   (block id, position in block) — the static program is rebuilt from the
+   workload on restore, never serialized. *)
+
+type node_dump = {
+  nd_seq : int;
+  nd_dbb : int;  (** dbb_seq of the owning dynamic block *)
+  nd_idx : int;  (** position within the block *)
+  nd_parents_left : int;
+  nd_state : int;
+  nd_dependents : int array;
+  nd_addr : int;
+  nd_accel_params : Value.t array;
+  nd_send_dst : int;
+  nd_complete_cycle : int;
+}
+
+type dbb_dump = { bd_seq : int; bd_bid : int; bd_incomplete : int }
+
+type dump = {
+  d_cursor : Trace.Cursor.dump;
+  d_nodes : node_dump array;
+  d_dbbs : dbb_dump array;
+  d_inflight : int array;
+  d_order : int array;
+  d_ready : int array;
+  d_stash : int array;
+  d_events : int Pqueue.dump;
+  d_mao : Mao.dump;
+  d_mao_release : int Pqueue.dump;
+  d_last_writer : int array;  (** per register: writer seq or -1 *)
+  d_fu_busy : int array;
+  d_next_seq : int;
+  d_live_dbbs : int;
+  d_live_per_bb : int array;
+  d_last_term : int;  (** seq or -1 *)
+  d_predictor : Predictor.dump option;
+  d_pending_mispredict : bool;
+  d_trace_done : bool;
+  d_done : bool;
+  d_stats : int array;
+      (** completed_instrs, finish_cycle, dbbs_launched, mem_accesses,
+          branch predictions, branch mispredictions *)
+  d_energy_pj : float;
+  d_issued_by_class : int array;
+  d_prof : Profile.dump;
+  d_lat_hist : Mosaic_obs.Metrics.hist_dump option;
+}
+
+let state_code = function Waiting -> 0 | Ready -> 1 | Issued -> 2 | Completed -> 3
+
+let state_of_code = function
+  | 0 -> Waiting
+  | 1 -> Ready
+  | 2 -> Issued
+  | 3 -> Completed
+  | c -> invalid_arg (Printf.sprintf "Core_tile: bad node state code %d" c)
+
+let dump t =
+  let tbl : (int, node) Hashtbl.t = Hashtbl.create 256 in
+  let add n = if not (Hashtbl.mem tbl n.seq) then Hashtbl.replace tbl n.seq n in
+  Queue.iter add t.inflight;
+  Queue.iter add t.order;
+  for i = 0 to t.ready_len - 1 do add t.ready_arr.(i) done;
+  for i = 0 to t.stash_len - 1 do add t.stash.(i) done;
+  Array.iter (function Some n -> add n | None -> ()) t.last_writer;
+  (match t.last_term with Some n -> add n | None -> ());
+  let events = Pqueue.map_dump (fun n -> add n; n.seq) (Pqueue.dump t.events) in
+  let nodes =
+    Hashtbl.fold (fun _ n acc -> n :: acc) tbl []
+    |> List.sort (fun a b -> compare a.seq b.seq)
+    |> Array.of_list
+  in
+  let dbbs : (int, dbb) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun n ->
+      if not (Hashtbl.mem dbbs n.dbb.dbb_seq) then
+        Hashtbl.replace dbbs n.dbb.dbb_seq n.dbb)
+    nodes;
+  let queue_seqs q =
+    let out = Array.make (Queue.length q) 0 in
+    let i = ref 0 in
+    Queue.iter (fun n -> out.(!i) <- n.seq; incr i) q;
+    out
+  in
+  {
+    d_cursor = Trace.Cursor.dump t.cursor;
+    d_nodes =
+      Array.map
+        (fun n ->
+          {
+            nd_seq = n.seq;
+            nd_dbb = n.dbb.dbb_seq;
+            nd_idx = t.pos_of_id.(n.instr.Instr.id);
+            nd_parents_left = n.parents_left;
+            nd_state = state_code n.state;
+            nd_dependents =
+              Array.of_list (List.map (fun d -> d.seq) n.dependents);
+            nd_addr = n.addr;
+            nd_accel_params = Array.copy n.accel_params;
+            nd_send_dst = n.send_dst;
+            nd_complete_cycle = n.complete_cycle;
+          })
+        nodes;
+    d_dbbs =
+      Hashtbl.fold
+        (fun _ b acc ->
+          { bd_seq = b.dbb_seq; bd_bid = b.dbb_bid; bd_incomplete = b.incomplete }
+          :: acc)
+        dbbs []
+      |> List.sort (fun a b -> compare a.bd_seq b.bd_seq)
+      |> Array.of_list;
+    d_inflight = queue_seqs t.inflight;
+    d_order = queue_seqs t.order;
+    d_ready = Array.init t.ready_len (fun i -> t.ready_arr.(i).seq);
+    d_stash = Array.init t.stash_len (fun i -> t.stash.(i).seq);
+    d_events = events;
+    d_mao = Mao.dump t.mao;
+    d_mao_release = Pqueue.dump t.mao_release;
+    d_last_writer =
+      Array.map (function Some n -> n.seq | None -> -1) t.last_writer;
+    d_fu_busy = Array.copy t.fu_busy;
+    d_next_seq = t.next_seq;
+    d_live_dbbs = t.live_dbbs;
+    d_live_per_bb = Array.copy t.live_per_bb;
+    d_last_term = (match t.last_term with Some n -> n.seq | None -> -1);
+    d_predictor = Option.map Predictor.dump t.predictor;
+    d_pending_mispredict = t.pending_mispredict;
+    d_trace_done = t.trace_done;
+    d_done = t.done_;
+    d_stats =
+      [|
+        t.stats.completed_instrs; t.stats.finish_cycle; t.stats.dbbs_launched;
+        t.stats.mem_accesses; t.stats.branch.Branch.predictions;
+        t.stats.branch.Branch.mispredictions;
+      |];
+    d_energy_pj = t.stats.energy_pj;
+    d_issued_by_class = Array.copy t.stats.issued_by_class;
+    d_prof = Profile.dump t.prof;
+    d_lat_hist = Option.map Mosaic_obs.Metrics.hist_dump t.lat_hist;
+  }
+
+let restore t d =
+  if Array.length d.d_last_writer <> Array.length t.last_writer then
+    invalid_arg "Core_tile.restore: register-file size mismatch";
+  if Array.length d.d_live_per_bb <> Array.length t.live_per_bb then
+    invalid_arg "Core_tile.restore: block count mismatch";
+  Trace.Cursor.restore t.cursor d.d_cursor;
+  let dbbs : (int, dbb) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun b ->
+      Hashtbl.replace dbbs b.bd_seq
+        { dbb_seq = b.bd_seq; dbb_bid = b.bd_bid; incomplete = b.bd_incomplete })
+    d.d_dbbs;
+  let nodes : (int, node) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun nd ->
+      let dbb =
+        match Hashtbl.find_opt dbbs nd.nd_dbb with
+        | Some b -> b
+        | None -> invalid_arg "Core_tile.restore: node references unknown DBB"
+      in
+      let blk = Func.block t.func dbb.dbb_bid in
+      if nd.nd_idx < 0 || nd.nd_idx >= Array.length blk.Func.instrs then
+        invalid_arg "Core_tile.restore: node index out of block range";
+      Hashtbl.replace nodes nd.nd_seq
+        {
+          seq = nd.nd_seq;
+          instr = blk.Func.instrs.(nd.nd_idx);
+          dbb;
+          parents_left = nd.nd_parents_left;
+          state = state_of_code nd.nd_state;
+          dependents = [];
+          addr = nd.nd_addr;
+          accel_params = Array.copy nd.nd_accel_params;
+          send_dst = nd.nd_send_dst;
+          complete_cycle = nd.nd_complete_cycle;
+        })
+    d.d_nodes;
+  let node seq =
+    match Hashtbl.find_opt nodes seq with
+    | Some n -> n
+    | None ->
+        invalid_arg (Printf.sprintf "Core_tile.restore: unknown node %d" seq)
+  in
+  Array.iter
+    (fun nd ->
+      let n = node nd.nd_seq in
+      n.dependents <- Array.to_list (Array.map node nd.nd_dependents))
+    d.d_nodes;
+  Queue.clear t.inflight;
+  Array.iter (fun s -> Queue.add (node s) t.inflight) d.d_inflight;
+  Queue.clear t.order;
+  Array.iter (fun s -> Queue.add (node s) t.order) d.d_order;
+  t.ready_arr <- Array.map node d.d_ready;
+  t.ready_len <- Array.length d.d_ready;
+  t.stash <- Array.map node d.d_stash;
+  t.stash_len <- Array.length d.d_stash;
+  Pqueue.restore t.events (Pqueue.map_dump node d.d_events);
+  Mao.restore t.mao d.d_mao;
+  Pqueue.restore t.mao_release d.d_mao_release;
+  Array.iteri
+    (fun r s -> t.last_writer.(r) <- (if s < 0 then None else Some (node s)))
+    d.d_last_writer;
+  Array.blit d.d_fu_busy 0 t.fu_busy 0 (Array.length t.fu_busy);
+  t.next_seq <- d.d_next_seq;
+  t.live_dbbs <- d.d_live_dbbs;
+  Array.blit d.d_live_per_bb 0 t.live_per_bb 0 (Array.length t.live_per_bb);
+  t.last_term <- (if d.d_last_term < 0 then None else Some (node d.d_last_term));
+  (match (t.predictor, d.d_predictor) with
+  | Some p, Some pd -> Predictor.restore p pd
+  | None, None -> ()
+  | _ -> invalid_arg "Core_tile.restore: branch-predictor mismatch");
+  t.pending_mispredict <- d.d_pending_mispredict;
+  t.launch_enabled <- true;
+  t.trace_done <- d.d_trace_done;
+  t.done_ <- d.d_done;
+  t.stats.completed_instrs <- d.d_stats.(0);
+  t.stats.finish_cycle <- d.d_stats.(1);
+  t.stats.dbbs_launched <- d.d_stats.(2);
+  t.stats.mem_accesses <- d.d_stats.(3);
+  t.stats.branch.Branch.predictions <- d.d_stats.(4);
+  t.stats.branch.Branch.mispredictions <- d.d_stats.(5);
+  t.stats.energy_pj <- d.d_energy_pj;
+  Array.blit d.d_issued_by_class 0 t.stats.issued_by_class 0
+    (Array.length t.stats.issued_by_class);
+  Profile.restore t.prof d.d_prof;
+  match (t.lat_hist, d.d_lat_hist) with
+  | Some h, Some hd -> Mosaic_obs.Metrics.hist_restore h hd
+  | None, None -> ()
+  | _ -> invalid_arg "Core_tile.restore: latency-histogram mismatch"

@@ -98,3 +98,52 @@ val mao_stalls : t -> int
 
 (** Instructions per cycle; meaningful once finished. *)
 val ipc : t -> float
+
+(** {1 Fast-forward}
+
+    Hooks for the sampling driver: drain the pipeline with launching
+    disabled, replay trace blocks functionally against {!cursor}, then
+    commit the skipped work. *)
+
+(** Enable/disable DBB launching; disabled while draining to a quiescent
+    point. Always re-enabled by [restore]. *)
+val set_launch_enabled : t -> bool -> unit
+
+(** No in-flight nodes, completion events, or deferred MAO releases — the
+    pipeline state a functional skip can start from. *)
+val quiescent : t -> bool
+
+(** The tile's trace cursor, advanced directly by the functional
+    executor. *)
+val cursor : t -> Mosaic_trace.Trace.Cursor.cursor
+
+(** Whether the control-path trace has been fully consumed. *)
+val trace_done : t -> bool
+
+(** Train the dynamic branch predictor on a fast-forwarded terminator
+    (counters and history move; nothing is counted as a prediction). *)
+val ff_observe_branch : t -> Mosaic_ir.Instr.t -> actual:int -> unit
+
+(** Absorb functionally executed work into the architectural counters
+    ([by_class] is indexed like [issued_by_class]; non-accelerator energy
+    is derived from it) and drop cross-boundary register/control
+    dependencies. *)
+val ff_commit :
+  t ->
+  instrs:int ->
+  dbbs:int ->
+  mem_accesses:int ->
+  by_class:int array ->
+  accel_energy_pj:float ->
+  unit
+
+(** {1 Snapshots} — the full timing state of the tile: the dynamic node
+    graph keyed by sequence number, scheduler queues, MAO, predictor,
+    profile and counters. The static program is rebuilt from the workload
+    on restore, never serialized. [restore] raises [Invalid_argument] when
+    the dump does not match the tile's program or configuration shape. *)
+
+type dump
+
+val dump : t -> dump
+val restore : t -> dump -> unit

@@ -61,3 +61,47 @@ let train t ~branch_id (term : Instr.t) ~actual =
   | _ -> ()
 
 let stats t = (t.predictions, t.mispredictions)
+
+(* Snapshot: counters plus history and accuracy counts ([kind]/[mask] are
+   configuration, re-supplied by the restored tile's config). *)
+
+type dump = {
+  d_counters : int array;
+  d_history : int;
+  d_predictions : int;
+  d_mispredictions : int;
+}
+
+let dump t =
+  {
+    d_counters = Array.copy t.counters;
+    d_history = t.history;
+    d_predictions = t.predictions;
+    d_mispredictions = t.mispredictions;
+  }
+
+let restore t d =
+  if Array.length d.d_counters <> Array.length t.counters then
+    invalid_arg "Predictor.restore: table size mismatch";
+  Array.blit d.d_counters 0 t.counters 0 (Array.length t.counters);
+  t.history <- d.d_history;
+  t.predictions <- d.d_predictions;
+  t.mispredictions <- d.d_mispredictions
+
+(* Functional training for the fast-forward path: observe the outcome of
+   [term] at [branch_id] going to [actual], updating counters/history but
+   not the accuracy counts (fast-forwarded branches are not predictions —
+   they keep the tables warm for the next detailed interval). *)
+let observe t ~branch_id (term : Instr.t) ~actual =
+  match term.Instr.op with
+  | Op.Cond_br (taken, _) -> (
+      let idx = index t ~branch_id in
+      let was_taken = actual = taken in
+      let c = t.counters.(idx) in
+      t.counters.(idx) <-
+        (if was_taken then Stdlib.min 3 (c + 1) else Stdlib.max 0 (c - 1));
+      match t.kind with
+      | Gshare _ ->
+          t.history <- (t.history lsl 1) lor (if was_taken then 1 else 0)
+      | Two_bit -> ())
+  | _ -> ()

@@ -111,6 +111,72 @@ let load_from_disk ~digest =
       try Some (Trace.load ~expect_digest:digest path) with
       | Trace.Format_error _ | Sys_error _ -> None)
 
+(* ---- garbage collection ----
+
+   The cache is append-only in normal operation, so long-lived machines
+   accumulate traces for workloads nobody runs anymore. [gc] provides the
+   size accounting and an LRU-by-mtime pruning pass: the store is
+   content-addressed, so deleting any entry is always safe — the next run
+   that needs it regenerates and re-caches it. *)
+
+type gc_report = {
+  scanned : int;
+  scanned_bytes : int;
+  deleted : int;
+  deleted_bytes : int;
+}
+
+let gc ?max_bytes () =
+  match cache_dir () with
+  | None -> None
+  | Some dir ->
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        Some { scanned = 0; scanned_bytes = 0; deleted = 0; deleted_bytes = 0 }
+      else begin
+        let entries =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter_map (fun name ->
+                 if not (Filename.check_suffix name ".mstr") then None
+                 else
+                   let path = Filename.concat dir name in
+                   match Unix.stat path with
+                   | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                       Some (path, st_size, st_mtime)
+                   | _ -> None
+                   | exception Unix.Unix_error _ -> None)
+        in
+        let scanned = List.length entries in
+        let scanned_bytes =
+          List.fold_left (fun acc (_, size, _) -> acc + size) 0 entries
+        in
+        let deleted = ref 0 in
+        let deleted_bytes = ref 0 in
+        (match max_bytes with
+        | None -> ()
+        | Some cap ->
+            let by_age =
+              List.sort (fun (_, _, a) (_, _, b) -> compare a b) entries
+            in
+            let total = ref scanned_bytes in
+            List.iter
+              (fun (path, size, _) ->
+                if !total > cap then
+                  try
+                    Sys.remove path;
+                    incr deleted;
+                    deleted_bytes := !deleted_bytes + size;
+                    total := !total - size
+                  with Sys_error _ -> ())
+              by_age);
+        Some
+          {
+            scanned;
+            scanned_bytes;
+            deleted = !deleted;
+            deleted_bytes = !deleted_bytes;
+          }
+      end
+
 (* ---- domain-safe memo + single-flight generation ---- *)
 
 type source = Interpreted | Memo_hit | Disk_hit

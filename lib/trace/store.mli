@@ -63,6 +63,24 @@ type info = {
     propagates to every waiter and the next fetch retries. *)
 val fetch : digest:string -> generate:(unit -> Trace.t) -> Trace.t * info
 
+(** {1 Garbage collection} *)
+
+type gc_report = {
+  scanned : int;  (** [.mstr] entries found in the cache directory *)
+  scanned_bytes : int;  (** their total size before any deletion *)
+  deleted : int;
+  deleted_bytes : int;
+}
+
+(** [gc ?max_bytes ()] scans the cache directory and, when [max_bytes] is
+    given, deletes least-recently-modified entries until the remainder
+    fits under the cap (LRU by mtime). Without [max_bytes] it only
+    reports sizes. [None] when the disk cache is disabled. Deleting is
+    always safe — the store is content-addressed, so evicted traces are
+    regenerated on next use; unreadable or vanished entries are skipped
+    best-effort. *)
+val gc : ?max_bytes:int -> unit -> gc_report option
+
 (** {1 Introspection (tests, CLI)} *)
 
 type stats = { interpreted : int; memo_hits : int; disk_hits : int }

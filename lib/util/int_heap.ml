@@ -17,7 +17,9 @@ let length h = h.size
 let is_empty h = h.size = 0
 
 let grow h =
-  let cap = 2 * Array.length h.prios in
+  (* [restore]/[of_dump] can leave a zero-capacity backing array; doubling
+     zero would stay zero. *)
+  let cap = Stdlib.max 4 (2 * Array.length h.prios) in
   let ps = Array.make cap 0 and vs = Array.make cap 0 in
   Array.blit h.prios 0 ps 0 h.size;
   Array.blit h.values 0 vs 0 h.size;
@@ -75,3 +77,23 @@ let drop_min h =
   end
 
 let clear h = h.size <- 0
+
+(* Snapshot: live heap slots verbatim; spare capacity does not affect
+   push/pop behaviour, so restoring with capacity = size is exact. *)
+
+type dump = { d_prios : int array; d_values : int array }
+
+let dump h =
+  { d_prios = Array.sub h.prios 0 h.size; d_values = Array.sub h.values 0 h.size }
+
+let of_dump d =
+  {
+    prios = Array.copy d.d_prios;
+    values = Array.copy d.d_values;
+    size = Array.length d.d_prios;
+  }
+
+let restore h d =
+  h.prios <- Array.copy d.d_prios;
+  h.values <- Array.copy d.d_values;
+  h.size <- Array.length d.d_prios

@@ -131,6 +131,48 @@ let pop_until q ~prio =
 
 let clear q = q.size <- 0
 
+(* --- Snapshot support ---
+
+   A dump records the live heap slots verbatim (array layout = heap
+   layout) plus the tie-break counter. Restoring with capacity = size is
+   behaviourally identical to the original queue: pushes append at [size]
+   and sift up, pops swap from [size - 1] and sift down — neither depends
+   on the backing arrays' spare capacity, and FIFO tie-breaking is carried
+   entirely by [seqs]/[next_seq]. *)
+
+type 'a dump = {
+  d_prios : int array;
+  d_seqs : int array;
+  d_payloads : 'a array;
+  d_next_seq : int;
+}
+
+let dump q =
+  {
+    d_prios = Array.sub q.prios 0 q.size;
+    d_seqs = Array.sub q.seqs 0 q.size;
+    d_payloads = Array.sub q.payloads 0 q.size;
+    d_next_seq = q.next_seq;
+  }
+
+let of_dump d =
+  {
+    prios = Array.copy d.d_prios;
+    seqs = Array.copy d.d_seqs;
+    payloads = Array.copy d.d_payloads;
+    size = Array.length d.d_prios;
+    next_seq = d.d_next_seq;
+  }
+
+let map_dump f d = { d with d_payloads = Array.map f d.d_payloads }
+
+let restore q d =
+  q.prios <- Array.copy d.d_prios;
+  q.seqs <- Array.copy d.d_seqs;
+  q.payloads <- Array.copy d.d_payloads;
+  q.size <- Array.length d.d_prios;
+  q.next_seq <- d.d_next_seq
+
 let to_list q =
   let rec loop i acc =
     if i >= q.size then acc

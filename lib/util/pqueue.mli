@@ -53,3 +53,25 @@ val clear : 'a t -> unit
 
 (** Elements in an unspecified order (for statistics and debugging). *)
 val to_list : 'a t -> (int * 'a) list
+
+(** {1 Snapshots}
+
+    A {!dump} is a pure-data image of the queue: the live heap slots in
+    array (= heap) order plus the FIFO tie-break counter. [of_dump]
+    rebuilds a queue that behaves identically to the dumped one — heap
+    order and tie-breaking do not depend on spare capacity. [map_dump]
+    converts payloads (e.g. node pointers to stable ids and back). *)
+
+type 'a dump = {
+  d_prios : int array;
+  d_seqs : int array;
+  d_payloads : 'a array;
+  d_next_seq : int;
+}
+
+val dump : 'a t -> 'a dump
+val of_dump : 'a dump -> 'a t
+val map_dump : ('a -> 'b) -> 'a dump -> 'b dump
+
+(** [restore q d] overwrites [q] in place with [d]'s contents. *)
+val restore : 'a t -> 'a dump -> unit

@@ -340,6 +340,55 @@ let test_different_datasets_different_digests () =
         (a.Store.digest <> b.Store.digest);
       checki "both interpreted" 2 (Store.stats ()).Store.interpreted)
 
+let test_gc_lru_pruning () =
+  with_temp_cache (fun dir ->
+      (* Three distinct entries; back-date their mtimes so LRU order is
+         deterministic: ntiles:1 oldest, ntiles:4 newest. *)
+      let infos =
+        List.map
+          (fun n ->
+            let _, i =
+              W.Runner.trace_cached_full (small_instance ()) ~ntiles:n
+            in
+            i)
+          [ 1; 2; 4 ]
+      in
+      let path (i : Store.info) =
+        Filename.concat dir (i.Store.digest ^ ".mstr")
+      in
+      let now = Unix.gettimeofday () in
+      List.iteri
+        (fun k i -> Unix.utimes (path i) (now -. 3600.0 +. (60.0 *. float_of_int k)) (now -. 3600.0 +. (60.0 *. float_of_int k)))
+        infos;
+      let sizes = List.map (fun i -> (Unix.stat (path i)).Unix.st_size) infos in
+      let total = List.fold_left ( + ) 0 sizes in
+      (* Accounting pass: no cap, nothing deleted. *)
+      let r = Option.get (Store.gc ()) in
+      checki "scanned all entries" 3 r.Store.scanned;
+      checki "scanned every byte" total r.Store.scanned_bytes;
+      checki "no cap deletes nothing" 0 r.Store.deleted;
+      (* Cap that only the newest entry fits: the two oldest go. *)
+      let newest_size = List.nth sizes 2 in
+      let r = Option.get (Store.gc ~max_bytes:newest_size ()) in
+      checki "pruned the two oldest" 2 r.Store.deleted;
+      checki "freed their bytes" (total - newest_size) r.Store.deleted_bytes;
+      let survives i = Sys.file_exists (path i) in
+      checkb "oldest entry gone" false (survives (List.nth infos 0));
+      checkb "middle entry gone" false (survives (List.nth infos 1));
+      checkb "newest entry kept" true (survives (List.nth infos 2));
+      (* GC is always safe: a pruned entry just regenerates, the kept one
+         still disk-hits. *)
+      Store.reset ();
+      let _, i1 = W.Runner.trace_cached_full (small_instance ()) ~ntiles:1 in
+      checks "pruned entry regenerates" "interpreted"
+        (source_name i1.Store.source);
+      Store.reset ();
+      let _, i4 = W.Runner.trace_cached_full (small_instance ()) ~ntiles:4 in
+      checks "kept entry disk-hits" "disk" (source_name i4.Store.source));
+  (* With the cache disabled there is nothing to collect. *)
+  Store.set_cache_dir `Disabled;
+  checkb "disabled cache has no report" true (Store.gc () = None)
+
 let suite =
   [
     ( "trace_store.format",
@@ -365,5 +414,6 @@ let suite =
           test_memo_domain_safe_single_flight;
         Alcotest.test_case "datasets key digests" `Quick
           test_different_datasets_different_digests;
+        Alcotest.test_case "gc prunes LRU-by-mtime" `Quick test_gc_lru_pruning;
       ] );
   ]

@@ -1,0 +1,182 @@
+(* Sampled-simulation accuracy guard over BENCH_speed.json.
+
+   The bench's sampled section runs every speed workload twice — exact
+   and interval-sampled — and records, per workload, the sampled cycle
+   estimate and its error against the exact oracle. This tool holds those
+   numbers to the committed contract:
+
+   - every speed.sample.<name>.err_pct is at or under the error ceiling
+     (default 10%), and so is speed.sample.max_err_pct;
+   - no sampled run degraded (a drain that misses its deadline falls back
+     to exact simulation — correct, but it means the spec is mistuned for
+     that workload);
+   - sampling actually pays: speed.sample.geomean_speedup clears a loose
+     host-independent floor (default 1.5x; the committed baseline is much
+     higher, but host-time ratios wobble on shared runners);
+   - when a BASELINE.json is given, every speed.sample.<name>.est_cycles
+     matches it exactly — the estimator is deterministic, so drift means
+     the sampling model changed, which must be a deliberate
+     baseline-refreshing commit.
+
+   Usage: check_sample FRESH.json [BASELINE.json] [--max-err PCT]
+                       [--min-speedup X]
+
+   Exits 0 when all checks pass, 1 on a violation, 2 on usage/parse
+   errors. *)
+
+module Json = Mosaic_obs.Json
+
+let read_json file =
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Json.Obj kvs -> kvs
+  | _ -> failwith (file ^ ": expected a metrics object")
+
+let prefix = "speed.sample."
+
+let sample_entries kvs suffix =
+  List.filter_map
+    (fun (name, v) ->
+      if
+        String.length name > String.length prefix
+        && String.sub name 0 (String.length prefix) = prefix
+        && Filename.check_suffix name ("." ^ suffix)
+      then
+        let wl =
+          String.sub name (String.length prefix)
+            (String.length name - String.length prefix - String.length suffix
+           - 1)
+        in
+        Some (wl, Json.to_number_exn v)
+      else None)
+    kvs
+
+let () =
+  let fresh_file = ref None
+  and baseline_file = ref None
+  and max_err = ref 10.0
+  and min_speedup = ref 1.5 in
+  let rec parse = function
+    | [] -> ()
+    | "--max-err" :: v :: rest ->
+        max_err := float_of_string v;
+        parse rest
+    | "--min-speedup" :: v :: rest ->
+        min_speedup := float_of_string v;
+        parse rest
+    | f :: rest when !fresh_file = None ->
+        fresh_file := Some f;
+        parse rest
+    | f :: rest when !baseline_file = None ->
+        baseline_file := Some f;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s\n\
+           usage: check_sample FRESH.json [BASELINE.json] [--max-err PCT] \
+           [--min-speedup X]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let fresh_file =
+    match !fresh_file with
+    | Some f -> f
+    | None ->
+        prerr_endline
+          "usage: check_sample FRESH.json [BASELINE.json] [--max-err PCT] \
+           [--min-speedup X]";
+        exit 2
+  in
+  let fresh =
+    try read_json fresh_file
+    with e ->
+      Printf.eprintf "check_sample: %s\n" (Printexc.to_string e);
+      exit 2
+  in
+  let errs = sample_entries fresh "err_pct" in
+  if errs = [] then begin
+    Printf.eprintf "check_sample: no %s<name>.err_pct entries in %s\n" prefix
+      fresh_file;
+    exit 2
+  end;
+  let bad = ref false in
+  List.iter
+    (fun (wl, err) ->
+      if err > !max_err then begin
+        bad := true;
+        Printf.printf "ERROR   %s: sampled error %.2f%% exceeds %.1f%%\n" wl
+          err !max_err
+      end)
+    errs;
+  List.iter
+    (fun (wl, d) ->
+      if d > 0.0 then begin
+        bad := true;
+        Printf.printf
+          "DEGRADE %s: %.0f period(s) fell back to exact simulation\n" wl d
+      end)
+    (sample_entries fresh "degraded");
+  (match List.assoc_opt "speed.sample.max_err_pct" fresh with
+  | Some v when Json.to_number_exn v > !max_err ->
+      bad := true;
+      Printf.printf "ERROR   max_err_pct %.2f%% exceeds %.1f%%\n"
+        (Json.to_number_exn v) !max_err
+  | Some _ -> ()
+  | None ->
+      bad := true;
+      Printf.printf "MISSING speed.sample.max_err_pct in %s\n" fresh_file);
+  (match List.assoc_opt "speed.sample.geomean_speedup" fresh with
+  | Some v when Json.to_number_exn v < !min_speedup ->
+      bad := true;
+      Printf.printf "SLOW    geomean speedup %.2fx is under the %.1fx floor\n"
+        (Json.to_number_exn v) !min_speedup
+  | Some _ -> ()
+  | None ->
+      bad := true;
+      Printf.printf "MISSING speed.sample.geomean_speedup in %s\n" fresh_file);
+  (match !baseline_file with
+  | None -> ()
+  | Some bfile ->
+      let baseline =
+        try read_json bfile
+        with e ->
+          Printf.eprintf "check_sample: %s\n" (Printexc.to_string e);
+          exit 2
+      in
+      let fresh_est = sample_entries fresh "est_cycles" in
+      List.iter
+        (fun (wl, expected) ->
+          match List.assoc_opt wl fresh_est with
+          | None ->
+              bad := true;
+              Printf.printf "MISSING %s.est_cycles (baseline %.0f)\n" wl
+                expected
+          | Some got when got <> expected ->
+              bad := true;
+              Printf.printf "DRIFT   %s.est_cycles: baseline %.0f, fresh %.0f\n"
+                wl expected got
+          | Some _ -> ())
+        (sample_entries baseline "est_cycles");
+      List.iter
+        (fun (wl, v) ->
+          if not (List.mem_assoc wl (sample_entries baseline "est_cycles"))
+          then
+            Printf.printf "NEW     %s.est_cycles = %.0f (refresh %s)\n" wl v
+              bfile)
+        fresh_est);
+  if !bad then begin
+    Printf.printf
+      "sampled-simulation check failed: error ceiling, determinism or \
+       speedup floor violated (see above). A deliberate sampling-model \
+       change must refresh BENCH_speed.json in the same commit.\n";
+    exit 1
+  end
+  else
+    Printf.printf
+      "sampled-simulation check OK: %d workloads within %.1f%% of the exact \
+       oracle, none degraded\n"
+      (List.length errs) !max_err
