@@ -597,6 +597,11 @@ let skip_workloads =
 
 let speed_json_file = "BENCH_speed.json"
 
+(* Filled by [speed] so a --manifest=FILE request at the end of the run
+   can snapshot the speed registry (the richest one) rather than only the
+   per-section phase timings. *)
+let last_speed_reg : Mosaic_obs.Metrics.t option ref = ref None
+
 let speed () =
   let rs = Lazy.force parboil_results in
   let source_label = function
@@ -823,16 +828,15 @@ let speed () =
   let cores_avail = Mosaic_util.Domain_pool.available_cores () in
   gauge "speed.shard.shards" (float_of_int nshards);
   gauge "speed.shard.available_cores" (float_of_int cores_avail);
-  if cores_avail < 2 then begin
-    (* Flag the baseline file itself: shard speedups measured on a
-       single-core host are determinism checks, not performance data. *)
-    gauge "speed.shard.note" 1.0;
+  if cores_avail < 2 then
+    (* The "host" member written alongside the metrics records the core
+       count, so readers of the baseline file can tell determinism checks
+       from performance data without an ad-hoc marker gauge. *)
     Printf.printf
       "note: host reports %d available core(s); sharded runs verify \
        determinism here but cannot speed up — shard speedups below are \
-       expected to be < 1 (speed.shard.note=1 marks this in %s).\n"
-      cores_avail speed_json_file
-  end;
+       expected to be < 1 (the host.cores member in %s records this).\n"
+      cores_avail speed_json_file;
   let shard_rows =
     List.map
       (fun (e : Mosaic_suite.Shard_suite.entry) ->
@@ -998,10 +1002,24 @@ let speed () =
          ])
        sweep_rows);
   Printf.printf "sweep geomean speedup: %.1fx\n\n" sweep_geomean;
+  (* Provenance rides along with the numbers: available cores, OCaml
+     version, timestamp, and git rev as a "host" member of the same
+     object. Comparison tools key on speed.* and ignore it. *)
+  let host_member =
+    Mosaic_obs.Json.Obj
+      (Mosaic_obs.Manifest.host_info ()
+      @ [ ("timestamp", Mosaic_obs.Json.String (Mosaic_obs.Manifest.timestamp ())) ])
+  in
+  let doc =
+    match Mosaic_obs.Metrics.to_json reg with
+    | Mosaic_obs.Json.Obj kvs ->
+        Mosaic_obs.Json.Obj (kvs @ [ ("host", host_member) ])
+    | j -> j
+  in
   Out_channel.with_open_text speed_json_file (fun oc ->
-      Out_channel.output_string oc
-        (Mosaic_obs.Json.to_string (Mosaic_obs.Metrics.to_json reg)));
-  Printf.printf "speed metrics: %s\n\n" speed_json_file
+      Out_channel.output_string oc (Mosaic_obs.Json.to_string doc));
+  Printf.printf "speed metrics: %s\n\n" speed_json_file;
+  last_speed_reg := Some reg
 
 let storage () =
   let rs = Lazy.force parboil_results in
@@ -1337,6 +1355,23 @@ let phase_summary () =
         [ Table.column ~align:Table.Left "phase"; Table.column "seconds" ]
       (List.map (fun (n, _, v) -> [ n; fcell ~decimals:2 v ]) rows)
 
+let manifest_file : string option ref = ref None
+
+(* Self-describing record of this bench invocation: host info, format
+   versions, every gauge of the speed registry (or the phase registry if
+   the speed section did not run), and the host-side spans. *)
+let write_bench_manifest file requested =
+  let metrics =
+    match !last_speed_reg with Some reg -> reg | None -> bench_metrics
+  in
+  let m =
+    Mosaic.Telemetry.manifest ~kind:"bench"
+      ~name:(String.concat "," requested)
+      ~metrics ()
+  in
+  Mosaic_obs.Manifest.write file m;
+  Printf.printf "manifest: %s\n" file
+
 let dump_metrics file =
   let data =
     if Filename.check_suffix file ".json" then
@@ -1361,6 +1396,15 @@ let () =
           (match int_of_string_opt (String.sub a 9 (String.length a - 9)) with
           | Some n when n >= 1 -> shards := n
           | _ -> failwith (Printf.sprintf "bad --shards value: %s" a));
+          false
+        end
+        else if String.starts_with ~prefix:"--manifest=" a then begin
+          (match String.sub a 11 (String.length a - 11) with
+          | "" -> failwith "bad --manifest value: empty path"
+          | f ->
+              manifest_file := Some f;
+              (* Spans must be recording before any section runs. *)
+              Mosaic_obs.Span.set_enabled true);
           false
         end
         else if String.starts_with ~prefix:"--trace-cache=" a then begin
@@ -1406,4 +1450,5 @@ let () =
             (String.concat " " (List.map fst sections)))
     requested;
   phase_summary ();
-  List.iter dump_metrics outs
+  List.iter dump_metrics outs;
+  Option.iter (fun f -> write_bench_manifest f requested) !manifest_file

@@ -168,7 +168,13 @@ let sink_for trace_out =
 let write_observability ~trace_out ~metrics_out ~sink (r : Soc.result) =
   Option.iter
     (fun file ->
-      Mosaic_obs.Trace_export.write_file file (Mosaic_obs.Sink.to_list sink);
+      (* When host telemetry is on (--manifest), the simulator's own spans
+         ride along on a separate Chrome process track. *)
+      let host_spans =
+        if Mosaic_obs.Span.enabled () then Mosaic_obs.Span.spans () else []
+      in
+      Mosaic_obs.Trace_export.write_file ~host_spans file
+        (Mosaic_obs.Sink.to_list sink);
       Printf.printf "trace: %s (%d events, %d dropped)\n" file
         (Mosaic_obs.Sink.length sink)
         (Mosaic_obs.Sink.dropped sink))
@@ -267,17 +273,55 @@ let resume_arg =
   in
   Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
 
+let manifest_arg =
+  let doc =
+    "Write a self-describing run manifest to $(docv): config/trace digests, \
+     host info, format versions, every registry metric and the host-side \
+     span trace. Enables host telemetry (spans) for the run. Compare \
+     manifests with the diff command."
+  in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Report live progress on stderr (cycle, instructions retired, MIPS, \
+     ETA), at most one line per second. Simulated results are unchanged."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* --manifest turns the span tracer on for the whole invocation; do it
+   before any trace generation so trace_gen spans are captured too. *)
+let apply_manifest manifest =
+  if manifest <> None then Mosaic_obs.Span.set_enabled true
+
+let progress_for ~enabled ~label ~trace =
+  if not enabled then None
+  else
+    Some
+      (Mosaic_obs.Progress.create ~label
+         ~total_instrs:(Some (Mosaic_trace.Trace.total_dyn_instrs trace))
+         ())
+
+let write_manifest ~kind ~name ?digests ~metrics = function
+  | None -> ()
+  | Some file ->
+      let m = Mosaic.Telemetry.manifest ~kind ~name ?digests ~metrics () in
+      Mosaic_obs.Manifest.write file m;
+      Printf.printf "manifest: %s\n" file
+
 let run_cmd =
   let run bench tiles core system no_skip shards profile trace_out metrics_out
-      cache sample checkpoint checkpoint_at resume =
+      cache sample checkpoint checkpoint_at resume manifest progress =
+    apply_manifest manifest;
     apply_trace_cache cache;
     let inst = resolve_instance bench in
-    let trace = W.Runner.trace_cached inst ~ntiles:tiles in
+    let trace, tinfo = W.Runner.trace_cached_full inst ~ntiles:tiles in
     let cfg =
       apply_shards shards (apply_no_skip no_skip (system_of_string system))
     in
     let sink = sink_for trace_out in
     let sample = Option.map (sample_spec_of_string ~trace) sample in
+    let progress = progress_for ~enabled:progress ~label:bench ~trace in
     let checkpoint_at, on_checkpoint =
       match checkpoint with
       | None -> (None, None)
@@ -299,12 +343,29 @@ let run_cmd =
     in
     let r =
       Soc.run_homogeneous ~sink ~profile ?checkpoint_at ?on_checkpoint
-        ?resume ?sample cfg ~program:inst.W.Runner.program ~trace
+        ?resume ?sample ?progress cfg ~program:inst.W.Runner.program ~trace
         ~tile_config:(core_of_string core)
     in
     print_result bench r;
     print_sample_report r;
-    write_observability ~trace_out ~metrics_out ~sink r
+    write_observability ~trace_out ~metrics_out ~sink r;
+    let digests =
+      let tiles =
+        Array.map
+          (fun (tt : Mosaic_trace.Trace.tile_trace) ->
+            {
+              Soc.kernel = tt.Mosaic_trace.Trace.kernel;
+              tile_config = core_of_string core;
+            })
+          trace.Mosaic_trace.Trace.tiles
+      in
+      [
+        ("config", Mosaic.Telemetry.config_digest cfg ~tiles);
+        ("trace", tinfo.Mosaic_trace.Store.digest);
+      ]
+    in
+    write_manifest ~kind:"run" ~name:bench ~digests ~metrics:r.Soc.metrics
+      manifest
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a benchmark on a simulated system")
@@ -312,14 +373,16 @@ let run_cmd =
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
       $ no_skip_arg $ shards_arg $ profile_arg $ trace_out_arg
       $ metrics_out_arg $ trace_cache_arg $ sample_arg $ checkpoint_arg
-      $ checkpoint_at_arg $ resume_arg)
+      $ checkpoint_at_arg $ resume_arg $ manifest_arg $ progress_arg)
 
 let bench_cmd =
   let benches_arg =
     let doc = "Benchmarks to run (default: the Parboil suite)." in
     Arg.(value & pos_all string [] & info [] ~docv:"BENCH" ~doc)
   in
-  let run benches tiles core system no_skip shards profile jobs cache =
+  let run benches tiles core system no_skip shards profile jobs cache manifest
+      =
+    apply_manifest manifest;
     apply_trace_cache cache;
     (* Nested domain pools oversubscribe: a batch of sharded runs would
        spawn jobs*shards domains. Pick one axis of parallelism. *)
@@ -371,7 +434,27 @@ let bench_cmd =
              Printf.sprintf "%.2f" r.Soc.host_seconds;
            ]
            @ if profile then [ top_stall r ] else [])
-         results)
+         results);
+    match manifest with
+    | None -> ()
+    | Some _ ->
+        let reg = Mosaic_obs.Metrics.create () in
+        List.iter
+          (fun (name, (r : Soc.result)) ->
+            let g k v =
+              Mosaic_obs.Span.gauge_set reg
+                (Printf.sprintf "bench.%s.%s" name k)
+                v
+            in
+            g "cycles" (float_of_int r.Soc.cycles);
+            g "instrs" (float_of_int r.Soc.instrs);
+            g "ipc" r.Soc.ipc;
+            g "mips" r.Soc.mips;
+            g "host_seconds" r.Soc.host_seconds)
+          results;
+        write_manifest ~kind:"bench"
+          ~name:(String.concat "," names)
+          ~metrics:reg manifest
   in
   Cmd.v
     (Cmd.info "bench"
@@ -380,7 +463,8 @@ let bench_cmd =
           (--jobs)")
     Term.(
       const run $ benches_arg $ tiles_arg $ core_arg $ system_arg
-      $ no_skip_arg $ shards_arg $ profile_arg $ jobs_arg $ trace_cache_arg)
+      $ no_skip_arg $ shards_arg $ profile_arg $ jobs_arg $ trace_cache_arg
+      $ manifest_arg)
 
 (* Cycle-accounting profiler front-end: run one workload with attribution
    on and print where the cycles went — per-tile stacked stall shares, the
@@ -704,7 +788,9 @@ let sweep_cmd =
     in
     Arg.(value & flag & info [ "exact" ] ~doc)
   in
-  let run bench tiles core system axes exact jobs no_skip shards cache =
+  let run bench tiles core system axes exact jobs no_skip shards cache
+      manifest =
+    apply_manifest manifest;
     apply_trace_cache cache;
     if jobs > 1 && shards > 1 then
       failwith
@@ -764,7 +850,31 @@ let sweep_cmd =
          %.1fx faster; max cycle error %.2f%%\n"
         o.Mosaic.Sweep.exact_seconds npoints
         (Option.value ~default:0.0 (Mosaic.Sweep.speedup o))
-        (Mosaic.Sweep.max_err_pct o)
+        (Mosaic.Sweep.max_err_pct o);
+    match manifest with
+    | None -> ()
+    | Some _ ->
+        let reg = Mosaic_obs.Metrics.create () in
+        let g k v = Mosaic_obs.Span.gauge_set reg k v in
+        g "sweep.base.cycles" (float_of_int o.Mosaic.Sweep.base.Soc.cycles);
+        g "sweep.points" (float_of_int npoints);
+        g "sweep.base_seconds" o.Mosaic.Sweep.base_seconds;
+        g "sweep.analyze_seconds" o.Mosaic.Sweep.analyze_seconds;
+        g "sweep.retime_seconds" o.Mosaic.Sweep.retime_seconds;
+        g "sweep.exact_seconds" o.Mosaic.Sweep.exact_seconds;
+        Array.iter
+          (fun (p : Mosaic.Sweep.point) ->
+            g
+              (Printf.sprintf "sweep.%s.retimed_cycles" p.Mosaic.Sweep.label)
+              (float_of_int p.Mosaic.Sweep.retimed.Mosaic.Retime.cycles);
+            Option.iter
+              (fun e ->
+                g
+                  (Printf.sprintf "sweep.%s.exact_cycles" p.Mosaic.Sweep.label)
+                  (float_of_int e))
+              p.Mosaic.Sweep.exact_cycles)
+          o.Mosaic.Sweep.points;
+        write_manifest ~kind:"sweep" ~name:bench ~metrics:reg manifest
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -775,7 +885,7 @@ let sweep_cmd =
     Term.(
       const run $ benchmark_arg $ tiles_arg $ core_arg $ system_arg
       $ axis_arg $ exact_arg $ jobs_arg $ no_skip_arg $ shards_arg
-      $ trace_cache_arg)
+      $ trace_cache_arg $ manifest_arg)
 
 let dnn_cmd =
   let model_arg =
@@ -1006,13 +1116,75 @@ let fmt_cmd =
           re-print; semantics and trace digests are unchanged)")
     Term.(const run $ files_arg $ in_place_arg $ check_arg)
 
+let version_cmd =
+  let run () =
+    Printf.printf "mosaicsim 0.1.0\n";
+    List.iter
+      (fun (k, v) -> Printf.printf "%-18s %s\n" (k ^ ":") v)
+      (Mosaic.Telemetry.versions ());
+    Printf.printf "%-18s %s\n" "git_rev:"
+      (match Mosaic_obs.Manifest.git_rev () with
+      | Some r -> r
+      | None -> "unknown")
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the build's semantics, trace-format and snapshot-format \
+          versions, and the git revision when available")
+    Term.(const run $ const ())
+
+let diff_cmd =
+  let baseline_arg =
+    let doc = "Baseline artifact: a manifest or a metrics JSON dump." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc)
+  in
+  let candidate_arg =
+    let doc = "Candidate artifact to compare against the baseline." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Relative tolerance for non-cycle numeric keys (host seconds, MIPS \
+       and the like wobble run to run). Keys ending in $(b,cycles) are \
+       always compared exactly."
+    in
+    Arg.(value & opt float 0.05 & info [ "threshold" ] ~docv:"REL" ~doc)
+  in
+  let all_arg =
+    let doc = "Also list identical and within-threshold keys." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let run baseline candidate threshold all =
+    let module Diff = Mosaic_obs.Diff in
+    let entries =
+      Diff.compare ~threshold
+        (Diff.flatten_file baseline)
+        (Diff.flatten_file candidate)
+    in
+    print_string (Diff.render ~show_identical:all entries);
+    let drift = Diff.cycle_drift entries in
+    if drift <> [] then begin
+      Printf.printf "cycle drift: %d key%s differ\n" (List.length drift)
+        (if List.length drift = 1 then "" else "s");
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two run artifacts (manifests or metrics JSON) key by key; \
+          exits non-zero on any cycle-count drift")
+    Term.(
+      const run $ baseline_arg $ candidate_arg $ threshold_arg $ all_arg)
+
 let main =
   let doc = "MosaicSim: lightweight modular simulation of heterogeneous systems" in
   Cmd.group (Cmd.info "mosaicsim" ~version:"0.1.0" ~doc)
     [
       list_cmd; run_cmd; bench_cmd; sweep_cmd; profile_cmd; dump_cmd;
       trace_cmd; trace_stats_cmd; dse_cmd; dnn_cmd; asm_cmd; cc_cmd; dae_cmd;
-      characterize_cmd; fmt_cmd;
+      characterize_cmd; fmt_cmd; version_cmd; diff_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -449,8 +449,9 @@ let tick d ~cycle =
               remaining
           in
           let skipped =
-            fast_forward ~cores:d.cores ~funcs:d.funcs ~inter:d.inter
-              ~hier:d.hier ~on_accel:d.on_accel ~cycle ~targets
+            Mosaic_obs.Span.with_span "sample.ff" (fun () ->
+                fast_forward ~cores:d.cores ~funcs:d.funcs ~inter:d.inter
+                  ~hier:d.hier ~on_accel:d.on_accel ~cycle ~targets)
           in
           d.stretches <-
             { f_instrs = skipped; f_basis = m; f_after = None } :: d.stretches;

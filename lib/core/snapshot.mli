@@ -31,6 +31,11 @@ val cycle : t -> int
     truncated/corrupted payload. The message says which. *)
 exception Format_error of string
 
+(** Container identity, for [mosaicsim version] and run manifests. *)
+val magic : string
+
+val format_version : int
+
 val to_bytes : t -> Bytes.t
 
 (** Inverse of {!to_bytes}; raises {!Format_error} on malformed input. *)

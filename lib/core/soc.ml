@@ -13,6 +13,8 @@ module Metrics = Mosaic_obs.Metrics
 module Sink = Mosaic_obs.Sink
 module Stall = Mosaic_obs.Stall
 module Profile = Mosaic_tile.Profile
+module Span = Mosaic_obs.Span
+module Progress = Mosaic_obs.Progress
 
 type tile_spec = { kernel : string; tile_config : Tile_config.t }
 
@@ -215,7 +217,7 @@ let publish_result reg (r : result) =
     Op.all_classes
 
 let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
-    ?on_checkpoint ?resume ?sample cfg ~program ~trace ~tiles =
+    ?on_checkpoint ?resume ?sample ?progress cfg ~program ~trace ~tiles =
   let ntiles = Array.length tiles in
   if ntiles = 0 then invalid_arg "Soc.run: no tiles";
   if sample <> None && (checkpoint_at <> None || resume <> None) then
@@ -275,7 +277,8 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
     if s > 1 && (not (Sink.enabled sink)) && sample = None then s else 1
   in
   let sync =
-    if nshards > 1 then Some (Mosaic_util.Shard_sync.create ~nshards)
+    if nshards > 1 then
+      Some (Mosaic_util.Shard_sync.create ~timed:(Span.enabled ()) ~nshards ())
     else None
   in
   let bounds = Array.init (nshards + 1) (fun k -> k * ntiles / nshards) in
@@ -374,6 +377,23 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
      domains in OCaml 5, which would misreport per-run speed under the
      domain-parallel batch runner. *)
   let host_start = Unix.gettimeofday () in
+  let sim_span = Span.begin_span "sim" in
+  (* Progress reads only run state (cycle, per-tile retired counts), so it
+     can never perturb simulated cycles; the tick sits behind a stepped-
+     counter mask and is rate-limited inside [Progress.tick]. *)
+  let progress_instrs () =
+    let n = ref 0 in
+    for i = 0 to ntiles - 1 do
+      n := !n + (Core_tile.stats cores.(i)).Core_tile.completed_instrs
+    done;
+    !n
+  in
+  let progress_tick stepped cycle =
+    match progress with
+    | Some p when stepped land 1023 = 0 ->
+        Progress.tick p ~cycle ~instrs:(progress_instrs ())
+    | _ -> ()
+  in
   let cycle = ref 0 in
   let stepped = ref 0 in
   (* Running finished count: each tile transitions to finished exactly
@@ -528,6 +548,7 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
           end
         done;
         incr stepped;
+        progress_tick !stepped !cycle;
         if sampling && !cycle >= !next_sample then begin
           emit_samples ();
           next_sample := !cycle + sample_interval
@@ -591,6 +612,7 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
          reducer may evaluate it. *)
       let reduce () =
         incr stepped;
+        progress_tick !stepped !cycle;
         let progress = ref false in
         for k = 0 to nshards - 1 do
           if progress_of.(k) then progress := true;
@@ -641,7 +663,7 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
             Sync.publish sync ~shard:k ~point:(Sync.point ~seq:!seq ~tile:lo);
             progress_of.(k) <- !prog;
             newly_finished.(k) <- !fin;
-            Sync.barrier sync ~reduce;
+            Sync.barrier sync ~shard:k ~reduce;
             if !stop then running := false
             else begin
               (* Book the skipped stretch into our own tiles' attribution
@@ -664,6 +686,16 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
      when the requested cycle lies beyond the run's last cycle. *)
   maybe_checkpoint ~force:true ();
   if sampling then emit_samples ();
+  Span.end_span sim_span;
+  (match (sync, Span.enabled ()) with
+  | Some sync, true ->
+      let module Sync = Mosaic_util.Shard_sync in
+      for k = 0 to nshards - 1 do
+        Span.gauge_set reg
+          (Printf.sprintf "host.shard.%d.barrier_wait_seconds" k)
+          (Sync.wait_seconds sync k)
+      done
+  | _ -> ());
   let host_seconds = Unix.gettimeofday () -. host_start in
   let cycles = !cycle in
   let stepped_cycles = !stepped in
@@ -733,6 +765,9 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
       sample = Option.map (fun d -> Sample.finish d ~cycle:cycles) sampler;
     }
   in
+  (match progress with
+  | Some p -> Progress.finish p ~cycle:cycles ~instrs
+  | None -> ());
   publish_result reg r;
   (match r.sample with
   | Some (s : Sample.report) ->
@@ -749,11 +784,11 @@ let run ?(sink = Sink.null) ?metrics ?(profile = false) ?checkpoint_at
   r
 
 let run_homogeneous ?sink ?metrics ?profile ?checkpoint_at ?on_checkpoint
-    ?resume ?sample cfg ~program ~trace ~tile_config =
+    ?resume ?sample ?progress cfg ~program ~trace ~tile_config =
   let tiles =
     Array.map
       (fun (tt : Trace.tile_trace) -> { kernel = tt.Trace.kernel; tile_config })
       trace.Trace.tiles
   in
-  run ?sink ?metrics ?profile ?checkpoint_at ?on_checkpoint ?resume ?sample cfg
-    ~program ~trace ~tiles
+  run ?sink ?metrics ?profile ?checkpoint_at ?on_checkpoint ?resume ?sample
+    ?progress cfg ~program ~trace ~tiles

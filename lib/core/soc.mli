@@ -135,6 +135,7 @@ val run :
   ?on_checkpoint:(Snapshot.t -> unit) ->
   ?resume:Snapshot.t ->
   ?sample:Sample.spec ->
+  ?progress:Mosaic_obs.Progress.t ->
   config ->
   program:Mosaic_ir.Program.t ->
   trace:Mosaic_trace.Trace.t ->
@@ -151,6 +152,7 @@ val run_homogeneous :
   ?on_checkpoint:(Snapshot.t -> unit) ->
   ?resume:Snapshot.t ->
   ?sample:Sample.spec ->
+  ?progress:Mosaic_obs.Progress.t ->
   config ->
   program:Mosaic_ir.Program.t ->
   trace:Mosaic_trace.Trace.t ->

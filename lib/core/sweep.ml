@@ -11,6 +11,7 @@ module Cache = Mosaic_memory.Cache
 module Dram = Mosaic_memory.Dram
 module Accel_model = Mosaic_accel.Accel_model
 module Domain_pool = Mosaic_util.Domain_pool
+module Span = Mosaic_obs.Span
 
 type edit = Soc.config * TC.t -> Soc.config * TC.t
 type axis = { axis : string; points : (string * edit) list }
@@ -190,10 +191,16 @@ let run ?(jobs = 1) ?(exact = false) cfg ~tile_config ~program ~trace points =
   in
   let pts = Array.of_list points in
   let t0 = Unix.gettimeofday () in
-  let base = Soc.run ~profile:true cfg ~program ~trace ~tiles in
+  let base =
+    Span.with_span "sweep.base" (fun () ->
+        Soc.run ~profile:true cfg ~program ~trace ~tiles)
+  in
   let t1 = Unix.gettimeofday () in
-  let skeleton = Analysis.skeleton program trace in
-  let prep = Retime.of_result ~cfg ~tiles skeleton base in
+  let prep =
+    Span.with_span "sweep.analyze" (fun () ->
+        let skeleton = Analysis.skeleton program trace in
+        Retime.of_result ~cfg ~tiles skeleton base)
+  in
   let t2 = Unix.gettimeofday () in
   let point_spec (_, edit) =
     let cfg', tc' = edit (cfg, tile_config) in
@@ -204,21 +211,23 @@ let run ?(jobs = 1) ?(exact = false) cfg ~tile_config ~program ~trace points =
     (cfg', tiles')
   in
   let retimed =
-    Domain_pool.map ~jobs
-      (fun p ->
-        let cfg', tiles' = point_spec p in
-        Retime.run prep cfg' tiles')
-      pts
+    Span.with_span "retime" (fun () ->
+        Domain_pool.map ~jobs
+          (fun p ->
+            let cfg', tiles' = point_spec p in
+            Retime.run prep cfg' tiles')
+          pts)
   in
   let t3 = Unix.gettimeofday () in
   let exacts =
     if not exact then Array.map (fun _ -> None) pts
     else
-      Domain_pool.map ~jobs
-        (fun p ->
-          let cfg', tiles' = point_spec p in
-          Some (Soc.run cfg' ~program ~trace ~tiles:tiles').Soc.cycles)
-        pts
+      Span.with_span "sweep.exact" (fun () ->
+          Domain_pool.map ~jobs
+            (fun p ->
+              let cfg', tiles' = point_spec p in
+              Some (Soc.run cfg' ~program ~trace ~tiles:tiles').Soc.cycles)
+            pts)
   in
   let t4 = Unix.gettimeofday () in
   let points =

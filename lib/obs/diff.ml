@@ -1,0 +1,168 @@
+type value = Num of float | Str of string
+
+type cls = Identical | Close | Drifted | Added | Removed
+
+type entry = {
+  key : string;
+  a : value option;
+  b : value option;
+  cls : cls;
+  rel : float;
+}
+
+let leaf_of = function
+  | Json.Int i -> Some (Num (float_of_int i))
+  | Json.Float f -> Some (Num f)
+  | Json.String s -> Some (Str s)
+  | Json.Bool b -> Some (Str (string_of_bool b))
+  | Json.Null | Json.List _ | Json.Obj _ -> None
+
+let flatten j =
+  let out = ref [] in
+  let rec walk prefix j =
+    match j with
+    | Json.Obj kvs ->
+        List.iter
+          (fun (k, v) ->
+            let key = if prefix = "" then k else prefix ^ "." ^ k in
+            walk key v)
+          kvs
+    | Json.List l ->
+        List.iteri (fun i v -> walk (Printf.sprintf "%s.%d" prefix i) v) l
+    | _ -> (
+        match leaf_of j with
+        | Some v -> out := (prefix, v) :: !out
+        | None -> ())
+  in
+  (match j with
+  | Json.Obj _ -> walk "" j
+  | _ -> invalid_arg "Diff.flatten: expected a JSON object");
+  List.rev !out
+
+let is_manifest j =
+  match Json.member "manifest_version" j with Some _ -> true | None -> false
+
+let flatten_file path =
+  let j = Json.of_string (In_channel.with_open_text path In_channel.input_all) in
+  if not (is_manifest j) then flatten j
+  else
+    (* Identity keys ride along under reserved prefixes so a version or
+       digest change shows up in the diff like any other drift; spans and
+       timestamps are run-unique noise and stay out. *)
+    let prefixed prefix field =
+      match Json.member field j with
+      | Some (Json.Obj _ as o) ->
+          List.map (fun (k, v) -> (prefix ^ "." ^ k, v)) (flatten o)
+      | _ -> []
+    in
+    flatten (Json.member_exn "metrics" j)
+    @ prefixed "digest" "digests"
+    @ prefixed "version" "versions"
+    @ prefixed "host.info" "host"
+
+let is_cycles_key key =
+  let suf = "cycles" in
+  let lk = String.length key and ls = String.length suf in
+  lk >= ls && String.sub key (lk - ls) ls = suf
+
+let rel_delta x y =
+  if x = y then 0.0
+  else
+    let scale = Stdlib.max (Float.abs x) (Float.abs y) in
+    if scale <= 0.0 then 0.0 else Float.abs (x -. y) /. scale
+
+let classify ~threshold key a b =
+  match (a, b) with
+  | None, None -> (Identical, 0.0) (* unreachable: key came from a side *)
+  | Some _, None -> (Removed, 0.0)
+  | None, Some _ -> (Added, 0.0)
+  | Some (Num x), Some (Num y) ->
+      let rel = rel_delta x y in
+      if x = y then (Identical, 0.0)
+      else if (not (is_cycles_key key)) && rel <= threshold then (Close, rel)
+      else (Drifted, rel)
+  | Some (Str x), Some (Str y) when String.equal x y -> (Identical, 0.0)
+  | Some _, Some _ -> (Drifted, 0.0)
+
+let dedup kvs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    kvs
+
+let compare ?(threshold = 0.0) a b =
+  let a = dedup a and b = dedup b in
+  let tb = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tb k v) b;
+  let ta = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace ta k v) a;
+  let keys =
+    List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+  in
+  List.map
+    (fun key ->
+      let va = Hashtbl.find_opt ta key and vb = Hashtbl.find_opt tb key in
+      let cls, rel = classify ~threshold key va vb in
+      { key; a = va; b = vb; cls; rel })
+    keys
+
+let cycle_drift entries =
+  List.filter
+    (fun e -> is_cycles_key e.key && e.cls <> Identical && e.cls <> Close)
+    entries
+
+let cls_name = function
+  | Identical -> "same"
+  | Close -> "close"
+  | Drifted -> "DRIFT"
+  | Added -> "added"
+  | Removed -> "removed"
+
+let value_str = function
+  | None -> "-"
+  | Some (Num f) ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.6g" f
+  | Some (Str s) -> s
+
+let render ?(show_identical = false) entries =
+  let buf = Buffer.create 1024 in
+  let shown =
+    List.filter
+      (fun e ->
+        show_identical || (e.cls <> Identical && e.cls <> Close))
+      entries
+  in
+  let quiet = List.length entries - List.length shown in
+  if shown = [] then Buffer.add_string buf "no differences\n"
+  else begin
+    let kw =
+      List.fold_left (fun w e -> Stdlib.max w (String.length e.key)) 8 shown
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-8s %-*s %20s %20s %10s\n" "class" kw "key" "baseline"
+         "candidate" "delta");
+    List.iter
+      (fun e ->
+        let delta =
+          match (e.a, e.b) with
+          | Some (Num _), Some (Num _) when e.cls <> Identical ->
+              Printf.sprintf "%+.3f%%" (100.0 *. e.rel)
+          | _ -> "-"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-8s %-*s %20s %20s %10s\n" (cls_name e.cls) kw
+             e.key (value_str e.a) (value_str e.b) delta))
+      shown
+  end;
+  if quiet > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "%d key%s identical or within threshold\n" quiet
+         (if quiet = 1 then "" else "s"));
+  Buffer.contents buf

@@ -1,0 +1,62 @@
+(** Structured comparison of two run artifacts.
+
+    Accepts either {!Manifest} JSON or a raw metrics dump (any JSON
+    object, e.g. [BENCH_speed.json]); both flatten to dotted-key leaves
+    ({!flatten}) which are then matched up and classified per key:
+
+    - [Identical] — bit-equal values;
+    - [Close] — numeric values differing by a relative delta within the
+      threshold;
+    - [Drifted] — beyond the threshold (string leaves that differ at all
+      drift);
+    - [Added] / [Removed] — present on only one side.
+
+    Keys ending in [cycles] are the simulator's determinism contract, so
+    they are always compared exactly — any difference is [Drifted]
+    regardless of threshold, and {!cycle_drift} collects them for
+    non-zero-exit decisions. *)
+
+type value = Num of float | Str of string
+
+type cls = Identical | Close | Drifted | Added | Removed
+
+type entry = {
+  key : string;
+  a : value option;  (** baseline side *)
+  b : value option;  (** candidate side *)
+  cls : cls;
+  rel : float;  (** relative numeric delta; [0.] for non-numeric pairs *)
+}
+
+val flatten : Json.t -> (string * value) list
+(** Dotted-key leaves in document order: numbers, strings and bools
+    ([Str "true"/"false"]); nulls and empty containers are dropped.
+    Raises [Invalid_argument] if the document is not an object. *)
+
+val flatten_file : string -> (string * value) list
+(** Load a file and {!flatten} it. A manifest (object containing
+    [manifest_version]) contributes its [metrics] plus [digest.*],
+    [version.*] and [host.info.*] keys; any other object flattens
+    whole. Raises [Sys_error] / {!Json.Parse_error}. *)
+
+val is_cycles_key : string -> bool
+(** Key ends in [cycles] (exact-match contract keys). *)
+
+val compare :
+  ?threshold:float ->
+  (string * value) list ->
+  (string * value) list ->
+  entry list
+(** One entry per key present on either side, sorted by key. [threshold]
+    (default [0.]) is the relative-delta tolerance separating [Close]
+    from [Drifted] for non-cycles numeric keys. Duplicate keys keep the
+    first occurrence. *)
+
+val cycle_drift : entry list -> entry list
+(** Entries on cycles keys that are not [Identical] (including one-sided
+    ones) — the non-zero-exit condition. *)
+
+val render : ?show_identical:bool -> entry list -> string
+(** Sorted table: class, key, baseline, candidate, delta. Identical and
+    within-threshold rows are summarized in a trailing count line unless
+    [show_identical]. *)

@@ -1,0 +1,109 @@
+type t = {
+  version : int;
+  kind : string;
+  name : string;
+  created : string;
+  host : (string * Json.t) list;
+  versions : (string * string) list;
+  digests : (string * string) list;
+  metrics : Json.t;
+  spans : Span.completed list;
+}
+
+let manifest_version = 1
+
+let git_rev () =
+  match Sys.getenv_opt "MOSAICSIM_GIT_REV" with
+  | Some r when r <> "" -> Some r
+  | _ -> (
+      (* Best effort only: no git, not a checkout, or a sandbox that
+         forbids subprocesses must all degrade to [None]. *)
+      try
+        let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+        let line = try String.trim (input_line ic) with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> Some line
+        | _ -> None
+      with _ -> None)
+
+let timestamp () =
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let host_info () =
+  [
+    ("cores", Json.Int (Mosaic_util.Domain_pool.available_cores ()));
+    ("ocaml", Json.String Sys.ocaml_version);
+    ("os_type", Json.String Sys.os_type);
+    ("word_size", Json.Int Sys.word_size);
+  ]
+  @ match git_rev () with Some r -> [ ("git_rev", Json.String r) ] | None -> []
+
+let make ~kind ~name ?(versions = []) ?(digests = []) ?spans ~metrics () =
+  {
+    version = manifest_version;
+    kind;
+    name;
+    created = timestamp ();
+    host = host_info ();
+    versions;
+    digests;
+    metrics = Metrics.to_json metrics;
+    spans = (match spans with Some s -> s | None -> Span.spans ());
+  }
+
+let strings_obj kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) kvs)
+
+let to_json m =
+  Json.Obj
+    [
+      ("manifest_version", Json.Int m.version);
+      ("kind", Json.String m.kind);
+      ("name", Json.String m.name);
+      ("created", Json.String m.created);
+      ("host", Json.Obj m.host);
+      ("versions", strings_obj m.versions);
+      ("digests", strings_obj m.digests);
+      ("metrics", m.metrics);
+      ("spans", Span.to_json m.spans);
+    ]
+
+let strings_of_obj field j =
+  match Json.member_exn field j with
+  | Json.Obj kvs -> List.map (fun (k, v) -> (k, Json.to_string_exn v)) kvs
+  | _ -> raise (Json.Parse_error (field ^ ": expected object"))
+
+let of_json j =
+  let version =
+    int_of_float (Json.to_number_exn (Json.member_exn "manifest_version" j))
+  in
+  if version <> manifest_version then
+    raise
+      (Json.Parse_error
+         (Printf.sprintf "unsupported manifest_version %d (expected %d)"
+            version manifest_version));
+  let host =
+    match Json.member_exn "host" j with
+    | Json.Obj kvs -> kvs
+    | _ -> raise (Json.Parse_error "host: expected object")
+  in
+  {
+    version;
+    kind = Json.to_string_exn (Json.member_exn "kind" j);
+    name = Json.to_string_exn (Json.member_exn "name" j);
+    created = Json.to_string_exn (Json.member_exn "created" j);
+    host;
+    versions = strings_of_obj "versions" j;
+    digests = strings_of_obj "digests" j;
+    metrics = Json.member_exn "metrics" j;
+    spans = Span.of_json (Json.member_exn "spans" j);
+  }
+
+let write path m =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_json m));
+      Out_channel.output_char oc '\n')
+
+let load path = of_json (Json.of_string (In_channel.with_open_text path In_channel.input_all))

@@ -1,0 +1,55 @@
+(** Self-describing run artifacts.
+
+    A manifest captures everything needed to interpret (and later
+    compare) one run/bench/sweep: what was run ([kind]/[name]), on what
+    ([host] info, format [versions], config/trace [digests]), what came
+    out (the full metrics registry as JSON) and where the wall-clock went
+    (host spans). It is the unit a future [mosaicsim serve] daemon
+    returns per job, and one of the two inputs {!Diff} understands.
+
+    The JSON layout is versioned ({!manifest_version}, stored under
+    ["manifest_version"]) so [diff] can recognize manifests vs raw metric
+    dumps like [BENCH_speed.json]. *)
+
+type t = {
+  version : int;
+  kind : string;  (** ["run"] / ["bench"] / ["sweep"] *)
+  name : string;  (** workload or suite label *)
+  created : string;  (** local time, [YYYY-MM-DDThh:mm:ss] *)
+  host : (string * Json.t) list;
+  versions : (string * string) list;
+  digests : (string * string) list;
+  metrics : Json.t;  (** {!Metrics.to_json} object *)
+  spans : Span.completed list;
+}
+
+val manifest_version : int
+
+val host_info : unit -> (string * Json.t) list
+(** [cores], [ocaml], [os_type], [word_size], and [git_rev] when known. *)
+
+val git_rev : unit -> string option
+(** [MOSAICSIM_GIT_REV] if set, else a best-effort
+    [git rev-parse --short HEAD]; [None] when neither works. *)
+
+val timestamp : unit -> string
+
+val make :
+  kind:string ->
+  name:string ->
+  ?versions:(string * string) list ->
+  ?digests:(string * string) list ->
+  ?spans:Span.completed list ->
+  metrics:Metrics.t ->
+  unit ->
+  t
+(** Snapshot [metrics] and fill in host info/timestamp now. [spans]
+    defaults to {!Span.spans}[ ()]. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> t
+(** Raises {!Json.Parse_error} on shape mismatch or unknown version. *)
+
+val write : string -> t -> unit
+val load : string -> t

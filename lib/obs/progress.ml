@@ -1,0 +1,69 @@
+type t = {
+  interval_s : float;
+  print : string -> unit;
+  label : string;
+  total_instrs : int option;
+  start : float;
+  mutable last : float;
+  mutable lines : int;
+}
+
+let default_print s =
+  prerr_string s;
+  flush stderr
+
+let create ?(interval_s = 1.0) ?(print = default_print) ~label ~total_instrs ()
+    =
+  let now = Unix.gettimeofday () in
+  {
+    interval_s;
+    print;
+    label;
+    total_instrs;
+    start = now;
+    (* First line appears one full interval in, so short runs print
+       nothing at all. *)
+    last = now;
+    lines = 0;
+  }
+
+let human n =
+  let f = float_of_int n in
+  if f >= 1e9 then Printf.sprintf "%.2fG" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2fM" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.1fk" (f /. 1e3)
+  else string_of_int n
+
+let line t ~now ~cycle ~instrs ~final =
+  let elapsed = Stdlib.max 1e-9 (now -. t.start) in
+  let mips = float_of_int instrs /. elapsed /. 1e6 in
+  let tail =
+    match t.total_instrs with
+    | Some total when total > 0 && instrs > 0 && not final ->
+        let pct = 100.0 *. float_of_int instrs /. float_of_int total in
+        let eta =
+          elapsed *. float_of_int (Stdlib.max 0 (total - instrs))
+          /. float_of_int instrs
+        in
+        Printf.sprintf "  %4.1f%%  eta %.0fs" (Stdlib.min 100.0 pct) eta
+    | _ when final -> Printf.sprintf "  done in %.1fs" elapsed
+    | _ -> ""
+  in
+  Printf.sprintf "progress[%s]: cycle %s  instrs %s  %.2f MIPS%s\n" t.label
+    (human cycle) (human instrs) mips tail
+
+let tick t ~cycle ~instrs =
+  let now = Unix.gettimeofday () in
+  if now -. t.last >= t.interval_s then begin
+    t.last <- now;
+    t.lines <- t.lines + 1;
+    t.print (line t ~now ~cycle ~instrs ~final:false)
+  end
+
+let finish t ~cycle ~instrs =
+  if t.lines > 0 then begin
+    t.lines <- t.lines + 1;
+    t.print (line t ~now:(Unix.gettimeofday ()) ~cycle ~instrs ~final:true)
+  end
+
+let lines_printed t = t.lines

@@ -1,0 +1,32 @@
+(** Opt-in live progress heartbeat for long simulations.
+
+    A rate-limited line writer (default: stderr, one line per
+    [interval_s]) reporting simulated cycle, instructions retired, MIPS
+    since start, percent complete and an ETA when the trace's total
+    dynamic instruction count is known. {!tick} is designed to sit on a
+    sampled hot path: callers gate it with a cheap counter mask and the
+    tick itself is one clock read when the interval has not elapsed.
+
+    Progress is read-only over simulator state — it never changes
+    simulated cycles. *)
+
+type t
+
+val create :
+  ?interval_s:float ->
+  ?print:(string -> unit) ->
+  label:string ->
+  total_instrs:int option ->
+  unit ->
+  t
+(** [interval_s] defaults to 1 s; [print] defaults to a
+    line-to-stderr-and-flush writer (tests inject a buffer). *)
+
+val tick : t -> cycle:int -> instrs:int -> unit
+(** Report state; prints at most once per interval. *)
+
+val finish : t -> cycle:int -> instrs:int -> unit
+(** Print a final summary line — only if at least one tick printed, so
+    short runs stay silent. *)
+
+val lines_printed : t -> int

@@ -44,7 +44,63 @@ let phase_and_extra (e : Event.t) =
   | Event.Stall_sample _ -> ("C", [])
   | _ -> ("i", [ ("s", Json.String "t") ])
 
-let to_json events =
+(* Host spans live in their own Chrome process (pid 1, one "thread" per
+   OCaml domain) so simulator wall-clock sits beside — not interleaved
+   with — the simulated-hardware timeline in pid 0. Their ts/dur are
+   microseconds of wall-clock since the tracer epoch, which Chrome
+   renders on the same axis as pid 0's cycles; the tracks are separate,
+   so mixed units only affect relative lengths, not correctness. *)
+let host_rows spans =
+  let tids =
+    List.sort_uniq Stdlib.compare
+      (List.map (fun (s : Span.completed) -> s.Span.domain) spans)
+  in
+  let metadata =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.String "host (simulator)") ]);
+      ]
+    :: List.map
+         (fun tid ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int tid);
+               ("args",
+                Json.Obj
+                  [ ("name", Json.String (Printf.sprintf "domain %d" tid)) ]);
+             ])
+         tids
+  in
+  let rows =
+    List.map
+      (fun (s : Span.completed) ->
+        Json.Obj
+          [
+            ("name", Json.String s.Span.name);
+            ("ph", Json.String "X");
+            ("ts", Json.Float (s.Span.start_s *. 1e6));
+            ("dur", Json.Float (s.Span.dur_s *. 1e6));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int s.Span.domain);
+            ("args",
+             Json.Obj
+               [
+                 ("depth", Json.Int s.Span.depth);
+                 ("minor_words", Json.Float s.Span.minor_words);
+                 ("major_collections", Json.Int s.Span.major_collections);
+               ]);
+          ])
+      spans
+  in
+  metadata @ rows
+
+let to_json ?(host_spans = []) events =
   (* Stable sort keeps same-cycle events in emission order while making the
      exported ts column monotonic. *)
   let events =
@@ -93,17 +149,18 @@ let to_json events =
           ])
       !track_order
   in
+  let host = if host_spans = [] then [] else host_rows host_spans in
   Json.Obj
     [
-      ("traceEvents", Json.List (metadata @ rows));
+      ("traceEvents", Json.List (metadata @ rows @ host));
       ("displayTimeUnit", Json.String "ns");
     ]
 
-let to_string events = Json.to_string (to_json events)
+let to_string ?host_spans events = Json.to_string (to_json ?host_spans events)
 
-let write_file path events =
+let write_file ?host_spans path events =
   Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (to_string events))
+      Out_channel.output_string oc (to_string ?host_spans events))
 
 (* Flat schema for stall-attribution samples, independent of the Chrome
    format: one row per (cycle, tile, cause) with the cumulative cycle

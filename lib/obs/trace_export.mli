@@ -16,15 +16,19 @@
       cumulative cycle count per {!Stall.cause}, everything else as an
       instant ("i");
     - all strings pass through {!Json.to_string} escaping, so workload
-      and label names may contain quotes, control characters, etc. *)
+      and label names may contain quotes, control characters, etc.;
+    - [?host_spans] adds the simulator's own {!Span.completed} scopes as
+      a second Chrome process (pid 1, one thread per OCaml domain,
+      complete "X" events with wall-clock microsecond ts/dur), so host
+      time appears on its own track beside the simulated hardware. *)
 
-val to_json : Event.t list -> Json.t
+val to_json : ?host_spans:Span.completed list -> Event.t list -> Json.t
 (** Full trace document: [{"traceEvents": [...], "displayTimeUnit": ...}]. *)
 
-val to_string : Event.t list -> string
+val to_string : ?host_spans:Span.completed list -> Event.t list -> string
 (** [Json.to_string] of {!to_json}. *)
 
-val write_file : string -> Event.t list -> unit
+val write_file : ?host_spans:Span.completed list -> string -> Event.t list -> unit
 (** Write {!to_string} to a file (truncating). *)
 
 val stall_rows : Event.t list -> (int * int * string * int) list

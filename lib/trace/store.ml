@@ -83,6 +83,14 @@ let cache_dir () =
 let cache_file digest =
   Option.map (fun dir -> Filename.concat dir (digest ^ ".mstr")) (cache_dir ())
 
+(* Bytes moved to or from the disk layer, for host.store.* telemetry. *)
+let n_disk_bytes = Atomic.make 0
+
+let count_disk_bytes path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> ignore (Atomic.fetch_and_add n_disk_bytes st_size)
+  | exception Unix.Unix_error _ -> ()
+
 let rec mkdir_p dir =
   if dir <> "" && not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
@@ -100,7 +108,8 @@ let store_to_disk ~digest trace =
         let path = Filename.concat dir (digest ^ ".mstr") in
         let tmp = Filename.temp_file ~temp_dir:dir "trace-" ".tmp" in
         Trace.save ~digest trace tmp;
-        Sys.rename tmp path
+        Sys.rename tmp path;
+        count_disk_bytes path
       with Sys_error _ | Unix.Unix_error _ -> ())
 
 let load_from_disk ~digest =
@@ -108,8 +117,11 @@ let load_from_disk ~digest =
   | None -> None
   | Some path when not (Sys.file_exists path) -> None
   | Some path -> (
-      try Some (Trace.load ~expect_digest:digest path) with
-      | Trace.Format_error _ | Sys_error _ -> None)
+      try
+        let t = Trace.load ~expect_digest:digest path in
+        count_disk_bytes path;
+        Some t
+      with Trace.Format_error _ | Sys_error _ -> None)
 
 (* ---- garbage collection ----
 
@@ -202,13 +214,19 @@ let n_memo_hits = Atomic.make 0
 
 let n_disk_hits = Atomic.make 0
 
-type stats = { interpreted : int; memo_hits : int; disk_hits : int }
+type stats = {
+  interpreted : int;
+  memo_hits : int;
+  disk_hits : int;
+  disk_bytes : int;
+}
 
 let stats () =
   {
     interpreted = Atomic.get n_interpreted;
     memo_hits = Atomic.get n_memo_hits;
     disk_hits = Atomic.get n_disk_hits;
+    disk_bytes = Atomic.get n_disk_bytes;
   }
 
 let reset () =
@@ -217,7 +235,8 @@ let reset () =
   Mutex.unlock lock;
   Atomic.set n_interpreted 0;
   Atomic.set n_memo_hits 0;
-  Atomic.set n_disk_hits 0
+  Atomic.set n_disk_hits 0;
+  Atomic.set n_disk_bytes 0
 
 (* Wait (lock held) until [cell] leaves Pending; unlocks before returning. *)
 let rec await cell =

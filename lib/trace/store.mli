@@ -83,7 +83,17 @@ val gc : ?max_bytes:int -> unit -> gc_report option
 
 (** {1 Introspection (tests, CLI)} *)
 
-type stats = { interpreted : int; memo_hits : int; disk_hits : int }
+(** Semantics-version salt baked into {!workload_digest}; bump it and
+    every cached trace is invalidated. Exposed for [mosaicsim version]
+    and run manifests. *)
+val semantics_version : string
+
+type stats = {
+  interpreted : int;
+  memo_hits : int;
+  disk_hits : int;
+  disk_bytes : int;  (** container bytes read from or written to disk *)
+}
 
 val stats : unit -> stats
 

@@ -62,6 +62,11 @@ val equal : t -> t -> bool
     mismatch. The message says which. *)
 exception Format_error of string
 
+(** Container identity, for [mosaicsim version] and run manifests. *)
+val magic : string
+
+val format_version : int
+
 (** [to_bytes ?digest t] serializes [t], tagging the container with
     [digest] (default [""]). *)
 val to_bytes : ?digest:string -> t -> Bytes.t

@@ -12,10 +12,31 @@ let available_cores () = Stdlib.max 1 (Domain.recommended_domain_count ())
 
 let default_jobs () = available_cores ()
 
+(* Observability hook: called on the running domain when a task starts,
+   returning the closer called when it finishes (normally or not). The
+   host-span tracer installs itself here — this library sits below the
+   telemetry layer, so the dependency has to point inward. *)
+let task_hook : (unit -> unit -> unit) option ref = ref None
+let set_task_hook h = task_hook := h
+
+let call_task f =
+  match !task_hook with
+  | None -> f ()
+  | Some h -> (
+      let finish = h () in
+      match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finish ();
+          Printexc.raise_with_backtrace e bt)
+
 let run ~jobs tasks =
   let n = Array.length tasks in
   if n = 0 then [||]
-  else if jobs <= 1 || n = 1 then Array.map (fun f -> f ()) tasks
+  else if jobs <= 1 || n = 1 then Array.map (fun f -> call_task f) tasks
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -24,7 +45,7 @@ let run ~jobs tasks =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           let r =
-            try Value (tasks.(i) ())
+            try Value (call_task tasks.(i))
             with e -> Raised (e, Printexc.get_raw_backtrace ())
           in
           results.(i) <- Some r;

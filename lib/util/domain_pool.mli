@@ -25,3 +25,10 @@ val run : jobs:int -> (unit -> 'a) array -> 'a array
 
 (** [map ~jobs f items] is [run] over [f] applied to each item. *)
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Observability hook, called on the executing domain as each task
+    starts; the returned closure runs when the task finishes (normal or
+    raising exit alike). [None] (the default) costs one ref read per
+    task. Installed by the host-span tracer — ordinary callers should
+    not touch this. *)
+val set_task_hook : (unit -> unit -> unit) option -> unit

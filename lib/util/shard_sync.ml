@@ -48,6 +48,10 @@ type t = {
           read only after all domains join *)
   arrived : int Atomic.t;
   phase : int Atomic.t;
+  timed : bool;
+  waits : float array;
+      (** per-shard seconds spent spinning in {!wait_order}/{!barrier};
+          slot [k] written only by shard [k], read after [run] joins *)
 }
 
 (* Packed the same way the interleaver packs (dst, chan) keys: tile ids
@@ -56,7 +60,7 @@ let point_shift = 20
 
 let point ~seq ~tile = (seq lsl point_shift) lor tile
 
-let create ~nshards =
+let create ?(timed = false) ~nshards () =
   if nshards <= 0 then invalid_arg "Shard_sync.create: nshards must be positive";
   {
     nshards;
@@ -65,6 +69,8 @@ let create ~nshards =
     failures = Array.make nshards None;
     arrived = Atomic.make 0;
     phase = Atomic.make 0;
+    timed;
+    waits = Array.make nshards 0.0;
   }
 
 let nshards t = t.nshards
@@ -86,18 +92,27 @@ let record_failure t ~shard e bt =
 
 let publish t ~shard ~point = Atomic.set t.horizons.(shard) point
 
-let wait_order t ~shard ~point =
+(* Wait-time accounting reads the clock only on the slow path (an actual
+   spin), so untimed fast-path cost is unchanged and timed fast-path cost
+   is one extra branch per horizon check. *)
+let spin_until t ~shard pred =
   let spins = ref 0 in
+  let t0 = if t.timed then Unix.gettimeofday () else 0.0 in
+  while not (pred ()) do
+    check_failed t;
+    pause !spins;
+    incr spins
+  done;
+  if t.timed then t.waits.(shard) <- t.waits.(shard) +. (Unix.gettimeofday () -. t0)
+
+let wait_order t ~shard ~point =
   for j = 0 to t.nshards - 1 do
     if j <> shard then
-      while Atomic.get t.horizons.(j) <= point do
-        check_failed t;
-        pause !spins;
-        incr spins
-      done
+      if Atomic.get t.horizons.(j) <= point then
+        spin_until t ~shard (fun () -> Atomic.get t.horizons.(j) > point)
   done
 
-let barrier t ~reduce =
+let barrier t ~shard ~reduce =
   let gen = Atomic.get t.phase in
   let n = 1 + Atomic.fetch_and_add t.arrived 1 in
   if n = t.nshards then begin
@@ -110,15 +125,10 @@ let barrier t ~reduce =
     Atomic.set t.arrived 0;
     Atomic.incr t.phase
   end
-  else begin
-    let spins = ref 0 in
-    while Atomic.get t.phase = gen do
-      check_failed t;
-      pause !spins;
-      incr spins
-    done
-  end;
+  else spin_until t ~shard (fun () -> Atomic.get t.phase <> gen);
   check_failed t
+
+let wait_seconds t shard = t.waits.(shard)
 
 let run t body =
   let wrap shard =

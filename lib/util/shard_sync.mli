@@ -21,8 +21,11 @@ type t
 
 exception Aborted
 
-(** [create ~nshards] makes a coordinator for [nshards] workers. *)
-val create : nshards:int -> t
+(** [create ~nshards ()] makes a coordinator for [nshards] workers.
+    [timed] additionally accounts per-shard wall-clock spent spinning in
+    {!wait_order}/{!barrier} (clock reads happen only on actual waits, so
+    the no-contention fast path is one extra branch). *)
+val create : ?timed:bool -> nshards:int -> unit -> t
 
 val nshards : t -> int
 
@@ -43,9 +46,14 @@ val wait_order : t -> shard:int -> point:int -> unit
     happens-before edge over all pre-barrier writes, so it may read any
     shard's plain state. @raise Aborted if any shard or [reduce]
     failed. *)
-val barrier : t -> reduce:(unit -> unit) -> unit
+val barrier : t -> shard:int -> reduce:(unit -> unit) -> unit
 
 (** [run t body] runs [body shard] for shards [0 .. nshards-1], shard 0
     on the calling domain, the rest on fresh domains; joins them all and
     re-raises the first recorded failure, if any. *)
 val run : t -> (int -> unit) -> unit
+
+(** Seconds shard [k] has spent spinning (always [0.] unless created
+    with [~timed:true]). Read after {!run} returns — slots are plain
+    fields owned by their shard while running. *)
+val wait_seconds : t -> int -> float

@@ -1,6 +1,7 @@
 module Interp = Mosaic_trace.Interp
 module Store = Mosaic_trace.Store
 module Validate = Mosaic_ir.Validate
+module Span = Mosaic_obs.Span
 
 type t = {
   name : string;
@@ -17,10 +18,15 @@ let run_checked ~check inst it =
     failwith (Printf.sprintf "workload %s: wrong answer" inst.name);
   trace
 
+(* "trace_gen" spans cover the whole acquisition — dataset setup plus
+   interpretation on a miss, or setup plus decode on a cache hit — so
+   host.trace_gen_seconds is the wall-clock a run spent obtaining its
+   trace, whatever the source. *)
 let run_interp ?(check = true) inst it =
-  Mosaic_accel.Accel_kinds.register_functional it;
-  inst.setup it;
-  run_checked ~check inst it
+  Span.with_span "trace_gen" (fun () ->
+      Mosaic_accel.Accel_kinds.register_functional it;
+      inst.setup it;
+      run_checked ~check inst it)
 
 let trace ?check inst ~ntiles =
   Validate.check_exn inst.program;
@@ -40,13 +46,14 @@ let trace_hetero ?check inst ~tiles =
    interpreter is consumed by [Store.fetch]'s generate thunk, so the trace
    a hit returns is bit-identical to the one a miss would have produced. *)
 let cached ?(check = true) inst ~label ~tiles it =
-  Mosaic_accel.Accel_kinds.register_functional it;
-  inst.setup it;
-  let digest =
-    Store.workload_digest ~program:inst.program ~label ~tiles
-      ~mem:(Interp.memory_contents it)
-  in
-  Store.fetch ~digest ~generate:(fun () -> run_checked ~check inst it)
+  Span.with_span "trace_gen" (fun () ->
+      Mosaic_accel.Accel_kinds.register_functional it;
+      inst.setup it;
+      let digest =
+        Store.workload_digest ~program:inst.program ~label ~tiles
+          ~mem:(Interp.memory_contents it)
+      in
+      Store.fetch ~digest ~generate:(fun () -> run_checked ~check inst it))
 
 let trace_cached_full ?check inst ~ntiles =
   Validate.check_exn inst.program;

@@ -24,21 +24,23 @@ let workloads () =
   ]
 
 (* Everything deterministic about a run, as one comparable string. The
-   metrics CSV includes host-time gauges (soc.host_seconds and friends), so
+   metrics CSV includes host-time gauges (soc.host_seconds and friends,
+   plus the host.* rows the span tracer publishes when enabled), so
    those rows are filtered by name. *)
 let fingerprint (r : Soc.result) =
   let deterministic_rows =
     List.filter
       (fun (name, _, _) ->
-        not
-          (List.exists
-             (fun banned ->
-               String.length name >= String.length banned
-               && String.sub name
-                    (String.length name - String.length banned)
-                    (String.length banned)
-                  = banned)
-             [ "host_seconds"; "mips" ]))
+        (not (String.starts_with ~prefix:"host." name))
+        && not
+             (List.exists
+                (fun banned ->
+                  String.length name >= String.length banned
+                  && String.sub name
+                       (String.length name - String.length banned)
+                       (String.length banned)
+                     = banned)
+                [ "host_seconds"; "mips" ]))
       (Metrics.rows r.Soc.metrics)
   in
   let rows =

@@ -30,7 +30,7 @@ let fingerprint = Test_batch.fingerprint
    serializes them — and the trace must come out globally ascending. *)
 let test_sync_global_order () =
   let nshards = 3 and tiles_per = 2 and sweeps = 25 in
-  let sync = Sync.create ~nshards in
+  let sync = Sync.create ~nshards () in
   let log = ref [] in
   Sync.run sync (fun k ->
       let lo = k * tiles_per in
@@ -42,7 +42,7 @@ let test_sync_global_order () =
           log := point :: !log
         done;
         Sync.publish sync ~shard:k ~point:(Sync.point ~seq:(seq + 1) ~tile:lo);
-        Sync.barrier sync ~reduce:(fun () -> ())
+        Sync.barrier sync ~shard:k ~reduce:(fun () -> ())
       done);
   let trace = List.rev !log in
   Alcotest.(check int) "every op ran" (nshards * tiles_per * sweeps)
@@ -52,7 +52,7 @@ let test_sync_global_order () =
        (List.tl trace))
 
 let test_sync_failure_propagates () =
-  let sync = Sync.create ~nshards:3 in
+  let sync = Sync.create ~nshards:3 () in
   let raised =
     try
       Sync.run sync (fun k ->
@@ -60,7 +60,7 @@ let test_sync_failure_propagates () =
             if k = 1 && seq = 3 then failwith "boom";
             Sync.publish sync ~shard:k
               ~point:(Sync.point ~seq:(seq + 1) ~tile:(k * 2));
-            Sync.barrier sync ~reduce:(fun () -> ())
+            Sync.barrier sync ~shard:k ~reduce:(fun () -> ())
           done);
       "no exception"
     with Failure msg -> msg
@@ -68,14 +68,14 @@ let test_sync_failure_propagates () =
   Alcotest.(check string) "original failure re-raised" "boom" raised
 
 let test_sync_reduce_failure () =
-  let sync = Sync.create ~nshards:2 in
+  let sync = Sync.create ~nshards:2 () in
   let raised =
     try
       Sync.run sync (fun k ->
           for seq = 0 to 999 do
             Sync.publish sync ~shard:k
               ~point:(Sync.point ~seq:(seq + 1) ~tile:k);
-            Sync.barrier sync ~reduce:(fun () ->
+            Sync.barrier sync ~shard:k ~reduce:(fun () ->
                 if seq = 5 then failwith "reduce boom")
           done);
       "no exception"

@@ -4,7 +4,10 @@
    Cycle counts are the simulator's deterministic output — any drift means
    the timing model changed, which must be a deliberate, baseline-refreshing
    commit, never a side effect of a performance patch. MIPS and host-time
-   gauges are informational and ignored here.
+   gauges are informational and ignored here, as is the "host" provenance
+   member. Flattening and classification come from Mosaic_obs.Diff (the
+   same library behind `mosaicsim diff`); this tool only restricts the key
+   set and phrases the verdict for CI.
 
    Usage: check_cycle_drift FRESH.json BASELINE.json
           check_cycle_drift --sharded BASELINE.json [SHARDS]
@@ -19,41 +22,25 @@
    Exits 0 when all baseline cycle entries match, 1 on drift or a missing
    entry, 2 on usage/parse errors. *)
 
-module Json = Mosaic_obs.Json
+module Diff = Mosaic_obs.Diff
 
-let read_json file =
-  let ic = open_in_bin file in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  Json.of_string s
+let load file =
+  try Diff.flatten_file file
+  with e ->
+    Printf.eprintf "check_cycle_drift: %s\n" (Printexc.to_string e);
+    exit 2
 
-let is_cycles_key name =
-  String.length name > String.length "speed."
-  && String.sub name 0 6 = "speed."
-  && Filename.check_suffix name ".cycles"
+let is_speed_cycles k =
+  String.starts_with ~prefix:"speed." k && Diff.is_cycles_key k
 
-let cycle_entries = function
-  | Json.Obj kvs ->
-      List.filter_map
-        (fun (name, v) ->
-          if is_cycles_key name then Some (name, Json.to_number_exn v)
-          else None)
-        kvs
-  | _ -> failwith "expected a metrics object"
+let speed_cycles entries = List.filter (fun (k, _) -> is_speed_cycles k) entries
+
+let num = function Some (Diff.Num v) -> Printf.sprintf "%.0f" v | _ -> "?"
 
 (* --sharded: run the shard suite here and now, serial vs sharded, and
    hold both to the committed baseline. *)
 let check_sharded baseline_file nshards =
-  let baseline =
-    try
-      match read_json baseline_file with
-      | Json.Obj kvs -> kvs
-      | _ -> failwith "expected a metrics object"
-    with e ->
-      Printf.eprintf "check_cycle_drift: %s\n" (Printexc.to_string e);
-      exit 2
-  in
+  let baseline = speed_cycles (load baseline_file) in
   let drift = ref false in
   List.iter
     (fun (e : Mosaic_suite.Shard_suite.entry) ->
@@ -68,12 +55,12 @@ let check_sharded baseline_file nshards =
       end;
       let key = Printf.sprintf "speed.shard.%s.cycles" e.name in
       (match List.assoc_opt key baseline with
-      | None ->
+      | None | Some (Diff.Str _) ->
           drift := true;
           Printf.printf "MISSING baseline key %s (got %d; refresh %s)\n" key
             pcy baseline_file
-      | Some v ->
-          let expected = int_of_float (Json.to_number_exn v) in
+      | Some (Diff.Num v) ->
+          let expected = int_of_float v in
           if expected <> scy then begin
             drift := true;
             Printf.printf "DRIFT   %s: baseline %d, fresh %d\n" key expected
@@ -116,36 +103,33 @@ let () =
           \       check_cycle_drift --sharded BASELINE.json [SHARDS]";
         exit 2
   in
-  let fresh, baseline =
-    try (cycle_entries (read_json fresh_file), cycle_entries (read_json baseline_file))
-    with e ->
-      Printf.eprintf "check_cycle_drift: %s\n" (Printexc.to_string e);
-      exit 2
-  in
+  let fresh = speed_cycles (load fresh_file) in
+  let baseline = speed_cycles (load baseline_file) in
   if baseline = [] then begin
     Printf.eprintf "check_cycle_drift: no speed.*.cycles entries in %s\n"
       baseline_file;
     exit 2
   end;
+  (* Baseline on the [a] side, fresh on [b]: Removed = gone from the fresh
+     run (drift), Added = new workload awaiting a baseline refresh (noted,
+     not failed). Cycles keys classify exactly, so threshold is moot. *)
+  let entries = Diff.compare baseline fresh in
   let drift = ref false in
   List.iter
-    (fun (name, expected) ->
-      match List.assoc_opt name fresh with
-      | None ->
+    (fun (e : Diff.entry) ->
+      match e.Diff.cls with
+      | Diff.Identical -> ()
+      | Diff.Removed ->
           drift := true;
-          Printf.printf "MISSING %s (baseline %.0f)\n" name expected
-      | Some got when got <> expected ->
+          Printf.printf "MISSING %s (baseline %s)\n" e.Diff.key (num e.Diff.a)
+      | Diff.Added ->
+          Printf.printf "NEW     %s = %s (not in baseline; refresh it)\n"
+            e.Diff.key (num e.Diff.b)
+      | Diff.Drifted | Diff.Close ->
           drift := true;
-          Printf.printf "DRIFT   %s: baseline %.0f, fresh %.0f\n" name
-            expected got
-      | Some _ -> ())
-    baseline;
-  List.iter
-    (fun (name, v) ->
-      if not (List.mem_assoc name baseline) then
-        Printf.printf "NEW     %s = %.0f (not in baseline; refresh it)\n" name
-          v)
-    fresh;
+          Printf.printf "DRIFT   %s: baseline %s, fresh %s\n" e.Diff.key
+            (num e.Diff.a) (num e.Diff.b))
+    entries;
   if !drift then begin
     Printf.printf
       "cycle drift detected: the timing model changed. If intentional, \

@@ -1,0 +1,131 @@
+(* Telemetry-overhead guard: the host-side observability layer (span
+   tracing + progress heartbeat) must be free where it matters and cheap
+   where it runs.
+
+   For a few speed-suite workloads this tool simulates each twice per
+   mode — plain, and with spans enabled plus a progress meter ticking
+   into a null printer — and checks three properties:
+
+   1. Simulated cycles are byte-identical across modes: telemetry only
+      observes the host, never the simulated machine.
+   2. Host-time overhead of the instrumented mode is <= 5% (ratio of the
+      min-of-reps totals, which damps scheduler noise on small CI hosts).
+   3. The recorded "sim" span agrees with a wall clock held around the
+      run (within 5%, plus a small absolute allowance for sub-ms phases),
+      so the host.* gauges that manifests publish can be trusted.
+
+   Usage: check_host_overhead
+   Exits 0 when all three hold, 1 on any violation. Point
+   MOSAICSIM_TRACE_CACHE at the bench cache to skip interpretation. *)
+
+module W = Mosaic_workloads
+module Soc = Mosaic.Soc
+module Span = Mosaic_obs.Span
+module Progress = Mosaic_obs.Progress
+module Trace = Mosaic_trace.Trace
+
+let workloads = [ "spmv"; "histo"; "bfs" ]
+let reps = 2
+let max_overhead = 1.05
+let span_rel_tol = 0.05
+let span_abs_tol = 0.02 (* seconds; floors the tolerance for short runs *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let simulate ?progress inst trace =
+  Soc.run_homogeneous ?progress Mosaic.Presets.xeon_soc
+    ~program:inst.W.Runner.program ~trace
+    ~tile_config:Mosaic_tile.Tile_config.out_of_order
+
+let () =
+  if Array.length Sys.argv <> 1 then begin
+    prerr_endline "usage: check_host_overhead";
+    exit 2
+  end;
+  let failed = ref false in
+  let plain_total = ref 0.0 and telem_total = ref 0.0 in
+  List.iter
+    (fun name ->
+      let inst = W.Registry.instance name in
+      (* Acquire the trace once, outside all timed regions, so both modes
+         measure the timing model alone. *)
+      let trace = W.Runner.trace_cached inst ~ntiles:1 in
+      let total_instrs = Trace.total_dyn_instrs trace in
+      let plain_wall = ref infinity and telem_wall = ref infinity in
+      let plain_cycles = ref None and telem_cycles = ref None in
+      let check_cycles which store (r : Soc.result) =
+        match !store with
+        | None -> store := Some r.Soc.cycles
+        | Some c when c <> r.Soc.cycles ->
+            failed := true;
+            Printf.printf "NONDETERMINISTIC %s (%s): %d then %d cycles\n" name
+              which c r.Soc.cycles
+        | Some _ -> ()
+      in
+      for _ = 1 to reps do
+        (* Alternate modes so drift in host load hits both equally. *)
+        Span.set_enabled false;
+        let r, wall = time (fun () -> simulate inst trace) in
+        check_cycles "plain" plain_cycles r;
+        plain_wall := Float.min !plain_wall wall;
+        Span.set_enabled true;
+        Span.reset ();
+        let progress =
+          Progress.create ~interval_s:0.01
+            ~print:(fun _ -> ())
+            ~label:name ~total_instrs:(Some total_instrs) ()
+        in
+        let r, wall = time (fun () -> simulate ~progress inst trace) in
+        check_cycles "telemetry" telem_cycles r;
+        telem_wall := Float.min !telem_wall wall;
+        (match
+           List.find_opt (fun s -> s.Span.name = "sim") (Span.spans ())
+         with
+        | None ->
+            failed := true;
+            Printf.printf "NOSPAN  %s: no \"sim\" span recorded\n" name
+        | Some s ->
+            let err = Float.abs (s.Span.dur_s -. wall) in
+            if err > (span_rel_tol *. wall) +. span_abs_tol then begin
+              failed := true;
+              Printf.printf
+                "SPANOFF %s: sim span %.3fs vs wall %.3fs (err %.3fs)\n" name
+                s.Span.dur_s wall err
+            end);
+        Span.set_enabled false
+      done;
+      (match (!plain_cycles, !telem_cycles) with
+      | Some p, Some t when p <> t ->
+          failed := true;
+          Printf.printf "PERTURBED %s: plain %d cycles, telemetry %d\n" name p
+            t
+      | _ -> ());
+      plain_total := !plain_total +. !plain_wall;
+      telem_total := !telem_total +. !telem_wall;
+      Printf.printf "%-8s plain %.3fs telemetry %.3fs (%d cycles)\n" name
+        !plain_wall !telem_wall
+        (Option.value ~default:0 !plain_cycles))
+    workloads;
+  let ratio =
+    if !plain_total > 0.0 then !telem_total /. !plain_total else infinity
+  in
+  Printf.printf "overhead ratio: %.3f (plain %.3fs, telemetry %.3fs)\n" ratio
+    !plain_total !telem_total;
+  if ratio > max_overhead then begin
+    failed := true;
+    Printf.printf "OVERHEAD telemetry costs more than %.0f%%\n"
+      ((max_overhead -. 1.0) *. 100.0)
+  end;
+  if !failed then begin
+    print_endline
+      "host-overhead check failed: telemetry must not perturb cycles and \
+       must stay within the overhead budget.";
+    exit 1
+  end
+  else
+    print_endline
+      "host-overhead check OK: cycles identical, spans accurate, overhead \
+       within budget"
